@@ -1,0 +1,41 @@
+//! Criterion microbenchmarks for distance evaluation (supports T4's cost
+//! column).
+
+use cbir_distance::{Measure, QuadraticForm};
+use cbir_workload::histograms;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_distance(c: &mut Criterion) {
+    const DIM: usize = 256;
+    let hs = histograms(2, DIM, 1.0, 5);
+    let (a, b) = (&hs[0], &hs[1]);
+
+    let measures: Vec<Measure> = vec![
+        Measure::L1,
+        Measure::L2,
+        Measure::LInf,
+        Measure::Intersection,
+        Measure::ChiSquare,
+        Measure::Match,
+        Measure::Cosine,
+        Measure::Jeffrey,
+        Measure::Bhattacharyya,
+        Measure::Quadratic(QuadraticForm::identity(DIM)),
+    ];
+
+    let mut group = c.benchmark_group("distance_d256");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for m in measures {
+        group.bench_function(BenchmarkId::from_parameter(m.name()), |bch| {
+            bch.iter(|| std::hint::black_box(m.distance(a, b)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

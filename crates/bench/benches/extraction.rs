@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks for feature extraction (supports T1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cbir_features::{FeatureSpec, Pipeline, Quantizer};
+use cbir_workload::{Corpus, CorpusSpec};
+use std::time::Duration;
+
+fn bench_extraction(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusSpec {
+        classes: 2,
+        images_per_class: 2,
+        image_size: 64,
+        jitter: 0.5,
+        noise: 0.05,
+        seed: 1,
+    });
+    let img = &corpus.images[0];
+
+    let specs: Vec<(&str, FeatureSpec)> = vec![
+        (
+            "color_hist_hsv256",
+            FeatureSpec::ColorHistogram(Quantizer::hsv_default()),
+        ),
+        ("color_moments", FeatureSpec::ColorMoments),
+        (
+            "correlogram_64x4",
+            FeatureSpec::Correlogram {
+                quantizer: Quantizer::rgb_compact(),
+                distances: vec![1, 3, 5, 7],
+            },
+        ),
+        ("glcm16", FeatureSpec::Glcm { levels: 16 }),
+        ("tamura", FeatureSpec::Tamura),
+        ("wavelet3", FeatureSpec::Wavelet { levels: 3 }),
+        ("edge_orient16", FeatureSpec::EdgeOrientation { bins: 16 }),
+        ("hu_moments", FeatureSpec::HuMoments),
+        ("dt_hist16", FeatureSpec::DtHistogram { bins: 16 }),
+    ];
+
+    let mut group = c.benchmark_group("extract_64px");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    for (name, spec) in specs {
+        let pipeline = Pipeline::new(64, vec![spec]).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| std::hint::black_box(pipeline.extract(img).unwrap()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("extract_full_pipeline");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    let full = Pipeline::full_default();
+    group.bench_function("full_default", |b| {
+        b.iter(|| std::hint::black_box(full.extract(img).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

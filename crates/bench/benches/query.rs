@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks for query latency (supports F1, F3, F4).
+
+use cbir_bench::{build_lineup_index, clustered_dataset, index_lineup, standard_queries};
+use cbir_index::SearchStats;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_query(c: &mut Criterion) {
+    let dataset = clustered_dataset(20_000, 16, 7);
+    let queries = standard_queries(&dataset, 16, 9);
+
+    let mut group = c.benchmark_group("knn10_n20000_d16");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for kind in index_lineup() {
+        let index = build_lineup_index(&kind, dataset.clone());
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            let mut qi = 0usize;
+            b.iter(|| {
+                let mut stats = SearchStats::new();
+                let q = &queries[qi % queries.len()];
+                qi += 1;
+                std::hint::black_box(index.knn_search(q, 10, &mut stats));
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("range_n20000_d16");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for kind in index_lineup() {
+        let index = build_lineup_index(&kind, dataset.clone());
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            let mut qi = 0usize;
+            b.iter(|| {
+                let mut stats = SearchStats::new();
+                let q = &queries[qi % queries.len()];
+                qi += 1;
+                std::hint::black_box(index.range_search(q, 5.0, &mut stats));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! **F2 — the curse of dimensionality.**
+//!
+//! Fixed N, growing signature dimensionality: the fraction of the database
+//! each index must compare against for a k-NN query. The paper-shape
+//! claim: every space-partitioning index degrades toward a full scan as d
+//! grows; the crossover (where indexing stops paying) appears as the
+//! fraction approaching 1.0.
+//!
+//! Run: `cargo run --release -p cbir-bench --bin exp_dimensionality [--quick]`
+
+use cbir_bench::{index_lineup, standard_queries, Table};
+use cbir_core::build_index;
+use cbir_distance::Measure;
+use cbir_index::{Dataset, SearchStats};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: usize = if quick { 5_000 } else { 20_000 };
+    let dims: &[usize] = if quick {
+        &[2, 8, 32, 128]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128]
+    };
+    const K: usize = 10;
+    let n_queries = if quick { 15 } else { 40 };
+
+    println!("F2: fraction of database compared vs dimensionality, N={n}, k={K}\n");
+    let lineup = index_lineup();
+    let mut headers: Vec<&str> = vec!["d"];
+    let names: Vec<String> = lineup.iter().map(|k| k.name().to_string()).collect();
+    headers.extend(names.iter().map(|s| s.as_str()));
+    let mut table = Table::new(&headers);
+
+    for &d in dims {
+        // Uniform data: intrinsic dimensionality equals d, so the curse is
+        // visible (clustered data hides it behind low intrinsic dimension).
+        let dataset =
+            Dataset::from_vectors(&cbir_workload::uniform(n, d, 100.0, 21)).expect("workload");
+        let queries = standard_queries(&dataset, n_queries, 3);
+        let mut cells = vec![d.to_string()];
+        for kind in &lineup {
+            let index = build_index(kind, dataset.clone(), Measure::L2).expect("build");
+            let mut stats = SearchStats::new();
+            for q in &queries {
+                index.knn_search(q, K, &mut stats);
+            }
+            let frac = stats.distance_computations as f64
+                / (queries.len() as f64 * n as f64);
+            cells.push(format!("{frac:.3}"));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("\nExpected shape: fractions rise toward 1.0 with d — the curse of");
+    println!("dimensionality; past the crossover, a plain scan is cheaper than");
+    println!("any index. (Real image signatures behave like clustered data with");
+    println!("low intrinsic dimension, which is why indexing still pays there —");
+    println!("see F1.)");
+}

@@ -1,0 +1,88 @@
+//! **F7 (extension) — approximate search: LSH recall vs. speedup.**
+//!
+//! The exact indexes elsewhere in the suite never miss a neighbour; LSH
+//! buys additional speed by accepting misses. This sweep maps the
+//! recall/cost frontier over the number of hash tables and the bucket
+//! width, against the exact linear scan.
+//!
+//! Run: `cargo run --release -p cbir-bench --bin exp_lsh [--quick]`
+
+use cbir_bench::{clustered_dataset, Table};
+use cbir_distance::Measure;
+use cbir_index::{knn_search_simple, LinearScan, LshIndex, SearchStats};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: usize = if quick { 5_000 } else { 20_000 };
+    const DIM: usize = 16;
+    const K: usize = 10;
+    let n_queries = if quick { 15 } else { 40 };
+
+    let dataset = clustered_dataset(n, DIM, 61);
+    // Query-by-example workload: perturbed database members. (Far random
+    // points are uninteresting for LSH: their "nearest" neighbours are at
+    // cluster scale and share no buckets at any useful width.)
+    let members: Vec<Vec<f32>> = (0..dataset.len()).map(|i| dataset.vector(i).to_vec()).collect();
+    let queries = cbir_workload::queries(&members, n_queries * 4 / 3, 0.5, 23)
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % 4 != 3) // drop the uniform 25%
+        .map(|(_, q)| q)
+        .take(n_queries)
+        .collect::<Vec<_>>();
+    let lin = LinearScan::build(dataset.clone(), Measure::L2).expect("linear");
+    let exact: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|q| knn_search_simple(&lin, q, K).iter().map(|h| h.id).collect())
+        .collect();
+
+    println!("F7 (extension): LSH recall vs cost, N={n}, d={DIM}, k={K}\n");
+    let mut table = Table::new(&[
+        "tables",
+        "hashes",
+        "width",
+        "recall@10",
+        "dist-comps",
+        "frac-of-scan",
+    ]);
+    // Widths are in projection units: projections of points spanning
+    // ~100 per axis have magnitudes in the hundreds, and near neighbours
+    // differ by a few units times a unit Gaussian, so useful widths sit in
+    // the tens.
+    let configs: &[(usize, usize, f32)] = &[
+        (4, 8, 16.0),
+        (8, 8, 16.0),
+        (8, 6, 16.0),
+        (8, 8, 32.0),
+        (16, 8, 32.0),
+        (16, 6, 48.0),
+        (32, 6, 64.0),
+    ];
+    for &(tables, hashes, width) in configs {
+        let lsh = LshIndex::build(dataset.clone(), tables, hashes, width, 7).expect("lsh");
+        let mut stats = SearchStats::new();
+        let mut recall_sum = 0.0f64;
+        for (q, truth) in queries.iter().zip(&exact) {
+            let got: Vec<usize> = lsh
+                .knn_search(q, K, &mut stats)
+                .iter()
+                .map(|h| h.id)
+                .collect();
+            let hits = truth.iter().filter(|id| got.contains(id)).count();
+            recall_sum += hits as f64 / truth.len() as f64;
+        }
+        let comps = stats.distance_computations as f64 / queries.len() as f64;
+        table.row(vec![
+            tables.to_string(),
+            hashes.to_string(),
+            format!("{width}"),
+            format!("{:.3}", recall_sum / queries.len() as f64),
+            format!("{comps:.0}"),
+            format!("{:.4}", comps / n as f64),
+        ]);
+    }
+    table.print();
+    println!("\nExpected shape: recall climbs with more tables and wider");
+    println!("buckets, at proportionally more distance computations; the");
+    println!("frontier sits far below the exact scan's cost at recall >= 0.9.");
+}

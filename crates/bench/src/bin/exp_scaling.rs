@@ -1,0 +1,67 @@
+//! **F1 — query cost vs. database size.**
+//!
+//! k-NN (k = 10) over clustered 16-d signatures as N grows: per index,
+//! mean distance computations and mean wall-clock per query, plus the
+//! speedup factor over sequential scan. The paper-shape claim: indexed
+//! search wins by a growing factor as N grows.
+//!
+//! Run: `cargo run --release -p cbir-bench --bin exp_scaling [--quick]`
+
+use cbir_bench::{clustered_dataset, fmt_us, index_lineup, standard_queries, Table};
+use cbir_core::build_index;
+use cbir_distance::Measure;
+use cbir_index::SearchStats;
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[1_000, 5_000, 20_000]
+    } else {
+        &[1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000]
+    };
+    const DIM: usize = 16;
+    const K: usize = 10;
+    let n_queries = if quick { 20 } else { 50 };
+
+    println!("F1: k-NN (k={K}) cost vs database size, d={DIM}, clustered workload\n");
+    let mut table = Table::new(&[
+        "N",
+        "index",
+        "dist-comps",
+        "frac-of-scan",
+        "us/query",
+        "speedup-vs-linear",
+    ]);
+
+    for &n in sizes {
+        let dataset = clustered_dataset(n, DIM, 42);
+        let queries = standard_queries(&dataset, n_queries, 7);
+        let mut linear_us = 0.0f64;
+        for kind in index_lineup() {
+            let index = build_index(&kind, dataset.clone(), Measure::L2).expect("build");
+            let mut stats = SearchStats::new();
+            let start = Instant::now();
+            for q in &queries {
+                index.knn_search(q, K, &mut stats);
+            }
+            let elapsed = start.elapsed();
+            let per_query_us = elapsed.as_secs_f64() * 1e6 / queries.len() as f64;
+            let comps = stats.distance_computations as f64 / queries.len() as f64;
+            if kind.name() == "linear" {
+                linear_us = per_query_us;
+            }
+            table.row(vec![
+                n.to_string(),
+                kind.name().to_string(),
+                format!("{comps:.0}"),
+                format!("{:.3}", comps / n as f64),
+                fmt_us(std::time::Duration::from_secs_f64(per_query_us / 1e6)),
+                format!("{:.1}x", linear_us / per_query_us),
+            ]);
+        }
+    }
+    table.print();
+    println!("\nExpected shape: frac-of-scan shrinks with N for every tree index;");
+    println!("speedup over the scan grows with N.");
+}

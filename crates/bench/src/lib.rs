@@ -1,0 +1,156 @@
+//! Shared harness code for the experiment binaries (`exp_*`) and Criterion
+//! benches: aligned table printing, median timing, and the standard
+//! dataset / index / corpus setups every experiment draws from.
+
+use cbir_core::{build_index, IndexKind};
+use cbir_distance::Measure;
+use cbir_index::{Dataset, SearchIndex};
+use std::time::{Duration, Instant};
+
+/// Fixed-width table printer for paper-style result tables.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout with per-column alignment.
+    pub fn print(&self) {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!("{:>width$}", s, width = widths[c]))
+                .collect();
+            println!("  {}", parts.join("  "));
+        };
+        line(&self.headers);
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        line(&rule);
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Median wall-clock time of `iters` runs of `f`.
+pub fn time_median<F: FnMut()>(iters: usize, mut f: F) -> Duration {
+    assert!(iters > 0);
+    let mut times: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Milliseconds with three decimals.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Microseconds with one decimal.
+pub fn fmt_us(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+/// The standard clustered vector dataset used by the index experiments:
+/// points around `n/50` Gaussian centres — the feature-space structure a
+/// class-organized image collection produces.
+pub fn clustered_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+    let clusters = (n / 50).clamp(4, 64);
+    let vecs = cbir_workload::clustered(n, dim, clusters, 1.0, 100.0, seed);
+    Dataset::from_vectors(&vecs).expect("valid workload")
+}
+
+/// Queries matched to [`clustered_dataset`].
+pub fn standard_queries(dataset: &Dataset, n_queries: usize, seed: u64) -> Vec<Vec<f32>> {
+    let data: Vec<Vec<f32>> = (0..dataset.len()).map(|i| dataset.vector(i).to_vec()).collect();
+    cbir_workload::queries(&data, n_queries, 0.5, seed)
+}
+
+/// The index lineup every comparison experiment reports, in table order.
+pub fn index_lineup() -> Vec<IndexKind> {
+    vec![
+        IndexKind::Linear,
+        IndexKind::KdTree,
+        IndexKind::VpTree,
+        IndexKind::Antipole { diameter: None },
+        IndexKind::RStar,
+        IndexKind::MTree,
+    ]
+}
+
+/// Build one of the lineup indexes over a dataset under L2.
+pub fn build_lineup_index(kind: &IndexKind, dataset: Dataset) -> Box<dyn SearchIndex> {
+    build_index(kind, dataset, Measure::L2).expect("lineup indexes support L2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(vec!["only-one".into()])
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn timing_returns_positive() {
+        let d = time_median(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+        assert!(!fmt_ms(d).is_empty());
+        assert!(!fmt_us(d).is_empty());
+    }
+
+    #[test]
+    fn setups_are_deterministic() {
+        let a = clustered_dataset(200, 4, 1);
+        let b = clustered_dataset(200, 4, 1);
+        assert_eq!(a.vector(7), b.vector(7));
+        let qa = standard_queries(&a, 5, 2);
+        let qb = standard_queries(&b, 5, 2);
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn lineup_builds_over_l2() {
+        let ds = clustered_dataset(300, 8, 3);
+        for kind in index_lineup() {
+            let idx = build_lineup_index(&kind, ds.clone());
+            assert_eq!(idx.len(), 300, "{}", kind.name());
+        }
+    }
+}

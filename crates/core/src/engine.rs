@@ -1,0 +1,334 @@
+//! The query engine: an [`ImageDatabase`] snapshot plus one index structure
+//! answering ranked query-by-example, k-NN, and range queries.
+
+use crate::database::ImageDatabase;
+use crate::error::{CoreError, Result};
+use cbir_distance::Measure;
+use cbir_image::RgbImage;
+use cbir_index::{
+    AntipoleTree, Dataset, KdTree, LinearScan, MTree, Neighbor, RStarTree, SearchIndex,
+    SearchStats, VpTree,
+};
+
+/// Which index structure backs the engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IndexKind {
+    /// Sequential scan (baseline; supports every measure).
+    Linear,
+    /// k-d tree (Minkowski measures).
+    KdTree,
+    /// VP-tree (true metrics).
+    VpTree,
+    /// Antipole tree (true metrics); `None` auto-tunes the cluster
+    /// diameter from a data sample.
+    Antipole {
+        /// Cluster diameter threshold, or `None` to auto-tune.
+        diameter: Option<f32>,
+    },
+    /// R\*-tree, STR bulk-loaded (L2 only).
+    RStar,
+    /// M-tree (true metrics).
+    MTree,
+}
+
+impl IndexKind {
+    /// Short name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Linear => "linear",
+            IndexKind::KdTree => "kd-tree",
+            IndexKind::VpTree => "vp-tree",
+            IndexKind::Antipole { .. } => "antipole",
+            IndexKind::RStar => "r*-tree",
+            IndexKind::MTree => "m-tree",
+        }
+    }
+}
+
+/// Build the chosen index over a dataset — shared by the engine and the
+/// benchmark harness.
+pub fn build_index(
+    kind: &IndexKind,
+    dataset: Dataset,
+    measure: Measure,
+) -> Result<Box<dyn SearchIndex>> {
+    Ok(match kind {
+        IndexKind::Linear => Box::new(LinearScan::build(dataset, measure)?),
+        IndexKind::KdTree => Box::new(KdTree::build(dataset, measure)?),
+        IndexKind::VpTree => Box::new(VpTree::build(dataset, measure)?),
+        IndexKind::Antipole { diameter } => {
+            let d = diameter
+                .unwrap_or_else(|| AntipoleTree::suggest_diameter(&dataset, &measure));
+            Box::new(AntipoleTree::build(dataset, measure, d)?)
+        }
+        IndexKind::RStar => {
+            if !matches!(measure, Measure::L2) {
+                return Err(CoreError::InvalidParameter(format!(
+                    "r*-tree engine requires L2, got {}",
+                    measure.name()
+                )));
+            }
+            Box::new(RStarTree::bulk_load(dataset)?)
+        }
+        IndexKind::MTree => Box::new(MTree::build(dataset, measure)?),
+    })
+}
+
+/// One ranked retrieval hit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ranked {
+    /// Image id in the database.
+    pub id: usize,
+    /// External name of the image.
+    pub name: String,
+    /// Class label if the image has one.
+    pub label: Option<u32>,
+    /// Distance from the query under the engine's measure.
+    pub distance: f32,
+}
+
+/// A built query engine (immutable snapshot of the database).
+pub struct QueryEngine {
+    db: ImageDatabase,
+    index: Box<dyn SearchIndex>,
+    measure: Measure,
+    kind: IndexKind,
+}
+
+impl QueryEngine {
+    /// Snapshot `db` and build the chosen index over its descriptors.
+    pub fn build(db: ImageDatabase, kind: IndexKind, measure: Measure) -> Result<Self> {
+        if db.is_empty() {
+            return Err(CoreError::InvalidParameter(
+                "cannot build an engine over an empty database".into(),
+            ));
+        }
+        let dataset = db.to_dataset()?;
+        let index = build_index(&kind, dataset, measure.clone())?;
+        Ok(QueryEngine {
+            db,
+            index,
+            measure,
+            kind,
+        })
+    }
+
+    /// The snapshotted database.
+    pub fn database(&self) -> &ImageDatabase {
+        &self.db
+    }
+
+    /// The similarity measure in use.
+    pub fn measure(&self) -> &Measure {
+        &self.measure
+    }
+
+    /// Which index kind backs the engine.
+    pub fn index_kind(&self) -> &IndexKind {
+        &self.kind
+    }
+
+    /// Structure memory of the underlying index.
+    pub fn index_bytes(&self) -> usize {
+        self.index.structure_bytes()
+    }
+
+    fn rank(&self, hits: Vec<Neighbor>) -> Result<Vec<Ranked>> {
+        hits.into_iter()
+            .map(|n| {
+                let meta = self.db.meta(n.id)?;
+                Ok(Ranked {
+                    id: n.id,
+                    name: meta.name.clone(),
+                    label: meta.label,
+                    distance: n.distance,
+                })
+            })
+            .collect()
+    }
+
+    /// The `k` most similar database images to an external example image.
+    pub fn query_by_example(
+        &self,
+        img: &RgbImage,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<Ranked>> {
+        let desc = self.db.extract(img)?;
+        self.rank(self.index.knn_search(&desc, k, stats))
+    }
+
+    /// The `k` most similar images to database image `id`, excluding `id`
+    /// itself (the usual retrieval convention).
+    pub fn query_by_id(&self, id: usize, k: usize, stats: &mut SearchStats) -> Result<Vec<Ranked>> {
+        let desc: Vec<f32> = self.db.descriptor(id)?.to_vec();
+        // Ask for one extra hit to absorb the query itself.
+        let hits = self.index.knn_search(&desc, k.saturating_add(1), stats);
+        let filtered: Vec<Neighbor> = hits.into_iter().filter(|n| n.id != id).take(k).collect();
+        self.rank(filtered)
+    }
+
+    /// All database images within `radius` of the example image.
+    pub fn range_by_example(
+        &self,
+        img: &RgbImage,
+        radius: f32,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<Ranked>> {
+        let desc = self.db.extract(img)?;
+        self.rank(self.index.range_search(&desc, radius, stats))
+    }
+
+    /// k-NN over a raw descriptor vector (for callers managing their own
+    /// extraction).
+    pub fn query_by_descriptor(
+        &self,
+        descriptor: &[f32],
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<Ranked>> {
+        if descriptor.len() != self.db.dim() {
+            return Err(CoreError::InvalidParameter(format!(
+                "descriptor dim {} does not match database dim {}",
+                descriptor.len(),
+                self.db.dim()
+            )));
+        }
+        self.rank(self.index.knn_search(descriptor, k, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbir_features::{FeatureSpec, Pipeline, Quantizer};
+    use cbir_image::Rgb;
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new(
+            16,
+            vec![FeatureSpec::ColorHistogram(Quantizer::UniformRgb {
+                per_channel: 2,
+            })],
+        )
+        .unwrap()
+    }
+
+    fn flat(r: u8, g: u8, b: u8) -> RgbImage {
+        RgbImage::filled(16, 16, Rgb::new(r, g, b))
+    }
+
+    fn seeded_db() -> ImageDatabase {
+        let mut db = ImageDatabase::new(pipeline());
+        db.insert_labeled("red1", 0, &flat(220, 20, 20)).unwrap();
+        db.insert_labeled("red2", 0, &flat(200, 30, 30)).unwrap();
+        db.insert_labeled("blue1", 1, &flat(20, 20, 220)).unwrap();
+        db.insert_labeled("blue2", 1, &flat(40, 25, 200)).unwrap();
+        db.insert_labeled("green", 2, &flat(20, 220, 20)).unwrap();
+        db
+    }
+
+    #[test]
+    fn query_by_example_ranks_similar_first() {
+        for kind in [
+            IndexKind::Linear,
+            IndexKind::KdTree,
+            IndexKind::VpTree,
+            IndexKind::Antipole { diameter: None },
+            IndexKind::RStar,
+            IndexKind::MTree,
+        ] {
+            let engine = QueryEngine::build(seeded_db(), kind.clone(), Measure::L2).unwrap();
+            let mut stats = SearchStats::new();
+            let hits = engine
+                .query_by_example(&flat(210, 25, 25), 2, &mut stats)
+                .unwrap();
+            assert_eq!(hits.len(), 2, "{}", kind.name());
+            assert!(
+                hits.iter().all(|h| h.label == Some(0)),
+                "{}: {:?}",
+                kind.name(),
+                hits
+            );
+            assert!(stats.distance_computations > 0);
+        }
+    }
+
+    #[test]
+    fn query_by_id_excludes_self() {
+        let engine = QueryEngine::build(seeded_db(), IndexKind::Linear, Measure::L1).unwrap();
+        let mut stats = SearchStats::new();
+        let hits = engine.query_by_id(0, 3, &mut stats).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|h| h.id != 0));
+        assert_eq!(hits[0].name, "red2");
+    }
+
+    #[test]
+    fn range_query_returns_close_matches() {
+        let engine = QueryEngine::build(seeded_db(), IndexKind::VpTree, Measure::L1).unwrap();
+        let mut stats = SearchStats::new();
+        // Radius 0.5 in L1 over normalized histograms: reds only.
+        let hits = engine
+            .range_by_example(&flat(215, 22, 22), 0.5, &mut stats)
+            .unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.label == Some(0)), "{hits:?}");
+    }
+
+    #[test]
+    fn engine_rejects_bad_configs() {
+        assert!(matches!(
+            QueryEngine::build(ImageDatabase::new(pipeline()), IndexKind::Linear, Measure::L2),
+            Err(CoreError::InvalidParameter(_))
+        ));
+        assert!(QueryEngine::build(seeded_db(), IndexKind::RStar, Measure::L1).is_err());
+        assert!(QueryEngine::build(seeded_db(), IndexKind::VpTree, Measure::Cosine).is_err());
+        // Linear accepts non-metrics.
+        assert!(QueryEngine::build(seeded_db(), IndexKind::Linear, Measure::ChiSquare).is_ok());
+    }
+
+    #[test]
+    fn query_by_descriptor_validates_dim() {
+        let engine = QueryEngine::build(seeded_db(), IndexKind::Linear, Measure::L2).unwrap();
+        let mut stats = SearchStats::new();
+        assert!(engine
+            .query_by_descriptor(&[0.0; 3], 1, &mut stats)
+            .is_err());
+        let d: Vec<f32> = engine.database().descriptor(2).unwrap().to_vec();
+        let hits = engine.query_by_descriptor(&d, 1, &mut stats).unwrap();
+        assert_eq!(hits[0].id, 2);
+        assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn all_index_kinds_agree() {
+        let query = flat(35, 28, 205);
+        let reference = {
+            let engine =
+                QueryEngine::build(seeded_db(), IndexKind::Linear, Measure::L2).unwrap();
+            let mut stats = SearchStats::new();
+            engine.query_by_example(&query, 4, &mut stats).unwrap()
+        };
+        for kind in [
+            IndexKind::KdTree,
+            IndexKind::VpTree,
+            IndexKind::Antipole { diameter: Some(0.2) },
+            IndexKind::RStar,
+            IndexKind::MTree,
+        ] {
+            let engine = QueryEngine::build(seeded_db(), kind.clone(), Measure::L2).unwrap();
+            let mut stats = SearchStats::new();
+            let hits = engine.query_by_example(&query, 4, &mut stats).unwrap();
+            assert_eq!(hits, reference, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn index_kind_names() {
+        assert_eq!(IndexKind::Linear.name(), "linear");
+        assert_eq!(IndexKind::Antipole { diameter: None }.name(), "antipole");
+        assert_eq!(IndexKind::RStar.name(), "r*-tree");
+        assert_eq!(IndexKind::MTree.name(), "m-tree");
+    }
+}

@@ -1,0 +1,89 @@
+//! Unified error type for the CBIR engine.
+
+use std::fmt;
+
+/// Errors from the engine layer or any substrate beneath it.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Feature extraction failed.
+    Feature(cbir_features::FeatureError),
+    /// Index construction or querying failed.
+    Index(cbir_index::IndexError),
+    /// Imaging failed.
+    Image(cbir_image::ImageError),
+    /// Persistence format violation.
+    Persist(String),
+    /// A parameter is outside its valid domain.
+    InvalidParameter(String),
+    /// A referenced image id does not exist.
+    NotFound(usize),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Feature(e) => write!(f, "feature extraction: {e}"),
+            CoreError::Index(e) => write!(f, "index: {e}"),
+            CoreError::Image(e) => write!(f, "image: {e}"),
+            CoreError::Persist(msg) => write!(f, "persistence: {msg}"),
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CoreError::NotFound(id) => write!(f, "image id {id} not found"),
+            CoreError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Feature(e) => Some(e),
+            CoreError::Index(e) => Some(e),
+            CoreError::Image(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cbir_features::FeatureError> for CoreError {
+    fn from(e: cbir_features::FeatureError) -> Self {
+        CoreError::Feature(e)
+    }
+}
+
+impl From<cbir_index::IndexError> for CoreError {
+    fn from(e: cbir_index::IndexError) -> Self {
+        CoreError::Index(e)
+    }
+}
+
+impl From<cbir_image::ImageError> for CoreError {
+    fn from(e: cbir_image::ImageError) -> Self {
+        CoreError::Image(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CoreError = cbir_image::ImageError::Decode("bad".into()).into();
+        assert!(e.to_string().contains("bad"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CoreError::NotFound(9).to_string().contains('9'));
+        assert!(CoreError::Persist("magic".into()).to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Retrieval-effectiveness metrics: precision@k, recall@k, average
+//! precision, mean average precision, and interpolated precision-recall
+//! curves.
+
+use std::collections::HashSet;
+
+/// Fraction of the top `k` results that are relevant. If fewer than `k`
+/// results were returned, the denominator is still `k` (missing results
+/// count as misses), matching the standard trec-style definition.
+pub fn precision_at_k(results: &[usize], relevant: &HashSet<usize>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = results
+        .iter()
+        .take(k)
+        .filter(|id| relevant.contains(id))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Fraction of all relevant items found in the top `k`.
+pub fn recall_at_k(results: &[usize], relevant: &HashSet<usize>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = results
+        .iter()
+        .take(k)
+        .filter(|id| relevant.contains(id))
+        .count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Average precision: mean of precision@rank over the ranks where a
+/// relevant item appears, divided by the total number of relevant items
+/// (uninterpolated AP).
+pub fn average_precision(results: &[usize], relevant: &HashSet<usize>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0f64;
+    for (rank, id) in results.iter().enumerate() {
+        if relevant.contains(id) {
+            hits += 1;
+            sum += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Mean of a per-query metric over a query set.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// R-precision: precision at rank `R` where `R` is the number of relevant
+/// items — a single-number summary that self-adapts to class size.
+pub fn r_precision(results: &[usize], relevant: &HashSet<usize>) -> f64 {
+    precision_at_k(results, relevant, relevant.len())
+}
+
+/// Normalized discounted cumulative gain at `k` with binary relevance:
+/// `DCG@k / IDCG@k`, where a relevant item at rank `i` (1-based) gains
+/// `1 / log2(i + 1)`. Rewards placing relevant items early more smoothly
+/// than precision@k.
+pub fn ndcg_at_k(results: &[usize], relevant: &HashSet<usize>, k: usize) -> f64 {
+    if relevant.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let dcg: f64 = results
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, id)| relevant.contains(id))
+        .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    let ideal: f64 = (0..relevant.len().min(k))
+        .map(|i| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    dcg / ideal
+}
+
+/// A precision-recall curve: one `(recall, precision)` point per rank.
+pub fn pr_curve(results: &[usize], relevant: &HashSet<usize>) -> Vec<(f64, f64)> {
+    if relevant.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(results.len());
+    let mut hits = 0usize;
+    for (rank, id) in results.iter().enumerate() {
+        if relevant.contains(id) {
+            hits += 1;
+        }
+        out.push((
+            hits as f64 / relevant.len() as f64,
+            hits as f64 / (rank + 1) as f64,
+        ));
+    }
+    out
+}
+
+/// Eleven-point interpolated precision: max precision at recall ≥ each of
+/// `0.0, 0.1, ..., 1.0` — the classical summary plot of the retrieval
+/// literature.
+pub fn eleven_point_precision(results: &[usize], relevant: &HashSet<usize>) -> [f64; 11] {
+    let curve = pr_curve(results, relevant);
+    let mut out = [0.0f64; 11];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let level = i as f64 / 10.0;
+        *slot = curve
+            .iter()
+            .filter(|(r, _)| *r >= level - 1e-12)
+            .map(|(_, p)| *p)
+            .fold(0.0, f64::max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(ids: &[usize]) -> HashSet<usize> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn precision_basics() {
+        let results = [1, 9, 2, 8, 3];
+        let relevant = rel(&[1, 2, 3]);
+        assert_eq!(precision_at_k(&results, &relevant, 1), 1.0);
+        assert_eq!(precision_at_k(&results, &relevant, 2), 0.5);
+        assert_eq!(precision_at_k(&results, &relevant, 5), 0.6);
+        assert_eq!(precision_at_k(&results, &relevant, 0), 0.0);
+        // k beyond result length: misses count against precision.
+        assert_eq!(precision_at_k(&results, &relevant, 10), 0.3);
+    }
+
+    #[test]
+    fn recall_basics() {
+        let results = [1, 9, 2];
+        let relevant = rel(&[1, 2, 3]);
+        assert!((recall_at_k(&results, &relevant, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall_at_k(&results, &relevant, 1), 1.0 / 3.0);
+        assert_eq!(recall_at_k(&results, &rel(&[]), 3), 0.0);
+    }
+
+    #[test]
+    fn average_precision_known_value() {
+        // Relevant at ranks 1, 3, 5 out of 3 relevant total:
+        // AP = (1/1 + 2/3 + 3/5) / 3.
+        let results = [10, 99, 11, 98, 12];
+        let relevant = rel(&[10, 11, 12]);
+        let expected = (1.0 + 2.0 / 3.0 + 3.0 / 5.0) / 3.0;
+        assert!((average_precision(&results, &relevant) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_empty_rankings() {
+        let relevant = rel(&[1, 2]);
+        assert_eq!(average_precision(&[1, 2, 3], &relevant), 1.0);
+        assert_eq!(average_precision(&[], &relevant), 0.0);
+        assert_eq!(average_precision(&[5, 6], &relevant), 0.0);
+        assert_eq!(average_precision(&[1], &rel(&[])), 0.0);
+        // Relevant item never retrieved halves AP.
+        assert_eq!(average_precision(&[1, 7, 8], &relevant), 0.5);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn r_precision_adapts_to_class_size() {
+        let relevant = rel(&[1, 2, 3]);
+        // R = 3: precision over the first 3 ranks.
+        assert!((r_precision(&[1, 9, 2, 3], &relevant) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r_precision(&[1, 2, 3], &relevant), 1.0);
+        assert_eq!(r_precision(&[9, 8, 7], &relevant), 0.0);
+        assert_eq!(r_precision(&[1], &rel(&[])), 0.0);
+    }
+
+    #[test]
+    fn ndcg_known_values() {
+        let relevant = rel(&[1, 2]);
+        // Perfect ranking: nDCG = 1.
+        assert!((ndcg_at_k(&[1, 2, 9], &relevant, 3) - 1.0).abs() < 1e-12);
+        // Relevant items at ranks 1 and 3:
+        // DCG = 1/log2(2) + 1/log2(4) = 1 + 0.5; IDCG = 1 + 1/log2(3).
+        let expected = 1.5 / (1.0 + 1.0 / 3.0f64.log2());
+        assert!((ndcg_at_k(&[1, 9, 2], &relevant, 3) - expected).abs() < 1e-12);
+        // Nothing relevant retrieved.
+        assert_eq!(ndcg_at_k(&[8, 9], &relevant, 2), 0.0);
+        assert_eq!(ndcg_at_k(&[1], &rel(&[]), 1), 0.0);
+        assert_eq!(ndcg_at_k(&[1], &relevant, 0), 0.0);
+    }
+
+    #[test]
+    fn ndcg_rewards_earlier_placement() {
+        let relevant = rel(&[5]);
+        let early = ndcg_at_k(&[5, 1, 2, 3], &relevant, 4);
+        let late = ndcg_at_k(&[1, 2, 3, 5], &relevant, 4);
+        assert!(early > late);
+        assert_eq!(early, 1.0);
+    }
+
+    #[test]
+    fn pr_curve_shape() {
+        let results = [1, 9, 2];
+        let relevant = rel(&[1, 2]);
+        let curve = pr_curve(&results, &relevant);
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0], (0.5, 1.0));
+        assert_eq!(curve[1], (0.5, 0.5));
+        assert_eq!(curve[2], (1.0, 2.0 / 3.0));
+        // Recall is non-decreasing.
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert!(pr_curve(&results, &rel(&[])).is_empty());
+    }
+
+    #[test]
+    fn eleven_point_is_monotone_nonincreasing() {
+        let results = [1, 9, 2, 8, 3, 7, 4];
+        let relevant = rel(&[1, 2, 3, 4]);
+        let pts = eleven_point_precision(&results, &relevant);
+        assert_eq!(pts[0], 1.0); // max precision at recall >= 0
+        for w in pts.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "{pts:?}");
+        }
+        // Full recall achieved at rank 7 -> precision 4/7 there.
+        assert!((pts[10] - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eleven_point_zero_when_nothing_found() {
+        let pts = eleven_point_precision(&[5, 6], &rel(&[1]));
+        assert!(pts.iter().all(|&p| p == 0.0));
+    }
+}

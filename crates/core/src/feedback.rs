@@ -1,0 +1,214 @@
+//! Relevance feedback: Rocchio query refinement.
+//!
+//! After an initial retrieval the user marks results relevant or not; the
+//! query vector is moved toward the centroid of the relevant examples and
+//! away from the non-relevant ones:
+//!
+//! `q' = α·q + β·mean(R) − γ·mean(N)`, clamped at zero (histogram
+//! components cannot go negative).
+//!
+//! This was the standard interaction loop of the early retrieval systems —
+//! a cheap way to let perception correct the feature space.
+
+use crate::database::ImageDatabase;
+use crate::error::{CoreError, Result};
+
+/// Rocchio mixing weights.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RocchioParams {
+    /// Weight of the original query.
+    pub alpha: f32,
+    /// Weight of the relevant centroid.
+    pub beta: f32,
+    /// Weight of the non-relevant centroid (subtracted).
+    pub gamma: f32,
+}
+
+impl Default for RocchioParams {
+    /// The classical `(1.0, 0.75, 0.25)` setting.
+    fn default() -> Self {
+        RocchioParams {
+            alpha: 1.0,
+            beta: 0.75,
+            gamma: 0.25,
+        }
+    }
+}
+
+impl RocchioParams {
+    fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("alpha", self.alpha),
+            ("beta", self.beta),
+            ("gamma", self.gamma),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(CoreError::InvalidParameter(format!(
+                    "rocchio {name} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mean of a set of equal-length vectors; `None` when empty.
+fn centroid(vectors: &[&[f32]]) -> Option<Vec<f32>> {
+    let first = vectors.first()?;
+    let mut acc = vec![0.0f32; first.len()];
+    for v in vectors {
+        assert_eq!(v.len(), acc.len(), "feedback vectors disagree in dim");
+        for (a, x) in acc.iter_mut().zip(*v) {
+            *a += x;
+        }
+    }
+    let n = vectors.len() as f32;
+    for a in &mut acc {
+        *a /= n;
+    }
+    Some(acc)
+}
+
+/// Refine a raw query descriptor against explicit relevant / non-relevant
+/// example descriptors. Components are clamped at zero.
+pub fn refine_query(
+    original: &[f32],
+    relevant: &[&[f32]],
+    non_relevant: &[&[f32]],
+    params: &RocchioParams,
+) -> Result<Vec<f32>> {
+    params.validate()?;
+    if original.is_empty() {
+        return Err(CoreError::InvalidParameter(
+            "cannot refine an empty query".into(),
+        ));
+    }
+    for v in relevant.iter().chain(non_relevant) {
+        if v.len() != original.len() {
+            return Err(CoreError::InvalidParameter(format!(
+                "feedback vector dim {} does not match query dim {}",
+                v.len(),
+                original.len()
+            )));
+        }
+    }
+    let rel = centroid(relevant);
+    let non = centroid(non_relevant);
+    let mut out = Vec::with_capacity(original.len());
+    for i in 0..original.len() {
+        let mut v = params.alpha * original[i];
+        if let Some(r) = &rel {
+            v += params.beta * r[i];
+        }
+        if let Some(n) = &non {
+            v -= params.gamma * n[i];
+        }
+        out.push(v.max(0.0));
+    }
+    Ok(out)
+}
+
+/// Refine a query against database image ids marked by the user.
+pub fn refine_query_by_ids(
+    db: &ImageDatabase,
+    original: &[f32],
+    relevant_ids: &[usize],
+    non_relevant_ids: &[usize],
+    params: &RocchioParams,
+) -> Result<Vec<f32>> {
+    let relevant: Vec<&[f32]> = relevant_ids
+        .iter()
+        .map(|&id| db.descriptor(id))
+        .collect::<Result<_>>()?;
+    let non_relevant: Vec<&[f32]> = non_relevant_ids
+        .iter()
+        .map(|&id| db.descriptor(id))
+        .collect::<Result<_>>()?;
+    refine_query(original, &relevant, &non_relevant, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbir_distance::l2;
+
+    const P: RocchioParams = RocchioParams {
+        alpha: 1.0,
+        beta: 0.75,
+        gamma: 0.25,
+    };
+
+    #[test]
+    fn no_feedback_scales_by_alpha() {
+        let q = [0.5f32, 0.5];
+        let out = refine_query(&q, &[], &[], &P).unwrap();
+        assert_eq!(out, vec![0.5, 0.5]);
+        let double = refine_query(
+            &q,
+            &[],
+            &[],
+            &RocchioParams {
+                alpha: 2.0,
+                beta: 0.0,
+                gamma: 0.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(double, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn moves_toward_relevant_centroid() {
+        let q = [1.0f32, 0.0];
+        let r1 = [0.0f32, 1.0];
+        let r2 = [0.2f32, 0.8];
+        let refined = refine_query(&q, &[&r1, &r2], &[], &P).unwrap();
+        let target = [0.1f32, 0.9]; // relevant centroid
+        assert!(l2(&refined, &target) < l2(&q, &target));
+        // Known value: q' = 1.0*q + 0.75*centroid.
+        assert!((refined[0] - (1.0 + 0.75 * 0.1)).abs() < 1e-6);
+        assert!((refined[1] - 0.75 * 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moves_away_from_non_relevant() {
+        let q = [0.5f32, 0.5];
+        let bad = [1.0f32, 0.0];
+        let refined = refine_query(&q, &[], &[&bad], &P).unwrap();
+        // First component shrinks, second unchanged.
+        assert!(refined[0] < q[0]);
+        assert_eq!(refined[1], q[1]);
+    }
+
+    #[test]
+    fn components_clamp_at_zero() {
+        let q = [0.1f32, 0.1];
+        let bad = [5.0f32, 0.0];
+        let refined = refine_query(&q, &[], &[&bad], &P).unwrap();
+        assert_eq!(refined[0], 0.0);
+        assert!(refined[1] > 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        let q = [0.5f32];
+        assert!(refine_query(&[], &[], &[], &P).is_err());
+        assert!(refine_query(&q, &[&[0.1, 0.2][..]], &[], &P).is_err()); // dim mismatch
+        let bad = RocchioParams {
+            alpha: -1.0,
+            ..RocchioParams::default()
+        };
+        assert!(refine_query(&q, &[], &[], &bad).is_err());
+        let nan = RocchioParams {
+            beta: f32::NAN,
+            ..RocchioParams::default()
+        };
+        assert!(refine_query(&q, &[], &[], &nan).is_err());
+    }
+
+    #[test]
+    fn default_params_are_the_classical_setting() {
+        let d = RocchioParams::default();
+        assert_eq!((d.alpha, d.beta, d.gamma), (1.0, 0.75, 0.25));
+    }
+}

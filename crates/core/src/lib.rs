@@ -1,0 +1,41 @@
+//! # `cbir-core` — the content-based image indexing engine
+//!
+//! The paper's system assembled from its substrates: an [`ImageDatabase`]
+//! extracts one composite feature signature per inserted image (via a
+//! `cbir-features` pipeline); a [`QueryEngine`] snapshots the database,
+//! builds one of the `cbir-index` structures over the signatures, and
+//! answers ranked query-by-example, k-NN, and range queries; the [`eval`]
+//! module scores rankings against ground truth; and [`persist`] stores a
+//! signature database in a compact binary format.
+//!
+//! ```
+//! use cbir_core::{ImageDatabase, QueryEngine, IndexKind};
+//! use cbir_features::Pipeline;
+//! use cbir_distance::Measure;
+//! use cbir_image::{RgbImage, Rgb};
+//! use cbir_index::SearchStats;
+//!
+//! let mut db = ImageDatabase::new(Pipeline::color_histogram_default());
+//! db.insert("red", &RgbImage::filled(32, 32, Rgb::new(220, 30, 30))).unwrap();
+//! db.insert("blue", &RgbImage::filled(32, 32, Rgb::new(30, 30, 220))).unwrap();
+//! let engine = QueryEngine::build(db, IndexKind::VpTree, Measure::L1).unwrap();
+//! let mut stats = SearchStats::new();
+//! let hits = engine
+//!     .query_by_example(&RgbImage::filled(32, 32, Rgb::new(200, 40, 40)), 1, &mut stats)
+//!     .unwrap();
+//! assert_eq!(hits[0].name, "red");
+//! ```
+
+#![warn(missing_docs)]
+
+mod database;
+mod engine;
+mod error;
+pub mod feedback;
+pub mod eval;
+pub mod persist;
+
+pub use database::{BatchItem, ImageDatabase, ImageMeta};
+pub use engine::{build_index, IndexKind, QueryEngine, Ranked};
+pub use error::{CoreError, Result};
+pub use feedback::{refine_query, refine_query_by_ids, RocchioParams};

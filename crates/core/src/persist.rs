@@ -1,0 +1,502 @@
+//! Binary persistence for signature databases.
+//!
+//! A hand-rolled length-prefixed little-endian format (no serde): the
+//! pipeline configuration is stored alongside the descriptor matrix so a
+//! loaded database extracts query descriptors exactly as the saved one did.
+//! Format magic: `CBIRDB01`.
+
+use crate::database::{ImageDatabase, ImageMeta};
+use crate::error::{CoreError, Result};
+use cbir_features::{FeatureSpec, Pipeline, Quantizer};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"CBIRDB01";
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let slice = self
+            .bytes
+            .get(self.at..self.at + n)
+            .ok_or_else(|| CoreError::Persist("unexpected end of data".into()))?;
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        if n > 1 << 20 {
+            return Err(CoreError::Persist(format!("string length {n} implausible")));
+        }
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| CoreError::Persist("invalid UTF-8 in name".into()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+fn write_quantizer(w: &mut Writer, q: &Quantizer) {
+    match *q {
+        Quantizer::Gray { bins } => {
+            w.u8(0);
+            w.u32(bins);
+        }
+        Quantizer::UniformRgb { per_channel } => {
+            w.u8(1);
+            w.u32(per_channel);
+        }
+        Quantizer::Hsv { hue, sat, val } => {
+            w.u8(2);
+            w.u32(hue);
+            w.u32(sat);
+            w.u32(val);
+        }
+        Quantizer::Lab { l, a, b } => {
+            w.u8(3);
+            w.u32(l);
+            w.u32(a);
+            w.u32(b);
+        }
+    }
+}
+
+fn read_quantizer(r: &mut Reader) -> Result<Quantizer> {
+    Ok(match r.u8()? {
+        0 => Quantizer::Gray { bins: r.u32()? },
+        1 => Quantizer::UniformRgb {
+            per_channel: r.u32()?,
+        },
+        2 => Quantizer::Hsv {
+            hue: r.u32()?,
+            sat: r.u32()?,
+            val: r.u32()?,
+        },
+        3 => Quantizer::Lab {
+            l: r.u32()?,
+            a: r.u32()?,
+            b: r.u32()?,
+        },
+        t => return Err(CoreError::Persist(format!("unknown quantizer tag {t}"))),
+    })
+}
+
+fn write_spec(w: &mut Writer, s: &FeatureSpec) {
+    match s {
+        FeatureSpec::ColorHistogram(q) => {
+            w.u8(0);
+            write_quantizer(w, q);
+        }
+        FeatureSpec::ColorMoments => w.u8(1),
+        FeatureSpec::Correlogram {
+            quantizer,
+            distances,
+        } => {
+            w.u8(2);
+            write_quantizer(w, quantizer);
+            w.u32(distances.len() as u32);
+            for &d in distances {
+                w.u32(d);
+            }
+        }
+        FeatureSpec::Glcm { levels } => {
+            w.u8(3);
+            w.u32(*levels as u32);
+        }
+        FeatureSpec::Tamura => w.u8(4),
+        FeatureSpec::Wavelet { levels } => {
+            w.u8(5);
+            w.u32(*levels);
+        }
+        FeatureSpec::EdgeOrientation { bins } => {
+            w.u8(6);
+            w.u32(*bins as u32);
+        }
+        FeatureSpec::EdgeDensityGrid { grid, threshold } => {
+            w.u8(7);
+            w.u32(*grid);
+            w.f32(*threshold);
+        }
+        FeatureSpec::HuMoments => w.u8(8),
+        FeatureSpec::ShapeSummary => w.u8(9),
+        FeatureSpec::DtHistogram { bins } => {
+            w.u8(10);
+            w.u32(*bins as u32);
+        }
+        FeatureSpec::RegionShape => w.u8(11),
+    }
+}
+
+fn read_spec(r: &mut Reader) -> Result<FeatureSpec> {
+    Ok(match r.u8()? {
+        0 => FeatureSpec::ColorHistogram(read_quantizer(r)?),
+        1 => FeatureSpec::ColorMoments,
+        2 => {
+            let quantizer = read_quantizer(r)?;
+            let n = r.u32()? as usize;
+            if n > 1024 {
+                return Err(CoreError::Persist("implausible distance count".into()));
+            }
+            let mut distances = Vec::with_capacity(n);
+            for _ in 0..n {
+                distances.push(r.u32()?);
+            }
+            FeatureSpec::Correlogram {
+                quantizer,
+                distances,
+            }
+        }
+        3 => FeatureSpec::Glcm {
+            levels: r.u32()? as usize,
+        },
+        4 => FeatureSpec::Tamura,
+        5 => FeatureSpec::Wavelet { levels: r.u32()? },
+        6 => FeatureSpec::EdgeOrientation {
+            bins: r.u32()? as usize,
+        },
+        7 => FeatureSpec::EdgeDensityGrid {
+            grid: r.u32()?,
+            threshold: r.f32()?,
+        },
+        8 => FeatureSpec::HuMoments,
+        9 => FeatureSpec::ShapeSummary,
+        10 => FeatureSpec::DtHistogram {
+            bins: r.u32()? as usize,
+        },
+        11 => FeatureSpec::RegionShape,
+        t => return Err(CoreError::Persist(format!("unknown spec tag {t}"))),
+    })
+}
+
+/// Serialize a database (pipeline + descriptors + metadata) to bytes.
+pub fn save_to_vec(db: &ImageDatabase) -> Result<Vec<u8>> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.u8(db.is_balanced() as u8);
+    w.u32(db.pipeline().canonical_size());
+    let specs = db.pipeline().specs();
+    w.u32(specs.len() as u32);
+    for s in specs {
+        write_spec(&mut w, s);
+    }
+    w.u64(db.len() as u64);
+    w.u32(db.dim() as u32);
+    for i in 0..db.len() {
+        for &v in db.descriptor(i)? {
+            w.f32(v);
+        }
+    }
+    for m in db.metas() {
+        w.str(&m.name);
+        match m.label {
+            Some(l) => {
+                w.u8(1);
+                w.u32(l);
+            }
+            None => w.u8(0),
+        }
+    }
+    Ok(w.buf)
+}
+
+/// Deserialize a database saved with [`save_to_vec`].
+pub fn load_from_slice(bytes: &[u8]) -> Result<ImageDatabase> {
+    let mut r = Reader::new(bytes);
+    if r.take(8)? != MAGIC {
+        return Err(CoreError::Persist("bad magic (not a CBIRDB01 file)".into()));
+    }
+    let balanced = r.u8()? != 0;
+    let canonical = r.u32()?;
+    let n_specs = r.u32()? as usize;
+    if n_specs == 0 || n_specs > 256 {
+        return Err(CoreError::Persist(format!("implausible spec count {n_specs}")));
+    }
+    let mut specs = Vec::with_capacity(n_specs);
+    for _ in 0..n_specs {
+        specs.push(read_spec(&mut r)?);
+    }
+    let pipeline = Pipeline::new(canonical, specs)?;
+    let mut db = if balanced {
+        ImageDatabase::new(pipeline)
+    } else {
+        ImageDatabase::with_raw_extraction(pipeline)
+    };
+    let n = r.u64()? as usize;
+    let dim = r.u32()? as usize;
+    if dim != db.dim() {
+        return Err(CoreError::Persist(format!(
+            "stored dim {dim} disagrees with pipeline dim {}",
+            db.dim()
+        )));
+    }
+    // Validate the claimed count against the bytes actually present before
+    // allocating: a corrupt header must produce an error, not a
+    // capacity-overflow abort.
+    let descriptor_bytes = n
+        .checked_mul(dim)
+        .and_then(|c| c.checked_mul(4))
+        .ok_or_else(|| CoreError::Persist(format!("image count {n} overflows")))?;
+    if descriptor_bytes > r.remaining() {
+        return Err(CoreError::Persist(format!(
+            "header claims {n} descriptors ({descriptor_bytes} bytes) but only {} bytes remain",
+            r.remaining()
+        )));
+    }
+    let mut descriptors = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut d = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            d.push(r.f32()?);
+        }
+        descriptors.push(d);
+    }
+    for d in descriptors {
+        let name = r.str()?;
+        let label = if r.u8()? != 0 { Some(r.u32()?) } else { None };
+        db.insert_descriptor(ImageMeta { name, label }, d)?;
+    }
+    if !r.done() {
+        return Err(CoreError::Persist("trailing bytes after database".into()));
+    }
+    Ok(db)
+}
+
+/// Save a database to a file.
+pub fn save_file(db: &ImageDatabase, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, save_to_vec(db)?)?;
+    Ok(())
+}
+
+/// Load a database from a file.
+pub fn load_file(path: impl AsRef<Path>) -> Result<ImageDatabase> {
+    let bytes = std::fs::read(path)?;
+    load_from_slice(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbir_image::{Rgb, RgbImage};
+
+    fn full_pipeline() -> Pipeline {
+        Pipeline::new(
+            32,
+            vec![
+                FeatureSpec::ColorHistogram(Quantizer::hsv_default()),
+                FeatureSpec::ColorMoments,
+                FeatureSpec::Correlogram {
+                    quantizer: Quantizer::rgb_compact(),
+                    distances: vec![1, 3],
+                },
+                FeatureSpec::Glcm { levels: 8 },
+                FeatureSpec::Tamura,
+                FeatureSpec::Wavelet { levels: 2 },
+                FeatureSpec::EdgeOrientation { bins: 8 },
+                FeatureSpec::EdgeDensityGrid {
+                    grid: 2,
+                    threshold: 10.0,
+                },
+                FeatureSpec::HuMoments,
+                FeatureSpec::ShapeSummary,
+                FeatureSpec::DtHistogram { bins: 8 },
+                FeatureSpec::RegionShape,
+            ],
+        )
+        .unwrap()
+    }
+
+    fn populated_db() -> ImageDatabase {
+        let mut db = ImageDatabase::new(full_pipeline());
+        for (i, color) in [(0u32, Rgb::new(200, 30, 30)), (1, Rgb::new(30, 30, 200))]
+            .into_iter()
+            .enumerate()
+        {
+            let img = RgbImage::from_fn(24, 24, |x, y| {
+                if (x + y) % 3 == 0 {
+                    color.1
+                } else {
+                    Rgb::new(240, 240, 240)
+                }
+            });
+            if i == 0 {
+                db.insert_labeled("first.ppm", color.0, &img).unwrap();
+            } else {
+                db.insert("second.ppm", &img).unwrap();
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = populated_db();
+        let bytes = save_to_vec(&db).unwrap();
+        let loaded = load_from_slice(&bytes).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        assert_eq!(loaded.dim(), db.dim());
+        assert_eq!(loaded.is_balanced(), db.is_balanced());
+        assert_eq!(loaded.pipeline().specs(), db.pipeline().specs());
+        assert_eq!(
+            loaded.pipeline().canonical_size(),
+            db.pipeline().canonical_size()
+        );
+        for i in 0..db.len() {
+            assert_eq!(loaded.descriptor(i).unwrap(), db.descriptor(i).unwrap());
+            assert_eq!(loaded.meta(i).unwrap(), db.meta(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn roundtrip_raw_extraction_flag() {
+        let mut db = ImageDatabase::with_raw_extraction(full_pipeline());
+        db.insert("x", &RgbImage::filled(16, 16, Rgb::new(1, 2, 3)))
+            .unwrap();
+        let loaded = load_from_slice(&save_to_vec(&db).unwrap()).unwrap();
+        assert!(!loaded.is_balanced());
+    }
+
+    #[test]
+    fn corrupted_data_is_rejected() {
+        let db = populated_db();
+        let bytes = save_to_vec(&db).unwrap();
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            load_from_slice(&bad),
+            Err(CoreError::Persist(_))
+        ));
+
+        // Truncated.
+        assert!(load_from_slice(&bytes[..bytes.len() - 3]).is_err());
+        assert!(load_from_slice(&bytes[..20]).is_err());
+        assert!(load_from_slice(b"").is_err());
+
+        // Trailing garbage.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(load_from_slice(&extended).is_err());
+    }
+
+    #[test]
+    fn implausible_image_count_is_an_error_not_an_abort() {
+        let db = populated_db();
+        let mut bytes = save_to_vec(&db).unwrap();
+        // Locate the n_images u64 (value = db.len()) followed by dim u32.
+        let needle: Vec<u8> = (db.len() as u64)
+            .to_le_bytes()
+            .iter()
+            .chain((db.dim() as u32).to_le_bytes().iter())
+            .copied()
+            .collect();
+        let pos = bytes
+            .windows(12)
+            .position(|w| w == &needle[..])
+            .expect("count field present");
+        bytes[pos..pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            load_from_slice(&bytes),
+            Err(CoreError::Persist(_))
+        ));
+        // A merely-too-large (non-overflowing) count also errors cleanly.
+        bytes[pos..pos + 8].copy_from_slice(&10_000u64.to_le_bytes());
+        assert!(matches!(
+            load_from_slice(&bytes),
+            Err(CoreError::Persist(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = populated_db();
+        let dir = std::env::temp_dir().join("cbir_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.cbir");
+        save_file(&db, &path).unwrap();
+        let loaded = load_file(&path).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_database_extracts_identically() {
+        let db = populated_db();
+        let loaded = load_from_slice(&save_to_vec(&db).unwrap()).unwrap();
+        let img = RgbImage::from_fn(20, 20, |x, _| Rgb::new((x * 12) as u8, 100, 50));
+        assert_eq!(db.extract(&img).unwrap(), loaded.extract(&img).unwrap());
+    }
+
+    #[test]
+    fn empty_database_roundtrips() {
+        let db = ImageDatabase::new(full_pipeline());
+        let loaded = load_from_slice(&save_to_vec(&db).unwrap()).unwrap();
+        assert_eq!(loaded.len(), 0);
+    }
+}

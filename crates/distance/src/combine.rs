@@ -1,0 +1,232 @@
+//! Weighted combination of measures over segments of a composite feature
+//! vector — how a CBIR engine mixes color, texture, and shape evidence into
+//! one ranking score.
+
+use crate::metric::Measure;
+
+/// One segment of a composite feature vector: a half-open range of
+/// components, the measure to apply there, and a mixing weight.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// Start offset (inclusive) into the composite vector.
+    pub start: usize,
+    /// End offset (exclusive).
+    pub end: usize,
+    /// Measure evaluated on this segment.
+    pub measure: Measure,
+    /// Non-negative mixing weight.
+    pub weight: f32,
+}
+
+/// Errors building a [`CombinedMeasure`].
+#[derive(Debug, PartialEq)]
+pub enum CombineError {
+    /// A segment has `start >= end`.
+    EmptySegment(usize),
+    /// A segment's weight is negative or non-finite.
+    BadWeight(usize),
+    /// No segments supplied.
+    NoComponents,
+}
+
+impl std::fmt::Display for CombineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CombineError::EmptySegment(i) => write!(f, "component {i} selects an empty range"),
+            CombineError::BadWeight(i) => write!(f, "component {i} has an invalid weight"),
+            CombineError::NoComponents => write!(f, "combined measure needs >= 1 component"),
+        }
+    }
+}
+
+impl std::error::Error for CombineError {}
+
+/// A weighted sum of per-segment distances:
+/// `d(a, b) = Σ wᵢ · mᵢ(a[rᵢ], b[rᵢ])`.
+#[derive(Clone, Debug)]
+pub struct CombinedMeasure {
+    components: Vec<Component>,
+}
+
+impl CombinedMeasure {
+    /// Validate and build.
+    pub fn new(components: Vec<Component>) -> Result<Self, CombineError> {
+        if components.is_empty() {
+            return Err(CombineError::NoComponents);
+        }
+        for (i, c) in components.iter().enumerate() {
+            if c.start >= c.end {
+                return Err(CombineError::EmptySegment(i));
+            }
+            if c.weight.is_nan() || c.weight < 0.0 || !c.weight.is_finite() {
+                return Err(CombineError::BadWeight(i));
+            }
+        }
+        Ok(CombinedMeasure { components })
+    }
+
+    /// The configured segments.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Minimum vector length these components require.
+    pub fn required_dim(&self) -> usize {
+        self.components.iter().map(|c| c.end).max().unwrap_or(0)
+    }
+
+    /// Evaluate the combined distance.
+    ///
+    /// # Panics
+    /// Panics if either vector is shorter than [`Self::required_dim`].
+    pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        let need = self.required_dim();
+        assert!(
+            a.len() >= need && b.len() >= need,
+            "combined measure needs dim >= {need}, got {} and {}",
+            a.len(),
+            b.len()
+        );
+        self.components
+            .iter()
+            .map(|c| c.weight * c.measure.distance(&a[c.start..c.end], &b[c.start..c.end]))
+            .sum()
+    }
+}
+
+impl crate::metric::Metric<[f32]> for CombinedMeasure {
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        CombinedMeasure::distance(self, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_part() -> CombinedMeasure {
+        CombinedMeasure::new(vec![
+            Component {
+                start: 0,
+                end: 2,
+                measure: Measure::L1,
+                weight: 1.0,
+            },
+            Component {
+                start: 2,
+                end: 4,
+                measure: Measure::L2,
+                weight: 2.0,
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn combines_segments_with_weights() {
+        let m = two_part();
+        let a = [0.0f32, 0.0, 0.0, 0.0];
+        let b = [1.0f32, 1.0, 3.0, 4.0];
+        // L1 on first half = 2; L2 on second half = 5, weighted 2x.
+        assert!((m.distance(&a, &b) - (2.0 + 10.0)).abs() < 1e-6);
+        assert_eq!(m.required_dim(), 4);
+    }
+
+    #[test]
+    fn zero_weight_silences_a_component() {
+        let m = CombinedMeasure::new(vec![
+            Component {
+                start: 0,
+                end: 2,
+                measure: Measure::L2,
+                weight: 0.0,
+            },
+            Component {
+                start: 2,
+                end: 3,
+                measure: Measure::L1,
+                weight: 1.0,
+            },
+        ])
+        .unwrap();
+        let a = [9.0f32, 9.0, 1.0];
+        let b = [0.0f32, 0.0, 2.0];
+        assert!((m.distance(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            CombinedMeasure::new(vec![]).unwrap_err(),
+            CombineError::NoComponents
+        );
+        assert_eq!(
+            CombinedMeasure::new(vec![Component {
+                start: 2,
+                end: 2,
+                measure: Measure::L1,
+                weight: 1.0
+            }])
+            .unwrap_err(),
+            CombineError::EmptySegment(0)
+        );
+        assert_eq!(
+            CombinedMeasure::new(vec![Component {
+                start: 0,
+                end: 1,
+                measure: Measure::L1,
+                weight: -1.0
+            }])
+            .unwrap_err(),
+            CombineError::BadWeight(0)
+        );
+        assert_eq!(
+            CombinedMeasure::new(vec![Component {
+                start: 0,
+                end: 1,
+                measure: Measure::L1,
+                weight: f32::NAN
+            }])
+            .unwrap_err(),
+            CombineError::BadWeight(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs dim")]
+    fn short_vector_panics() {
+        two_part().distance(&[0.0; 3], &[0.0; 3]);
+    }
+
+    #[test]
+    fn identity_and_symmetry_hold() {
+        let m = two_part();
+        let a = [0.3f32, 0.1, 0.9, 0.4];
+        let b = [0.5f32, 0.5, 0.1, 0.2];
+        assert_eq!(m.distance(&a, &a), 0.0);
+        assert!((m.distance(&a, &b) - m.distance(&b, &a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlapping_segments_are_allowed() {
+        // Overlap is legal: same components counted under two measures.
+        let m = CombinedMeasure::new(vec![
+            Component {
+                start: 0,
+                end: 2,
+                measure: Measure::L1,
+                weight: 1.0,
+            },
+            Component {
+                start: 1,
+                end: 3,
+                measure: Measure::L1,
+                weight: 1.0,
+            },
+        ])
+        .unwrap();
+        let a = [1.0f32, 1.0, 1.0];
+        let b = [0.0f32, 0.0, 0.0];
+        assert!((m.distance(&a, &b) - 4.0).abs() < 1e-6);
+    }
+}

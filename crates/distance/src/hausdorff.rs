@@ -1,0 +1,155 @@
+//! Hausdorff distances between point sets — shape comparison for edge-pixel
+//! sets and other sparse geometric signatures.
+
+use crate::minkowski::l2;
+
+/// Directed Hausdorff distance `h(A, B) = max_{a∈A} min_{b∈B} ||a - b||`.
+///
+/// Returns 0 when `a` is empty (vacuous max) and `f32::INFINITY` when `a` is
+/// non-empty but `b` is empty.
+pub fn directed_hausdorff(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    if b.is_empty() {
+        return f32::INFINITY;
+    }
+    let mut worst = 0.0f32;
+    for p in a {
+        let mut best = f32::INFINITY;
+        for q in b {
+            let d = l2(p, q);
+            if d < best {
+                best = d;
+                if best <= worst {
+                    // Cannot raise the running max; skip the rest of B.
+                    break;
+                }
+            }
+        }
+        if best > worst {
+            worst = best;
+        }
+    }
+    worst
+}
+
+/// Symmetric Hausdorff distance `H(A, B) = max(h(A,B), h(B,A))` — a true
+/// metric on non-empty compact sets.
+pub fn hausdorff(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
+    directed_hausdorff(a, b).max(directed_hausdorff(b, a))
+}
+
+/// Modified (average) directed Hausdorff: `mean_{a∈A} min_{b∈B} ||a-b||`.
+/// More robust to outlier points than the max formulation; not a metric.
+pub fn modified_directed_hausdorff(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    if b.is_empty() {
+        return f32::INFINITY;
+    }
+    let total: f32 = a
+        .iter()
+        .map(|p| {
+            b.iter()
+                .map(|q| l2(p, q))
+                .fold(f32::INFINITY, f32::min)
+        })
+        .sum();
+    total / a.len() as f32
+}
+
+/// Symmetric modified Hausdorff, `max` of the two directed averages.
+pub fn modified_hausdorff(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
+    modified_directed_hausdorff(a, b).max(modified_directed_hausdorff(b, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f32, f32)]) -> Vec<Vec<f32>> {
+        coords.iter().map(|&(x, y)| vec![x, y]).collect()
+    }
+
+    #[test]
+    fn identical_sets_distance_zero() {
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(hausdorff(&a, &a), 0.0);
+        assert_eq!(modified_hausdorff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn known_value_simple_sets() {
+        let a = pts(&[(0.0, 0.0)]);
+        let b = pts(&[(3.0, 4.0)]);
+        assert_eq!(hausdorff(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn directed_is_asymmetric() {
+        // B contains A plus a far point: h(A,B)=0 but h(B,A)>0.
+        let a = pts(&[(0.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (10.0, 0.0)]);
+        assert_eq!(directed_hausdorff(&a, &b), 0.0);
+        assert_eq!(directed_hausdorff(&b, &a), 10.0);
+        assert_eq!(hausdorff(&a, &b), 10.0);
+    }
+
+    #[test]
+    fn subset_translation() {
+        // Unit square corners vs the same shifted by (0.5, 0).
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)]);
+        let b: Vec<Vec<f32>> = a.iter().map(|p| vec![p[0] + 0.5, p[1]]).collect();
+        assert!((hausdorff(&a, &b) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outlier_robustness_of_modified() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let mut b = a.clone();
+        b.push(vec![100.0, 0.0]); // single outlier
+        let full = hausdorff(&a, &b);
+        let modified = modified_hausdorff(&a, &b);
+        assert!(full > 90.0); // dominated by the outlier
+        assert!(modified < 25.0); // averaged away
+    }
+
+    #[test]
+    fn empty_set_conventions() {
+        let a = pts(&[(0.0, 0.0)]);
+        let e: Vec<Vec<f32>> = Vec::new();
+        assert_eq!(directed_hausdorff(&e, &a), 0.0);
+        assert_eq!(directed_hausdorff(&a, &e), f32::INFINITY);
+        assert_eq!(hausdorff(&e, &e), 0.0);
+        assert_eq!(modified_directed_hausdorff(&e, &a), 0.0);
+        assert_eq!(modified_directed_hausdorff(&a, &e), f32::INFINITY);
+    }
+
+    #[test]
+    fn triangle_inequality_sample() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(0.5, 1.0), (1.5, 1.0)]);
+        let c = pts(&[(0.0, 2.0), (2.0, 2.0)]);
+        assert!(hausdorff(&a, &c) <= hausdorff(&a, &b) + hausdorff(&b, &c) + 1e-6);
+    }
+
+    #[test]
+    fn early_break_matches_naive() {
+        // The inner-loop early exit must not change results.
+        let a = pts(&[(0.0, 0.0), (5.0, 5.0), (9.0, 1.0), (3.0, 7.0)]);
+        let b = pts(&[(1.0, 1.0), (6.0, 4.0), (8.0, 0.0)]);
+        let naive = |xs: &[Vec<f32>], ys: &[Vec<f32>]| -> f32 {
+            xs.iter()
+                .map(|p| {
+                    ys.iter()
+                        .map(|q| l2(p, q))
+                        .fold(f32::INFINITY, f32::min)
+                })
+                .fold(0.0, f32::max)
+        };
+        assert_eq!(directed_hausdorff(&a, &b), naive(&a, &b));
+        assert_eq!(directed_hausdorff(&b, &a), naive(&b, &a));
+    }
+}

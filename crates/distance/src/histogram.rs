@@ -1,0 +1,191 @@
+//! Histogram-specific (dis)similarity measures.
+//!
+//! These treat vectors as histograms — non-negative bin masses. They accept
+//! arbitrary non-negative vectors; normalization conventions are documented
+//! per function.
+
+use crate::minkowski::check_dims;
+
+/// Histogram intersection *similarity* (Swain & Ballard):
+/// `Σ min(hᵢ, gᵢ) / min(|h|, |g|)`, in `[0, 1]` for non-negative inputs.
+/// Colors absent from the query contribute nothing, which suppresses
+/// background influence.
+pub fn intersection_similarity(h: &[f32], g: &[f32]) -> f32 {
+    check_dims(h, g);
+    let num: f32 = h.iter().zip(g).map(|(a, b)| a.min(*b)).sum();
+    let mh: f32 = h.iter().sum();
+    let mg: f32 = g.iter().sum();
+    let denom = mh.min(mg);
+    if denom <= 0.0 {
+        // Two empty histograms are identical.
+        return if mh == mg { 1.0 } else { 0.0 };
+    }
+    num / denom
+}
+
+/// Histogram intersection *distance*: `1 - intersection_similarity`.
+/// For equal-mass (e.g. both normalized) histograms this equals half the L1
+/// distance, and is then a true metric.
+pub fn intersection_distance(h: &[f32], g: &[f32]) -> f32 {
+    1.0 - intersection_similarity(h, g)
+}
+
+/// Symmetric chi-square distance: `Σ (hᵢ-gᵢ)² / (hᵢ+gᵢ)`, skipping bins
+/// that are empty in both histograms.
+pub fn chi_square(h: &[f32], g: &[f32]) -> f32 {
+    check_dims(h, g);
+    h.iter()
+        .zip(g)
+        .filter(|(a, b)| **a + **b > 0.0)
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d / (a + b)
+        })
+        .sum()
+}
+
+/// Match distance: L1 distance between the *cumulative* histograms. For 1-D
+/// histograms with equal mass this equals the Earth Mover's Distance with
+/// ground distance |i-j|, making it sensitive to *how far* mass moved
+/// between bins, not just whether it moved — unlike bin-by-bin measures.
+pub fn match_distance(h: &[f32], g: &[f32]) -> f32 {
+    check_dims(h, g);
+    let mut acc = 0.0f32;
+    let mut total = 0.0f32;
+    for (a, b) in h.iter().zip(g) {
+        acc += a - b;
+        total += acc.abs();
+    }
+    total
+}
+
+/// Bhattacharyya distance between *normalized* histograms:
+/// `-ln Σ sqrt(hᵢ gᵢ)`. Returns `f32::INFINITY` for disjoint supports.
+pub fn bhattacharyya(h: &[f32], g: &[f32]) -> f32 {
+    check_dims(h, g);
+    let bc: f32 = h.iter().zip(g).map(|(a, b)| (a * b).max(0.0).sqrt()).sum();
+    if bc <= 0.0 {
+        f32::INFINITY
+    } else {
+        // Guard tiny floating error pushing bc slightly above 1.
+        (-(bc.min(1.0)).ln()).max(0.0)
+    }
+}
+
+/// Jeffrey divergence — a smoothed, symmetric, numerically stable variant of
+/// Kullback-Leibler divergence:
+/// `Σ hᵢ ln(hᵢ/mᵢ) + gᵢ ln(gᵢ/mᵢ)` with `mᵢ = (hᵢ+gᵢ)/2`.
+pub fn jeffrey_divergence(h: &[f32], g: &[f32]) -> f32 {
+    check_dims(h, g);
+    let mut total = 0.0f32;
+    for (a, b) in h.iter().zip(g) {
+        let m = 0.5 * (a + b);
+        if m <= 0.0 {
+            continue;
+        }
+        if *a > 0.0 {
+            total += a * (a / m).ln();
+        }
+        if *b > 0.0 {
+            total += b * (b / m).ln();
+        }
+    }
+    total.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: [f32; 4] = [0.5, 0.3, 0.2, 0.0];
+    const G: [f32; 4] = [0.2, 0.3, 0.3, 0.2];
+
+    #[test]
+    fn intersection_similarity_range_and_identity() {
+        assert!((intersection_similarity(&H, &H) - 1.0).abs() < 1e-6);
+        let s = intersection_similarity(&H, &G);
+        assert!((0.0..=1.0).contains(&s));
+        // min-sums: 0.2 + 0.3 + 0.2 + 0.0 = 0.7, both have mass 1.
+        assert!((s - 0.7).abs() < 1e-6);
+        assert!((intersection_distance(&H, &G) - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intersection_equals_half_l1_for_equal_mass() {
+        let l1: f32 = H.iter().zip(&G).map(|(a, b)| (a - b).abs()).sum();
+        assert!((intersection_distance(&H, &G) - l1 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intersection_handles_unequal_mass() {
+        let big = [2.0f32, 2.0];
+        let small = [1.0f32, 0.0];
+        // Σmin = 1.0, min mass = 1.0 -> similarity 1: the small histogram is
+        // fully contained (the background-suppression property).
+        assert!((intersection_similarity(&big, &small) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intersection_empty_histograms() {
+        let z = [0.0f32; 3];
+        assert_eq!(intersection_similarity(&z, &z), 1.0);
+        assert_eq!(intersection_similarity(&z, &[1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn chi_square_basics() {
+        assert_eq!(chi_square(&H, &H), 0.0);
+        assert_eq!(chi_square(&H, &G), chi_square(&G, &H));
+        assert!(chi_square(&H, &G) > 0.0);
+        // Bins empty in both are skipped, not NaN.
+        let a = [0.0f32, 1.0];
+        let b = [0.0f32, 0.5];
+        assert!(chi_square(&a, &b).is_finite());
+    }
+
+    #[test]
+    fn match_distance_sees_ground_distance() {
+        // Move one unit of mass by one bin vs by three bins: bin-by-bin
+        // measures can't tell these apart, the match distance can.
+        let src = [1.0f32, 0.0, 0.0, 0.0];
+        let near = [0.0f32, 1.0, 0.0, 0.0];
+        let far = [0.0f32, 0.0, 0.0, 1.0];
+        assert_eq!(match_distance(&src, &near), 1.0);
+        assert_eq!(match_distance(&src, &far), 3.0);
+        // L1 sees both as equally different.
+        let l1 = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        };
+        assert_eq!(l1(&src, &near), l1(&src, &far));
+    }
+
+    #[test]
+    fn match_distance_metric_axioms_sample() {
+        assert_eq!(match_distance(&H, &H), 0.0);
+        assert_eq!(match_distance(&H, &G), match_distance(&G, &H));
+        let f = [0.1f32, 0.4, 0.4, 0.1];
+        assert!(match_distance(&H, &G) + match_distance(&G, &f) >= match_distance(&H, &f) - 1e-6);
+    }
+
+    #[test]
+    fn bhattacharyya_basics() {
+        assert!(bhattacharyya(&H, &H).abs() < 1e-3);
+        assert!(bhattacharyya(&H, &G) > 0.0);
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        assert!(bhattacharyya(&a, &b).is_infinite());
+    }
+
+    #[test]
+    fn jeffrey_basics() {
+        assert!(jeffrey_divergence(&H, &H).abs() < 1e-6);
+        assert!((jeffrey_divergence(&H, &G) - jeffrey_divergence(&G, &H)).abs() < 1e-6);
+        assert!(jeffrey_divergence(&H, &G) > 0.0);
+        // Finite even with disjoint support (unlike KL).
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        assert!(jeffrey_divergence(&a, &b).is_finite());
+        // Disjoint support gives the maximum 2 ln 2 for unit-mass inputs.
+        assert!((jeffrey_divergence(&a, &b) - 2.0 * 2.0f32.ln()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,43 @@
+//! # `cbir-distance` — similarity measures for feature signatures
+//!
+//! Every (dis)similarity measure the indexing system supports:
+//!
+//! - Minkowski family: L1, L2, L∞, arbitrary order `p`;
+//! - histogram measures: intersection, chi-square, match distance (1-D
+//!   EMD), Bhattacharyya, Jeffrey divergence;
+//! - the QBIC cross-bin quadratic-form distance;
+//! - Hausdorff distances over point sets;
+//! - weighted combinations over segments of composite vectors.
+//!
+//! The [`Metric`] trait is the interface the index structures consume; the
+//! [`Measure`] enum is the runtime-selectable catalogue, and
+//! [`Measure::is_true_metric`] reports which measures are safe for
+//! triangle-inequality-based pruning.
+//!
+//! ```
+//! use cbir_distance::{l2, Measure};
+//!
+//! assert_eq!(l2(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+//! assert!(Measure::L2.is_true_metric());
+//! ```
+
+#![warn(missing_docs)]
+
+mod combine;
+mod hausdorff;
+mod histogram;
+mod metric;
+mod minkowski;
+mod quadratic;
+
+pub use combine::{CombineError, CombinedMeasure, Component};
+pub use hausdorff::{
+    directed_hausdorff, hausdorff, modified_directed_hausdorff, modified_hausdorff,
+};
+pub use histogram::{
+    bhattacharyya, chi_square, intersection_distance, intersection_similarity,
+    jeffrey_divergence, match_distance,
+};
+pub use metric::{Measure, Metric};
+pub use minkowski::{cosine, l1, l2, l2_squared, linf, minkowski};
+pub use quadratic::{QuadraticForm, QuadraticFormError};

@@ -1,0 +1,174 @@
+//! The [`Metric`] trait used by index structures, and the runtime-selectable
+//! [`Measure`] catalogue of vector (dis)similarity measures.
+
+use crate::histogram::{
+    bhattacharyya, chi_square, intersection_distance, jeffrey_divergence, match_distance,
+};
+use crate::minkowski::{cosine, l1, l2, linf, minkowski};
+use crate::quadratic::QuadraticForm;
+
+/// A dissimilarity function over items of type `T`.
+///
+/// Index structures are generic over this trait; any `Fn(&T, &T) -> f32`
+/// implements it, as does [`Measure`] for `[f32]`.
+pub trait Metric<T: ?Sized>: Sync {
+    /// Distance between two items. Must be non-negative and symmetric;
+    /// whether the triangle inequality holds is reported by callers choosing
+    /// a measure (see [`Measure::is_true_metric`]).
+    fn distance(&self, a: &T, b: &T) -> f32;
+}
+
+impl<T: ?Sized, F: Fn(&T, &T) -> f32 + Sync> Metric<T> for F {
+    fn distance(&self, a: &T, b: &T) -> f32 {
+        self(a, b)
+    }
+}
+
+/// Every (dis)similarity measure in the system, selectable at runtime.
+#[derive(Clone, Debug)]
+pub enum Measure {
+    /// City-block distance.
+    L1,
+    /// Euclidean distance.
+    L2,
+    /// Chebyshev distance.
+    LInf,
+    /// Minkowski distance of the given order (≥ 1).
+    Minkowski(f32),
+    /// `1 -` histogram intersection.
+    Intersection,
+    /// Symmetric chi-square.
+    ChiSquare,
+    /// L1 on cumulative histograms (1-D EMD).
+    Match,
+    /// `1 - cos`.
+    Cosine,
+    /// Jeffrey divergence.
+    Jeffrey,
+    /// Bhattacharyya distance.
+    Bhattacharyya,
+    /// Cross-bin quadratic form.
+    Quadratic(QuadraticForm),
+}
+
+impl Measure {
+    /// Evaluate the measure on two vectors.
+    pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Measure::L1 => l1(a, b),
+            Measure::L2 => l2(a, b),
+            Measure::LInf => linf(a, b),
+            Measure::Minkowski(p) => minkowski(a, b, *p),
+            Measure::Intersection => intersection_distance(a, b),
+            Measure::ChiSquare => chi_square(a, b),
+            Measure::Match => match_distance(a, b),
+            Measure::Cosine => cosine(a, b),
+            Measure::Jeffrey => jeffrey_divergence(a, b),
+            Measure::Bhattacharyya => bhattacharyya(a, b),
+            Measure::Quadratic(q) => q.distance(a, b),
+        }
+    }
+
+    /// Whether the measure satisfies all metric axioms (in particular the
+    /// triangle inequality) on its intended domain, making it safe for
+    /// triangle-inequality-pruning indexes (VP-tree, Antipole tree).
+    ///
+    /// `Intersection` is a metric only on equal-mass histograms (where it is
+    /// L1/2); we report `false` to stay conservative. `Quadratic` is a
+    /// metric only when the similarity matrix is positive definite, which
+    /// is not checked, so it is also reported `false`.
+    pub fn is_true_metric(&self) -> bool {
+        matches!(
+            self,
+            Measure::L1 | Measure::L2 | Measure::LInf | Measure::Minkowski(_) | Measure::Match
+        )
+    }
+
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Measure::L1 => "L1",
+            Measure::L2 => "L2",
+            Measure::LInf => "Linf",
+            Measure::Minkowski(_) => "Minkowski",
+            Measure::Intersection => "intersection",
+            Measure::ChiSquare => "chi-square",
+            Measure::Match => "match",
+            Measure::Cosine => "cosine",
+            Measure::Jeffrey => "jeffrey",
+            Measure::Bhattacharyya => "bhattacharyya",
+            Measure::Quadratic(_) => "quadratic-form",
+        }
+    }
+}
+
+impl Metric<[f32]> for Measure {
+    fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        Measure::distance(self, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_measures() -> Vec<Measure> {
+        vec![
+            Measure::L1,
+            Measure::L2,
+            Measure::LInf,
+            Measure::Minkowski(3.0),
+            Measure::Intersection,
+            Measure::ChiSquare,
+            Measure::Match,
+            Measure::Cosine,
+            Measure::Jeffrey,
+            Measure::Bhattacharyya,
+            Measure::Quadratic(QuadraticForm::identity(4)),
+        ]
+    }
+
+    #[test]
+    fn every_measure_satisfies_identity_and_symmetry() {
+        // Normalized histograms: in-domain for all measures.
+        let h = [0.4f32, 0.3, 0.2, 0.1];
+        let g = [0.1f32, 0.2, 0.3, 0.4];
+        for m in all_measures() {
+            let dhh = m.distance(&h, &h);
+            assert!(dhh.abs() < 1e-3, "{}: d(h,h) = {dhh}", m.name());
+            let hg = m.distance(&h, &g);
+            let gh = m.distance(&g, &h);
+            assert!((hg - gh).abs() < 1e-5, "{}: asymmetric", m.name());
+            assert!(hg >= 0.0, "{}: negative", m.name());
+            assert!(hg > 0.0, "{}: distinct at 0", m.name());
+        }
+    }
+
+    #[test]
+    fn true_metric_flags() {
+        assert!(Measure::L2.is_true_metric());
+        assert!(Measure::Match.is_true_metric());
+        assert!(!Measure::ChiSquare.is_true_metric());
+        assert!(!Measure::Cosine.is_true_metric());
+        assert!(!Measure::Quadratic(QuadraticForm::identity(2)).is_true_metric());
+    }
+
+    #[test]
+    fn closure_implements_metric() {
+        fn takes_metric<M: Metric<[f32]>>(m: &M) -> f32 {
+            m.distance(&[0.0, 0.0], &[3.0, 4.0])
+        }
+        let f = |a: &[f32], b: &[f32]| crate::minkowski::l2(a, b);
+        assert_eq!(takes_metric(&f), 5.0);
+        assert_eq!(takes_metric(&Measure::L2), 5.0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<&str> = all_measures().iter().map(|m| m.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

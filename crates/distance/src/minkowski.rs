@@ -1,0 +1,154 @@
+//! Minkowski-family distances between feature vectors.
+
+/// Panic with a clear message when two vectors disagree in dimensionality.
+/// Distance evaluation is the innermost hot loop of every query, so we use a
+/// debug-friendly assert rather than a `Result`.
+#[inline]
+pub(crate) fn check_dims(a: &[f32], b: &[f32]) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "feature vectors have different dimensionality ({} vs {})",
+        a.len(),
+        b.len()
+    );
+}
+
+/// City-block (L1) distance: `Σ |aᵢ - bᵢ|`.
+pub fn l1(a: &[f32], b: &[f32]) -> f32 {
+    check_dims(a, b);
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Squared Euclidean distance: `Σ (aᵢ - bᵢ)²`. Not a metric itself but
+/// monotone in L2, so k-NN rankings are identical and the square root can be
+/// skipped inside search loops.
+pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+    check_dims(a, b);
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean (L2) distance.
+pub fn l2(a: &[f32], b: &[f32]) -> f32 {
+    l2_squared(a, b).sqrt()
+}
+
+/// Chebyshev (L∞) distance: `max |aᵢ - bᵢ|`.
+pub fn linf(a: &[f32], b: &[f32]) -> f32 {
+    check_dims(a, b);
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// General Minkowski distance of order `p >= 1`.
+///
+/// # Panics
+/// Panics if `p < 1` (the triangle inequality fails below 1).
+pub fn minkowski(a: &[f32], b: &[f32], p: f32) -> f32 {
+    assert!(p >= 1.0, "Minkowski order must be >= 1, got {p}");
+    check_dims(a, b);
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs().powf(p))
+        .sum::<f32>()
+        .powf(1.0 / p)
+}
+
+/// Cosine *distance*: `1 - cos(a, b)`, in `[0, 2]`. Zero vectors are defined
+/// to be at distance 1 from everything (maximally dissimilar but bounded).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    check_dims(a, b);
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    (1.0 - dot / (na.sqrt() * nb.sqrt())).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f32; 4] = [1.0, 2.0, 3.0, 4.0];
+    const B: [f32; 4] = [2.0, 0.0, 3.0, 8.0];
+
+    #[test]
+    fn known_values() {
+        assert_eq!(l1(&A, &B), 1.0 + 2.0 + 0.0 + 4.0);
+        assert_eq!(l2_squared(&A, &B), 1.0 + 4.0 + 0.0 + 16.0);
+        assert!((l2(&A, &B) - 21.0f32.sqrt()).abs() < 1e-6);
+        assert_eq!(linf(&A, &B), 4.0);
+    }
+
+    #[test]
+    fn minkowski_interpolates_family() {
+        assert!((minkowski(&A, &B, 1.0) - l1(&A, &B)).abs() < 1e-4);
+        assert!((minkowski(&A, &B, 2.0) - l2(&A, &B)).abs() < 1e-4);
+        // As p grows, Minkowski approaches L∞ from above.
+        let p8 = minkowski(&A, &B, 8.0);
+        assert!(p8 >= linf(&A, &B));
+        assert!(p8 < l1(&A, &B));
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be >= 1")]
+    fn minkowski_rejects_p_below_one() {
+        minkowski(&A, &B, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensionality")]
+    fn dimension_mismatch_panics() {
+        l2(&A, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        for f in [l1, l2, linf, cosine] {
+            assert!(f(&A, &A).abs() < 1e-6);
+            assert_eq!(f(&A, &B), f(&B, &A));
+            assert!(f(&A, &B) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cosine_basics() {
+        let x = [1.0f32, 0.0];
+        let y = [0.0f32, 1.0];
+        assert!((cosine(&x, &y) - 1.0).abs() < 1e-6); // orthogonal
+        let z = [2.0f32, 0.0];
+        assert!(cosine(&x, &z) < 1e-6); // parallel, scale-invariant
+        let w = [-1.0f32, 0.0];
+        assert!((cosine(&x, &w) - 2.0).abs() < 1e-6); // opposite
+    }
+
+    #[test]
+    fn cosine_zero_vector_convention() {
+        let z = [0.0f32, 0.0];
+        assert_eq!(cosine(&z, &[1.0, 1.0]), 1.0);
+        assert_eq!(cosine(&z, &z), 1.0);
+    }
+
+    #[test]
+    fn empty_vectors_are_at_distance_zero() {
+        let e: [f32; 0] = [];
+        assert_eq!(l1(&e, &e), 0.0);
+        assert_eq!(l2(&e, &e), 0.0);
+        assert_eq!(linf(&e, &e), 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Quadratic-form (cross-bin) histogram distance, the measure introduced by
+//! the QBIC system: `d²(h, g) = (h-g)ᵀ A (h-g)` where `A[i][j]` encodes the
+//! perceptual similarity of bins `i` and `j`. Unlike bin-by-bin measures it
+//! credits partial matches between *similar but not identical* colors.
+
+use crate::minkowski::check_dims;
+
+/// A symmetric bin-similarity matrix together with the quadratic-form
+/// distance it induces.
+#[derive(Clone, Debug)]
+pub struct QuadraticForm {
+    dim: usize,
+    /// Row-major `dim × dim` similarity matrix.
+    a: Vec<f32>,
+}
+
+/// Errors constructing a quadratic form.
+#[derive(Debug, PartialEq)]
+pub enum QuadraticFormError {
+    /// Matrix data length is not `dim * dim`.
+    BadShape {
+        /// Declared dimension.
+        dim: usize,
+        /// Actual element count supplied.
+        len: usize,
+    },
+    /// `A[i][j] != A[j][i]` beyond tolerance.
+    NotSymmetric,
+}
+
+impl std::fmt::Display for QuadraticFormError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuadraticFormError::BadShape { dim, len } => {
+                write!(f, "matrix of dim {dim} needs {} elements, got {len}", dim * dim)
+            }
+            QuadraticFormError::NotSymmetric => write!(f, "similarity matrix must be symmetric"),
+        }
+    }
+}
+
+impl std::error::Error for QuadraticFormError {}
+
+impl QuadraticForm {
+    /// Build from an explicit row-major symmetric matrix.
+    pub fn new(dim: usize, a: Vec<f32>) -> Result<Self, QuadraticFormError> {
+        if a.len() != dim * dim {
+            return Err(QuadraticFormError::BadShape { dim, len: a.len() });
+        }
+        for i in 0..dim {
+            for j in (i + 1)..dim {
+                if (a[i * dim + j] - a[j * dim + i]).abs() > 1e-5 {
+                    return Err(QuadraticFormError::NotSymmetric);
+                }
+            }
+        }
+        Ok(QuadraticForm { dim, a })
+    }
+
+    /// The identity matrix: the induced distance degenerates to L2.
+    pub fn identity(dim: usize) -> Self {
+        let mut a = vec![0.0; dim * dim];
+        for i in 0..dim {
+            a[i * dim + i] = 1.0;
+        }
+        QuadraticForm { dim, a }
+    }
+
+    /// The QBIC construction: given a position (e.g. color-space coordinates)
+    /// for each bin, set `A[i][j] = 1 - d(i,j)/d_max` where `d` is Euclidean
+    /// distance between bin centres. Nearby bins get similarity close to 1.
+    pub fn from_bin_positions(positions: &[Vec<f32>]) -> Self {
+        let dim = positions.len();
+        let mut dmax = 0.0f32;
+        let dist = |i: usize, j: usize| -> f32 {
+            positions[i]
+                .iter()
+                .zip(&positions[j])
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
+        };
+        for i in 0..dim {
+            for j in (i + 1)..dim {
+                dmax = dmax.max(dist(i, j));
+            }
+        }
+        let mut a = vec![0.0f32; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                a[i * dim + j] = if dmax > 0.0 {
+                    1.0 - dist(i, j) / dmax
+                } else {
+                    1.0
+                };
+            }
+        }
+        QuadraticForm { dim, a }
+    }
+
+    /// Histogram dimensionality this form applies to.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Matrix entry `A[i][j]`.
+    pub fn entry(&self, i: usize, j: usize) -> f32 {
+        self.a[i * self.dim + j]
+    }
+
+    /// Evaluate the distance `sqrt(max(0, (h-g)ᵀ A (h-g)))`.
+    ///
+    /// The inner form can go fractionally negative for a similarity matrix
+    /// that is not positive semi-definite; it is clamped at zero.
+    pub fn distance(&self, h: &[f32], g: &[f32]) -> f32 {
+        check_dims(h, g);
+        assert_eq!(
+            h.len(),
+            self.dim,
+            "quadratic form of dim {} applied to vectors of dim {}",
+            self.dim,
+            h.len()
+        );
+        let diff: Vec<f32> = h.iter().zip(g).map(|(a, b)| a - b).collect();
+        let mut total = 0.0f32;
+        for (i, &di) in diff.iter().enumerate() {
+            if di == 0.0 {
+                continue;
+            }
+            let row = &self.a[i * self.dim..(i + 1) * self.dim];
+            let mut inner = 0.0f32;
+            for (j, &dj) in diff.iter().enumerate() {
+                inner += row[j] * dj;
+            }
+            total += di * inner;
+        }
+        total.max(0.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matrix_gives_l2() {
+        let q = QuadraticForm::identity(3);
+        let h = [0.5f32, 0.3, 0.2];
+        let g = [0.1f32, 0.6, 0.3];
+        let l2: f32 = h
+            .iter()
+            .zip(&g)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        assert!((q.distance(&h, &g) - l2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(
+            QuadraticForm::new(2, vec![1.0; 3]).unwrap_err(),
+            QuadraticFormError::BadShape { dim: 2, len: 3 }
+        );
+        assert_eq!(
+            QuadraticForm::new(2, vec![1.0, 0.5, 0.2, 1.0]).unwrap_err(),
+            QuadraticFormError::NotSymmetric
+        );
+        assert!(QuadraticForm::new(2, vec![1.0, 0.5, 0.5, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn cross_bin_similarity_softens_distance() {
+        // Bins 0 and 1 are perceptually close (similarity 0.9), bin 2 far.
+        let a = vec![
+            1.0, 0.9, 0.0, //
+            0.9, 1.0, 0.0, //
+            0.0, 0.0, 1.0,
+        ];
+        let q = QuadraticForm::new(3, a).unwrap();
+        let h = [1.0f32, 0.0, 0.0];
+        let g_near = [0.0f32, 1.0, 0.0]; // mass moved to the similar bin
+        let g_far = [0.0f32, 0.0, 1.0]; // mass moved to the dissimilar bin
+        let dn = q.distance(&h, &g_near);
+        let df = q.distance(&h, &g_far);
+        assert!(dn < df, "cross-bin credit: {dn} !< {df}");
+        // L2 cannot tell them apart.
+        let id = QuadraticForm::identity(3);
+        assert!((id.distance(&h, &g_near) - id.distance(&h, &g_far)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_bin_positions_structure() {
+        // Three bins on a line at 0, 1, 10.
+        let pos = vec![vec![0.0f32], vec![1.0], vec![10.0]];
+        let q = QuadraticForm::from_bin_positions(&pos);
+        assert_eq!(q.dim(), 3);
+        assert!((q.entry(0, 0) - 1.0).abs() < 1e-6);
+        assert!((q.entry(0, 1) - 0.9).abs() < 1e-6); // 1 - 1/10
+        assert!(q.entry(0, 2).abs() < 1e-6); // 1 - 10/10
+        assert_eq!(q.entry(1, 2), q.entry(2, 1));
+    }
+
+    #[test]
+    fn degenerate_positions_all_similar() {
+        let pos = vec![vec![1.0f32, 2.0]; 4];
+        let q = QuadraticForm::from_bin_positions(&pos);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(q.entry(i, j), 1.0);
+            }
+        }
+        // With an all-ones matrix, equal-mass histograms are all at 0:
+        // (h-g) sums to zero so the form collapses.
+        let h = [0.7f32, 0.1, 0.1, 0.1];
+        let g = [0.1f32, 0.1, 0.1, 0.7];
+        assert!(q.distance(&h, &g) < 1e-3);
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        let pos = vec![vec![0.0f32], vec![3.0], vec![7.0]];
+        let q = QuadraticForm::from_bin_positions(&pos);
+        let h = [0.2f32, 0.3, 0.5];
+        let g = [0.5f32, 0.2, 0.3];
+        assert_eq!(q.distance(&h, &h), 0.0);
+        assert!((q.distance(&h, &g) - q.distance(&g, &h)).abs() < 1e-6);
+        assert!(q.distance(&h, &g) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quadratic form of dim")]
+    fn wrong_dim_panics() {
+        QuadraticForm::identity(3).distance(&[0.0; 2], &[0.0; 2]);
+    }
+}

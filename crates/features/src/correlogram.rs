@@ -1,0 +1,235 @@
+//! Color auto-correlogram (Huang et al.): the probability that a pixel at
+//! L∞ (chessboard) distance `d` from a pixel of color `c` also has color
+//! `c`. Encodes color *and* spatial layout, fixing the color histogram's
+//! blindness to pixel arrangement.
+
+use crate::error::{FeatureError, Result};
+use crate::quantize::Quantizer;
+use cbir_image::RgbImage;
+
+/// Auto-correlogram feature: for each color bin `c` and each distance `d`
+/// in `distances`, the estimated `Pr[I(p2) = c | I(p1) = c, ||p1-p2||∞ = d]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AutoCorrelogram {
+    /// Distances the correlogram was sampled at.
+    pub distances: Vec<u32>,
+    /// Row-major `[color][distance]` probabilities.
+    values: Vec<f32>,
+    n_colors: usize,
+}
+
+/// All offsets on the L∞ ring of radius `d` (the square ring with
+/// chessboard distance exactly `d`).
+fn ring_offsets(d: i64) -> Vec<(i64, i64)> {
+    let mut out = Vec::with_capacity((8 * d) as usize);
+    for x in -d..=d {
+        out.push((x, -d));
+        out.push((x, d));
+    }
+    for y in (-d + 1)..d {
+        out.push((-d, y));
+        out.push((d, y));
+    }
+    out
+}
+
+impl AutoCorrelogram {
+    /// Compute the auto-correlogram.
+    ///
+    /// Ring pixels falling outside the image are excluded from the
+    /// denominator (no synthetic border colors are introduced).
+    pub fn compute(img: &RgbImage, quantizer: &Quantizer, distances: &[u32]) -> Result<Self> {
+        quantizer.validate()?;
+        if img.is_empty() {
+            return Err(FeatureError::EmptyImage("auto-correlogram"));
+        }
+        if distances.is_empty() || distances.contains(&0) {
+            return Err(FeatureError::InvalidParameter(
+                "correlogram distances must be non-empty and positive".into(),
+            ));
+        }
+        let n_colors = quantizer.n_bins();
+        let (w, h) = img.dimensions();
+
+        // Pre-quantize the image once.
+        let quantized: Vec<u16> = img.pixels().map(|p| quantizer.bin_of(p) as u16).collect();
+        let bin_at = |x: i64, y: i64| -> Option<u16> {
+            if x < 0 || y < 0 || x >= w as i64 || y >= h as i64 {
+                None
+            } else {
+                Some(quantized[y as usize * w as usize + x as usize])
+            }
+        };
+
+        let mut values = vec![0.0f32; n_colors * distances.len()];
+        for (di, &d) in distances.iter().enumerate() {
+            let ring = ring_offsets(d as i64);
+            let mut same = vec![0u64; n_colors];
+            let mut total = vec![0u64; n_colors];
+            for y in 0..h as i64 {
+                for x in 0..w as i64 {
+                    let c = quantized[y as usize * w as usize + x as usize] as usize;
+                    for &(dx, dy) in &ring {
+                        if let Some(nb) = bin_at(x + dx, y + dy) {
+                            total[c] += 1;
+                            if nb as usize == c {
+                                same[c] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            for c in 0..n_colors {
+                if total[c] > 0 {
+                    values[c * distances.len() + di] = same[c] as f32 / total[c] as f32;
+                }
+            }
+        }
+        Ok(AutoCorrelogram {
+            distances: distances.to_vec(),
+            values,
+            n_colors,
+        })
+    }
+
+    /// Number of color bins.
+    pub fn n_colors(&self) -> usize {
+        self.n_colors
+    }
+
+    /// Probability for `(color, distance index)`.
+    pub fn value(&self, color: usize, distance_idx: usize) -> f32 {
+        self.values[color * self.distances.len() + distance_idx]
+    }
+
+    /// Flatten to a feature vector, `[color-major][distance-minor]`.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.values.clone()
+    }
+
+    /// Feature dimensionality: `n_colors * n_distances`.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbir_image::Rgb;
+
+    const RED: Rgb = Rgb([255, 0, 0]);
+    const BLUE: Rgb = Rgb([0, 0, 255]);
+
+    #[test]
+    fn ring_offset_counts() {
+        assert_eq!(ring_offsets(1).len(), 8);
+        assert_eq!(ring_offsets(2).len(), 16);
+        assert_eq!(ring_offsets(3).len(), 24);
+        // All offsets are at exact chessboard distance d.
+        for d in 1..=4i64 {
+            for (dx, dy) in ring_offsets(d) {
+                assert_eq!(dx.abs().max(dy.abs()), d);
+            }
+        }
+        // No duplicates.
+        let mut r = ring_offsets(3);
+        r.sort_unstable();
+        let before = r.len();
+        r.dedup();
+        assert_eq!(r.len(), before);
+    }
+
+    #[test]
+    fn uniform_image_has_probability_one() {
+        let img = RgbImage::filled(10, 10, RED);
+        let ac =
+            AutoCorrelogram::compute(&img, &Quantizer::rgb_compact(), &[1, 3]).unwrap();
+        let q = Quantizer::rgb_compact();
+        let red_bin = q.bin_of(RED);
+        assert!((ac.value(red_bin, 0) - 1.0).abs() < 1e-6);
+        assert!((ac.value(red_bin, 1) - 1.0).abs() < 1e-6);
+        // Colors absent from the image have probability 0.
+        let blue_bin = q.bin_of(BLUE);
+        assert_eq!(ac.value(blue_bin, 0), 0.0);
+    }
+
+    #[test]
+    fn checkerboard_distance_one_is_low() {
+        // On a checkerboard, the d=1 ring around any pixel holds 4 same and
+        // 4 different colors (diagonals match, axials differ) -> p = 0.5 in
+        // the interior; borders push it slightly off.
+        let img = RgbImage::from_fn(16, 16, |x, y| if (x + y) % 2 == 0 { RED } else { BLUE });
+        let q = Quantizer::rgb_compact();
+        let ac = AutoCorrelogram::compute(&img, &q, &[1]).unwrap();
+        let p = ac.value(q.bin_of(RED), 0);
+        assert!((p - 0.5).abs() < 0.05, "checkerboard p = {p}");
+    }
+
+    #[test]
+    fn correlogram_separates_layouts_with_identical_histograms() {
+        // Half-split vs checkerboard: same global histogram, very different
+        // spatial coherence.
+        let split = RgbImage::from_fn(16, 16, |x, _| if x < 8 { RED } else { BLUE });
+        let check = RgbImage::from_fn(16, 16, |x, y| if (x + y) % 2 == 0 { RED } else { BLUE });
+        let q = Quantizer::rgb_compact();
+        let a = AutoCorrelogram::compute(&split, &q, &[1]).unwrap();
+        let b = AutoCorrelogram::compute(&check, &q, &[1]).unwrap();
+        let red = q.bin_of(RED);
+        assert!(
+            a.value(red, 0) > b.value(red, 0) + 0.3,
+            "split {} vs checker {}",
+            a.value(red, 0),
+            b.value(red, 0)
+        );
+    }
+
+    #[test]
+    fn probability_decays_with_distance_for_blobs() {
+        // A coherent blob: staying inside the blob is easier at d=1 than d=5.
+        let img = RgbImage::from_fn(20, 20, |x, y| {
+            if (4..10).contains(&x) && (4..10).contains(&y) {
+                RED
+            } else {
+                BLUE
+            }
+        });
+        let q = Quantizer::rgb_compact();
+        let ac = AutoCorrelogram::compute(&img, &q, &[1, 5]).unwrap();
+        let red = q.bin_of(RED);
+        assert!(ac.value(red, 0) > ac.value(red, 1));
+    }
+
+    #[test]
+    fn values_are_probabilities() {
+        let img = RgbImage::from_fn(12, 12, |x, y| {
+            Rgb::new((x * 20) as u8, (y * 20) as u8, ((x + y) * 10) as u8)
+        });
+        let ac =
+            AutoCorrelogram::compute(&img, &Quantizer::rgb_compact(), &[1, 2, 4]).unwrap();
+        for v in ac.to_vec() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert_eq!(ac.dim(), 64 * 3);
+        assert_eq!(ac.n_colors(), 64);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let img = RgbImage::filled(4, 4, RED);
+        let q = Quantizer::rgb_compact();
+        assert!(AutoCorrelogram::compute(&img, &q, &[]).is_err());
+        assert!(AutoCorrelogram::compute(&img, &q, &[0, 1]).is_err());
+        let empty = RgbImage::filled(0, 0, RED);
+        assert!(AutoCorrelogram::compute(&empty, &q, &[1]).is_err());
+    }
+
+    #[test]
+    fn distance_larger_than_image_yields_zero_probabilities() {
+        let img = RgbImage::filled(3, 3, RED);
+        let q = Quantizer::rgb_compact();
+        let ac = AutoCorrelogram::compute(&img, &q, &[10]).unwrap();
+        // The entire ring is out of bounds for all pixels -> total = 0.
+        assert!(ac.to_vec().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Feature-vector plumbing: kinds, normalization, and the composite layout
+//! used to assemble multi-feature signatures.
+
+/// Every feature family the extraction pipeline can produce.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FeatureKind {
+    /// Quantized color histogram.
+    ColorHistogram,
+    /// First three moments of each HSV channel.
+    ColorMoments,
+    /// Color auto-correlogram.
+    Correlogram,
+    /// Averaged GLCM texture statistics.
+    Glcm,
+    /// Tamura coarseness/contrast/directionality.
+    Tamura,
+    /// Haar wavelet subband-energy signature.
+    Wavelet,
+    /// Edge-orientation histogram.
+    EdgeOrientation,
+    /// Edge-density grid.
+    EdgeDensityGrid,
+    /// Hu moment invariants of the Otsu foreground mask.
+    HuMoments,
+    /// Eccentricity/compactness/extent summary.
+    ShapeSummary,
+    /// Histogram of the salience distance transform.
+    DtHistogram,
+    /// Connected-component shape signature of the dominant region.
+    RegionShape,
+}
+
+impl FeatureKind {
+    /// Short identifier used in tables and persistence.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FeatureKind::ColorHistogram => "color-hist",
+            FeatureKind::ColorMoments => "color-moments",
+            FeatureKind::Correlogram => "correlogram",
+            FeatureKind::Glcm => "glcm",
+            FeatureKind::Tamura => "tamura",
+            FeatureKind::Wavelet => "wavelet",
+            FeatureKind::EdgeOrientation => "edge-orient",
+            FeatureKind::EdgeDensityGrid => "edge-grid",
+            FeatureKind::HuMoments => "hu-moments",
+            FeatureKind::ShapeSummary => "shape",
+            FeatureKind::DtHistogram => "dt-hist",
+            FeatureKind::RegionShape => "region-shape",
+        }
+    }
+}
+
+/// L1-normalize in place (sum of absolute values becomes 1); a zero vector
+/// is left unchanged.
+pub fn normalize_l1(v: &mut [f32]) {
+    let s: f32 = v.iter().map(|x| x.abs()).sum();
+    if s > 0.0 {
+        for x in v {
+            *x /= s;
+        }
+    }
+}
+
+/// L2-normalize in place (unit Euclidean norm); a zero vector is left
+/// unchanged.
+pub fn normalize_l2(v: &mut [f32]) {
+    let s: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if s > 0.0 {
+        for x in v {
+            *x /= s;
+        }
+    }
+}
+
+/// Rescale each component into `[0, 1]` given per-component `(min, max)`
+/// statistics (e.g. collected over a database); components with degenerate
+/// ranges map to 0.
+pub fn normalize_minmax(v: &mut [f32], stats: &[(f32, f32)]) {
+    assert_eq!(v.len(), stats.len(), "stats length mismatch");
+    for (x, &(lo, hi)) in v.iter_mut().zip(stats) {
+        *x = if hi > lo {
+            ((*x - lo) / (hi - lo)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+    }
+}
+
+/// A named slice of a composite feature vector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Segment {
+    /// Which feature family produced this segment.
+    pub kind: FeatureKind,
+    /// Start offset in the composite vector (inclusive).
+    pub start: usize,
+    /// End offset (exclusive).
+    pub end: usize,
+}
+
+impl Segment {
+    /// Segment length.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the segment is empty (never true for valid layouts).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let kinds = [
+            FeatureKind::ColorHistogram,
+            FeatureKind::ColorMoments,
+            FeatureKind::Correlogram,
+            FeatureKind::Glcm,
+            FeatureKind::Tamura,
+            FeatureKind::Wavelet,
+            FeatureKind::EdgeOrientation,
+            FeatureKind::EdgeDensityGrid,
+            FeatureKind::HuMoments,
+            FeatureKind::ShapeSummary,
+            FeatureKind::DtHistogram,
+            FeatureKind::RegionShape,
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn l1_normalization() {
+        let mut v = vec![1.0f32, -3.0, 4.0];
+        normalize_l1(&mut v);
+        let s: f32 = v.iter().map(|x| x.abs()).sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!((v[0] - 0.125).abs() < 1e-6);
+        let mut z = vec![0.0f32; 3];
+        normalize_l1(&mut z);
+        assert_eq!(z, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn l2_normalization() {
+        let mut v = vec![3.0f32, 4.0];
+        normalize_l2(&mut v);
+        assert!((v[0] - 0.6).abs() < 1e-6);
+        assert!((v[1] - 0.8).abs() < 1e-6);
+        let mut z = vec![0.0f32; 2];
+        normalize_l2(&mut z);
+        assert_eq!(z, vec![0.0; 2]);
+    }
+
+    #[test]
+    fn minmax_normalization() {
+        let mut v = vec![5.0f32, 0.0, -1.0];
+        normalize_minmax(&mut v, &[(0.0, 10.0), (0.0, 0.0), (-2.0, 0.0)]);
+        assert_eq!(v, vec![0.5, 0.0, 0.5]);
+        // Clamping out-of-range values.
+        let mut w = vec![20.0f32];
+        normalize_minmax(&mut w, &[(0.0, 10.0)]);
+        assert_eq!(w, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stats length mismatch")]
+    fn minmax_length_checked() {
+        normalize_minmax(&mut [1.0], &[(0.0, 1.0), (0.0, 1.0)]);
+    }
+
+    #[test]
+    fn segment_len() {
+        let s = Segment {
+            kind: FeatureKind::Glcm,
+            start: 10,
+            end: 15,
+        };
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+}

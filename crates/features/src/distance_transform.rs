@@ -1,0 +1,295 @@
+//! Chamfer distance transforms and the salience distance transform (SDT).
+//!
+//! The distance transform labels every pixel with its distance to the
+//! nearest feature (edge) pixel using the two-pass 3-4 chamfer
+//! approximation of Euclidean distance. The salience variant seeds edge
+//! pixels with a cost inversely related to their edge strength instead of
+//! zero, so spurious weak edges are soft-assigned rather than thresholded
+//! away. Histograms of the (S)DT values profile scene complexity: cluttered
+//! scenes populate small distances, sparse scenes large ones.
+
+use crate::error::{FeatureError, Result};
+use cbir_image::ops::sobel;
+use cbir_image::{FloatImage, GrayImage};
+
+/// Chamfer 3-4 weights (approximately 3·Euclidean).
+const AXIAL: f32 = 3.0;
+const DIAGONAL: f32 = 4.0;
+
+/// A large finite "infinity" that survives additions without overflow.
+const INF: f32 = 1e30;
+
+/// Two-pass 3-4 chamfer propagation over an initialized cost plane.
+fn chamfer_propagate(dt: &mut FloatImage) {
+    let (w, h) = dt.dimensions();
+    let (wi, hi) = (w as i64, h as i64);
+    // Forward pass: N, NW, NE, W neighbours.
+    for y in 0..hi {
+        for x in 0..wi {
+            let mut best = dt.pixel(x as u32, y as u32);
+            let mut relax = |dx: i64, dy: i64, cost: f32| {
+                let nx = x + dx;
+                let ny = y + dy;
+                if nx >= 0 && ny >= 0 && nx < wi && ny < hi {
+                    let cand = dt.pixel(nx as u32, ny as u32) + cost;
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+            };
+            relax(-1, 0, AXIAL);
+            relax(0, -1, AXIAL);
+            relax(-1, -1, DIAGONAL);
+            relax(1, -1, DIAGONAL);
+            dt.set(x as u32, y as u32, best);
+        }
+    }
+    // Backward pass: S, SE, SW, E neighbours.
+    for y in (0..hi).rev() {
+        for x in (0..wi).rev() {
+            let mut best = dt.pixel(x as u32, y as u32);
+            let mut relax = |dx: i64, dy: i64, cost: f32| {
+                let nx = x + dx;
+                let ny = y + dy;
+                if nx >= 0 && ny >= 0 && nx < wi && ny < hi {
+                    let cand = dt.pixel(nx as u32, ny as u32) + cost;
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+            };
+            relax(1, 0, AXIAL);
+            relax(0, 1, AXIAL);
+            relax(1, 1, DIAGONAL);
+            relax(-1, 1, DIAGONAL);
+            dt.set(x as u32, y as u32, best);
+        }
+    }
+}
+
+/// Chamfer 3-4 distance transform of a binary image (nonzero = feature).
+/// Output values are in chamfer units (divide by 3 for ~pixel units).
+///
+/// Returns an error if the image is empty or contains no feature pixels.
+pub fn distance_transform(binary: &GrayImage) -> Result<FloatImage> {
+    if binary.is_empty() {
+        return Err(FeatureError::EmptyImage("distance transform"));
+    }
+    let mut any = false;
+    let mut dt = binary.map(|p| {
+        if p != 0 {
+            any = true;
+            0.0
+        } else {
+            INF
+        }
+    });
+    if !any {
+        return Err(FeatureError::InvalidParameter(
+            "distance transform needs at least one feature pixel".into(),
+        ));
+    }
+    chamfer_propagate(&mut dt);
+    Ok(dt)
+}
+
+/// Salience distance transform: edge pixels (normalized Sobel magnitude
+/// above a small floor) are seeded with `scale * (1 - strength)` so salient
+/// edges attract strongly and weak edges only mildly; the chamfer passes
+/// then propagate the minimum total cost.
+pub fn salience_distance_transform(img: &GrayImage, scale: f32) -> Result<FloatImage> {
+    if img.is_empty() {
+        return Err(FeatureError::EmptyImage("salience distance transform"));
+    }
+    if scale <= 0.0 || !scale.is_finite() || scale.is_nan() {
+        return Err(FeatureError::InvalidParameter(format!(
+            "salience scale must be positive, got {scale}"
+        )));
+    }
+    let mag = sobel::sobel_magnitude(img);
+    let peak = mag.pixels().fold(0.0f32, f32::max);
+    if peak <= 0.0 {
+        return Err(FeatureError::InvalidParameter(
+            "image has no gradients; SDT undefined".into(),
+        ));
+    }
+    let mut dt = mag.map(|m| {
+        let strength = m / peak;
+        if strength > 0.05 {
+            scale * (1.0 - strength)
+        } else {
+            INF
+        }
+    });
+    chamfer_propagate(&mut dt);
+    Ok(dt)
+}
+
+/// Normalized histogram of distance-transform values with `bins` uniform
+/// bins over `[0, max_value]`; values beyond the range clamp into the last
+/// bin. The histogram profile separates cluttered scenes (mass at small
+/// distances) from sparse ones (mass at large distances).
+pub fn dt_histogram(dt: &FloatImage, bins: usize, max_value: f32) -> Result<Vec<f32>> {
+    if !(2..=1024).contains(&bins) {
+        return Err(FeatureError::InvalidParameter(format!(
+            "dt histogram bins must be in 2..=1024, got {bins}"
+        )));
+    }
+    if max_value.is_nan() || max_value <= 0.0 {
+        return Err(FeatureError::InvalidParameter(
+            "dt histogram max_value must be positive".into(),
+        ));
+    }
+    if dt.is_empty() {
+        return Err(FeatureError::EmptyImage("dt histogram"));
+    }
+    let mut hist = vec![0.0f32; bins];
+    for v in dt.pixels() {
+        let b = ((v / max_value) * bins as f32) as usize;
+        hist[b.min(bins - 1)] += 1.0;
+    }
+    let n = dt.len() as f32;
+    for h in &mut hist {
+        *h /= n;
+    }
+    Ok(hist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_pixels_are_zero() {
+        let mut img = GrayImage::filled(9, 9, 0);
+        img.set(4, 4, 255);
+        img.set(0, 0, 255);
+        let dt = distance_transform(&img).unwrap();
+        assert_eq!(dt.pixel(4, 4), 0.0);
+        assert_eq!(dt.pixel(0, 0), 0.0);
+    }
+
+    #[test]
+    fn chamfer_values_single_seed() {
+        let mut img = GrayImage::filled(7, 7, 0);
+        img.set(3, 3, 255);
+        let dt = distance_transform(&img).unwrap();
+        // Axial neighbours cost 3, diagonal 4, two axial steps 6, knight 7.
+        assert_eq!(dt.pixel(4, 3), 3.0);
+        assert_eq!(dt.pixel(3, 2), 3.0);
+        assert_eq!(dt.pixel(4, 4), 4.0);
+        assert_eq!(dt.pixel(2, 2), 4.0);
+        assert_eq!(dt.pixel(5, 3), 6.0);
+        assert_eq!(dt.pixel(5, 4), 7.0);
+        assert_eq!(dt.pixel(0, 0), 12.0); // 3 diagonal steps
+    }
+
+    #[test]
+    fn chamfer_approximates_euclidean_within_bounds() {
+        // 3-4 chamfer distance over 3 stays within ~8% of Euclidean.
+        let mut img = GrayImage::filled(31, 31, 0);
+        img.set(15, 15, 255);
+        let dt = distance_transform(&img).unwrap();
+        for (x, y, v) in dt.enumerate_pixels() {
+            let dx = x as f32 - 15.0;
+            let dy = y as f32 - 15.0;
+            let euclid = (dx * dx + dy * dy).sqrt();
+            let chamfer = v / 3.0;
+            assert!(
+                chamfer <= euclid * 1.13 + 1e-3 && chamfer >= euclid * 0.92 - 1e-3,
+                "at ({x},{y}): chamfer {chamfer} vs euclid {euclid}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_of_two_seeds_wins() {
+        let mut img = GrayImage::filled(11, 1, 0);
+        img.set(0, 0, 255);
+        img.set(10, 0, 255);
+        let dt = distance_transform(&img).unwrap();
+        assert_eq!(dt.pixel(2, 0), 6.0); // 2 steps from left seed
+        assert_eq!(dt.pixel(9, 0), 3.0); // 1 step from right seed
+        assert_eq!(dt.pixel(5, 0), 15.0); // middle
+    }
+
+    #[test]
+    fn no_features_is_an_error() {
+        assert!(distance_transform(&GrayImage::filled(4, 4, 0)).is_err());
+        assert!(distance_transform(&GrayImage::filled(0, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn sdt_prefers_strong_edges() {
+        // One strong edge (0 -> 255) and one weak edge (100 -> 130).
+        let img = GrayImage::from_fn(32, 8, |x, _| {
+            if x < 8 {
+                0
+            } else if x < 16 {
+                255
+            } else if x < 24 {
+                100
+            } else {
+                130
+            }
+        });
+        let sdt = salience_distance_transform(&img, 10.0).unwrap();
+        // On the strong boundary the cost is near zero; on the weak
+        // boundary it is distinctly positive.
+        let strong = sdt.pixel(8, 4);
+        let weak = sdt.pixel(24, 4);
+        assert!(strong < weak, "strong {strong} vs weak {weak}");
+    }
+
+    #[test]
+    fn sdt_validation() {
+        assert!(salience_distance_transform(&GrayImage::filled(0, 0, 0), 1.0).is_err());
+        assert!(salience_distance_transform(&GrayImage::filled(8, 8, 7), 1.0).is_err()); // flat
+        let img = GrayImage::from_fn(8, 8, |x, _| (x * 30) as u8);
+        assert!(salience_distance_transform(&img, 0.0).is_err());
+        assert!(salience_distance_transform(&img, f32::NAN).is_err());
+        assert!(salience_distance_transform(&img, 5.0).is_ok());
+    }
+
+    #[test]
+    fn histogram_separates_cluttered_from_sparse() {
+        // Cluttered: dense grid of edges. Sparse: a single seed far away.
+        let cluttered = GrayImage::from_fn(32, 32, |x, y| {
+            if x % 4 == 0 || y % 4 == 0 {
+                255
+            } else {
+                0
+            }
+        });
+        let mut sparse = GrayImage::filled(32, 32, 0);
+        sparse.set(0, 0, 255);
+        let dtc = distance_transform(&cluttered).unwrap();
+        let dts = distance_transform(&sparse).unwrap();
+        let hc = dt_histogram(&dtc, 8, 48.0).unwrap();
+        let hs = dt_histogram(&dts, 8, 48.0).unwrap();
+        // Cluttered mass concentrates in the first bin; sparse spreads out.
+        assert!(hc[0] > 0.9, "{hc:?}");
+        assert!(hs[0] < 0.3, "{hs:?}");
+        assert!(hs.iter().skip(3).sum::<f32>() > 0.3, "{hs:?}");
+    }
+
+    #[test]
+    fn histogram_is_normalized_and_clamps_overflow() {
+        let mut img = GrayImage::filled(16, 16, 0);
+        img.set(0, 0, 255);
+        let dt = distance_transform(&img).unwrap();
+        let h = dt_histogram(&dt, 4, 6.0).unwrap(); // tiny range, most clamps
+        let s: f32 = h.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(h[3] > 0.5); // clamped mass in the last bin
+    }
+
+    #[test]
+    fn histogram_validation() {
+        let dt = FloatImage::filled(4, 4, 1.0);
+        assert!(dt_histogram(&dt, 1, 10.0).is_err());
+        assert!(dt_histogram(&dt, 2000, 10.0).is_err());
+        assert!(dt_histogram(&dt, 8, 0.0).is_err());
+        assert!(dt_histogram(&FloatImage::filled(0, 0, 0.0), 8, 1.0).is_err());
+    }
+}

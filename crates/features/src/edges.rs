@@ -1,0 +1,214 @@
+//! Edge-based shape features: magnitude-weighted edge-orientation
+//! histograms (with circular-shift matching for rotation tolerance) and
+//! edge-density grids (coarse spatial layout of edges).
+
+use crate::error::{FeatureError, Result};
+use cbir_image::ops::sobel;
+use cbir_image::GrayImage;
+
+/// Magnitude-weighted edge-orientation histogram over `[0, π)`.
+///
+/// Every pixel contributes its gradient magnitude to the bin of its
+/// orientation, so strong edges dominate and no brittle threshold is needed
+/// (the "weight by magnitude instead of thresholding" approach). The
+/// histogram is L1-normalized; an all-flat image yields the uniform
+/// histogram.
+pub fn edge_orientation_histogram(img: &GrayImage, bins: usize) -> Result<Vec<f32>> {
+    if !(2..=256).contains(&bins) {
+        return Err(FeatureError::InvalidParameter(format!(
+            "orientation bins must be in 2..=256, got {bins}"
+        )));
+    }
+    if img.is_empty() {
+        return Err(FeatureError::EmptyImage("edge orientation histogram"));
+    }
+    let g = sobel(img);
+    let mag = g.magnitude();
+    let ori = g.orientation();
+    let mut hist = vec![0.0f64; bins];
+    for (m, o) in mag.pixels().zip(ori.pixels()) {
+        if m <= 0.0 {
+            continue;
+        }
+        let b = ((o / std::f32::consts::PI) * bins as f32) as usize;
+        hist[b.min(bins - 1)] += m as f64;
+    }
+    let total: f64 = hist.iter().sum();
+    if total <= 0.0 {
+        return Ok(vec![1.0 / bins as f32; bins]);
+    }
+    Ok(hist.iter().map(|&v| (v / total) as f32).collect())
+}
+
+/// Minimum L1 distance between two orientation histograms over all circular
+/// shifts — orientation histograms are not rotation invariant, so matching
+/// scans every rotation and keeps the best alignment.
+pub fn circular_min_l1(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "histogram lengths differ");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let n = a.len();
+    let mut best = f32::INFINITY;
+    for shift in 0..n {
+        let mut d = 0.0f32;
+        for i in 0..n {
+            d += (a[i] - b[(i + shift) % n]).abs();
+            if d >= best {
+                break;
+            }
+        }
+        best = best.min(d);
+    }
+    best
+}
+
+/// Edge-density grid: split the image into `grid × grid` cells and report
+/// the fraction of edge pixels (normalized Sobel magnitude above
+/// `threshold`) per cell, row-major. A coarse but robust layout descriptor.
+pub fn edge_density_grid(img: &GrayImage, grid: u32, threshold: f32) -> Result<Vec<f32>> {
+    if grid == 0 || grid > 64 {
+        return Err(FeatureError::InvalidParameter(format!(
+            "grid must be in 1..=64, got {grid}"
+        )));
+    }
+    let (w, h) = img.dimensions();
+    if w < grid || h < grid {
+        return Err(FeatureError::InvalidParameter(format!(
+            "image {w}x{h} smaller than {grid}x{grid} grid"
+        )));
+    }
+    let edges = sobel::edge_map(img, threshold);
+    let mut counts = vec![0u32; (grid * grid) as usize];
+    let mut totals = vec![0u32; (grid * grid) as usize];
+    for (x, y, p) in edges.enumerate_pixels() {
+        let cx = (x * grid / w).min(grid - 1);
+        let cy = (y * grid / h).min(grid - 1);
+        let c = (cy * grid + cx) as usize;
+        totals[c] += 1;
+        if p == 255 {
+            counts[c] += 1;
+        }
+    }
+    Ok(counts
+        .iter()
+        .zip(&totals)
+        .map(|(&c, &t)| if t > 0 { c as f32 / t as f32 } else { 0.0 })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vertical_stripes(n: u32, period: u32) -> GrayImage {
+        GrayImage::from_fn(n, n, |x, _| if (x / period).is_multiple_of(2) { 0 } else { 220 })
+    }
+
+    fn horizontal_stripes(n: u32, period: u32) -> GrayImage {
+        GrayImage::from_fn(n, n, |_, y| if (y / period).is_multiple_of(2) { 0 } else { 220 })
+    }
+
+    #[test]
+    fn histogram_is_normalized() {
+        let img = GrayImage::from_fn(32, 32, |x, y| ((x * 13 + y * 29) % 256) as u8);
+        let h = edge_orientation_histogram(&img, 8).unwrap();
+        assert_eq!(h.len(), 8);
+        let s: f32 = h.iter().sum();
+        assert!((s - 1.0).abs() < 1e-4);
+        assert!(h.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn flat_image_gives_uniform_histogram() {
+        let h = edge_orientation_histogram(&GrayImage::filled(16, 16, 100), 10).unwrap();
+        for v in h {
+            assert!((v - 0.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stripes_concentrate_in_one_bin() {
+        // Vertical stripes: gradients along x, orientation ~ 0.
+        let h = edge_orientation_histogram(&vertical_stripes(32, 4), 8).unwrap();
+        // Orientation 0 falls in bin 0 (or wraps into the last bin).
+        assert!(h[0] + h[7] > 0.9, "{h:?}");
+
+        // Horizontal stripes: orientation ~ pi/2 -> middle bin.
+        let h = edge_orientation_histogram(&horizontal_stripes(32, 4), 8).unwrap();
+        assert!(h[4] + h[3] > 0.9, "{h:?}");
+    }
+
+    #[test]
+    fn circular_matching_aligns_rotated_histograms() {
+        let a = edge_orientation_histogram(&vertical_stripes(32, 4), 8).unwrap();
+        let b = edge_orientation_histogram(&horizontal_stripes(32, 4), 8).unwrap();
+        // Plain L1 sees them as very different...
+        let plain: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(plain > 1.0);
+        // ...but a circular shift aligns a 90°-rotated pattern.
+        let circ = circular_min_l1(&a, &b);
+        assert!(circ < 0.35, "circular distance {circ}");
+        // And circular distance never exceeds the plain one.
+        assert!(circ <= plain + 1e-6);
+    }
+
+    #[test]
+    fn circular_min_is_symmetric_and_zero_on_self() {
+        let a = [0.5f32, 0.3, 0.1, 0.1];
+        let b = [0.1f32, 0.5, 0.3, 0.1];
+        assert_eq!(circular_min_l1(&a, &a), 0.0);
+        // a shifted by 1 equals b -> circular distance 0.
+        assert!(circular_min_l1(&a, &b) < 1e-6);
+        let c = [0.7f32, 0.1, 0.1, 0.1];
+        assert!((circular_min_l1(&a, &c) - circular_min_l1(&c, &a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn density_grid_localizes_edges() {
+        // All structure in the left half.
+        let img = GrayImage::from_fn(32, 32, |x, y| {
+            if x < 16 && (y % 4 == 0) {
+                255
+            } else {
+                0
+            }
+        });
+        let g = edge_density_grid(&img, 2, 10.0).unwrap();
+        assert_eq!(g.len(), 4);
+        // Left cells dense, right cells nearly empty (border effects only).
+        assert!(g[0] > 0.3, "{g:?}");
+        assert!(g[2] > 0.3, "{g:?}");
+        assert!(g[1] < g[0] / 2.0, "{g:?}");
+        assert!(g[3] < g[2] / 2.0, "{g:?}");
+    }
+
+    #[test]
+    fn density_grid_values_are_fractions() {
+        let img = GrayImage::from_fn(30, 30, |x, y| ((x * 17 + y * 23) % 256) as u8);
+        let g = edge_density_grid(&img, 3, 20.0).unwrap();
+        assert_eq!(g.len(), 9);
+        assert!(g.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn validation() {
+        let img = GrayImage::filled(8, 8, 0);
+        assert!(edge_orientation_histogram(&img, 1).is_err());
+        assert!(edge_orientation_histogram(&img, 500).is_err());
+        assert!(edge_orientation_histogram(&GrayImage::filled(0, 0, 0), 8).is_err());
+        assert!(edge_density_grid(&img, 0, 1.0).is_err());
+        assert!(edge_density_grid(&img, 65, 1.0).is_err());
+        assert!(edge_density_grid(&img, 16, 1.0).is_err()); // grid > image
+    }
+
+    #[test]
+    fn uneven_grid_division_covers_all_pixels() {
+        // 10x10 image, 3x3 grid: cells of ragged size must still partition.
+        let img = GrayImage::from_fn(10, 10, |x, y| ((x + y) * 12) as u8);
+        let g = edge_density_grid(&img, 3, 5.0).unwrap();
+        assert_eq!(g.len(), 9);
+        // Diagonal ramp has edges everywhere: all cells nonzero.
+        assert!(g.iter().all(|&v| v > 0.0), "{g:?}");
+    }
+}

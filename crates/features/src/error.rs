@@ -1,0 +1,58 @@
+//! Error type for feature extraction.
+
+use std::fmt;
+
+/// Errors produced while extracting features.
+#[derive(Debug)]
+pub enum FeatureError {
+    /// A parameter is outside its valid domain.
+    InvalidParameter(String),
+    /// The input image has no pixels.
+    EmptyImage(&'static str),
+    /// An underlying imaging operation failed.
+    Image(cbir_image::ImageError),
+}
+
+impl fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            FeatureError::EmptyImage(ctx) => write!(f, "{ctx}: input image is empty"),
+            FeatureError::Image(e) => write!(f, "imaging error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FeatureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FeatureError::Image(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cbir_image::ImageError> for FeatureError {
+    fn from(e: cbir_image::ImageError) -> Self {
+        FeatureError::Image(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, FeatureError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FeatureError::InvalidParameter("bins".into());
+        assert!(e.to_string().contains("bins"));
+        let e = FeatureError::EmptyImage("glcm");
+        assert!(e.to_string().contains("glcm"));
+        let img_err = cbir_image::ImageError::Decode("x".into());
+        let e = FeatureError::from(img_err);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

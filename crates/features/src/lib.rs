@@ -1,0 +1,58 @@
+//! # `cbir-features` — image feature signatures
+//!
+//! Every signature the indexing system extracts from images:
+//!
+//! - **Color**: quantized histograms (RGB / HSV / gray quantizers), HSV
+//!   channel moments, and the spatial-layout-aware color auto-correlogram;
+//! - **Texture**: GLCM statistics (energy, entropy, contrast, homogeneity,
+//!   correlation), Tamura features, Haar-wavelet subband-energy signatures;
+//! - **Shape / edges**: magnitude-weighted edge-orientation histograms,
+//!   edge-density grids, chamfer and salience distance-transform
+//!   histograms, geometric moments, eccentricity, and Hu invariants.
+//!
+//! The [`Pipeline`] assembles any subset into one composite vector with a
+//! stable [`Segment`] layout so per-family measures and weights can be
+//! applied at query time.
+//!
+//! ```
+//! use cbir_features::{Pipeline, FeatureSpec, Quantizer};
+//! use cbir_image::{RgbImage, Rgb};
+//!
+//! let pipeline = Pipeline::new(32, vec![
+//!     FeatureSpec::ColorHistogram(Quantizer::rgb_compact()),
+//!     FeatureSpec::Glcm { levels: 16 },
+//! ]).unwrap();
+//! let img = RgbImage::filled(100, 80, Rgb::new(200, 30, 30));
+//! let signature = pipeline.extract(&img).unwrap();
+//! assert_eq!(signature.len(), 64 + 5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod correlogram;
+mod descriptor;
+mod distance_transform;
+mod edges;
+mod error;
+mod glcm;
+mod histogram;
+mod moments;
+mod pipeline;
+mod quantize;
+mod tamura;
+mod wavelet;
+mod window_search;
+
+pub use correlogram::AutoCorrelogram;
+pub use descriptor::{normalize_l1, normalize_l2, normalize_minmax, FeatureKind, Segment};
+pub use distance_transform::{distance_transform, dt_histogram, salience_distance_transform};
+pub use edges::{circular_min_l1, edge_density_grid, edge_orientation_histogram};
+pub use error::{FeatureError, Result};
+pub use glcm::{glcm_features, Glcm, STANDARD_OFFSETS};
+pub use histogram::{color_moments, ColorHistogram};
+pub use moments::{hu_feature_vector, region_shape_features, shape_summary, Moments};
+pub use pipeline::{FeatureSpec, Pipeline};
+pub use quantize::Quantizer;
+pub use tamura::{coarseness, contrast, directionality, tamura_features};
+pub use wavelet::{wavelet_signature, HaarDecomposition, Subband};
+pub use window_search::{find_best_window, scan_windows, WindowMatch};

@@ -1,0 +1,275 @@
+//! Tamura texture features: coarseness, contrast, and directionality — the
+//! triple designed to match human texture perception.
+
+use crate::error::{FeatureError, Result};
+use cbir_image::ops::{sobel, IntegralImage};
+use cbir_image::GrayImage;
+
+/// Mean over the `2^k × 2^k` window centred at `(x, y)`, or `None` if the
+/// window does not fit entirely inside the image. Partial (clamped) windows
+/// are rejected rather than approximated: a truncated window has a slightly
+/// different mean, which would hand the arg-max spurious nonzero responses
+/// at large scales on textures whose true response there is zero.
+fn window_mean(ii: &IntegralImage, x: i64, y: i64, k: u32) -> Option<f64> {
+    let half = (1i64 << k) / 2;
+    let w = ii.width() as i64;
+    let h = ii.height() as i64;
+    let x0 = x - half;
+    let y0 = y - half;
+    let x1 = x + half - 1;
+    let y1 = y + half - 1;
+    if x0 < 0 || y0 < 0 || x1 >= w || y1 >= h {
+        return None;
+    }
+    Some(ii.mean(x0 as u32, y0 as u32, x1 as u32, y1 as u32))
+}
+
+/// Tamura coarseness: for each pixel, find the window size `2^k` that
+/// maximizes the intensity difference between opposite neighbourhoods, and
+/// average the winning sizes. Large values mean coarse (large-grain)
+/// texture.
+pub fn coarseness(img: &GrayImage, max_k: u32) -> Result<f64> {
+    if img.is_empty() {
+        return Err(FeatureError::EmptyImage("tamura coarseness"));
+    }
+    if max_k == 0 || max_k > 8 {
+        return Err(FeatureError::InvalidParameter(format!(
+            "coarseness max_k must be in 1..=8, got {max_k}"
+        )));
+    }
+    let (w, h) = img.dimensions();
+    let kmax = max_k.min({
+        // Largest window that fits.
+        let mut k = 1;
+        while (1u32 << (k + 1)) <= w.min(h) {
+            k += 1;
+        }
+        k
+    });
+    let ii = IntegralImage::new(img);
+    let mut total = 0.0f64;
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            let mut best_e = 0.0f64;
+            let mut best_k = 1u32;
+            for k in 1..=kmax {
+                let step = 1i64 << (k - 1);
+                let eh = match (
+                    window_mean(&ii, x + step, y, k),
+                    window_mean(&ii, x - step, y, k),
+                ) {
+                    (Some(a), Some(b)) => (a - b).abs(),
+                    _ => 0.0,
+                };
+                let ev = match (
+                    window_mean(&ii, x, y + step, k),
+                    window_mean(&ii, x, y - step, k),
+                ) {
+                    (Some(a), Some(b)) => (a - b).abs(),
+                    _ => 0.0,
+                };
+                let e = eh.max(ev);
+                // Ties between positive responses go to the coarser scale:
+                // a block of width 2^k produces identical responses at all
+                // window sizes up to 2^k, and the grain size is the largest.
+                if e > best_e || (e > 0.0 && e == best_e) {
+                    best_e = e;
+                    best_k = k;
+                }
+            }
+            total += (1u64 << best_k) as f64;
+        }
+    }
+    Ok(total / (w as f64 * h as f64))
+}
+
+/// Tamura contrast: `σ / κ^{1/4}` where `σ` is the intensity standard
+/// deviation and `κ` the kurtosis (`μ₄/σ⁴`). Zero for a constant image.
+pub fn contrast(img: &GrayImage) -> Result<f64> {
+    if img.is_empty() {
+        return Err(FeatureError::EmptyImage("tamura contrast"));
+    }
+    let n = img.len() as f64;
+    let mean = img.pixels().map(|p| p as f64).sum::<f64>() / n;
+    let mut m2 = 0.0;
+    let mut m4 = 0.0;
+    for p in img.pixels() {
+        let d = p as f64 - mean;
+        let d2 = d * d;
+        m2 += d2;
+        m4 += d2 * d2;
+    }
+    m2 /= n;
+    m4 /= n;
+    if m2 <= 1e-12 {
+        return Ok(0.0);
+    }
+    let kurtosis = m4 / (m2 * m2);
+    Ok(m2.sqrt() / kurtosis.powf(0.25))
+}
+
+/// Tamura directionality in `[0, 1]`: 1 when all significant gradients
+/// share one orientation, near 0 for isotropic texture.
+///
+/// Computed as `1 - H/H_max` where `H` is the entropy of the
+/// magnitude-weighted orientation histogram (`bins` bins over `[0, π)`).
+pub fn directionality(img: &GrayImage, bins: usize) -> Result<f64> {
+    if !(2..=256).contains(&bins) {
+        return Err(FeatureError::InvalidParameter(format!(
+            "directionality bins must be in 2..=256, got {bins}"
+        )));
+    }
+    if img.is_empty() {
+        return Err(FeatureError::EmptyImage("tamura directionality"));
+    }
+    let g = sobel::sobel(img);
+    let mag = g.magnitude();
+    let ori = g.orientation();
+    let mut hist = vec![0.0f64; bins];
+    let mut total = 0.0f64;
+    for (m, o) in mag.pixels().zip(ori.pixels()) {
+        if m <= 0.0 {
+            continue;
+        }
+        let b = ((o / std::f32::consts::PI) * bins as f32) as usize;
+        hist[b.min(bins - 1)] += m as f64;
+        total += m as f64;
+    }
+    if total <= 0.0 {
+        // No gradients: perfectly isotropic by convention.
+        return Ok(0.0);
+    }
+    let entropy: f64 = hist
+        .iter()
+        .filter(|&&v| v > 0.0)
+        .map(|&v| {
+            let p = v / total;
+            -p * p.ln()
+        })
+        .sum();
+    let h_max = (bins as f64).ln();
+    Ok((1.0 - entropy / h_max).clamp(0.0, 1.0))
+}
+
+/// The three Tamura features as `[coarseness, contrast, directionality]`,
+/// with coarseness log₂-scaled onto a small range for use in composite
+/// vectors.
+pub fn tamura_features(img: &GrayImage) -> Result<Vec<f32>> {
+    let c = coarseness(img, 5)?;
+    let con = contrast(img)?;
+    let d = directionality(img, 16)?;
+    Ok(vec![c.log2() as f32, (con / 128.0) as f32, d as f32])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripes(n: u32, period: u32, horizontal: bool) -> GrayImage {
+        GrayImage::from_fn(n, n, |x, y| {
+            let t = if horizontal { y } else { x };
+            if (t / period).is_multiple_of(2) {
+                30
+            } else {
+                220
+            }
+        })
+    }
+
+    fn noise(n: u32) -> GrayImage {
+        GrayImage::from_fn(n, n, |x, y| ((x * 7919 + y * 104729 + x * y * 37) % 256) as u8)
+    }
+
+    #[test]
+    fn coarseness_orders_texture_scales() {
+        // Note: period-1 stripes are degenerate for the Tamura operator
+        // (every even window has the same mean), so the finest meaningful
+        // grain is block width 2.
+        let fine = stripes(64, 2, false);
+        let coarse = stripes(64, 8, false);
+        let cf = coarseness(&fine, 5).unwrap();
+        let cc = coarseness(&coarse, 5).unwrap();
+        assert!(cc > cf, "coarse {cc} should exceed fine {cf}");
+    }
+
+    #[test]
+    fn coarseness_bounds() {
+        let img = noise(32);
+        let c = coarseness(&img, 5).unwrap();
+        assert!(c >= 2.0); // smallest window is 2^1
+        assert!(c <= 32.0); // largest allowed is 2^5
+    }
+
+    #[test]
+    fn contrast_orders_dynamic_ranges() {
+        let low = GrayImage::from_fn(32, 32, |x, y| 120 + ((x + y) % 16) as u8);
+        let high = stripes(32, 4, false);
+        let cl = contrast(&low).unwrap();
+        let ch = contrast(&high).unwrap();
+        assert!(ch > cl * 2.0, "high {ch} vs low {cl}");
+    }
+
+    #[test]
+    fn contrast_of_constant_is_zero() {
+        assert_eq!(contrast(&GrayImage::filled(16, 16, 80)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn directionality_separates_stripes_from_noise() {
+        let d_stripes = directionality(&stripes(64, 4, false), 16).unwrap();
+        let d_noise = directionality(&noise(64), 16).unwrap();
+        assert!(
+            d_stripes > 0.8,
+            "stripes should be highly directional: {d_stripes}"
+        );
+        assert!(d_noise < 0.5, "noise should be weakly directional: {d_noise}");
+    }
+
+    #[test]
+    fn directionality_is_orientation_magnitude_not_direction() {
+        // Horizontal and vertical stripes are both perfectly directional.
+        let dh = directionality(&stripes(64, 4, true), 16).unwrap();
+        let dv = directionality(&stripes(64, 4, false), 16).unwrap();
+        assert!((dh - dv).abs() < 0.1, "{dh} vs {dv}");
+    }
+
+    #[test]
+    fn flat_image_conventions() {
+        let flat = GrayImage::filled(32, 32, 99);
+        assert_eq!(directionality(&flat, 16).unwrap(), 0.0);
+        assert_eq!(contrast(&flat).unwrap(), 0.0);
+        // Coarseness on a flat image is defined (ties resolve to smallest
+        // window), just not meaningful.
+        assert!(coarseness(&flat, 5).is_ok());
+    }
+
+    #[test]
+    fn combined_vector_shape() {
+        let f = tamura_features(&noise(64)).unwrap();
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|v| v.is_finite()));
+        assert!((0.0..=1.0).contains(&f[2]));
+    }
+
+    #[test]
+    fn validation() {
+        let img = GrayImage::filled(8, 8, 0);
+        assert!(coarseness(&img, 0).is_err());
+        assert!(coarseness(&img, 9).is_err());
+        assert!(directionality(&img, 1).is_err());
+        assert!(directionality(&img, 300).is_err());
+        let empty = GrayImage::filled(0, 0, 0);
+        assert!(coarseness(&empty, 3).is_err());
+        assert!(contrast(&empty).is_err());
+        assert!(directionality(&empty, 8).is_err());
+    }
+
+    #[test]
+    fn determinism() {
+        let img = noise(48);
+        assert_eq!(
+            tamura_features(&img).unwrap(),
+            tamura_features(&img).unwrap()
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Region queries: find where a small template image occurs inside a larger
+//! target image, by sliding-window histogram matching.
+//!
+//! A per-bin integral (summed-area) table over the quantized target makes
+//! each window's histogram O(bins) regardless of window size, so a full
+//! scan at stride 1 costs `O(pixels × 1 + windows × bins)` — the classical
+//! trick that made region queries feasible on whole collections.
+
+use crate::error::{FeatureError, Result};
+use crate::histogram::ColorHistogram;
+use crate::quantize::Quantizer;
+use cbir_distance::l1;
+use cbir_image::RgbImage;
+
+/// A located window and its histogram distance from the template.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowMatch {
+    /// Window left edge in target pixels.
+    pub x: u32,
+    /// Window top edge.
+    pub y: u32,
+    /// Window width (= template width).
+    pub width: u32,
+    /// Window height (= template height).
+    pub height: u32,
+    /// L1 distance between normalized histograms, in `[0, 2]`.
+    pub distance: f32,
+}
+
+/// Per-bin integral tables over a quantized image.
+struct IntegralHistogram {
+    width: usize,
+    bins: usize,
+    /// `(w+1) × (h+1) × bins`, laid out row-major then bin-minor.
+    table: Vec<u32>,
+}
+
+impl IntegralHistogram {
+    fn new(img: &RgbImage, quantizer: &Quantizer) -> Self {
+        let (w, h) = (img.width() as usize, img.height() as usize);
+        let bins = quantizer.n_bins();
+        let tw = w + 1;
+        let mut table = vec![0u32; tw * (h + 1) * bins];
+        for y in 0..h {
+            // Running row sums per bin.
+            let mut row = vec![0u32; bins];
+            for x in 0..w {
+                let b = quantizer.bin_of(img.pixel(x as u32, y as u32));
+                row[b] += 1;
+                let above = (y * tw + (x + 1)) * bins;
+                let here = ((y + 1) * tw + (x + 1)) * bins;
+                for bin in 0..bins {
+                    table[here + bin] = table[above + bin] + row[bin];
+                }
+            }
+        }
+        IntegralHistogram {
+            width: w,
+            bins,
+            table,
+        }
+    }
+
+    /// Histogram counts of the window `[x0, x0+w) × [y0, y0+h)`.
+    fn window(&self, x0: usize, y0: usize, w: usize, h: usize, out: &mut [f32]) {
+        let tw = self.width + 1;
+        let a = (y0 * tw + x0) * self.bins;
+        let b = (y0 * tw + (x0 + w)) * self.bins;
+        let c = ((y0 + h) * tw + x0) * self.bins;
+        let d = ((y0 + h) * tw + (x0 + w)) * self.bins;
+        let n = (w * h) as f32;
+        for (bin, slot) in out.iter_mut().enumerate().take(self.bins) {
+            let count =
+                self.table[d + bin] + self.table[a + bin] - self.table[b + bin] - self.table[c + bin];
+            *slot = count as f32 / n;
+        }
+    }
+}
+
+fn validate(target: &RgbImage, template: &RgbImage, quantizer: &Quantizer, stride: u32) -> Result<()> {
+    quantizer.validate()?;
+    if stride == 0 {
+        return Err(FeatureError::InvalidParameter(
+            "stride must be positive".into(),
+        ));
+    }
+    if template.is_empty() || target.is_empty() {
+        return Err(FeatureError::EmptyImage("window search"));
+    }
+    if template.width() > target.width() || template.height() > target.height() {
+        return Err(FeatureError::InvalidParameter(format!(
+            "template {}x{} larger than target {}x{}",
+            template.width(),
+            template.height(),
+            target.width(),
+            target.height()
+        )));
+    }
+    if quantizer.n_bins() > 512 {
+        return Err(FeatureError::InvalidParameter(
+            "window search quantizer must have <= 512 bins (integral memory)".into(),
+        ));
+    }
+    let cells = (target.width() as usize + 1) * (target.height() as usize + 1);
+    if cells.saturating_mul(quantizer.n_bins()) > 512 << 20 {
+        return Err(FeatureError::InvalidParameter(
+            "target too large for integral histogram (> 2 GiB table)".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Scan every window of the template's size (at the given stride) and
+/// return them all sorted by ascending histogram distance; ties resolve
+/// top-to-bottom, left-to-right. Use [`find_best_window`] when only the
+/// winner matters.
+pub fn scan_windows(
+    target: &RgbImage,
+    template: &RgbImage,
+    quantizer: &Quantizer,
+    stride: u32,
+) -> Result<Vec<WindowMatch>> {
+    validate(target, template, quantizer, stride)?;
+    let integral = IntegralHistogram::new(target, quantizer);
+    let tmpl_hist: Vec<f32> = ColorHistogram::compute(template, quantizer)?.normalized();
+    let (tw, th) = (template.width(), template.height());
+    let mut window_hist = vec![0.0f32; quantizer.n_bins()];
+    let mut out = Vec::new();
+    let mut y = 0u32;
+    while y + th <= target.height() {
+        let mut x = 0u32;
+        while x + tw <= target.width() {
+            integral.window(x as usize, y as usize, tw as usize, th as usize, &mut window_hist);
+            out.push(WindowMatch {
+                x,
+                y,
+                width: tw,
+                height: th,
+                distance: l1(&tmpl_hist, &window_hist),
+            });
+            x += stride;
+        }
+        y += stride;
+    }
+    out.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then(a.y.cmp(&b.y))
+            .then(a.x.cmp(&b.x))
+    });
+    Ok(out)
+}
+
+/// The single best-matching window (see [`scan_windows`]).
+pub fn find_best_window(
+    target: &RgbImage,
+    template: &RgbImage,
+    quantizer: &Quantizer,
+    stride: u32,
+) -> Result<WindowMatch> {
+    // scan_windows always yields >= 1 window after validation (template
+    // fits inside the target).
+    Ok(scan_windows(target, template, quantizer, stride)?
+        .into_iter()
+        .next()
+        .expect("at least one window"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbir_image::Rgb;
+
+    const RED: Rgb = Rgb([220, 30, 30]);
+    const BLUE: Rgb = Rgb([30, 30, 220]);
+    const GREEN: Rgb = Rgb([30, 220, 30]);
+
+    /// Blue background with a red 12x10 patch at (20, 8).
+    fn scene() -> RgbImage {
+        RgbImage::from_fn(48, 32, |x, y| {
+            if (20..32).contains(&x) && (8..18).contains(&y) {
+                RED
+            } else {
+                BLUE
+            }
+        })
+    }
+
+    #[test]
+    fn finds_the_planted_patch_exactly() {
+        let target = scene();
+        let template = RgbImage::filled(12, 10, RED);
+        let m = find_best_window(&target, &template, &Quantizer::rgb_compact(), 1).unwrap();
+        assert_eq!((m.x, m.y), (20, 8));
+        assert_eq!((m.width, m.height), (12, 10));
+        assert!(m.distance < 1e-6, "distance {}", m.distance);
+    }
+
+    #[test]
+    fn coarse_stride_lands_near_the_patch() {
+        let target = scene();
+        let template = RgbImage::filled(12, 10, RED);
+        let m = find_best_window(&target, &template, &Quantizer::rgb_compact(), 4).unwrap();
+        assert!(m.x.abs_diff(20) <= 4 && m.y.abs_diff(8) <= 4, "({}, {})", m.x, m.y);
+    }
+
+    #[test]
+    fn ranking_is_by_overlap_with_patch() {
+        let target = scene();
+        let template = RgbImage::filled(12, 10, RED);
+        let all = scan_windows(&target, &template, &Quantizer::rgb_compact(), 2).unwrap();
+        // Distances ascend; far-away windows are maximally distant (pure
+        // blue vs pure red = L1 distance 2).
+        for w in all.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        assert!((all.last().unwrap().distance - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integral_matches_direct_histogram() {
+        // Any window's integral-derived histogram equals the directly
+        // computed one.
+        let target = RgbImage::from_fn(17, 13, |x, y| {
+            match (x * 7 + y * 5) % 3 {
+                0 => RED,
+                1 => BLUE,
+                _ => GREEN,
+            }
+        });
+        let q = Quantizer::rgb_compact();
+        let template = target.crop(4, 3, 6, 5).unwrap();
+        let m = find_best_window(&target, &template, &q, 1).unwrap();
+        // The original location must be a perfect match.
+        assert!(m.distance < 1e-6);
+        let direct: Vec<f32> = ColorHistogram::compute(&template, &q).unwrap().normalized();
+        let integral = IntegralHistogram::new(&target, &q);
+        let mut via_integral = vec![0.0f32; q.n_bins()];
+        integral.window(4, 3, 6, 5, &mut via_integral);
+        for (a, b) in direct.iter().zip(&via_integral) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn template_equal_to_target_gives_single_window() {
+        let target = scene();
+        let all = scan_windows(&target, &target, &Quantizer::rgb_compact(), 1).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!((all[0].x, all[0].y), (0, 0));
+        assert!(all[0].distance < 1e-6);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let small = RgbImage::filled(4, 4, RED);
+        let big = RgbImage::filled(16, 16, BLUE);
+        let q = Quantizer::rgb_compact();
+        assert!(find_best_window(&small, &big, &q, 1).is_err()); // template > target
+        assert!(find_best_window(&big, &small, &q, 0).is_err()); // stride 0
+        let empty = RgbImage::filled(0, 0, RED);
+        assert!(find_best_window(&big, &empty, &q, 1).is_err());
+        // Oversized quantizer rejected.
+        assert!(find_best_window(
+            &big,
+            &small,
+            &Quantizer::Hsv {
+                hue: 64,
+                sat: 4,
+                val: 4
+            },
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tie_break_is_topmost_leftmost() {
+        // Uniform target: every window ties at distance 0.
+        let target = RgbImage::filled(10, 10, GREEN);
+        let template = RgbImage::filled(3, 3, GREEN);
+        let m = find_best_window(&target, &template, &Quantizer::rgb_compact(), 1).unwrap();
+        assert_eq!((m.x, m.y), (0, 0));
+    }
+}

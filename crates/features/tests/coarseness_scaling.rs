@@ -1,0 +1,20 @@
+//! Cross-scale sanity test: Tamura coarseness must grow monotonically with
+//! the grain size of a periodic texture.
+
+use cbir_features::coarseness;
+use cbir_image::GrayImage;
+
+#[test]
+fn coarseness_monotone_in_stripe_period() {
+    let values: Vec<f64> = [2u32, 4, 8, 16]
+        .iter()
+        .map(|&period| {
+            let img =
+                GrayImage::from_fn(64, 64, |x, _| if (x / period) % 2 == 0 { 30 } else { 220 });
+            coarseness(&img, 5).unwrap()
+        })
+        .collect();
+    for w in values.windows(2) {
+        assert!(w[1] > w[0], "not monotone: {values:?}");
+    }
+}

@@ -1,0 +1,281 @@
+//! BMP codec: uncompressed 8-bit paletted, 24-bit, and 32-bit DIBs
+//! (BITMAPINFOHEADER), bottom-up or top-down; encodes 24-bit (color) and
+//! 8-bit grayscale-palette files.
+
+use super::DynImage;
+use crate::error::{ImageError, Result};
+use crate::image::{GrayImage, RgbImage};
+use crate::pixel::Rgb;
+
+const FILE_HEADER_SIZE: u32 = 14;
+const INFO_HEADER_SIZE: u32 = 40;
+
+fn read_u16(bytes: &[u8], at: usize) -> Result<u16> {
+    bytes
+        .get(at..at + 2)
+        .map(|b| u16::from_le_bytes([b[0], b[1]]))
+        .ok_or_else(|| ImageError::Decode("BMP header truncated".into()))
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Result<u32> {
+    bytes
+        .get(at..at + 4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or_else(|| ImageError::Decode("BMP header truncated".into()))
+}
+
+fn read_i32(bytes: &[u8], at: usize) -> Result<i32> {
+    read_u32(bytes, at).map(|v| v as i32)
+}
+
+/// Row stride in bytes, padded to a 4-byte boundary.
+fn stride(width: u32, bits_per_pixel: u32) -> usize {
+    (width as usize * bits_per_pixel as usize).div_ceil(32) * 4
+}
+
+/// Decode a BMP file. 8-bit paletted images decode to [`DynImage::Gray`]
+/// when the palette is grayscale, otherwise to RGB through the palette;
+/// 24/32-bit images decode to [`DynImage::Rgb`].
+pub fn decode_bmp(bytes: &[u8]) -> Result<DynImage> {
+    if bytes.len() < (FILE_HEADER_SIZE + INFO_HEADER_SIZE) as usize {
+        return Err(ImageError::Decode("BMP file too small".into()));
+    }
+    if &bytes[0..2] != b"BM" {
+        return Err(ImageError::Decode("missing BM magic".into()));
+    }
+    let data_offset = read_u32(bytes, 10)? as usize;
+    let header_size = read_u32(bytes, 14)?;
+    if header_size < INFO_HEADER_SIZE {
+        return Err(ImageError::Decode(format!(
+            "unsupported DIB header size {header_size}"
+        )));
+    }
+    let width_raw = read_i32(bytes, 18)?;
+    let height_raw = read_i32(bytes, 22)?;
+    let planes = read_u16(bytes, 26)?;
+    let bpp = read_u16(bytes, 28)? as u32;
+    let compression = read_u32(bytes, 30)?;
+
+    if planes != 1 {
+        return Err(ImageError::Decode(format!("planes must be 1, got {planes}")));
+    }
+    if compression != 0 {
+        return Err(ImageError::Decode(format!(
+            "compressed BMP (method {compression}) unsupported"
+        )));
+    }
+    if width_raw <= 0 || height_raw == 0 {
+        return Err(ImageError::Decode("degenerate BMP dimensions".into()));
+    }
+    let width = width_raw as u32;
+    let top_down = height_raw < 0;
+    let height = height_raw.unsigned_abs();
+
+    let row_bytes = stride(width, bpp);
+    let need = row_bytes
+        .checked_mul(height as usize)
+        .and_then(|n| n.checked_add(data_offset))
+        .ok_or_else(|| ImageError::Decode("BMP size overflow".into()))?;
+    if bytes.len() < need {
+        return Err(ImageError::Decode("BMP raster data truncated".into()));
+    }
+
+    // Map a raster row index to the stored row (BMP default is bottom-up).
+    let stored_row = |y: u32| -> usize {
+        let r = if top_down { y } else { height - 1 - y };
+        data_offset + r as usize * row_bytes
+    };
+
+    match bpp {
+        8 => {
+            let colors_used = read_u32(bytes, 46)?;
+            let n_colors = if colors_used == 0 { 256 } else { colors_used } as usize;
+            let palette_at = (FILE_HEADER_SIZE + header_size) as usize;
+            let palette = bytes
+                .get(palette_at..palette_at + n_colors * 4)
+                .ok_or_else(|| ImageError::Decode("BMP palette truncated".into()))?;
+            let lut: Vec<Rgb> = palette
+                .chunks_exact(4)
+                .map(|c| Rgb::new(c[2], c[1], c[0]))
+                .collect();
+            let grayscale = lut.iter().all(|p| p.r() == p.g() && p.g() == p.b());
+            if grayscale {
+                let img = GrayImage::from_fn(width, height, |x, y| {
+                    let idx = bytes[stored_row(y) + x as usize] as usize;
+                    lut.get(idx).map_or(0, |p| p.r())
+                });
+                Ok(DynImage::Gray(img))
+            } else {
+                let img = RgbImage::from_fn(width, height, |x, y| {
+                    let idx = bytes[stored_row(y) + x as usize] as usize;
+                    lut.get(idx).copied().unwrap_or_default()
+                });
+                Ok(DynImage::Rgb(img))
+            }
+        }
+        24 => {
+            let img = RgbImage::from_fn(width, height, |x, y| {
+                let at = stored_row(y) + x as usize * 3;
+                // BMP stores BGR.
+                Rgb::new(bytes[at + 2], bytes[at + 1], bytes[at])
+            });
+            Ok(DynImage::Rgb(img))
+        }
+        32 => {
+            let img = RgbImage::from_fn(width, height, |x, y| {
+                let at = stored_row(y) + x as usize * 4;
+                Rgb::new(bytes[at + 2], bytes[at + 1], bytes[at])
+            });
+            Ok(DynImage::Rgb(img))
+        }
+        other => Err(ImageError::Decode(format!("{other}-bpp BMP unsupported"))),
+    }
+}
+
+fn write_headers(out: &mut Vec<u8>, width: u32, height: u32, bpp: u16, palette_entries: u32) {
+    let row_bytes = stride(width, bpp as u32) as u32;
+    let data_offset = FILE_HEADER_SIZE + INFO_HEADER_SIZE + palette_entries * 4;
+    let file_size = data_offset + row_bytes * height;
+
+    out.extend_from_slice(b"BM");
+    out.extend_from_slice(&file_size.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    out.extend_from_slice(&data_offset.to_le_bytes());
+
+    out.extend_from_slice(&INFO_HEADER_SIZE.to_le_bytes());
+    out.extend_from_slice(&(width as i32).to_le_bytes());
+    out.extend_from_slice(&(height as i32).to_le_bytes()); // bottom-up
+    out.extend_from_slice(&1u16.to_le_bytes()); // planes
+    out.extend_from_slice(&bpp.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // BI_RGB
+    out.extend_from_slice(&(row_bytes * height).to_le_bytes());
+    out.extend_from_slice(&2835u32.to_le_bytes()); // 72 dpi
+    out.extend_from_slice(&2835u32.to_le_bytes());
+    out.extend_from_slice(&palette_entries.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // important colors
+}
+
+/// Encode a color image as an uncompressed bottom-up 24-bit BMP.
+pub fn encode_bmp_rgb(img: &RgbImage) -> Vec<u8> {
+    let row_bytes = stride(img.width(), 24);
+    let mut out = Vec::with_capacity(54 + row_bytes * img.height() as usize);
+    write_headers(&mut out, img.width(), img.height(), 24, 0);
+    let pad = row_bytes - img.width() as usize * 3;
+    for y in (0..img.height()).rev() {
+        for p in img.row(y) {
+            out.extend_from_slice(&[p.b(), p.g(), p.r()]);
+        }
+        out.extend(std::iter::repeat_n(0u8, pad));
+    }
+    out
+}
+
+/// Encode a grayscale image as an 8-bit BMP with an identity gray palette.
+pub fn encode_bmp_gray(img: &GrayImage) -> Vec<u8> {
+    let row_bytes = stride(img.width(), 8);
+    let mut out = Vec::with_capacity(54 + 1024 + row_bytes * img.height() as usize);
+    write_headers(&mut out, img.width(), img.height(), 8, 256);
+    for i in 0..=255u8 {
+        out.extend_from_slice(&[i, i, i, 0]);
+    }
+    let pad = row_bytes - img.width() as usize;
+    for y in (0..img.height()).rev() {
+        out.extend_from_slice(img.row(y));
+        out.extend(std::iter::repeat_n(0u8, pad));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_roundtrip_with_padding() {
+        // Width 3 forces 3-byte row padding at 24bpp.
+        let img = RgbImage::from_fn(3, 4, |x, y| {
+            Rgb::new((x * 80) as u8, (y * 60) as u8, ((x * y) * 20) as u8)
+        });
+        let bytes = encode_bmp_rgb(&img);
+        assert_eq!(decode_bmp(&bytes).unwrap().into_rgb(), img);
+    }
+
+    #[test]
+    fn rgb_roundtrip_no_padding() {
+        let img = RgbImage::from_fn(4, 2, |x, y| Rgb::new(x as u8, y as u8, 200));
+        let bytes = encode_bmp_rgb(&img);
+        assert_eq!(decode_bmp(&bytes).unwrap().into_rgb(), img);
+    }
+
+    #[test]
+    fn gray_roundtrip() {
+        let img = GrayImage::from_fn(5, 3, |x, y| ((x * 50 + y * 13) % 256) as u8);
+        let bytes = encode_bmp_gray(&img);
+        match decode_bmp(&bytes).unwrap() {
+            DynImage::Gray(g) => assert_eq!(g, img),
+            _ => panic!("expected grayscale decode via gray palette"),
+        }
+    }
+
+    #[test]
+    fn color_palette_decodes_to_rgb() {
+        // Hand-build a 1x1 8bpp BMP whose palette entry 0 is pure red.
+        let mut out = Vec::new();
+        write_headers(&mut out, 1, 1, 8, 256);
+        for i in 0..256u32 {
+            if i == 0 {
+                out.extend_from_slice(&[0, 0, 255, 0]); // BGR0: red
+            } else {
+                out.extend_from_slice(&[0, 0, 0, 0]);
+            }
+        }
+        out.extend_from_slice(&[0, 0, 0, 0]); // one index + 3 pad bytes
+        match decode_bmp(&out).unwrap() {
+            DynImage::Rgb(c) => assert_eq!(c.pixel(0, 0), Rgb::new(255, 0, 0)),
+            _ => panic!("expected rgb"),
+        }
+    }
+
+    #[test]
+    fn top_down_bmp() {
+        // Encode bottom-up, then flip the height sign and row order manually.
+        let img = RgbImage::from_fn(2, 2, |x, y| Rgb::new((x * 255) as u8, (y * 255) as u8, 0));
+        let mut bytes = encode_bmp_rgb(&img);
+        // Negate height.
+        let h = -(2i32);
+        bytes[22..26].copy_from_slice(&h.to_le_bytes());
+        // Swap the two 8-byte rows (stride of width 2 @24bpp = 8).
+        let off = 54;
+        let (a, b) = (off, off + 8);
+        for i in 0..8 {
+            bytes.swap(a + i, b + i);
+        }
+        assert_eq!(decode_bmp(&bytes).unwrap().into_rgb(), img);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors() {
+        let img = RgbImage::filled(4, 4, Rgb::new(1, 2, 3));
+        let mut bytes = encode_bmp_rgb(&img);
+        bytes.truncate(bytes.len() - 4);
+        assert!(decode_bmp(&bytes).is_err());
+        assert!(decode_bmp(b"BM").is_err());
+        assert!(decode_bmp(b"XYZT").is_err());
+
+        // Unsupported bpp.
+        let mut bad = encode_bmp_rgb(&img);
+        bad[28..30].copy_from_slice(&16u16.to_le_bytes());
+        assert!(decode_bmp(&bad).is_err());
+
+        // Compressed flag set.
+        let mut bad = encode_bmp_rgb(&img);
+        bad[30..34].copy_from_slice(&1u32.to_le_bytes());
+        assert!(decode_bmp(&bad).is_err());
+    }
+
+    #[test]
+    fn single_pixel() {
+        let img = RgbImage::filled(1, 1, Rgb::new(9, 8, 7));
+        assert_eq!(decode_bmp(&encode_bmp_rgb(&img)).unwrap().into_rgb(), img);
+    }
+}

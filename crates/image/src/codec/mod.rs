@@ -1,0 +1,128 @@
+//! Image codecs: PNM (PGM/PPM, ASCII and binary) and BMP (24-bit).
+//!
+//! The module exposes a small dynamic-image abstraction so callers can decode
+//! a byte stream without knowing up front whether it is grayscale or color,
+//! plus format sniffing from magic bytes.
+
+mod bmp;
+mod pnm;
+
+pub use bmp::{decode_bmp, encode_bmp_gray, encode_bmp_rgb};
+pub use pnm::{decode_pnm, encode_pbm, encode_pgm, encode_ppm, PnmEncoding};
+
+use crate::error::{ImageError, Result};
+use crate::image::{GrayImage, RgbImage};
+
+/// A decoded image whose channel layout is only known at runtime.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DynImage {
+    /// Single-channel 8-bit image.
+    Gray(GrayImage),
+    /// Three-channel 8-bit image.
+    Rgb(RgbImage),
+}
+
+impl DynImage {
+    /// Width in pixels.
+    pub fn width(&self) -> u32 {
+        match self {
+            DynImage::Gray(i) => i.width(),
+            DynImage::Rgb(i) => i.width(),
+        }
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u32 {
+        match self {
+            DynImage::Gray(i) => i.height(),
+            DynImage::Rgb(i) => i.height(),
+        }
+    }
+
+    /// View as RGB, replicating channels if grayscale.
+    pub fn into_rgb(self) -> RgbImage {
+        match self {
+            DynImage::Gray(i) => i.to_rgb(),
+            DynImage::Rgb(i) => i,
+        }
+    }
+
+    /// View as grayscale, converting with BT.601 luma if color.
+    pub fn into_gray(self) -> GrayImage {
+        match self {
+            DynImage::Gray(i) => i,
+            DynImage::Rgb(i) => i.to_gray(),
+        }
+    }
+}
+
+/// Image file formats this crate can decode.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Portable aNyMap: PGM (P2/P5) or PPM (P3/P6).
+    Pnm,
+    /// Windows bitmap.
+    Bmp,
+}
+
+/// Sniff the container format from leading magic bytes.
+pub fn sniff_format(bytes: &[u8]) -> Option<Format> {
+    match bytes {
+        [b'P', b'1'..=b'6', ..] => Some(Format::Pnm),
+        [b'B', b'M', ..] => Some(Format::Bmp),
+        _ => None,
+    }
+}
+
+/// Decode an image from bytes, sniffing the format.
+pub fn decode(bytes: &[u8]) -> Result<DynImage> {
+    match sniff_format(bytes) {
+        Some(Format::Pnm) => decode_pnm(bytes),
+        Some(Format::Bmp) => decode_bmp(bytes),
+        None => Err(ImageError::Decode(
+            "unrecognized image format (expected PNM or BMP magic)".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::Rgb;
+
+    #[test]
+    fn sniffing() {
+        assert_eq!(sniff_format(b"P5 1 1 255 \x00"), Some(Format::Pnm));
+        assert_eq!(sniff_format(b"P6 ..."), Some(Format::Pnm));
+        assert_eq!(sniff_format(b"BM rest"), Some(Format::Bmp));
+        assert_eq!(sniff_format(b"GIF89a"), None);
+        assert_eq!(sniff_format(b""), None);
+        assert_eq!(sniff_format(b"P9"), None);
+    }
+
+    #[test]
+    fn decode_dispatches_by_magic() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (x * 40 + y * 90) as u8);
+        let pgm = encode_pgm(&img, PnmEncoding::Binary);
+        assert_eq!(decode(&pgm).unwrap().into_gray(), img);
+
+        let rgb = RgbImage::from_fn(2, 2, |x, y| Rgb::new(x as u8, y as u8, 7));
+        let bmp = encode_bmp_rgb(&rgb);
+        assert_eq!(decode(&bmp).unwrap().into_rgb(), rgb);
+
+        assert!(decode(b"not an image").is_err());
+    }
+
+    #[test]
+    fn dyn_image_accessors() {
+        let g = DynImage::Gray(GrayImage::filled(4, 5, 9));
+        assert_eq!((g.width(), g.height()), (4, 5));
+        let as_rgb = g.clone().into_rgb();
+        assert_eq!(as_rgb.pixel(0, 0), Rgb::new(9, 9, 9));
+        assert_eq!(g.into_gray().pixel(0, 0), 9);
+
+        let c = DynImage::Rgb(RgbImage::filled(2, 2, Rgb::new(0, 255, 0)));
+        assert_eq!(c.clone().into_gray().pixel(0, 0), 150);
+        assert_eq!(c.into_rgb().pixel(1, 1), Rgb::new(0, 255, 0));
+    }
+}

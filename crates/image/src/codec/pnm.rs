@@ -1,0 +1,433 @@
+//! PNM codec: PGM (P2 ASCII / P5 binary) and PPM (P3 ASCII / P6 binary).
+//!
+//! Supports `#` comments anywhere in the header, maxval in `[1, 65535]`
+//! (16-bit samples are rescaled to 8 bits on decode), and tolerates any
+//! whitespace between header tokens per the Netpbm specification.
+
+use super::DynImage;
+use crate::error::{ImageError, Result};
+use crate::image::{GrayImage, RgbImage};
+use crate::pixel::Rgb;
+
+/// Whether to emit the ASCII (`P2`/`P3`) or binary (`P5`/`P6`) variant.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PnmEncoding {
+    /// Plain text samples (`P2` / `P3`).
+    Ascii,
+    /// Raw bytes (`P5` / `P6`).
+    Binary,
+}
+
+/// Incremental token reader over the PNM header/ASCII body.
+struct Tokenizer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Tokenizer { bytes, pos: 0 }
+    }
+
+    /// Skip whitespace and `#`-to-end-of-line comments.
+    fn skip_separators(&mut self) {
+        loop {
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.bytes.len() && self.bytes[self.pos] == b'#' {
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<&'a [u8]> {
+        self.skip_separators();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && !self.bytes[self.pos].is_ascii_whitespace()
+            && self.bytes[self.pos] != b'#'
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(ImageError::Decode("unexpected end of PNM header".into()));
+        }
+        Ok(&self.bytes[start..self.pos])
+    }
+
+    fn next_uint(&mut self, what: &str) -> Result<u32> {
+        let tok = self.next_token()?;
+        let s = std::str::from_utf8(tok)
+            .map_err(|_| ImageError::Decode(format!("non-UTF8 {what} token")))?;
+        s.parse::<u32>()
+            .map_err(|_| ImageError::Decode(format!("invalid {what}: {s:?}")))
+    }
+}
+
+/// Rescale a sample with arbitrary maxval into `[0, 255]`.
+#[inline]
+fn rescale(sample: u32, maxval: u32) -> u8 {
+    if maxval == 255 {
+        sample.min(255) as u8
+    } else {
+        ((sample.min(maxval) as u64 * 255 + (maxval as u64) / 2) / maxval as u64) as u8
+    }
+}
+
+/// Decode a P1/P4 bitmap: 1 = black (0), 0 = white (255).
+fn decode_pbm(bytes: &[u8], mut t: Tokenizer, binary: bool) -> Result<DynImage> {
+    let width = t.next_uint("width")?;
+    let height = t.next_uint("height")?;
+    if width == 0 || height == 0 {
+        return Err(ImageError::Decode("zero-sized PBM image".into()));
+    }
+    let n = width as usize * height as usize;
+    let samples: Vec<u8> = if binary {
+        // Rows are padded to whole bytes, bits MSB-first.
+        let row_bytes = (width as usize).div_ceil(8);
+        let data_start = t.pos + 1;
+        let raster = bytes
+            .get(data_start..data_start + row_bytes * height as usize)
+            .ok_or_else(|| ImageError::Decode("PBM raster truncated".into()))?;
+        let mut out = Vec::with_capacity(n);
+        for y in 0..height as usize {
+            for x in 0..width as usize {
+                let byte = raster[y * row_bytes + x / 8];
+                let bit = (byte >> (7 - (x % 8))) & 1;
+                out.push(if bit == 1 { 0 } else { 255 });
+            }
+        }
+        out
+    } else {
+        // P1 allows digits to be packed without whitespace; read digit by
+        // digit, skipping separators/comments.
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            t.skip_separators();
+            match bytes.get(t.pos) {
+                Some(b'0') => out.push(255),
+                Some(b'1') => out.push(0),
+                Some(c) => {
+                    return Err(ImageError::Decode(format!(
+                        "invalid PBM digit {:?}",
+                        *c as char
+                    )))
+                }
+                None => return Err(ImageError::Decode("PBM raster truncated".into())),
+            }
+            t.pos += 1;
+        }
+        out
+    };
+    Ok(DynImage::Gray(GrayImage::from_vec(width, height, samples)?))
+}
+
+/// Encode a binary mask as PBM: zero pixels become black (1), nonzero
+/// white (0).
+pub fn encode_pbm(img: &GrayImage, enc: PnmEncoding) -> Vec<u8> {
+    match enc {
+        PnmEncoding::Binary => {
+            let row_bytes = (img.width() as usize).div_ceil(8);
+            let mut out = format!("P4\n{} {}\n", img.width(), img.height()).into_bytes();
+            for y in 0..img.height() {
+                let mut row = vec![0u8; row_bytes];
+                for (x, &p) in img.row(y).iter().enumerate() {
+                    if p == 0 {
+                        row[x / 8] |= 1 << (7 - (x % 8));
+                    }
+                }
+                out.extend_from_slice(&row);
+            }
+            out
+        }
+        PnmEncoding::Ascii => {
+            let mut out = format!("P1\n{} {}\n", img.width(), img.height());
+            for y in 0..img.height() {
+                let row: Vec<&str> = img
+                    .row(y)
+                    .iter()
+                    .map(|&p| if p == 0 { "1" } else { "0" })
+                    .collect();
+                out.push_str(&row.join(" "));
+                out.push('\n');
+            }
+            out.into_bytes()
+        }
+    }
+}
+
+/// Decode any of P1-P6 from a byte slice.
+pub fn decode_pnm(bytes: &[u8]) -> Result<DynImage> {
+    let mut t = Tokenizer::new(bytes);
+    let magic = t.next_token()?;
+    let (color, binary) = match magic {
+        b"P1" => return decode_pbm(bytes, t, false),
+        b"P4" => return decode_pbm(bytes, t, true),
+        b"P2" => (false, false),
+        b"P3" => (true, false),
+        b"P5" => (false, true),
+        b"P6" => (true, true),
+        other => {
+            return Err(ImageError::Decode(format!(
+                "unsupported PNM magic {:?}",
+                String::from_utf8_lossy(other)
+            )))
+        }
+    };
+    let width = t.next_uint("width")?;
+    let height = t.next_uint("height")?;
+    let maxval = t.next_uint("maxval")?;
+    if width == 0 || height == 0 {
+        return Err(ImageError::Decode("zero-sized PNM image".into()));
+    }
+    if maxval == 0 || maxval > 65535 {
+        return Err(ImageError::Decode(format!("maxval {maxval} out of range")));
+    }
+    let channels = if color { 3 } else { 1 };
+    let n_samples = width as usize * height as usize * channels;
+
+    let samples: Vec<u8> = if binary {
+        // Exactly one whitespace byte separates maxval from raster data.
+        let data_start = t.pos + 1;
+        let bytes_per_sample = if maxval > 255 { 2 } else { 1 };
+        let need = n_samples * bytes_per_sample;
+        let raster = bytes
+            .get(data_start..data_start + need)
+            .ok_or_else(|| ImageError::Decode("PNM raster data truncated".into()))?;
+        if bytes_per_sample == 1 {
+            if maxval == 255 {
+                raster.to_vec()
+            } else {
+                raster.iter().map(|&b| rescale(b as u32, maxval)).collect()
+            }
+        } else {
+            raster
+                .chunks_exact(2)
+                .map(|c| rescale(u16::from_be_bytes([c[0], c[1]]) as u32, maxval))
+                .collect()
+        }
+    } else {
+        let mut out = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            out.push(rescale(t.next_uint("sample")?, maxval));
+        }
+        out
+    };
+
+    if color {
+        let pixels: Vec<Rgb> = samples
+            .chunks_exact(3)
+            .map(|c| Rgb([c[0], c[1], c[2]]))
+            .collect();
+        Ok(DynImage::Rgb(RgbImage::from_vec(width, height, pixels)?))
+    } else {
+        Ok(DynImage::Gray(GrayImage::from_vec(width, height, samples)?))
+    }
+}
+
+/// Encode a grayscale image as PGM.
+pub fn encode_pgm(img: &GrayImage, enc: PnmEncoding) -> Vec<u8> {
+    match enc {
+        PnmEncoding::Binary => {
+            let mut out = format!("P5\n{} {}\n255\n", img.width(), img.height()).into_bytes();
+            out.extend_from_slice(img.as_slice());
+            out
+        }
+        PnmEncoding::Ascii => {
+            let mut out = format!("P2\n{} {}\n255\n", img.width(), img.height());
+            for y in 0..img.height() {
+                let row: Vec<String> = img.row(y).iter().map(|p| p.to_string()).collect();
+                out.push_str(&row.join(" "));
+                out.push('\n');
+            }
+            out.into_bytes()
+        }
+    }
+}
+
+/// Encode a color image as PPM.
+pub fn encode_ppm(img: &RgbImage, enc: PnmEncoding) -> Vec<u8> {
+    match enc {
+        PnmEncoding::Binary => {
+            let mut out = format!("P6\n{} {}\n255\n", img.width(), img.height()).into_bytes();
+            out.reserve(img.len() * 3);
+            for p in img.pixels() {
+                out.extend_from_slice(&p.0);
+            }
+            out
+        }
+        PnmEncoding::Ascii => {
+            let mut out = format!("P3\n{} {}\n255\n", img.width(), img.height());
+            for y in 0..img.height() {
+                let row: Vec<String> = img
+                    .row(y)
+                    .iter()
+                    .map(|p| format!("{} {} {}", p.r(), p.g(), p.b()))
+                    .collect();
+                out.push_str(&row.join("  "));
+                out.push('\n');
+            }
+            out.into_bytes()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gray_test_image() -> GrayImage {
+        GrayImage::from_fn(7, 5, |x, y| ((x * 37 + y * 101) % 256) as u8)
+    }
+
+    fn rgb_test_image() -> RgbImage {
+        RgbImage::from_fn(6, 4, |x, y| {
+            Rgb::new((x * 40) as u8, (y * 60) as u8, ((x + y) * 25) as u8)
+        })
+    }
+
+    #[test]
+    fn pgm_binary_roundtrip() {
+        let img = gray_test_image();
+        let bytes = encode_pgm(&img, PnmEncoding::Binary);
+        match decode_pnm(&bytes).unwrap() {
+            DynImage::Gray(g) => assert_eq!(g, img),
+            _ => panic!("expected gray"),
+        }
+    }
+
+    #[test]
+    fn pgm_ascii_roundtrip() {
+        let img = gray_test_image();
+        let bytes = encode_pgm(&img, PnmEncoding::Ascii);
+        assert_eq!(decode_pnm(&bytes).unwrap().into_gray(), img);
+    }
+
+    #[test]
+    fn ppm_binary_roundtrip() {
+        let img = rgb_test_image();
+        let bytes = encode_ppm(&img, PnmEncoding::Binary);
+        match decode_pnm(&bytes).unwrap() {
+            DynImage::Rgb(c) => assert_eq!(c, img),
+            _ => panic!("expected rgb"),
+        }
+    }
+
+    #[test]
+    fn ppm_ascii_roundtrip() {
+        let img = rgb_test_image();
+        let bytes = encode_ppm(&img, PnmEncoding::Ascii);
+        assert_eq!(decode_pnm(&bytes).unwrap().into_rgb(), img);
+    }
+
+    #[test]
+    fn header_comments_are_skipped() {
+        let src = b"P2 # comment right after magic\n# another comment\n3 1\n# before maxval\n255\n10 20 30\n";
+        let img = decode_pnm(src).unwrap().into_gray();
+        assert_eq!(img.dimensions(), (3, 1));
+        assert_eq!(img.as_slice(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn arbitrary_whitespace_in_header() {
+        let src = b"P2\t\t2\r\n2     255\n 1 2 3 4 ";
+        let img = decode_pnm(src).unwrap().into_gray();
+        assert_eq!(img.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn maxval_rescaling_ascii() {
+        // maxval 15: sample 15 -> 255, 7 -> round(7*255/15)=119.
+        let src = b"P2 2 1 15 15 7";
+        let img = decode_pnm(src).unwrap().into_gray();
+        assert_eq!(img.as_slice(), &[255, 119]);
+    }
+
+    #[test]
+    fn sixteen_bit_binary_pgm() {
+        // maxval 65535, big-endian samples: 65535 -> 255, 32768 -> 128.
+        let mut src = b"P5 2 1 65535 ".to_vec();
+        src.extend_from_slice(&65535u16.to_be_bytes());
+        src.extend_from_slice(&32768u16.to_be_bytes());
+        let img = decode_pnm(&src).unwrap().into_gray();
+        assert_eq!(img.as_slice(), &[255, 128]);
+    }
+
+    #[test]
+    fn truncated_raster_is_an_error() {
+        let img = gray_test_image();
+        let mut bytes = encode_pgm(&img, PnmEncoding::Binary);
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode_pnm(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_ascii_is_an_error() {
+        assert!(decode_pnm(b"P2 2 2 255 1 2 3").is_err());
+    }
+
+    #[test]
+    fn bad_headers_are_errors() {
+        assert!(decode_pnm(b"P7 1 1 255 x").is_err());
+        assert!(decode_pnm(b"P2 0 5 255").is_err());
+        assert!(decode_pnm(b"P2 5 0 255").is_err());
+        assert!(decode_pnm(b"P2 1 1 0 1").is_err());
+        assert!(decode_pnm(b"P2 1 1 70000 1").is_err());
+        assert!(decode_pnm(b"P2 -3 1 255 1").is_err());
+        assert!(decode_pnm(b"P2").is_err());
+    }
+
+    #[test]
+    fn ascii_sample_above_maxval_is_clamped() {
+        let src = b"P2 1 1 100 200";
+        let img = decode_pnm(src).unwrap().into_gray();
+        assert_eq!(img.as_slice(), &[255]);
+    }
+
+    #[test]
+    fn pbm_binary_roundtrip_with_padding() {
+        // Width 13 forces bit padding in each row.
+        let mask = GrayImage::from_fn(13, 5, |x, y| if (x + y) % 3 == 0 { 0 } else { 255 });
+        let bytes = encode_pbm(&mask, PnmEncoding::Binary);
+        assert_eq!(decode_pnm(&bytes).unwrap().into_gray(), mask);
+    }
+
+    #[test]
+    fn pbm_ascii_roundtrip() {
+        let mask = GrayImage::from_fn(6, 4, |x, y| if x == y { 0 } else { 255 });
+        let bytes = encode_pbm(&mask, PnmEncoding::Ascii);
+        assert_eq!(decode_pnm(&bytes).unwrap().into_gray(), mask);
+    }
+
+    #[test]
+    fn pbm_ascii_accepts_packed_digits() {
+        // The spec allows P1 digits without separating whitespace.
+        let src = b"P1\n4 2\n1010\n0101\n";
+        let img = decode_pnm(src).unwrap().into_gray();
+        assert_eq!(img.as_slice(), &[0, 255, 0, 255, 255, 0, 255, 0]);
+    }
+
+    #[test]
+    fn pbm_errors() {
+        assert!(decode_pnm(b"P1 2 2 1 0 1").is_err()); // truncated
+        assert!(decode_pnm(b"P1 2 2 1 0 1 7").is_err()); // bad digit
+        assert!(decode_pnm(b"P1 0 2").is_err()); // zero size
+        let mask = GrayImage::filled(9, 3, 0);
+        let mut bytes = encode_pbm(&mask, PnmEncoding::Binary);
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode_pnm(&bytes).is_err());
+    }
+
+    #[test]
+    fn single_pixel_images() {
+        let img = GrayImage::filled(1, 1, 42);
+        for enc in [PnmEncoding::Ascii, PnmEncoding::Binary] {
+            assert_eq!(decode_pnm(&encode_pgm(&img, enc)).unwrap().into_gray(), img);
+        }
+    }
+}

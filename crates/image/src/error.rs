@@ -1,0 +1,92 @@
+//! Error type shared by the imaging substrate.
+
+use std::fmt;
+
+/// Errors produced while decoding, encoding, or operating on images.
+#[derive(Debug)]
+pub enum ImageError {
+    /// The byte stream is not a valid image in the expected format.
+    Decode(String),
+    /// The image cannot be represented in the requested output format.
+    Encode(String),
+    /// Two images (or an image and a kernel/rect) have incompatible shapes.
+    DimensionMismatch {
+        /// What was being attempted.
+        context: &'static str,
+        /// Shape that was expected, `(width, height)`.
+        expected: (u32, u32),
+        /// Shape that was provided, `(width, height)`.
+        actual: (u32, u32),
+    },
+    /// A parameter is outside its valid domain (e.g. even kernel size, zero sigma).
+    InvalidParameter(String),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Decode(msg) => write!(f, "decode error: {msg}"),
+            ImageError::Encode(msg) => write!(f, "encode error: {msg}"),
+            ImageError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {}x{}, got {}x{}",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            ImageError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ImageError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImageError {
+    fn from(e: std::io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ImageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = ImageError::Decode("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+
+        let e = ImageError::DimensionMismatch {
+            context: "convolve",
+            expected: (3, 3),
+            actual: (4, 3),
+        };
+        let s = e.to_string();
+        assert!(s.contains("convolve") && s.contains("3x3") && s.contains("4x3"));
+
+        let e = ImageError::InvalidParameter("sigma must be positive".into());
+        assert!(e.to_string().contains("sigma"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: ImageError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,289 @@
+//! Canny edge detection: Gaussian smoothing, Sobel gradients, non-maximum
+//! suppression, and double-threshold hysteresis. Produces thin,
+//! well-connected edge maps — higher quality input for shape features than
+//! raw thresholded Sobel magnitude.
+
+use super::gaussian::gaussian_blur;
+use super::sobel::GradientField;
+use crate::error::{ImageError, Result};
+use crate::image::{FloatImage, GrayImage};
+
+/// Parameters of the Canny detector.
+#[derive(Clone, Debug)]
+pub struct CannyParams {
+    /// Gaussian smoothing sigma applied first.
+    pub sigma: f32,
+    /// Hysteresis low threshold on normalized magnitude `[0, 255]`.
+    pub low: f32,
+    /// Hysteresis high threshold (strictly greater than `low`).
+    pub high: f32,
+}
+
+impl Default for CannyParams {
+    fn default() -> Self {
+        CannyParams {
+            sigma: 1.4,
+            low: 10.0,
+            high: 30.0,
+        }
+    }
+}
+
+/// Quantize a gradient direction into one of 4 sectors (E-W, NE-SW, N-S,
+/// NW-SE) and return the two neighbour offsets along the gradient.
+fn direction_offsets(gx: f32, gy: f32) -> [(i64, i64); 2] {
+    let angle = gy.atan2(gx).rem_euclid(std::f32::consts::PI);
+    let sector = (angle / (std::f32::consts::PI / 4.0)).round() as u32 % 4;
+    match sector {
+        0 => [(1, 0), (-1, 0)],    // gradient ~horizontal
+        1 => [(1, 1), (-1, -1)],   // ~45°
+        2 => [(0, 1), (0, -1)],    // ~vertical
+        _ => [(-1, 1), (1, -1)],   // ~135°
+    }
+}
+
+/// Run the full Canny pipeline. Returns a binary (0/255) edge map.
+pub fn canny(img: &GrayImage, params: &CannyParams) -> Result<GrayImage> {
+    if img.is_empty() {
+        return Err(ImageError::InvalidParameter(
+            "canny of an empty image".into(),
+        ));
+    }
+    if params.low.is_nan() || params.high.is_nan() || params.low < 0.0 || params.high <= params.low
+    {
+        return Err(ImageError::InvalidParameter(format!(
+            "hysteresis thresholds must satisfy 0 <= low < high, got {} and {}",
+            params.low, params.high
+        )));
+    }
+    let (w, h) = img.dimensions();
+
+    // 1. Smooth.
+    let smoothed = gaussian_blur(&img.to_float(), params.sigma)?;
+
+    // 2. Gradients (Sobel on the smoothed image).
+    let smooth_u8 = smoothed.to_gray_clamped();
+    let grad: GradientField = super::sobel::sobel(&smooth_u8);
+    const MAX: f32 = 1020.0 * std::f32::consts::SQRT_2;
+    let mag = grad.magnitude().map(|m| m / MAX * 255.0);
+
+    // 3. Non-maximum suppression: keep only local ridge maxima along the
+    //    gradient direction.
+    let mut thin = FloatImage::filled(w, h, 0.0);
+    for y in 0..h {
+        for x in 0..w {
+            let m = mag.pixel(x, y);
+            if m <= 0.0 {
+                continue;
+            }
+            let offs = direction_offsets(grad.gx.pixel(x, y), grad.gy.pixel(x, y));
+            let a = mag.get_clamped(x as i64 + offs[0].0, y as i64 + offs[0].1);
+            let b = mag.get_clamped(x as i64 + offs[1].0, y as i64 + offs[1].1);
+            if m >= a && m >= b {
+                thin.set(x, y, m);
+            }
+        }
+    }
+
+    // 4. Hysteresis: strong pixels seed a flood fill through weak pixels.
+    const WEAK: u8 = 1;
+    const STRONG: u8 = 2;
+    let mut state = thin.map(|m| {
+        if m >= params.high {
+            STRONG
+        } else if m >= params.low {
+            WEAK
+        } else {
+            0
+        }
+    });
+    let mut stack: Vec<(u32, u32)> = state
+        .enumerate_pixels()
+        .filter(|&(_, _, s)| s == STRONG)
+        .map(|(x, y, _)| (x, y))
+        .collect();
+    let mut out = GrayImage::filled(w, h, 0);
+    while let Some((x, y)) = stack.pop() {
+        if out.pixel(x, y) == 255 {
+            continue;
+        }
+        out.set(x, y, 255);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = x as i64 + dx;
+                let ny = y as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                    continue;
+                }
+                let (nx, ny) = (nx as u32, ny as u32);
+                if state.pixel(nx, ny) != 0 && out.pixel(nx, ny) == 0 {
+                    // Weak pixels connected (transitively) to a strong pixel
+                    // survive; promote so it seeds further growth.
+                    state.set(nx, ny, STRONG);
+                    stack.push((nx, ny));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Canny with default parameters.
+pub fn canny_default(img: &GrayImage) -> Result<GrayImage> {
+    canny(img, &CannyParams::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vertical_step(n: u32) -> GrayImage {
+        GrayImage::from_fn(n, n, |x, _| if x < n / 2 { 20 } else { 200 })
+    }
+
+    fn count_edges(img: &GrayImage) -> usize {
+        img.pixels().filter(|&p| p == 255).count()
+    }
+
+    #[test]
+    fn step_edge_yields_thin_response() {
+        let img = vertical_step(32);
+        let edges = canny_default(&img).unwrap();
+        // One thin (1-2 px wide) vertical line of ~32 pixels.
+        let n = count_edges(&edges);
+        assert!((28..=80).contains(&n), "edge count {n}");
+        // Every row crosses the edge at least once near the centre.
+        for y in 2..30 {
+            let row_edges: Vec<u32> = (0..32)
+                .filter(|&x| edges.pixel(x, y) == 255)
+                .collect();
+            assert!(!row_edges.is_empty(), "row {y} lost the edge");
+            assert!(
+                row_edges.iter().all(|&x| (13..=18).contains(&x)),
+                "row {y} edge strayed: {row_edges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn thinner_than_raw_sobel_threshold() {
+        // A gradual ramp: thresholded Sobel marks the whole 8-px transition
+        // band, non-maximum suppression keeps only its crest.
+        let img = GrayImage::from_fn(32, 32, |x, _| {
+            ((x.saturating_sub(12)).min(8) * 25) as u8
+        });
+        let canny_edges = count_edges(&canny_default(&img).unwrap());
+        let sobel_edges = super::super::sobel::edge_map(&img, 10.0)
+            .pixels()
+            .filter(|&p| p == 255)
+            .count();
+        assert!(
+            canny_edges < sobel_edges / 2,
+            "canny {canny_edges} not thinner than sobel {sobel_edges}"
+        );
+    }
+
+    #[test]
+    fn flat_image_has_no_edges() {
+        let edges = canny_default(&GrayImage::filled(16, 16, 128)).unwrap();
+        assert_eq!(count_edges(&edges), 0);
+    }
+
+    #[test]
+    fn hysteresis_keeps_connected_weak_edges() {
+        // A contrast ramp along a line: one end strong, the other weak. With
+        // hysteresis the whole connected line survives; with a single high
+        // threshold the weak end would vanish.
+        let img = GrayImage::from_fn(64, 32, |x, y| {
+            if y < 16 {
+                0
+            } else {
+                // Edge contrast decays with x.
+                (200 - x * 2).max(40) as u8
+            }
+        });
+        let strict = canny(
+            &img,
+            &CannyParams {
+                sigma: 1.0,
+                low: 34.0,
+                high: 35.0,
+            },
+        )
+        .unwrap();
+        let hysteresis = canny(
+            &img,
+            &CannyParams {
+                sigma: 1.0,
+                low: 5.0,
+                high: 35.0,
+            },
+        )
+        .unwrap();
+        assert!(count_edges(&hysteresis) >= count_edges(&strict));
+        // The weak tail (right side) is present under hysteresis.
+        let right_weak = (48..64)
+            .filter(|&x| (14..18).any(|y| hysteresis.pixel(x, y) == 255))
+            .count();
+        assert!(right_weak > 8, "weak tail lost: {right_weak}");
+    }
+
+    #[test]
+    fn isolated_weak_noise_is_dropped() {
+        // Weak texture everywhere, no strong seeds -> nothing survives.
+        let img = GrayImage::from_fn(32, 32, |x, y| 100 + ((x + y) % 3) as u8 * 4);
+        let edges = canny(
+            &img,
+            &CannyParams {
+                sigma: 1.0,
+                low: 0.5,
+                high: 200.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(count_edges(&edges), 0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let img = GrayImage::filled(8, 8, 0);
+        assert!(canny(
+            &img,
+            &CannyParams {
+                sigma: 1.0,
+                low: 30.0,
+                high: 10.0
+            }
+        )
+        .is_err());
+        assert!(canny(
+            &img,
+            &CannyParams {
+                sigma: 1.0,
+                low: -1.0,
+                high: 10.0
+            }
+        )
+        .is_err());
+        assert!(canny(
+            &img,
+            &CannyParams {
+                sigma: 0.0,
+                low: 1.0,
+                high: 2.0
+            }
+        )
+        .is_err());
+        assert!(canny_default(&GrayImage::filled(0, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn direction_offsets_cover_four_sectors() {
+        assert_eq!(direction_offsets(1.0, 0.0), [(1, 0), (-1, 0)]);
+        assert_eq!(direction_offsets(0.0, 1.0), [(0, 1), (0, -1)]);
+        assert_eq!(direction_offsets(1.0, 1.0), [(1, 1), (-1, -1)]);
+        assert_eq!(direction_offsets(-1.0, 1.0), [(-1, 1), (1, -1)]);
+        // Opposite gradients give the same sector (mod pi).
+        assert_eq!(direction_offsets(-1.0, 0.0), direction_offsets(1.0, 0.0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Histogram equalization — the classical preprocessing step that removes
+//! global illumination differences before feature extraction.
+
+use super::threshold::gray_histogram;
+use crate::image::GrayImage;
+
+/// Histogram-equalize a grayscale image.
+///
+/// Maps intensities through the normalized cumulative distribution so the
+/// output histogram is as flat as the input's tie structure allows. Uses the
+/// standard formulation `round((cdf(v) - cdf_min) / (n - cdf_min) * 255)`.
+pub fn equalize(img: &GrayImage) -> GrayImage {
+    if img.is_empty() {
+        return img.clone();
+    }
+    let hist = gray_histogram(img);
+    let n = img.len() as u64;
+
+    let mut cdf = [0u64; 256];
+    let mut acc = 0u64;
+    for (i, &c) in hist.iter().enumerate() {
+        acc += c;
+        cdf[i] = acc;
+    }
+    let cdf_min = cdf
+        .iter()
+        .copied()
+        .find(|&c| c > 0)
+        .expect("non-empty image has a nonzero bin");
+
+    let mut lut = [0u8; 256];
+    if n > cdf_min {
+        let denom = (n - cdf_min) as f64;
+        for i in 0..256 {
+            let num = cdf[i].saturating_sub(cdf_min) as f64;
+            lut[i] = (num / denom * 255.0).round() as u8;
+        }
+    }
+    // If n == cdf_min the image is constant; lut of zeros maps it to black,
+    // matching the usual convention.
+    img.map(|p| lut[p as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equalize_stretches_low_contrast() {
+        // Intensities packed into [100, 110].
+        let img = GrayImage::from_fn(16, 16, |x, y| 100 + ((x + y) % 11) as u8);
+        let out = equalize(&img);
+        let (lo, hi) = out
+            .pixels()
+            .fold((255u8, 0u8), |(lo, hi), p| (lo.min(p), hi.max(p)));
+        assert_eq!(lo, 0);
+        assert_eq!(hi, 255);
+    }
+
+    #[test]
+    fn equalize_is_monotone() {
+        let img = GrayImage::from_fn(64, 1, |x, _| (x * 2 + 50) as u8);
+        let out = equalize(&img);
+        for w in out.as_slice().windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn constant_image_maps_to_black() {
+        let img = GrayImage::filled(4, 4, 200);
+        let out = equalize(&img);
+        assert!(out.pixels().all(|p| p == 0));
+    }
+
+    #[test]
+    fn empty_image_is_noop() {
+        let img = GrayImage::filled(0, 0, 0);
+        assert_eq!(equalize(&img).len(), 0);
+    }
+
+    #[test]
+    fn already_uniform_histogram_roughly_fixed() {
+        // One pixel of each intensity: equalization must keep it spanning
+        // the full range and stay monotone (it is the identity up to
+        // rounding).
+        let img = GrayImage::from_fn(256, 1, |x, _| x as u8);
+        let out = equalize(&img);
+        assert_eq!(out.pixel(0, 0), 0);
+        assert_eq!(out.pixel(255, 0), 255);
+        for (x, y, p) in out.enumerate_pixels() {
+            let _ = y;
+            assert!((p as i32 - x as i32).abs() <= 1, "x={x} p={p}");
+        }
+    }
+
+    #[test]
+    fn binary_image_maps_to_extremes() {
+        let img = GrayImage::from_fn(10, 1, |x, _| if x < 5 { 60 } else { 190 });
+        let out = equalize(&img);
+        // cdf(60)=5 → (5-5)/(10-5)*255 = 0; cdf(190)=10 → 255.
+        assert_eq!(out.pixel(0, 0), 0);
+        assert_eq!(out.pixel(9, 0), 255);
+    }
+}

@@ -1,0 +1,120 @@
+//! Gaussian smoothing, the standard noise-suppression step before edge
+//! detection.
+
+use super::convolve::convolve_separable;
+use crate::error::{ImageError, Result};
+use crate::image::{FloatImage, GrayImage};
+
+/// Sampled, normalized 1-D Gaussian taps with radius `ceil(3 sigma)`.
+///
+/// Returns an error if `sigma` is not strictly positive and finite.
+pub fn gaussian_kernel_1d(sigma: f32) -> Result<Vec<f32>> {
+    if sigma.is_nan() || sigma <= 0.0 || !sigma.is_finite() {
+        return Err(ImageError::InvalidParameter(format!(
+            "sigma must be positive and finite, got {sigma}"
+        )));
+    }
+    let radius = (3.0 * sigma).ceil() as i64;
+    let denom = 2.0 * sigma * sigma;
+    let mut taps: Vec<f32> = (-radius..=radius)
+        .map(|i| (-(i * i) as f32 / denom).exp())
+        .collect();
+    let sum: f32 = taps.iter().sum();
+    for t in &mut taps {
+        *t /= sum;
+    }
+    Ok(taps)
+}
+
+/// Blur a float image with an isotropic Gaussian of the given sigma.
+pub fn gaussian_blur(img: &FloatImage, sigma: f32) -> Result<FloatImage> {
+    let taps = gaussian_kernel_1d(sigma)?;
+    convolve_separable(img, &taps, &taps)
+}
+
+/// Blur an 8-bit grayscale image, rounding back to `u8`.
+pub fn gaussian_blur_gray(img: &GrayImage, sigma: f32) -> Result<GrayImage> {
+    Ok(gaussian_blur(&img.to_float(), sigma)?.to_gray_clamped())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_normalized_and_symmetric() {
+        for sigma in [0.5f32, 1.0, 2.3, 5.0] {
+            let k = gaussian_kernel_1d(sigma).unwrap();
+            assert_eq!(k.len() % 2, 1);
+            let sum: f32 = k.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            for i in 0..k.len() / 2 {
+                assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-6);
+            }
+            // Centre is the maximum.
+            let centre = k[k.len() / 2];
+            assert!(k.iter().all(|&t| t <= centre + 1e-9));
+        }
+    }
+
+    #[test]
+    fn kernel_radius_grows_with_sigma() {
+        let a = gaussian_kernel_1d(1.0).unwrap();
+        let b = gaussian_kernel_1d(3.0).unwrap();
+        assert!(b.len() > a.len());
+        assert_eq!(a.len(), 7); // radius 3
+        assert_eq!(b.len(), 19); // radius 9
+    }
+
+    #[test]
+    fn invalid_sigma_rejected() {
+        assert!(gaussian_kernel_1d(0.0).is_err());
+        assert!(gaussian_kernel_1d(-1.0).is_err());
+        assert!(gaussian_kernel_1d(f32::NAN).is_err());
+        assert!(gaussian_kernel_1d(f32::INFINITY).is_err());
+    }
+
+    #[test]
+    fn blur_preserves_constant_images() {
+        let img = FloatImage::filled(16, 16, 42.0);
+        let out = gaussian_blur(&img, 2.0).unwrap();
+        for p in out.pixels() {
+            assert!((p - 42.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn blur_preserves_mean_and_reduces_variance() {
+        let img =
+            GrayImage::from_fn(32, 32, |x, y| ((x * 7919 + y * 104729) % 256) as u8).to_float();
+        let out = gaussian_blur(&img, 1.5).unwrap();
+        let mean = |im: &FloatImage| im.pixels().sum::<f32>() / im.len() as f32;
+        let var = |im: &FloatImage| {
+            let m = mean(im);
+            im.pixels().map(|p| (p - m) * (p - m)).sum::<f32>() / im.len() as f32
+        };
+        // Replicate borders keep the mean approximately unchanged.
+        assert!((mean(&img) - mean(&out)).abs() < 3.0);
+        assert!(var(&out) < var(&img) * 0.5);
+    }
+
+    #[test]
+    fn blur_spreads_an_impulse() {
+        let mut img = FloatImage::filled(11, 11, 0.0);
+        img.set(5, 5, 100.0);
+        let out = gaussian_blur(&img, 1.0).unwrap();
+        // Peak remains at the centre but is attenuated; energy spreads.
+        assert!(out.pixel(5, 5) < 100.0);
+        assert!(out.pixel(5, 5) > out.pixel(4, 5) * 0.9);
+        assert!(out.pixel(4, 5) > 0.0);
+        let total: f32 = out.pixels().sum();
+        assert!((total - 100.0).abs() < 0.5); // mass conservation away from borders
+    }
+
+    #[test]
+    fn gray_blur_roundtrips_types() {
+        let img = GrayImage::from_fn(8, 8, |x, _| (x * 30) as u8);
+        let out = gaussian_blur_gray(&img, 1.0).unwrap();
+        assert_eq!(out.dimensions(), (8, 8));
+    }
+}

@@ -1,0 +1,145 @@
+//! Summed-area (integral) images: O(1) rectangle sums after an O(n) pass.
+
+use crate::image::GrayImage;
+
+/// Summed-area table over a grayscale image.
+///
+/// Stored with one extra row/column of zeros so rectangle queries need no
+/// boundary special-casing: `table[(y+1)*(w+1) + (x+1)]` is the sum of all
+/// pixels in `[0..=x, 0..=y]`.
+#[derive(Clone, Debug)]
+pub struct IntegralImage {
+    width: u32,
+    height: u32,
+    table: Vec<u64>,
+}
+
+impl IntegralImage {
+    /// Build the table in one pass.
+    pub fn new(img: &GrayImage) -> Self {
+        let (w, h) = img.dimensions();
+        let tw = w as usize + 1;
+        let th = h as usize + 1;
+        let mut table = vec![0u64; tw * th];
+        for y in 0..h as usize {
+            let mut row_sum = 0u64;
+            for x in 0..w as usize {
+                row_sum += img.as_slice()[y * w as usize + x] as u64;
+                table[(y + 1) * tw + (x + 1)] = table[y * tw + (x + 1)] + row_sum;
+            }
+        }
+        IntegralImage {
+            width: w,
+            height: h,
+            table,
+        }
+    }
+
+    /// Source image width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Source image height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Sum of pixels in the inclusive rectangle `[x0..=x1, y0..=y1]`.
+    ///
+    /// # Panics
+    /// Panics if the rectangle is inverted or out of bounds.
+    pub fn sum(&self, x0: u32, y0: u32, x1: u32, y1: u32) -> u64 {
+        assert!(x0 <= x1 && y0 <= y1, "inverted rectangle");
+        assert!(
+            x1 < self.width && y1 < self.height,
+            "rectangle out of bounds"
+        );
+        let tw = self.width as usize + 1;
+        let a = self.table[y0 as usize * tw + x0 as usize];
+        let b = self.table[y0 as usize * tw + x1 as usize + 1];
+        let c = self.table[(y1 as usize + 1) * tw + x0 as usize];
+        let d = self.table[(y1 as usize + 1) * tw + x1 as usize + 1];
+        d + a - b - c
+    }
+
+    /// Mean intensity over the inclusive rectangle.
+    pub fn mean(&self, x0: u32, y0: u32, x1: u32, y1: u32) -> f64 {
+        let n = (x1 - x0 + 1) as u64 * (y1 - y0 + 1) as u64;
+        self.sum(x0, y0, x1, y1) as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_sum(img: &GrayImage, x0: u32, y0: u32, x1: u32, y1: u32) -> u64 {
+        let mut s = 0u64;
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                s += img.pixel(x, y) as u64;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn matches_brute_force_on_all_rectangles() {
+        let img = GrayImage::from_fn(7, 6, |x, y| ((x * 41 + y * 97) % 256) as u8);
+        let ii = IntegralImage::new(&img);
+        for y0 in 0..6 {
+            for y1 in y0..6 {
+                for x0 in 0..7 {
+                    for x1 in x0..7 {
+                        assert_eq!(
+                            ii.sum(x0, y0, x1, y1),
+                            brute_sum(&img, x0, y0, x1, y1),
+                            "rect ({x0},{y0})-({x1},{y1})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_image_sum() {
+        let img = GrayImage::filled(10, 10, 255);
+        let ii = IntegralImage::new(&img);
+        assert_eq!(ii.sum(0, 0, 9, 9), 255 * 100);
+        assert_eq!(ii.mean(0, 0, 9, 9), 255.0);
+    }
+
+    #[test]
+    fn single_pixel_rect() {
+        let img = GrayImage::from_fn(3, 3, |x, y| (x + 3 * y) as u8);
+        let ii = IntegralImage::new(&img);
+        for y in 0..3 {
+            for x in 0..3 {
+                assert_eq!(ii.sum(x, y, x, y), img.pixel(x, y) as u64);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let ii = IntegralImage::new(&GrayImage::filled(2, 2, 0));
+        ii.sum(0, 0, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_rect_panics() {
+        let ii = IntegralImage::new(&GrayImage::filled(2, 2, 0));
+        ii.sum(1, 0, 0, 1);
+    }
+
+    #[test]
+    fn no_overflow_on_large_white_image() {
+        let img = GrayImage::filled(512, 512, 255);
+        let ii = IntegralImage::new(&img);
+        assert_eq!(ii.sum(0, 0, 511, 511), 255u64 * 512 * 512);
+    }
+}

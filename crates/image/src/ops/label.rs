@@ -1,0 +1,276 @@
+//! Connected-component labelling of binary images, plus region statistics —
+//! the minimal segmentation substrate shape features need to work on *the
+//! object* instead of the whole frame.
+
+use crate::error::{ImageError, Result};
+use crate::image::GrayImage;
+
+/// Pixel connectivity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Connectivity {
+    /// 4-connected (N/S/E/W).
+    Four,
+    /// 8-connected (including diagonals).
+    Eight,
+}
+
+impl Connectivity {
+    fn offsets(self) -> &'static [(i64, i64)] {
+        match self {
+            Connectivity::Four => &[(1, 0), (-1, 0), (0, 1), (0, -1)],
+            Connectivity::Eight => &[
+                (1, 0),
+                (-1, 0),
+                (0, 1),
+                (0, -1),
+                (1, 1),
+                (1, -1),
+                (-1, 1),
+                (-1, -1),
+            ],
+        }
+    }
+}
+
+/// One labelled connected region.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Region {
+    /// Label (1-based; 0 is background).
+    pub label: u32,
+    /// Pixel count.
+    pub area: usize,
+    /// Bounding box `(min_x, min_y, max_x, max_y)`, inclusive.
+    pub bbox: (u32, u32, u32, u32),
+    /// Centroid `(x̄, ȳ)`.
+    pub centroid: (f64, f64),
+}
+
+/// Result of labelling: a label image (0 = background) plus per-region
+/// statistics ordered by decreasing area.
+#[derive(Clone, Debug)]
+pub struct Labeling {
+    /// Per-pixel labels, 0 = background.
+    pub labels: Vec<u32>,
+    width: u32,
+    height: u32,
+    /// Regions sorted by decreasing area (ties by label).
+    pub regions: Vec<Region>,
+}
+
+impl Labeling {
+    /// Label at `(x, y)`.
+    pub fn label_at(&self, x: u32, y: u32) -> u32 {
+        assert!(x < self.width && y < self.height, "out of bounds");
+        self.labels[y as usize * self.width as usize + x as usize]
+    }
+
+    /// Number of connected components.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether no foreground components exist.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Binary mask (255/0) of a single region.
+    pub fn mask_of(&self, label: u32) -> GrayImage {
+        GrayImage::from_fn(self.width, self.height, |x, y| {
+            if self.label_at(x, y) == label {
+                255
+            } else {
+                0
+            }
+        })
+    }
+
+    /// Mask of the largest region, or `None` if there are no regions.
+    pub fn largest_mask(&self) -> Option<GrayImage> {
+        self.regions.first().map(|r| self.mask_of(r.label))
+    }
+}
+
+/// Label all connected components of the nonzero pixels of `binary`.
+pub fn connected_components(binary: &GrayImage, conn: Connectivity) -> Result<Labeling> {
+    if binary.is_empty() {
+        return Err(ImageError::InvalidParameter(
+            "connected components of an empty image".into(),
+        ));
+    }
+    let (w, h) = binary.dimensions();
+    let mut labels = vec![0u32; w as usize * h as usize];
+    let mut regions: Vec<Region> = Vec::new();
+    let mut next_label = 1u32;
+    let at = |x: u32, y: u32| y as usize * w as usize + x as usize;
+
+    let mut stack: Vec<(u32, u32)> = Vec::new();
+    for sy in 0..h {
+        for sx in 0..w {
+            if binary.pixel(sx, sy) == 0 || labels[at(sx, sy)] != 0 {
+                continue;
+            }
+            // Flood-fill a new component.
+            let label = next_label;
+            next_label += 1;
+            labels[at(sx, sy)] = label;
+            stack.push((sx, sy));
+            let mut area = 0usize;
+            let (mut min_x, mut min_y, mut max_x, mut max_y) = (sx, sy, sx, sy);
+            let mut sum_x = 0.0f64;
+            let mut sum_y = 0.0f64;
+            while let Some((x, y)) = stack.pop() {
+                area += 1;
+                sum_x += x as f64;
+                sum_y += y as f64;
+                min_x = min_x.min(x);
+                min_y = min_y.min(y);
+                max_x = max_x.max(x);
+                max_y = max_y.max(y);
+                for &(dx, dy) in conn.offsets() {
+                    let nx = x as i64 + dx;
+                    let ny = y as i64 + dy;
+                    if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                        continue;
+                    }
+                    let (nx, ny) = (nx as u32, ny as u32);
+                    if binary.pixel(nx, ny) != 0 && labels[at(nx, ny)] == 0 {
+                        labels[at(nx, ny)] = label;
+                        stack.push((nx, ny));
+                    }
+                }
+            }
+            regions.push(Region {
+                label,
+                area,
+                bbox: (min_x, min_y, max_x, max_y),
+                centroid: (sum_x / area as f64, sum_y / area as f64),
+            });
+        }
+    }
+    regions.sort_by(|a, b| b.area.cmp(&a.area).then(a.label.cmp(&b.label)));
+    Ok(Labeling {
+        labels,
+        width: w,
+        height: h,
+        regions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two blobs: a 3x3 square and a 2x1 bar, diagonal-adjacent to a lone
+    /// pixel.
+    fn two_blobs() -> GrayImage {
+        let mut img = GrayImage::filled(10, 8, 0);
+        for y in 1..4 {
+            for x in 1..4 {
+                img.set(x, y, 255);
+            }
+        }
+        img.set(7, 6, 255);
+        img.set(8, 6, 255);
+        img.set(6, 5, 255); // diagonal neighbour of (7,6)
+        img
+    }
+
+    #[test]
+    fn four_vs_eight_connectivity() {
+        let img = two_blobs();
+        let four = connected_components(&img, Connectivity::Four).unwrap();
+        let eight = connected_components(&img, Connectivity::Eight).unwrap();
+        // 4-connectivity: square, bar, lone diagonal pixel = 3 components.
+        assert_eq!(four.len(), 3);
+        // 8-connectivity: diagonal merges with the bar = 2 components.
+        assert_eq!(eight.len(), 2);
+    }
+
+    #[test]
+    fn regions_sorted_by_area_with_correct_stats() {
+        let img = two_blobs();
+        let l = connected_components(&img, Connectivity::Eight).unwrap();
+        let big = &l.regions[0];
+        assert_eq!(big.area, 9);
+        assert_eq!(big.bbox, (1, 1, 3, 3));
+        assert_eq!(big.centroid, (2.0, 2.0));
+        let small = &l.regions[1];
+        assert_eq!(small.area, 3);
+        assert!(l.regions[0].area >= l.regions[1].area);
+    }
+
+    #[test]
+    fn largest_mask_selects_the_big_region() {
+        let img = two_blobs();
+        let l = connected_components(&img, Connectivity::Four).unwrap();
+        let mask = l.largest_mask().unwrap();
+        assert_eq!(mask.pixel(2, 2), 255);
+        assert_eq!(mask.pixel(7, 6), 0);
+        assert_eq!(mask.pixels().filter(|&p| p == 255).count(), 9);
+    }
+
+    #[test]
+    fn empty_foreground() {
+        let l = connected_components(&GrayImage::filled(5, 5, 0), Connectivity::Four).unwrap();
+        assert!(l.is_empty());
+        assert!(l.largest_mask().is_none());
+        assert!(l.labels.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn full_foreground_is_one_component() {
+        let l = connected_components(&GrayImage::filled(6, 4, 255), Connectivity::Four).unwrap();
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.regions[0].area, 24);
+        assert_eq!(l.regions[0].bbox, (0, 0, 5, 3));
+    }
+
+    #[test]
+    fn labels_partition_foreground() {
+        let img = GrayImage::from_fn(16, 16, |x, y| {
+            if (x / 4 + y / 4) % 2 == 0 {
+                255
+            } else {
+                0
+            }
+        });
+        let l = connected_components(&img, Connectivity::Four).unwrap();
+        // Every foreground pixel is labelled; every background pixel is 0.
+        for (x, y, p) in img.enumerate_pixels() {
+            if p != 0 {
+                assert_ne!(l.label_at(x, y), 0);
+            } else {
+                assert_eq!(l.label_at(x, y), 0);
+            }
+        }
+        // Areas sum to the foreground count.
+        let fg = img.pixels().filter(|&p| p != 0).count();
+        let total: usize = l.regions.iter().map(|r| r.area).sum();
+        assert_eq!(total, fg);
+    }
+
+    #[test]
+    fn checkerboard_diagonals_merge_under_eight() {
+        let img = GrayImage::from_fn(8, 8, |x, y| if (x + y) % 2 == 0 { 255 } else { 0 });
+        let four = connected_components(&img, Connectivity::Four).unwrap();
+        let eight = connected_components(&img, Connectivity::Eight).unwrap();
+        assert_eq!(four.len(), 32); // every pixel isolated
+        assert_eq!(eight.len(), 1); // all diagonally connected
+    }
+
+    #[test]
+    fn empty_image_is_error() {
+        assert!(connected_components(&GrayImage::filled(0, 0, 0), Connectivity::Four).is_err());
+    }
+
+    #[test]
+    fn single_pixel_component() {
+        let mut img = GrayImage::filled(3, 3, 0);
+        img.set(1, 1, 7); // any nonzero counts
+        let l = connected_components(&img, Connectivity::Eight).unwrap();
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.regions[0].area, 1);
+        assert_eq!(l.regions[0].centroid, (1.0, 1.0));
+    }
+}

@@ -1,0 +1,25 @@
+//! Image-processing operators used by the feature extractors.
+
+pub mod canny;
+pub mod convolve;
+pub mod equalize;
+pub mod gaussian;
+pub mod integral;
+pub mod label;
+pub mod morphology;
+pub mod resize;
+pub mod sobel;
+pub mod threshold;
+pub mod transform;
+
+pub use canny::{canny, canny_default, CannyParams};
+pub use convolve::{convolve, convolve_separable, Kernel};
+pub use equalize::equalize;
+pub use gaussian::{gaussian_blur, gaussian_blur_gray, gaussian_kernel_1d};
+pub use integral::IntegralImage;
+pub use label::{connected_components, Connectivity, Labeling, Region};
+pub use morphology::{close, dilate, erode, open, Structuring};
+pub use resize::{resize_bilinear_gray, resize_bilinear_rgb, resize_nearest};
+pub use sobel::{edge_density, edge_map, sobel, sobel_magnitude, GradientField};
+pub use threshold::{adaptive_mean_threshold, gray_histogram, otsu_level, threshold};
+pub use transform::{flip_horizontal, flip_vertical, rotate180, rotate270, rotate90};

@@ -1,0 +1,189 @@
+//! Binary morphology: erosion, dilation, opening, closing. Used to clean up
+//! thresholded masks before shape-feature extraction.
+
+use crate::image::GrayImage;
+
+/// Structuring element shape for the 3x3 morphological operators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Structuring {
+    /// 4-connected cross: centre plus N/S/E/W neighbours.
+    Cross,
+    /// Full 8-connected 3x3 square.
+    Square,
+}
+
+impl Structuring {
+    fn offsets(self) -> &'static [(i64, i64)] {
+        match self {
+            Structuring::Cross => &[(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)],
+            Structuring::Square => &[
+                (-1, -1),
+                (0, -1),
+                (1, -1),
+                (-1, 0),
+                (0, 0),
+                (1, 0),
+                (-1, 1),
+                (0, 1),
+                (1, 1),
+            ],
+        }
+    }
+}
+
+/// Treat any nonzero pixel as foreground.
+#[inline]
+fn is_fg(p: u8) -> bool {
+    p != 0
+}
+
+/// Erode: a pixel stays foreground only if *all* pixels under the
+/// structuring element are foreground. Out-of-bounds counts as background,
+/// so objects touching the border shrink there too.
+pub fn erode(img: &GrayImage, se: Structuring) -> GrayImage {
+    let (w, h) = img.dimensions();
+    GrayImage::from_fn(w, h, |x, y| {
+        let all = se.offsets().iter().all(|&(dx, dy)| {
+            let sx = x as i64 + dx;
+            let sy = y as i64 + dy;
+            sx >= 0
+                && sy >= 0
+                && sx < w as i64
+                && sy < h as i64
+                && is_fg(img.pixel(sx as u32, sy as u32))
+        });
+        if all {
+            255
+        } else {
+            0
+        }
+    })
+}
+
+/// Dilate: a pixel becomes foreground if *any* pixel under the structuring
+/// element is foreground.
+pub fn dilate(img: &GrayImage, se: Structuring) -> GrayImage {
+    let (w, h) = img.dimensions();
+    GrayImage::from_fn(w, h, |x, y| {
+        let any = se.offsets().iter().any(|&(dx, dy)| {
+            let sx = x as i64 + dx;
+            let sy = y as i64 + dy;
+            sx >= 0
+                && sy >= 0
+                && sx < w as i64
+                && sy < h as i64
+                && is_fg(img.pixel(sx as u32, sy as u32))
+        });
+        if any {
+            255
+        } else {
+            0
+        }
+    })
+}
+
+/// Morphological opening (erode then dilate): removes specks smaller than
+/// the structuring element.
+pub fn open(img: &GrayImage, se: Structuring) -> GrayImage {
+    dilate(&erode(img, se), se)
+}
+
+/// Morphological closing (dilate then erode): fills pinholes smaller than
+/// the structuring element.
+pub fn close(img: &GrayImage, se: Structuring) -> GrayImage {
+    erode(&dilate(img, se), se)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_fg(img: &GrayImage) -> usize {
+        img.pixels().filter(|&p| p != 0).count()
+    }
+
+    /// 9x9 image with a filled 5x5 square at (2..7, 2..7).
+    fn square_blob() -> GrayImage {
+        GrayImage::from_fn(9, 9, |x, y| {
+            if (2..7).contains(&x) && (2..7).contains(&y) {
+                255
+            } else {
+                0
+            }
+        })
+    }
+
+    #[test]
+    fn erode_shrinks_dilate_grows() {
+        let img = square_blob();
+        let e = erode(&img, Structuring::Square);
+        let d = dilate(&img, Structuring::Square);
+        assert_eq!(count_fg(&e), 9); // 3x3 core
+        assert_eq!(count_fg(&d), 49); // 7x7
+        assert!(count_fg(&e) < count_fg(&img));
+        assert!(count_fg(&d) > count_fg(&img));
+    }
+
+    #[test]
+    fn cross_erosion_is_less_aggressive_than_square() {
+        let img = square_blob();
+        let ec = erode(&img, Structuring::Cross);
+        let es = erode(&img, Structuring::Square);
+        assert!(count_fg(&ec) >= count_fg(&es));
+    }
+
+    #[test]
+    fn opening_removes_isolated_speck() {
+        let mut img = square_blob();
+        img.set(0, 0, 255); // single-pixel noise
+        let o = open(&img, Structuring::Square);
+        assert_eq!(o.pixel(0, 0), 0);
+        // The big square survives (its core does).
+        assert_eq!(o.pixel(4, 4), 255);
+    }
+
+    #[test]
+    fn closing_fills_pinhole() {
+        let mut img = square_blob();
+        img.set(4, 4, 0); // pinhole in the middle
+        let c = close(&img, Structuring::Square);
+        assert_eq!(c.pixel(4, 4), 255);
+    }
+
+    #[test]
+    fn duality_on_empty_and_full() {
+        let empty = GrayImage::filled(5, 5, 0);
+        assert_eq!(count_fg(&dilate(&empty, Structuring::Square)), 0);
+        assert_eq!(count_fg(&erode(&empty, Structuring::Square)), 0);
+        let full = GrayImage::filled(5, 5, 255);
+        assert_eq!(count_fg(&dilate(&full, Structuring::Square)), 25);
+        // Border pixels erode away because outside is background.
+        assert_eq!(count_fg(&erode(&full, Structuring::Square)), 9);
+    }
+
+    #[test]
+    fn erosion_dilation_monotone_wrt_input() {
+        // fg(a) ⊆ fg(b)  ⟹  fg(erode a) ⊆ fg(erode b).
+        let a = square_blob();
+        let mut b = a.clone();
+        b.set(0, 0, 255);
+        b.set(8, 8, 255);
+        for se in [Structuring::Cross, Structuring::Square] {
+            let (ea, eb) = (erode(&a, se), erode(&b, se));
+            for (pa, pb) in ea.pixels().zip(eb.pixels()) {
+                assert!(pa <= pb);
+            }
+            let (da, db) = (dilate(&a, se), dilate(&b, se));
+            for (pa, pb) in da.pixels().zip(db.pixels()) {
+                assert!(pa <= pb);
+            }
+        }
+    }
+
+    #[test]
+    fn any_nonzero_counts_as_foreground() {
+        let img = GrayImage::filled(3, 3, 1);
+        let d = dilate(&img, Structuring::Cross);
+        assert!(d.pixels().all(|p| p == 255));
+    }
+}

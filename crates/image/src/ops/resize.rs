@@ -1,0 +1,181 @@
+//! Image resampling: nearest-neighbour (any pixel type) and bilinear
+//! (grayscale and RGB). CBIR pipelines normalize every image to a canonical
+//! size before feature extraction.
+
+use crate::error::{ImageError, Result};
+use crate::image::{GrayImage, ImageBuffer, RgbImage};
+use crate::pixel::Rgb;
+
+fn check_target(w: u32, h: u32) -> Result<()> {
+    if w == 0 || h == 0 {
+        return Err(ImageError::InvalidParameter(format!(
+            "target dimensions must be positive, got {w}x{h}"
+        )));
+    }
+    Ok(())
+}
+
+/// Nearest-neighbour resampling for any pixel type.
+pub fn resize_nearest<P: Copy>(img: &ImageBuffer<P>, w: u32, h: u32) -> Result<ImageBuffer<P>> {
+    check_target(w, h)?;
+    if img.is_empty() {
+        return Err(ImageError::InvalidParameter(
+            "cannot resize an empty image".into(),
+        ));
+    }
+    let sx = img.width() as f64 / w as f64;
+    let sy = img.height() as f64 / h as f64;
+    Ok(ImageBuffer::from_fn(w, h, |x, y| {
+        // Sample at the centre of each target pixel.
+        let src_x = (((x as f64 + 0.5) * sx) as u32).min(img.width() - 1);
+        let src_y = (((y as f64 + 0.5) * sy) as u32).min(img.height() - 1);
+        img.pixel(src_x, src_y)
+    }))
+}
+
+/// Compute source coordinates and weights for bilinear sampling at target
+/// pixel centre `t` with scale `s`, for a source axis of length `n`.
+#[inline]
+fn bilinear_axis(t: u32, s: f64, n: u32) -> (u32, u32, f64) {
+    let pos = (t as f64 + 0.5) * s - 0.5;
+    let pos = pos.clamp(0.0, (n - 1) as f64);
+    let i0 = pos.floor() as u32;
+    let i1 = (i0 + 1).min(n - 1);
+    (i0, i1, pos - i0 as f64)
+}
+
+/// Bilinear resampling of a grayscale image.
+pub fn resize_bilinear_gray(img: &GrayImage, w: u32, h: u32) -> Result<GrayImage> {
+    check_target(w, h)?;
+    if img.is_empty() {
+        return Err(ImageError::InvalidParameter(
+            "cannot resize an empty image".into(),
+        ));
+    }
+    let sx = img.width() as f64 / w as f64;
+    let sy = img.height() as f64 / h as f64;
+    Ok(GrayImage::from_fn(w, h, |x, y| {
+        let (x0, x1, fx) = bilinear_axis(x, sx, img.width());
+        let (y0, y1, fy) = bilinear_axis(y, sy, img.height());
+        let p00 = img.pixel(x0, y0) as f64;
+        let p10 = img.pixel(x1, y0) as f64;
+        let p01 = img.pixel(x0, y1) as f64;
+        let p11 = img.pixel(x1, y1) as f64;
+        let top = p00 + (p10 - p00) * fx;
+        let bot = p01 + (p11 - p01) * fx;
+        (top + (bot - top) * fy).round().clamp(0.0, 255.0) as u8
+    }))
+}
+
+/// Bilinear resampling of an RGB image (per channel).
+pub fn resize_bilinear_rgb(img: &RgbImage, w: u32, h: u32) -> Result<RgbImage> {
+    check_target(w, h)?;
+    if img.is_empty() {
+        return Err(ImageError::InvalidParameter(
+            "cannot resize an empty image".into(),
+        ));
+    }
+    let sx = img.width() as f64 / w as f64;
+    let sy = img.height() as f64 / h as f64;
+    Ok(RgbImage::from_fn(w, h, |x, y| {
+        let (x0, x1, fx) = bilinear_axis(x, sx, img.width());
+        let (y0, y1, fy) = bilinear_axis(y, sy, img.height());
+        let mut out = [0u8; 3];
+        for (c, o) in out.iter_mut().enumerate() {
+            let p00 = img.pixel(x0, y0).0[c] as f64;
+            let p10 = img.pixel(x1, y0).0[c] as f64;
+            let p01 = img.pixel(x0, y1).0[c] as f64;
+            let p11 = img.pixel(x1, y1).0[c] as f64;
+            let top = p00 + (p10 - p00) * fx;
+            let bot = p01 + (p11 - p01) * fx;
+            *o = (top + (bot - top) * fy).round().clamp(0.0, 255.0) as u8;
+        }
+        Rgb(out)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_resize_is_identity() {
+        let img = GrayImage::from_fn(7, 5, |x, y| (x * 31 + y * 7) as u8);
+        assert_eq!(resize_nearest(&img, 7, 5).unwrap(), img);
+        assert_eq!(resize_bilinear_gray(&img, 7, 5).unwrap(), img);
+        let rgb = img.to_rgb();
+        assert_eq!(resize_bilinear_rgb(&rgb, 7, 5).unwrap(), rgb);
+    }
+
+    #[test]
+    fn upscale_2x_nearest_replicates() {
+        let img = GrayImage::from_vec(2, 1, vec![10, 200]).unwrap();
+        let up = resize_nearest(&img, 4, 2).unwrap();
+        assert_eq!(up.as_slice(), &[10, 10, 200, 200, 10, 10, 200, 200]);
+    }
+
+    #[test]
+    fn downscale_nearest_picks_centres() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (x + 4 * y) as u8);
+        let down = resize_nearest(&img, 2, 2).unwrap();
+        // Target pixel (0,0) samples source (1,1)=5; (1,1) samples (3,3)=15.
+        assert_eq!(down.as_slice(), &[5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn bilinear_constant_stays_constant() {
+        let img = GrayImage::filled(5, 5, 123);
+        for (w, h) in [(3, 3), (10, 7), (1, 1), (13, 2)] {
+            let out = resize_bilinear_gray(&img, w, h).unwrap();
+            assert!(out.pixels().all(|p| p == 123), "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn bilinear_ramp_stays_monotone() {
+        let img = GrayImage::from_fn(8, 1, |x, _| (x * 30) as u8);
+        let out = resize_bilinear_gray(&img, 16, 1).unwrap();
+        for w in out.as_slice().windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(out.pixel(0, 0) <= 15);
+        assert!(out.pixel(15, 0) >= 195);
+    }
+
+    #[test]
+    fn bilinear_interpolates_midpoint() {
+        let img = GrayImage::from_vec(2, 1, vec![0, 100]).unwrap();
+        let out = resize_bilinear_gray(&img, 4, 1).unwrap();
+        // Centres at source positions -0.25(→0), 0.25, 0.75, 1.25(→1).
+        assert_eq!(out.as_slice(), &[0, 25, 75, 100]);
+    }
+
+    #[test]
+    fn rgb_bilinear_channels_independent() {
+        let img = RgbImage::from_vec(2, 1, vec![Rgb::new(0, 100, 200), Rgb::new(100, 0, 200)])
+            .unwrap();
+        let out = resize_bilinear_rgb(&img, 4, 1).unwrap();
+        assert_eq!(out.pixel(1, 0), Rgb::new(25, 75, 200));
+        assert_eq!(out.pixel(2, 0), Rgb::new(75, 25, 200));
+    }
+
+    #[test]
+    fn degenerate_arguments_rejected() {
+        let img = GrayImage::filled(4, 4, 0);
+        assert!(resize_nearest(&img, 0, 4).is_err());
+        assert!(resize_bilinear_gray(&img, 4, 0).is_err());
+        let empty = GrayImage::filled(0, 0, 0);
+        assert!(resize_nearest(&empty, 2, 2).is_err());
+        assert!(resize_bilinear_gray(&empty, 2, 2).is_err());
+        assert!(resize_bilinear_rgb(&RgbImage::filled(0, 0, Rgb::default()), 2, 2).is_err());
+    }
+
+    #[test]
+    fn extreme_downscale_to_one_pixel() {
+        let img = GrayImage::from_fn(16, 16, |x, y| ((x + y) * 8) as u8);
+        let one = resize_bilinear_gray(&img, 1, 1).unwrap();
+        // Should be near the image centre value, not an extreme.
+        let p = one.pixel(0, 0);
+        assert!((100..=140).contains(&p), "{p}");
+    }
+}

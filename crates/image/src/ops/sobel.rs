@@ -1,0 +1,179 @@
+//! Sobel gradient estimation: per-pixel gradient vectors, magnitude,
+//! orientation, and thresholded edge maps.
+
+use super::convolve::convolve_separable;
+use crate::image::{FloatImage, GrayImage};
+
+/// Per-pixel image gradient produced by the Sobel operator.
+#[derive(Clone, Debug)]
+pub struct GradientField {
+    /// Horizontal derivative (positive = intensity increasing rightward).
+    pub gx: FloatImage,
+    /// Vertical derivative (positive = intensity increasing downward).
+    pub gy: FloatImage,
+}
+
+impl GradientField {
+    /// Gradient magnitude `sqrt(gx² + gy²)` per pixel.
+    pub fn magnitude(&self) -> FloatImage {
+        let (w, h) = self.gx.dimensions();
+        FloatImage::from_fn(w, h, |x, y| {
+            let gx = self.gx.pixel(x, y);
+            let gy = self.gy.pixel(x, y);
+            (gx * gx + gy * gy).sqrt()
+        })
+    }
+
+    /// Edge orientation per pixel in radians, folded into `[0, π)`.
+    ///
+    /// The orientation of the *edge* (the isophote direction) is
+    /// perpendicular to the gradient; we report the gradient angle folded to
+    /// half-turn equivalence, which is the convention edge-orientation
+    /// histograms use — a dark-to-light and a light-to-dark transition of the
+    /// same boundary bin together.
+    pub fn orientation(&self) -> FloatImage {
+        let (w, h) = self.gx.dimensions();
+        FloatImage::from_fn(w, h, |x, y| {
+            let a = self.gy.pixel(x, y).atan2(self.gx.pixel(x, y));
+            a.rem_euclid(std::f32::consts::PI)
+        })
+    }
+}
+
+/// Apply the 3x3 Sobel operator. The kernels are separable:
+/// `Gx = [1 2 1]ᵀ × [-1 0 1]` and `Gy = [-1 0 1]ᵀ × [1 2 1]`.
+pub fn sobel(img: &GrayImage) -> GradientField {
+    let f = img.to_float();
+    let smooth = [1.0f32, 2.0, 1.0];
+    let diff = [-1.0f32, 0.0, 1.0];
+    let gx = convolve_separable(&f, &diff, &smooth).expect("static odd kernels");
+    let gy = convolve_separable(&f, &smooth, &diff).expect("static odd kernels");
+    GradientField { gx, gy }
+}
+
+/// Gradient magnitude normalized into `[0, 255]` by the theoretical Sobel
+/// maximum (1020·√2), so thresholds are comparable across images.
+pub fn sobel_magnitude(img: &GrayImage) -> FloatImage {
+    const MAX: f32 = 1020.0 * std::f32::consts::SQRT_2;
+    sobel(img).magnitude().map(|m| m / MAX * 255.0)
+}
+
+/// Binary edge map: 255 where normalized Sobel magnitude exceeds
+/// `threshold`, else 0.
+pub fn edge_map(img: &GrayImage, threshold: f32) -> GrayImage {
+    sobel_magnitude(img).map(|m| if m > threshold { 255 } else { 0 })
+}
+
+/// Fraction of pixels marked as edges at the given threshold — the "edge
+/// density" scalar feature.
+pub fn edge_density(img: &GrayImage, threshold: f32) -> f32 {
+    if img.is_empty() {
+        return 0.0;
+    }
+    let edges = edge_map(img, threshold);
+    edges.pixels().filter(|&p| p == 255).count() as f32 / edges.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Vertical step edge: left half dark, right half bright.
+    fn vertical_edge(w: u32, h: u32) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, _| if x < w / 2 { 0 } else { 200 })
+    }
+
+    fn horizontal_edge(w: u32, h: u32) -> GrayImage {
+        GrayImage::from_fn(w, h, |_, y| if y < h / 2 { 0 } else { 200 })
+    }
+
+    #[test]
+    fn constant_image_has_zero_gradient() {
+        let g = sobel(&GrayImage::filled(8, 8, 77));
+        for p in g.gx.pixels().chain(g.gy.pixels()) {
+            assert_eq!(p, 0.0);
+        }
+        assert_eq!(edge_density(&GrayImage::filled(8, 8, 77), 1.0), 0.0);
+    }
+
+    #[test]
+    fn vertical_edge_activates_gx_only() {
+        let img = vertical_edge(10, 10);
+        let g = sobel(&img);
+        // At the boundary column, gx is large positive, gy ~ 0.
+        let x = 5;
+        assert!(g.gx.pixel(x, 5) > 0.0);
+        assert_eq!(g.gy.pixel(x, 5), 0.0);
+        // Far from the edge, both are zero.
+        assert_eq!(g.gx.pixel(1, 5), 0.0);
+        assert_eq!(g.gx.pixel(8, 5), 0.0);
+    }
+
+    #[test]
+    fn horizontal_edge_activates_gy_only() {
+        let img = horizontal_edge(10, 10);
+        let g = sobel(&img);
+        assert!(g.gy.pixel(5, 5) > 0.0);
+        assert_eq!(g.gx.pixel(5, 5), 0.0);
+    }
+
+    #[test]
+    fn known_sobel_values_on_step() {
+        // A unit step from 0 to 1 across x gives gx = 4 at the two columns
+        // adjacent to the boundary (sum of the smoothing column [1,2,1]).
+        let img = GrayImage::from_fn(6, 6, |x, _| if x < 3 { 0 } else { 1 });
+        let g = sobel(&img);
+        assert_eq!(g.gx.pixel(2, 3), 4.0);
+        assert_eq!(g.gx.pixel(3, 3), 4.0);
+        assert_eq!(g.gx.pixel(1, 3), 0.0);
+    }
+
+    #[test]
+    fn orientation_distinguishes_edge_directions() {
+        let v = sobel(&vertical_edge(12, 12));
+        let h = sobel(&horizontal_edge(12, 12));
+        // Vertical edge: gradient points along +x -> angle ~ 0 (mod pi).
+        let av = v.orientation().pixel(6, 6);
+        assert!(av < 0.1 || (std::f32::consts::PI - av) < 0.1, "{av}");
+        // Horizontal edge: gradient along +y -> angle ~ pi/2.
+        let ah = h.orientation().pixel(6, 6);
+        assert!((ah - std::f32::consts::FRAC_PI_2).abs() < 0.1, "{ah}");
+    }
+
+    #[test]
+    fn orientation_is_in_half_turn_range() {
+        let img = GrayImage::from_fn(16, 16, |x, y| ((x * 17 + y * 29) % 256) as u8);
+        let o = sobel(&img).orientation();
+        for p in o.pixels() {
+            assert!((0.0..std::f32::consts::PI + 1e-6).contains(&p));
+        }
+    }
+
+    #[test]
+    fn magnitude_is_nonnegative_and_consistent() {
+        let img = vertical_edge(8, 8);
+        let g = sobel(&img);
+        let m = g.magnitude();
+        for (x, y, p) in m.enumerate_pixels() {
+            assert!(p >= 0.0);
+            let gx = g.gx.pixel(x, y);
+            let gy = g.gy.pixel(x, y);
+            assert!((p - (gx * gx + gy * gy).sqrt()).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn edge_map_marks_the_boundary() {
+        let img = vertical_edge(10, 10);
+        let edges = edge_map(&img, 10.0);
+        assert_eq!(edges.pixel(5, 5), 255);
+        assert_eq!(edges.pixel(1, 5), 0);
+        let d = edge_density(&img, 10.0);
+        assert!(d > 0.0 && d < 0.5, "{d}");
+    }
+
+    #[test]
+    fn edge_density_of_empty_image_is_zero() {
+        assert_eq!(edge_density(&GrayImage::filled(0, 0, 0), 1.0), 0.0);
+    }
+}

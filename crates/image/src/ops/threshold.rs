@@ -1,0 +1,199 @@
+//! Binarization: fixed threshold, Otsu's method, and adaptive mean
+//! thresholding. Shape features (moments, distance transforms) operate on
+//! binary images produced here.
+
+use super::integral::IntegralImage;
+use crate::error::{ImageError, Result};
+use crate::image::GrayImage;
+
+/// Fixed global threshold: pixels strictly greater than `t` become 255.
+pub fn threshold(img: &GrayImage, t: u8) -> GrayImage {
+    img.map(|p| if p > t { 255 } else { 0 })
+}
+
+/// 256-bin intensity histogram of a grayscale image.
+pub fn gray_histogram(img: &GrayImage) -> [u64; 256] {
+    let mut hist = [0u64; 256];
+    for p in img.pixels() {
+        hist[p as usize] += 1;
+    }
+    hist
+}
+
+/// Otsu's optimal global threshold: the level maximizing between-class
+/// variance of the intensity histogram. Returns the threshold level; apply
+/// with [`threshold`].
+pub fn otsu_level(img: &GrayImage) -> Result<u8> {
+    if img.is_empty() {
+        return Err(ImageError::InvalidParameter(
+            "Otsu threshold of an empty image".into(),
+        ));
+    }
+    let hist = gray_histogram(img);
+    let total = img.len() as f64;
+    let total_sum: f64 = hist
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| i as f64 * c as f64)
+        .sum();
+
+    let mut best_t = 0u8;
+    let mut best_var = -1.0f64;
+    let mut w0 = 0.0f64; // weight of the background class
+    let mut sum0 = 0.0f64; // intensity mass of the background class
+    for (t, &count) in hist.iter().enumerate() {
+        w0 += count as f64;
+        if w0 == 0.0 {
+            continue;
+        }
+        let w1 = total - w0;
+        if w1 == 0.0 {
+            break;
+        }
+        sum0 += t as f64 * count as f64;
+        let mu0 = sum0 / w0;
+        let mu1 = (total_sum - sum0) / w1;
+        let between = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+        if between > best_var {
+            best_var = between;
+            best_t = t as u8;
+        }
+    }
+    Ok(best_t)
+}
+
+/// Adaptive mean thresholding: a pixel is foreground when it exceeds the
+/// mean of its `(2r+1)²` neighbourhood minus `c`. Robust to illumination
+/// gradients that defeat a global threshold.
+pub fn adaptive_mean_threshold(img: &GrayImage, radius: u32, c: f64) -> Result<GrayImage> {
+    if radius == 0 {
+        return Err(ImageError::InvalidParameter(
+            "adaptive threshold radius must be positive".into(),
+        ));
+    }
+    if img.is_empty() {
+        return Err(ImageError::InvalidParameter(
+            "adaptive threshold of an empty image".into(),
+        ));
+    }
+    let integral = IntegralImage::new(img);
+    let (w, h) = img.dimensions();
+    let r = radius as i64;
+    Ok(GrayImage::from_fn(w, h, |x, y| {
+        let x0 = (x as i64 - r).max(0) as u32;
+        let y0 = (y as i64 - r).max(0) as u32;
+        let x1 = (x as i64 + r).min(w as i64 - 1) as u32;
+        let y1 = (y as i64 + r).min(h as i64 - 1) as u32;
+        let mean = integral.mean(x0, y0, x1, y1);
+        if img.pixel(x, y) as f64 > mean - c {
+            255
+        } else {
+            0
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_threshold_is_strict() {
+        let img = GrayImage::from_vec(3, 1, vec![10, 11, 12]).unwrap();
+        let b = threshold(&img, 11);
+        assert_eq!(b.as_slice(), &[0, 0, 255]);
+    }
+
+    #[test]
+    fn histogram_counts_all_pixels() {
+        let img = GrayImage::from_vec(4, 1, vec![0, 0, 7, 255]).unwrap();
+        let h = gray_histogram(&img);
+        assert_eq!(h[0], 2);
+        assert_eq!(h[7], 1);
+        assert_eq!(h[255], 1);
+        assert_eq!(h.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn otsu_separates_bimodal_image() {
+        // Half the pixels near 50, half near 200: threshold must fall between.
+        let img = GrayImage::from_fn(16, 16, |x, _| if x < 8 { 50 } else { 200 });
+        let t = otsu_level(&img).unwrap();
+        assert!((50..200).contains(&t), "otsu chose {t}");
+        let b = threshold(&img, t);
+        assert_eq!(b.pixel(0, 0), 0);
+        assert_eq!(b.pixel(15, 0), 255);
+    }
+
+    #[test]
+    fn otsu_with_noise_still_separates() {
+        let img = GrayImage::from_fn(32, 32, |x, y| {
+            let noise = ((x * 31 + y * 17) % 20) as u8;
+            if (x + y) % 2 == 0 {
+                40 + noise
+            } else {
+                180 + noise
+            }
+        });
+        let t = otsu_level(&img).unwrap();
+        // Otsu may land on the upper edge of the dark cluster; what matters
+        // is that the resulting binarization classifies nearly all pixels
+        // with their cluster.
+        assert!((50..180).contains(&t), "otsu chose {t}");
+        let b = threshold(&img, t);
+        let errors = img
+            .enumerate_pixels()
+            .filter(|&(x, y, _)| ((x + y) % 2 == 0) != (b.pixel(x, y) == 0))
+            .count();
+        assert!(errors * 20 < img.len(), "{errors} misclassified");
+    }
+
+    #[test]
+    fn otsu_on_constant_image_is_stable() {
+        let img = GrayImage::filled(4, 4, 90);
+        // No between-class separation exists; must not panic.
+        let t = otsu_level(&img).unwrap();
+        assert!(t <= 90);
+    }
+
+    #[test]
+    fn otsu_empty_image_is_error() {
+        assert!(otsu_level(&GrayImage::filled(0, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn adaptive_handles_illumination_gradient() {
+        // Dark-to-bright ramp with a superimposed grid of bright dots.
+        // Global thresholding cannot recover the dots on the dark side;
+        // adaptive can.
+        let img = GrayImage::from_fn(32, 32, |x, y| {
+            let base = x * 6; // illumination ramp 0..186
+            let dot = if x % 8 == 4 && y % 8 == 4 { 60 } else { 0 };
+            (base + dot).min(255) as u8
+        });
+        let b = adaptive_mean_threshold(&img, 3, 5.0).unwrap();
+        // Dots on both the dark and bright sides are detected.
+        assert_eq!(b.pixel(4, 4), 255);
+        assert_eq!(b.pixel(28, 28), 255);
+        // Dark-side background whose neighbourhood contains no dot is not.
+        assert_eq!(b.pixel(0, 1), 0);
+    }
+
+    #[test]
+    fn adaptive_rejects_bad_args() {
+        let img = GrayImage::filled(4, 4, 0);
+        assert!(adaptive_mean_threshold(&img, 0, 1.0).is_err());
+        assert!(adaptive_mean_threshold(&GrayImage::filled(0, 0, 0), 1, 1.0).is_err());
+    }
+
+    #[test]
+    fn adaptive_constant_image_with_positive_c_is_all_foreground() {
+        let img = GrayImage::filled(8, 8, 100);
+        // pixel (100) > mean (100) - c (5) everywhere.
+        let b = adaptive_mean_threshold(&img, 2, 5.0).unwrap();
+        assert!(b.pixels().all(|p| p == 255));
+        // With negative c the inequality flips.
+        let b = adaptive_mean_threshold(&img, 2, -5.0).unwrap();
+        assert!(b.pixels().all(|p| p == 0));
+    }
+}

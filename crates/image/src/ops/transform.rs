@@ -1,0 +1,155 @@
+//! Lossless geometric transforms: quarter-turn rotations and mirror flips.
+//! Exact on the pixel grid, so they anchor the rotation/reflection
+//! invariance tests of the shape features.
+
+use crate::image::ImageBuffer;
+
+/// Rotate 90° clockwise. A `w × h` image becomes `h × w`.
+pub fn rotate90<P: Copy>(img: &ImageBuffer<P>) -> ImageBuffer<P> {
+    let (w, h) = img.dimensions();
+    ImageBuffer::from_fn(h, w, |x, y| img.pixel(y, h - 1 - x))
+}
+
+/// Rotate 180°.
+pub fn rotate180<P: Copy>(img: &ImageBuffer<P>) -> ImageBuffer<P> {
+    let (w, h) = img.dimensions();
+    ImageBuffer::from_fn(w, h, |x, y| img.pixel(w - 1 - x, h - 1 - y))
+}
+
+/// Rotate 270° clockwise (90° counter-clockwise).
+pub fn rotate270<P: Copy>(img: &ImageBuffer<P>) -> ImageBuffer<P> {
+    let (w, h) = img.dimensions();
+    ImageBuffer::from_fn(h, w, |x, y| img.pixel(w - 1 - y, x))
+}
+
+/// Mirror horizontally (left-right).
+pub fn flip_horizontal<P: Copy>(img: &ImageBuffer<P>) -> ImageBuffer<P> {
+    let (w, h) = img.dimensions();
+    ImageBuffer::from_fn(w, h, |x, y| img.pixel(w - 1 - x, y))
+}
+
+/// Mirror vertically (top-bottom).
+pub fn flip_vertical<P: Copy>(img: &ImageBuffer<P>) -> ImageBuffer<P> {
+    let (w, h) = img.dimensions();
+    ImageBuffer::from_fn(w, h, |x, y| img.pixel(x, h - 1 - y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::GrayImage;
+
+    fn asym() -> GrayImage {
+        // 3x2 asymmetric test pattern:
+        //   1 2 3
+        //   4 5 6
+        GrayImage::from_vec(3, 2, vec![1, 2, 3, 4, 5, 6]).unwrap()
+    }
+
+    #[test]
+    fn rotate90_known_values() {
+        let r = rotate90(&asym());
+        assert_eq!(r.dimensions(), (2, 3));
+        //   4 1
+        //   5 2
+        //   6 3
+        assert_eq!(r.as_slice(), &[4, 1, 5, 2, 6, 3]);
+    }
+
+    #[test]
+    fn rotate180_known_values() {
+        let r = rotate180(&asym());
+        assert_eq!(r.dimensions(), (3, 2));
+        assert_eq!(r.as_slice(), &[6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn rotate270_known_values() {
+        let r = rotate270(&asym());
+        assert_eq!(r.dimensions(), (2, 3));
+        //   3 6
+        //   2 5
+        //   1 4
+        assert_eq!(r.as_slice(), &[3, 6, 2, 5, 1, 4]);
+    }
+
+    #[test]
+    fn flips_known_values() {
+        assert_eq!(flip_horizontal(&asym()).as_slice(), &[3, 2, 1, 6, 5, 4]);
+        assert_eq!(flip_vertical(&asym()).as_slice(), &[4, 5, 6, 1, 2, 3]);
+    }
+
+    #[test]
+    fn four_quarter_turns_are_identity() {
+        let img = GrayImage::from_fn(7, 5, |x, y| (x * 31 + y * 7) as u8);
+        let once = rotate90(&img);
+        let twice = rotate90(&once);
+        let thrice = rotate90(&twice);
+        let full = rotate90(&thrice);
+        assert_eq!(full, img);
+        assert_eq!(twice, rotate180(&img));
+        assert_eq!(thrice, rotate270(&img));
+    }
+
+    #[test]
+    fn double_flips_are_identity() {
+        let img = GrayImage::from_fn(6, 4, |x, y| (x + 10 * y) as u8);
+        assert_eq!(flip_horizontal(&flip_horizontal(&img)), img);
+        assert_eq!(flip_vertical(&flip_vertical(&img)), img);
+        // hflip ∘ vflip = rotate180.
+        assert_eq!(flip_horizontal(&flip_vertical(&img)), rotate180(&img));
+    }
+
+    #[test]
+    fn hu_invariants_survive_all_quarter_turns() {
+        // End-to-end invariance check against the shape features' contract.
+        let mask = GrayImage::from_fn(33, 29, |x, y| {
+            let dx = x as f64 - 14.0;
+            let dy = y as f64 - 16.0;
+            if dx * dx / 80.0 + dy * dy / 30.0 <= 1.0 {
+                255
+            } else {
+                0
+            }
+        });
+        let m0 = crate::ops::threshold::gray_histogram(&mask); // warm sanity
+        assert!(m0[255] > 0);
+        let imgs = [
+            mask.clone(),
+            rotate90(&mask),
+            rotate180(&mask),
+            rotate270(&mask),
+            flip_horizontal(&mask),
+        ];
+        // Compare raw second central moments through a tiny local
+        // computation (this crate cannot depend on cbir-features).
+        let second_moments = |im: &GrayImage| -> (f64, f64) {
+            let (mut n, mut sx, mut sy) = (0.0f64, 0.0f64, 0.0f64);
+            for (x, y, p) in im.enumerate_pixels() {
+                if p != 0 {
+                    n += 1.0;
+                    sx += x as f64;
+                    sy += y as f64;
+                }
+            }
+            let (cx, cy) = (sx / n, sy / n);
+            let (mut mxx, mut myy) = (0.0f64, 0.0f64);
+            for (x, y, p) in im.enumerate_pixels() {
+                if p != 0 {
+                    mxx += (x as f64 - cx).powi(2);
+                    myy += (y as f64 - cy).powi(2);
+                }
+            }
+            // Sorted eigen-ish pair: rotation by 90° swaps axes.
+            (mxx.min(myy) / n, mxx.max(myy) / n)
+        };
+        let base = second_moments(&imgs[0]);
+        for (i, im) in imgs.iter().enumerate().skip(1) {
+            let got = second_moments(im);
+            assert!(
+                (got.0 - base.0).abs() < 1e-9 && (got.1 - base.1).abs() < 1e-9,
+                "transform {i}: {got:?} vs {base:?}"
+            );
+        }
+    }
+}

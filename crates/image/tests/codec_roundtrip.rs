@@ -1,0 +1,103 @@
+//! Property tests: every codec must reproduce arbitrary images exactly,
+//! and the decoders must never panic on arbitrary garbage bytes.
+
+use cbir_image::codec::{
+    decode, decode_pnm, encode_bmp_gray, encode_bmp_rgb, encode_pbm, encode_pgm, encode_ppm,
+    DynImage, PnmEncoding,
+};
+use cbir_image::{GrayImage, Rgb, RgbImage};
+use proptest::prelude::*;
+
+fn gray_image() -> impl Strategy<Value = GrayImage> {
+    (1u32..24, 1u32..24).prop_flat_map(|(w, h)| {
+        prop::collection::vec(any::<u8>(), (w * h) as usize)
+            .prop_map(move |data| GrayImage::from_vec(w, h, data).unwrap())
+    })
+}
+
+fn rgb_image() -> impl Strategy<Value = RgbImage> {
+    (1u32..24, 1u32..24).prop_flat_map(|(w, h)| {
+        prop::collection::vec(any::<(u8, u8, u8)>(), (w * h) as usize).prop_map(move |data| {
+            let pixels: Vec<Rgb> = data.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)).collect();
+            RgbImage::from_vec(w, h, pixels).unwrap()
+        })
+    })
+}
+
+fn binary_image() -> impl Strategy<Value = GrayImage> {
+    (1u32..24, 1u32..24).prop_flat_map(|(w, h)| {
+        prop::collection::vec(any::<bool>(), (w * h) as usize).prop_map(move |data| {
+            let pixels: Vec<u8> = data.into_iter().map(|b| if b { 255 } else { 0 }).collect();
+            GrayImage::from_vec(w, h, pixels).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn pgm_roundtrips_exactly(img in gray_image(), ascii in any::<bool>()) {
+        let enc = if ascii { PnmEncoding::Ascii } else { PnmEncoding::Binary };
+        let bytes = encode_pgm(&img, enc);
+        match decode_pnm(&bytes).unwrap() {
+            DynImage::Gray(g) => prop_assert_eq!(g, img),
+            _ => prop_assert!(false, "wrong channel layout"),
+        }
+    }
+
+    #[test]
+    fn ppm_roundtrips_exactly(img in rgb_image(), ascii in any::<bool>()) {
+        let enc = if ascii { PnmEncoding::Ascii } else { PnmEncoding::Binary };
+        let bytes = encode_ppm(&img, enc);
+        match decode_pnm(&bytes).unwrap() {
+            DynImage::Rgb(c) => prop_assert_eq!(c, img),
+            _ => prop_assert!(false, "wrong channel layout"),
+        }
+    }
+
+    #[test]
+    fn pbm_roundtrips_exactly(img in binary_image(), ascii in any::<bool>()) {
+        let enc = if ascii { PnmEncoding::Ascii } else { PnmEncoding::Binary };
+        let bytes = encode_pbm(&img, enc);
+        prop_assert_eq!(decode_pnm(&bytes).unwrap().into_gray(), img);
+    }
+
+    #[test]
+    fn bmp_rgb_roundtrips_exactly(img in rgb_image()) {
+        let bytes = encode_bmp_rgb(&img);
+        prop_assert_eq!(decode(&bytes).unwrap().into_rgb(), img);
+    }
+
+    #[test]
+    fn bmp_gray_roundtrips_exactly(img in gray_image()) {
+        let bytes = encode_bmp_gray(&img);
+        prop_assert_eq!(decode(&bytes).unwrap().into_gray(), img);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Any outcome but a panic is acceptable.
+        let _ = decode(&bytes);
+        let _ = decode_pnm(&bytes);
+    }
+
+    #[test]
+    fn truncation_never_panics(img in rgb_image(), cut in 0usize..64) {
+        let mut bytes = encode_ppm(&img, PnmEncoding::Binary);
+        let keep = bytes.len().saturating_sub(cut);
+        bytes.truncate(keep);
+        let _ = decode_pnm(&bytes);
+        let mut bmp = encode_bmp_rgb(&img);
+        let keep = bmp.len().saturating_sub(cut);
+        bmp.truncate(keep);
+        let _ = decode(&bmp);
+    }
+
+    #[test]
+    fn header_mutation_never_panics(img in gray_image(), at in 0usize..20, val in any::<u8>()) {
+        let mut bytes = encode_pgm(&img, PnmEncoding::Binary);
+        if at < bytes.len() {
+            bytes[at] = val;
+        }
+        let _ = decode_pnm(&bytes);
+    }
+}

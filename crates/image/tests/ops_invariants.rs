@@ -1,0 +1,129 @@
+//! Property tests over the image operators: algebraic invariants that must
+//! hold for arbitrary images.
+
+use cbir_image::color::{hsv_to_rgb, lab_to_rgb, rgb_to_hsv, rgb_to_lab, rgb_to_ycbcr, ycbcr_to_rgb};
+use cbir_image::ops::{
+    connected_components, dilate, equalize, erode, gaussian_blur, otsu_level, threshold,
+    Connectivity, IntegralImage, Structuring,
+};
+use cbir_image::{GrayImage, Rgb};
+use proptest::prelude::*;
+
+fn gray_image() -> impl Strategy<Value = GrayImage> {
+    (2u32..20, 2u32..20).prop_flat_map(|(w, h)| {
+        prop::collection::vec(any::<u8>(), (w * h) as usize)
+            .prop_map(move |data| GrayImage::from_vec(w, h, data).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn color_conversions_roundtrip_within_tolerance(r in any::<u8>(), g in any::<u8>(), b in any::<u8>()) {
+        let p = Rgb::new(r, g, b);
+        let hsv = hsv_to_rgb(rgb_to_hsv(p));
+        prop_assert!((p.r() as i32 - hsv.r() as i32).abs() <= 1);
+        prop_assert!((p.g() as i32 - hsv.g() as i32).abs() <= 1);
+        prop_assert!((p.b() as i32 - hsv.b() as i32).abs() <= 1);
+        let ycc = ycbcr_to_rgb(rgb_to_ycbcr(p));
+        prop_assert!((p.r() as i32 - ycc.r() as i32).abs() <= 1);
+        let lab = lab_to_rgb(rgb_to_lab(p));
+        prop_assert!((p.r() as i32 - lab.r() as i32).abs() <= 1);
+        prop_assert!((p.g() as i32 - lab.g() as i32).abs() <= 1);
+        prop_assert!((p.b() as i32 - lab.b() as i32).abs() <= 1);
+    }
+
+    #[test]
+    fn integral_image_matches_brute_force(img in gray_image()) {
+        let ii = IntegralImage::new(&img);
+        let (w, h) = img.dimensions();
+        // Check a handful of rectangles including the full frame.
+        let rects = [
+            (0, 0, w - 1, h - 1),
+            (0, 0, 0, 0),
+            (w / 2, h / 2, w - 1, h - 1),
+            (0, h / 2, w / 2, h - 1),
+        ];
+        for (x0, y0, x1, y1) in rects {
+            let mut brute = 0u64;
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    brute += img.pixel(x, y) as u64;
+                }
+            }
+            prop_assert_eq!(ii.sum(x0, y0, x1, y1), brute);
+        }
+    }
+
+    #[test]
+    fn blur_stays_within_input_range(img in gray_image()) {
+        let f = img.to_float();
+        let out = gaussian_blur(&f, 1.2).unwrap();
+        let (lo, hi) = f.min_max().unwrap();
+        for p in out.pixels() {
+            prop_assert!(p >= lo - 1e-3 && p <= hi + 1e-3, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn equalize_is_monotone_transform(img in gray_image()) {
+        let out = equalize(&img);
+        // Pixels equal in the input stay equal; ordering is preserved.
+        for y in 0..img.height() {
+            for x in 1..img.width() {
+                let (a, b) = (img.pixel(x - 1, y), img.pixel(x, y));
+                let (ea, eb) = (out.pixel(x - 1, y), out.pixel(x, y));
+                if a == b {
+                    prop_assert_eq!(ea, eb);
+                } else if a < b {
+                    prop_assert!(ea <= eb);
+                } else {
+                    prop_assert!(ea >= eb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn otsu_binarization_is_consistent(img in gray_image()) {
+        let t = otsu_level(&img).unwrap();
+        let bin = threshold(&img, t);
+        for (x, y, p) in img.enumerate_pixels() {
+            prop_assert_eq!(bin.pixel(x, y) == 255, p > t);
+        }
+    }
+
+    #[test]
+    fn erosion_shrinks_dilation_grows(img in gray_image(), square in any::<bool>()) {
+        let se = if square { Structuring::Square } else { Structuring::Cross };
+        let bin = threshold(&img, 127);
+        let fg = |im: &GrayImage| im.pixels().filter(|&p| p != 0).count();
+        let eroded = erode(&bin, se);
+        let dilated = dilate(&bin, se);
+        prop_assert!(fg(&eroded) <= fg(&bin));
+        prop_assert!(fg(&dilated) >= fg(&bin));
+        // Eroded foreground is a subset of the original; original is a
+        // subset of the dilated.
+        for (x, y, p) in eroded.enumerate_pixels() {
+            if p != 0 {
+                prop_assert_ne!(bin.pixel(x, y), 0);
+            }
+        }
+        for (x, y, p) in bin.enumerate_pixels() {
+            if p != 0 {
+                prop_assert_ne!(dilated.pixel(x, y), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn component_areas_partition_foreground(img in gray_image()) {
+        let bin = threshold(&img, 127);
+        let labeling = connected_components(&bin, Connectivity::Eight).unwrap();
+        let fg = bin.pixels().filter(|&p| p != 0).count();
+        let total: usize = labeling.regions.iter().map(|r| r.area).sum();
+        prop_assert_eq!(total, fg);
+        // Eight-connectivity yields at most as many components as four.
+        let four = connected_components(&bin, Connectivity::Four).unwrap();
+        prop_assert!(labeling.len() <= four.len());
+    }
+}

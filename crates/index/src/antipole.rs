@@ -1,0 +1,624 @@
+//! Antipole tree (Cantone, Ferro, Pulvirenti, Reforgiato Recupero, Shasha):
+//! a metric-space index built by recursive antipole splitting.
+//!
+//! Construction finds an approximate farthest pair (the *antipole*) of the
+//! current set by a linear-time randomized tournament. If the pair's
+//! distance exceeds the cluster-diameter threshold the set is split between
+//! the two endpoints and the procedure recurses; otherwise the set becomes a
+//! leaf cluster annotated with an approximate 1-median (its centroid), the
+//! cluster radius, and each member's distance to the centroid. Search prunes
+//! subtrees with the triangle inequality against the antipole endpoints and
+//! prunes individual cluster members against the precomputed centroid
+//! distances.
+
+use crate::dataset::Dataset;
+use crate::error::{IndexError, Result};
+use crate::knn_heap::KnnHeap;
+use crate::rng::SplitMix64;
+use crate::stats::{sort_neighbors, tri_slack, Neighbor, SearchStats};
+use crate::traits::SearchIndex;
+use cbir_distance::Measure;
+
+/// Tournament size τ. The paper fixes τ = 3, where the fast and accurate
+/// antipole variants coincide.
+const TAU: usize = 3;
+
+/// Below this size a set's exact 1-median / farthest pair is computed
+/// directly instead of by tournament.
+const EXACT_THRESHOLD: usize = 24;
+
+#[derive(Debug)]
+enum Node {
+    /// An empty subtree (an antipole endpoint had no other points on its
+    /// side).
+    Empty,
+    Leaf {
+        /// Approximate 1-median of the cluster.
+        centroid: u32,
+        /// Remaining members with their precomputed distance to the
+        /// centroid.
+        members: Vec<(u32, f32)>,
+        /// Max distance from the centroid to any member.
+        radius: f32,
+    },
+    Internal {
+        a: u32,
+        b: u32,
+        /// Covering radius of the left subtree around `a` (max over the
+        /// subtree's points of their distance to `a`).
+        rad_a: f32,
+        /// Covering radius of the right subtree around `b`.
+        rad_b: f32,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// The Antipole tree.
+#[derive(Debug)]
+pub struct AntipoleTree {
+    dataset: Dataset,
+    measure: Measure,
+    nodes: Vec<Node>,
+    root: u32,
+    diameter: f32,
+}
+
+impl AntipoleTree {
+    /// Build with the given cluster-diameter threshold: a set whose
+    /// approximate diameter is at most `diameter` becomes one leaf cluster.
+    ///
+    /// Smaller thresholds give deeper trees (more pruning per query, more
+    /// build work); larger give flatter trees. The measure must be a true
+    /// metric.
+    pub fn build(dataset: Dataset, measure: Measure, diameter: f32) -> Result<Self> {
+        if !measure.is_true_metric() {
+            return Err(IndexError::UnsupportedMeasure {
+                index: "antipole tree",
+                measure: measure.name(),
+            });
+        }
+        if diameter.is_nan() || diameter < 0.0 || !diameter.is_finite() {
+            return Err(IndexError::InvalidParameter(format!(
+                "cluster diameter must be finite and non-negative, got {diameter}"
+            )));
+        }
+        let ids: Vec<u32> = (0..dataset.len() as u32).collect();
+        let mut tree = AntipoleTree {
+            dataset,
+            measure,
+            nodes: Vec::new(),
+            root: 0,
+            diameter,
+        };
+        let mut rng = SplitMix64::new(0xA271_901E);
+        tree.root = tree.build_node(ids, &mut rng);
+        Ok(tree)
+    }
+
+    /// A data-driven diameter suggestion: half the median pairwise distance
+    /// of a deterministic sample. A reasonable default for the classic
+    /// build-vs-query trade-off.
+    pub fn suggest_diameter(dataset: &Dataset, measure: &Measure) -> f32 {
+        let mut rng = SplitMix64::new(42);
+        let n = dataset.len();
+        let samples = 64.min(n);
+        let mut dists = Vec::with_capacity(samples * 2);
+        for _ in 0..samples * 2 {
+            let i = rng.next_below(n);
+            let j = rng.next_below(n);
+            if i != j {
+                dists.push(measure.distance(dataset.vector(i), dataset.vector(j)));
+            }
+        }
+        if dists.is_empty() {
+            return 0.0;
+        }
+        let mid = dists.len() / 2;
+        dists.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+        dists[mid] / 2.0
+    }
+
+    /// The diameter threshold the tree was built with.
+    pub fn diameter(&self) -> f32 {
+        self.diameter
+    }
+
+    #[inline]
+    fn dist_ids(&self, a: u32, b: u32) -> f32 {
+        self.measure
+            .distance(self.dataset.vector(a as usize), self.dataset.vector(b as usize))
+    }
+
+    /// Exact 1-median of a small set: the element minimizing the sum of
+    /// distances to the others.
+    fn exact_1_median(&self, ids: &[u32]) -> u32 {
+        debug_assert!(!ids.is_empty());
+        let mut best = ids[0];
+        let mut best_sum = f32::INFINITY;
+        for &x in ids {
+            let s: f32 = ids.iter().map(|&y| self.dist_ids(x, y)).sum();
+            if s < best_sum {
+                best_sum = s;
+                best = x;
+            }
+        }
+        best
+    }
+
+    /// Approximate 1-median by tournament (τ-sized local rounds).
+    fn approx_1_median(&self, ids: &[u32], rng: &mut SplitMix64) -> u32 {
+        let mut current: Vec<u32> = ids.to_vec();
+        rng.shuffle(&mut current);
+        while current.len() > EXACT_THRESHOLD {
+            let mut winners = Vec::with_capacity(current.len() / TAU + 1);
+            for chunk in current.chunks(TAU) {
+                winners.push(self.exact_1_median(chunk));
+            }
+            current = winners;
+        }
+        self.exact_1_median(&current)
+    }
+
+    /// Exact farthest pair of a small set.
+    fn exact_antipole(&self, ids: &[u32]) -> (u32, u32, f32) {
+        debug_assert!(ids.len() >= 2);
+        let mut best = (ids[0], ids[1], -1.0f32);
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                let d = self.dist_ids(ids[i], ids[j]);
+                if d > best.2 {
+                    best = (ids[i], ids[j], d);
+                }
+            }
+        }
+        best
+    }
+
+    /// Approximate antipole (farthest pair) by tournament: each τ-subset
+    /// passes its local farthest pair to the next round.
+    fn approx_antipole(&self, ids: &[u32], rng: &mut SplitMix64) -> (u32, u32, f32) {
+        let mut current: Vec<u32> = ids.to_vec();
+        rng.shuffle(&mut current);
+        while current.len() > EXACT_THRESHOLD {
+            let mut winners = Vec::with_capacity(2 * (current.len() / TAU) + 2);
+            for chunk in current.chunks(TAU) {
+                if chunk.len() >= 2 {
+                    let (a, b, _) = self.exact_antipole(chunk);
+                    winners.push(a);
+                    winners.push(b);
+                } else {
+                    winners.extend_from_slice(chunk);
+                }
+            }
+            if winners.len() >= current.len() {
+                // τ-chunks of size 2 pass both elements through; no further
+                // shrinkage is possible.
+                current = winners;
+                break;
+            }
+            current = winners;
+        }
+        self.exact_antipole(&current)
+    }
+
+    fn make_leaf(&mut self, ids: Vec<u32>, rng: &mut SplitMix64) -> u32 {
+        if ids.is_empty() {
+            self.nodes.push(Node::Empty);
+            return (self.nodes.len() - 1) as u32;
+        }
+        let centroid = self.approx_1_median(&ids, rng);
+        let mut members = Vec::with_capacity(ids.len() - 1);
+        let mut radius = 0.0f32;
+        for &id in &ids {
+            if id == centroid {
+                continue;
+            }
+            let d = self.dist_ids(centroid, id);
+            radius = radius.max(d);
+            members.push((id, d));
+        }
+        self.nodes.push(Node::Leaf {
+            centroid,
+            members,
+            radius,
+        });
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn build_node(&mut self, ids: Vec<u32>, rng: &mut SplitMix64) -> u32 {
+        if ids.len() < 2 {
+            return self.make_leaf(ids, rng);
+        }
+        let (a, b, dist_ab) = self.approx_antipole(&ids, rng);
+        // Splitting condition Φ: split only while the approximate diameter
+        // exceeds the threshold.
+        if dist_ab <= self.diameter {
+            return self.make_leaf(ids, rng);
+        }
+        let mut left_ids = Vec::new();
+        let mut right_ids = Vec::new();
+        let mut rad_a = 0.0f32;
+        let mut rad_b = 0.0f32;
+        for id in ids {
+            if id == a || id == b {
+                continue;
+            }
+            let da = self.dist_ids(a, id);
+            let db = self.dist_ids(b, id);
+            if da <= db {
+                rad_a = rad_a.max(da);
+                left_ids.push(id);
+            } else {
+                rad_b = rad_b.max(db);
+                right_ids.push(id);
+            }
+        }
+        let left = self.build_node(left_ids, rng);
+        let right = self.build_node(right_ids, rng);
+        self.nodes.push(Node::Internal {
+            a,
+            b,
+            rad_a,
+            rad_b,
+            left,
+            right,
+        });
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn range_rec(
+        &self,
+        node: u32,
+        query: &[f32],
+        t: f32,
+        stats: &mut SearchStats,
+        out: &mut Vec<Neighbor>,
+    ) {
+        stats.nodes_visited += 1;
+        match &self.nodes[node as usize] {
+            Node::Empty => {}
+            Node::Leaf {
+                centroid,
+                members,
+                radius,
+            } => {
+                stats.distance_computations += 1;
+                let dc = self
+                    .measure
+                    .distance(query, self.dataset.vector(*centroid as usize));
+                if dc <= t {
+                    out.push(Neighbor {
+                        id: *centroid as usize,
+                        distance: dc,
+                    });
+                }
+                // Whole-cluster exclusion.
+                if dc > t + radius + tri_slack(dc, *radius) {
+                    return;
+                }
+                for &(id, dcm) in members {
+                    // Triangle exclusion: |d(q,c) - d(c,m)| ≤ d(q,m).
+                    if (dc - dcm).abs() > t + tri_slack(dc, dcm) {
+                        continue;
+                    }
+                    stats.distance_computations += 1;
+                    let d = self.measure.distance(query, self.dataset.vector(id as usize));
+                    if d <= t {
+                        out.push(Neighbor {
+                            id: id as usize,
+                            distance: d,
+                        });
+                    }
+                }
+            }
+            Node::Internal {
+                a,
+                b,
+                rad_a,
+                rad_b,
+                left,
+                right,
+            } => {
+                stats.distance_computations += 2;
+                let da = self.measure.distance(query, self.dataset.vector(*a as usize));
+                let db = self.measure.distance(query, self.dataset.vector(*b as usize));
+                if da <= t {
+                    out.push(Neighbor {
+                        id: *a as usize,
+                        distance: da,
+                    });
+                }
+                if db <= t {
+                    out.push(Neighbor {
+                        id: *b as usize,
+                        distance: db,
+                    });
+                }
+                if da <= t + rad_a + tri_slack(da, *rad_a) {
+                    self.range_rec(*left, query, t, stats, out);
+                }
+                if db <= t + rad_b + tri_slack(db, *rad_b) {
+                    self.range_rec(*right, query, t, stats, out);
+                }
+            }
+        }
+    }
+
+    fn knn_rec(&self, node: u32, query: &[f32], heap: &mut KnnHeap, stats: &mut SearchStats) {
+        stats.nodes_visited += 1;
+        match &self.nodes[node as usize] {
+            Node::Empty => {}
+            Node::Leaf {
+                centroid,
+                members,
+                radius,
+            } => {
+                stats.distance_computations += 1;
+                let dc = self
+                    .measure
+                    .distance(query, self.dataset.vector(*centroid as usize));
+                heap.offer(*centroid as usize, dc);
+                if dc > heap.bound() + radius + tri_slack(dc, *radius) {
+                    return;
+                }
+                for &(id, dcm) in members {
+                    if (dc - dcm).abs() > heap.bound() + tri_slack(dc, dcm) {
+                        continue;
+                    }
+                    stats.distance_computations += 1;
+                    let d = self.measure.distance(query, self.dataset.vector(id as usize));
+                    heap.offer(id as usize, d);
+                }
+            }
+            Node::Internal {
+                a,
+                b,
+                rad_a,
+                rad_b,
+                left,
+                right,
+            } => {
+                stats.distance_computations += 2;
+                let da = self.measure.distance(query, self.dataset.vector(*a as usize));
+                let db = self.measure.distance(query, self.dataset.vector(*b as usize));
+                heap.offer(*a as usize, da);
+                heap.offer(*b as usize, db);
+                // Descend the closer side first so the bound tightens.
+                let sides = if da - rad_a <= db - rad_b {
+                    [(da, *rad_a, *left), (db, *rad_b, *right)]
+                } else {
+                    [(db, *rad_b, *right), (da, *rad_a, *left)]
+                };
+                for (d, rad, child) in sides {
+                    if d <= heap.bound() + rad + tri_slack(d, rad) {
+                        self.knn_rec(child, query, heap, stats);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of leaf clusters (diagnostic).
+    pub fn cluster_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Maximum leaf-cluster radius observed (diagnostic; bounded by the
+    /// construction in terms of the diameter threshold).
+    pub fn max_cluster_radius(&self) -> f32 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Leaf { radius, .. } => Some(*radius),
+                _ => None,
+            })
+            .fold(0.0, f32::max)
+    }
+}
+
+impl SearchIndex for AntipoleTree {
+    fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dataset.dim()
+    }
+
+    fn range_search(
+        &self,
+        query: &[f32],
+        radius: f32,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.range_rec(self.root, query, radius, stats, &mut out);
+        sort_neighbors(&mut out);
+        out
+    }
+
+    fn knn_search(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap = KnnHeap::new(k);
+        self.knn_rec(self.root, query, &mut heap, stats);
+        heap.into_sorted()
+    }
+
+    fn name(&self) -> &'static str {
+        "antipole"
+    }
+
+    fn structure_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for n in &self.nodes {
+            total += std::mem::size_of::<Node>();
+            if let Node::Leaf { members, .. } = n {
+                total += members.len() * std::mem::size_of::<(u32, f32)>();
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use crate::traits::{knn_search_simple, range_search_simple};
+
+    fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = SplitMix64::new(seed);
+        let v: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.next_f32() * 10.0).collect())
+            .collect();
+        Dataset::from_vectors(&v).unwrap()
+    }
+
+    /// Clustered data (the regime antipole trees are designed for).
+    fn clustered_dataset(n: usize, dim: usize, clusters: usize, seed: u64) -> Dataset {
+        let mut rng = SplitMix64::new(seed);
+        let centres: Vec<Vec<f32>> = (0..clusters)
+            .map(|_| (0..dim).map(|_| rng.next_f32() * 100.0).collect())
+            .collect();
+        let v: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let c = &centres[i % clusters];
+                c.iter().map(|&x| x + rng.next_f32() * 4.0 - 2.0).collect()
+            })
+            .collect();
+        Dataset::from_vectors(&v).unwrap()
+    }
+
+    #[test]
+    fn matches_linear_scan_exactly() {
+        let ds = random_dataset(500, 5, 1234);
+        for measure in [Measure::L1, Measure::L2, Measure::Match] {
+            for diameter in [1.0f32, 5.0, 20.0] {
+                let ap = AntipoleTree::build(ds.clone(), measure.clone(), diameter).unwrap();
+                let lin = LinearScan::build(ds.clone(), measure.clone()).unwrap();
+                for qi in [0usize, 123, 499] {
+                    let q: Vec<f32> = ds.vector(qi).to_vec();
+                    for radius in [0.0f32, 2.0, 7.5] {
+                        assert_eq!(
+                            range_search_simple(&ap, &q, radius),
+                            range_search_simple(&lin, &q, radius),
+                            "{} diam={diameter} range r={radius}",
+                            measure.name()
+                        );
+                    }
+                    for k in [1usize, 12, 60] {
+                        assert_eq!(
+                            knn_search_simple(&ap, &q, k),
+                            knn_search_simple(&lin, &q, k),
+                            "{} diam={diameter} knn k={k}",
+                            measure.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_data_prunes_well() {
+        let ds = clustered_dataset(3000, 8, 15, 9);
+        let diam = AntipoleTree::suggest_diameter(&ds, &Measure::L2);
+        let ap = AntipoleTree::build(ds.clone(), Measure::L2, diam).unwrap();
+        let mut stats = SearchStats::new();
+        ap.knn_search(ds.vector(42), 10, &mut stats);
+        assert!(
+            stats.distance_computations < 1500,
+            "antipole barely pruned on clustered data: {}",
+            stats.distance_computations
+        );
+        assert!(ap.cluster_count() > 1);
+    }
+
+    #[test]
+    fn off_dataset_queries_match_linear() {
+        let ds = clustered_dataset(800, 4, 8, 77);
+        let ap = AntipoleTree::build(ds.clone(), Measure::L2, 6.0).unwrap();
+        let lin = LinearScan::build(ds, Measure::L2).unwrap();
+        let mut rng = SplitMix64::new(31);
+        for _ in 0..15 {
+            let q: Vec<f32> = (0..4).map(|_| rng.next_f32() * 120.0 - 10.0).collect();
+            assert_eq!(knn_search_simple(&ap, &q, 7), knn_search_simple(&lin, &q, 7));
+            assert_eq!(
+                range_search_simple(&ap, &q, 10.0),
+                range_search_simple(&lin, &q, 10.0)
+            );
+        }
+    }
+
+    #[test]
+    fn diameter_zero_splits_until_duplicates() {
+        // With diameter 0, only exact-duplicate groups form clusters.
+        let mut vecs = vec![vec![1.0f32, 1.0]; 5];
+        vecs.extend(vec![vec![2.0f32, 2.0]; 5]);
+        vecs.push(vec![9.0, 9.0]);
+        let ds = Dataset::from_vectors(&vecs).unwrap();
+        let ap = AntipoleTree::build(ds, Measure::L2, 0.0).unwrap();
+        let hits = range_search_simple(&ap, &[1.0, 1.0], 0.0);
+        assert_eq!(hits.len(), 5);
+        assert_eq!(ap.max_cluster_radius(), 0.0);
+    }
+
+    #[test]
+    fn huge_diameter_gives_single_cluster() {
+        let ds = random_dataset(200, 3, 5);
+        let ap = AntipoleTree::build(ds.clone(), Measure::L2, 1e9).unwrap();
+        assert_eq!(ap.cluster_count(), 1);
+        // Still exact.
+        let lin = LinearScan::build(ds.clone(), Measure::L2).unwrap();
+        let q = ds.vector(7);
+        assert_eq!(knn_search_simple(&ap, q, 9), knn_search_simple(&lin, q, 9));
+    }
+
+    #[test]
+    fn validation() {
+        let ds = Dataset::from_vectors(&[vec![1.0]]).unwrap();
+        assert!(AntipoleTree::build(ds.clone(), Measure::Cosine, 1.0).is_err());
+        assert!(AntipoleTree::build(ds.clone(), Measure::L2, -1.0).is_err());
+        assert!(AntipoleTree::build(ds.clone(), Measure::L2, f32::NAN).is_err());
+        assert!(AntipoleTree::build(ds, Measure::L2, 1.0).is_ok());
+    }
+
+    #[test]
+    fn tiny_datasets() {
+        for n in 1..=5 {
+            let ds = random_dataset(n, 2, n as u64);
+            let ap = AntipoleTree::build(ds.clone(), Measure::L2, 1.0).unwrap();
+            let lin = LinearScan::build(ds.clone(), Measure::L2).unwrap();
+            let q = ds.vector(0);
+            assert_eq!(
+                knn_search_simple(&ap, q, n),
+                knn_search_simple(&lin, q, n),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn suggest_diameter_is_positive_for_spread_data() {
+        let ds = random_dataset(300, 4, 8);
+        let d = AntipoleTree::suggest_diameter(&ds, &Measure::L2);
+        assert!(d > 0.0);
+        // All-identical data suggests 0.
+        let dup = Dataset::from_vectors(&vec![vec![3.0]; 50]).unwrap();
+        assert_eq!(AntipoleTree::suggest_diameter(&dup, &Measure::L2), 0.0);
+    }
+
+    #[test]
+    fn deeper_trees_for_smaller_diameters() {
+        let ds = clustered_dataset(1000, 4, 10, 3);
+        let coarse = AntipoleTree::build(ds.clone(), Measure::L2, 50.0).unwrap();
+        let fine = AntipoleTree::build(ds, Measure::L2, 2.0).unwrap();
+        assert!(fine.cluster_count() > coarse.cluster_count());
+    }
+}

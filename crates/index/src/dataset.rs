@@ -1,0 +1,145 @@
+//! The flat vector dataset every index is built over.
+
+use crate::error::{IndexError, Result};
+use std::sync::Arc;
+
+/// An immutable, shared collection of equal-dimensional feature vectors
+/// stored as one contiguous row-major matrix (cache-friendly and cheap to
+/// share between several indexes in a comparison experiment).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    dim: usize,
+    data: Arc<Vec<f32>>,
+}
+
+impl Dataset {
+    /// Build from a list of vectors. All must share one dimensionality,
+    /// which must be positive, and every component must be finite.
+    pub fn from_vectors(vectors: &[Vec<f32>]) -> Result<Self> {
+        if vectors.is_empty() {
+            return Err(IndexError::BadDataset("no vectors".into()));
+        }
+        let dim = vectors[0].len();
+        if dim == 0 {
+            return Err(IndexError::BadDataset("zero-dimensional vectors".into()));
+        }
+        let mut data = Vec::with_capacity(vectors.len() * dim);
+        for (i, v) in vectors.iter().enumerate() {
+            if v.len() != dim {
+                return Err(IndexError::BadDataset(format!(
+                    "vector {i} has dim {}, expected {dim}",
+                    v.len()
+                )));
+            }
+            if v.iter().any(|x| !x.is_finite()) {
+                return Err(IndexError::BadDataset(format!(
+                    "vector {i} contains a non-finite component"
+                )));
+            }
+            data.extend_from_slice(v);
+        }
+        Ok(Dataset {
+            dim,
+            data: Arc::new(data),
+        })
+    }
+
+    /// Build from an already-flattened row-major matrix.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Result<Self> {
+        if dim == 0 {
+            return Err(IndexError::BadDataset("zero-dimensional vectors".into()));
+        }
+        if data.is_empty() || !data.len().is_multiple_of(dim) {
+            return Err(IndexError::BadDataset(format!(
+                "flat data length {} is not a positive multiple of dim {dim}",
+                data.len()
+            )));
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(IndexError::BadDataset(
+                "data contains a non-finite component".into(),
+            ));
+        }
+        Ok(Dataset {
+            dim,
+            data: Arc::new(data),
+        })
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the dataset is empty (never true for a constructed dataset).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `i`-th vector.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn vector(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let ds = Dataset::from_vectors(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.vector(0), &[1.0, 2.0]);
+        assert_eq!(ds.vector(2), &[5.0, 6.0]);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.memory_bytes(), 24);
+    }
+
+    #[test]
+    fn from_flat() {
+        let ds = Dataset::from_flat(3, vec![0.0; 9]).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert!(Dataset::from_flat(3, vec![0.0; 8]).is_err());
+        assert!(Dataset::from_flat(0, vec![]).is_err());
+        assert!(Dataset::from_flat(2, vec![]).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Dataset::from_vectors(&[]).is_err());
+        assert!(Dataset::from_vectors(&[vec![]]).is_err());
+        assert!(Dataset::from_vectors(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Dataset::from_vectors(&[vec![f32::NAN]]).is_err());
+        assert!(Dataset::from_flat(1, vec![f32::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn cloning_shares_storage() {
+        let ds = Dataset::from_vectors(&[vec![1.0, 2.0]]).unwrap();
+        let ds2 = ds.clone();
+        assert_eq!(ds.vector(0).as_ptr(), ds2.vector(0).as_ptr());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_vector_panics() {
+        let ds = Dataset::from_vectors(&[vec![1.0]]).unwrap();
+        ds.vector(1);
+    }
+}

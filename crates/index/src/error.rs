@@ -1,0 +1,58 @@
+//! Error type for index construction.
+
+use std::fmt;
+
+/// Errors produced while building or querying an index.
+#[derive(Debug)]
+pub enum IndexError {
+    /// A construction parameter is outside its valid domain.
+    InvalidParameter(String),
+    /// The dataset is empty or malformed.
+    BadDataset(String),
+    /// The chosen measure cannot support this index's pruning strategy.
+    UnsupportedMeasure {
+        /// Index that rejected the measure.
+        index: &'static str,
+        /// Name of the offending measure.
+        measure: &'static str,
+    },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            IndexError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+            IndexError::UnsupportedMeasure { index, measure } => write!(
+                f,
+                "{index} requires a true metric for correct pruning; {measure} is not one"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, IndexError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(IndexError::InvalidParameter("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(IndexError::BadDataset("empty".into())
+            .to_string()
+            .contains("empty"));
+        let e = IndexError::UnsupportedMeasure {
+            index: "vp-tree",
+            measure: "cosine",
+        };
+        let s = e.to_string();
+        assert!(s.contains("vp-tree") && s.contains("cosine"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Bounded max-heap collecting the k nearest neighbours seen so far.
+
+use crate::stats::{sort_neighbors, Neighbor};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by distance (max at the top), ties by id so eviction
+/// is deterministic.
+#[derive(Debug, PartialEq)]
+struct Entry(Neighbor);
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .distance
+            .total_cmp(&other.0.distance)
+            .then_with(|| self.0.id.cmp(&other.0.id))
+    }
+}
+
+/// Collects the `k` smallest-distance neighbours observed.
+#[derive(Debug)]
+pub struct KnnHeap {
+    k: usize,
+    heap: BinaryHeap<Entry>,
+}
+
+impl KnnHeap {
+    /// A heap retaining the `k` nearest. `k` must be positive.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KnnHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer a candidate; it is retained iff it beats the current k-th best.
+    pub fn offer(&mut self, id: usize, distance: f32) {
+        if self.heap.len() < self.k {
+            self.heap.push(Entry(Neighbor { id, distance }));
+            return;
+        }
+        // Full: compare against the current worst.
+        let worst = self.heap.peek().expect("non-empty").0;
+        if distance < worst.distance || (distance == worst.distance && id < worst.id) {
+            self.heap.pop();
+            self.heap.push(Entry(Neighbor { id, distance }));
+        }
+    }
+
+    /// Current pruning bound: the k-th best distance, or `+inf` while the
+    /// heap is not yet full.
+    pub fn bound(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap.peek().expect("full heap").0.distance
+        }
+    }
+
+    /// Number of neighbours currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no neighbours have been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Extract the results sorted by ascending distance (ties by id).
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut out: Vec<Neighbor> = self.heap.into_iter().map(|e| e.0).collect();
+        sort_neighbors(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut h = KnnHeap::new(3);
+        for (id, d) in [(0, 5.0), (1, 1.0), (2, 3.0), (3, 0.5), (4, 4.0)] {
+            h.offer(id, d);
+        }
+        let out = h.into_sorted();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].id, 3);
+        assert_eq!(out[1].id, 1);
+        assert_eq!(out[2].id, 2);
+    }
+
+    #[test]
+    fn bound_is_infinite_until_full() {
+        let mut h = KnnHeap::new(2);
+        assert_eq!(h.bound(), f32::INFINITY);
+        h.offer(0, 1.0);
+        assert_eq!(h.bound(), f32::INFINITY);
+        h.offer(1, 2.0);
+        assert_eq!(h.bound(), 2.0);
+        h.offer(2, 0.5);
+        assert_eq!(h.bound(), 1.0);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn ties_prefer_smaller_id() {
+        let mut h = KnnHeap::new(2);
+        h.offer(9, 1.0);
+        h.offer(5, 1.0);
+        h.offer(1, 1.0);
+        let out = h.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 5]);
+    }
+
+    #[test]
+    fn fewer_candidates_than_k() {
+        let mut h = KnnHeap::new(10);
+        h.offer(0, 2.0);
+        h.offer(1, 1.0);
+        let out = h.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, 1);
+    }
+
+    #[test]
+    fn empty_heap() {
+        let h = KnnHeap::new(3);
+        assert!(h.is_empty());
+        assert!(h.into_sorted().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        KnnHeap::new(0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Sequential scan — the baseline every index is measured against, and the
+//! reference implementation for correctness testing.
+
+use crate::dataset::Dataset;
+use crate::error::Result;
+use crate::knn_heap::KnnHeap;
+use crate::stats::{sort_neighbors, Neighbor, SearchStats};
+use crate::traits::SearchIndex;
+use cbir_distance::Measure;
+
+/// Brute-force scan over the whole dataset. Works with any measure,
+/// metric or not.
+#[derive(Clone, Debug)]
+pub struct LinearScan {
+    dataset: Dataset,
+    measure: Measure,
+}
+
+impl LinearScan {
+    /// Build (trivially) over a dataset.
+    pub fn build(dataset: Dataset, measure: Measure) -> Result<Self> {
+        Ok(LinearScan { dataset, measure })
+    }
+
+    /// The measure used for comparisons.
+    pub fn measure(&self) -> &Measure {
+        &self.measure
+    }
+}
+
+impl SearchIndex for LinearScan {
+    fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dataset.dim()
+    }
+
+    fn range_search(
+        &self,
+        query: &[f32],
+        radius: f32,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        for id in 0..self.dataset.len() {
+            stats.distance_computations += 1;
+            let d = self.measure.distance(query, self.dataset.vector(id));
+            if d <= radius {
+                out.push(Neighbor { id, distance: d });
+            }
+        }
+        stats.nodes_visited += 1;
+        sort_neighbors(&mut out);
+        out
+    }
+
+    fn knn_search(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap = KnnHeap::new(k);
+        for id in 0..self.dataset.len() {
+            stats.distance_computations += 1;
+            let d = self.measure.distance(query, self.dataset.vector(id));
+            heap.offer(id, d);
+        }
+        stats.nodes_visited += 1;
+        heap.into_sorted()
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn structure_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_dataset() -> Dataset {
+        // 5x5 integer grid in 2-D.
+        let mut v = Vec::new();
+        for y in 0..5 {
+            for x in 0..5 {
+                v.push(vec![x as f32, y as f32]);
+            }
+        }
+        Dataset::from_vectors(&v).unwrap()
+    }
+
+    #[test]
+    fn range_search_inclusive_radius() {
+        let idx = LinearScan::build(grid_dataset(), Measure::L2).unwrap();
+        let mut stats = SearchStats::new();
+        // Around (0,0) with radius 1: (0,0), (1,0), (0,1).
+        let hits = idx.range_search(&[0.0, 0.0], 1.0, &mut stats);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[0].distance, 0.0);
+        assert_eq!(stats.distance_computations, 25);
+    }
+
+    #[test]
+    fn knn_returns_sorted_k() {
+        let idx = LinearScan::build(grid_dataset(), Measure::L2).unwrap();
+        let mut stats = SearchStats::new();
+        let hits = idx.knn_search(&[2.0, 2.0], 5, &mut stats);
+        assert_eq!(hits.len(), 5);
+        assert_eq!(hits[0].id, 12); // (2,2) itself
+        assert_eq!(hits[0].distance, 0.0);
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        // The four axial neighbours at distance 1 fill out the top 5.
+        let ids: Vec<usize> = hits[1..].iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![7, 11, 13, 17]);
+    }
+
+    #[test]
+    fn knn_k_larger_than_dataset() {
+        let idx = LinearScan::build(grid_dataset(), Measure::L1).unwrap();
+        let hits = crate::traits::knn_search_simple(&idx, &[0.0, 0.0], 100);
+        assert_eq!(hits.len(), 25);
+    }
+
+    #[test]
+    fn knn_zero_k() {
+        let idx = LinearScan::build(grid_dataset(), Measure::L1).unwrap();
+        assert!(crate::traits::knn_search_simple(&idx, &[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn radius_zero_finds_exact_duplicates() {
+        let ds =
+            Dataset::from_vectors(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        let idx = LinearScan::build(ds, Measure::L2).unwrap();
+        let hits = crate::traits::range_search_simple(&idx, &[1.0, 1.0], 0.0);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 1);
+    }
+
+    #[test]
+    fn works_with_non_metric_measures() {
+        let ds = Dataset::from_vectors(&[vec![0.5, 0.5], vec![1.0, 0.0]]).unwrap();
+        let idx = LinearScan::build(ds, Measure::ChiSquare).unwrap();
+        let hits = crate::traits::knn_search_simple(&idx, &[0.5, 0.5], 1);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(idx.name(), "linear");
+        assert!(idx.structure_bytes() > 0);
+        assert_eq!(idx.dim(), 2);
+        assert!(!idx.is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! Locality-sensitive hashing for Euclidean space (the p-stable / E2LSH
+//! construction) — the *approximate* extension of the indexing layer.
+//!
+//! Unlike every other index in this crate, LSH trades exactness for speed:
+//! a query probes only the hash buckets its own projections land in, so
+//! true neighbours hashing elsewhere are missed. It therefore deliberately
+//! does **not** implement [`SearchIndex`](crate::SearchIndex) (whose
+//! contract is exactness); callers opt into approximation explicitly, and
+//! the evaluation suite measures its recall against an exact index.
+
+use crate::dataset::Dataset;
+use crate::error::{IndexError, Result};
+use crate::knn_heap::KnnHeap;
+use crate::rng::SplitMix64;
+use crate::stats::{Neighbor, SearchStats};
+use cbir_distance::l2;
+use std::collections::HashMap;
+
+/// One hash table: `m` random projections, quantized with width `w`.
+struct HashTable {
+    /// Row-major `m × dim` projection directions (approximately Gaussian).
+    projections: Vec<f32>,
+    /// Per-projection offsets in `[0, w)`.
+    offsets: Vec<f32>,
+    /// Buckets keyed by the concatenated quantized projections.
+    buckets: HashMap<Vec<i32>, Vec<u32>>,
+}
+
+/// E2LSH-style index over a [`Dataset`] under L2.
+pub struct LshIndex {
+    dataset: Dataset,
+    tables: Vec<HashTable>,
+    hashes_per_table: usize,
+    width: f32,
+}
+
+impl LshIndex {
+    /// Build with `n_tables` tables of `hashes_per_table` projections each
+    /// and quantization width `width` (in data units; wider = more
+    /// collisions = higher recall and higher cost).
+    pub fn build(
+        dataset: Dataset,
+        n_tables: usize,
+        hashes_per_table: usize,
+        width: f32,
+        seed: u64,
+    ) -> Result<Self> {
+        if n_tables == 0 || n_tables > 256 {
+            return Err(IndexError::InvalidParameter(format!(
+                "n_tables must be in 1..=256, got {n_tables}"
+            )));
+        }
+        if hashes_per_table == 0 || hashes_per_table > 64 {
+            return Err(IndexError::InvalidParameter(format!(
+                "hashes_per_table must be in 1..=64, got {hashes_per_table}"
+            )));
+        }
+        if width.is_nan() || width <= 0.0 || !width.is_finite() {
+            return Err(IndexError::InvalidParameter(format!(
+                "width must be positive and finite, got {width}"
+            )));
+        }
+        let dim = dataset.dim();
+        let mut rng = SplitMix64::new(seed);
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            let projections: Vec<f32> = (0..hashes_per_table * dim)
+                .map(|_| rng.next_normal())
+                .collect();
+            let offsets: Vec<f32> = (0..hashes_per_table)
+                .map(|_| rng.next_f32() * width)
+                .collect();
+            let mut table = HashTable {
+                projections,
+                offsets,
+                buckets: HashMap::new(),
+            };
+            for id in 0..dataset.len() {
+                let key = hash_key(
+                    dataset.vector(id),
+                    &table.projections,
+                    &table.offsets,
+                    hashes_per_table,
+                    width,
+                );
+                table.buckets.entry(key).or_default().push(id as u32);
+            }
+            tables.push(table);
+        }
+        Ok(LshIndex {
+            dataset,
+            tables,
+            hashes_per_table,
+            width,
+        })
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// Whether the index is empty (never true for a constructed dataset).
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+
+    /// Approximate k-NN: rank the union of the query's buckets across all
+    /// tables. May return fewer than `k` results if too few candidates
+    /// collide; recall depends on the table/width configuration.
+    pub fn knn_search(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut seen = vec![false; self.dataset.len()];
+        let mut heap = KnnHeap::new(k);
+        for table in &self.tables {
+            stats.nodes_visited += 1;
+            let key = hash_key(
+                query,
+                &table.projections,
+                &table.offsets,
+                self.hashes_per_table,
+                self.width,
+            );
+            let Some(bucket) = table.buckets.get(&key) else {
+                continue;
+            };
+            for &id in bucket {
+                if seen[id as usize] {
+                    continue;
+                }
+                seen[id as usize] = true;
+                stats.distance_computations += 1;
+                heap.offer(id as usize, l2(query, self.dataset.vector(id as usize)));
+            }
+        }
+        heap.into_sorted()
+    }
+
+    /// Mean bucket occupancy (diagnostic).
+    pub fn mean_bucket_size(&self) -> f64 {
+        let (count, total) = self
+            .tables
+            .iter()
+            .flat_map(|t| t.buckets.values())
+            .fold((0usize, 0usize), |(c, t), b| (c + 1, t + b.len()));
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+
+    /// Approximate heap footprint of the hash structure.
+    pub fn structure_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for t in &self.tables {
+            total += t.projections.len() * 4 + t.offsets.len() * 4;
+            for (k, v) in &t.buckets {
+                total += k.len() * 4 + v.len() * 4 + 48;
+            }
+        }
+        total
+    }
+}
+
+fn hash_key(
+    v: &[f32],
+    projections: &[f32],
+    offsets: &[f32],
+    m: usize,
+    width: f32,
+) -> Vec<i32> {
+    let dim = v.len();
+    let mut key = Vec::with_capacity(m);
+    for h in 0..m {
+        let row = &projections[h * dim..(h + 1) * dim];
+        let dot: f32 = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        key.push(((dot + offsets[h]) / width).floor() as i32);
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use crate::traits::knn_search_simple;
+    use cbir_distance::Measure;
+
+    fn clustered(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = SplitMix64::new(seed);
+        let centres: Vec<Vec<f32>> = (0..8)
+            .map(|_| (0..dim).map(|_| rng.next_f32() * 100.0).collect())
+            .collect();
+        let v: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                centres[i % 8]
+                    .iter()
+                    .map(|&c| c + rng.next_normal())
+                    .collect()
+            })
+            .collect();
+        Dataset::from_vectors(&v).unwrap()
+    }
+
+    #[test]
+    fn high_recall_with_generous_configuration() {
+        let ds = clustered(2000, 8, 5);
+        let lsh = LshIndex::build(ds.clone(), 12, 4, 8.0, 99).unwrap();
+        let lin = LinearScan::build(ds.clone(), Measure::L2).unwrap();
+        let mut total_recall = 0.0f64;
+        let queries = 20;
+        for qi in 0..queries {
+            let q: Vec<f32> = ds.vector(qi * 97).to_vec();
+            let exact: Vec<usize> = knn_search_simple(&lin, &q, 10)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let mut stats = SearchStats::new();
+            let approx: Vec<usize> = lsh
+                .knn_search(&q, 10, &mut stats)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let hits = exact.iter().filter(|id| approx.contains(id)).count();
+            total_recall += hits as f64 / exact.len() as f64;
+        }
+        let recall = total_recall / queries as f64;
+        assert!(recall > 0.8, "recall {recall}");
+    }
+
+    #[test]
+    fn checks_fewer_candidates_than_scan() {
+        let ds = clustered(5000, 8, 11);
+        let lsh = LshIndex::build(ds.clone(), 8, 6, 4.0, 7).unwrap();
+        let mut stats = SearchStats::new();
+        lsh.knn_search(ds.vector(3), 10, &mut stats);
+        assert!(
+            stats.distance_computations < 5000 / 2,
+            "{} candidates",
+            stats.distance_computations
+        );
+    }
+
+    #[test]
+    fn self_query_finds_itself() {
+        let ds = clustered(500, 4, 3);
+        let lsh = LshIndex::build(ds.clone(), 6, 3, 4.0, 1).unwrap();
+        let mut stats = SearchStats::new();
+        let hits = lsh.knn_search(ds.vector(42), 1, &mut stats);
+        // The query point hashes into its own bucket in every table.
+        assert_eq!(hits[0].id, 42);
+        assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn narrower_width_reduces_cost() {
+        let ds = clustered(3000, 8, 21);
+        let wide = LshIndex::build(ds.clone(), 6, 4, 32.0, 5).unwrap();
+        let narrow = LshIndex::build(ds.clone(), 6, 4, 1.0, 5).unwrap();
+        let mut ws = SearchStats::new();
+        let mut ns = SearchStats::new();
+        for qi in [0usize, 500, 999] {
+            wide.knn_search(ds.vector(qi), 10, &mut ws);
+            narrow.knn_search(ds.vector(qi), 10, &mut ns);
+        }
+        assert!(
+            ns.distance_computations < ws.distance_computations,
+            "narrow {} vs wide {}",
+            ns.distance_computations,
+            ws.distance_computations
+        );
+        assert!(narrow.mean_bucket_size() < wide.mean_bucket_size());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = clustered(400, 4, 9);
+        let a = LshIndex::build(ds.clone(), 4, 3, 4.0, 77).unwrap();
+        let b = LshIndex::build(ds.clone(), 4, 3, 4.0, 77).unwrap();
+        let q = ds.vector(10);
+        let mut sa = SearchStats::new();
+        let mut sb = SearchStats::new();
+        assert_eq!(a.knn_search(q, 5, &mut sa), b.knn_search(q, 5, &mut sb));
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn validation() {
+        let ds = clustered(10, 2, 1);
+        assert!(LshIndex::build(ds.clone(), 0, 3, 1.0, 1).is_err());
+        assert!(LshIndex::build(ds.clone(), 300, 3, 1.0, 1).is_err());
+        assert!(LshIndex::build(ds.clone(), 4, 0, 1.0, 1).is_err());
+        assert!(LshIndex::build(ds.clone(), 4, 100, 1.0, 1).is_err());
+        assert!(LshIndex::build(ds.clone(), 4, 3, 0.0, 1).is_err());
+        assert!(LshIndex::build(ds.clone(), 4, 3, f32::NAN, 1).is_err());
+        let ok = LshIndex::build(ds, 4, 3, 1.0, 1).unwrap();
+        assert_eq!(ok.len(), 10);
+        assert!(!ok.is_empty());
+        assert!(ok.structure_bytes() > 0);
+    }
+
+    #[test]
+    fn zero_k_returns_empty() {
+        let ds = clustered(50, 3, 2);
+        let lsh = LshIndex::build(ds.clone(), 2, 2, 4.0, 3).unwrap();
+        let mut stats = SearchStats::new();
+        assert!(lsh.knn_search(ds.vector(0), 0, &mut stats).is_empty());
+    }
+}

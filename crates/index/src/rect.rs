@@ -1,0 +1,199 @@
+//! Axis-aligned bounding rectangles in d dimensions, the geometry layer of
+//! the R\*-tree.
+
+/// An axis-aligned d-dimensional rectangle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rect {
+    /// Lower corner.
+    pub min: Vec<f32>,
+    /// Upper corner (component-wise ≥ `min`).
+    pub max: Vec<f32>,
+}
+
+impl Rect {
+    /// The degenerate rectangle covering a single point.
+    pub fn point(p: &[f32]) -> Self {
+        Rect {
+            min: p.to_vec(),
+            max: p.to_vec(),
+        }
+    }
+
+    /// An "empty" rectangle that unions as the identity.
+    pub fn empty(dim: usize) -> Self {
+        Rect {
+            min: vec![f32::INFINITY; dim],
+            max: vec![f32::NEG_INFINITY; dim],
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Grow in place to cover `other`.
+    pub fn union_with(&mut self, other: &Rect) {
+        for d in 0..self.min.len() {
+            self.min[d] = self.min[d].min(other.min[d]);
+            self.max[d] = self.max[d].max(other.max[d]);
+        }
+    }
+
+    /// The smallest rectangle covering both inputs.
+    pub fn union(a: &Rect, b: &Rect) -> Rect {
+        let mut out = a.clone();
+        out.union_with(b);
+        out
+    }
+
+    /// Hyper-volume (product of extents); 0 for degenerate rectangles.
+    pub fn area(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| (hi - lo).max(0.0) as f64)
+            .product()
+    }
+
+    /// Margin (sum of extents) — the R\* split criterion's tie-breaker
+    /// favouring square-ish pages.
+    pub fn margin(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| (hi - lo).max(0.0) as f64)
+            .sum()
+    }
+
+    /// Overlap volume with `other` (0 when disjoint).
+    pub fn overlap(&self, other: &Rect) -> f64 {
+        let mut v = 1.0f64;
+        for d in 0..self.min.len() {
+            let lo = self.min[d].max(other.min[d]);
+            let hi = self.max[d].min(other.max[d]);
+            if hi <= lo {
+                return 0.0;
+            }
+            v *= (hi - lo) as f64;
+        }
+        v
+    }
+
+    /// Area growth needed to absorb `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        Rect::union(self, other).area() - self.area()
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    pub fn contains_point(&self, p: &[f32]) -> bool {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(p)
+            .all(|((lo, hi), x)| *lo <= *x && *x <= *hi)
+    }
+
+    /// Squared L2 distance from a point to the rectangle (0 inside) — the
+    /// MINDIST lower bound used for pruning.
+    pub fn mindist_sq(&self, p: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for ((&lo, &hi), &x) in self.min.iter().zip(&self.max).zip(p) {
+            let delta = if x < lo {
+                lo - x
+            } else if x > hi {
+                x - hi
+            } else {
+                0.0
+            };
+            acc += delta * delta;
+        }
+        acc
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> Vec<f32> {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| (lo + hi) / 2.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(min: &[f32], max: &[f32]) -> Rect {
+        Rect {
+            min: min.to_vec(),
+            max: max.to_vec(),
+        }
+    }
+
+    #[test]
+    fn point_rect_is_degenerate() {
+        let r = Rect::point(&[1.0, 2.0]);
+        assert_eq!(r.area(), 0.0);
+        assert_eq!(r.margin(), 0.0);
+        assert!(r.contains_point(&[1.0, 2.0]));
+        assert!(!r.contains_point(&[1.0, 2.1]));
+    }
+
+    #[test]
+    fn union_and_empty_identity() {
+        let a = rect(&[0.0, 0.0], &[1.0, 1.0]);
+        let e = Rect::empty(2);
+        assert_eq!(Rect::union(&e, &a), a);
+        let b = rect(&[2.0, -1.0], &[3.0, 0.5]);
+        let u = Rect::union(&a, &b);
+        assert_eq!(u, rect(&[0.0, -1.0], &[3.0, 1.0]));
+    }
+
+    #[test]
+    fn area_margin() {
+        let r = rect(&[0.0, 0.0, 0.0], &[2.0, 3.0, 4.0]);
+        assert_eq!(r.area(), 24.0);
+        assert_eq!(r.margin(), 9.0);
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = rect(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = rect(&[1.0, 1.0], &[3.0, 3.0]);
+        assert_eq!(a.overlap(&b), 1.0);
+        let c = rect(&[5.0, 5.0], &[6.0, 6.0]);
+        assert_eq!(a.overlap(&c), 0.0);
+        // Touching edges overlap zero.
+        let d = rect(&[2.0, 0.0], &[3.0, 2.0]);
+        assert_eq!(a.overlap(&d), 0.0);
+        // Full containment.
+        let inner = rect(&[0.5, 0.5], &[1.0, 1.0]);
+        assert_eq!(a.overlap(&inner), 0.25);
+    }
+
+    #[test]
+    fn enlargement() {
+        let a = rect(&[0.0, 0.0], &[2.0, 2.0]);
+        let inside = Rect::point(&[1.0, 1.0]);
+        assert_eq!(a.enlargement(&inside), 0.0);
+        let outside = Rect::point(&[4.0, 2.0]);
+        assert_eq!(a.enlargement(&outside), 4.0); // grows to 4x2
+    }
+
+    #[test]
+    fn mindist() {
+        let r = rect(&[1.0, 1.0], &[3.0, 3.0]);
+        assert_eq!(r.mindist_sq(&[2.0, 2.0]), 0.0); // inside
+        assert_eq!(r.mindist_sq(&[0.0, 2.0]), 1.0); // left face
+        assert_eq!(r.mindist_sq(&[0.0, 0.0]), 2.0); // corner
+        assert_eq!(r.mindist_sq(&[5.0, 4.0]), 5.0); // corner 2,1
+    }
+
+    #[test]
+    fn center() {
+        let r = rect(&[0.0, 2.0], &[4.0, 6.0]);
+        assert_eq!(r.center(), vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Query cost accounting. Distance computations are the hardware-
+//! independent cost model used throughout the evaluation; node visits track
+//! traversal overhead.
+
+/// Counters accumulated during a single query (or a batch, if reused).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Full distance evaluations performed.
+    pub distance_computations: u64,
+    /// Index nodes (internal or leaf) visited.
+    pub nodes_visited: u64,
+}
+
+impl SearchStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        SearchStats::default()
+    }
+
+    /// Reset to zero in place (for reuse across queries).
+    pub fn reset(&mut self) {
+        *self = SearchStats::default();
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.distance_computations += other.distance_computations;
+        self.nodes_visited += other.nodes_visited;
+    }
+}
+
+/// A search hit: dataset offset plus its distance from the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Offset of the vector in the dataset the index was built over.
+    pub id: usize,
+    /// Distance from the query under the index's measure.
+    pub distance: f32,
+}
+
+/// Slack added to triangle-inequality pruning bounds to absorb f32
+/// rounding: a lower bound computed as the difference of two rounded
+/// distances can exceed the true (rounded) distance by a few ulps, which
+/// would wrongfully prune exact-tie candidates. A few-ulp relative margin
+/// restores safety at negligible extra search cost.
+#[inline]
+pub(crate) fn tri_slack(a: f32, b: f32) -> f32 {
+    a.abs().max(b.abs()) * 4e-6
+}
+
+/// Sort hits by ascending distance, breaking ties by id so results are
+/// fully deterministic and comparable across index implementations.
+pub fn sort_neighbors(hits: &mut [Neighbor]) {
+    hits.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_and_merge() {
+        let mut a = SearchStats {
+            distance_computations: 5,
+            nodes_visited: 2,
+        };
+        let b = SearchStats {
+            distance_computations: 3,
+            nodes_visited: 10,
+        };
+        a.merge(&b);
+        assert_eq!(a.distance_computations, 8);
+        assert_eq!(a.nodes_visited, 12);
+        a.reset();
+        assert_eq!(a, SearchStats::new());
+    }
+
+    #[test]
+    fn neighbor_sorting_is_deterministic() {
+        let mut hits = vec![
+            Neighbor {
+                id: 7,
+                distance: 1.0,
+            },
+            Neighbor {
+                id: 3,
+                distance: 1.0,
+            },
+            Neighbor {
+                id: 1,
+                distance: 0.5,
+            },
+        ];
+        sort_neighbors(&mut hits);
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[1].id, 3); // tie broken by id
+        assert_eq!(hits[2].id, 7);
+    }
+}

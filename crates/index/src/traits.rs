@@ -1,0 +1,51 @@
+//! The common interface all index structures implement.
+
+use crate::stats::{Neighbor, SearchStats};
+
+/// A similarity-search index over a fixed dataset of feature vectors.
+///
+/// The contract, verified by the cross-implementation test suite: for any
+/// query, both search modes return *exactly* the same result set as a
+/// sequential scan under the same measure — indexes accelerate, never
+/// approximate.
+pub trait SearchIndex: Send + Sync {
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty (never true; datasets are non-empty).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of indexed vectors.
+    fn dim(&self) -> usize;
+
+    /// All vectors within `radius` of `query` (inclusive), sorted by
+    /// ascending distance with ties broken by id.
+    fn range_search(&self, query: &[f32], radius: f32, stats: &mut SearchStats)
+        -> Vec<Neighbor>;
+
+    /// The `k` nearest vectors to `query`, sorted by ascending distance
+    /// with ties broken by id. Returns fewer than `k` only when the dataset
+    /// is smaller than `k`.
+    fn knn_search(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor>;
+
+    /// Short name for tables ("linear", "kd-tree", "vp-tree", ...).
+    fn name(&self) -> &'static str;
+
+    /// Approximate heap footprint of the index structure itself, excluding
+    /// the shared dataset.
+    fn structure_bytes(&self) -> usize;
+}
+
+/// Convenience: run a range search discarding stats.
+pub fn range_search_simple(index: &dyn SearchIndex, query: &[f32], radius: f32) -> Vec<Neighbor> {
+    let mut stats = SearchStats::new();
+    index.range_search(query, radius, &mut stats)
+}
+
+/// Convenience: run a k-NN search discarding stats.
+pub fn knn_search_simple(index: &dyn SearchIndex, query: &[f32], k: usize) -> Vec<Neighbor> {
+    let mut stats = SearchStats::new();
+    index.knn_search(query, k, &mut stats)
+}

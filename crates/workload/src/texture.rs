@@ -1,0 +1,273 @@
+//! Procedural texture fields: deterministic scalar fields in `[0, 1]` used
+//! as the texture channel of synthetic corpus images.
+
+use crate::rng::Pcg32;
+
+/// A procedural texture: evaluated per pixel as intensity in `[0, 1]`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Texture {
+    /// Flat field of the given intensity.
+    Flat(f32),
+    /// Oriented sinusoidal stripes.
+    Stripes {
+        /// Orientation in radians.
+        angle: f32,
+        /// Wavelength in pixels.
+        period: f32,
+        /// Phase offset in pixels.
+        phase: f32,
+    },
+    /// Axis-aligned checkerboard.
+    Checker {
+        /// Cell side in pixels.
+        cell: f32,
+        /// Phase offset in pixels (both axes).
+        phase: f32,
+    },
+    /// Smooth value noise (bilinear interpolation over a random lattice).
+    ValueNoise {
+        /// Lattice cell size in pixels.
+        cell: f32,
+        /// Lattice seed.
+        seed: u64,
+    },
+    /// Concentric rings around a centre.
+    Rings {
+        /// Ring wavelength in pixels.
+        period: f32,
+        /// Centre x in pixels.
+        cx: f32,
+        /// Centre y in pixels.
+        cy: f32,
+    },
+}
+
+/// Hash a lattice coordinate to `[0, 1]` deterministically.
+fn lattice_value(ix: i64, iy: i64, seed: u64) -> f32 {
+    let mut h = seed
+        ^ (ix as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (iy as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+    h ^= h >> 33;
+    (h >> 40) as f32 / (1u64 << 24) as f32
+}
+
+impl Texture {
+    /// Evaluate at pixel coordinates.
+    pub fn eval(&self, x: f32, y: f32) -> f32 {
+        match *self {
+            Texture::Flat(v) => v.clamp(0.0, 1.0),
+            Texture::Stripes {
+                angle,
+                period,
+                phase,
+            } => {
+                let t = (x * angle.cos() + y * angle.sin() + phase) / period.max(0.5);
+                0.5 + 0.5 * (t * std::f32::consts::TAU).sin()
+            }
+            Texture::Checker { cell, phase } => {
+                let c = cell.max(1.0);
+                let cx = ((x + phase) / c).floor() as i64;
+                let cy = ((y + phase) / c).floor() as i64;
+                if (cx + cy).rem_euclid(2) == 0 {
+                    0.15
+                } else {
+                    0.85
+                }
+            }
+            Texture::ValueNoise { cell, seed } => {
+                let c = cell.max(1.0);
+                let gx = x / c;
+                let gy = y / c;
+                let ix = gx.floor() as i64;
+                let iy = gy.floor() as i64;
+                let fx = gx - ix as f32;
+                let fy = gy - iy as f32;
+                // Smoothstep for C1 continuity.
+                let sx = fx * fx * (3.0 - 2.0 * fx);
+                let sy = fy * fy * (3.0 - 2.0 * fy);
+                let v00 = lattice_value(ix, iy, seed);
+                let v10 = lattice_value(ix + 1, iy, seed);
+                let v01 = lattice_value(ix, iy + 1, seed);
+                let v11 = lattice_value(ix + 1, iy + 1, seed);
+                let top = v00 + (v10 - v00) * sx;
+                let bot = v01 + (v11 - v01) * sx;
+                top + (bot - top) * sy
+            }
+            Texture::Rings { period, cx, cy } => {
+                let r = ((x - cx) * (x - cx) + (y - cy) * (y - cy)).sqrt();
+                0.5 + 0.5 * (r / period.max(0.5) * std::f32::consts::TAU).sin()
+            }
+        }
+    }
+
+    /// Draw a random texture of a random family — the per-class texture
+    /// assignment used by the corpus generator.
+    pub fn random(rng: &mut Pcg32, image_size: f32) -> Texture {
+        match rng.below(5) {
+            0 => Texture::Flat(rng.range_f32(0.2, 0.8)),
+            1 => Texture::Stripes {
+                angle: rng.range_f32(0.0, std::f32::consts::PI),
+                period: rng.range_f32(4.0, image_size / 4.0),
+                phase: rng.range_f32(0.0, 16.0),
+            },
+            2 => Texture::Checker {
+                cell: rng.range_f32(3.0, image_size / 4.0),
+                phase: rng.range_f32(0.0, 8.0),
+            },
+            3 => Texture::ValueNoise {
+                cell: rng.range_f32(3.0, image_size / 3.0),
+                seed: rng.next_u32() as u64,
+            },
+            _ => Texture::Rings {
+                period: rng.range_f32(4.0, image_size / 3.0),
+                cx: rng.range_f32(0.0, image_size),
+                cy: rng.range_f32(0.0, image_size),
+            },
+        }
+    }
+
+    /// A jittered copy: same family and approximate parameters, slightly
+    /// perturbed — intra-class variation.
+    pub fn jitter(&self, rng: &mut Pcg32, strength: f32) -> Texture {
+        let s = strength;
+        match *self {
+            Texture::Flat(v) => Texture::Flat((v + rng.range_f32(-0.1, 0.1) * s).clamp(0.0, 1.0)),
+            Texture::Stripes {
+                angle,
+                period,
+                phase,
+            } => Texture::Stripes {
+                angle: angle + rng.range_f32(-0.2, 0.2) * s,
+                period: (period * rng.range_f32(1.0 - 0.15 * s, 1.0 + 0.15 * s)).max(2.0),
+                phase: phase + rng.range_f32(-8.0, 8.0) * s,
+            },
+            Texture::Checker { cell, phase } => Texture::Checker {
+                cell: (cell * rng.range_f32(1.0 - 0.15 * s, 1.0 + 0.15 * s)).max(2.0),
+                phase: phase + rng.range_f32(-4.0, 4.0) * s,
+            },
+            Texture::ValueNoise { cell, seed } => Texture::ValueNoise {
+                cell: (cell * rng.range_f32(1.0 - 0.15 * s, 1.0 + 0.15 * s)).max(2.0),
+                // Different noise instance, same statistics.
+                seed: seed ^ (rng.next_u32() as u64) << 32,
+            },
+            Texture::Rings { period, cx, cy } => Texture::Rings {
+                period: (period * rng.range_f32(1.0 - 0.15 * s, 1.0 + 0.15 * s)).max(2.0),
+                cx: cx + rng.range_f32(-6.0, 6.0) * s,
+                cy: cy + rng.range_f32(-6.0, 6.0) * s,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_textures_stay_in_unit_range() {
+        let mut rng = Pcg32::new(5);
+        for _ in 0..20 {
+            let t = Texture::random(&mut rng, 64.0);
+            for y in 0..32 {
+                for x in 0..32 {
+                    let v = t.eval(x as f32 * 2.0, y as f32 * 2.0);
+                    assert!((0.0..=1.0).contains(&v), "{t:?} at ({x},{y}) = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let t = Texture::ValueNoise { cell: 8.0, seed: 42 };
+        assert_eq!(t.eval(3.7, 9.2), t.eval(3.7, 9.2));
+        let s = Texture::Stripes {
+            angle: 0.3,
+            period: 7.0,
+            phase: 1.0,
+        };
+        assert_eq!(s.eval(10.0, 20.0), s.eval(10.0, 20.0));
+    }
+
+    #[test]
+    fn stripes_vary_along_their_normal_only() {
+        let t = Texture::Stripes {
+            angle: 0.0,
+            period: 8.0,
+            phase: 0.0,
+        };
+        // Angle 0: variation along x, constant along y.
+        assert_eq!(t.eval(3.0, 0.0), t.eval(3.0, 31.0));
+        // Peak (quarter period) vs trough (three quarters).
+        assert!((t.eval(2.0, 0.0) - t.eval(6.0, 0.0)).abs() > 0.5);
+    }
+
+    #[test]
+    fn checker_alternates() {
+        let t = Texture::Checker {
+            cell: 4.0,
+            phase: 0.0,
+        };
+        assert_ne!(t.eval(1.0, 1.0), t.eval(5.0, 1.0));
+        assert_eq!(t.eval(1.0, 1.0), t.eval(9.0, 1.0));
+    }
+
+    #[test]
+    fn value_noise_is_smooth() {
+        let t = Texture::ValueNoise {
+            cell: 16.0,
+            seed: 7,
+        };
+        // Adjacent samples differ by much less than the full range.
+        for x in 0..63 {
+            let a = t.eval(x as f32, 10.0);
+            let b = t.eval(x as f32 + 1.0, 10.0);
+            assert!((a - b).abs() < 0.25, "jump at {x}: {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn rings_are_radially_symmetric() {
+        let t = Texture::Rings {
+            period: 8.0,
+            cx: 32.0,
+            cy: 32.0,
+        };
+        let a = t.eval(32.0 + 7.0, 32.0);
+        let b = t.eval(32.0, 32.0 + 7.0);
+        assert!((a - b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn jitter_preserves_family() {
+        let mut rng = Pcg32::new(11);
+        for _ in 0..20 {
+            let t = Texture::random(&mut rng, 64.0);
+            let j = t.jitter(&mut rng, 1.0);
+            assert_eq!(
+                std::mem::discriminant(&t),
+                std::mem::discriminant(&j),
+                "{t:?} vs {j:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_covers_all_families() {
+        let mut rng = Pcg32::new(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let idx = match Texture::random(&mut rng, 64.0) {
+                Texture::Flat(_) => 0,
+                Texture::Stripes { .. } => 1,
+                Texture::Checker { .. } => 2,
+                Texture::ValueNoise { .. } => 3,
+                Texture::Rings { .. } => 4,
+            };
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Synthetic vector workloads for the index microbenchmarks: uniform and
+//! clustered point clouds plus query generators, all seed-deterministic.
+
+use crate::rng::Pcg32;
+
+/// `n` vectors uniform in `[0, scale)^dim`.
+pub fn uniform(n: usize, dim: usize, scale: f32, seed: u64) -> Vec<Vec<f32>> {
+    assert!(n > 0 && dim > 0, "uniform workload needs n, dim > 0");
+    let mut rng = Pcg32::new(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.range_f32(0.0, scale)).collect())
+        .collect()
+}
+
+/// `n` vectors drawn from `clusters` Gaussian blobs with the given standard
+/// deviation, centres uniform in `[0, scale)^dim`. Round-robin assignment,
+/// so cluster populations are balanced.
+pub fn clustered(
+    n: usize,
+    dim: usize,
+    clusters: usize,
+    spread: f32,
+    scale: f32,
+    seed: u64,
+) -> Vec<Vec<f32>> {
+    assert!(
+        n > 0 && dim > 0 && clusters > 0,
+        "clustered workload needs n, dim, clusters > 0"
+    );
+    let mut rng = Pcg32::new(seed);
+    let centres: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.range_f32(0.0, scale)).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centres[i % clusters];
+            c.iter().map(|&x| x + rng.normal() * spread).collect()
+        })
+        .collect()
+}
+
+/// Normalized histogram-like vectors (non-negative, summing to 1) from a
+/// Dirichlet-ish draw — the domain histogram measures expect.
+pub fn histograms(n: usize, dim: usize, concentration: f32, seed: u64) -> Vec<Vec<f32>> {
+    assert!(n > 0 && dim > 0, "histogram workload needs n, dim > 0");
+    let mut rng = Pcg32::new(seed);
+    (0..n)
+        .map(|_| {
+            let mut v: Vec<f32> = (0..dim)
+                .map(|_| (-rng.next_f32().max(1e-7).ln()).powf(1.0 / concentration.max(0.1)))
+                .collect();
+            let s: f32 = v.iter().sum();
+            for x in &mut v {
+                *x /= s;
+            }
+            v
+        })
+        .collect()
+}
+
+/// Query points: a mix of perturbed dataset members (realistic query-by-
+/// example) and fresh uniform points (out-of-set queries).
+pub fn queries(data: &[Vec<f32>], n_queries: usize, perturbation: f32, seed: u64) -> Vec<Vec<f32>> {
+    assert!(!data.is_empty(), "queries need a non-empty dataset");
+    let mut rng = Pcg32::new(seed ^ 0x9E37);
+    let dim = data[0].len();
+    // Bounding box for fresh queries.
+    let mut lo = vec![f32::INFINITY; dim];
+    let mut hi = vec![f32::NEG_INFINITY; dim];
+    for v in data {
+        for d in 0..dim {
+            lo[d] = lo[d].min(v[d]);
+            hi[d] = hi[d].max(v[d]);
+        }
+    }
+    (0..n_queries)
+        .map(|i| {
+            if i % 4 != 3 {
+                // 75%: perturbed member.
+                let base = &data[rng.below(data.len())];
+                base.iter()
+                    .map(|&x| x + rng.normal() * perturbation)
+                    .collect()
+            } else {
+                // 25%: uniform in the bounding box.
+                (0..dim).map(|d| rng.range_f32(lo[d], hi[d])).collect()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shape_and_range() {
+        let v = uniform(100, 4, 10.0, 1);
+        assert_eq!(v.len(), 100);
+        assert!(v.iter().all(|x| x.len() == 4));
+        assert!(v
+            .iter()
+            .flatten()
+            .all(|&x| (0.0..10.0).contains(&x)));
+        assert_eq!(v, uniform(100, 4, 10.0, 1));
+        assert_ne!(v, uniform(100, 4, 10.0, 2));
+    }
+
+    #[test]
+    fn clustered_points_hug_their_centres() {
+        let v = clustered(400, 3, 4, 0.5, 100.0, 7);
+        assert_eq!(v.len(), 400);
+        // Points assigned round-robin: members of cluster 0 are 0, 4, 8...
+        let d = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt()
+        };
+        // Same-cluster pairs are near, different-cluster pairs usually far.
+        let same = d(&v[0], &v[4]);
+        let diff = d(&v[0], &v[1]);
+        assert!(same < 6.0, "same-cluster distance {same}");
+        assert!(diff > same, "cluster structure missing: {diff} vs {same}");
+    }
+
+    #[test]
+    fn histograms_are_normalized() {
+        let v = histograms(50, 8, 1.0, 3);
+        for h in &v {
+            assert!(h.iter().all(|&x| x >= 0.0));
+            let s: f32 = h.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn concentration_controls_peakedness() {
+        // Low concentration -> spiky histograms (high max bin).
+        let spiky = histograms(200, 16, 0.3, 5);
+        let flat = histograms(200, 16, 3.0, 5);
+        let mean_max = |hs: &[Vec<f32>]| -> f32 {
+            hs.iter()
+                .map(|h| h.iter().cloned().fold(0.0f32, f32::max))
+                .sum::<f32>()
+                / hs.len() as f32
+        };
+        assert!(mean_max(&spiky) > mean_max(&flat) + 0.05);
+    }
+
+    #[test]
+    fn queries_have_right_shape() {
+        let data = uniform(50, 3, 5.0, 9);
+        let q = queries(&data, 20, 0.1, 11);
+        assert_eq!(q.len(), 20);
+        assert!(q.iter().all(|x| x.len() == 3));
+        assert_eq!(q, queries(&data, 20, 0.1, 11));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_args_panic() {
+        uniform(0, 3, 1.0, 1);
+    }
+}

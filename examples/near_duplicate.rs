@@ -1,0 +1,93 @@
+//! Near-duplicate detection with range search, plus a tour of the codec
+//! and persistence layers: images round-trip through the PPM codec, the
+//! signature database round-trips through the binary persistence format,
+//! and duplicates are found with a tight-radius range query.
+//!
+//! Run with: `cargo run --release --example near_duplicate`
+
+use cbir::core::persist;
+use cbir::image::codec::{decode_pnm, encode_ppm, PnmEncoding};
+use cbir::image::{Rgb, RgbImage};
+use cbir::workload::{Corpus, CorpusSpec, Pcg32};
+use cbir::{ImageDatabase, IndexKind, Measure, Pipeline, QueryEngine, SearchStats};
+
+/// Simulate a re-encoded / lightly edited copy: brightness shift + a
+/// small amount of pixel noise.
+fn perturb(img: &RgbImage, rng: &mut Pcg32) -> RgbImage {
+    let shift = rng.range_f32(-6.0, 6.0);
+    RgbImage::from_fn(img.width(), img.height(), |x, y| {
+        let p = img.pixel(x, y);
+        let noise = rng.range_f32(-2.0, 2.0);
+        let adj = |c: u8| (c as f32 + shift + noise).clamp(0.0, 255.0) as u8;
+        Rgb::new(adj(p.r()), adj(p.g()), adj(p.b()))
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = Corpus::generate(CorpusSpec {
+        classes: 12,
+        images_per_class: 6,
+        image_size: 64,
+        jitter: 0.8,
+        noise: 0.03,
+        seed: 2024,
+    });
+    let mut rng = Pcg32::new(555);
+
+    // Insert originals; every 4th image also gets a perturbed near-copy —
+    // and every image passes through the PPM codec first, as it would when
+    // ingested from disk.
+    let mut db = ImageDatabase::new(Pipeline::color_histogram_default());
+    let mut duplicate_of = Vec::new(); // (copy id, original id)
+    for (i, img) in corpus.images.iter().enumerate() {
+        let bytes = encode_ppm(img, PnmEncoding::Binary);
+        let decoded = decode_pnm(&bytes)?.into_rgb();
+        assert_eq!(&decoded, img, "PPM codec must round-trip exactly");
+        let orig_id = db.insert(format!("orig-{i:03}"), &decoded)?;
+        if i % 4 == 0 {
+            let copy = perturb(img, &mut rng);
+            let copy_id = db.insert(format!("copy-{i:03}"), &copy)?;
+            duplicate_of.push((copy_id, orig_id));
+        }
+    }
+    println!(
+        "database: {} images ({} with planted near-duplicates)",
+        db.len(),
+        duplicate_of.len()
+    );
+
+    // Persistence round-trip before querying.
+    let bytes = persist::save_to_vec(&db)?;
+    let db = persist::load_from_slice(&bytes)?;
+    println!("persisted + reloaded: {} bytes", bytes.len());
+
+    // Range search with a tight radius flags near-duplicates.
+    let engine = QueryEngine::build(db, IndexKind::Antipole { diameter: None }, Measure::L1)?;
+    let radius = 0.25; // tight L1 radius on normalized histograms
+
+    let mut found = 0usize;
+    let mut false_alarms = 0usize;
+    let mut total_computations = 0u64;
+    for &(copy_id, orig_id) in &duplicate_of {
+        let mut stats = SearchStats::new();
+        let desc: Vec<f32> = engine.database().descriptor(copy_id)?.to_vec();
+        let hits = engine.query_by_descriptor(&desc, 4, &mut stats)?;
+        total_computations += stats.distance_computations;
+        // Nearest non-self hit inside the radius is the duplicate verdict.
+        match hits.iter().find(|h| h.id != copy_id) {
+            Some(h) if h.id == orig_id && h.distance <= radius => found += 1,
+            Some(h) if h.distance <= radius => false_alarms += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "\nduplicate detection: {found}/{} originals recovered, {false_alarms} false alarms",
+        duplicate_of.len()
+    );
+    println!(
+        "mean query cost: {:.0} distance computations over {} images",
+        total_computations as f64 / duplicate_of.len() as f64,
+        engine.database().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Region query: find *where* a small template occurs inside larger scenes
+//! — "find this logo in these images" — using integral-histogram sliding-
+//! window search, then rank whole scenes by their best window.
+//!
+//! Run with: `cargo run --release --example region_query`
+
+use cbir::features::{find_best_window, Quantizer};
+use cbir::image::{Rgb, RgbImage};
+use cbir::workload::Pcg32;
+
+const SCENES: usize = 6;
+const SIZE: u32 = 96;
+
+/// A busy scene of random color blocks; scene `i` (for even `i`) hides the
+/// "logo" (red ring on yellow) at a known position.
+fn scene(i: usize, logo: &RgbImage) -> (RgbImage, Option<(u32, u32)>) {
+    let mut rng = Pcg32::with_stream(0x5ce7e, i as u64);
+    let mut img = RgbImage::from_fn(SIZE, SIZE, |x, y| {
+        let cell = (x / 16 + 17 * (y / 16)) as u64;
+        let mut cell_rng = Pcg32::with_stream(0xb10c + i as u64, cell);
+        let _ = (x, y);
+        Rgb::new(
+            cell_rng.below(200) as u8,
+            (55 + cell_rng.below(200)) as u8,
+            (30 + cell_rng.below(180)) as u8,
+        )
+    });
+    if i.is_multiple_of(2) {
+        let max = SIZE - logo.width();
+        let (lx, ly) = (rng.below(max as usize) as u32, rng.below(max as usize) as u32);
+        for (x, y, p) in logo.enumerate_pixels() {
+            img.set(lx + x, ly + y, p);
+        }
+        (img, Some((lx, ly)))
+    } else {
+        (img, None)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The "logo": red ring on a yellow field.
+    let logo = RgbImage::from_fn(20, 20, |x, y| {
+        let dx = x as f32 - 9.5;
+        let dy = y as f32 - 9.5;
+        let r = (dx * dx + dy * dy).sqrt();
+        if (5.0..8.5).contains(&r) {
+            Rgb::new(210, 25, 25)
+        } else {
+            Rgb::new(235, 210, 60)
+        }
+    });
+    let quantizer = Quantizer::rgb_compact();
+
+    println!("searching {SCENES} scenes for a 20x20 logo (stride 2)\n");
+    println!(
+        "{:<7} {:>9} {:>12} {:>12} {:>9}",
+        "scene", "planted", "found-at", "distance", "verdict"
+    );
+    let mut correct = 0usize;
+    for i in 0..SCENES {
+        let (img, planted) = scene(i, &logo);
+        let m = find_best_window(&img, &logo, &quantizer, 2)?;
+        // Decision rule: a sufficiently close histogram means "present".
+        let present = m.distance < 0.5;
+        let ok = match planted {
+            Some((px, py)) => present && m.x.abs_diff(px) <= 4 && m.y.abs_diff(py) <= 4,
+            None => !present,
+        };
+        if ok {
+            correct += 1;
+        }
+        println!(
+            "{:<7} {:>9} {:>12} {:>12.3} {:>9}",
+            i,
+            planted.map_or("no".into(), |(x, y)| format!("({x},{y})")),
+            format!("({}, {})", m.x, m.y),
+            m.distance,
+            if ok { "correct" } else { "WRONG" }
+        );
+    }
+    println!("\n{correct}/{SCENES} scenes decided correctly");
+    Ok(())
+}

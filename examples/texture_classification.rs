@@ -1,0 +1,104 @@
+//! Texture classification by nearest-neighbour retrieval: GLCM + Tamura +
+//! wavelet signatures on grayscale texture patches (a Brodatz-style
+//! protocol on procedural textures).
+//!
+//! Run with: `cargo run --release --example texture_classification`
+
+use cbir::image::{Rgb, RgbImage};
+use cbir::workload::{Pcg32, Texture};
+use cbir::{FeatureSpec, ImageDatabase, IndexKind, Measure, Pipeline, QueryEngine, SearchStats};
+
+const CLASSES: usize = 8;
+const TRAIN_PER_CLASS: usize = 10;
+const TEST_PER_CLASS: usize = 5;
+const SIZE: u32 = 64;
+
+fn texture_patch(texture: &Texture, rng: &mut Pcg32) -> RgbImage {
+    let t = texture.jitter(rng, 0.7);
+    // Random global brightness/contrast per patch, so raw intensity is not
+    // a reliable cue.
+    let gain = rng.range_f32(0.7, 1.0);
+    let bias = rng.range_f32(0.0, 0.25);
+    RgbImage::from_fn(SIZE, SIZE, |x, y| {
+        let v = ((t.eval(x as f32, y as f32) * gain + bias).clamp(0.0, 1.0) * 255.0) as u8;
+        Rgb::new(v, v, v)
+    })
+}
+
+fn texture_pipeline() -> Pipeline {
+    Pipeline::new(
+        64,
+        vec![
+            FeatureSpec::Glcm { levels: 16 },
+            FeatureSpec::Tamura,
+            FeatureSpec::Wavelet { levels: 3 },
+        ],
+    )
+    .expect("static pipeline")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One texture family per class.
+    let mut class_rng = Pcg32::new(0x7e87);
+    let class_textures: Vec<Texture> = (0..CLASSES)
+        .map(|_| Texture::random(&mut class_rng, SIZE as f32))
+        .collect();
+
+    // Train database.
+    let mut db = ImageDatabase::new(texture_pipeline());
+    for (class, tex) in class_textures.iter().enumerate() {
+        let mut rng = Pcg32::with_stream(0x7e87, class as u64);
+        for i in 0..TRAIN_PER_CLASS {
+            db.insert_labeled(format!("tex-{class}-{i}"), class as u32, &texture_patch(tex, &mut rng))?;
+        }
+    }
+    let engine = QueryEngine::build(db, IndexKind::VpTree, Measure::L2)?;
+
+    // Held-out test patches, classified by 3-NN majority vote.
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let mut confusion = vec![vec![0u32; CLASSES]; CLASSES];
+    for (class, tex) in class_textures.iter().enumerate() {
+        let mut rng = Pcg32::with_stream(0xbeef, class as u64 + 100);
+        for _ in 0..TEST_PER_CLASS {
+            let patch = texture_patch(tex, &mut rng);
+            let mut stats = SearchStats::new();
+            let hits = engine.query_by_example(&patch, 3, &mut stats)?;
+            let mut votes = [0u32; CLASSES];
+            for h in &hits {
+                votes[h.label.unwrap() as usize] += 1;
+            }
+            let predicted = votes
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &v)| v)
+                .map(|(i, _)| i)
+                .unwrap();
+            confusion[class][predicted] += 1;
+            if predicted == class {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+
+    println!(
+        "texture classification: {CLASSES} classes, {TRAIN_PER_CLASS} train / {TEST_PER_CLASS} test patches each"
+    );
+    println!("3-NN accuracy: {correct}/{total} = {:.1}%", 100.0 * correct as f64 / total as f64);
+    println!("(chance: {:.1}%)\n", 100.0 / CLASSES as f64);
+    println!("confusion matrix (rows = truth):");
+    print!("     ");
+    for c in 0..CLASSES {
+        print!("{c:>4}");
+    }
+    println!();
+    for (truth, row) in confusion.iter().enumerate() {
+        print!("  {truth:>2} ");
+        for &n in row {
+            print!("{n:>4}");
+        }
+        println!();
+    }
+    Ok(())
+}

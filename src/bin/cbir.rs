@@ -1,0 +1,379 @@
+//! `cbir` — command-line interface to the content-based image indexing
+//! system.
+//!
+//! ```text
+//! cbir generate <dir> [--classes N] [--per-class M] [--size S] [--seed K]
+//! cbir index <dir> --db <file> [--pipeline full|color|texture|shape] [--threads N]
+//! cbir query <db> <image> [-k N] [--measure M] [--index I]
+//! cbir info <db>
+//! cbir evaluate <db> [-k N] [--measure M] [--index I]
+//! ```
+//!
+//! Images are read in any supported container (PPM/PGM/PBM/BMP). Class
+//! labels are inferred from a `class-<n>-` file-name prefix when present,
+//! so corpora written by `generate` evaluate out of the box.
+
+use cbir::core::persist;
+use cbir::image::codec::{decode, encode_ppm, PnmEncoding};
+use cbir::workload::{Corpus, CorpusSpec};
+use cbir::{
+    BatchItem, FeatureSpec, ImageDatabase, IndexKind, Measure, Pipeline, QueryEngine, SearchStats,
+};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:
+  cbir generate <dir> [--classes N] [--per-class M] [--size S] [--seed K]
+      write a deterministic synthetic corpus as PPM files
+
+  cbir index <dir> --db <file> [--pipeline full|color|texture|shape] [--threads N]
+      extract signatures from every image in <dir> and save a database
+
+  cbir query <db> <image> [-k N] [--measure l1|l2|linf|chisq|match|cosine|intersect]
+                          [--index linear|kd|vp|antipole|rstar]
+      rank database images by similarity to the example image
+
+  cbir info <db>
+      print database statistics
+
+  cbir evaluate <db> [-k N] [--measure M] [--index I]
+      leave-one-out retrieval evaluation over the database's class labels"
+    );
+    std::process::exit(2);
+}
+
+/// Minimal flag parser: positional args plus `--flag value` pairs.
+struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = BTreeMap::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                // A following "--flag" is a missing value, not a value.
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().cloned().expect("peeked"),
+                    _ => usage(),
+                };
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.flag(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid value for --{name}: {v}");
+                std::process::exit(2);
+            }),
+        }
+    }
+}
+
+fn pipeline_by_name(name: &str) -> Pipeline {
+    match name {
+        "full" => Pipeline::full_default(),
+        "color" => Pipeline::color_histogram_default(),
+        "texture" => Pipeline::new(
+            64,
+            vec![
+                FeatureSpec::Glcm { levels: 16 },
+                FeatureSpec::Tamura,
+                FeatureSpec::Wavelet { levels: 3 },
+            ],
+        )
+        .expect("static pipeline"),
+        "shape" => Pipeline::new(
+            64,
+            vec![
+                FeatureSpec::HuMoments,
+                FeatureSpec::ShapeSummary,
+                FeatureSpec::RegionShape,
+                FeatureSpec::EdgeOrientation { bins: 16 },
+            ],
+        )
+        .expect("static pipeline"),
+        other => {
+            eprintln!("error: unknown pipeline {other:?} (full|color|texture|shape)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn measure_by_name(name: &str) -> Measure {
+    match name {
+        "l1" => Measure::L1,
+        "l2" => Measure::L2,
+        "linf" => Measure::LInf,
+        "chisq" => Measure::ChiSquare,
+        "match" => Measure::Match,
+        "cosine" => Measure::Cosine,
+        "intersect" => Measure::Intersection,
+        other => {
+            eprintln!("error: unknown measure {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn index_by_name(name: &str) -> IndexKind {
+    match name {
+        "linear" => IndexKind::Linear,
+        "kd" => IndexKind::KdTree,
+        "vp" => IndexKind::VpTree,
+        "antipole" => IndexKind::Antipole { diameter: None },
+        "rstar" => IndexKind::RStar,
+        other => {
+            eprintln!("error: unknown index {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn label_from_name(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix("class-")?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn list_images(dir: &Path) -> Result<Vec<PathBuf>, Box<dyn std::error::Error>> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("ppm" | "pgm" | "pbm" | "bmp")
+            )
+        })
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+fn cmd_generate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = PathBuf::from(args.positional.first().unwrap_or_else(|| usage()));
+    let classes: usize = args.flag_parse("classes", 8);
+    let per_class: usize = args.flag_parse("per-class", 16);
+    let size: u32 = args.flag_parse("size", 64);
+    let seed: u64 = args.flag_parse("seed", 7);
+    std::fs::create_dir_all(&dir)?;
+    let corpus = Corpus::generate(CorpusSpec {
+        classes,
+        images_per_class: per_class,
+        image_size: size,
+        jitter: 0.5,
+        noise: 0.05,
+        seed,
+    });
+    for (i, img) in corpus.images.iter().enumerate() {
+        let label = corpus.labels[i];
+        let path = dir.join(format!("class-{label}-{i:04}.ppm"));
+        std::fs::write(path, encode_ppm(img, PnmEncoding::Binary))?;
+    }
+    println!(
+        "wrote {} images ({classes} classes x {per_class}) to {}",
+        corpus.len(),
+        dir.display()
+    );
+    Ok(())
+}
+
+fn cmd_index(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = PathBuf::from(args.positional.first().unwrap_or_else(|| usage()));
+    let db_path = args.flag("db").unwrap_or_else(|| usage()).to_string();
+    let pipeline = pipeline_by_name(args.flag("pipeline").unwrap_or("full"));
+    let threads: usize = args.flag_parse(
+        "threads",
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    );
+
+    let paths = list_images(&dir)?;
+    if paths.is_empty() {
+        return Err(format!("no images (.ppm/.pgm/.pbm/.bmp) in {}", dir.display()).into());
+    }
+    let start = std::time::Instant::now();
+    let mut decoded = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let bytes = std::fs::read(p)?;
+        let name = p
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        decoded.push((name, decode(&bytes)?.into_rgb()));
+    }
+    let items: Vec<BatchItem> = decoded
+        .iter()
+        .map(|(name, image)| BatchItem {
+            name: name.clone(),
+            label: label_from_name(name),
+            image,
+        })
+        .collect();
+    let mut db = ImageDatabase::new(pipeline);
+    db.insert_batch(&items, threads)?;
+    persist::save_file(&db, &db_path)?;
+    println!(
+        "indexed {} images (dim {}) into {} in {:.2}s using {threads} threads",
+        db.len(),
+        db.dim(),
+        db_path,
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let db_path = args.positional.first().unwrap_or_else(|| usage());
+    let img_path = args.positional.get(1).unwrap_or_else(|| usage());
+    let k: usize = args.flag_parse("k", 10);
+    let measure = measure_by_name(args.flag("measure").unwrap_or("l1"));
+    let kind = index_by_name(args.flag("index").unwrap_or("antipole"));
+
+    let db = persist::load_file(db_path)?;
+    let n = db.len();
+    let query = decode(&std::fs::read(img_path)?)?.into_rgb();
+    let engine = QueryEngine::build(db, kind, measure)?;
+    let mut stats = SearchStats::new();
+    let hits = engine.query_by_example(&query, k, &mut stats)?;
+
+    println!("{:<28} {:>7} {:>9}", "name", "label", "distance");
+    for h in &hits {
+        println!(
+            "{:<28} {:>7} {:>9.4}",
+            h.name,
+            h.label.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+            h.distance
+        );
+    }
+    println!(
+        "\n{} distance computations over {n} images ({} index)",
+        stats.distance_computations,
+        engine.index_kind().name(),
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let db_path = args.positional.first().unwrap_or_else(|| usage());
+    let db = persist::load_file(db_path)?;
+    println!("database: {db_path}");
+    println!("images:   {}", db.len());
+    println!("dim:      {}", db.dim());
+    println!("balanced: {}", db.is_balanced());
+    println!("canonical: {}px", db.pipeline().canonical_size());
+    println!("features:");
+    for seg in db.layout() {
+        println!(
+            "  {:<14} [{:>4}..{:>4})  ({} components)",
+            seg.kind.name(),
+            seg.start,
+            seg.end,
+            seg.len()
+        );
+    }
+    let labeled = db.metas().iter().filter(|m| m.label.is_some()).count();
+    println!("labeled:  {labeled}/{}", db.len());
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use cbir::core::eval::{average_precision, mean, ndcg_at_k, precision_at_k, r_precision};
+    use std::collections::HashSet;
+
+    let db_path = args.positional.first().unwrap_or_else(|| usage());
+    let k: usize = args.flag_parse("k", 10);
+    let measure = measure_by_name(args.flag("measure").unwrap_or("l1"));
+    let kind = index_by_name(args.flag("index").unwrap_or("linear"));
+
+    let db = persist::load_file(db_path)?;
+    let n = db.len();
+    let labels: Vec<Option<u32>> = db.metas().iter().map(|m| m.label).collect();
+    if labels.iter().all(|l| l.is_none()) {
+        return Err("database has no class labels; nothing to evaluate against".into());
+    }
+    let engine = QueryEngine::build(db, kind, measure)?;
+
+    let mut p_at_k = Vec::new();
+    let mut aps = Vec::new();
+    let mut rps = Vec::new();
+    let mut ndcgs = Vec::new();
+    let mut comps = 0u64;
+    let mut evaluated = 0usize;
+    for query in 0..n {
+        let Some(label) = labels[query] else { continue };
+        let relevant: HashSet<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &l)| i != query && l == Some(label))
+            .map(|(i, _)| i)
+            .collect();
+        if relevant.is_empty() {
+            continue;
+        }
+        let mut stats = SearchStats::new();
+        let hits = engine.query_by_id(query, n - 1, &mut stats)?;
+        comps += stats.distance_computations;
+        let ranked: Vec<usize> = hits.iter().map(|h| h.id).collect();
+        p_at_k.push(precision_at_k(&ranked, &relevant, k));
+        aps.push(average_precision(&ranked, &relevant));
+        rps.push(r_precision(&ranked, &relevant));
+        ndcgs.push(ndcg_at_k(&ranked, &relevant, k));
+        evaluated += 1;
+    }
+    if evaluated == 0 {
+        return Err("no labeled image has another image of its class".into());
+    }
+    println!("leave-one-out evaluation over {evaluated} labeled queries (of {n} images):");
+    println!("  P@{k}:        {:.3}", mean(&p_at_k));
+    println!("  mAP:         {:.3}", mean(&aps));
+    println!("  R-precision: {:.3}", mean(&rps));
+    println!("  nDCG@{k}:     {:.3}", mean(&ndcgs));
+    println!(
+        "  cost:        {:.0} distance computations/query ({} index, {} measure)",
+        comps as f64 / evaluated as f64,
+        engine.index_kind().name(),
+        engine.measure().name(),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        usage();
+    }
+    let cmd = raw[0].as_str();
+    let args = Args::parse(&raw[1..]);
+    let result = match cmd {
+        "generate" => cmd_generate(&args),
+        "index" => cmd_index(&args),
+        "query" => cmd_query(&args),
+        "info" => cmd_info(&args),
+        "evaluate" => cmd_evaluate(&args),
+        _ => usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

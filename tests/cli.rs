@@ -1,0 +1,147 @@
+//! Integration tests for the `cbir` command-line tool: generate → index →
+//! info → query → evaluate over real files, exercising the compiled binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cbir")
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn cbir binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_workspace(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cbir_cli_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_workflow_generate_index_query_evaluate() {
+    let dir = temp_workspace("flow");
+    let corpus = dir.join("corpus");
+    let db = dir.join("db.cbir");
+    let corpus_s = corpus.to_str().unwrap();
+    let db_s = db.to_str().unwrap();
+
+    // generate
+    let (ok, stdout, stderr) = run(&[
+        "generate", corpus_s, "--classes", "4", "--per-class", "5", "--size", "32",
+    ]);
+    assert!(ok, "generate failed: {stderr}");
+    assert!(stdout.contains("wrote 20 images"), "{stdout}");
+    let ppms = std::fs::read_dir(&corpus).unwrap().count();
+    assert_eq!(ppms, 20);
+
+    // index
+    let (ok, stdout, stderr) = run(&[
+        "index", corpus_s, "--db", db_s, "--pipeline", "color", "--threads", "2",
+    ]);
+    assert!(ok, "index failed: {stderr}");
+    assert!(stdout.contains("indexed 20 images"), "{stdout}");
+    assert!(db.exists());
+
+    // info
+    let (ok, stdout, _) = run(&["info", db_s]);
+    assert!(ok);
+    assert!(stdout.contains("images:   20"), "{stdout}");
+    assert!(stdout.contains("color-hist"), "{stdout}");
+    assert!(stdout.contains("labeled:  20/20"), "{stdout}");
+
+    // query with a corpus member: itself must rank first at distance 0.
+    let query_img = std::fs::read_dir(&corpus)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.file_name().unwrap().to_str().unwrap().starts_with("class-2"))
+        .unwrap();
+    let (ok, stdout, stderr) = run(&[
+        "query", db_s, query_img.to_str().unwrap(), "-k", "3", "--index", "vp",
+    ]);
+    assert!(ok, "query failed: {stderr}");
+    assert!(stdout.contains("0.0000"), "self-match missing: {stdout}");
+    assert!(stdout.contains("vp-tree"), "{stdout}");
+
+    // evaluate
+    let (ok, stdout, stderr) = run(&["evaluate", db_s, "-k", "4", "--index", "antipole"]);
+    assert!(ok, "evaluate failed: {stderr}");
+    assert!(stdout.contains("mAP"), "{stdout}");
+    assert!(stdout.contains("antipole"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let dir = temp_workspace("errs");
+    let db = dir.join("missing.cbir");
+
+    // Query against a missing database.
+    let (ok, _, stderr) = run(&["query", db.to_str().unwrap(), "nope.ppm"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+
+    // Index an empty directory.
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let (ok, _, stderr) = run(&[
+        "index",
+        empty.to_str().unwrap(),
+        "--db",
+        dir.join("out.cbir").to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("no images"), "{stderr}");
+
+    // Unknown subcommand exits with usage.
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    // Corrupt database file.
+    let bad = dir.join("bad.cbir");
+    std::fs::write(&bad, b"not a database").unwrap();
+    let (ok, _, stderr) = run(&["info", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bmp_ingest_works_too() {
+    let dir = temp_workspace("bmp");
+    // Write a few BMP images directly through the library.
+    use cbir::image::codec::encode_bmp_rgb;
+    use cbir::image::{Rgb, RgbImage};
+    for i in 0..3u32 {
+        let img = RgbImage::filled(24, 24, Rgb::new((i * 80) as u8, 30, 200));
+        std::fs::write(
+            dir.join(format!("class-{i}-img.bmp")),
+            encode_bmp_rgb(&img),
+        )
+        .unwrap();
+    }
+    let db = dir.join("db.cbir");
+    let (ok, stdout, stderr) = run(&[
+        "index",
+        dir.to_str().unwrap(),
+        "--db",
+        db.to_str().unwrap(),
+        "--pipeline",
+        "color",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("indexed 3 images"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
