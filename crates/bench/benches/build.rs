@@ -1,49 +1,38 @@
-//! Criterion microbenchmarks for index construction (supports T3).
+//! Microbenchmark: index construction (supports T3). Plain harness so the
+//! workspace resolves offline.
+//!
+//! Run: `cargo bench -p cbir-bench --bench build`
 
-use cbir_bench::clustered_dataset;
+use cbir_bench::{clustered_dataset, fmt_ms, time_median, Table};
 use cbir_distance::Measure;
 use cbir_index::{AntipoleTree, KdTree, RStarTree, VpTree};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("index_build_n5000_d16");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500));
+fn main() {
     let dataset = clustered_dataset(5_000, 16, 42);
-
-    group.bench_function(BenchmarkId::from_parameter("kd_tree"), |b| {
-        b.iter(|| std::hint::black_box(KdTree::build(dataset.clone(), Measure::L2).unwrap()));
-    });
-    group.bench_function(BenchmarkId::from_parameter("vp_tree"), |b| {
-        b.iter(|| std::hint::black_box(VpTree::build(dataset.clone(), Measure::L2).unwrap()));
-    });
     let diameter = AntipoleTree::suggest_diameter(&dataset, &Measure::L2);
-    group.bench_function(BenchmarkId::from_parameter("antipole"), |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                AntipoleTree::build(dataset.clone(), Measure::L2, diameter).unwrap(),
-            )
-        });
-    });
-    group.bench_function(BenchmarkId::from_parameter("rstar_str"), |b| {
-        b.iter(|| std::hint::black_box(RStarTree::bulk_load(dataset.clone()).unwrap()));
-    });
-    group.finish();
 
-    let mut group = c.benchmark_group("rstar_incremental_n1000_d16");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500));
+    println!("index_build_n5000_d16: median of 5 builds\n");
+    let mut table = Table::new(&["index", "ms/build"]);
+    let mut bench = |name: &str, f: &mut dyn FnMut()| {
+        let d = time_median(5, f);
+        table.row(vec![name.to_string(), fmt_ms(d)]);
+    };
+    bench("kd_tree", &mut || {
+        std::hint::black_box(KdTree::build(dataset.clone(), Measure::L2).unwrap());
+    });
+    bench("vp_tree", &mut || {
+        std::hint::black_box(VpTree::build(dataset.clone(), Measure::L2).unwrap());
+    });
+    bench("antipole", &mut || {
+        std::hint::black_box(AntipoleTree::build(dataset.clone(), Measure::L2, diameter).unwrap());
+    });
+    bench("rstar_str", &mut || {
+        std::hint::black_box(RStarTree::bulk_load(dataset.clone()).unwrap());
+    });
+
     let small = clustered_dataset(1_000, 16, 43);
-    group.bench_function("rstar_insert", |b| {
-        b.iter(|| std::hint::black_box(RStarTree::build_incremental(small.clone()).unwrap()));
+    bench("rstar_insert_n1000", &mut || {
+        std::hint::black_box(RStarTree::build_incremental(small.clone()).unwrap());
     });
-    group.finish();
+    table.print();
 }
-
-criterion_group!(benches, bench_build);
-criterion_main!(benches);

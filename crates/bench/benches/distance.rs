@@ -1,13 +1,15 @@
-//! Criterion microbenchmarks for distance evaluation (supports T4's cost
-//! column).
+//! Microbenchmark: distance evaluation cost per measure (supports T4's
+//! cost column). Plain harness so the workspace resolves offline.
+//!
+//! Run: `cargo bench -p cbir-bench --bench distance`
 
+use cbir_bench::{time_median, Table};
 use cbir_distance::{Measure, QuadraticForm};
 use cbir_workload::histograms;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 
-fn bench_distance(c: &mut Criterion) {
+fn main() {
     const DIM: usize = 256;
+    const INNER: usize = 10_000;
     let hs = histograms(2, DIM, 1.0, 5);
     let (a, b) = (&hs[0], &hs[1]);
 
@@ -24,18 +26,18 @@ fn bench_distance(c: &mut Criterion) {
         Measure::Quadratic(QuadraticForm::identity(DIM)),
     ];
 
-    let mut group = c.benchmark_group("distance_d256");
-    group
-        .sample_size(20)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300));
+    println!("distance_d256: single pair, median of 21 x {INNER} evals\n");
+    let mut table = Table::new(&["measure", "ns/eval"]);
     for m in measures {
-        group.bench_function(BenchmarkId::from_parameter(m.name()), |bch| {
-            bch.iter(|| std::hint::black_box(m.distance(a, b)));
+        let d = time_median(21, || {
+            for _ in 0..INNER {
+                std::hint::black_box(m.distance(std::hint::black_box(a), std::hint::black_box(b)));
+            }
         });
+        table.row(vec![
+            m.name().to_string(),
+            format!("{:.1}", d.as_secs_f64() * 1e9 / INNER as f64),
+        ]);
     }
-    group.finish();
+    table.print();
 }
-
-criterion_group!(benches, bench_distance);
-criterion_main!(benches);

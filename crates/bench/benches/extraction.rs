@@ -1,11 +1,13 @@
-//! Criterion microbenchmarks for feature extraction (supports T1).
+//! Microbenchmark: feature extraction cost per descriptor (supports T1).
+//! Plain harness so the workspace resolves offline.
+//!
+//! Run: `cargo bench -p cbir-bench --bench extraction`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cbir_bench::{fmt_ms, time_median, Table};
 use cbir_features::{FeatureSpec, Pipeline, Quantizer};
 use cbir_workload::{Corpus, CorpusSpec};
-use std::time::Duration;
 
-fn bench_extraction(c: &mut Criterion) {
+fn main() {
     let corpus = Corpus::generate(CorpusSpec {
         classes: 2,
         images_per_class: 2,
@@ -37,30 +39,19 @@ fn bench_extraction(c: &mut Criterion) {
         ("dt_hist16", FeatureSpec::DtHistogram { bins: 16 }),
     ];
 
-    let mut group = c.benchmark_group("extract_64px");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
+    println!("extract_64px: median of 7 extractions\n");
+    let mut table = Table::new(&["feature", "ms/image"]);
     for (name, spec) in specs {
         let pipeline = Pipeline::new(64, vec![spec]).unwrap();
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| std::hint::black_box(pipeline.extract(img).unwrap()));
+        let d = time_median(7, || {
+            std::hint::black_box(pipeline.extract(img).unwrap());
         });
+        table.row(vec![name.to_string(), fmt_ms(d)]);
     }
-    group.finish();
-
-    let mut group = c.benchmark_group("extract_full_pipeline");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500));
     let full = Pipeline::full_default();
-    group.bench_function("full_default", |b| {
-        b.iter(|| std::hint::black_box(full.extract(img).unwrap()));
+    let d = time_median(7, || {
+        std::hint::black_box(full.extract(img).unwrap());
     });
-    group.finish();
+    table.row(vec!["full_default".to_string(), fmt_ms(d)]);
+    table.print();
 }
-
-criterion_group!(benches, bench_extraction);
-criterion_main!(benches);

@@ -1,52 +1,35 @@
-//! Criterion microbenchmarks for query latency (supports F1, F3, F4).
+//! Microbenchmark: query latency on the batched execution path (supports
+//! F1, F3, F4). Plain harness so the workspace resolves offline.
+//!
+//! Run: `cargo bench -p cbir-bench --bench query`
 
-use cbir_bench::{build_lineup_index, clustered_dataset, index_lineup, standard_queries};
-use cbir_index::SearchStats;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use cbir_bench::{
+    build_lineup_index, clustered_dataset, fmt_us, index_lineup, standard_queries, time_median,
+    Table,
+};
+use cbir_index::BatchStats;
 
-fn bench_query(c: &mut Criterion) {
+fn main() {
     let dataset = clustered_dataset(20_000, 16, 7);
     let queries = standard_queries(&dataset, 16, 9);
 
-    let mut group = c.benchmark_group("knn10_n20000_d16");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500));
+    println!("knn10 / range5 over N=20000 d=16, batched (16 queries), median of 5\n");
+    let mut table = Table::new(&["index", "knn us/query", "range us/query"]);
     for kind in index_lineup() {
         let index = build_lineup_index(&kind, dataset.clone());
-        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
-            let mut qi = 0usize;
-            b.iter(|| {
-                let mut stats = SearchStats::new();
-                let q = &queries[qi % queries.len()];
-                qi += 1;
-                std::hint::black_box(index.knn_search(q, 10, &mut stats));
-            });
+        let knn = time_median(5, || {
+            let mut stats = BatchStats::new();
+            std::hint::black_box(index.knn_batch(&queries, 10, &mut stats));
         });
-    }
-    group.finish();
-
-    let mut group = c.benchmark_group("range_n20000_d16");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500));
-    for kind in index_lineup() {
-        let index = build_lineup_index(&kind, dataset.clone());
-        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
-            let mut qi = 0usize;
-            b.iter(|| {
-                let mut stats = SearchStats::new();
-                let q = &queries[qi % queries.len()];
-                qi += 1;
-                std::hint::black_box(index.range_search(q, 5.0, &mut stats));
-            });
+        let range = time_median(5, || {
+            let mut stats = BatchStats::new();
+            std::hint::black_box(index.range_batch(&queries, 5.0, &mut stats));
         });
+        table.row(vec![
+            kind.name().to_string(),
+            fmt_us(knn / queries.len() as u32),
+            fmt_us(range / queries.len() as u32),
+        ]);
     }
-    group.finish();
+    table.print();
 }
-
-criterion_group!(benches, bench_query);
-criterion_main!(benches);

@@ -38,8 +38,7 @@ fn main() {
     for &f in &factors {
         let diameter = suggested * f;
         let start = Instant::now();
-        let tree =
-            AntipoleTree::build(dataset.clone(), Measure::L2, diameter).expect("build");
+        let tree = AntipoleTree::build(dataset.clone(), Measure::L2, diameter).expect("build");
         let build = start.elapsed();
         let mut stats = SearchStats::new();
         for q in &queries {

@@ -32,7 +32,11 @@ fn main() {
             let index = build_index(&kind, ds, Measure::L2).expect("build");
             let elapsed = start.elapsed();
             std::hint::black_box(index.len());
-            t3.row(vec![n.to_string(), kind.name().to_string(), fmt_ms(elapsed)]);
+            t3.row(vec![
+                n.to_string(),
+                kind.name().to_string(),
+                fmt_ms(elapsed),
+            ]);
         }
         // R* incremental insertion path (the expensive dynamic build).
         let incr_n = n.min(10_000); // keep the quadratic-ish path bounded
@@ -43,7 +47,12 @@ fn main() {
         std::hint::black_box(rt.len());
         t3.row(vec![
             incr_n.to_string(),
-            if incr_n < n { "r*-insert (capped)" } else { "r*-insert" }.to_string(),
+            if incr_n < n {
+                "r*-insert (capped)"
+            } else {
+                "r*-insert"
+            }
+            .to_string(),
             fmt_ms(elapsed),
         ]);
     }

@@ -11,7 +11,7 @@
 use cbir_bench::{index_lineup, standard_queries, Table};
 use cbir_core::build_index;
 use cbir_distance::Measure;
-use cbir_index::{Dataset, SearchStats};
+use cbir_index::{BatchStats, Dataset};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -40,13 +40,9 @@ fn main() {
         let mut cells = vec![d.to_string()];
         for kind in &lineup {
             let index = build_index(kind, dataset.clone(), Measure::L2).expect("build");
-            let mut stats = SearchStats::new();
-            for q in &queries {
-                index.knn_search(q, K, &mut stats);
-            }
-            let frac = stats.distance_computations as f64
-                / (queries.len() as f64 * n as f64);
-            cells.push(format!("{frac:.3}"));
+            let mut stats = BatchStats::new();
+            index.knn_batch(&queries, K, &mut stats);
+            cells.push(format!("{:.3}", stats.mean_comps() / n as f64));
         }
         table.row(cells);
     }

@@ -53,10 +53,7 @@ fn family_lineup() -> Vec<(&'static str, Vec<FeatureSpec>)> {
             "shape (hu+summary)",
             vec![FeatureSpec::HuMoments, FeatureSpec::ShapeSummary],
         ),
-        (
-            "combined (all)",
-            Pipeline::full_default().specs().to_vec(),
-        ),
+        ("combined (all)", Pipeline::full_default().specs().to_vec()),
     ]
 }
 
@@ -158,8 +155,7 @@ fn main() {
     if show_pr {
         println!("\nF6: 11-point interpolated precision-recall curves\n");
         let mut pr = Table::new(&[
-            "recall", "0.0", "0.1", "0.2", "0.3", "0.4", "0.5", "0.6", "0.7", "0.8", "0.9",
-            "1.0",
+            "recall", "0.0", "0.1", "0.2", "0.3", "0.4", "0.5", "0.6", "0.7", "0.8", "0.9", "1.0",
         ]);
         for (label, eleven) in &curves {
             let mut cells = vec![label.to_string()];

@@ -10,14 +10,14 @@
 
 use cbir_bench::Table;
 use cbir_core::eval::mean;
-use cbir_core::feedback::{refine_query_by_ids, RocchioParams};
+use cbir_core::feedback::{feedback_round, RocchioParams};
 use cbir_core::{ImageDatabase, IndexKind, QueryEngine};
 use cbir_distance::Measure;
 use cbir_features::normalize_l1;
 use cbir_features::Pipeline;
-use cbir_index::SearchStats;
-use cbir_workload::{Corpus, CorpusSpec, Pcg32};
 use cbir_image::RgbImage;
+use cbir_index::BatchStats;
+use cbir_workload::{Corpus, CorpusSpec, Pcg32};
 
 const K: usize = 20;
 const ROUNDS: usize = 4;
@@ -42,10 +42,13 @@ fn main() {
     let engine = QueryEngine::build(db, IndexKind::VpTree, Measure::L2).expect("engine");
 
     // Hard queries: blend each target-class exemplar with a distractor
-    // from another class.
+    // from another class. The whole query set then runs each feedback
+    // round as one batch on the engine's batched k-NN path.
     let n_queries = if quick { 12 } else { 30 };
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
     let mut rng = Pcg32::new(4242);
-    let mut per_round: Vec<Vec<f64>> = vec![Vec::new(); ROUNDS];
+    let mut queries = Vec::with_capacity(n_queries);
+    let mut targets = Vec::with_capacity(n_queries);
     for qi in 0..n_queries {
         let target = (qi % classes) as u32;
         let a = &corpus.images[target as usize * per_class + rng.below(per_class)];
@@ -58,33 +61,26 @@ fn main() {
                 b.pixel(x, y)
             }
         });
-        let mut query = engine.database().extract(&blended).expect("extract");
-        for (round, bucket) in per_round.iter_mut().enumerate() {
-            let _ = round;
-            let mut stats = SearchStats::new();
-            let hits = engine
-                .query_by_descriptor(&query, K, &mut stats)
-                .expect("query");
-            let relevant: Vec<usize> = hits
-                .iter()
-                .filter(|h| h.label == Some(target))
-                .map(|h| h.id)
-                .collect();
-            let non_relevant: Vec<usize> = hits
-                .iter()
-                .filter(|h| h.label != Some(target))
-                .map(|h| h.id)
-                .collect();
-            bucket.push(relevant.len() as f64 / K as f64);
-            query = refine_query_by_ids(
-                engine.database(),
-                &query,
-                &relevant,
-                &non_relevant,
-                &RocchioParams::default(),
-            )
-            .expect("refine");
-            normalize_l1(&mut query);
+        queries.push(engine.database().extract(&blended).expect("extract"));
+        targets.push(target);
+    }
+    let mut per_round: Vec<Vec<f64>> = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let mut stats = BatchStats::new();
+        let round = feedback_round(
+            &engine,
+            &queries,
+            &targets,
+            K,
+            threads,
+            &RocchioParams::default(),
+            &mut stats,
+        )
+        .expect("feedback round");
+        per_round.push(round.precision);
+        queries = round.refined;
+        for q in &mut queries {
+            normalize_l1(q);
         }
     }
 

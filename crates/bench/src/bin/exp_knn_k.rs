@@ -10,7 +10,7 @@
 use cbir_bench::{clustered_dataset, index_lineup, standard_queries, Table};
 use cbir_core::build_index;
 use cbir_distance::Measure;
-use cbir_index::SearchStats;
+use cbir_index::BatchStats;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -38,18 +38,14 @@ fn main() {
     for &k in ks {
         let mut cells = vec![k.to_string()];
         for index in &indexes {
-            let mut stats = SearchStats::new();
-            for q in &queries {
-                index.knn_search(q, k, &mut stats);
-            }
-            cells.push(format!(
-                "{:.0}",
-                stats.distance_computations as f64 / queries.len() as f64
-            ));
+            let mut stats = BatchStats::new();
+            index.knn_batch(&queries, k, &mut stats);
+            cells.push(format!("{} ({})", stats.p50_comps(), stats.p95_comps()));
         }
         table.row(cells);
     }
     table.print();
+    println!("\nCells are per-query distance computations: p50 (p95).");
     println!("\nExpected shape: linear is flat at N; tree indexes grow slowly");
     println!("and stay well under N for all tested k.");
 }

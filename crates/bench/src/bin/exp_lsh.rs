@@ -22,7 +22,9 @@ fn main() {
     // Query-by-example workload: perturbed database members. (Far random
     // points are uninteresting for LSH: their "nearest" neighbours are at
     // cluster scale and share no buckets at any useful width.)
-    let members: Vec<Vec<f32>> = (0..dataset.len()).map(|i| dataset.vector(i).to_vec()).collect();
+    let members: Vec<Vec<f32>> = (0..dataset.len())
+        .map(|i| dataset.vector(i).to_vec())
+        .collect();
     let queries = cbir_workload::queries(&members, n_queries * 4 / 3, 0.5, 23)
         .into_iter()
         .enumerate()

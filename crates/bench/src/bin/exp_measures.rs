@@ -32,9 +32,12 @@ fn main() {
         seed: 424242,
     });
     let quantizer = Quantizer::hsv_default();
-    let pipeline = Pipeline::new(64, vec![cbir_features::FeatureSpec::ColorHistogram(
-        quantizer.clone(),
-    )])
+    let pipeline = Pipeline::new(
+        64,
+        vec![cbir_features::FeatureSpec::ColorHistogram(
+            quantizer.clone(),
+        )],
+    )
     .expect("pipeline");
     let mut db = ImageDatabase::new(pipeline);
     for (i, img) in corpus.images.iter().enumerate() {
@@ -88,7 +91,12 @@ fn main() {
         let per_query = start.elapsed() / queries.len() as u32;
         table.row(vec![
             measure.name().to_string(),
-            if measure.is_true_metric() { "yes" } else { "no" }.to_string(),
+            if measure.is_true_metric() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             format!("{:.3}", mean(&p10s)),
             format!("{:.3}", mean(&aps)),
             fmt_us(per_query),

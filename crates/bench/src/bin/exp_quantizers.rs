@@ -15,8 +15,8 @@ use cbir_core::eval::{average_precision, mean, precision_at_k};
 use cbir_core::{ImageDatabase, IndexKind, QueryEngine};
 use cbir_distance::Measure;
 use cbir_features::{FeatureSpec, Pipeline, Quantizer};
-use cbir_index::SearchStats;
 use cbir_image::{Rgb, RgbImage};
+use cbir_index::SearchStats;
 use cbir_workload::{Corpus, CorpusSpec, Pcg32};
 use std::collections::HashSet;
 
@@ -85,8 +85,7 @@ fn main() {
     let mut table = Table::new(&["quantizer", "bins", "P@10", "mAP"]);
     for (label, q) in quantizers {
         let bins = q.n_bins();
-        let pipeline =
-            Pipeline::new(64, vec![FeatureSpec::ColorHistogram(q)]).expect("pipeline");
+        let pipeline = Pipeline::new(64, vec![FeatureSpec::ColorHistogram(q)]).expect("pipeline");
         let mut db = ImageDatabase::new(pipeline);
         for (i, img) in images.iter().enumerate() {
             db.insert_labeled(format!("img-{i}"), corpus.labels[i] as u32, img)

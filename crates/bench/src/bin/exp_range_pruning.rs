@@ -11,7 +11,7 @@
 use cbir_bench::{clustered_dataset, standard_queries, Table};
 use cbir_core::{build_index, IndexKind};
 use cbir_distance::{l2, Measure};
-use cbir_index::{SearchStats, SplitMix64};
+use cbir_index::{BatchStats, SplitMix64};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -44,7 +44,8 @@ fn main() {
         "radius",
         "index",
         "mean-hits",
-        "dist-comps",
+        "comps-p50",
+        "comps-p95",
         "pruned-frac",
     ]);
     let kinds = [
@@ -56,19 +57,20 @@ fn main() {
     for (q, r) in quantiles.iter().zip(&radii) {
         for kind in &kinds {
             let index = build_index(kind, dataset.clone(), Measure::L2).expect("build");
-            let mut stats = SearchStats::new();
-            let mut hits = 0usize;
-            for query in &queries {
-                hits += index.range_search(query, *r, &mut stats).len();
-            }
-            let comps = stats.distance_computations as f64 / queries.len() as f64;
+            let mut stats = BatchStats::new();
+            let hits: usize = index
+                .range_batch(&queries, *r, &mut stats)
+                .iter()
+                .map(Vec::len)
+                .sum();
             table.row(vec![
                 format!("{q}"),
                 format!("{r:.2}"),
                 kind.name().to_string(),
                 format!("{:.1}", hits as f64 / queries.len() as f64),
-                format!("{comps:.0}"),
-                format!("{:.3}", 1.0 - comps / n as f64),
+                stats.p50_comps().to_string(),
+                stats.p95_comps().to_string(),
+                format!("{:.3}", 1.0 - stats.mean_comps() / n as f64),
             ]);
         }
     }

@@ -10,7 +10,7 @@
 use cbir_bench::{clustered_dataset, fmt_us, index_lineup, standard_queries, Table};
 use cbir_core::build_index;
 use cbir_distance::Measure;
-use cbir_index::SearchStats;
+use cbir_index::BatchStats;
 use std::time::Instant;
 
 fn main() {
@@ -28,7 +28,8 @@ fn main() {
     let mut table = Table::new(&[
         "N",
         "index",
-        "dist-comps",
+        "comps-p50",
+        "comps-p95",
         "frac-of-scan",
         "us/query",
         "speedup-vs-linear",
@@ -40,22 +41,20 @@ fn main() {
         let mut linear_us = 0.0f64;
         for kind in index_lineup() {
             let index = build_index(&kind, dataset.clone(), Measure::L2).expect("build");
-            let mut stats = SearchStats::new();
+            let mut stats = BatchStats::new();
             let start = Instant::now();
-            for q in &queries {
-                index.knn_search(q, K, &mut stats);
-            }
+            index.knn_batch(&queries, K, &mut stats);
             let elapsed = start.elapsed();
             let per_query_us = elapsed.as_secs_f64() * 1e6 / queries.len() as f64;
-            let comps = stats.distance_computations as f64 / queries.len() as f64;
             if kind.name() == "linear" {
                 linear_us = per_query_us;
             }
             table.row(vec![
                 n.to_string(),
                 kind.name().to_string(),
-                format!("{comps:.0}"),
-                format!("{:.3}", comps / n as f64),
+                stats.p50_comps().to_string(),
+                stats.p95_comps().to_string(),
+                format!("{:.3}", stats.mean_comps() / n as f64),
                 fmt_us(std::time::Duration::from_secs_f64(per_query_us / 1e6)),
                 format!("{:.1}x", linear_us / per_query_us),
             ]);

@@ -89,7 +89,9 @@ pub fn clustered_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
 
 /// Queries matched to [`clustered_dataset`].
 pub fn standard_queries(dataset: &Dataset, n_queries: usize, seed: u64) -> Vec<Vec<f32>> {
-    let data: Vec<Vec<f32>> = (0..dataset.len()).map(|i| dataset.vector(i).to_vec()).collect();
+    let data: Vec<Vec<f32>> = (0..dataset.len())
+        .map(|i| dataset.vector(i).to_vec())
+        .collect();
     cbir_workload::queries(&data, n_queries, 0.5, seed)
 }
 

@@ -130,11 +130,7 @@ impl ImageDatabase {
     /// Extraction dominates ingest cost and is embarrassingly parallel, so
     /// this is the fast path for loading large collections. Ids are
     /// assigned in input order, identical to sequential insertion.
-    pub fn insert_batch(
-        &mut self,
-        items: &[BatchItem<'_>],
-        threads: usize,
-    ) -> Result<Vec<usize>> {
+    pub fn insert_batch(&mut self, items: &[BatchItem<'_>], threads: usize) -> Result<Vec<usize>> {
         if threads == 0 {
             return Err(CoreError::InvalidParameter(
                 "insert_batch needs >= 1 thread".into(),
@@ -314,9 +310,7 @@ mod tests {
         .unwrap();
         let mut balanced = ImageDatabase::new(pipeline.clone());
         let mut raw = ImageDatabase::with_raw_extraction(pipeline);
-        let image = RgbImage::from_fn(24, 24, |x, y| {
-            Rgb::new((x * 10) as u8, (y * 10) as u8, 128)
-        });
+        let image = RgbImage::from_fn(24, 24, |x, y| Rgb::new((x * 10) as u8, (y * 10) as u8, 128));
         balanced.insert("i", &image).unwrap();
         raw.insert("i", &image).unwrap();
         assert!(balanced.is_balanced());
@@ -341,7 +335,8 @@ mod tests {
             .collect();
         let mut seq = ImageDatabase::new(small_pipeline());
         for (i, img) in images.iter().enumerate() {
-            seq.insert_labeled(format!("img-{i}"), i as u32, img).unwrap();
+            seq.insert_labeled(format!("img-{i}"), i as u32, img)
+                .unwrap();
         }
         let mut par = ImageDatabase::new(small_pipeline());
         let items: Vec<BatchItem> = images
@@ -368,8 +363,16 @@ mod tests {
         let empty = RgbImage::filled(0, 0, Rgb::default());
         let mut db = ImageDatabase::new(small_pipeline());
         let items = vec![
-            BatchItem { name: "ok".into(), label: None, image: &good },
-            BatchItem { name: "bad".into(), label: None, image: &empty },
+            BatchItem {
+                name: "ok".into(),
+                label: None,
+                image: &good,
+            },
+            BatchItem {
+                name: "bad".into(),
+                label: None,
+                image: &empty,
+            },
         ];
         assert!(db.insert_batch(&items, 2).is_err());
         // Nothing was inserted.
@@ -381,7 +384,11 @@ mod tests {
         let mut db = ImageDatabase::new(small_pipeline());
         assert!(db.insert_batch(&[], 4).unwrap().is_empty());
         let image = img(1, 2, 3);
-        let items = vec![BatchItem { name: "x".into(), label: Some(7), image: &image }];
+        let items = vec![BatchItem {
+            name: "x".into(),
+            label: Some(7),
+            image: &image,
+        }];
         assert!(db.insert_batch(&items, 0).is_err());
         // More threads than items is fine.
         let ids = db.insert_batch(&items, 16).unwrap();

@@ -6,8 +6,8 @@ use crate::error::{CoreError, Result};
 use cbir_distance::Measure;
 use cbir_image::RgbImage;
 use cbir_index::{
-    AntipoleTree, Dataset, KdTree, LinearScan, MTree, Neighbor, RStarTree, SearchIndex,
-    SearchStats, VpTree,
+    knn_batch_parallel, range_batch_parallel, AntipoleTree, BatchStats, Dataset, KdTree,
+    LinearScan, MTree, Neighbor, RStarTree, SearchIndex, SearchStats, VpTree,
 };
 
 /// Which index structure backs the engine.
@@ -57,8 +57,7 @@ pub fn build_index(
         IndexKind::KdTree => Box::new(KdTree::build(dataset, measure)?),
         IndexKind::VpTree => Box::new(VpTree::build(dataset, measure)?),
         IndexKind::Antipole { diameter } => {
-            let d = diameter
-                .unwrap_or_else(|| AntipoleTree::suggest_diameter(&dataset, &measure));
+            let d = diameter.unwrap_or_else(|| AntipoleTree::suggest_diameter(&dataset, &measure));
             Box::new(AntipoleTree::build(dataset, measure, d)?)
         }
         IndexKind::RStar => {
@@ -179,6 +178,87 @@ impl QueryEngine {
         self.rank(self.index.range_search(&desc, radius, stats))
     }
 
+    fn check_batch_dims(&self, queries: &[Vec<f32>]) -> Result<()> {
+        let dim = self.db.dim();
+        for (i, q) in queries.iter().enumerate() {
+            if q.len() != dim {
+                return Err(CoreError::InvalidParameter(format!(
+                    "query {i} has dim {} but database dim is {dim}",
+                    q.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched k-NN over raw descriptor vectors: one ranked result list per
+    /// query, executed on the index's batched path with `threads` worker
+    /// threads (`1` runs on the calling thread). Results are bit-identical
+    /// to a [`QueryEngine::query_by_descriptor`] loop; per-query search
+    /// costs are aggregated into `stats`.
+    pub fn knn_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        self.check_batch_dims(queries)?;
+        knn_batch_parallel(self.index.as_ref(), queries, k, threads, stats)
+            .into_iter()
+            .map(|hits| self.rank(hits))
+            .collect()
+    }
+
+    /// Batched range search over raw descriptor vectors; the batched
+    /// counterpart of [`QueryEngine::range_by_example`]. See
+    /// [`QueryEngine::knn_batch`] for the execution contract.
+    pub fn range_batch(
+        &self,
+        queries: &[Vec<f32>],
+        radius: f32,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        self.check_batch_dims(queries)?;
+        range_batch_parallel(self.index.as_ref(), queries, radius, threads, stats)
+            .into_iter()
+            .map(|hits| self.rank(hits))
+            .collect()
+    }
+
+    /// Batched k-NN by database image id, excluding each query image from
+    /// its own result list (the usual retrieval convention). The batched
+    /// counterpart of a [`QueryEngine::query_by_id`] loop.
+    pub fn knn_batch_by_ids(
+        &self,
+        ids: &[usize],
+        k: usize,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        let queries: Vec<Vec<f32>> = ids
+            .iter()
+            .map(|&id| Ok(self.db.descriptor(id)?.to_vec()))
+            .collect::<Result<_>>()?;
+        // Ask for one extra hit per query to absorb the query itself.
+        let raw = knn_batch_parallel(
+            self.index.as_ref(),
+            &queries,
+            k.saturating_add(1),
+            threads,
+            stats,
+        );
+        raw.into_iter()
+            .zip(ids)
+            .map(|(hits, &id)| {
+                let filtered: Vec<Neighbor> =
+                    hits.into_iter().filter(|n| n.id != id).take(k).collect();
+                self.rank(filtered)
+            })
+            .collect()
+    }
+
     /// k-NN over a raw descriptor vector (for callers managing their own
     /// extraction).
     pub fn query_by_descriptor(
@@ -279,7 +359,11 @@ mod tests {
     #[test]
     fn engine_rejects_bad_configs() {
         assert!(matches!(
-            QueryEngine::build(ImageDatabase::new(pipeline()), IndexKind::Linear, Measure::L2),
+            QueryEngine::build(
+                ImageDatabase::new(pipeline()),
+                IndexKind::Linear,
+                Measure::L2
+            ),
             Err(CoreError::InvalidParameter(_))
         ));
         assert!(QueryEngine::build(seeded_db(), IndexKind::RStar, Measure::L1).is_err());
@@ -305,15 +389,16 @@ mod tests {
     fn all_index_kinds_agree() {
         let query = flat(35, 28, 205);
         let reference = {
-            let engine =
-                QueryEngine::build(seeded_db(), IndexKind::Linear, Measure::L2).unwrap();
+            let engine = QueryEngine::build(seeded_db(), IndexKind::Linear, Measure::L2).unwrap();
             let mut stats = SearchStats::new();
             engine.query_by_example(&query, 4, &mut stats).unwrap()
         };
         for kind in [
             IndexKind::KdTree,
             IndexKind::VpTree,
-            IndexKind::Antipole { diameter: Some(0.2) },
+            IndexKind::Antipole {
+                diameter: Some(0.2),
+            },
             IndexKind::RStar,
             IndexKind::MTree,
         ] {
@@ -322,6 +407,72 @@ mod tests {
             let hits = engine.query_by_example(&query, 4, &mut stats).unwrap();
             assert_eq!(hits, reference, "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn batch_matches_single_query_loop() {
+        for kind in [
+            IndexKind::Linear,
+            IndexKind::KdTree,
+            IndexKind::VpTree,
+            IndexKind::Antipole { diameter: None },
+            IndexKind::RStar,
+            IndexKind::MTree,
+        ] {
+            let engine = QueryEngine::build(seeded_db(), kind.clone(), Measure::L2).unwrap();
+            let queries: Vec<Vec<f32>> = (0..engine.database().len())
+                .map(|id| engine.database().descriptor(id).unwrap().to_vec())
+                .collect();
+            let single: Vec<Vec<Ranked>> = queries
+                .iter()
+                .map(|q| {
+                    let mut stats = SearchStats::new();
+                    engine.query_by_descriptor(q, 3, &mut stats).unwrap()
+                })
+                .collect();
+            for threads in [1, 3] {
+                let mut stats = BatchStats::new();
+                let batched = engine.knn_batch(&queries, 3, threads, &mut stats).unwrap();
+                assert_eq!(batched, single, "{} threads={threads}", kind.name());
+                assert_eq!(stats.queries(), queries.len());
+                assert!(stats.total().distance_computations > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_by_ids_excludes_self() {
+        let engine = QueryEngine::build(seeded_db(), IndexKind::VpTree, Measure::L1).unwrap();
+        let ids: Vec<usize> = (0..engine.database().len()).collect();
+        let mut stats = BatchStats::new();
+        let results = engine.knn_batch_by_ids(&ids, 3, 2, &mut stats).unwrap();
+        assert_eq!(results.len(), ids.len());
+        for (hits, &id) in results.iter().zip(&ids) {
+            assert_eq!(hits.len(), 3);
+            assert!(hits.iter().all(|h| h.id != id));
+            let mut single = SearchStats::new();
+            let expect = engine.query_by_id(id, 3, &mut single).unwrap();
+            assert_eq!(*hits, expect);
+        }
+    }
+
+    #[test]
+    fn range_batch_matches_single_and_validates_dim() {
+        let engine = QueryEngine::build(seeded_db(), IndexKind::MTree, Measure::L1).unwrap();
+        let queries: Vec<Vec<f32>> = (0..engine.database().len())
+            .map(|id| engine.database().descriptor(id).unwrap().to_vec())
+            .collect();
+        let mut stats = BatchStats::new();
+        let batched = engine.range_batch(&queries, 0.5, 2, &mut stats).unwrap();
+        for (hits, q) in batched.iter().zip(&queries) {
+            let mut single = SearchStats::new();
+            let expect = engine
+                .rank(engine.index.range_search(q, 0.5, &mut single))
+                .unwrap();
+            assert_eq!(*hits, expect);
+        }
+        let mut stats = BatchStats::new();
+        assert!(engine.knn_batch(&[vec![0.0; 3]], 1, 1, &mut stats).is_err());
     }
 
     #[test]

@@ -84,6 +84,8 @@ mod tests {
         assert!(e.to_string().contains("bad"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(CoreError::NotFound(9).to_string().contains('9'));
-        assert!(CoreError::Persist("magic".into()).to_string().contains("magic"));
+        assert!(CoreError::Persist("magic".into())
+            .to_string()
+            .contains("magic"));
     }
 }

@@ -1,8 +1,12 @@
 //! Retrieval-effectiveness metrics: precision@k, recall@k, average
 //! precision, mean average precision, and interpolated precision-recall
-//! curves.
+//! curves — plus [`evaluate_engine`], the leave-one-out evaluation of a
+//! whole engine on the batched query path.
 
-use std::collections::HashSet;
+use crate::engine::QueryEngine;
+use crate::error::{CoreError, Result};
+use cbir_index::BatchStats;
+use std::collections::{HashMap, HashSet};
 
 /// Fraction of the top `k` results that are relevant. If fewer than `k`
 /// results were returned, the denominator is still `k` (missing results
@@ -119,6 +123,87 @@ pub fn eleven_point_precision(results: &[usize], relevant: &HashSet<usize>) -> [
             .fold(0.0, f64::max);
     }
     out
+}
+
+/// Aggregate scores from a leave-one-out evaluation run
+/// (see [`evaluate_engine`]).
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    /// The `k` the rank-cutoff metrics were computed at.
+    pub k: usize,
+    /// Number of labeled queries actually evaluated (those whose class has
+    /// at least one other member).
+    pub evaluated: usize,
+    /// Mean precision@k over the evaluated queries.
+    pub precision_at_k: f64,
+    /// Mean average precision (mAP).
+    pub mean_average_precision: f64,
+    /// Mean R-precision.
+    pub r_precision: f64,
+    /// Mean nDCG@k.
+    pub ndcg_at_k: f64,
+    /// Aggregated search cost over the whole query set.
+    pub stats: BatchStats,
+}
+
+/// Leave-one-out retrieval evaluation over a whole engine: every labeled
+/// database image whose class has at least one other member queries for
+/// its full ranking (excluding itself), and the rankings are scored
+/// against class-label ground truth. The entire query set runs as one
+/// batch on the engine's batched k-NN path with `threads` workers, so the
+/// per-query cost distribution lands in [`EvalReport::stats`].
+pub fn evaluate_engine(engine: &QueryEngine, k: usize, threads: usize) -> Result<EvalReport> {
+    let db = engine.database();
+    let n = db.len();
+    let labels: Vec<Option<u32>> = db.metas().iter().map(|m| m.label).collect();
+    let mut class_sizes: HashMap<u32, usize> = HashMap::new();
+    for l in labels.iter().flatten() {
+        *class_sizes.entry(*l).or_insert(0) += 1;
+    }
+    if class_sizes.is_empty() {
+        return Err(CoreError::InvalidParameter(
+            "database has no class labels; nothing to evaluate against".into(),
+        ));
+    }
+    let query_ids: Vec<usize> = (0..n)
+        .filter(|&id| labels[id].is_some_and(|l| class_sizes[&l] > 1))
+        .collect();
+    if query_ids.is_empty() {
+        return Err(CoreError::InvalidParameter(
+            "no labeled image has another image of its class".into(),
+        ));
+    }
+
+    let mut stats = BatchStats::new();
+    let rankings = engine.knn_batch_by_ids(&query_ids, n - 1, threads, &mut stats)?;
+
+    let mut p_at_k = Vec::with_capacity(query_ids.len());
+    let mut aps = Vec::with_capacity(query_ids.len());
+    let mut rps = Vec::with_capacity(query_ids.len());
+    let mut ndcgs = Vec::with_capacity(query_ids.len());
+    for (hits, &query) in rankings.iter().zip(&query_ids) {
+        let label = labels[query].expect("query ids are labeled");
+        let relevant: HashSet<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &l)| i != query && l == Some(label))
+            .map(|(i, _)| i)
+            .collect();
+        let ranked: Vec<usize> = hits.iter().map(|h| h.id).collect();
+        p_at_k.push(precision_at_k(&ranked, &relevant, k));
+        aps.push(average_precision(&ranked, &relevant));
+        rps.push(r_precision(&ranked, &relevant));
+        ndcgs.push(ndcg_at_k(&ranked, &relevant, k));
+    }
+    Ok(EvalReport {
+        k,
+        evaluated: query_ids.len(),
+        precision_at_k: mean(&p_at_k),
+        mean_average_precision: mean(&aps),
+        r_precision: mean(&rps),
+        ndcg_at_k: mean(&ndcgs),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -244,5 +329,41 @@ mod tests {
     fn eleven_point_zero_when_nothing_found() {
         let pts = eleven_point_precision(&[5, 6], &rel(&[1]));
         assert!(pts.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn evaluate_engine_scores_a_separable_corpus() {
+        use crate::database::ImageDatabase;
+        use crate::engine::IndexKind;
+        use cbir_distance::Measure;
+        use cbir_features::Pipeline;
+        use cbir_image::{Rgb, RgbImage};
+
+        let mut db = ImageDatabase::new(Pipeline::color_histogram_default());
+        let flat = |r, g, b| RgbImage::filled(16, 16, Rgb::new(r, g, b));
+        db.insert_labeled("r1", 0, &flat(220, 20, 20)).unwrap();
+        db.insert_labeled("r2", 0, &flat(200, 30, 30)).unwrap();
+        db.insert_labeled("b1", 1, &flat(20, 20, 220)).unwrap();
+        db.insert_labeled("b2", 1, &flat(40, 25, 200)).unwrap();
+        // A singleton class: skipped as a query, still a valid distractor.
+        db.insert_labeled("g", 2, &flat(20, 220, 20)).unwrap();
+        let engine = QueryEngine::build(db, IndexKind::VpTree, Measure::L1).unwrap();
+
+        let report = evaluate_engine(&engine, 1, 2).unwrap();
+        assert_eq!(report.evaluated, 4);
+        assert_eq!(report.k, 1);
+        // Perfectly separable corpus: the nearest neighbour is always the
+        // class sibling.
+        assert_eq!(report.precision_at_k, 1.0);
+        assert_eq!(report.mean_average_precision, 1.0);
+        assert_eq!(report.stats.queries(), 4);
+        assert!(report.stats.total().distance_computations > 0);
+
+        // Unlabeled databases are rejected.
+        let mut plain = ImageDatabase::new(Pipeline::color_histogram_default());
+        plain.insert("x", &flat(1, 2, 3)).unwrap();
+        plain.insert("y", &flat(200, 2, 3)).unwrap();
+        let engine = QueryEngine::build(plain, IndexKind::Linear, Measure::L1).unwrap();
+        assert!(evaluate_engine(&engine, 1, 1).is_err());
     }
 }

@@ -11,7 +11,9 @@
 //! a cheap way to let perception correct the feature space.
 
 use crate::database::ImageDatabase;
+use crate::engine::QueryEngine;
 use crate::error::{CoreError, Result};
+use cbir_index::BatchStats;
 
 /// Rocchio mixing weights.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -127,6 +129,70 @@ pub fn refine_query_by_ids(
     refine_query(original, &relevant, &non_relevant, params)
 }
 
+/// Outcome of one batched relevance-feedback round
+/// (see [`feedback_round`]).
+#[derive(Clone, Debug)]
+pub struct FeedbackRound {
+    /// Per-query precision@k of the retrieval *before* refinement.
+    pub precision: Vec<f64>,
+    /// The refined query descriptors, ready for the next round.
+    pub refined: Vec<Vec<f32>>,
+}
+
+/// One simulated Rocchio feedback round over a whole query batch: retrieve
+/// the top `k` for every query on the engine's batched k-NN path, mark each
+/// hit relevant when its class label equals the query's `target` label
+/// (simulating the user), and refine every query against its marks.
+///
+/// Returns the per-query precision@k of this round plus the refined
+/// descriptors; callers chain rounds by feeding `refined` back in.
+pub fn feedback_round(
+    engine: &QueryEngine,
+    queries: &[Vec<f32>],
+    targets: &[u32],
+    k: usize,
+    threads: usize,
+    params: &RocchioParams,
+    stats: &mut BatchStats,
+) -> Result<FeedbackRound> {
+    if queries.len() != targets.len() {
+        return Err(CoreError::InvalidParameter(format!(
+            "{} queries but {} target labels",
+            queries.len(),
+            targets.len()
+        )));
+    }
+    if k == 0 {
+        return Err(CoreError::InvalidParameter(
+            "feedback round needs k > 0 results to mark".into(),
+        ));
+    }
+    let rankings = engine.knn_batch(queries, k, threads, stats)?;
+    let mut precision = Vec::with_capacity(queries.len());
+    let mut refined = Vec::with_capacity(queries.len());
+    for ((hits, query), &target) in rankings.iter().zip(queries).zip(targets) {
+        let relevant: Vec<usize> = hits
+            .iter()
+            .filter(|h| h.label == Some(target))
+            .map(|h| h.id)
+            .collect();
+        let non_relevant: Vec<usize> = hits
+            .iter()
+            .filter(|h| h.label != Some(target))
+            .map(|h| h.id)
+            .collect();
+        precision.push(relevant.len() as f64 / k as f64);
+        refined.push(refine_query_by_ids(
+            engine.database(),
+            query,
+            &relevant,
+            &non_relevant,
+            params,
+        )?);
+    }
+    Ok(FeedbackRound { precision, refined })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +276,64 @@ mod tests {
     fn default_params_are_the_classical_setting() {
         let d = RocchioParams::default();
         assert_eq!((d.alpha, d.beta, d.gamma), (1.0, 0.75, 0.25));
+    }
+
+    #[test]
+    fn batched_feedback_round_marks_by_label() {
+        use crate::engine::{IndexKind, QueryEngine};
+        use cbir_distance::Measure;
+        use cbir_features::Pipeline;
+        use cbir_image::{Rgb, RgbImage};
+
+        let mut db = ImageDatabase::new(Pipeline::color_histogram_default());
+        let flat = |r, g, b| RgbImage::filled(16, 16, Rgb::new(r, g, b));
+        db.insert_labeled("r1", 0, &flat(220, 20, 20)).unwrap();
+        db.insert_labeled("r2", 0, &flat(200, 30, 30)).unwrap();
+        db.insert_labeled("b1", 1, &flat(20, 20, 220)).unwrap();
+        db.insert_labeled("b2", 1, &flat(40, 25, 200)).unwrap();
+        let engine = QueryEngine::build(db, IndexKind::VpTree, Measure::L1).unwrap();
+
+        let queries = vec![
+            engine.database().descriptor(0).unwrap().to_vec(),
+            engine.database().descriptor(2).unwrap().to_vec(),
+        ];
+        let mut stats = BatchStats::new();
+        let round = feedback_round(
+            &engine,
+            &queries,
+            &[0, 1],
+            2,
+            2,
+            &RocchioParams::default(),
+            &mut stats,
+        )
+        .unwrap();
+        // Separable corpus: both top-2 lists are pure.
+        assert_eq!(round.precision, vec![1.0, 1.0]);
+        assert_eq!(round.refined.len(), 2);
+        assert_eq!(stats.queries(), 2);
+
+        // Mismatched targets and k = 0 are rejected.
+        let mut stats = BatchStats::new();
+        assert!(feedback_round(
+            &engine,
+            &queries,
+            &[0],
+            2,
+            1,
+            &RocchioParams::default(),
+            &mut stats
+        )
+        .is_err());
+        assert!(feedback_round(
+            &engine,
+            &queries,
+            &[0, 1],
+            0,
+            1,
+            &RocchioParams::default(),
+            &mut stats
+        )
+        .is_err());
     }
 }

@@ -275,7 +275,9 @@ pub fn load_from_slice(bytes: &[u8]) -> Result<ImageDatabase> {
     let canonical = r.u32()?;
     let n_specs = r.u32()? as usize;
     if n_specs == 0 || n_specs > 256 {
-        return Err(CoreError::Persist(format!("implausible spec count {n_specs}")));
+        return Err(CoreError::Persist(format!(
+            "implausible spec count {n_specs}"
+        )));
     }
     let mut specs = Vec::with_capacity(n_specs);
     for _ in 0..n_specs {
@@ -429,10 +431,7 @@ mod tests {
         // Bad magic.
         let mut bad = bytes.clone();
         bad[0] = b'X';
-        assert!(matches!(
-            load_from_slice(&bad),
-            Err(CoreError::Persist(_))
-        ));
+        assert!(matches!(load_from_slice(&bad), Err(CoreError::Persist(_))));
 
         // Truncated.
         assert!(load_from_slice(&bytes[..bytes.len() - 3]).is_err());

@@ -51,11 +51,7 @@ pub fn modified_directed_hausdorff(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
     }
     let total: f32 = a
         .iter()
-        .map(|p| {
-            b.iter()
-                .map(|q| l2(p, q))
-                .fold(f32::INFINITY, f32::min)
-        })
+        .map(|p| b.iter().map(|q| l2(p, q)).fold(f32::INFINITY, f32::min))
         .sum();
     total / a.len() as f32
 }
@@ -142,11 +138,7 @@ mod tests {
         let b = pts(&[(1.0, 1.0), (6.0, 4.0), (8.0, 0.0)]);
         let naive = |xs: &[Vec<f32>], ys: &[Vec<f32>]| -> f32 {
             xs.iter()
-                .map(|p| {
-                    ys.iter()
-                        .map(|q| l2(p, q))
-                        .fold(f32::INFINITY, f32::min)
-                })
+                .map(|p| ys.iter().map(|q| l2(p, q)).fold(f32::INFINITY, f32::min))
                 .fold(0.0, f32::max)
         };
         assert_eq!(directed_hausdorff(&a, &b), naive(&a, &b));

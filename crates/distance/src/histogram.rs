@@ -153,9 +153,8 @@ mod tests {
         assert_eq!(match_distance(&src, &near), 1.0);
         assert_eq!(match_distance(&src, &far), 3.0);
         // L1 sees both as equally different.
-        let l1 = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let l1 =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         assert_eq!(l1(&src, &near), l1(&src, &far));
     }
 

@@ -1,0 +1,241 @@
+//! Monomorphized distance kernels with batch entry points.
+//!
+//! [`Measure::distance`](crate::Measure::distance) dispatches on the enum
+//! for every pair of vectors, which is fine for a single comparison but
+//! wasteful when one query is compared against thousands of stored rows:
+//! the branch is re-decided per row and the compiler cannot specialize the
+//! inner loop. A [`DistanceKernel`] is the monomorphized counterpart — a
+//! concrete type whose [`dist_to_many`](DistanceKernel::dist_to_many)
+//! resolves the measure once per *batch* and then runs a tight,
+//! specializable loop over a row-major matrix, writing distances into a
+//! caller-owned buffer (no allocation on the query path).
+//!
+//! [`Measure`] stays the runtime-selectable facade: it implements
+//! `DistanceKernel` itself, and [`Measure::dist_to_many`] performs the
+//! enum match once per batch before entering the monomorphized loop.
+
+use crate::histogram::{
+    bhattacharyya, chi_square, intersection_distance, jeffrey_divergence, match_distance,
+};
+use crate::metric::Measure;
+use crate::minkowski::{cosine, l1, l2, linf, minkowski};
+use crate::quadratic::QuadraticForm;
+
+/// A distance function specialized at compile time, with a batch entry
+/// point that amortizes dispatch over many stored rows.
+pub trait DistanceKernel: Sync {
+    /// Distance between two vectors (same contract as
+    /// [`Measure::distance`]).
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32;
+
+    /// Distance from `query` to every row of the row-major matrix `rows`
+    /// (`out.len()` rows of `query.len()` columns), written into the
+    /// caller-owned `out` buffer.
+    ///
+    /// # Panics
+    /// Panics if `rows.len() != out.len() * query.len()` or if `query` is
+    /// empty.
+    fn dist_to_many(&self, query: &[f32], rows: &[f32], out: &mut [f32]) {
+        let dim = query.len();
+        assert!(dim > 0, "dist_to_many needs a non-empty query");
+        assert_eq!(
+            rows.len(),
+            out.len() * dim,
+            "rows length {} is not out length {} x dim {dim}",
+            rows.len(),
+            out.len()
+        );
+        for (row, slot) in rows.chunks_exact(dim).zip(out.iter_mut()) {
+            *slot = self.dist(query, row);
+        }
+    }
+}
+
+macro_rules! unit_kernel {
+    ($(#[$doc:meta])* $name:ident, $f:path) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, Default)]
+        pub struct $name;
+
+        impl DistanceKernel for $name {
+            #[inline]
+            fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+                $f(a, b)
+            }
+        }
+    };
+}
+
+unit_kernel!(
+    /// City-block (L1) kernel.
+    L1Kernel,
+    l1
+);
+unit_kernel!(
+    /// Euclidean (L2) kernel.
+    L2Kernel,
+    l2
+);
+unit_kernel!(
+    /// Chebyshev (L∞) kernel.
+    LInfKernel,
+    linf
+);
+unit_kernel!(
+    /// `1 -` histogram-intersection kernel.
+    IntersectionKernel,
+    intersection_distance
+);
+unit_kernel!(
+    /// Symmetric chi-square kernel.
+    ChiSquareKernel,
+    chi_square
+);
+unit_kernel!(
+    /// Match-distance (1-D EMD) kernel.
+    MatchKernel,
+    match_distance
+);
+unit_kernel!(
+    /// `1 - cos` kernel.
+    CosineKernel,
+    cosine
+);
+unit_kernel!(
+    /// Jeffrey-divergence kernel.
+    JeffreyKernel,
+    jeffrey_divergence
+);
+unit_kernel!(
+    /// Bhattacharyya-distance kernel.
+    BhattacharyyaKernel,
+    bhattacharyya
+);
+
+/// Minkowski kernel of a fixed order `p ≥ 1`.
+#[derive(Clone, Copy, Debug)]
+pub struct MinkowskiKernel {
+    /// The Minkowski order.
+    pub p: f32,
+}
+
+impl DistanceKernel for MinkowskiKernel {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        minkowski(a, b, self.p)
+    }
+}
+
+/// Cross-bin quadratic-form kernel borrowing a prepared [`QuadraticForm`].
+#[derive(Clone, Copy, Debug)]
+pub struct QuadraticKernel<'a> {
+    /// The similarity matrix the form was built from.
+    pub form: &'a QuadraticForm,
+}
+
+impl DistanceKernel for QuadraticKernel<'_> {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        self.form.distance(a, b)
+    }
+}
+
+impl Measure {
+    /// Batch distances from `query` to every row of `rows` (row-major,
+    /// `out.len()` rows of `query.len()` columns), written into `out`.
+    ///
+    /// The enum match happens once per call; the per-row loop runs on the
+    /// monomorphized kernel for the selected measure. Results are
+    /// bit-identical to calling [`Measure::distance`] per row.
+    ///
+    /// # Panics
+    /// Panics if `rows.len() != out.len() * query.len()` or if `query` is
+    /// empty.
+    pub fn dist_to_many(&self, query: &[f32], rows: &[f32], out: &mut [f32]) {
+        match self {
+            Measure::L1 => L1Kernel.dist_to_many(query, rows, out),
+            Measure::L2 => L2Kernel.dist_to_many(query, rows, out),
+            Measure::LInf => LInfKernel.dist_to_many(query, rows, out),
+            Measure::Minkowski(p) => MinkowskiKernel { p: *p }.dist_to_many(query, rows, out),
+            Measure::Intersection => IntersectionKernel.dist_to_many(query, rows, out),
+            Measure::ChiSquare => ChiSquareKernel.dist_to_many(query, rows, out),
+            Measure::Match => MatchKernel.dist_to_many(query, rows, out),
+            Measure::Cosine => CosineKernel.dist_to_many(query, rows, out),
+            Measure::Jeffrey => JeffreyKernel.dist_to_many(query, rows, out),
+            Measure::Bhattacharyya => BhattacharyyaKernel.dist_to_many(query, rows, out),
+            Measure::Quadratic(q) => QuadraticKernel { form: q }.dist_to_many(query, rows, out),
+        }
+    }
+}
+
+impl DistanceKernel for Measure {
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        self.distance(a, b)
+    }
+
+    fn dist_to_many(&self, query: &[f32], rows: &[f32], out: &mut [f32]) {
+        Measure::dist_to_many(self, query, rows, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_measures() -> Vec<Measure> {
+        vec![
+            Measure::L1,
+            Measure::L2,
+            Measure::LInf,
+            Measure::Minkowski(3.0),
+            Measure::Intersection,
+            Measure::ChiSquare,
+            Measure::Match,
+            Measure::Cosine,
+            Measure::Jeffrey,
+            Measure::Bhattacharyya,
+            Measure::Quadratic(QuadraticForm::identity(4)),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise() {
+        let query = [0.4f32, 0.3, 0.2, 0.1];
+        let rows: Vec<f32> = (0..40).map(|i| (i as f32 * 0.37).sin().abs()).collect();
+        let mut out = vec![0.0f32; 10];
+        for m in all_measures() {
+            m.dist_to_many(&query, &rows, &mut out);
+            for (i, row) in rows.chunks_exact(4).enumerate() {
+                let scalar = m.distance(&query, row);
+                assert!(
+                    out[i].total_cmp(&scalar).is_eq(),
+                    "{}: row {i} batch {} != scalar {scalar}",
+                    m.name(),
+                    out[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_trait_objects_work() {
+        let kernels: Vec<Box<dyn DistanceKernel>> = vec![
+            Box::new(L1Kernel),
+            Box::new(L2Kernel),
+            Box::new(MinkowskiKernel { p: 2.0 }),
+        ];
+        for k in &kernels {
+            assert!(k.dist(&[0.0, 0.0], &[3.0, 4.0]) > 0.0);
+        }
+        // Minkowski p=2 agrees with L2 up to rounding.
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f32, 6.0, 3.0];
+        assert!((kernels[1].dist(&a, &b) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows length")]
+    fn mismatched_rows_panic() {
+        Measure::L2.dist_to_many(&[0.0, 0.0], &[1.0, 2.0, 3.0], &mut [0.0; 2]);
+    }
+}

@@ -26,6 +26,7 @@
 mod combine;
 mod hausdorff;
 mod histogram;
+mod kernel;
 mod metric;
 mod minkowski;
 mod quadratic;
@@ -35,8 +36,12 @@ pub use hausdorff::{
     directed_hausdorff, hausdorff, modified_directed_hausdorff, modified_hausdorff,
 };
 pub use histogram::{
-    bhattacharyya, chi_square, intersection_distance, intersection_similarity,
-    jeffrey_divergence, match_distance,
+    bhattacharyya, chi_square, intersection_distance, intersection_similarity, jeffrey_divergence,
+    match_distance,
+};
+pub use kernel::{
+    BhattacharyyaKernel, ChiSquareKernel, CosineKernel, DistanceKernel, IntersectionKernel,
+    JeffreyKernel, L1Kernel, L2Kernel, LInfKernel, MatchKernel, MinkowskiKernel, QuadraticKernel,
 };
 pub use metric::{Measure, Metric};
 pub use minkowski::{cosine, l1, l2, l2_squared, linf, minkowski};

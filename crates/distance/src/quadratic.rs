@@ -32,7 +32,11 @@ impl std::fmt::Display for QuadraticFormError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QuadraticFormError::BadShape { dim, len } => {
-                write!(f, "matrix of dim {dim} needs {} elements, got {len}", dim * dim)
+                write!(
+                    f,
+                    "matrix of dim {dim} needs {} elements, got {len}",
+                    dim * dim
+                )
             }
             QuadraticFormError::NotSymmetric => write!(f, "similarity matrix must be symmetric"),
         }

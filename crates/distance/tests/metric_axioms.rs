@@ -1,4 +1,6 @@
-//! Property-based verification of metric axioms.
+//! Property-style verification of metric axioms on deterministic
+//! generated inputs (no external property-testing dependency, so the
+//! suite builds offline and every run checks the same cases).
 //!
 //! Measures advertised as true metrics (`Measure::is_true_metric`) must
 //! satisfy non-negativity, identity of indiscernibles, symmetry, and the
@@ -8,25 +10,25 @@
 use cbir_distance::{
     l2, match_distance, minkowski, CombinedMeasure, Component, Measure, QuadraticForm,
 };
-use proptest::prelude::*;
+use cbir_workload::Pcg32;
 
 const DIM: usize = 8;
+const CASES: usize = 256;
 
-fn vector() -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-100.0f32..100.0, DIM)
+fn vector(rng: &mut Pcg32) -> Vec<f32> {
+    (0..DIM).map(|_| rng.range_f32(-100.0, 100.0)).collect()
 }
 
-fn histogram() -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(0.0f32..10.0, DIM).prop_map(|v| {
-        let s: f32 = v.iter().sum();
-        if s > 0.0 {
-            v.iter().map(|x| x / s).collect()
-        } else {
-            let mut out = vec![0.0; DIM];
-            out[0] = 1.0;
-            out
-        }
-    })
+fn histogram(rng: &mut Pcg32) -> Vec<f32> {
+    let v: Vec<f32> = (0..DIM).map(|_| rng.range_f32(0.0, 10.0)).collect();
+    let s: f32 = v.iter().sum();
+    if s > 0.0 {
+        v.iter().map(|x| x / s).collect()
+    } else {
+        let mut out = vec![0.0; DIM];
+        out[0] = 1.0;
+        out
+    }
 }
 
 /// Relative tolerance for the triangle inequality under f32 accumulation.
@@ -54,87 +56,130 @@ fn semimetrics() -> Vec<Measure> {
     ]
 }
 
-proptest! {
-    #[test]
-    fn true_metrics_satisfy_triangle_inequality(
-        a in vector(), b in vector(), c in vector()
-    ) {
+#[test]
+fn true_metrics_satisfy_triangle_inequality() {
+    let mut rng = Pcg32::new(0xA1);
+    for _ in 0..CASES {
+        let (a, b, c) = (vector(&mut rng), vector(&mut rng), vector(&mut rng));
         for m in true_metrics() {
             let ab = m.distance(&a, &b);
             let bc = m.distance(&b, &c);
             let ac = m.distance(&a, &c);
-            prop_assert!(tri_ok(ab, bc, ac), "{}: {ab} + {bc} < {ac}", m.name());
+            assert!(tri_ok(ab, bc, ac), "{}: {ab} + {bc} < {ac}", m.name());
         }
     }
+}
 
-    #[test]
-    fn all_measures_nonnegative_symmetric_identity(
-        h in histogram(), g in histogram()
-    ) {
+#[test]
+fn all_measures_nonnegative_symmetric_identity() {
+    let mut rng = Pcg32::new(0xA2);
+    for _ in 0..CASES {
+        let (h, g) = (histogram(&mut rng), histogram(&mut rng));
         for m in true_metrics().into_iter().chain(semimetrics()) {
             let hg = m.distance(&h, &g);
             let gh = m.distance(&g, &h);
-            prop_assert!(hg >= 0.0, "{}: negative distance {hg}", m.name());
-            prop_assert!((hg - gh).abs() <= 1e-4 * (1.0 + hg.abs()),
-                "{}: asymmetric {hg} vs {gh}", m.name());
+            assert!(hg >= 0.0, "{}: negative distance {hg}", m.name());
+            assert!(
+                (hg - gh).abs() <= 1e-4 * (1.0 + hg.abs()),
+                "{}: asymmetric {hg} vs {gh}",
+                m.name()
+            );
             let hh = m.distance(&h, &h);
-            prop_assert!(hh.abs() < 1e-3, "{}: d(h,h) = {hh}", m.name());
+            assert!(hh.abs() < 1e-3, "{}: d(h,h) = {hh}", m.name());
         }
     }
+}
 
-    #[test]
-    fn minkowski_orders_are_monotone_decreasing(a in vector(), b in vector()) {
+#[test]
+fn minkowski_orders_are_monotone_decreasing() {
+    let mut rng = Pcg32::new(0xA3);
+    for _ in 0..CASES {
+        let (a, b) = (vector(&mut rng), vector(&mut rng));
         // For fixed vectors, p -> Lp norm of the difference is non-increasing.
         let d1 = minkowski(&a, &b, 1.0);
         let d2 = minkowski(&a, &b, 2.0);
         let d4 = minkowski(&a, &b, 4.0);
-        prop_assert!(d1 >= d2 - 1e-3 * (1.0 + d1));
-        prop_assert!(d2 >= d4 - 1e-3 * (1.0 + d2));
+        assert!(d1 >= d2 - 1e-3 * (1.0 + d1));
+        assert!(d2 >= d4 - 1e-3 * (1.0 + d2));
     }
+}
 
-    #[test]
-    fn match_distance_triangle_on_histograms(
-        a in histogram(), b in histogram(), c in histogram()
-    ) {
+#[test]
+fn match_distance_triangle_on_histograms() {
+    let mut rng = Pcg32::new(0xA4);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            histogram(&mut rng),
+            histogram(&mut rng),
+            histogram(&mut rng),
+        );
         let ab = match_distance(&a, &b);
         let bc = match_distance(&b, &c);
         let ac = match_distance(&a, &c);
-        prop_assert!(tri_ok(ab, bc, ac));
+        assert!(tri_ok(ab, bc, ac));
     }
+}
 
-    #[test]
-    fn quadratic_form_with_identity_matches_l2(h in histogram(), g in histogram()) {
-        let q = QuadraticForm::identity(DIM);
+#[test]
+fn quadratic_form_with_identity_matches_l2() {
+    let mut rng = Pcg32::new(0xA5);
+    let q = QuadraticForm::identity(DIM);
+    for _ in 0..CASES {
+        let (h, g) = (histogram(&mut rng), histogram(&mut rng));
         let qd = q.distance(&h, &g);
         let l2d = l2(&h, &g);
-        prop_assert!((qd - l2d).abs() < 1e-4 * (1.0 + l2d));
+        assert!((qd - l2d).abs() < 1e-4 * (1.0 + l2d));
     }
+}
 
-    #[test]
-    fn quadratic_from_positions_never_exceeds_scaled_l1(h in histogram(), g in histogram()) {
-        // A[i][j] <= 1, so the form is bounded by (Σ|dᵢ|)².
-        let positions: Vec<Vec<f32>> = (0..DIM).map(|i| vec![i as f32]).collect();
-        let q = QuadraticForm::from_bin_positions(&positions);
+#[test]
+fn quadratic_from_positions_never_exceeds_scaled_l1() {
+    let mut rng = Pcg32::new(0xA6);
+    // A[i][j] <= 1, so the form is bounded by (Σ|dᵢ|)².
+    let positions: Vec<Vec<f32>> = (0..DIM).map(|i| vec![i as f32]).collect();
+    let q = QuadraticForm::from_bin_positions(&positions);
+    for _ in 0..CASES {
+        let (h, g) = (histogram(&mut rng), histogram(&mut rng));
         let d = q.distance(&h, &g);
         let l1: f32 = h.iter().zip(&g).map(|(a, b)| (a - b).abs()).sum();
-        prop_assert!(d <= l1 + 1e-4);
+        assert!(d <= l1 + 1e-4);
     }
+}
 
-    #[test]
-    fn combined_measure_is_additive(h in histogram(), g in histogram()) {
-        let m = CombinedMeasure::new(vec![
-            Component { start: 0, end: DIM / 2, measure: Measure::L1, weight: 0.5 },
-            Component { start: DIM / 2, end: DIM, measure: Measure::L2, weight: 2.0 },
-        ]).unwrap();
+#[test]
+fn combined_measure_is_additive() {
+    let mut rng = Pcg32::new(0xA7);
+    let m = CombinedMeasure::new(vec![
+        Component {
+            start: 0,
+            end: DIM / 2,
+            measure: Measure::L1,
+            weight: 0.5,
+        },
+        Component {
+            start: DIM / 2,
+            end: DIM,
+            measure: Measure::L2,
+            weight: 2.0,
+        },
+    ])
+    .unwrap();
+    for _ in 0..CASES {
+        let (h, g) = (histogram(&mut rng), histogram(&mut rng));
         let manual = 0.5 * Measure::L1.distance(&h[..DIM / 2], &g[..DIM / 2])
             + 2.0 * Measure::L2.distance(&h[DIM / 2..], &g[DIM / 2..]);
-        prop_assert!((m.distance(&h, &g) - manual).abs() < 1e-5);
+        assert!((m.distance(&h, &g) - manual).abs() < 1e-5);
     }
+}
 
-    #[test]
-    fn scaling_a_histogram_keeps_cosine_at_zero(h in histogram(), k in 0.1f32..10.0) {
+#[test]
+fn scaling_a_histogram_keeps_cosine_at_zero() {
+    let mut rng = Pcg32::new(0xA8);
+    for _ in 0..CASES {
+        let h = histogram(&mut rng);
+        let k = rng.range_f32(0.1, 10.0);
         let scaled: Vec<f32> = h.iter().map(|x| x * k).collect();
         let d = Measure::Cosine.distance(&h, &scaled);
-        prop_assert!(d < 1e-3, "cosine not scale-invariant: {d}");
+        assert!(d < 1e-3, "cosine not scale-invariant: {d}");
     }
 }

@@ -143,8 +143,7 @@ mod tests {
     #[test]
     fn uniform_image_has_probability_one() {
         let img = RgbImage::filled(10, 10, RED);
-        let ac =
-            AutoCorrelogram::compute(&img, &Quantizer::rgb_compact(), &[1, 3]).unwrap();
+        let ac = AutoCorrelogram::compute(&img, &Quantizer::rgb_compact(), &[1, 3]).unwrap();
         let q = Quantizer::rgb_compact();
         let red_bin = q.bin_of(RED);
         assert!((ac.value(red_bin, 0) - 1.0).abs() < 1e-6);
@@ -205,8 +204,7 @@ mod tests {
         let img = RgbImage::from_fn(12, 12, |x, y| {
             Rgb::new((x * 20) as u8, (y * 20) as u8, ((x + y) * 10) as u8)
         });
-        let ac =
-            AutoCorrelogram::compute(&img, &Quantizer::rgb_compact(), &[1, 2, 4]).unwrap();
+        let ac = AutoCorrelogram::compute(&img, &Quantizer::rgb_compact(), &[1, 2, 4]).unwrap();
         for v in ac.to_vec() {
             assert!((0.0..=1.0).contains(&v));
         }

@@ -254,13 +254,17 @@ mod tests {
     #[test]
     fn histogram_separates_cluttered_from_sparse() {
         // Cluttered: dense grid of edges. Sparse: a single seed far away.
-        let cluttered = GrayImage::from_fn(32, 32, |x, y| {
-            if x % 4 == 0 || y % 4 == 0 {
-                255
-            } else {
-                0
-            }
-        });
+        let cluttered = GrayImage::from_fn(
+            32,
+            32,
+            |x, y| {
+                if x % 4 == 0 || y % 4 == 0 {
+                    255
+                } else {
+                    0
+                }
+            },
+        );
         let mut sparse = GrayImage::filled(32, 32, 0);
         sparse.set(0, 0, 255);
         let dtc = distance_transform(&cluttered).unwrap();

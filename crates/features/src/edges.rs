@@ -102,11 +102,23 @@ mod tests {
     use super::*;
 
     fn vertical_stripes(n: u32, period: u32) -> GrayImage {
-        GrayImage::from_fn(n, n, |x, _| if (x / period).is_multiple_of(2) { 0 } else { 220 })
+        GrayImage::from_fn(n, n, |x, _| {
+            if (x / period).is_multiple_of(2) {
+                0
+            } else {
+                220
+            }
+        })
     }
 
     fn horizontal_stripes(n: u32, period: u32) -> GrayImage {
-        GrayImage::from_fn(n, n, |_, y| if (y / period).is_multiple_of(2) { 0 } else { 220 })
+        GrayImage::from_fn(n, n, |_, y| {
+            if (y / period).is_multiple_of(2) {
+                0
+            } else {
+                220
+            }
+        })
     }
 
     #[test]
@@ -167,13 +179,7 @@ mod tests {
     #[test]
     fn density_grid_localizes_edges() {
         // All structure in the left half.
-        let img = GrayImage::from_fn(32, 32, |x, y| {
-            if x < 16 && (y % 4 == 0) {
-                255
-            } else {
-                0
-            }
-        });
+        let img = GrayImage::from_fn(32, 32, |x, y| if x < 16 && (y % 4 == 0) { 255 } else { 0 });
         let g = edge_density_grid(&img, 2, 10.0).unwrap();
         assert_eq!(g.len(), 4);
         // Left cells dense, right cells nearly empty (border effects only).

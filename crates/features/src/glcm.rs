@@ -58,10 +58,7 @@ impl Glcm {
                 "GLCM displacement exceeds image extent; no pixel pairs".into(),
             ));
         }
-        let p = counts
-            .iter()
-            .map(|&c| c as f64 / total as f64)
-            .collect();
+        let p = counts.iter().map(|&c| c as f64 / total as f64).collect();
         Ok(Glcm { levels, p })
     }
 

@@ -208,7 +208,7 @@ mod tests {
         assert!(m[1].abs() < 1e-5 && m[2].abs() < 1e-5); // hue
         assert!(m[4].abs() < 1e-5 && m[5].abs() < 1e-5); // sat
         assert!(m[7].abs() < 1e-5 && m[8].abs() < 1e-5); // val
-        // Saturation and value of pure red are 1.
+                                                         // Saturation and value of pure red are 1.
         assert!((m[3] - 1.0).abs() < 1e-5);
         assert!((m[6] - 1.0).abs() < 1e-5);
     }

@@ -123,17 +123,13 @@ impl Moments {
         let h5 = (n30 - 3.0 * n12)
             * (n30 + n12)
             * ((n30 + n12).powi(2) - 3.0 * (n21 + n03).powi(2))
-            + (3.0 * n21 - n03)
-                * (n21 + n03)
-                * (3.0 * (n30 + n12).powi(2) - (n21 + n03).powi(2));
+            + (3.0 * n21 - n03) * (n21 + n03) * (3.0 * (n30 + n12).powi(2) - (n21 + n03).powi(2));
         let h6 = (n20 - n02) * ((n30 + n12).powi(2) - (n21 + n03).powi(2))
             + 4.0 * n11 * (n30 + n12) * (n21 + n03);
         let h7 = (3.0 * n21 - n03)
             * (n30 + n12)
             * ((n30 + n12).powi(2) - 3.0 * (n21 + n03).powi(2))
-            - (n30 - 3.0 * n12)
-                * (n21 + n03)
-                * (3.0 * (n30 + n12).powi(2) - (n21 + n03).powi(2));
+            - (n30 - 3.0 * n12) * (n21 + n03) * (3.0 * (n30 + n12).powi(2) - (n21 + n03).powi(2));
         [h1, h2, h3, h4, h5, h6, h7]
     }
 }
@@ -209,8 +205,7 @@ pub fn region_shape_features(mask: &GrayImage) -> Result<Vec<f32>> {
     if mask.is_empty() {
         return Err(FeatureError::EmptyImage("region shape"));
     }
-    let labeling = connected_components(mask, Connectivity::Eight)
-        .map_err(FeatureError::Image)?;
+    let labeling = connected_components(mask, Connectivity::Eight).map_err(FeatureError::Image)?;
     let Some(largest) = labeling.largest_mask() else {
         // No foreground at all: a distinctive all-zero signature.
         return Ok(vec![0.0; 5]);
@@ -389,12 +384,22 @@ mod tests {
         assert!(b[0] > a[0]);
         // ...but dominant-object shape stays put.
         for i in 2..5 {
-            assert!((a[i] - b[i]).abs() < 0.05, "component {i}: {} vs {}", a[i], b[i]);
+            assert!(
+                (a[i] - b[i]).abs() < 0.05,
+                "component {i}: {} vs {}",
+                a[i],
+                b[i]
+            );
         }
         // Whole-mask statistics are NOT robust to the same clutter.
         let wa = shape_summary(&clean).unwrap();
         let wb = shape_summary(&cluttered).unwrap();
-        assert!((wa[2] - wb[2]).abs() > 0.05, "extent should degrade: {} vs {}", wa[2], wb[2]);
+        assert!(
+            (wa[2] - wb[2]).abs() > 0.05,
+            "extent should degrade: {} vs {}",
+            wa[2],
+            wb[2]
+        );
     }
 
     #[test]

@@ -262,9 +262,7 @@ impl Pipeline {
         let mut out = Vec::with_capacity(self.dim());
         for spec in &self.specs {
             let part: Vec<f32> = match spec {
-                FeatureSpec::ColorHistogram(q) => {
-                    ColorHistogram::compute(&canon, q)?.normalized()
-                }
+                FeatureSpec::ColorHistogram(q) => ColorHistogram::compute(&canon, q)?.normalized(),
                 FeatureSpec::ColorMoments => color_moments(&canon)?,
                 FeatureSpec::Correlogram {
                     quantizer,
@@ -273,9 +271,7 @@ impl Pipeline {
                 FeatureSpec::Glcm { levels } => glcm_features(&gray, *levels)?,
                 FeatureSpec::Tamura => tamura_features(&gray)?,
                 FeatureSpec::Wavelet { levels } => wavelet_signature(&gray, *levels)?,
-                FeatureSpec::EdgeOrientation { bins } => {
-                    edge_orientation_histogram(&gray, *bins)?
-                }
+                FeatureSpec::EdgeOrientation { bins } => edge_orientation_histogram(&gray, *bins)?,
                 FeatureSpec::EdgeDensityGrid { grid, threshold } => {
                     edge_density_grid(&gray, *grid, *threshold)?
                 }
@@ -379,7 +375,10 @@ mod tests {
 
     #[test]
     fn dim_matches_extracted_length() {
-        for p in [Pipeline::color_histogram_default(), Pipeline::full_default()] {
+        for p in [
+            Pipeline::color_histogram_default(),
+            Pipeline::full_default(),
+        ] {
             let v = p.extract(&test_image()).unwrap();
             assert_eq!(v.len(), p.dim());
         }

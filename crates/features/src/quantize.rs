@@ -114,9 +114,10 @@ impl Quantizer {
             Quantizer::Lab { l, a, b } => {
                 let c = rgb_to_lab(p);
                 let lb = ((c.l / 100.0 * l as f32) as u32).min(l - 1);
-                let norm =
-                    |v: f32, bins: u32| (((v + LAB_AB_RANGE) / (2.0 * LAB_AB_RANGE))
-                        .clamp(0.0, 1.0) * bins as f32) as u32;
+                let norm = |v: f32, bins: u32| {
+                    (((v + LAB_AB_RANGE) / (2.0 * LAB_AB_RANGE)).clamp(0.0, 1.0) * bins as f32)
+                        as u32
+                };
                 let ab = norm(c.a, a).min(a - 1);
                 let bb = norm(c.b, b).min(b - 1);
                 ((lb * a + ab) * b + bb) as usize
@@ -244,7 +245,9 @@ mod tests {
         assert!(Quantizer::Gray { bins: 257 }.validate().is_err());
         assert!(Quantizer::Gray { bins: 256 }.validate().is_ok());
         assert!(Quantizer::UniformRgb { per_channel: 1 }.validate().is_err());
-        assert!(Quantizer::UniformRgb { per_channel: 17 }.validate().is_err());
+        assert!(Quantizer::UniformRgb { per_channel: 17 }
+            .validate()
+            .is_err());
         assert!(Quantizer::Hsv {
             hue: 1,
             sat: 4,
@@ -381,7 +384,13 @@ mod tests {
         assert_eq!(q.n_bins(), 245);
         assert!(q.validate().is_ok());
         assert!(Quantizer::Lab { l: 1, a: 4, b: 4 }.validate().is_err());
-        assert!(Quantizer::Lab { l: 16, a: 16, b: 17 }.validate().is_err());
+        assert!(Quantizer::Lab {
+            l: 16,
+            a: 16,
+            b: 17
+        }
+        .validate()
+        .is_err());
         // Every color maps into range.
         for r in (0u16..=255).step_by(51) {
             for g in (0u16..=255).step_by(51) {
@@ -397,7 +406,10 @@ mod tests {
     fn lab_quantizer_separates_lightness_and_hue() {
         let q = Quantizer::lab_default();
         // Black vs white differ (lightness axis).
-        assert_ne!(q.bin_of(Rgb::new(0, 0, 0)), q.bin_of(Rgb::new(255, 255, 255)));
+        assert_ne!(
+            q.bin_of(Rgb::new(0, 0, 0)),
+            q.bin_of(Rgb::new(255, 255, 255))
+        );
         // Red vs green differ (a* axis).
         assert_ne!(
             q.bin_of(Rgb::new(200, 30, 30)),
@@ -414,7 +426,11 @@ mod tests {
     fn lab_positions_track_perceptual_axes() {
         let q = Quantizer::Lab { l: 4, a: 4, b: 4 };
         let dist = |x: &[f32], y: &[f32]| -> f32 {
-            x.iter().zip(y).map(|(p, r)| (p - r) * (p - r)).sum::<f32>().sqrt()
+            x.iter()
+                .zip(y)
+                .map(|(p, r)| (p - r) * (p - r))
+                .sum::<f32>()
+                .sqrt()
         };
         let dark_red = q.bin_of(Rgb::new(120, 10, 10));
         let bright_red = q.bin_of(Rgb::new(250, 60, 60));

@@ -177,7 +177,9 @@ mod tests {
     }
 
     fn noise(n: u32) -> GrayImage {
-        GrayImage::from_fn(n, n, |x, y| ((x * 7919 + y * 104729 + x * y * 37) % 256) as u8)
+        GrayImage::from_fn(n, n, |x, y| {
+            ((x * 7919 + y * 104729 + x * y * 37) % 256) as u8
+        })
     }
 
     #[test]
@@ -222,7 +224,10 @@ mod tests {
             d_stripes > 0.8,
             "stripes should be highly directional: {d_stripes}"
         );
-        assert!(d_noise < 0.5, "noise should be weakly directional: {d_noise}");
+        assert!(
+            d_noise < 0.5,
+            "noise should be weakly directional: {d_noise}"
+        );
     }
 
     #[test]

@@ -299,13 +299,7 @@ mod tests {
     #[test]
     fn signature_separates_smooth_from_textured() {
         let smooth = GrayImage::from_fn(64, 64, |x, y| ((x + y) / 2) as u8);
-        let textured = GrayImage::from_fn(64, 64, |x, y| {
-            if (x + y) % 2 == 0 {
-                0
-            } else {
-                255
-            }
-        });
+        let textured = GrayImage::from_fn(64, 64, |x, y| if (x + y) % 2 == 0 { 0 } else { 255 });
         let ss = wavelet_signature(&smooth, 3).unwrap();
         let st = wavelet_signature(&textured, 3).unwrap();
         // Fine-detail energy dominates for the checkerboard.

@@ -70,14 +70,20 @@ impl IntegralHistogram {
         let d = ((y0 + h) * tw + (x0 + w)) * self.bins;
         let n = (w * h) as f32;
         for (bin, slot) in out.iter_mut().enumerate().take(self.bins) {
-            let count =
-                self.table[d + bin] + self.table[a + bin] - self.table[b + bin] - self.table[c + bin];
+            let count = self.table[d + bin] + self.table[a + bin]
+                - self.table[b + bin]
+                - self.table[c + bin];
             *slot = count as f32 / n;
         }
     }
 }
 
-fn validate(target: &RgbImage, template: &RgbImage, quantizer: &Quantizer, stride: u32) -> Result<()> {
+fn validate(
+    target: &RgbImage,
+    template: &RgbImage,
+    quantizer: &Quantizer,
+    stride: u32,
+) -> Result<()> {
     quantizer.validate()?;
     if stride == 0 {
         return Err(FeatureError::InvalidParameter(
@@ -130,7 +136,13 @@ pub fn scan_windows(
     while y + th <= target.height() {
         let mut x = 0u32;
         while x + tw <= target.width() {
-            integral.window(x as usize, y as usize, tw as usize, th as usize, &mut window_hist);
+            integral.window(
+                x as usize,
+                y as usize,
+                tw as usize,
+                th as usize,
+                &mut window_hist,
+            );
             out.push(WindowMatch {
                 x,
                 y,
@@ -201,7 +213,12 @@ mod tests {
         let target = scene();
         let template = RgbImage::filled(12, 10, RED);
         let m = find_best_window(&target, &template, &Quantizer::rgb_compact(), 4).unwrap();
-        assert!(m.x.abs_diff(20) <= 4 && m.y.abs_diff(8) <= 4, "({}, {})", m.x, m.y);
+        assert!(
+            m.x.abs_diff(20) <= 4 && m.y.abs_diff(8) <= 4,
+            "({}, {})",
+            m.x,
+            m.y
+        );
     }
 
     #[test]
@@ -221,12 +238,10 @@ mod tests {
     fn integral_matches_direct_histogram() {
         // Any window's integral-derived histogram equals the directly
         // computed one.
-        let target = RgbImage::from_fn(17, 13, |x, y| {
-            match (x * 7 + y * 5) % 3 {
-                0 => RED,
-                1 => BLUE,
-                _ => GREEN,
-            }
+        let target = RgbImage::from_fn(17, 13, |x, y| match (x * 7 + y * 5) % 3 {
+            0 => RED,
+            1 => BLUE,
+            _ => GREEN,
         });
         let q = Quantizer::rgb_compact();
         let template = target.crop(4, 3, 6, 5).unwrap();

@@ -1,59 +1,95 @@
-//! Property tests over feature extraction: invariants that must hold for
-//! arbitrary images and pipeline configurations.
+//! Property-style tests over feature extraction on deterministic
+//! generated images (no external property-testing dependency, so the
+//! suite builds offline and every run checks the same cases): invariants
+//! that must hold for arbitrary images and pipeline configurations.
 
 use cbir_features::{
     wavelet_signature, ColorHistogram, FeatureSpec, HaarDecomposition, Pipeline, Quantizer,
 };
 use cbir_image::{FloatImage, GrayImage, Rgb, RgbImage};
-use proptest::prelude::*;
+use cbir_workload::Pcg32;
 
-fn rgb_image(max: u32) -> impl Strategy<Value = RgbImage> {
-    (8u32..max, 8u32..max).prop_flat_map(|(w, h)| {
-        prop::collection::vec(any::<(u8, u8, u8)>(), (w * h) as usize).prop_map(move |data| {
-            let px: Vec<Rgb> = data.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)).collect();
-            RgbImage::from_vec(w, h, px).unwrap()
+const CASES: usize = 48;
+
+fn rgb_image(rng: &mut Pcg32, max: u32) -> RgbImage {
+    let w = 8 + rng.below((max - 8) as usize) as u32;
+    let h = 8 + rng.below((max - 8) as usize) as u32;
+    let px: Vec<Rgb> = (0..(w * h) as usize)
+        .map(|_| {
+            Rgb::new(
+                rng.below(256) as u8,
+                rng.below(256) as u8,
+                rng.below(256) as u8,
+            )
         })
-    })
+        .collect();
+    RgbImage::from_vec(w, h, px).unwrap()
 }
 
-fn quantizer() -> impl Strategy<Value = Quantizer> {
-    prop_oneof![
-        (2u32..16).prop_map(|bins| Quantizer::Gray { bins }),
-        (2u32..5).prop_map(|per_channel| Quantizer::UniformRgb { per_channel }),
-        (2u32..8, 1u32..4, 1u32..4).prop_map(|(hue, sat, val)| Quantizer::Hsv { hue, sat, val }),
-        (2u32..5, 2u32..5, 2u32..5).prop_map(|(l, a, b)| Quantizer::Lab { l, a, b }),
-    ]
+fn quantizer(rng: &mut Pcg32) -> Quantizer {
+    match rng.below(4) {
+        0 => Quantizer::Gray {
+            bins: 2 + rng.below(14) as u32,
+        },
+        1 => Quantizer::UniformRgb {
+            per_channel: 2 + rng.below(3) as u32,
+        },
+        2 => Quantizer::Hsv {
+            hue: 2 + rng.below(6) as u32,
+            sat: 1 + rng.below(3) as u32,
+            val: 1 + rng.below(3) as u32,
+        },
+        _ => Quantizer::Lab {
+            l: 2 + rng.below(3) as u32,
+            a: 2 + rng.below(3) as u32,
+            b: 2 + rng.below(3) as u32,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn histogram_counts_sum_to_pixels(img in rgb_image(24), q in quantizer()) {
+#[test]
+fn histogram_counts_sum_to_pixels() {
+    let mut rng = Pcg32::new(0xC1);
+    for _ in 0..CASES {
+        let img = rgb_image(&mut rng, 24);
+        let q = quantizer(&mut rng);
         let h = ColorHistogram::compute(&img, &q).unwrap();
-        prop_assert_eq!(h.counts().iter().sum::<u64>(), img.len() as u64);
+        assert_eq!(h.counts().iter().sum::<u64>(), img.len() as u64);
         let normalized = h.normalized();
         let s: f32 = normalized.iter().sum();
-        prop_assert!((s - 1.0).abs() < 1e-4);
-        prop_assert!(normalized.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!((s - 1.0).abs() < 1e-4);
+        assert!(normalized.iter().all(|&v| (0.0..=1.0).contains(&v)));
         let c = h.cumulative();
-        prop_assert!((c.last().unwrap() - 1.0).abs() < 1e-4);
+        assert!((c.last().unwrap() - 1.0).abs() < 1e-4);
     }
+}
 
-    #[test]
-    fn quantizer_bins_always_in_range(q in quantizer(), colors in prop::collection::vec(any::<(u8, u8, u8)>(), 1..64)) {
+#[test]
+fn quantizer_bins_always_in_range() {
+    let mut rng = Pcg32::new(0xC2);
+    for _ in 0..CASES {
+        let q = quantizer(&mut rng);
         let n = q.n_bins();
-        for (r, g, b) in colors {
-            let bin = q.bin_of(Rgb::new(r, g, b));
-            prop_assert!(bin < n);
+        for _ in 0..(1 + rng.below(63)) {
+            let bin = q.bin_of(Rgb::new(
+                rng.below(256) as u8,
+                rng.below(256) as u8,
+                rng.below(256) as u8,
+            ));
+            assert!(bin < n);
             // Position and color lookups never panic for valid bins.
             let _ = q.bin_position(bin);
             let _ = q.bin_color(bin);
         }
     }
+}
 
-    #[test]
-    fn haar_reconstruction_and_energy(seed in any::<u64>(), levels in 1u32..4) {
+#[test]
+fn haar_reconstruction_and_energy() {
+    let mut rng = Pcg32::new(0xC3);
+    for _ in 0..CASES {
+        let seed = u64::from(rng.next_u32()) << 32 | u64::from(rng.next_u32());
+        let levels = 1 + rng.below(3) as u32;
         // Deterministic pseudo-random 16x16 image from the seed.
         let mut state = seed;
         let mut next = move || {
@@ -64,79 +100,93 @@ proptest! {
         let dec = HaarDecomposition::forward(&img, levels).unwrap();
         let rec = dec.inverse();
         for (a, b) in img.pixels().zip(rec.pixels()) {
-            prop_assert!((a - b).abs() < 1e-4);
+            assert!((a - b).abs() < 1e-4);
         }
         let e_in: f32 = img.pixels().map(|p| p * p).sum();
         let e_out: f32 = dec.coefficients().pixels().map(|p| p * p).sum();
-        prop_assert!((e_in - e_out).abs() <= 1e-3 * e_in.max(1.0));
+        assert!((e_in - e_out).abs() <= 1e-3 * e_in.max(1.0));
     }
+}
 
-    #[test]
-    fn wavelet_signature_is_finite_nonnegative(img in rgb_image(24)) {
+#[test]
+fn wavelet_signature_is_finite_nonnegative() {
+    let mut rng = Pcg32::new(0xC4);
+    for _ in 0..CASES {
+        let img = rgb_image(&mut rng, 24);
         // Resize to a power-of-two-friendly frame via the pipeline.
         let p = Pipeline::new(16, vec![FeatureSpec::Wavelet { levels: 2 }]).unwrap();
         let v = p.extract(&img).unwrap();
-        prop_assert_eq!(v.len(), 7);
-        prop_assert!(v.iter().all(|x| x.is_finite() && *x >= 0.0));
+        assert_eq!(v.len(), 7);
+        assert!(v.iter().all(|x| x.is_finite() && *x >= 0.0));
         let gray = img.to_gray();
-        if gray.width() % 4 == 0 && gray.height() % 4 == 0 {
+        if gray.width().is_multiple_of(4) && gray.height().is_multiple_of(4) {
             let direct = wavelet_signature(&gray, 2).unwrap();
-            prop_assert!(direct.iter().all(|x| x.is_finite() && *x >= 0.0));
+            assert!(direct.iter().all(|x| x.is_finite() && *x >= 0.0));
         }
     }
+}
 
-    #[test]
-    fn pipeline_extraction_never_fails_on_valid_images(img in rgb_image(20)) {
-        // Small multi-family pipeline over arbitrary content, including
-        // pathological noise: extraction must always produce a finite
-        // vector of the declared dimensionality.
-        let p = Pipeline::new(
-            16,
-            vec![
-                FeatureSpec::ColorHistogram(Quantizer::UniformRgb { per_channel: 2 }),
-                FeatureSpec::ColorMoments,
-                FeatureSpec::Glcm { levels: 8 },
-                FeatureSpec::EdgeOrientation { bins: 4 },
-                FeatureSpec::HuMoments,
-                FeatureSpec::RegionShape,
-                FeatureSpec::DtHistogram { bins: 4 },
-            ],
-        )
-        .unwrap();
+#[test]
+fn pipeline_extraction_never_fails_on_valid_images() {
+    let mut rng = Pcg32::new(0xC5);
+    // Small multi-family pipeline over arbitrary content, including
+    // pathological noise: extraction must always produce a finite
+    // vector of the declared dimensionality.
+    let p = Pipeline::new(
+        16,
+        vec![
+            FeatureSpec::ColorHistogram(Quantizer::UniformRgb { per_channel: 2 }),
+            FeatureSpec::ColorMoments,
+            FeatureSpec::Glcm { levels: 8 },
+            FeatureSpec::EdgeOrientation { bins: 4 },
+            FeatureSpec::HuMoments,
+            FeatureSpec::RegionShape,
+            FeatureSpec::DtHistogram { bins: 4 },
+        ],
+    )
+    .unwrap();
+    for _ in 0..CASES {
+        let img = rgb_image(&mut rng, 20);
         let v = p.extract(&img).unwrap();
-        prop_assert_eq!(v.len(), p.dim());
-        prop_assert!(v.iter().all(|x| x.is_finite()), "non-finite output");
+        assert_eq!(v.len(), p.dim());
+        assert!(v.iter().all(|x| x.is_finite()), "non-finite output");
         // Balanced variant normalizes each family.
         let b = p.extract_balanced(&img).unwrap();
         for seg in p.layout() {
             let s: f32 = b[seg.start..seg.end].iter().map(|x| x.abs()).sum();
-            prop_assert!((s - 1.0).abs() < 1e-3 || s == 0.0);
+            assert!((s - 1.0).abs() < 1e-3 || s == 0.0);
         }
     }
+}
 
-    #[test]
-    fn extraction_is_pure(img in rgb_image(16)) {
-        let p = Pipeline::new(
-            16,
-            vec![
-                FeatureSpec::ColorHistogram(Quantizer::UniformRgb { per_channel: 2 }),
-                FeatureSpec::Tamura,
-            ],
-        )
-        .unwrap();
-        prop_assert_eq!(p.extract(&img).unwrap(), p.extract(&img).unwrap());
+#[test]
+fn extraction_is_pure() {
+    let mut rng = Pcg32::new(0xC6);
+    let p = Pipeline::new(
+        16,
+        vec![
+            FeatureSpec::ColorHistogram(Quantizer::UniformRgb { per_channel: 2 }),
+            FeatureSpec::Tamura,
+        ],
+    )
+    .unwrap();
+    for _ in 0..CASES {
+        let img = rgb_image(&mut rng, 16);
+        assert_eq!(p.extract(&img).unwrap(), p.extract(&img).unwrap());
     }
+}
 
-    #[test]
-    fn gray_quantizer_is_monotone_in_intensity(bins in 2u32..32) {
+#[test]
+fn gray_quantizer_is_monotone_in_intensity() {
+    for bins in 2u32..32 {
         let q = Quantizer::Gray { bins };
         let mut prev = 0usize;
         for v in 0u16..=255 {
             let bin = q.bin_of(Rgb::new(v as u8, v as u8, v as u8));
-            prop_assert!(bin >= prev, "bin decreased at {v}");
+            assert!(bin >= prev, "bin decreased at {v}");
             prev = bin;
         }
-        prop_assert_eq!(prev, bins as usize - 1);
+        assert_eq!(prev, bins as usize - 1);
     }
 }
 

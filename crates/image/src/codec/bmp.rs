@@ -57,7 +57,9 @@ pub fn decode_bmp(bytes: &[u8]) -> Result<DynImage> {
     let compression = read_u32(bytes, 30)?;
 
     if planes != 1 {
-        return Err(ImageError::Decode(format!("planes must be 1, got {planes}")));
+        return Err(ImageError::Decode(format!(
+            "planes must be 1, got {planes}"
+        )));
     }
     if compression != 0 {
         return Err(ImageError::Decode(format!(

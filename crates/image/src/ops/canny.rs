@@ -35,10 +35,10 @@ fn direction_offsets(gx: f32, gy: f32) -> [(i64, i64); 2] {
     let angle = gy.atan2(gx).rem_euclid(std::f32::consts::PI);
     let sector = (angle / (std::f32::consts::PI / 4.0)).round() as u32 % 4;
     match sector {
-        0 => [(1, 0), (-1, 0)],    // gradient ~horizontal
-        1 => [(1, 1), (-1, -1)],   // ~45°
-        2 => [(0, 1), (0, -1)],    // ~vertical
-        _ => [(-1, 1), (1, -1)],   // ~135°
+        0 => [(1, 0), (-1, 0)],  // gradient ~horizontal
+        1 => [(1, 1), (-1, -1)], // ~45°
+        2 => [(0, 1), (0, -1)],  // ~vertical
+        _ => [(-1, 1), (1, -1)], // ~135°
     }
 }
 
@@ -154,9 +154,7 @@ mod tests {
         assert!((28..=80).contains(&n), "edge count {n}");
         // Every row crosses the edge at least once near the centre.
         for y in 2..30 {
-            let row_edges: Vec<u32> = (0..32)
-                .filter(|&x| edges.pixel(x, y) == 255)
-                .collect();
+            let row_edges: Vec<u32> = (0..32).filter(|&x| edges.pixel(x, y) == 255).collect();
             assert!(!row_edges.is_empty(), "row {y} lost the edge");
             assert!(
                 row_edges.iter().all(|&x| (13..=18).contains(&x)),
@@ -169,9 +167,7 @@ mod tests {
     fn thinner_than_raw_sobel_threshold() {
         // A gradual ramp: thresholded Sobel marks the whole 8-px transition
         // band, non-maximum suppression keeps only its crest.
-        let img = GrayImage::from_fn(32, 32, |x, _| {
-            ((x.saturating_sub(12)).min(8) * 25) as u8
-        });
+        let img = GrayImage::from_fn(32, 32, |x, _| ((x.saturating_sub(12)).min(8) * 25) as u8);
         let canny_edges = count_edges(&canny_default(&img).unwrap());
         let sobel_edges = super::super::sobel::edge_map(&img, 10.0)
             .pixels()

@@ -228,13 +228,17 @@ mod tests {
 
     #[test]
     fn labels_partition_foreground() {
-        let img = GrayImage::from_fn(16, 16, |x, y| {
-            if (x / 4 + y / 4) % 2 == 0 {
-                255
-            } else {
-                0
-            }
-        });
+        let img = GrayImage::from_fn(
+            16,
+            16,
+            |x, y| {
+                if (x / 4 + y / 4) % 2 == 0 {
+                    255
+                } else {
+                    0
+                }
+            },
+        );
         let l = connected_components(&img, Connectivity::Four).unwrap();
         // Every foreground pixel is labelled; every background pixel is 0.
         for (x, y, p) in img.enumerate_pixels() {

@@ -152,8 +152,8 @@ mod tests {
 
     #[test]
     fn rgb_bilinear_channels_independent() {
-        let img = RgbImage::from_vec(2, 1, vec![Rgb::new(0, 100, 200), Rgb::new(100, 0, 200)])
-            .unwrap();
+        let img =
+            RgbImage::from_vec(2, 1, vec![Rgb::new(0, 100, 200), Rgb::new(100, 0, 200)]).unwrap();
         let out = resize_bilinear_rgb(&img, 4, 1).unwrap();
         assert_eq!(out.pixel(1, 0), Rgb::new(25, 75, 200));
         assert_eq!(out.pixel(2, 0), Rgb::new(75, 25, 200));

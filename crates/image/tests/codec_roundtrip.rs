@@ -1,87 +1,155 @@
-//! Property tests: every codec must reproduce arbitrary images exactly,
-//! and the decoders must never panic on arbitrary garbage bytes.
+//! Property-style tests on deterministic generated images (no external
+//! property-testing dependency, so the suite builds offline and every run
+//! checks the same cases): every codec must reproduce arbitrary images
+//! exactly, and the decoders must never panic on arbitrary garbage bytes.
 
 use cbir_image::codec::{
     decode, decode_pnm, encode_bmp_gray, encode_bmp_rgb, encode_pbm, encode_pgm, encode_ppm,
     DynImage, PnmEncoding,
 };
 use cbir_image::{GrayImage, Rgb, RgbImage};
-use proptest::prelude::*;
 
-fn gray_image() -> impl Strategy<Value = GrayImage> {
-    (1u32..24, 1u32..24).prop_flat_map(|(w, h)| {
-        prop::collection::vec(any::<u8>(), (w * h) as usize)
-            .prop_map(move |data| GrayImage::from_vec(w, h, data).unwrap())
-    })
+const CASES: usize = 64;
+
+/// SplitMix64 — inlined so the image crate keeps zero test dependencies
+/// (a `cbir-workload` dev-dependency would cycle back through this crate).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn byte(&mut self) -> u8 {
+        self.below(256) as u8
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
 }
 
-fn rgb_image() -> impl Strategy<Value = RgbImage> {
-    (1u32..24, 1u32..24).prop_flat_map(|(w, h)| {
-        prop::collection::vec(any::<(u8, u8, u8)>(), (w * h) as usize).prop_map(move |data| {
-            let pixels: Vec<Rgb> = data.into_iter().map(|(r, g, b)| Rgb::new(r, g, b)).collect();
-            RgbImage::from_vec(w, h, pixels).unwrap()
-        })
-    })
+fn gray_image(rng: &mut Rng) -> GrayImage {
+    let w = 1 + rng.below(23) as u32;
+    let h = 1 + rng.below(23) as u32;
+    let data: Vec<u8> = (0..(w * h) as usize).map(|_| rng.byte()).collect();
+    GrayImage::from_vec(w, h, data).unwrap()
 }
 
-fn binary_image() -> impl Strategy<Value = GrayImage> {
-    (1u32..24, 1u32..24).prop_flat_map(|(w, h)| {
-        prop::collection::vec(any::<bool>(), (w * h) as usize).prop_map(move |data| {
-            let pixels: Vec<u8> = data.into_iter().map(|b| if b { 255 } else { 0 }).collect();
-            GrayImage::from_vec(w, h, pixels).unwrap()
-        })
-    })
+fn rgb_image(rng: &mut Rng) -> RgbImage {
+    let w = 1 + rng.below(23) as u32;
+    let h = 1 + rng.below(23) as u32;
+    let pixels: Vec<Rgb> = (0..(w * h) as usize)
+        .map(|_| Rgb::new(rng.byte(), rng.byte(), rng.byte()))
+        .collect();
+    RgbImage::from_vec(w, h, pixels).unwrap()
 }
 
-proptest! {
-    #[test]
-    fn pgm_roundtrips_exactly(img in gray_image(), ascii in any::<bool>()) {
-        let enc = if ascii { PnmEncoding::Ascii } else { PnmEncoding::Binary };
+fn binary_image(rng: &mut Rng) -> GrayImage {
+    let w = 1 + rng.below(23) as u32;
+    let h = 1 + rng.below(23) as u32;
+    let pixels: Vec<u8> = (0..(w * h) as usize)
+        .map(|_| if rng.bool() { 255 } else { 0 })
+        .collect();
+    GrayImage::from_vec(w, h, pixels).unwrap()
+}
+
+#[test]
+fn pgm_roundtrips_exactly() {
+    let mut rng = Rng(0xD1);
+    for _ in 0..CASES {
+        let img = gray_image(&mut rng);
+        let enc = if rng.bool() {
+            PnmEncoding::Ascii
+        } else {
+            PnmEncoding::Binary
+        };
         let bytes = encode_pgm(&img, enc);
         match decode_pnm(&bytes).unwrap() {
-            DynImage::Gray(g) => prop_assert_eq!(g, img),
-            _ => prop_assert!(false, "wrong channel layout"),
+            DynImage::Gray(g) => assert_eq!(g, img),
+            _ => panic!("wrong channel layout"),
         }
     }
+}
 
-    #[test]
-    fn ppm_roundtrips_exactly(img in rgb_image(), ascii in any::<bool>()) {
-        let enc = if ascii { PnmEncoding::Ascii } else { PnmEncoding::Binary };
+#[test]
+fn ppm_roundtrips_exactly() {
+    let mut rng = Rng(0xD2);
+    for _ in 0..CASES {
+        let img = rgb_image(&mut rng);
+        let enc = if rng.bool() {
+            PnmEncoding::Ascii
+        } else {
+            PnmEncoding::Binary
+        };
         let bytes = encode_ppm(&img, enc);
         match decode_pnm(&bytes).unwrap() {
-            DynImage::Rgb(c) => prop_assert_eq!(c, img),
-            _ => prop_assert!(false, "wrong channel layout"),
+            DynImage::Rgb(c) => assert_eq!(c, img),
+            _ => panic!("wrong channel layout"),
         }
     }
+}
 
-    #[test]
-    fn pbm_roundtrips_exactly(img in binary_image(), ascii in any::<bool>()) {
-        let enc = if ascii { PnmEncoding::Ascii } else { PnmEncoding::Binary };
+#[test]
+fn pbm_roundtrips_exactly() {
+    let mut rng = Rng(0xD3);
+    for _ in 0..CASES {
+        let img = binary_image(&mut rng);
+        let enc = if rng.bool() {
+            PnmEncoding::Ascii
+        } else {
+            PnmEncoding::Binary
+        };
         let bytes = encode_pbm(&img, enc);
-        prop_assert_eq!(decode_pnm(&bytes).unwrap().into_gray(), img);
+        assert_eq!(decode_pnm(&bytes).unwrap().into_gray(), img);
     }
+}
 
-    #[test]
-    fn bmp_rgb_roundtrips_exactly(img in rgb_image()) {
+#[test]
+fn bmp_rgb_roundtrips_exactly() {
+    let mut rng = Rng(0xD4);
+    for _ in 0..CASES {
+        let img = rgb_image(&mut rng);
         let bytes = encode_bmp_rgb(&img);
-        prop_assert_eq!(decode(&bytes).unwrap().into_rgb(), img);
+        assert_eq!(decode(&bytes).unwrap().into_rgb(), img);
     }
+}
 
-    #[test]
-    fn bmp_gray_roundtrips_exactly(img in gray_image()) {
+#[test]
+fn bmp_gray_roundtrips_exactly() {
+    let mut rng = Rng(0xD5);
+    for _ in 0..CASES {
+        let img = gray_image(&mut rng);
         let bytes = encode_bmp_gray(&img);
-        prop_assert_eq!(decode(&bytes).unwrap().into_gray(), img);
+        assert_eq!(decode(&bytes).unwrap().into_gray(), img);
     }
+}
 
-    #[test]
-    fn decoders_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn decoders_never_panic_on_garbage() {
+    let mut rng = Rng(0xD6);
+    for _ in 0..CASES * 4 {
+        let bytes: Vec<u8> = (0..rng.below(512)).map(|_| rng.byte()).collect();
         // Any outcome but a panic is acceptable.
         let _ = decode(&bytes);
         let _ = decode_pnm(&bytes);
     }
+}
 
-    #[test]
-    fn truncation_never_panics(img in rgb_image(), cut in 0usize..64) {
+#[test]
+fn truncation_never_panics() {
+    let mut rng = Rng(0xD7);
+    for _ in 0..CASES {
+        let img = rgb_image(&mut rng);
+        let cut = rng.below(64);
         let mut bytes = encode_ppm(&img, PnmEncoding::Binary);
         let keep = bytes.len().saturating_sub(cut);
         bytes.truncate(keep);
@@ -91,12 +159,17 @@ proptest! {
         bmp.truncate(keep);
         let _ = decode(&bmp);
     }
+}
 
-    #[test]
-    fn header_mutation_never_panics(img in gray_image(), at in 0usize..20, val in any::<u8>()) {
+#[test]
+fn header_mutation_never_panics() {
+    let mut rng = Rng(0xD8);
+    for _ in 0..CASES {
+        let img = gray_image(&mut rng);
+        let at = rng.below(20);
         let mut bytes = encode_pgm(&img, PnmEncoding::Binary);
         if at < bytes.len() {
-            bytes[at] = val;
+            bytes[at] = rng.byte();
         }
         let _ = decode_pnm(&bytes);
     }

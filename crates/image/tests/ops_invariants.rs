@@ -1,39 +1,75 @@
-//! Property tests over the image operators: algebraic invariants that must
-//! hold for arbitrary images.
+//! Property-style tests over the image operators on deterministic
+//! generated images (no external property-testing dependency, so the
+//! suite builds offline and every run checks the same cases): algebraic
+//! invariants that must hold for arbitrary images.
 
-use cbir_image::color::{hsv_to_rgb, lab_to_rgb, rgb_to_hsv, rgb_to_lab, rgb_to_ycbcr, ycbcr_to_rgb};
+use cbir_image::color::{
+    hsv_to_rgb, lab_to_rgb, rgb_to_hsv, rgb_to_lab, rgb_to_ycbcr, ycbcr_to_rgb,
+};
 use cbir_image::ops::{
     connected_components, dilate, equalize, erode, gaussian_blur, otsu_level, threshold,
     Connectivity, IntegralImage, Structuring,
 };
 use cbir_image::{GrayImage, Rgb};
-use proptest::prelude::*;
 
-fn gray_image() -> impl Strategy<Value = GrayImage> {
-    (2u32..20, 2u32..20).prop_flat_map(|(w, h)| {
-        prop::collection::vec(any::<u8>(), (w * h) as usize)
-            .prop_map(move |data| GrayImage::from_vec(w, h, data).unwrap())
-    })
-}
+const CASES: usize = 48;
 
-proptest! {
-    #[test]
-    fn color_conversions_roundtrip_within_tolerance(r in any::<u8>(), g in any::<u8>(), b in any::<u8>()) {
-        let p = Rgb::new(r, g, b);
-        let hsv = hsv_to_rgb(rgb_to_hsv(p));
-        prop_assert!((p.r() as i32 - hsv.r() as i32).abs() <= 1);
-        prop_assert!((p.g() as i32 - hsv.g() as i32).abs() <= 1);
-        prop_assert!((p.b() as i32 - hsv.b() as i32).abs() <= 1);
-        let ycc = ycbcr_to_rgb(rgb_to_ycbcr(p));
-        prop_assert!((p.r() as i32 - ycc.r() as i32).abs() <= 1);
-        let lab = lab_to_rgb(rgb_to_lab(p));
-        prop_assert!((p.r() as i32 - lab.r() as i32).abs() <= 1);
-        prop_assert!((p.g() as i32 - lab.g() as i32).abs() <= 1);
-        prop_assert!((p.b() as i32 - lab.b() as i32).abs() <= 1);
+/// SplitMix64 — inlined so the image crate keeps zero test dependencies
+/// (a `cbir-workload` dev-dependency would cycle back through this crate).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn integral_image_matches_brute_force(img in gray_image()) {
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn byte(&mut self) -> u8 {
+        self.below(256) as u8
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+fn gray_image(rng: &mut Rng) -> GrayImage {
+    let w = 2 + rng.below(18) as u32;
+    let h = 2 + rng.below(18) as u32;
+    let data: Vec<u8> = (0..(w * h) as usize).map(|_| rng.byte()).collect();
+    GrayImage::from_vec(w, h, data).unwrap()
+}
+
+#[test]
+fn color_conversions_roundtrip_within_tolerance() {
+    let mut rng = Rng(0xE1);
+    for _ in 0..CASES * 8 {
+        let p = Rgb::new(rng.byte(), rng.byte(), rng.byte());
+        let hsv = hsv_to_rgb(rgb_to_hsv(p));
+        assert!((p.r() as i32 - hsv.r() as i32).abs() <= 1);
+        assert!((p.g() as i32 - hsv.g() as i32).abs() <= 1);
+        assert!((p.b() as i32 - hsv.b() as i32).abs() <= 1);
+        let ycc = ycbcr_to_rgb(rgb_to_ycbcr(p));
+        assert!((p.r() as i32 - ycc.r() as i32).abs() <= 1);
+        let lab = lab_to_rgb(rgb_to_lab(p));
+        assert!((p.r() as i32 - lab.r() as i32).abs() <= 1);
+        assert!((p.g() as i32 - lab.g() as i32).abs() <= 1);
+        assert!((p.b() as i32 - lab.b() as i32).abs() <= 1);
+    }
+}
+
+#[test]
+fn integral_image_matches_brute_force() {
+    let mut rng = Rng(0xE2);
+    for _ in 0..CASES {
+        let img = gray_image(&mut rng);
         let ii = IntegralImage::new(&img);
         let (w, h) = img.dimensions();
         // Check a handful of rectangles including the full frame.
@@ -50,22 +86,30 @@ proptest! {
                     brute += img.pixel(x, y) as u64;
                 }
             }
-            prop_assert_eq!(ii.sum(x0, y0, x1, y1), brute);
+            assert_eq!(ii.sum(x0, y0, x1, y1), brute);
         }
     }
+}
 
-    #[test]
-    fn blur_stays_within_input_range(img in gray_image()) {
+#[test]
+fn blur_stays_within_input_range() {
+    let mut rng = Rng(0xE3);
+    for _ in 0..CASES {
+        let img = gray_image(&mut rng);
         let f = img.to_float();
         let out = gaussian_blur(&f, 1.2).unwrap();
         let (lo, hi) = f.min_max().unwrap();
         for p in out.pixels() {
-            prop_assert!(p >= lo - 1e-3 && p <= hi + 1e-3, "{p} outside [{lo}, {hi}]");
+            assert!(p >= lo - 1e-3 && p <= hi + 1e-3, "{p} outside [{lo}, {hi}]");
         }
     }
+}
 
-    #[test]
-    fn equalize_is_monotone_transform(img in gray_image()) {
+#[test]
+fn equalize_is_monotone_transform() {
+    let mut rng = Rng(0xE4);
+    for _ in 0..CASES {
+        let img = gray_image(&mut rng);
         let out = equalize(&img);
         // Pixels equal in the input stay equal; ordering is preserved.
         for y in 0..img.height() {
@@ -73,57 +117,73 @@ proptest! {
                 let (a, b) = (img.pixel(x - 1, y), img.pixel(x, y));
                 let (ea, eb) = (out.pixel(x - 1, y), out.pixel(x, y));
                 if a == b {
-                    prop_assert_eq!(ea, eb);
+                    assert_eq!(ea, eb);
                 } else if a < b {
-                    prop_assert!(ea <= eb);
+                    assert!(ea <= eb);
                 } else {
-                    prop_assert!(ea >= eb);
+                    assert!(ea >= eb);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn otsu_binarization_is_consistent(img in gray_image()) {
+#[test]
+fn otsu_binarization_is_consistent() {
+    let mut rng = Rng(0xE5);
+    for _ in 0..CASES {
+        let img = gray_image(&mut rng);
         let t = otsu_level(&img).unwrap();
         let bin = threshold(&img, t);
         for (x, y, p) in img.enumerate_pixels() {
-            prop_assert_eq!(bin.pixel(x, y) == 255, p > t);
+            assert_eq!(bin.pixel(x, y) == 255, p > t);
         }
     }
+}
 
-    #[test]
-    fn erosion_shrinks_dilation_grows(img in gray_image(), square in any::<bool>()) {
-        let se = if square { Structuring::Square } else { Structuring::Cross };
+#[test]
+fn erosion_shrinks_dilation_grows() {
+    let mut rng = Rng(0xE6);
+    for _ in 0..CASES {
+        let img = gray_image(&mut rng);
+        let se = if rng.bool() {
+            Structuring::Square
+        } else {
+            Structuring::Cross
+        };
         let bin = threshold(&img, 127);
         let fg = |im: &GrayImage| im.pixels().filter(|&p| p != 0).count();
         let eroded = erode(&bin, se);
         let dilated = dilate(&bin, se);
-        prop_assert!(fg(&eroded) <= fg(&bin));
-        prop_assert!(fg(&dilated) >= fg(&bin));
+        assert!(fg(&eroded) <= fg(&bin));
+        assert!(fg(&dilated) >= fg(&bin));
         // Eroded foreground is a subset of the original; original is a
         // subset of the dilated.
         for (x, y, p) in eroded.enumerate_pixels() {
             if p != 0 {
-                prop_assert_ne!(bin.pixel(x, y), 0);
+                assert_ne!(bin.pixel(x, y), 0);
             }
         }
         for (x, y, p) in bin.enumerate_pixels() {
             if p != 0 {
-                prop_assert_ne!(dilated.pixel(x, y), 0);
+                assert_ne!(dilated.pixel(x, y), 0);
             }
         }
     }
+}
 
-    #[test]
-    fn component_areas_partition_foreground(img in gray_image()) {
+#[test]
+fn component_areas_partition_foreground() {
+    let mut rng = Rng(0xE7);
+    for _ in 0..CASES {
+        let img = gray_image(&mut rng);
         let bin = threshold(&img, 127);
         let labeling = connected_components(&bin, Connectivity::Eight).unwrap();
         let fg = bin.pixels().filter(|&p| p != 0).count();
         let total: usize = labeling.regions.iter().map(|r| r.area).sum();
-        prop_assert_eq!(total, fg);
+        assert_eq!(total, fg);
         // Eight-connectivity yields at most as many components as four.
         let four = connected_components(&bin, Connectivity::Four).unwrap();
-        prop_assert!(labeling.len() <= four.len());
+        assert!(labeling.len() <= four.len());
     }
 }

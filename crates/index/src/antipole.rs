@@ -13,8 +13,8 @@
 
 use crate::dataset::Dataset;
 use crate::error::{IndexError, Result};
-use crate::knn_heap::KnnHeap;
 use crate::rng::SplitMix64;
+use crate::scratch::{Frame, QueryScratch};
 use crate::stats::{sort_neighbors, tri_slack, Neighbor, SearchStats};
 use crate::traits::SearchIndex;
 use cbir_distance::Measure;
@@ -126,8 +126,10 @@ impl AntipoleTree {
 
     #[inline]
     fn dist_ids(&self, a: u32, b: u32) -> f32 {
-        self.measure
-            .distance(self.dataset.vector(a as usize), self.dataset.vector(b as usize))
+        self.measure.distance(
+            self.dataset.vector(a as usize),
+            self.dataset.vector(b as usize),
+        )
     }
 
     /// Exact 1-median of a small set: the element minimizing the sum of
@@ -267,136 +269,12 @@ impl AntipoleTree {
         (self.nodes.len() - 1) as u32
     }
 
-    fn range_rec(
-        &self,
-        node: u32,
-        query: &[f32],
-        t: f32,
-        stats: &mut SearchStats,
-        out: &mut Vec<Neighbor>,
-    ) {
-        stats.nodes_visited += 1;
-        match &self.nodes[node as usize] {
-            Node::Empty => {}
-            Node::Leaf {
-                centroid,
-                members,
-                radius,
-            } => {
-                stats.distance_computations += 1;
-                let dc = self
-                    .measure
-                    .distance(query, self.dataset.vector(*centroid as usize));
-                if dc <= t {
-                    out.push(Neighbor {
-                        id: *centroid as usize,
-                        distance: dc,
-                    });
-                }
-                // Whole-cluster exclusion.
-                if dc > t + radius + tri_slack(dc, *radius) {
-                    return;
-                }
-                for &(id, dcm) in members {
-                    // Triangle exclusion: |d(q,c) - d(c,m)| ≤ d(q,m).
-                    if (dc - dcm).abs() > t + tri_slack(dc, dcm) {
-                        continue;
-                    }
-                    stats.distance_computations += 1;
-                    let d = self.measure.distance(query, self.dataset.vector(id as usize));
-                    if d <= t {
-                        out.push(Neighbor {
-                            id: id as usize,
-                            distance: d,
-                        });
-                    }
-                }
-            }
-            Node::Internal {
-                a,
-                b,
-                rad_a,
-                rad_b,
-                left,
-                right,
-            } => {
-                stats.distance_computations += 2;
-                let da = self.measure.distance(query, self.dataset.vector(*a as usize));
-                let db = self.measure.distance(query, self.dataset.vector(*b as usize));
-                if da <= t {
-                    out.push(Neighbor {
-                        id: *a as usize,
-                        distance: da,
-                    });
-                }
-                if db <= t {
-                    out.push(Neighbor {
-                        id: *b as usize,
-                        distance: db,
-                    });
-                }
-                if da <= t + rad_a + tri_slack(da, *rad_a) {
-                    self.range_rec(*left, query, t, stats, out);
-                }
-                if db <= t + rad_b + tri_slack(db, *rad_b) {
-                    self.range_rec(*right, query, t, stats, out);
-                }
-            }
-        }
-    }
-
-    fn knn_rec(&self, node: u32, query: &[f32], heap: &mut KnnHeap, stats: &mut SearchStats) {
-        stats.nodes_visited += 1;
-        match &self.nodes[node as usize] {
-            Node::Empty => {}
-            Node::Leaf {
-                centroid,
-                members,
-                radius,
-            } => {
-                stats.distance_computations += 1;
-                let dc = self
-                    .measure
-                    .distance(query, self.dataset.vector(*centroid as usize));
-                heap.offer(*centroid as usize, dc);
-                if dc > heap.bound() + radius + tri_slack(dc, *radius) {
-                    return;
-                }
-                for &(id, dcm) in members {
-                    if (dc - dcm).abs() > heap.bound() + tri_slack(dc, dcm) {
-                        continue;
-                    }
-                    stats.distance_computations += 1;
-                    let d = self.measure.distance(query, self.dataset.vector(id as usize));
-                    heap.offer(id as usize, d);
-                }
-            }
-            Node::Internal {
-                a,
-                b,
-                rad_a,
-                rad_b,
-                left,
-                right,
-            } => {
-                stats.distance_computations += 2;
-                let da = self.measure.distance(query, self.dataset.vector(*a as usize));
-                let db = self.measure.distance(query, self.dataset.vector(*b as usize));
-                heap.offer(*a as usize, da);
-                heap.offer(*b as usize, db);
-                // Descend the closer side first so the bound tightens.
-                let sides = if da - rad_a <= db - rad_b {
-                    [(da, *rad_a, *left), (db, *rad_b, *right)]
-                } else {
-                    [(db, *rad_b, *right), (da, *rad_a, *left)]
-                };
-                for (d, rad, child) in sides {
-                    if d <= heap.bound() + rad + tri_slack(d, rad) {
-                        self.knn_rec(child, query, heap, stats);
-                    }
-                }
-            }
-        }
+    /// Pop-time admission check: a child frame carries `(d(q, router),
+    /// covering radius)`; it is visited iff the router ball can still
+    /// intersect the current search ball of radius `t`.
+    #[inline]
+    fn admits(frame: &Frame, t: f32) -> bool {
+        frame.tag == 0 || frame.a <= t + frame.b + tri_slack(frame.a, frame.b)
     }
 
     /// Number of leaf clusters (diagnostic).
@@ -429,25 +307,192 @@ impl SearchIndex for AntipoleTree {
         self.dataset.dim()
     }
 
-    fn range_search(
+    fn range_into(
         &self,
         query: &[f32],
         radius: f32,
+        scratch: &mut QueryScratch,
         stats: &mut SearchStats,
-    ) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        self.range_rec(self.root, query, radius, stats, &mut out);
-        sort_neighbors(&mut out);
-        out
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
+        let t = radius;
+        let frames = &mut scratch.frames;
+        frames.clear();
+        frames.push(Frame::unconditional(self.root));
+        while let Some(frame) = frames.pop() {
+            if !Self::admits(&frame, t) {
+                continue;
+            }
+            stats.nodes_visited += 1;
+            match &self.nodes[frame.node as usize] {
+                Node::Empty => {}
+                Node::Leaf {
+                    centroid,
+                    members,
+                    radius,
+                } => {
+                    stats.distance_computations += 1;
+                    let dc = self
+                        .measure
+                        .distance(query, self.dataset.vector(*centroid as usize));
+                    if dc <= t {
+                        out.push(Neighbor {
+                            id: *centroid as usize,
+                            distance: dc,
+                        });
+                    }
+                    // Whole-cluster exclusion.
+                    if dc > t + radius + tri_slack(dc, *radius) {
+                        continue;
+                    }
+                    for &(id, dcm) in members {
+                        // Triangle exclusion: |d(q,c) - d(c,m)| ≤ d(q,m).
+                        if (dc - dcm).abs() > t + tri_slack(dc, dcm) {
+                            continue;
+                        }
+                        stats.distance_computations += 1;
+                        let d = self
+                            .measure
+                            .distance(query, self.dataset.vector(id as usize));
+                        if d <= t {
+                            out.push(Neighbor {
+                                id: id as usize,
+                                distance: d,
+                            });
+                        }
+                    }
+                }
+                Node::Internal {
+                    a,
+                    b,
+                    rad_a,
+                    rad_b,
+                    left,
+                    right,
+                } => {
+                    stats.distance_computations += 2;
+                    let da = self
+                        .measure
+                        .distance(query, self.dataset.vector(*a as usize));
+                    let db = self
+                        .measure
+                        .distance(query, self.dataset.vector(*b as usize));
+                    if da <= t {
+                        out.push(Neighbor {
+                            id: *a as usize,
+                            distance: da,
+                        });
+                    }
+                    if db <= t {
+                        out.push(Neighbor {
+                            id: *b as usize,
+                            distance: db,
+                        });
+                    }
+                    frames.push(Frame {
+                        node: *right,
+                        tag: 1,
+                        a: db,
+                        b: *rad_b,
+                    });
+                    frames.push(Frame {
+                        node: *left,
+                        tag: 1,
+                        a: da,
+                        b: *rad_a,
+                    });
+                }
+            }
+        }
+        sort_neighbors(out);
     }
 
-    fn knn_search(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+    fn knn_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut QueryScratch,
+        stats: &mut SearchStats,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
         if k == 0 {
-            return Vec::new();
+            return;
         }
-        let mut heap = KnnHeap::new(k);
-        self.knn_rec(self.root, query, &mut heap, stats);
-        heap.into_sorted()
+        let QueryScratch { heap, frames, .. } = scratch;
+        heap.reset(k);
+        frames.clear();
+        frames.push(Frame::unconditional(self.root));
+        while let Some(frame) = frames.pop() {
+            // Lazy admission check against the current (possibly tightened)
+            // bound — prunes at least as much as the recursive form.
+            if !Self::admits(&frame, heap.bound()) {
+                continue;
+            }
+            stats.nodes_visited += 1;
+            match &self.nodes[frame.node as usize] {
+                Node::Empty => {}
+                Node::Leaf {
+                    centroid,
+                    members,
+                    radius,
+                } => {
+                    stats.distance_computations += 1;
+                    let dc = self
+                        .measure
+                        .distance(query, self.dataset.vector(*centroid as usize));
+                    heap.offer(*centroid as usize, dc);
+                    if dc > heap.bound() + radius + tri_slack(dc, *radius) {
+                        continue;
+                    }
+                    for &(id, dcm) in members {
+                        if (dc - dcm).abs() > heap.bound() + tri_slack(dc, dcm) {
+                            continue;
+                        }
+                        stats.distance_computations += 1;
+                        let d = self
+                            .measure
+                            .distance(query, self.dataset.vector(id as usize));
+                        heap.offer(id as usize, d);
+                    }
+                }
+                Node::Internal {
+                    a,
+                    b,
+                    rad_a,
+                    rad_b,
+                    left,
+                    right,
+                } => {
+                    stats.distance_computations += 2;
+                    let da = self
+                        .measure
+                        .distance(query, self.dataset.vector(*a as usize));
+                    let db = self
+                        .measure
+                        .distance(query, self.dataset.vector(*b as usize));
+                    heap.offer(*a as usize, da);
+                    heap.offer(*b as usize, db);
+                    // The closer side is pushed last so it pops first and
+                    // tightens the bound before the farther side's check.
+                    let sides = if da - rad_a <= db - rad_b {
+                        [(db, *rad_b, *right), (da, *rad_a, *left)]
+                    } else {
+                        [(da, *rad_a, *left), (db, *rad_b, *right)]
+                    };
+                    for (d, rad, child) in sides {
+                        frames.push(Frame {
+                            node: child,
+                            tag: 1,
+                            a: d,
+                            b: rad,
+                        });
+                    }
+                }
+            }
+        }
+        heap.drain_sorted_into(out);
     }
 
     fn name(&self) -> &'static str {
@@ -548,7 +593,10 @@ mod tests {
         let mut rng = SplitMix64::new(31);
         for _ in 0..15 {
             let q: Vec<f32> = (0..4).map(|_| rng.next_f32() * 120.0 - 10.0).collect();
-            assert_eq!(knn_search_simple(&ap, &q, 7), knn_search_simple(&lin, &q, 7));
+            assert_eq!(
+                knn_search_simple(&ap, &q, 7),
+                knn_search_simple(&lin, &q, 7)
+            );
             assert_eq!(
                 range_search_simple(&ap, &q, 10.0),
                 range_search_simple(&lin, &q, 10.0)

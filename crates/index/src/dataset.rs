@@ -90,6 +90,13 @@ impl Dataset {
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
 
+    /// The whole dataset as one row-major matrix (`len() * dim()` floats) —
+    /// the shape batched distance kernels consume.
+    #[inline]
+    pub fn flat(&self) -> &[f32] {
+        &self.data
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f32>()

@@ -10,7 +10,7 @@
 
 use crate::dataset::Dataset;
 use crate::error::{IndexError, Result};
-use crate::knn_heap::KnnHeap;
+use crate::scratch::{Frame, QueryScratch};
 use crate::stats::{sort_neighbors, tri_slack, Neighbor, SearchStats};
 use crate::traits::SearchIndex;
 use cbir_distance::Measure;
@@ -125,85 +125,34 @@ impl KdTree {
         (self.nodes.len() - 1) as u32
     }
 
-    fn search_leaf(
-        &self,
-        ids: &[u32],
-        query: &[f32],
-        stats: &mut SearchStats,
-        mut visit: impl FnMut(usize, f32),
-    ) {
-        for &id in ids {
-            stats.distance_computations += 1;
-            let d = self.measure.distance(query, self.dataset.vector(id as usize));
-            visit(id as usize, d);
-        }
-    }
-
-    fn range_rec(
-        &self,
-        node: u32,
-        query: &[f32],
-        radius: f32,
-        stats: &mut SearchStats,
-        out: &mut Vec<Neighbor>,
-    ) {
-        stats.nodes_visited += 1;
+    /// Push a split node's children: far child first (tag 1, carrying the
+    /// splitting-plane offset for the pop-time prune check), then the near
+    /// child unconditionally, so near's whole subtree is explored before
+    /// far's check runs.
+    #[inline]
+    fn push_children(&self, frames: &mut Vec<Frame>, query: &[f32], node: u32) -> Option<&[u32]> {
         match &self.nodes[node as usize] {
-            Node::Leaf { ids } => {
-                self.search_leaf(ids, query, stats, |id, d| {
-                    if d <= radius {
-                        out.push(Neighbor { id, distance: d });
-                    }
+            Node::Leaf { ids } => Some(ids),
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                let diff = query[*dim as usize] - value;
+                let (near, far) = if diff < 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
+                frames.push(Frame {
+                    node: far,
+                    tag: 1,
+                    a: diff,
+                    b: 0.0,
                 });
-            }
-            Node::Split {
-                dim,
-                value,
-                left,
-                right,
-            } => {
-                let diff = query[*dim as usize] - value;
-                let (near, far) = if diff < 0.0 {
-                    (*left, *right)
-                } else {
-                    (*right, *left)
-                };
-                self.range_rec(near, query, radius, stats, out);
-                if diff.abs() <= radius + tri_slack(diff, radius) {
-                    self.range_rec(far, query, radius, stats, out);
-                }
-            }
-        }
-    }
-
-    fn knn_rec(
-        &self,
-        node: u32,
-        query: &[f32],
-        heap: &mut KnnHeap,
-        stats: &mut SearchStats,
-    ) {
-        stats.nodes_visited += 1;
-        match &self.nodes[node as usize] {
-            Node::Leaf { ids } => {
-                self.search_leaf(ids, query, stats, |id, d| heap.offer(id, d));
-            }
-            Node::Split {
-                dim,
-                value,
-                left,
-                right,
-            } => {
-                let diff = query[*dim as usize] - value;
-                let (near, far) = if diff < 0.0 {
-                    (*left, *right)
-                } else {
-                    (*right, *left)
-                };
-                self.knn_rec(near, query, heap, stats);
-                if diff.abs() <= heap.bound() + tri_slack(diff, heap.bound()) {
-                    self.knn_rec(far, query, heap, stats);
-                }
+                frames.push(Frame::unconditional(near));
+                None
             }
         }
     }
@@ -229,25 +178,79 @@ impl SearchIndex for KdTree {
         self.dataset.dim()
     }
 
-    fn range_search(
+    fn range_into(
         &self,
         query: &[f32],
         radius: f32,
+        scratch: &mut QueryScratch,
         stats: &mut SearchStats,
-    ) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        self.range_rec(self.root, query, radius, stats, &mut out);
-        sort_neighbors(&mut out);
-        out
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
+        let frames = &mut scratch.frames;
+        frames.clear();
+        frames.push(Frame::unconditional(self.root));
+        while let Some(frame) = frames.pop() {
+            if frame.tag == 1 && frame.a.abs() > radius + tri_slack(frame.a, radius) {
+                continue;
+            }
+            stats.nodes_visited += 1;
+            if let Some(ids) = self.push_children(frames, query, frame.node) {
+                for &id in ids {
+                    stats.distance_computations += 1;
+                    let d = self
+                        .measure
+                        .distance(query, self.dataset.vector(id as usize));
+                    if d <= radius {
+                        out.push(Neighbor {
+                            id: id as usize,
+                            distance: d,
+                        });
+                    }
+                }
+            }
+        }
+        sort_neighbors(out);
     }
 
-    fn knn_search(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+    fn knn_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut QueryScratch,
+        stats: &mut SearchStats,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
         if k == 0 {
-            return Vec::new();
+            return;
         }
-        let mut heap = KnnHeap::new(k);
-        self.knn_rec(self.root, query, &mut heap, stats);
-        heap.into_sorted()
+        let QueryScratch { heap, frames, .. } = scratch;
+        heap.reset(k);
+        frames.clear();
+        frames.push(Frame::unconditional(self.root));
+        while let Some(frame) = frames.pop() {
+            // Lazy prune: the bound can only have tightened since the push,
+            // so this check prunes at least as much as the recursive form
+            // while visiting exactly the same candidate set.
+            if frame.tag == 1 {
+                let t = heap.bound();
+                if frame.a.abs() > t + tri_slack(frame.a, t) {
+                    continue;
+                }
+            }
+            stats.nodes_visited += 1;
+            if let Some(ids) = self.push_children(frames, query, frame.node) {
+                for &id in ids {
+                    stats.distance_computations += 1;
+                    let d = self
+                        .measure
+                        .distance(query, self.dataset.vector(id as usize));
+                    heap.offer(id as usize, d);
+                }
+            }
+        }
+        heap.drain_sorted_into(out);
     }
 
     fn name(&self) -> &'static str {

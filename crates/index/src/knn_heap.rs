@@ -43,6 +43,16 @@ impl KnnHeap {
         }
     }
 
+    /// Clear the heap and set a new `k`, retaining the allocated capacity
+    /// so a heap can be reused across queries without touching the
+    /// allocator. `k` must be positive.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "k must be positive");
+        self.k = k;
+        self.heap.clear();
+        self.heap.reserve(k + 1);
+    }
+
     /// Offer a candidate; it is retained iff it beats the current k-th best.
     pub fn offer(&mut self, id: usize, distance: f32) {
         if self.heap.len() < self.k {
@@ -82,6 +92,16 @@ impl KnnHeap {
         let mut out: Vec<Neighbor> = self.heap.into_iter().map(|e| e.0).collect();
         sort_neighbors(&mut out);
         out
+    }
+
+    /// Drain the results, sorted by ascending distance (ties by id), into a
+    /// caller-owned buffer (appended; callers clear first if they want only
+    /// this query's hits). Leaves the heap empty but keeps its capacity, so
+    /// heap and buffer can both be reused allocation-free across queries.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<Neighbor>) {
+        let start = out.len();
+        out.extend(self.heap.drain().map(|e| e.0));
+        sort_neighbors(&mut out[start..]);
     }
 }
 

@@ -45,6 +45,7 @@ mod mtree;
 mod rect;
 mod rng;
 mod rstar;
+mod scratch;
 mod stats;
 mod traits;
 mod vptree;
@@ -60,6 +61,9 @@ pub use mtree::MTree;
 pub use rect::Rect;
 pub use rng::SplitMix64;
 pub use rstar::RStarTree;
-pub use stats::{sort_neighbors, Neighbor, SearchStats};
-pub use traits::{knn_search_simple, range_search_simple, SearchIndex};
+pub use scratch::QueryScratch;
+pub use stats::{sort_neighbors, BatchStats, Neighbor, SearchStats};
+pub use traits::{
+    knn_batch_parallel, knn_search_simple, range_batch_parallel, range_search_simple, SearchIndex,
+};
 pub use vptree::VpTree;

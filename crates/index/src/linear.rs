@@ -3,7 +3,7 @@
 
 use crate::dataset::Dataset;
 use crate::error::Result;
-use crate::knn_heap::KnnHeap;
+use crate::scratch::QueryScratch;
 use crate::stats::{sort_neighbors, Neighbor, SearchStats};
 use crate::traits::SearchIndex;
 use cbir_distance::Measure;
@@ -26,6 +26,19 @@ impl LinearScan {
     pub fn measure(&self) -> &Measure {
         &self.measure
     }
+
+    /// Compute all `len()` distances to `query` into `scratch.dists` with
+    /// the measure's monomorphized batch kernel (the enum is matched once
+    /// per query, not once per row).
+    fn fill_dists(&self, query: &[f32], scratch: &mut QueryScratch, stats: &mut SearchStats) {
+        let n = self.dataset.len();
+        scratch.dists.clear();
+        scratch.dists.resize(n, 0.0);
+        self.measure
+            .dist_to_many(query, self.dataset.flat(), &mut scratch.dists);
+        stats.distance_computations += n as u64;
+        stats.nodes_visited += 1;
+    }
 }
 
 impl SearchIndex for LinearScan {
@@ -37,37 +50,42 @@ impl SearchIndex for LinearScan {
         self.dataset.dim()
     }
 
-    fn range_search(
+    fn range_into(
         &self,
         query: &[f32],
         radius: f32,
+        scratch: &mut QueryScratch,
         stats: &mut SearchStats,
-    ) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        for id in 0..self.dataset.len() {
-            stats.distance_computations += 1;
-            let d = self.measure.distance(query, self.dataset.vector(id));
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
+        self.fill_dists(query, scratch, stats);
+        for (id, &d) in scratch.dists.iter().enumerate() {
             if d <= radius {
                 out.push(Neighbor { id, distance: d });
             }
         }
-        stats.nodes_visited += 1;
-        sort_neighbors(&mut out);
-        out
+        sort_neighbors(out);
     }
 
-    fn knn_search(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+    fn knn_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut QueryScratch,
+        stats: &mut SearchStats,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
         if k == 0 {
-            return Vec::new();
+            return;
         }
-        let mut heap = KnnHeap::new(k);
-        for id in 0..self.dataset.len() {
-            stats.distance_computations += 1;
-            let d = self.measure.distance(query, self.dataset.vector(id));
-            heap.offer(id, d);
+        self.fill_dists(query, scratch, stats);
+        scratch.heap.reset(k);
+        for (id, &d) in scratch.dists.iter().enumerate() {
+            scratch.heap.offer(id, d);
         }
-        stats.nodes_visited += 1;
-        heap.into_sorted()
+        scratch.heap.drain_sorted_into(out);
     }
 
     fn name(&self) -> &'static str {
@@ -137,8 +155,7 @@ mod tests {
 
     #[test]
     fn radius_zero_finds_exact_duplicates() {
-        let ds =
-            Dataset::from_vectors(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        let ds = Dataset::from_vectors(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
         let idx = LinearScan::build(ds, Measure::L2).unwrap();
         let hits = crate::traits::range_search_simple(&idx, &[1.0, 1.0], 0.0);
         assert_eq!(hits.len(), 2);

@@ -165,13 +165,7 @@ impl LshIndex {
     }
 }
 
-fn hash_key(
-    v: &[f32],
-    projections: &[f32],
-    offsets: &[f32],
-    m: usize,
-    width: f32,
-) -> Vec<i32> {
+fn hash_key(v: &[f32], projections: &[f32], offsets: &[f32], m: usize, width: f32) -> Vec<i32> {
     let dim = v.len();
     let mut key = Vec::with_capacity(m);
     for h in 0..m {

@@ -10,8 +10,8 @@
 
 use crate::dataset::Dataset;
 use crate::error::{IndexError, Result};
-use crate::knn_heap::KnnHeap;
 use crate::rng::SplitMix64;
+use crate::scratch::{Frame, QueryScratch};
 use crate::stats::{sort_neighbors, tri_slack, Neighbor, SearchStats};
 use crate::traits::SearchIndex;
 use cbir_distance::Measure;
@@ -91,8 +91,10 @@ impl MTree {
 
     #[inline]
     fn dist_ids(&self, a: u32, b: u32) -> f32 {
-        self.measure
-            .distance(self.dataset.vector(a as usize), self.dataset.vector(b as usize))
+        self.measure.distance(
+            self.dataset.vector(a as usize),
+            self.dataset.vector(b as usize),
+        )
     }
 
     fn insert(&mut self, oid: u32, rng: &mut SplitMix64) {
@@ -302,114 +304,11 @@ impl MTree {
         }
     }
 
-    /// Range search with the two-level M-tree pruning rule. `parent` is
-    /// `(router id, d(query, router))` of the node's routing object.
-    fn range_rec(
-        &self,
-        node: u32,
-        parent: Option<f32>,
-        query: &[f32],
-        t: f32,
-        stats: &mut SearchStats,
-        out: &mut Vec<Neighbor>,
-    ) {
-        stats.nodes_visited += 1;
-        match &self.nodes[node as usize] {
-            Node::Leaf(entries) => {
-                for e in entries {
-                    // Parent-distance pruning avoids the distance call.
-                    if let Some(d_qp) = parent {
-                        if (d_qp - e.d_parent).abs() > t + tri_slack(d_qp, e.d_parent) {
-                            continue;
-                        }
-                    }
-                    stats.distance_computations += 1;
-                    let d = self
-                        .measure
-                        .distance(query, self.dataset.vector(e.id as usize));
-                    if d <= t {
-                        out.push(Neighbor {
-                            id: e.id as usize,
-                            distance: d,
-                        });
-                    }
-                }
-            }
-            Node::Internal(entries) => {
-                for e in entries {
-                    if let Some(d_qp) = parent {
-                        if (d_qp - e.d_parent).abs() > t + e.radius + tri_slack(d_qp, e.d_parent) {
-                            continue;
-                        }
-                    }
-                    stats.distance_computations += 1;
-                    let d = self
-                        .measure
-                        .distance(query, self.dataset.vector(e.router as usize));
-                    if d <= t + e.radius + tri_slack(d, e.radius) {
-                        self.range_rec(e.child, Some(d), query, t, stats, out);
-                    }
-                }
-            }
-        }
-    }
-
-    fn knn_rec(
-        &self,
-        node: u32,
-        parent: Option<f32>,
-        query: &[f32],
-        heap: &mut KnnHeap,
-        stats: &mut SearchStats,
-    ) {
-        stats.nodes_visited += 1;
-        match &self.nodes[node as usize] {
-            Node::Leaf(entries) => {
-                for e in entries {
-                    if let Some(d_qp) = parent {
-                        if (d_qp - e.d_parent).abs() > heap.bound() + tri_slack(d_qp, e.d_parent) {
-                            continue;
-                        }
-                    }
-                    stats.distance_computations += 1;
-                    let d = self
-                        .measure
-                        .distance(query, self.dataset.vector(e.id as usize));
-                    heap.offer(e.id as usize, d);
-                }
-            }
-            Node::Internal(entries) => {
-                // Visit children in order of optimistic distance so the
-                // bound tightens early.
-                let mut order: Vec<(f32, f32, u32)> = Vec::with_capacity(entries.len());
-                for e in entries {
-                    if let Some(d_qp) = parent {
-                        if (d_qp - e.d_parent).abs() > heap.bound() + e.radius + tri_slack(d_qp, e.d_parent) {
-                            continue;
-                        }
-                    }
-                    stats.distance_computations += 1;
-                    let d = self
-                        .measure
-                        .distance(query, self.dataset.vector(e.router as usize));
-                    order.push((
-                        (d - e.radius - tri_slack(d, e.radius)).max(0.0),
-                        d,
-                        e.child,
-                    ));
-                }
-                order.sort_by(|a, b| a.0.total_cmp(&b.0));
-                for (optimistic, d, child) in order {
-                    // `optimistic` = max(0, d(q, router) - radius) lower-
-                    // bounds every object in the subtree; re-check against
-                    // the bound, which tightens as siblings are visited.
-                    if optimistic > heap.bound() {
-                        continue;
-                    }
-                    self.knn_rec(child, Some(d), query, heap, stats);
-                }
-            }
-        }
+    /// The parent distance `d(query, router)` a frame carries, if any.
+    /// Frames are tagged 0 at the root (no routing object) and 1 below it.
+    #[inline]
+    fn frame_parent(frame: &Frame) -> Option<f32> {
+        (frame.tag == 1).then_some(frame.a)
     }
 
     /// Tree height (diagnostic).
@@ -418,7 +317,11 @@ impl MTree {
             match &nodes[at as usize] {
                 Node::Leaf(_) => 1,
                 Node::Internal(entries) => {
-                    1 + entries.iter().map(|e| go(nodes, e.child)).max().unwrap_or(0)
+                    1 + entries
+                        .iter()
+                        .map(|e| go(nodes, e.child))
+                        .max()
+                        .unwrap_or(0)
                 }
             }
         }
@@ -484,25 +387,151 @@ impl SearchIndex for MTree {
         self.dataset.dim()
     }
 
-    fn range_search(
+    fn range_into(
         &self,
         query: &[f32],
         radius: f32,
+        scratch: &mut QueryScratch,
         stats: &mut SearchStats,
-    ) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        self.range_rec(self.root, None, query, radius, stats, &mut out);
-        sort_neighbors(&mut out);
-        out
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
+        let t = radius;
+        let frames = &mut scratch.frames;
+        frames.clear();
+        frames.push(Frame::unconditional(self.root));
+        while let Some(frame) = frames.pop() {
+            stats.nodes_visited += 1;
+            let parent = Self::frame_parent(&frame);
+            match &self.nodes[frame.node as usize] {
+                Node::Leaf(entries) => {
+                    for e in entries {
+                        // Parent-distance pruning avoids the distance call.
+                        if let Some(d_qp) = parent {
+                            if (d_qp - e.d_parent).abs() > t + tri_slack(d_qp, e.d_parent) {
+                                continue;
+                            }
+                        }
+                        stats.distance_computations += 1;
+                        let d = self
+                            .measure
+                            .distance(query, self.dataset.vector(e.id as usize));
+                        if d <= t {
+                            out.push(Neighbor {
+                                id: e.id as usize,
+                                distance: d,
+                            });
+                        }
+                    }
+                }
+                Node::Internal(entries) => {
+                    for e in entries {
+                        if let Some(d_qp) = parent {
+                            if (d_qp - e.d_parent).abs()
+                                > t + e.radius + tri_slack(d_qp, e.d_parent)
+                            {
+                                continue;
+                            }
+                        }
+                        stats.distance_computations += 1;
+                        let d = self
+                            .measure
+                            .distance(query, self.dataset.vector(e.router as usize));
+                        if d <= t + e.radius + tri_slack(d, e.radius) {
+                            frames.push(Frame {
+                                node: e.child,
+                                tag: 1,
+                                a: d,
+                                b: 0.0,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        sort_neighbors(out);
     }
 
-    fn knn_search(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+    fn knn_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut QueryScratch,
+        stats: &mut SearchStats,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
         if k == 0 {
-            return Vec::new();
+            return;
         }
-        let mut heap = KnnHeap::new(k);
-        self.knn_rec(self.root, None, query, &mut heap, stats);
-        heap.into_sorted()
+        let QueryScratch {
+            heap,
+            frames,
+            order,
+            ..
+        } = scratch;
+        heap.reset(k);
+        frames.clear();
+        frames.push(Frame::unconditional(self.root));
+        while let Some(frame) = frames.pop() {
+            // `frame.b` carries the subtree's optimistic lower bound
+            // max(0, d(q, router) - radius); re-check lazily against the
+            // bound, which tightens as siblings are visited.
+            if frame.tag == 1 && frame.b > heap.bound() {
+                continue;
+            }
+            stats.nodes_visited += 1;
+            let parent = Self::frame_parent(&frame);
+            match &self.nodes[frame.node as usize] {
+                Node::Leaf(entries) => {
+                    for e in entries {
+                        if let Some(d_qp) = parent {
+                            if (d_qp - e.d_parent).abs()
+                                > heap.bound() + tri_slack(d_qp, e.d_parent)
+                            {
+                                continue;
+                            }
+                        }
+                        stats.distance_computations += 1;
+                        let d = self
+                            .measure
+                            .distance(query, self.dataset.vector(e.id as usize));
+                        heap.offer(e.id as usize, d);
+                    }
+                }
+                Node::Internal(entries) => {
+                    // Order children by optimistic distance so the nearest
+                    // pops first and tightens the bound early.
+                    order.clear();
+                    for e in entries {
+                        if let Some(d_qp) = parent {
+                            if (d_qp - e.d_parent).abs()
+                                > heap.bound() + e.radius + tri_slack(d_qp, e.d_parent)
+                            {
+                                continue;
+                            }
+                        }
+                        stats.distance_computations += 1;
+                        let d = self
+                            .measure
+                            .distance(query, self.dataset.vector(e.router as usize));
+                        order.push(((d - e.radius - tri_slack(d, e.radius)).max(0.0), d, e.child));
+                    }
+                    order.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    // Pushed in reverse so the smallest lower bound is on
+                    // top of the stack.
+                    for &(optimistic, d, child) in order.iter().rev() {
+                        frames.push(Frame {
+                            node: child,
+                            tag: 1,
+                            a: d,
+                            b: optimistic,
+                        });
+                    }
+                }
+            }
+        }
+        heap.drain_sorted_into(out);
     }
 
     fn name(&self) -> &'static str {
@@ -573,7 +602,10 @@ mod tests {
         let mut rng = SplitMix64::new(5);
         for _ in 0..15 {
             let q: Vec<f32> = (0..3).map(|_| rng.next_f32() * 25.0 - 5.0).collect();
-            assert_eq!(knn_search_simple(&mt, &q, 8), knn_search_simple(&lin, &q, 8));
+            assert_eq!(
+                knn_search_simple(&mt, &q, 8),
+                knn_search_simple(&lin, &q, 8)
+            );
             assert_eq!(
                 range_search_simple(&mt, &q, 4.0),
                 range_search_simple(&lin, &q, 4.0)

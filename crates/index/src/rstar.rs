@@ -8,13 +8,12 @@
 
 use crate::dataset::Dataset;
 use crate::error::{IndexError, Result};
-use crate::knn_heap::KnnHeap;
 use crate::rect::Rect;
+use crate::scratch::{Frame, OrderedF32, QueryScratch};
 use crate::stats::{sort_neighbors, tri_slack, Neighbor, SearchStats};
 use crate::traits::SearchIndex;
 use cbir_distance::l2_squared;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Arena node. `level` 0 = leaf; children of a level-`l` node are at
 /// `l - 1`.
@@ -63,10 +62,7 @@ impl RStarTree {
         let dim = tree.dataset.dim();
         let mut groups: Vec<Vec<u32>> = Vec::new();
         tree.str_tile(&mut ids, 0, dim, &mut groups);
-        let mut level_nodes: Vec<u32> = groups
-            .into_iter()
-            .map(|g| tree.new_leaf(g))
-            .collect();
+        let mut level_nodes: Vec<u32> = groups.into_iter().map(|g| tree.new_leaf(g)).collect();
         // Pack upper levels until a single root remains.
         let mut level = 1u32;
         while level_nodes.len() > 1 {
@@ -100,10 +96,7 @@ impl RStarTree {
     }
 
     /// Incremental build with an explicit page capacity (≥ 4).
-    pub fn build_incremental_with_capacity(
-        dataset: Dataset,
-        max_entries: usize,
-    ) -> Result<Self> {
+    pub fn build_incremental_with_capacity(dataset: Dataset, max_entries: usize) -> Result<Self> {
         Self::check_capacity(max_entries)?;
         let mut tree = RStarTree {
             dataset,
@@ -174,9 +167,7 @@ impl RStarTree {
             return;
         }
         if dim + 1 == dims {
-            ids.sort_unstable_by(|&a, &b| {
-                self.point(a)[dim].total_cmp(&self.point(b)[dim])
-            });
+            ids.sort_unstable_by(|&a, &b| self.point(a)[dim].total_cmp(&self.point(b)[dim]));
             for chunk in ids.chunks(m) {
                 out.push(chunk.to_vec());
             }
@@ -457,37 +448,6 @@ impl RStarTree {
     // Search
     // ------------------------------------------------------------------
 
-    fn range_rec(
-        &self,
-        node: u32,
-        query: &[f32],
-        radius_sq: f32,
-        stats: &mut SearchStats,
-        out: &mut Vec<Neighbor>,
-    ) {
-        stats.nodes_visited += 1;
-        let n = &self.nodes[node as usize];
-        if n.level == 0 {
-            for &id in &n.slots {
-                stats.distance_computations += 1;
-                let d2 = l2_squared(query, self.point(id));
-                if d2 <= radius_sq {
-                    out.push(Neighbor {
-                        id: id as usize,
-                        distance: d2.sqrt(),
-                    });
-                }
-            }
-        } else {
-            for &c in &n.slots {
-                let md = self.nodes[c as usize].mbr.mindist_sq(query);
-                if md <= radius_sq + tri_slack(md, radius_sq) {
-                    self.range_rec(c, query, radius_sq, stats, out);
-                }
-            }
-        }
-    }
-
     /// Tree height (levels).
     pub fn height(&self) -> u32 {
         self.nodes[self.root as usize].level + 1
@@ -547,32 +507,70 @@ impl SearchIndex for RStarTree {
         self.dataset.dim()
     }
 
-    fn range_search(
+    fn range_into(
         &self,
         query: &[f32],
         radius: f32,
+        scratch: &mut QueryScratch,
         stats: &mut SearchStats,
-    ) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        self.range_rec(self.root, query, radius * radius, stats, &mut out);
-        sort_neighbors(&mut out);
-        out
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
+        let radius_sq = radius * radius;
+        let frames = &mut scratch.frames;
+        frames.clear();
+        frames.push(Frame::unconditional(self.root));
+        while let Some(frame) = frames.pop() {
+            stats.nodes_visited += 1;
+            let n = &self.nodes[frame.node as usize];
+            if n.level == 0 {
+                for &id in &n.slots {
+                    stats.distance_computations += 1;
+                    let d2 = l2_squared(query, self.point(id));
+                    if d2 <= radius_sq {
+                        out.push(Neighbor {
+                            id: id as usize,
+                            distance: d2.sqrt(),
+                        });
+                    }
+                }
+            } else {
+                for &c in &n.slots {
+                    let md = self.nodes[c as usize].mbr.mindist_sq(query);
+                    if md <= radius_sq + tri_slack(md, radius_sq) {
+                        frames.push(Frame::unconditional(c));
+                    }
+                }
+            }
+        }
+        sort_neighbors(out);
     }
 
-    fn knn_search(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+    fn knn_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut QueryScratch,
+        stats: &mut SearchStats,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
         if k == 0 {
-            return Vec::new();
+            return;
         }
-        let mut heap = KnnHeap::new(k);
+        let QueryScratch { heap, frontier, .. } = scratch;
+        heap.reset(k);
         // Best-first traversal over (mindist², node).
-        let mut frontier: BinaryHeap<Reverse<(OrderedF32, u32)>> = BinaryHeap::new();
+        frontier.clear();
         frontier.push(Reverse((
             OrderedF32(self.nodes[self.root as usize].mbr.mindist_sq(query)),
             self.root,
         )));
         while let Some(Reverse((OrderedF32(mindist_sq), at))) = frontier.pop() {
             let bound = heap.bound();
-            if bound.is_finite() && mindist_sq > bound * bound + tri_slack(mindist_sq, bound * bound) {
+            if bound.is_finite()
+                && mindist_sq > bound * bound + tri_slack(mindist_sq, bound * bound)
+            {
                 break;
             }
             stats.nodes_visited += 1;
@@ -593,7 +591,7 @@ impl SearchIndex for RStarTree {
                 }
             }
         }
-        heap.into_sorted()
+        heap.drain_sorted_into(out);
     }
 
     fn name(&self) -> &'static str {
@@ -608,24 +606,6 @@ impl SearchIndex for RStarTree {
                 + 2 * n.mbr.dim() * std::mem::size_of::<f32>();
         }
         total
-    }
-}
-
-/// Total-order wrapper so f32 keys can live in a `BinaryHeap`.
-#[derive(PartialEq, Debug, Clone, Copy)]
-struct OrderedF32(f32);
-
-impl Eq for OrderedF32 {}
-
-impl PartialOrd for OrderedF32 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrderedF32 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
     }
 }
 
@@ -682,7 +662,10 @@ mod tests {
                 range_search_simple(&rt, &q, 2.0),
                 range_search_simple(&lin, &q, 2.0)
             );
-            assert_eq!(knn_search_simple(&rt, &q, 15), knn_search_simple(&lin, &q, 15));
+            assert_eq!(
+                knn_search_simple(&rt, &q, 15),
+                knn_search_simple(&lin, &q, 15)
+            );
         }
     }
 
@@ -757,6 +740,9 @@ mod tests {
         rt.check_invariants().unwrap();
         let lin = LinearScan::build(ds.clone(), Measure::L2).unwrap();
         let q = ds.vector(200);
-        assert_eq!(knn_search_simple(&rt, q, 10), knn_search_simple(&lin, q, 10));
+        assert_eq!(
+            knn_search_simple(&rt, q, 10),
+            knn_search_simple(&lin, q, 10)
+        );
     }
 }

@@ -29,6 +29,90 @@ impl SearchStats {
     }
 }
 
+/// Aggregated counters for a batch of queries: the grand totals plus the
+/// per-query samples needed for tail summaries (p50/p95), which ad-hoc
+/// summing in each experiment binary could not provide.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    total: SearchStats,
+    per_query_comps: Vec<u64>,
+    per_query_visits: Vec<u64>,
+}
+
+impl BatchStats {
+    /// Fresh, empty aggregation.
+    pub fn new() -> Self {
+        BatchStats::default()
+    }
+
+    /// Record one query's counters.
+    pub fn record(&mut self, stats: &SearchStats) {
+        self.total.merge(stats);
+        self.per_query_comps.push(stats.distance_computations);
+        self.per_query_visits.push(stats.nodes_visited);
+    }
+
+    /// Append another batch's per-query samples and totals. Query order is
+    /// preserved: `other`'s queries follow this batch's.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.total.merge(&other.total);
+        self.per_query_comps
+            .extend_from_slice(&other.per_query_comps);
+        self.per_query_visits
+            .extend_from_slice(&other.per_query_visits);
+    }
+
+    /// Number of queries recorded.
+    pub fn queries(&self) -> usize {
+        self.per_query_comps.len()
+    }
+
+    /// Grand totals over every recorded query.
+    pub fn total(&self) -> &SearchStats {
+        &self.total
+    }
+
+    /// Mean distance computations per query (0 if no queries recorded).
+    pub fn mean_comps(&self) -> f64 {
+        if self.per_query_comps.is_empty() {
+            0.0
+        } else {
+            self.total.distance_computations as f64 / self.per_query_comps.len() as f64
+        }
+    }
+
+    /// Median (p50) distance computations per query.
+    pub fn p50_comps(&self) -> u64 {
+        percentile(&self.per_query_comps, 50)
+    }
+
+    /// 95th-percentile distance computations per query.
+    pub fn p95_comps(&self) -> u64 {
+        percentile(&self.per_query_comps, 95)
+    }
+
+    /// Median (p50) node visits per query.
+    pub fn p50_visits(&self) -> u64 {
+        percentile(&self.per_query_visits, 50)
+    }
+
+    /// 95th-percentile node visits per query.
+    pub fn p95_visits(&self) -> u64 {
+        percentile(&self.per_query_visits, 95)
+    }
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) of a sample set; 0 when empty.
+fn percentile(samples: &[u64], p: u64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (p as usize * sorted.len()).div_ceil(100);
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 /// A search hit: dataset offset plus its distance from the query.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Neighbor {
@@ -61,6 +145,40 @@ pub fn sort_neighbors(hits: &mut [Neighbor]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_stats_percentiles() {
+        let mut b = BatchStats::new();
+        for comps in 1..=100u64 {
+            b.record(&SearchStats {
+                distance_computations: comps,
+                nodes_visited: comps * 2,
+            });
+        }
+        assert_eq!(b.queries(), 100);
+        assert_eq!(b.total().distance_computations, 5050);
+        assert_eq!(b.p50_comps(), 50);
+        assert_eq!(b.p95_comps(), 95);
+        assert_eq!(b.p95_visits(), 190);
+        assert!((b.mean_comps() - 50.5).abs() < 1e-9);
+
+        let mut other = BatchStats::new();
+        other.record(&SearchStats {
+            distance_computations: 1000,
+            nodes_visited: 1,
+        });
+        b.merge(&other);
+        assert_eq!(b.queries(), 101);
+        assert_eq!(b.total().distance_computations, 6050);
+    }
+
+    #[test]
+    fn empty_batch_stats() {
+        let b = BatchStats::new();
+        assert_eq!(b.queries(), 0);
+        assert_eq!(b.p50_comps(), 0);
+        assert_eq!(b.mean_comps(), 0.0);
+    }
 
     #[test]
     fn reset_and_merge() {

@@ -1,13 +1,23 @@
 //! The common interface all index structures implement.
 
-use crate::stats::{Neighbor, SearchStats};
+use crate::scratch::QueryScratch;
+use crate::stats::{BatchStats, Neighbor, SearchStats};
 
 /// A similarity-search index over a fixed dataset of feature vectors.
 ///
 /// The contract, verified by the cross-implementation test suite: for any
 /// query, both search modes return *exactly* the same result set as a
 /// sequential scan under the same measure — indexes accelerate, never
-/// approximate.
+/// approximate. The batched entry points extend the same contract: every
+/// query in a batch returns results bit-identical (ids, distances,
+/// ordering) to its single-query counterpart, regardless of batch size or
+/// thread count.
+///
+/// Implementors provide the scratch-based [`range_into`](Self::range_into)
+/// and [`knn_into`](Self::knn_into); the allocating single-query methods
+/// and the batch loops are derived from them. Reusing one
+/// [`QueryScratch`] across queries is what makes steady-state search
+/// allocation-free.
 pub trait SearchIndex: Send + Sync {
     /// Number of indexed vectors.
     fn len(&self) -> usize;
@@ -20,15 +30,102 @@ pub trait SearchIndex: Send + Sync {
     /// Dimensionality of indexed vectors.
     fn dim(&self) -> usize;
 
+    /// All vectors within `radius` of `query` (inclusive) written into
+    /// `out` (cleared first), sorted by ascending distance with ties broken
+    /// by id. `scratch` provides the traversal state; reuse it across
+    /// queries to avoid per-query allocation.
+    fn range_into(
+        &self,
+        query: &[f32],
+        radius: f32,
+        scratch: &mut QueryScratch,
+        stats: &mut SearchStats,
+        out: &mut Vec<Neighbor>,
+    );
+
+    /// The `k` nearest vectors to `query` written into `out` (cleared
+    /// first), sorted by ascending distance with ties broken by id. Fills
+    /// fewer than `k` only when the dataset is smaller than `k`. `scratch`
+    /// provides the traversal state; reuse it across queries to avoid
+    /// per-query allocation.
+    fn knn_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut QueryScratch,
+        stats: &mut SearchStats,
+        out: &mut Vec<Neighbor>,
+    );
+
     /// All vectors within `radius` of `query` (inclusive), sorted by
-    /// ascending distance with ties broken by id.
-    fn range_search(&self, query: &[f32], radius: f32, stats: &mut SearchStats)
-        -> Vec<Neighbor>;
+    /// ascending distance with ties broken by id. Allocates fresh scratch;
+    /// prefer [`range_into`](Self::range_into) or the batch entry points
+    /// on hot paths.
+    fn range_search(&self, query: &[f32], radius: f32, stats: &mut SearchStats) -> Vec<Neighbor> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        self.range_into(query, radius, &mut scratch, stats, &mut out);
+        out
+    }
 
     /// The `k` nearest vectors to `query`, sorted by ascending distance
     /// with ties broken by id. Returns fewer than `k` only when the dataset
-    /// is smaller than `k`.
-    fn knn_search(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor>;
+    /// is smaller than `k`. Allocates fresh scratch; prefer
+    /// [`knn_into`](Self::knn_into) or the batch entry points on hot paths.
+    fn knn_search(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        self.knn_into(query, k, &mut scratch, stats, &mut out);
+        out
+    }
+
+    /// Range search over a batch of queries on the calling thread, reusing
+    /// one scratch. Returns one result list per query, in query order;
+    /// each is bit-identical to the single-query path. Per-query counters
+    /// are recorded into `stats`.
+    fn range_batch(
+        &self,
+        queries: &[Vec<f32>],
+        radius: f32,
+        stats: &mut BatchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let mut scratch = QueryScratch::new();
+        let mut per_query = SearchStats::new();
+        queries
+            .iter()
+            .map(|q| {
+                per_query.reset();
+                let mut out = Vec::new();
+                self.range_into(q, radius, &mut scratch, &mut per_query, &mut out);
+                stats.record(&per_query);
+                out
+            })
+            .collect()
+    }
+
+    /// k-NN search over a batch of queries on the calling thread, reusing
+    /// one scratch. Returns one result list per query, in query order;
+    /// each is bit-identical to the single-query path. Per-query counters
+    /// are recorded into `stats`.
+    fn knn_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        stats: &mut BatchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let mut scratch = QueryScratch::new();
+        let mut per_query = SearchStats::new();
+        queries
+            .iter()
+            .map(|q| {
+                per_query.reset();
+                let mut out = Vec::new();
+                self.knn_into(q, k, &mut scratch, &mut per_query, &mut out);
+                stats.record(&per_query);
+                out
+            })
+            .collect()
+    }
 
     /// Short name for tables ("linear", "kd-tree", "vp-tree", ...).
     fn name(&self) -> &'static str;
@@ -48,4 +145,77 @@ pub fn range_search_simple(index: &dyn SearchIndex, query: &[f32], radius: f32) 
 pub fn knn_search_simple(index: &dyn SearchIndex, query: &[f32], k: usize) -> Vec<Neighbor> {
     let mut stats = SearchStats::new();
     index.knn_search(query, k, &mut stats)
+}
+
+/// Fan a k-NN batch out across `threads` OS threads with
+/// [`std::thread::scope`]. Queries are split into contiguous chunks, one
+/// per thread; each worker runs [`SearchIndex::knn_batch`] with its own
+/// scratch and [`BatchStats`], and the chunks are reassembled in query
+/// order, so results and recorded per-query counters are identical to the
+/// sequential batch regardless of thread count.
+pub fn knn_batch_parallel(
+    index: &dyn SearchIndex,
+    queries: &[Vec<f32>],
+    k: usize,
+    threads: usize,
+    stats: &mut BatchStats,
+) -> Vec<Vec<Neighbor>> {
+    run_parallel(queries, threads, stats, |chunk, chunk_stats| {
+        index.knn_batch(chunk, k, chunk_stats)
+    })
+}
+
+/// Fan a range batch out across `threads` OS threads; see
+/// [`knn_batch_parallel`] for the execution model and determinism
+/// guarantees.
+pub fn range_batch_parallel(
+    index: &dyn SearchIndex,
+    queries: &[Vec<f32>],
+    radius: f32,
+    threads: usize,
+    stats: &mut BatchStats,
+) -> Vec<Vec<Neighbor>> {
+    run_parallel(queries, threads, stats, |chunk, chunk_stats| {
+        index.range_batch(chunk, radius, chunk_stats)
+    })
+}
+
+/// Shared chunk-spawn-join scaffolding for the parallel batch entry points.
+fn run_parallel<F>(
+    queries: &[Vec<f32>],
+    threads: usize,
+    stats: &mut BatchStats,
+    search_chunk: F,
+) -> Vec<Vec<Neighbor>>
+where
+    F: Fn(&[Vec<f32>], &mut BatchStats) -> Vec<Vec<Neighbor>> + Sync,
+{
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads == 1 {
+        return search_chunk(queries, stats);
+    }
+    let chunk_len = queries.len().div_ceil(threads);
+    let parts: Vec<(Vec<Vec<Neighbor>>, BatchStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk_len)
+            .map(|chunk| {
+                let search_chunk = &search_chunk;
+                scope.spawn(move || {
+                    let mut chunk_stats = BatchStats::new();
+                    let results = search_chunk(chunk, &mut chunk_stats);
+                    (results, chunk_stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch search worker panicked"))
+            .collect()
+    });
+    let mut all = Vec::with_capacity(queries.len());
+    for (results, chunk_stats) in parts {
+        all.extend(results);
+        stats.merge(&chunk_stats);
+    }
+    all
 }

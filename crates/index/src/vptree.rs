@@ -5,11 +5,16 @@
 
 use crate::dataset::Dataset;
 use crate::error::{IndexError, Result};
-use crate::knn_heap::KnnHeap;
 use crate::rng::SplitMix64;
+use crate::scratch::{Frame, QueryScratch};
 use crate::stats::{sort_neighbors, tri_slack, Neighbor, SearchStats};
 use crate::traits::SearchIndex;
 use cbir_distance::Measure;
+
+/// Frame tags for the iterative traversal: how a pushed child relates to
+/// its parent ball, determining the pop-time admission check.
+const TAG_INNER: u8 = 1;
+const TAG_OUTER: u8 = 2;
 
 #[derive(Debug)]
 enum Node {
@@ -98,7 +103,8 @@ impl VpTree {
             .map(|&id| {
                 (
                     id,
-                    self.measure.distance(&vp_vec, self.dataset.vector(id as usize)),
+                    self.measure
+                        .distance(&vp_vec, self.dataset.vector(id as usize)),
                 )
             })
             .collect();
@@ -124,103 +130,14 @@ impl VpTree {
         (self.nodes.len() - 1) as u32
     }
 
-    fn range_rec(
-        &self,
-        node: u32,
-        query: &[f32],
-        radius: f32,
-        stats: &mut SearchStats,
-        out: &mut Vec<Neighbor>,
-    ) {
-        stats.nodes_visited += 1;
-        match &self.nodes[node as usize] {
-            Node::Leaf { ids } => {
-                for &id in ids {
-                    stats.distance_computations += 1;
-                    let d = self.measure.distance(query, self.dataset.vector(id as usize));
-                    if d <= radius {
-                        out.push(Neighbor {
-                            id: id as usize,
-                            distance: d,
-                        });
-                    }
-                }
-            }
-            Node::Ball {
-                vp,
-                mu,
-                radius: ball_radius,
-                inner,
-                outer,
-            } => {
-                stats.distance_computations += 1;
-                let d = self.measure.distance(query, self.dataset.vector(*vp as usize));
-                if d <= radius {
-                    out.push(Neighbor {
-                        id: *vp as usize,
-                        distance: d,
-                    });
-                }
-                // Whole-subtree exclusion: everything is within ball_radius
-                // of vp, so if d > radius + ball_radius nothing can qualify.
-                if d > radius + ball_radius + tri_slack(d, *ball_radius) {
-                    return;
-                }
-                if d - radius <= *mu + tri_slack(d, *mu) {
-                    self.range_rec(*inner, query, radius, stats, out);
-                }
-                if d + radius >= *mu - tri_slack(d, *mu) {
-                    self.range_rec(*outer, query, radius, stats, out);
-                }
-            }
-        }
-    }
-
-    fn knn_rec(&self, node: u32, query: &[f32], heap: &mut KnnHeap, stats: &mut SearchStats) {
-        stats.nodes_visited += 1;
-        match &self.nodes[node as usize] {
-            Node::Leaf { ids } => {
-                for &id in ids {
-                    stats.distance_computations += 1;
-                    let d = self.measure.distance(query, self.dataset.vector(id as usize));
-                    heap.offer(id as usize, d);
-                }
-            }
-            Node::Ball {
-                vp,
-                mu,
-                radius: ball_radius,
-                inner,
-                outer,
-            } => {
-                stats.distance_computations += 1;
-                let d = self.measure.distance(query, self.dataset.vector(*vp as usize));
-                heap.offer(*vp as usize, d);
-                if d > heap.bound() + ball_radius + tri_slack(d, *ball_radius) {
-                    return;
-                }
-                // Descend the more promising side first so the bound
-                // tightens before the other side is considered.
-                let (first, second) = if d <= *mu {
-                    (*inner, *outer)
-                } else {
-                    (*outer, *inner)
-                };
-                let visits = |side: u32, heap: &KnnHeap| -> bool {
-                    let t = heap.bound();
-                    if side == *inner {
-                        d - t <= *mu + tri_slack(d, *mu)
-                    } else {
-                        d + t >= *mu - tri_slack(d, *mu)
-                    }
-                };
-                if visits(first, heap) {
-                    self.knn_rec(first, query, heap, stats);
-                }
-                if visits(second, heap) {
-                    self.knn_rec(second, query, heap, stats);
-                }
-            }
+    /// Whether a child frame pushed with `(tag, d, mu)` is admitted when the
+    /// current search radius (range `t` or k-NN bound) is `t`.
+    #[inline]
+    fn admits(frame: &Frame, t: f32) -> bool {
+        match frame.tag {
+            TAG_INNER => frame.a - t <= frame.b + tri_slack(frame.a, frame.b),
+            TAG_OUTER => frame.a + t >= frame.b - tri_slack(frame.a, frame.b),
+            _ => true,
         }
     }
 }
@@ -234,25 +151,151 @@ impl SearchIndex for VpTree {
         self.dataset.dim()
     }
 
-    fn range_search(
+    fn range_into(
         &self,
         query: &[f32],
         radius: f32,
+        scratch: &mut QueryScratch,
         stats: &mut SearchStats,
-    ) -> Vec<Neighbor> {
-        let mut out = Vec::new();
-        self.range_rec(self.root, query, radius, stats, &mut out);
-        sort_neighbors(&mut out);
-        out
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
+        let frames = &mut scratch.frames;
+        frames.clear();
+        frames.push(Frame::unconditional(self.root));
+        while let Some(frame) = frames.pop() {
+            if !Self::admits(&frame, radius) {
+                continue;
+            }
+            stats.nodes_visited += 1;
+            match &self.nodes[frame.node as usize] {
+                Node::Leaf { ids } => {
+                    for &id in ids {
+                        stats.distance_computations += 1;
+                        let d = self
+                            .measure
+                            .distance(query, self.dataset.vector(id as usize));
+                        if d <= radius {
+                            out.push(Neighbor {
+                                id: id as usize,
+                                distance: d,
+                            });
+                        }
+                    }
+                }
+                Node::Ball {
+                    vp,
+                    mu,
+                    radius: ball_radius,
+                    inner,
+                    outer,
+                } => {
+                    stats.distance_computations += 1;
+                    let d = self
+                        .measure
+                        .distance(query, self.dataset.vector(*vp as usize));
+                    if d <= radius {
+                        out.push(Neighbor {
+                            id: *vp as usize,
+                            distance: d,
+                        });
+                    }
+                    // Whole-subtree exclusion: everything is within
+                    // ball_radius of vp, so if d > radius + ball_radius
+                    // nothing below can qualify.
+                    if d > radius + ball_radius + tri_slack(d, *ball_radius) {
+                        continue;
+                    }
+                    frames.push(Frame {
+                        node: *outer,
+                        tag: TAG_OUTER,
+                        a: d,
+                        b: *mu,
+                    });
+                    frames.push(Frame {
+                        node: *inner,
+                        tag: TAG_INNER,
+                        a: d,
+                        b: *mu,
+                    });
+                }
+            }
+        }
+        sort_neighbors(out);
     }
 
-    fn knn_search(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+    fn knn_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut QueryScratch,
+        stats: &mut SearchStats,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
         if k == 0 {
-            return Vec::new();
+            return;
         }
-        let mut heap = KnnHeap::new(k);
-        self.knn_rec(self.root, query, &mut heap, stats);
-        heap.into_sorted()
+        let QueryScratch { heap, frames, .. } = scratch;
+        heap.reset(k);
+        frames.clear();
+        frames.push(Frame::unconditional(self.root));
+        while let Some(frame) = frames.pop() {
+            // Lazy admission check against the current (possibly tightened)
+            // bound — prunes at least as much as the recursive form.
+            if !Self::admits(&frame, heap.bound()) {
+                continue;
+            }
+            stats.nodes_visited += 1;
+            match &self.nodes[frame.node as usize] {
+                Node::Leaf { ids } => {
+                    for &id in ids {
+                        stats.distance_computations += 1;
+                        let d = self
+                            .measure
+                            .distance(query, self.dataset.vector(id as usize));
+                        heap.offer(id as usize, d);
+                    }
+                }
+                Node::Ball {
+                    vp,
+                    mu,
+                    radius: ball_radius,
+                    inner,
+                    outer,
+                } => {
+                    stats.distance_computations += 1;
+                    let d = self
+                        .measure
+                        .distance(query, self.dataset.vector(*vp as usize));
+                    heap.offer(*vp as usize, d);
+                    if d > heap.bound() + ball_radius + tri_slack(d, *ball_radius) {
+                        continue;
+                    }
+                    // The more promising side is pushed last so it pops
+                    // first and tightens the bound before the other side's
+                    // admission check runs.
+                    let (first, second) = if d <= *mu {
+                        ((*inner, TAG_INNER), (*outer, TAG_OUTER))
+                    } else {
+                        ((*outer, TAG_OUTER), (*inner, TAG_INNER))
+                    };
+                    frames.push(Frame {
+                        node: second.0,
+                        tag: second.1,
+                        a: d,
+                        b: *mu,
+                    });
+                    frames.push(Frame {
+                        node: first.0,
+                        tag: first.1,
+                        a: d,
+                        b: *mu,
+                    });
+                }
+            }
+        }
+        heap.drain_sorted_into(out);
     }
 
     fn name(&self) -> &'static str {
@@ -321,7 +364,10 @@ mod tests {
         let mut rng = SplitMix64::new(77);
         for _ in 0..20 {
             let q: Vec<f32> = (0..3).map(|_| rng.next_f32() * 20.0 - 5.0).collect();
-            assert_eq!(knn_search_simple(&vp, &q, 5), knn_search_simple(&lin, &q, 5));
+            assert_eq!(
+                knn_search_simple(&vp, &q, 5),
+                knn_search_simple(&lin, &q, 5)
+            );
             assert_eq!(
                 range_search_simple(&vp, &q, 3.0),
                 range_search_simple(&lin, &q, 3.0)

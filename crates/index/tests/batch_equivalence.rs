@@ -1,0 +1,182 @@
+//! The batched execution contract: for every index kind, across a grid of
+//! measures, radii, and k, `knn_batch` / `range_batch` (and their
+//! parallel fan-out variants) return results **bit-identical** — same
+//! ids, same f32 distance bits, same ordering — to the single-query
+//! path, and every index agrees bit-for-bit with the sequential scan.
+
+use cbir_distance::Measure;
+use cbir_index::{
+    knn_batch_parallel, range_batch_parallel, AntipoleTree, BatchStats, Dataset, KdTree,
+    LinearScan, MTree, Neighbor, RStarTree, SearchIndex, SearchStats, VpTree,
+};
+
+const RADII: [f32; 4] = [0.0, 0.5, 2.0, 50.0];
+const KS: [usize; 4] = [1, 3, 10, 500];
+const THREADS: [usize; 3] = [1, 2, 5];
+
+fn test_dataset() -> (Dataset, Vec<Vec<f32>>) {
+    let vectors = cbir_workload::clustered(300, 4, 6, 1.0, 10.0, 77);
+    let queries = cbir_workload::queries(&vectors, 24, 0.5, 99);
+    (Dataset::from_vectors(&vectors).unwrap(), queries)
+}
+
+/// Every index kind that supports `measure`, including both R*-tree
+/// construction paths, plus the sequential-scan reference in slot 0.
+fn lineup(ds: &Dataset, measure: &Measure) -> Vec<Box<dyn SearchIndex>> {
+    let mut out: Vec<Box<dyn SearchIndex>> = vec![Box::new(
+        LinearScan::build(ds.clone(), measure.clone()).unwrap(),
+    )];
+    if matches!(measure, Measure::L1 | Measure::L2 | Measure::LInf) {
+        out.push(Box::new(
+            KdTree::with_leaf_size(ds.clone(), measure.clone(), 4).unwrap(),
+        ));
+    }
+    if measure.is_true_metric() {
+        out.push(Box::new(
+            VpTree::with_leaf_size(ds.clone(), measure.clone(), 4).unwrap(),
+        ));
+        out.push(Box::new(
+            AntipoleTree::build(ds.clone(), measure.clone(), 2.0).unwrap(),
+        ));
+        out.push(Box::new(
+            MTree::with_capacity(ds.clone(), measure.clone(), 4).unwrap(),
+        ));
+    }
+    if matches!(measure, Measure::L2) {
+        out.push(Box::new(
+            RStarTree::bulk_load_with_capacity(ds.clone(), 4).unwrap(),
+        ));
+        out.push(Box::new(
+            RStarTree::build_incremental_with_capacity(ds.clone(), 4).unwrap(),
+        ));
+    }
+    out
+}
+
+/// Bitwise equality: same ids, same order, same f32 bit patterns.
+fn assert_bit_identical(got: &[Vec<Neighbor>], want: &[Vec<Neighbor>], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: result count");
+    for (qi, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.len(), w.len(), "{what}: query {qi} hit count");
+        for (a, b) in g.iter().zip(w) {
+            assert_eq!(a.id, b.id, "{what}: query {qi} id");
+            assert_eq!(
+                a.distance.to_bits(),
+                b.distance.to_bits(),
+                "{what}: query {qi} distance bits ({} vs {})",
+                a.distance,
+                b.distance
+            );
+        }
+    }
+}
+
+#[test]
+fn knn_batch_bit_identical_to_single_path_and_scan() {
+    let (ds, queries) = test_dataset();
+    for measure in [Measure::L1, Measure::L2, Measure::LInf, Measure::Match] {
+        let indexes = lineup(&ds, &measure);
+        for &k in &KS {
+            let scan_single: Vec<Vec<Neighbor>> = queries
+                .iter()
+                .map(|q| {
+                    let mut stats = SearchStats::new();
+                    indexes[0].knn_search(q, k, &mut stats)
+                })
+                .collect();
+            for idx in &indexes {
+                let what = format!("{} {} k={k}", idx.name(), measure.name());
+                let single: Vec<Vec<Neighbor>> = queries
+                    .iter()
+                    .map(|q| {
+                        let mut stats = SearchStats::new();
+                        idx.knn_search(q, k, &mut stats)
+                    })
+                    .collect();
+                assert_bit_identical(&single, &scan_single, &format!("{what} vs scan"));
+
+                let mut stats = BatchStats::new();
+                let batched = idx.knn_batch(&queries, k, &mut stats);
+                assert_bit_identical(&batched, &single, &format!("{what} batch"));
+                assert_eq!(stats.queries(), queries.len(), "{what}");
+
+                for &threads in &THREADS {
+                    let mut stats = BatchStats::new();
+                    let par = knn_batch_parallel(idx.as_ref(), &queries, k, threads, &mut stats);
+                    assert_bit_identical(&par, &single, &format!("{what} threads={threads}"));
+                    assert_eq!(stats.queries(), queries.len(), "{what}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn range_batch_bit_identical_to_single_path_and_scan() {
+    let (ds, queries) = test_dataset();
+    for measure in [Measure::L1, Measure::L2, Measure::LInf, Measure::Match] {
+        let indexes = lineup(&ds, &measure);
+        for &radius in &RADII {
+            let scan_single: Vec<Vec<Neighbor>> = queries
+                .iter()
+                .map(|q| {
+                    let mut stats = SearchStats::new();
+                    indexes[0].range_search(q, radius, &mut stats)
+                })
+                .collect();
+            for idx in &indexes {
+                let what = format!("{} {} r={radius}", idx.name(), measure.name());
+                let single: Vec<Vec<Neighbor>> = queries
+                    .iter()
+                    .map(|q| {
+                        let mut stats = SearchStats::new();
+                        idx.range_search(q, radius, &mut stats)
+                    })
+                    .collect();
+                assert_bit_identical(&single, &scan_single, &format!("{what} vs scan"));
+
+                let mut stats = BatchStats::new();
+                let batched = idx.range_batch(&queries, radius, &mut stats);
+                assert_bit_identical(&batched, &single, &format!("{what} batch"));
+
+                for &threads in &THREADS {
+                    let mut stats = BatchStats::new();
+                    let par =
+                        range_batch_parallel(idx.as_ref(), &queries, radius, threads, &mut stats);
+                    assert_bit_identical(&par, &single, &format!("{what} threads={threads}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_stats_match_single_query_totals() {
+    let (ds, queries) = test_dataset();
+    for idx in lineup(&ds, &Measure::L2) {
+        let mut total_single = 0u64;
+        for q in &queries {
+            let mut stats = SearchStats::new();
+            idx.knn_search(q, 5, &mut stats);
+            total_single += stats.distance_computations;
+        }
+        let mut batch = BatchStats::new();
+        idx.knn_batch(&queries, 5, &mut batch);
+        assert_eq!(
+            batch.total().distance_computations,
+            total_single,
+            "{}: batch stats diverge from single-query totals",
+            idx.name()
+        );
+        for &threads in &THREADS {
+            let mut par = BatchStats::new();
+            knn_batch_parallel(idx.as_ref(), &queries, 5, threads, &mut par);
+            assert_eq!(
+                par.total().distance_computations,
+                total_single,
+                "{}: parallel stats diverge ({threads} threads)",
+                idx.name()
+            );
+        }
+    }
+}

@@ -1,27 +1,37 @@
-//! The core correctness property of the whole indexing layer, checked with
-//! property-based testing: **every index returns exactly the same result
-//! set as a sequential scan** for both range and k-NN queries, on arbitrary
-//! datasets, queries, radii and k — including adversarial cases (duplicate
-//! points, collinear data, radius 0, k > n).
+//! The core correctness property of the whole indexing layer, checked on
+//! deterministic generated workloads (no external property-testing
+//! dependency, so the suite builds offline and every run checks the same
+//! cases): **every index returns exactly the same result set as a
+//! sequential scan** for both range and k-NN queries, on arbitrary
+//! datasets, queries, radii and k — including adversarial cases
+//! (duplicate points, collinear data, radius 0, k > n).
 
 use cbir_distance::Measure;
 use cbir_index::{
     knn_search_simple, range_search_simple, AntipoleTree, Dataset, KdTree, LinearScan, MTree,
     Neighbor, RStarTree, SearchIndex, VpTree,
 };
-use proptest::prelude::*;
+use cbir_workload::Pcg32;
 
-fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<f32>>, usize)> {
-    // Dimension 1..=5, 1..=120 vectors, coordinates that often collide.
-    (1usize..=5).prop_flat_map(|dim| {
-        (
-            prop::collection::vec(
-                prop::collection::vec((-8i8..=8).prop_map(|v| v as f32 * 0.5), dim),
-                1..=120,
-            ),
-            Just(dim),
-        )
-    })
+const CASES: usize = 64;
+
+/// Dimension 1..=5, 1..=120 vectors, coordinates on a coarse half-integer
+/// grid so duplicates and ties are common.
+fn gen_dataset(rng: &mut Pcg32) -> (Vec<Vec<f32>>, usize) {
+    let dim = 1 + rng.below(5);
+    let n = 1 + rng.below(120);
+    let vectors = (0..n)
+        .map(|_| {
+            (0..dim)
+                .map(|_| (rng.below(17) as f32 - 8.0) * 0.5)
+                .collect()
+        })
+        .collect();
+    (vectors, dim)
+}
+
+fn gen_query(rng: &mut Pcg32, dim: usize) -> Vec<f32> {
+    (0..dim).map(|_| rng.range_f32(-10.0, 10.0)).collect()
 }
 
 fn close_enough(a: &[Neighbor], b: &[Neighbor]) -> bool {
@@ -31,18 +41,16 @@ fn close_enough(a: &[Neighbor], b: &[Neighbor]) -> bool {
             .all(|(x, y)| x.id == y.id && (x.distance - y.distance).abs() <= 1e-4)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn all_indexes_agree_with_linear_scan() {
+    let mut rng = Pcg32::new(0xB1);
+    for _ in 0..CASES {
+        let (vectors, dim) = gen_dataset(&mut rng);
+        let query = gen_query(&mut rng, dim);
+        let radius = rng.range_f32(0.0, 10.0);
+        let k = 1 + rng.below(20);
 
-    #[test]
-    fn all_indexes_agree_with_linear_scan(
-        (vectors, dim) in dataset_strategy(),
-        query_raw in prop::collection::vec(-10.0f32..10.0, 5),
-        radius in 0.0f32..10.0,
-        k in 1usize..=20,
-    ) {
         let ds = Dataset::from_vectors(&vectors).unwrap();
-        let query: Vec<f32> = query_raw[..dim].to_vec();
         let lin = LinearScan::build(ds.clone(), Measure::L2).unwrap();
         let expected_range = range_search_simple(&lin, &query, radius);
         let expected_knn = knn_search_simple(&lin, &query, k);
@@ -57,51 +65,66 @@ proptest! {
         ];
         for idx in &indexes {
             let got_range = range_search_simple(idx.as_ref(), &query, radius);
-            prop_assert!(
+            assert!(
                 close_enough(&got_range, &expected_range),
                 "{} range mismatch: got {:?} expected {:?}",
-                idx.name(), got_range, expected_range
+                idx.name(),
+                got_range,
+                expected_range
             );
             let got_knn = knn_search_simple(idx.as_ref(), &query, k);
-            prop_assert!(
+            assert!(
                 close_enough(&got_knn, &expected_knn),
                 "{} knn mismatch: got {:?} expected {:?}",
-                idx.name(), got_knn, expected_knn
+                idx.name(),
+                got_knn,
+                expected_knn
             );
         }
     }
+}
 
-    #[test]
-    fn metric_trees_agree_under_l1_and_match(
-        (vectors, dim) in dataset_strategy(),
-        query_raw in prop::collection::vec(-10.0f32..10.0, 5),
-        k in 1usize..=10,
-    ) {
+#[test]
+fn metric_trees_agree_under_l1_and_match() {
+    let mut rng = Pcg32::new(0xB2);
+    for _ in 0..CASES {
+        let (vectors, dim) = gen_dataset(&mut rng);
+        let query = gen_query(&mut rng, dim);
+        let k = 1 + rng.below(10);
         let ds = Dataset::from_vectors(&vectors).unwrap();
-        let query: Vec<f32> = query_raw[..dim].to_vec();
         for measure in [Measure::L1, Measure::Match] {
             let lin = LinearScan::build(ds.clone(), measure.clone()).unwrap();
             let expected = knn_search_simple(&lin, &query, k);
             let vp = VpTree::build(ds.clone(), measure.clone()).unwrap();
             let ap = AntipoleTree::build(ds.clone(), measure.clone(), 1.0).unwrap();
             let mt = MTree::build(ds.clone(), measure.clone()).unwrap();
-            prop_assert!(close_enough(&knn_search_simple(&vp, &query, k), &expected),
-                "vp-tree under {}", measure.name());
-            prop_assert!(close_enough(&knn_search_simple(&ap, &query, k), &expected),
-                "antipole under {}", measure.name());
-            prop_assert!(close_enough(&knn_search_simple(&mt, &query, k), &expected),
-                "m-tree under {}", measure.name());
+            assert!(
+                close_enough(&knn_search_simple(&vp, &query, k), &expected),
+                "vp-tree under {}",
+                measure.name()
+            );
+            assert!(
+                close_enough(&knn_search_simple(&ap, &query, k), &expected),
+                "antipole under {}",
+                measure.name()
+            );
+            assert!(
+                close_enough(&knn_search_simple(&mt, &query, k), &expected),
+                "m-tree under {}",
+                measure.name()
+            );
         }
     }
+}
 
-    #[test]
-    fn range_zero_returns_exact_matches_only(
-        (vectors, dim) in dataset_strategy(),
-        pick in 0usize..120,
-    ) {
+#[test]
+fn range_zero_returns_exact_matches_only() {
+    let mut rng = Pcg32::new(0xB3);
+    for _ in 0..CASES {
+        let (vectors, _dim) = gen_dataset(&mut rng);
+        let pick = rng.below(120);
         let ds = Dataset::from_vectors(&vectors).unwrap();
         let q: Vec<f32> = ds.vector(pick % ds.len()).to_vec();
-        let _ = dim;
         for idx in [
             Box::new(KdTree::build(ds.clone(), Measure::L2).unwrap()) as Box<dyn SearchIndex>,
             Box::new(VpTree::build(ds.clone(), Measure::L2).unwrap()),
@@ -109,18 +132,29 @@ proptest! {
             Box::new(RStarTree::bulk_load(ds.clone()).unwrap()),
         ] {
             let hits = range_search_simple(idx.as_ref(), &q, 0.0);
-            prop_assert!(!hits.is_empty(), "{}: query point itself not found", idx.name());
+            assert!(
+                !hits.is_empty(),
+                "{}: query point itself not found",
+                idx.name()
+            );
             for h in &hits {
-                prop_assert_eq!(ds.vector(h.id), &q[..], "{} returned a non-match", idx.name());
+                assert_eq!(
+                    ds.vector(h.id),
+                    &q[..],
+                    "{} returned a non-match",
+                    idx.name()
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn knn_results_are_sorted_and_unique(
-        (vectors, _dim) in dataset_strategy(),
-        k in 1usize..=30,
-    ) {
+#[test]
+fn knn_results_are_sorted_and_unique() {
+    let mut rng = Pcg32::new(0xB4);
+    for _ in 0..CASES {
+        let (vectors, _dim) = gen_dataset(&mut rng);
+        let k = 1 + rng.below(30);
         let ds = Dataset::from_vectors(&vectors).unwrap();
         let q: Vec<f32> = ds.vector(0).to_vec();
         for idx in [
@@ -130,12 +164,13 @@ proptest! {
             Box::new(RStarTree::bulk_load(ds.clone()).unwrap()),
         ] {
             let hits = knn_search_simple(idx.as_ref(), &q, k);
-            prop_assert_eq!(hits.len(), k.min(ds.len()), "{}", idx.name());
+            assert_eq!(hits.len(), k.min(ds.len()), "{}", idx.name());
             for w in hits.windows(2) {
-                prop_assert!(
+                assert!(
                     w[0].distance < w[1].distance
                         || (w[0].distance == w[1].distance && w[0].id < w[1].id),
-                    "{}: unsorted or duplicate results", idx.name()
+                    "{}: unsorted or duplicate results",
+                    idx.name()
                 );
             }
         }

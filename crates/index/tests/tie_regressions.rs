@@ -9,7 +9,98 @@ use cbir_index::{knn_search_simple, AntipoleTree, Dataset, LinearScan, MTree};
 
 #[test]
 fn duplicate_heavy_ties_resolve_to_lowest_id_small() {
-    let vectors: Vec<Vec<f32>> = vec![[0.0], [0.0], [0.0], [0.0], [0.5], [0.0], [0.0], [-0.5], [-4.0], [0.0], [-0.5], [0.5], [0.5], [0.0], [0.5], [-2.5], [0.5], [-0.5], [0.0], [0.5], [0.5], [0.5], [4.0], [-2.5], [-3.5], [-1.0], [-0.5], [0.5], [3.0], [0.5], [-2.5], [-1.5], [4.0], [-3.5], [3.0], [1.5], [1.5], [2.5], [0.0], [2.0], [-2.0], [3.5], [1.0], [1.5], [4.0], [1.0], [-4.0], [-0.5], [-2.0], [-2.0], [-2.5], [-3.0], [4.0], [-4.0], [3.5], [-4.0], [2.0], [0.0], [-1.0], [2.5], [-1.0], [-2.5], [-1.5], [-1.5], [-3.5], [-2.5], [-1.5], [-3.0], [1.5], [-0.5], [-1.5], [-0.5], [-3.5], [0.5], [3.0], [-1.5], [0.0], [-4.0], [4.0], [1.0], [0.5], [3.5], [3.5], [3.5], [1.5], [-1.5], [-3.5]].into_iter().map(|v: [f32;1]| v.to_vec()).collect();
+    let vectors: Vec<Vec<f32>> = vec![
+        [0.0],
+        [0.0],
+        [0.0],
+        [0.0],
+        [0.5],
+        [0.0],
+        [0.0],
+        [-0.5],
+        [-4.0],
+        [0.0],
+        [-0.5],
+        [0.5],
+        [0.5],
+        [0.0],
+        [0.5],
+        [-2.5],
+        [0.5],
+        [-0.5],
+        [0.0],
+        [0.5],
+        [0.5],
+        [0.5],
+        [4.0],
+        [-2.5],
+        [-3.5],
+        [-1.0],
+        [-0.5],
+        [0.5],
+        [3.0],
+        [0.5],
+        [-2.5],
+        [-1.5],
+        [4.0],
+        [-3.5],
+        [3.0],
+        [1.5],
+        [1.5],
+        [2.5],
+        [0.0],
+        [2.0],
+        [-2.0],
+        [3.5],
+        [1.0],
+        [1.5],
+        [4.0],
+        [1.0],
+        [-4.0],
+        [-0.5],
+        [-2.0],
+        [-2.0],
+        [-2.5],
+        [-3.0],
+        [4.0],
+        [-4.0],
+        [3.5],
+        [-4.0],
+        [2.0],
+        [0.0],
+        [-1.0],
+        [2.5],
+        [-1.0],
+        [-2.5],
+        [-1.5],
+        [-1.5],
+        [-3.5],
+        [-2.5],
+        [-1.5],
+        [-3.0],
+        [1.5],
+        [-0.5],
+        [-1.5],
+        [-0.5],
+        [-3.5],
+        [0.5],
+        [3.0],
+        [-1.5],
+        [0.0],
+        [-4.0],
+        [4.0],
+        [1.0],
+        [0.5],
+        [3.5],
+        [3.5],
+        [3.5],
+        [1.5],
+        [-1.5],
+        [-3.5],
+    ]
+    .into_iter()
+    .map(|v: [f32; 1]| v.to_vec())
+    .collect();
     let ds = Dataset::from_vectors(&vectors).unwrap();
     let q = vec![0.19732653f32];
     for measure in [Measure::L1, Measure::Match] {
@@ -17,7 +108,12 @@ fn duplicate_heavy_ties_resolve_to_lowest_id_small() {
         let e = knn_search_simple(&lin, &q, 1);
         let ap = AntipoleTree::build(ds.clone(), measure.clone(), 1.0).unwrap();
         let g = knn_search_simple(&ap, &q, 1);
-        assert_eq!(g, e, "antipole {}: expected {e:?} got {g:?}", measure.name());
+        assert_eq!(
+            g,
+            e,
+            "antipole {}: expected {e:?} got {g:?}",
+            measure.name()
+        );
         let mt = MTree::build(ds.clone(), measure.clone()).unwrap();
         let g = knn_search_simple(&mt, &q, 1);
         assert_eq!(g, e, "m-tree {}", measure.name());
@@ -26,13 +122,108 @@ fn duplicate_heavy_ties_resolve_to_lowest_id_small() {
 
 #[test]
 fn duplicate_heavy_full_search_finds_all_ties() {
-    let vectors: Vec<Vec<f32>> = vec![[0.0f32], [0.0], [0.0], [0.0], [0.5], [0.0], [0.0], [-0.5], [-4.0], [0.0], [-0.5], [0.5], [0.5], [0.0], [0.5], [-2.5], [0.5], [-0.5], [0.0], [0.5], [0.5], [0.5], [4.0], [-2.5], [-3.5], [-1.0], [-0.5], [0.5], [3.0], [0.5], [-2.5], [-1.5], [4.0], [-3.5], [3.0], [1.5], [1.5], [2.5], [0.0], [2.0], [-2.0], [3.5], [1.0], [1.5], [4.0], [1.0], [-4.0], [-0.5], [-2.0], [-2.0], [-2.5], [-3.0], [4.0], [-4.0], [3.5], [-4.0], [2.0], [0.0], [-1.0], [2.5], [-1.0], [-2.5], [-1.5], [-1.5], [-3.5], [-2.5], [-1.5], [-3.0], [1.5], [-0.5], [-1.5], [-0.5], [-3.5], [0.5], [3.0], [-1.5], [0.0], [-4.0], [4.0], [1.0], [0.5], [3.5], [3.5], [3.5], [1.5], [-1.5], [-3.5]].into_iter().map(|v: [f32;1]| v.to_vec()).collect();
+    let vectors: Vec<Vec<f32>> = vec![
+        [0.0f32],
+        [0.0],
+        [0.0],
+        [0.0],
+        [0.5],
+        [0.0],
+        [0.0],
+        [-0.5],
+        [-4.0],
+        [0.0],
+        [-0.5],
+        [0.5],
+        [0.5],
+        [0.0],
+        [0.5],
+        [-2.5],
+        [0.5],
+        [-0.5],
+        [0.0],
+        [0.5],
+        [0.5],
+        [0.5],
+        [4.0],
+        [-2.5],
+        [-3.5],
+        [-1.0],
+        [-0.5],
+        [0.5],
+        [3.0],
+        [0.5],
+        [-2.5],
+        [-1.5],
+        [4.0],
+        [-3.5],
+        [3.0],
+        [1.5],
+        [1.5],
+        [2.5],
+        [0.0],
+        [2.0],
+        [-2.0],
+        [3.5],
+        [1.0],
+        [1.5],
+        [4.0],
+        [1.0],
+        [-4.0],
+        [-0.5],
+        [-2.0],
+        [-2.0],
+        [-2.5],
+        [-3.0],
+        [4.0],
+        [-4.0],
+        [3.5],
+        [-4.0],
+        [2.0],
+        [0.0],
+        [-1.0],
+        [2.5],
+        [-1.0],
+        [-2.5],
+        [-1.5],
+        [-1.5],
+        [-3.5],
+        [-2.5],
+        [-1.5],
+        [-3.0],
+        [1.5],
+        [-0.5],
+        [-1.5],
+        [-0.5],
+        [-3.5],
+        [0.5],
+        [3.0],
+        [-1.5],
+        [0.0],
+        [-4.0],
+        [4.0],
+        [1.0],
+        [0.5],
+        [3.5],
+        [3.5],
+        [3.5],
+        [1.5],
+        [-1.5],
+        [-3.5],
+    ]
+    .into_iter()
+    .map(|v: [f32; 1]| v.to_vec())
+    .collect();
     let ds = cbir_index::Dataset::from_vectors(&vectors).unwrap();
     let q = vec![0.19732653f32];
     let ap = cbir_index::AntipoleTree::build(ds.clone(), cbir_distance::Measure::L1, 1.0).unwrap();
     // All ids at distance 0.19732653 (value 0.0):
     let hits = cbir_index::knn_search_simple(&ap, &q, 87);
-    let zeros: Vec<usize> = hits.iter().filter(|h| h.distance < 0.2).map(|h| h.id).collect();
+    let zeros: Vec<usize> = hits
+        .iter()
+        .filter(|h| h.distance < 0.2)
+        .map(|h| h.id)
+        .collect();
     assert_eq!(zeros, vec![0, 1, 2, 3, 5, 6, 9, 13, 18, 38, 57, 76]);
     let r = cbir_index::range_search_simple(&ap, &q, 0.2);
     assert_eq!(r.iter().map(|h| h.id).collect::<Vec<_>>(), zeros);

@@ -96,7 +96,10 @@ impl Corpus {
     /// Generate the corpus deterministically from its spec.
     pub fn generate(spec: CorpusSpec) -> Self {
         assert!(spec.classes > 0, "corpus needs >= 1 class");
-        assert!(spec.images_per_class > 0, "corpus needs >= 1 image per class");
+        assert!(
+            spec.images_per_class > 0,
+            "corpus needs >= 1 image per class"
+        );
         assert!(spec.image_size >= 8, "corpus images must be >= 8 px");
         let mut images = Vec::with_capacity(spec.classes * spec.images_per_class);
         let mut labels = Vec::with_capacity(images.capacity());
@@ -247,7 +250,11 @@ mod tests {
             acc.map(|v| v / n)
         };
         let dist = |a: [f32; 3], b: [f32; 3]| -> f32 {
-            a.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+            a.iter()
+                .zip(&b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f32>()
+                .sqrt()
         };
         let m0a = mean_rgb(&c.images[0]);
         let m0b = mean_rgb(&c.images[1]);

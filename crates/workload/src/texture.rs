@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn evaluation_is_deterministic() {
-        let t = Texture::ValueNoise { cell: 8.0, seed: 42 };
+        let t = Texture::ValueNoise {
+            cell: 8.0,
+            seed: 42,
+        };
         assert_eq!(t.eval(3.7, 9.2), t.eval(3.7, 9.2));
         let s = Texture::Stripes {
             angle: 0.3,

@@ -98,10 +98,7 @@ mod tests {
         let v = uniform(100, 4, 10.0, 1);
         assert_eq!(v.len(), 100);
         assert!(v.iter().all(|x| x.len() == 4));
-        assert!(v
-            .iter()
-            .flatten()
-            .all(|&x| (0.0..10.0).contains(&x)));
+        assert!(v.iter().flatten().all(|&x| (0.0..10.0).contains(&x)));
         assert_eq!(v, uniform(100, 4, 10.0, 1));
         assert_ne!(v, uniform(100, 4, 10.0, 2));
     }

@@ -27,7 +27,10 @@ fn scene(i: usize, logo: &RgbImage) -> (RgbImage, Option<(u32, u32)>) {
     });
     if i.is_multiple_of(2) {
         let max = SIZE - logo.width();
-        let (lx, ly) = (rng.below(max as usize) as u32, rng.below(max as usize) as u32);
+        let (lx, ly) = (
+            rng.below(max as usize) as u32,
+            rng.below(max as usize) as u32,
+        );
         for (x, y, p) in logo.enumerate_pixels() {
             img.set(lx + x, ly + y, p);
         }

@@ -49,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (class, tex) in class_textures.iter().enumerate() {
         let mut rng = Pcg32::with_stream(0x7e87, class as u64);
         for i in 0..TRAIN_PER_CLASS {
-            db.insert_labeled(format!("tex-{class}-{i}"), class as u32, &texture_patch(tex, &mut rng))?;
+            db.insert_labeled(
+                format!("tex-{class}-{i}"),
+                class as u32,
+                &texture_patch(tex, &mut rng),
+            )?;
         }
     }
     let engine = QueryEngine::build(db, IndexKind::VpTree, Measure::L2)?;
@@ -85,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "texture classification: {CLASSES} classes, {TRAIN_PER_CLASS} train / {TEST_PER_CLASS} test patches each"
     );
-    println!("3-NN accuracy: {correct}/{total} = {:.1}%", 100.0 * correct as f64 / total as f64);
+    println!(
+        "3-NN accuracy: {correct}/{total} = {:.1}%",
+        100.0 * correct as f64 / total as f64
+    );
     println!("(chance: {:.1}%)\n", 100.0 / CLASSES as f64);
     println!("confusion matrix (rows = truth):");
     print!("     ");

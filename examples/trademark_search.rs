@@ -126,7 +126,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:<24} mAP = {chance:.3}", "(chance)");
     println!(
         "\nshape features {} color histograms on shape-defined classes.",
-        if shape_map > color_map { "beat" } else { "did NOT beat" }
+        if shape_map > color_map {
+            "beat"
+        } else {
+            "did NOT beat"
+        }
     );
     Ok(())
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Full offline verification gate: formatting, lints, release build, tests.
+# Every step works with no network access (the workspace has zero
+# external dependencies). Fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "verify: all checks passed"

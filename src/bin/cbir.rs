@@ -4,9 +4,9 @@
 //! ```text
 //! cbir generate <dir> [--classes N] [--per-class M] [--size S] [--seed K]
 //! cbir index <dir> --db <file> [--pipeline full|color|texture|shape] [--threads N]
-//! cbir query <db> <image> [-k N] [--measure M] [--index I]
+//! cbir query <db> <image>... [-k N] [--measure M] [--index I] [--threads N]
 //! cbir info <db>
-//! cbir evaluate <db> [-k N] [--measure M] [--index I]
+//! cbir evaluate <db> [-k N] [--measure M] [--index I] [--threads N]
 //! ```
 //!
 //! Images are read in any supported container (PPM/PGM/PBM/BMP). Class
@@ -17,7 +17,8 @@ use cbir::core::persist;
 use cbir::image::codec::{decode, encode_ppm, PnmEncoding};
 use cbir::workload::{Corpus, CorpusSpec};
 use cbir::{
-    BatchItem, FeatureSpec, ImageDatabase, IndexKind, Measure, Pipeline, QueryEngine, SearchStats,
+    evaluate_engine, BatchItem, BatchStats, FeatureSpec, ImageDatabase, IndexKind, Measure,
+    Pipeline, QueryEngine,
 };
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -32,14 +33,15 @@ fn usage() -> ! {
   cbir index <dir> --db <file> [--pipeline full|color|texture|shape] [--threads N]
       extract signatures from every image in <dir> and save a database
 
-  cbir query <db> <image> [-k N] [--measure l1|l2|linf|chisq|match|cosine|intersect]
-                          [--index linear|kd|vp|antipole|rstar]
-      rank database images by similarity to the example image
+  cbir query <db> <image>... [-k N] [--measure l1|l2|linf|chisq|match|cosine|intersect]
+                             [--index linear|kd|vp|antipole|rstar] [--threads N]
+      rank database images by similarity to the example image(s);
+      multiple images run as one batch
 
   cbir info <db>
       print database statistics
 
-  cbir evaluate <db> [-k N] [--measure M] [--index I]
+  cbir evaluate <db> [-k N] [--measure M] [--index I] [--threads N]
       leave-one-out retrieval evaluation over the database's class labels"
     );
     std::process::exit(2);
@@ -241,30 +243,49 @@ fn cmd_index(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let db_path = args.positional.first().unwrap_or_else(|| usage());
-    let img_path = args.positional.get(1).unwrap_or_else(|| usage());
+    let img_paths = &args.positional[1..];
+    if img_paths.is_empty() {
+        usage();
+    }
     let k: usize = args.flag_parse("k", 10);
     let measure = measure_by_name(args.flag("measure").unwrap_or("l1"));
     let kind = index_by_name(args.flag("index").unwrap_or("antipole"));
+    let threads: usize = args.flag_parse(
+        "threads",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
 
     let db = persist::load_file(db_path)?;
     let n = db.len();
-    let query = decode(&std::fs::read(img_path)?)?.into_rgb();
     let engine = QueryEngine::build(db, kind, measure)?;
-    let mut stats = SearchStats::new();
-    let hits = engine.query_by_example(&query, k, &mut stats)?;
+    let mut queries = Vec::with_capacity(img_paths.len());
+    for p in img_paths {
+        let img = decode(&std::fs::read(p)?)?.into_rgb();
+        queries.push(engine.database().extract(&img)?);
+    }
+    let mut stats = BatchStats::new();
+    let results = engine.knn_batch(&queries, k, threads, &mut stats)?;
 
-    println!("{:<28} {:>7} {:>9}", "name", "label", "distance");
-    for h in &hits {
-        println!(
-            "{:<28} {:>7} {:>9.4}",
-            h.name,
-            h.label.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
-            h.distance
-        );
+    for (hits, img_path) in results.iter().zip(img_paths) {
+        if img_paths.len() > 1 {
+            println!("query: {img_path}");
+        }
+        println!("{:<28} {:>7} {:>9}", "name", "label", "distance");
+        for h in hits {
+            println!(
+                "{:<28} {:>7} {:>9.4}",
+                h.name,
+                h.label.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+                h.distance
+            );
+        }
+        println!();
     }
     println!(
-        "\n{} distance computations over {n} images ({} index)",
-        stats.distance_computations,
+        "{} distance computations over {n} images, {} quer{} ({} index)",
+        stats.total().distance_computations,
+        stats.queries(),
+        if stats.queries() == 1 { "y" } else { "ies" },
         engine.index_kind().name(),
     );
     Ok(())
@@ -294,60 +315,33 @@ fn cmd_info(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    use cbir::core::eval::{average_precision, mean, ndcg_at_k, precision_at_k, r_precision};
-    use std::collections::HashSet;
-
     let db_path = args.positional.first().unwrap_or_else(|| usage());
     let k: usize = args.flag_parse("k", 10);
     let measure = measure_by_name(args.flag("measure").unwrap_or("l1"));
     let kind = index_by_name(args.flag("index").unwrap_or("linear"));
+    let threads: usize = args.flag_parse(
+        "threads",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
 
     let db = persist::load_file(db_path)?;
     let n = db.len();
-    let labels: Vec<Option<u32>> = db.metas().iter().map(|m| m.label).collect();
-    if labels.iter().all(|l| l.is_none()) {
-        return Err("database has no class labels; nothing to evaluate against".into());
-    }
     let engine = QueryEngine::build(db, kind, measure)?;
+    let report = evaluate_engine(&engine, k, threads)?;
 
-    let mut p_at_k = Vec::new();
-    let mut aps = Vec::new();
-    let mut rps = Vec::new();
-    let mut ndcgs = Vec::new();
-    let mut comps = 0u64;
-    let mut evaluated = 0usize;
-    for query in 0..n {
-        let Some(label) = labels[query] else { continue };
-        let relevant: HashSet<usize> = labels
-            .iter()
-            .enumerate()
-            .filter(|&(i, &l)| i != query && l == Some(label))
-            .map(|(i, _)| i)
-            .collect();
-        if relevant.is_empty() {
-            continue;
-        }
-        let mut stats = SearchStats::new();
-        let hits = engine.query_by_id(query, n - 1, &mut stats)?;
-        comps += stats.distance_computations;
-        let ranked: Vec<usize> = hits.iter().map(|h| h.id).collect();
-        p_at_k.push(precision_at_k(&ranked, &relevant, k));
-        aps.push(average_precision(&ranked, &relevant));
-        rps.push(r_precision(&ranked, &relevant));
-        ndcgs.push(ndcg_at_k(&ranked, &relevant, k));
-        evaluated += 1;
-    }
-    if evaluated == 0 {
-        return Err("no labeled image has another image of its class".into());
-    }
-    println!("leave-one-out evaluation over {evaluated} labeled queries (of {n} images):");
-    println!("  P@{k}:        {:.3}", mean(&p_at_k));
-    println!("  mAP:         {:.3}", mean(&aps));
-    println!("  R-precision: {:.3}", mean(&rps));
-    println!("  nDCG@{k}:     {:.3}", mean(&ndcgs));
     println!(
-        "  cost:        {:.0} distance computations/query ({} index, {} measure)",
-        comps as f64 / evaluated as f64,
+        "leave-one-out evaluation over {} labeled queries (of {n} images, {threads} threads):",
+        report.evaluated
+    );
+    println!("  P@{k}:        {:.3}", report.precision_at_k);
+    println!("  mAP:         {:.3}", report.mean_average_precision);
+    println!("  R-precision: {:.3}", report.r_precision);
+    println!("  nDCG@{k}:     {:.3}", report.ndcg_at_k);
+    println!(
+        "  cost:        {:.0} distance computations/query mean, p50 {}, p95 {} ({} index, {} measure)",
+        report.stats.mean_comps(),
+        report.stats.p50_comps(),
+        report.stats.p95_comps(),
         engine.index_kind().name(),
         engine.measure().name(),
     );

@@ -52,9 +52,9 @@ pub use cbir_index as index;
 pub use cbir_workload as workload;
 
 pub use cbir_core::{
-    build_index, BatchItem, CoreError, ImageDatabase, ImageMeta, IndexKind, QueryEngine, Ranked,
-    RocchioParams,
+    build_index, evaluate_engine, BatchItem, CoreError, EvalReport, ImageDatabase, ImageMeta,
+    IndexKind, QueryEngine, Ranked, RocchioParams,
 };
-pub use cbir_distance::Measure;
+pub use cbir_distance::{DistanceKernel, Measure};
 pub use cbir_features::{FeatureSpec, Pipeline, Quantizer};
-pub use cbir_index::{Neighbor, SearchIndex, SearchStats};
+pub use cbir_index::{BatchStats, Neighbor, SearchIndex, SearchStats};

@@ -37,7 +37,14 @@ fn full_workflow_generate_index_query_evaluate() {
 
     // generate
     let (ok, stdout, stderr) = run(&[
-        "generate", corpus_s, "--classes", "4", "--per-class", "5", "--size", "32",
+        "generate",
+        corpus_s,
+        "--classes",
+        "4",
+        "--per-class",
+        "5",
+        "--size",
+        "32",
     ]);
     assert!(ok, "generate failed: {stderr}");
     assert!(stdout.contains("wrote 20 images"), "{stdout}");
@@ -46,7 +53,14 @@ fn full_workflow_generate_index_query_evaluate() {
 
     // index
     let (ok, stdout, stderr) = run(&[
-        "index", corpus_s, "--db", db_s, "--pipeline", "color", "--threads", "2",
+        "index",
+        corpus_s,
+        "--db",
+        db_s,
+        "--pipeline",
+        "color",
+        "--threads",
+        "2",
     ]);
     assert!(ok, "index failed: {stderr}");
     assert!(stdout.contains("indexed 20 images"), "{stdout}");
@@ -63,10 +77,22 @@ fn full_workflow_generate_index_query_evaluate() {
     let query_img = std::fs::read_dir(&corpus)
         .unwrap()
         .map(|e| e.unwrap().path())
-        .find(|p| p.file_name().unwrap().to_str().unwrap().starts_with("class-2"))
+        .find(|p| {
+            p.file_name()
+                .unwrap()
+                .to_str()
+                .unwrap()
+                .starts_with("class-2")
+        })
         .unwrap();
     let (ok, stdout, stderr) = run(&[
-        "query", db_s, query_img.to_str().unwrap(), "-k", "3", "--index", "vp",
+        "query",
+        db_s,
+        query_img.to_str().unwrap(),
+        "-k",
+        "3",
+        "--index",
+        "vp",
     ]);
     assert!(ok, "query failed: {stderr}");
     assert!(stdout.contains("0.0000"), "self-match missing: {stdout}");
@@ -126,11 +152,7 @@ fn bmp_ingest_works_too() {
     use cbir::image::{Rgb, RgbImage};
     for i in 0..3u32 {
         let img = RgbImage::filled(24, 24, Rgb::new((i * 80) as u8, 30, 200));
-        std::fs::write(
-            dir.join(format!("class-{i}-img.bmp")),
-            encode_bmp_rgb(&img),
-        )
-        .unwrap();
+        std::fs::write(dir.join(format!("class-{i}-img.bmp")), encode_bmp_rgb(&img)).unwrap();
     }
     let db = dir.join("db.cbir");
     let (ok, stdout, stderr) = run(&[

@@ -2,9 +2,9 @@
 //! a pure function of its seed, so published experiment numbers can be
 //! regenerated bit-for-bit.
 
+use cbir::index::Dataset;
 use cbir::workload::{clustered, histograms, queries, uniform, Corpus, CorpusSpec};
 use cbir::{build_index, ImageDatabase, IndexKind, Measure, Pipeline, SearchStats};
-use cbir::index::Dataset;
 
 #[test]
 fn corpora_are_bitwise_reproducible() {

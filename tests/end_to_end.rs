@@ -7,7 +7,7 @@ use cbir::core::persist;
 use cbir::image::codec::{decode, encode_bmp_rgb, encode_ppm, PnmEncoding};
 use cbir::workload::{Corpus, CorpusSpec};
 use cbir::{
-    FeatureSpec, ImageDatabase, IndexKind, Measure, Pipeline, QueryEngine, Quantizer, SearchStats,
+    FeatureSpec, ImageDatabase, IndexKind, Measure, Pipeline, Quantizer, QueryEngine, SearchStats,
 };
 use std::collections::HashSet;
 
@@ -71,7 +71,12 @@ fn every_index_returns_identical_rankings() {
         let engine = QueryEngine::build(db, kind.clone(), Measure::L2).unwrap();
         let mut stats = SearchStats::new();
         let hits = engine.query_by_id(17, 12, &mut stats).unwrap();
-        assert_eq!(hits, reference, "{} disagrees with linear scan", kind.name());
+        assert_eq!(
+            hits,
+            reference,
+            "{} disagrees with linear scan",
+            kind.name()
+        );
     }
 }
 
@@ -170,7 +175,9 @@ fn multi_feature_pipeline_end_to_end() {
     let mut aps = Vec::new();
     for query in (0..corpus.len()).step_by(4) {
         let mut stats = SearchStats::new();
-        let hits = engine.query_by_id(query, corpus.len() - 1, &mut stats).unwrap();
+        let hits = engine
+            .query_by_id(query, corpus.len() - 1, &mut stats)
+            .unwrap();
         let ranked: Vec<usize> = hits.iter().map(|h| h.id).collect();
         let relevant: HashSet<usize> = corpus.relevant_to(query).into_iter().collect();
         aps.push(average_precision(&ranked, &relevant));
