@@ -139,6 +139,12 @@ fn main() {
     println!("path — batching adds no overhead); at N threads the fan-out");
     println!("multiplies q/s by ~N on multi-core hosts.");
 
+    if quick {
+        // Quick mode exists for the bit-identity assertions; don't clobber
+        // committed full-mode numbers with reduced-size timings.
+        println!("\nquick mode: skipping results/BENCH_query_throughput.json");
+        return;
+    }
     let json = format!(
         "{{\n  \"experiment\": \"batch_query_throughput\",\n  \"n\": {n},\n  \"dim\": {DIM},\n  \"k\": {K},\n  \"queries\": {n_queries},\n  \"max_threads\": {max_threads},\n  \"exactness\": \"batched results asserted bit-identical to single-query loop\",\n  \"results\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")

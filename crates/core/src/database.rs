@@ -125,11 +125,28 @@ impl ImageDatabase {
         Ok(self.metas.len() - 1)
     }
 
+    /// Extract descriptors for many external images on `threads` worker
+    /// threads without inserting them (batched query-by-example). Results
+    /// are in input order and bit-identical at every thread count.
+    pub fn extract_batch(&self, images: &[&RgbImage], threads: usize) -> Result<Vec<Vec<f32>>> {
+        if threads == 0 {
+            return Err(CoreError::InvalidParameter(
+                "extract_batch needs >= 1 thread".into(),
+            ));
+        }
+        Ok(if self.balanced {
+            self.pipeline.extract_balanced_batch(images, threads)?
+        } else {
+            self.pipeline.extract_batch(images, threads)?
+        })
+    }
+
     /// Insert a batch of images, extracting descriptors on `threads`
-    /// worker threads (scoped; no unsafe, no external dependencies).
-    /// Extraction dominates ingest cost and is embarrassingly parallel, so
-    /// this is the fast path for loading large collections. Ids are
-    /// assigned in input order, identical to sequential insertion.
+    /// worker threads (scoped; no unsafe, no external dependencies), each
+    /// reusing one extraction scratch across its whole chunk. Extraction
+    /// dominates ingest cost and is embarrassingly parallel, so this is
+    /// the fast path for loading large collections. Ids are assigned in
+    /// input order, identical to sequential insertion.
     pub fn insert_batch(&mut self, items: &[BatchItem<'_>], threads: usize) -> Result<Vec<usize>> {
         if threads == 0 {
             return Err(CoreError::InvalidParameter(
@@ -139,38 +156,14 @@ impl ImageDatabase {
         if items.is_empty() {
             return Ok(Vec::new());
         }
-        let pipeline = &self.pipeline;
-        let balanced = self.balanced;
-        let chunk_size = items.len().div_ceil(threads);
-        let extracted: Vec<Result<Vec<f32>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = items
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|item| {
-                                if balanced {
-                                    pipeline.extract_balanced(item.image)
-                                } else {
-                                    pipeline.extract(item.image)
-                                }
-                                .map_err(CoreError::from)
-                            })
-                            .collect::<Vec<Result<Vec<f32>>>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("extraction worker panicked"))
-                .collect()
-        });
-        // All-or-nothing: surface the first error before mutating state.
-        let mut descriptors = Vec::with_capacity(items.len());
-        for d in extracted {
-            descriptors.push(d?);
-        }
+        let images: Vec<&RgbImage> = items.iter().map(|item| item.image).collect();
+        // All-or-nothing: extract_batch surfaces the first error (in input
+        // order) before any state is mutated.
+        let descriptors = if self.balanced {
+            self.pipeline.extract_balanced_batch(&images, threads)?
+        } else {
+            self.pipeline.extract_batch(&images, threads)?
+        };
         let mut ids = Vec::with_capacity(items.len());
         for (item, desc) in items.iter().zip(descriptors) {
             self.descriptors.extend_from_slice(&desc);

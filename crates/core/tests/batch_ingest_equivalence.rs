@@ -1,0 +1,98 @@
+//! Parallel ingest determinism: `insert_batch` must produce descriptors
+//! bit-identical to sequential `insert` at every thread count, for both
+//! balanced and raw extraction, and `extract_batch` must match `extract`.
+
+use cbir_core::{BatchItem, ImageDatabase};
+use cbir_features::Pipeline;
+use cbir_image::{Rgb, RgbImage};
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn test_images() -> Vec<RgbImage> {
+    let mut images: Vec<RgbImage> = (0..7u32)
+        .map(|i| {
+            RgbImage::from_fn(40 + i * 3, 30 + i * 5, |x, y| {
+                Rgb::new(
+                    ((x * (7 + i) + y * 13) % 256) as u8,
+                    ((x * 3 + y * (11 + i)) % 256) as u8,
+                    ((x + y + i * 40) % 256) as u8,
+                )
+            })
+        })
+        .collect();
+    // Degenerate content and the resize-skip shape.
+    images.push(RgbImage::filled(16, 16, Rgb::new(200, 200, 200)));
+    images.push(RgbImage::from_fn(64, 64, |x, y| {
+        Rgb::new((x * 4) as u8, (y * 4) as u8, 0)
+    }));
+    images
+}
+
+fn items(images: &[RgbImage]) -> Vec<BatchItem<'_>> {
+    images
+        .iter()
+        .enumerate()
+        .map(|(i, image)| BatchItem {
+            name: format!("img-{i}"),
+            label: Some((i % 3) as u32),
+            image,
+        })
+        .collect()
+}
+
+#[test]
+fn insert_batch_matches_sequential_insert_at_every_thread_count() {
+    let images = test_images();
+    for balanced in [true, false] {
+        let make_db = || {
+            if balanced {
+                ImageDatabase::new(Pipeline::full_default())
+            } else {
+                ImageDatabase::with_raw_extraction(Pipeline::full_default())
+            }
+        };
+        let mut sequential = make_db();
+        for (i, img) in images.iter().enumerate() {
+            sequential
+                .insert_labeled(format!("img-{i}"), (i % 3) as u32, img)
+                .unwrap();
+        }
+        for threads in [1usize, 3, 8] {
+            let mut batched = make_db();
+            let ids = batched.insert_batch(&items(&images), threads).unwrap();
+            assert_eq!(ids, (0..images.len()).collect::<Vec<_>>());
+            assert_eq!(batched.len(), sequential.len());
+            for id in ids {
+                assert_eq!(
+                    bits(batched.descriptor(id).unwrap()),
+                    bits(sequential.descriptor(id).unwrap()),
+                    "balanced={balanced}, {threads} threads, id {id}"
+                );
+                assert_eq!(
+                    batched.meta(id).unwrap(),
+                    sequential.meta(id).unwrap(),
+                    "metadata drifted at id {id}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn extract_batch_matches_single_extract() {
+    let images = test_images();
+    let refs: Vec<&RgbImage> = images.iter().collect();
+    let db = ImageDatabase::new(Pipeline::full_default());
+    let single: Vec<Vec<f32>> = refs.iter().map(|img| db.extract(img).unwrap()).collect();
+    for threads in [1usize, 3, 8] {
+        let batch = db.extract_batch(&refs, threads).unwrap();
+        assert_eq!(batch.len(), single.len());
+        for (b, s) in batch.iter().zip(&single) {
+            assert_eq!(bits(b), bits(s), "{threads} threads");
+        }
+    }
+    assert!(db.extract_batch(&refs, 0).is_err());
+    assert!(db.extract_batch(&[], 2).unwrap().is_empty());
+}

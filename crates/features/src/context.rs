@@ -1,0 +1,558 @@
+//! The extraction planner: shared intermediates computed lazily but at most
+//! once per image, backed by reusable scratch buffers.
+//!
+//! [`ExtractContext`] wraps one input image together with an
+//! [`ExtractScratch`] and exposes every feature family as a method writing
+//! into a caller-provided slice. Each shared intermediate — the canonical
+//! RGB frame, its grayscale conversion, the Sobel gradient field, the
+//! magnitude/orientation and normalized-magnitude planes, per-quantizer bin
+//! planes, the Otsu foreground mask, the grayscale integral image, and the
+//! salience distance transform — is computed the first time a family needs
+//! it and then reused, so a multi-family pipeline performs each image-wide
+//! pass exactly once instead of once per family.
+//!
+//! Every method is bit-identical (to the `f32` bit pattern) to the
+//! corresponding standalone family function in this crate: both routes call
+//! the same `pub(crate)` core with operands in the same order.
+//!
+//! After one warm-up image has sized the scratch buffers, steady-state
+//! extraction of same-shaped work performs no heap allocation (asserted by
+//! the `alloc_discipline` integration test).
+
+use crate::correlogram::{correlogram_into, CorrelogramScratch};
+use crate::distance_transform::{dt_histogram_into, sdt_from_magnitude};
+use crate::edges::{density_grid_core, orientation_histogram_core};
+use crate::error::{FeatureError, Result};
+use crate::glcm::glcm_features_into;
+use crate::histogram::{color_moments_into, histogram_normalized_from_indexed};
+use crate::mask::foreground_mask_into;
+use crate::moments::{hu_into, region_shape_into, shape_summary_into};
+use crate::quantize::Quantizer;
+use crate::tamura::{coarseness_core_into, contrast, directionality_core, CoarsenessScratch};
+use crate::wavelet::{wavelet_signature_into, WaveletScratch};
+use cbir_image::ops::{
+    magnitude_orientation_into, resize_bilinear_rgb_into, sobel_into, IntegralImage, Labeling,
+    SOBEL_MAGNITUDE_MAX,
+};
+use cbir_image::{FloatImage, GrayImage, RgbImage};
+
+/// Salience scale of the pipeline's distance transform (chamfer units).
+const SDT_SCALE: f32 = 3.0;
+
+/// A quantized bin plane cached per quantizer configuration.
+struct QuantPlane {
+    key: Quantizer,
+    plane: Vec<u16>,
+    ready: bool,
+}
+
+/// Reusable buffers for [`ExtractContext`].
+///
+/// One scratch serves any number of images sequentially; buffers grow to
+/// the high-water mark of the shapes seen and are then reused without
+/// further allocation. Create one per worker thread for parallel ingest.
+pub struct ExtractScratch {
+    canon: RgbImage,
+    resize_taps: Vec<(u32, u32, f64)>,
+    gray: GrayImage,
+    gx: FloatImage,
+    gy: FloatImage,
+    mag: FloatImage,
+    ori: FloatImage,
+    mag_norm: FloatImage,
+    mask: GrayImage,
+    dt: FloatImage,
+    integral: IntegralImage,
+    quant: Vec<QuantPlane>,
+    counts_u64: Vec<u64>,
+    hist_f64: Vec<f64>,
+    counts_u32: Vec<u32>,
+    totals_u32: Vec<u32>,
+    coarse: CoarsenessScratch,
+    corr: CorrelogramScratch,
+    cm_values: Vec<[f32; 3]>,
+    wavelet: WaveletScratch,
+    labeling: Labeling,
+    largest: GrayImage,
+}
+
+impl ExtractScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        ExtractScratch {
+            canon: RgbImage::filled(0, 0, cbir_image::Rgb::default()),
+            resize_taps: Vec::new(),
+            gray: GrayImage::filled(0, 0, 0),
+            gx: FloatImage::filled(0, 0, 0.0),
+            gy: FloatImage::filled(0, 0, 0.0),
+            mag: FloatImage::filled(0, 0, 0.0),
+            ori: FloatImage::filled(0, 0, 0.0),
+            mag_norm: FloatImage::filled(0, 0, 0.0),
+            mask: GrayImage::filled(0, 0, 0),
+            dt: FloatImage::filled(0, 0, 0.0),
+            integral: IntegralImage::empty(),
+            quant: Vec::new(),
+            counts_u64: Vec::new(),
+            hist_f64: Vec::new(),
+            counts_u32: Vec::new(),
+            totals_u32: Vec::new(),
+            coarse: CoarsenessScratch::default(),
+            corr: CorrelogramScratch::default(),
+            cm_values: Vec::new(),
+            wavelet: WaveletScratch::default(),
+            labeling: Labeling::empty(),
+            largest: GrayImage::filled(0, 0, 0),
+        }
+    }
+}
+
+impl Default for ExtractScratch {
+    fn default() -> Self {
+        ExtractScratch::new()
+    }
+}
+
+/// Lazy one-pass extraction plan over a single image.
+///
+/// Construct one per image with [`ExtractContext::new`], then call family
+/// methods in any order; shared intermediates are computed on first demand
+/// and cached for the lifetime of the context. Results are bit-identical
+/// to the standalone family functions ([`crate::Pipeline::extract_naive`]
+/// is the reference implementation used by the equivalence tests).
+pub struct ExtractContext<'a> {
+    img: &'a RgbImage,
+    s: &'a mut ExtractScratch,
+    canonical: u32,
+    canon_is_input: bool,
+    have_gradient: bool,
+    have_mag_ori: bool,
+    have_mag_norm: bool,
+    have_mask: bool,
+    have_integral: bool,
+    /// `None` until the SDT is attempted; then whether it is defined.
+    dt_state: Option<bool>,
+}
+
+impl<'a> ExtractContext<'a> {
+    /// Canonicalize `img` to `canonical × canonical` (skipping the resize
+    /// entirely when the input already has that exact shape) and derive the
+    /// grayscale plane. Errors on an empty image, mirroring
+    /// [`crate::Pipeline::extract`].
+    pub fn new(img: &'a RgbImage, scratch: &'a mut ExtractScratch, canonical: u32) -> Result<Self> {
+        if img.is_empty() {
+            return Err(FeatureError::EmptyImage("pipeline"));
+        }
+        let canon_is_input = img.dimensions() == (canonical, canonical);
+        {
+            let s = &mut *scratch;
+            if !canon_is_input {
+                resize_bilinear_rgb_into(
+                    img,
+                    canonical,
+                    canonical,
+                    &mut s.resize_taps,
+                    &mut s.canon,
+                )?;
+            }
+            let canon: &RgbImage = if canon_is_input { img } else { &s.canon };
+            s.gray.reset(canonical, canonical, 0);
+            for (g, p) in s.gray.as_mut_slice().iter_mut().zip(canon.pixels()) {
+                *g = p.luma();
+            }
+            for qp in &mut s.quant {
+                qp.ready = false;
+            }
+        }
+        Ok(ExtractContext {
+            img,
+            s: scratch,
+            canonical,
+            canon_is_input,
+            have_gradient: false,
+            have_mag_ori: false,
+            have_mag_norm: false,
+            have_mask: false,
+            have_integral: false,
+            dt_state: None,
+        })
+    }
+
+    fn ensure_gradient(&mut self) {
+        if self.have_gradient {
+            return;
+        }
+        let s = &mut *self.s;
+        sobel_into(&s.gray, &mut s.gx, &mut s.gy);
+        self.have_gradient = true;
+    }
+
+    fn ensure_mag_ori(&mut self) {
+        if self.have_mag_ori {
+            return;
+        }
+        self.ensure_gradient();
+        let s = &mut *self.s;
+        magnitude_orientation_into(&s.gx, &s.gy, &mut s.mag, &mut s.ori);
+        self.have_mag_ori = true;
+    }
+
+    fn ensure_mag_norm(&mut self) {
+        if self.have_mag_norm {
+            return;
+        }
+        self.ensure_mag_ori();
+        let s = &mut *self.s;
+        let (w, h) = s.mag.dimensions();
+        s.mag_norm.reset(w, h, 0.0);
+        for (n, &m) in s.mag_norm.as_mut_slice().iter_mut().zip(s.mag.as_slice()) {
+            *n = m / SOBEL_MAGNITUDE_MAX * 255.0;
+        }
+        self.have_mag_norm = true;
+    }
+
+    fn ensure_mask(&mut self) {
+        if self.have_mask {
+            return;
+        }
+        let s = &mut *self.s;
+        foreground_mask_into(&s.gray, &mut s.mask);
+        self.have_mask = true;
+    }
+
+    fn ensure_integral(&mut self) {
+        if self.have_integral {
+            return;
+        }
+        let s = &mut *self.s;
+        s.integral.recompute(&s.gray);
+        self.have_integral = true;
+    }
+
+    /// `true` when the salience distance transform is defined (the image
+    /// has gradients); computed at most once.
+    fn ensure_dt(&mut self) -> bool {
+        if let Some(ok) = self.dt_state {
+            return ok;
+        }
+        self.ensure_mag_norm();
+        let s = &mut *self.s;
+        let ok = sdt_from_magnitude(&s.mag_norm, SDT_SCALE, &mut s.dt);
+        self.dt_state = Some(ok);
+        ok
+    }
+
+    /// Bin plane index for `quantizer`, quantizing the canonical frame on
+    /// first demand. Planes are keyed by quantizer equality, so distinct
+    /// specs sharing one quantizer quantize once.
+    fn ensure_quant(&mut self, quantizer: &Quantizer) -> usize {
+        let s = &mut *self.s;
+        let canon: &RgbImage = if self.canon_is_input {
+            self.img
+        } else {
+            &s.canon
+        };
+        let idx = match s.quant.iter().position(|qp| qp.key == *quantizer) {
+            Some(i) => i,
+            None => {
+                // Warm-up-only allocation: one slot per distinct quantizer.
+                s.quant.push(QuantPlane {
+                    key: quantizer.clone(),
+                    plane: Vec::new(),
+                    ready: false,
+                });
+                s.quant.len() - 1
+            }
+        };
+        let QuantPlane { key, plane, ready } = &mut s.quant[idx];
+        if !*ready {
+            plane.clear();
+            plane.extend(canon.pixels().map(|p| key.bin_of(p) as u16));
+            *ready = true;
+        }
+        idx
+    }
+
+    /// Normalized color histogram; matches
+    /// [`crate::ColorHistogram::compute`] + `normalized`. `out` must hold
+    /// `quantizer.n_bins()` values.
+    pub fn color_histogram(&mut self, quantizer: &Quantizer, out: &mut [f32]) -> Result<()> {
+        quantizer.validate()?;
+        let idx = self.ensure_quant(quantizer);
+        let s = &mut *self.s;
+        histogram_normalized_from_indexed(
+            &s.quant[idx].plane,
+            s.quant[idx].key.n_bins(),
+            &mut s.counts_u64,
+            out,
+        );
+        Ok(())
+    }
+
+    /// Nine HSV channel moments; matches [`crate::color_moments`]. `out`
+    /// must hold 9 values.
+    pub fn color_moments(&mut self, out: &mut [f32]) -> Result<()> {
+        let s = &mut *self.s;
+        let canon: &RgbImage = if self.canon_is_input {
+            self.img
+        } else {
+            &s.canon
+        };
+        color_moments_into(canon, &mut s.cm_values, out);
+        Ok(())
+    }
+
+    /// Auto-correlogram probabilities; matches
+    /// [`crate::AutoCorrelogram::compute`] + `to_vec`. `out` must hold
+    /// `quantizer.n_bins() * distances.len()` values.
+    pub fn correlogram(
+        &mut self,
+        quantizer: &Quantizer,
+        distances: &[u32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        quantizer.validate()?;
+        if distances.is_empty() || distances.contains(&0) {
+            return Err(FeatureError::InvalidParameter(
+                "correlogram distances must be non-empty and positive".into(),
+            ));
+        }
+        let idx = self.ensure_quant(quantizer);
+        let s = &mut *self.s;
+        correlogram_into(
+            &s.quant[idx].plane,
+            self.canonical,
+            self.canonical,
+            s.quant[idx].key.n_bins(),
+            distances,
+            &mut s.corr,
+            out,
+        );
+        Ok(())
+    }
+
+    /// Five averaged GLCM statistics; matches [`crate::glcm_features`].
+    /// `out` must hold 5 values.
+    pub fn glcm(&mut self, levels: usize, out: &mut [f32]) -> Result<()> {
+        let s = &mut *self.s;
+        glcm_features_into(&s.gray, levels, &mut s.counts_u64, out)
+    }
+
+    /// Tamura `[coarseness (log₂), contrast / 128, directionality]`;
+    /// matches [`crate::tamura_features`]. `out` must hold 3 values.
+    pub fn tamura(&mut self, out: &mut [f32]) -> Result<()> {
+        debug_assert_eq!(out.len(), 3);
+        self.ensure_mag_ori();
+        self.ensure_integral();
+        let s = &mut *self.s;
+        let c = coarseness_core_into(&s.integral, 5, &mut s.coarse);
+        let con = contrast(&s.gray)?;
+        let d = directionality_core(&s.mag, &s.ori, 16, &mut s.hist_f64);
+        out[0] = c.log2() as f32;
+        out[1] = (con / 128.0) as f32;
+        out[2] = d as f32;
+        Ok(())
+    }
+
+    /// Haar subband-energy signature; matches [`crate::wavelet_signature`].
+    /// `out` must hold `3 * levels + 1` values.
+    pub fn wavelet(&mut self, levels: u32, out: &mut [f32]) -> Result<()> {
+        let s = &mut *self.s;
+        wavelet_signature_into(&s.gray, levels, &mut s.wavelet, out)
+    }
+
+    /// Magnitude-weighted edge-orientation histogram; matches
+    /// [`crate::edge_orientation_histogram`]. `out` must hold `bins` values.
+    pub fn edge_orientation(&mut self, bins: usize, out: &mut [f32]) -> Result<()> {
+        if !(2..=256).contains(&bins) {
+            return Err(FeatureError::InvalidParameter(format!(
+                "orientation bins must be in 2..=256, got {bins}"
+            )));
+        }
+        self.ensure_mag_ori();
+        let s = &mut *self.s;
+        orientation_histogram_core(&s.mag, &s.ori, bins, &mut s.hist_f64, out);
+        Ok(())
+    }
+
+    /// Edge-density grid; matches [`crate::edge_density_grid`]. `out` must
+    /// hold `grid * grid` values.
+    pub fn edge_density_grid(&mut self, grid: u32, threshold: f32, out: &mut [f32]) -> Result<()> {
+        if grid == 0 || grid > 64 {
+            return Err(FeatureError::InvalidParameter(format!(
+                "grid must be in 1..=64, got {grid}"
+            )));
+        }
+        let (w, h) = (self.canonical, self.canonical);
+        if w < grid || h < grid {
+            return Err(FeatureError::InvalidParameter(format!(
+                "image {w}x{h} smaller than {grid}x{grid} grid"
+            )));
+        }
+        self.ensure_mag_norm();
+        let s = &mut *self.s;
+        density_grid_core(
+            &s.mag_norm,
+            grid,
+            threshold,
+            &mut s.counts_u32,
+            &mut s.totals_u32,
+            out,
+        );
+        Ok(())
+    }
+
+    /// Log-compressed Hu invariants of the Otsu foreground; matches
+    /// [`crate::hu_feature_vector`] over [`crate::foreground_mask`]. `out`
+    /// must hold 7 values.
+    pub fn hu_moments(&mut self, out: &mut [f32]) -> Result<()> {
+        self.ensure_mask();
+        hu_into(&self.s.mask, out)
+    }
+
+    /// `[eccentricity, compactness, extent]` of the Otsu foreground;
+    /// matches [`crate::shape_summary`] over [`crate::foreground_mask`].
+    /// `out` must hold 3 values.
+    pub fn shape_summary(&mut self, out: &mut [f32]) -> Result<()> {
+        self.ensure_mask();
+        shape_summary_into(&self.s.mask, out)
+    }
+
+    /// Dominant-region shape signature of the Otsu foreground; matches
+    /// [`crate::region_shape_features`] over [`crate::foreground_mask`].
+    /// `out` must hold 5 values.
+    pub fn region_shape(&mut self, out: &mut [f32]) -> Result<()> {
+        self.ensure_mask();
+        let s = &mut *self.s;
+        region_shape_into(&s.mask, &mut s.labeling, &mut s.largest, out)
+    }
+
+    /// Histogram of the salience distance transform (scale 3.0, the
+    /// pipeline's constant); matches [`crate::dt_histogram`] over
+    /// [`crate::salience_distance_transform`], including the
+    /// last-bin-spike fallback for gradient-free images. `out` must hold
+    /// `bins` values.
+    pub fn dt_histogram(&mut self, bins: usize, max_value: f32, out: &mut [f32]) -> Result<()> {
+        if !(2..=1024).contains(&bins) {
+            return Err(FeatureError::InvalidParameter(format!(
+                "dt histogram bins must be in 2..=1024, got {bins}"
+            )));
+        }
+        if max_value.is_nan() || max_value <= 0.0 {
+            return Err(FeatureError::InvalidParameter(
+                "dt histogram max_value must be positive".into(),
+            ));
+        }
+        if self.ensure_dt() {
+            dt_histogram_into(&self.s.dt, bins, max_value, out);
+        } else {
+            // Flat image: all mass "infinitely far" from edges.
+            out.fill(0.0);
+            out[bins - 1] = 1.0;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image(w: u32, h: u32) -> RgbImage {
+        RgbImage::from_fn(w, h, |x, y| {
+            cbir_image::Rgb::new(
+                ((x * 37 + y * 11) % 256) as u8,
+                ((x * 5 + y * 53) % 256) as u8,
+                ((x + y * 7) % 256) as u8,
+            )
+        })
+    }
+
+    #[test]
+    fn context_matches_standalone_functions_bitwise() {
+        let img = test_image(48, 32);
+        let mut scratch = ExtractScratch::new();
+        let canonical = 64u32;
+        let canon = cbir_image::ops::resize_bilinear_rgb(&img, canonical, canonical).unwrap();
+        let gray = canon.to_gray();
+        let q = Quantizer::hsv_default();
+
+        let mut ctx = ExtractContext::new(&img, &mut scratch, canonical).unwrap();
+
+        let mut got = vec![0.0f32; q.n_bins()];
+        ctx.color_histogram(&q, &mut got).unwrap();
+        let want = crate::ColorHistogram::compute(&canon, &q)
+            .unwrap()
+            .normalized();
+        assert_eq!(bits(&got), bits(&want));
+
+        let mut got = vec![0.0f32; 16];
+        ctx.edge_orientation(16, &mut got).unwrap();
+        let want = crate::edge_orientation_histogram(&gray, 16).unwrap();
+        assert_eq!(bits(&got), bits(&want));
+
+        let mut got = vec![0.0f32; 3];
+        ctx.tamura(&mut got).unwrap();
+        let want = crate::tamura_features(&gray).unwrap();
+        assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn canonical_input_skips_resize_without_changing_results() {
+        let img = test_image(64, 64);
+        let mut scratch = ExtractScratch::new();
+        let mut ctx = ExtractContext::new(&img, &mut scratch, 64).unwrap();
+        assert!(ctx.canon_is_input);
+        let q = Quantizer::rgb_compact();
+        let mut got = vec![0.0f32; q.n_bins()];
+        ctx.color_histogram(&q, &mut got).unwrap();
+        // The identity resize is bit-exact, so going through the resize
+        // path anyway must give the same histogram.
+        let canon = cbir_image::ops::resize_bilinear_rgb(&img, 64, 64).unwrap();
+        let want = crate::ColorHistogram::compute(&canon, &q)
+            .unwrap()
+            .normalized();
+        assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn scratch_reuse_across_images_is_clean() {
+        // A second image through the same scratch must not see stale state
+        // from the first (quant planes, flags, masks).
+        let a = test_image(40, 40);
+        let b = RgbImage::filled(32, 32, cbir_image::Rgb::new(9, 200, 40));
+        let q = Quantizer::hsv_default();
+        let mut scratch = ExtractScratch::new();
+
+        let mut va = vec![0.0f32; q.n_bins()];
+        ExtractContext::new(&a, &mut scratch, 64)
+            .unwrap()
+            .color_histogram(&q, &mut va)
+            .unwrap();
+
+        let mut vb = vec![0.0f32; q.n_bins()];
+        ExtractContext::new(&b, &mut scratch, 64)
+            .unwrap()
+            .color_histogram(&q, &mut vb)
+            .unwrap();
+
+        let mut fresh = ExtractScratch::new();
+        let mut vb_fresh = vec![0.0f32; q.n_bins()];
+        ExtractContext::new(&b, &mut fresh, 64)
+            .unwrap()
+            .color_histogram(&q, &mut vb_fresh)
+            .unwrap();
+        assert_eq!(bits(&vb), bits(&vb_fresh));
+        assert_ne!(bits(&va), bits(&vb));
+    }
+
+    #[test]
+    fn empty_image_is_rejected() {
+        let img = RgbImage::filled(0, 0, cbir_image::Rgb::default());
+        let mut scratch = ExtractScratch::new();
+        assert!(ExtractContext::new(&img, &mut scratch, 64).is_err());
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+}

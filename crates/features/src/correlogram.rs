@@ -19,9 +19,9 @@ pub struct AutoCorrelogram {
 }
 
 /// All offsets on the L∞ ring of radius `d` (the square ring with
-/// chessboard distance exactly `d`).
-fn ring_offsets(d: i64) -> Vec<(i64, i64)> {
-    let mut out = Vec::with_capacity((8 * d) as usize);
+/// chessboard distance exactly `d`), appended to `out`.
+fn ring_offsets_into(d: i64, out: &mut Vec<(i64, i64)>) {
+    out.reserve((8 * d) as usize);
     for x in -d..=d {
         out.push((x, -d));
         out.push((x, d));
@@ -30,7 +30,182 @@ fn ring_offsets(d: i64) -> Vec<(i64, i64)> {
         out.push((-d, y));
         out.push((d, y));
     }
+}
+
+#[cfg(test)]
+fn ring_offsets(d: i64) -> Vec<(i64, i64)> {
+    let mut out = Vec::new();
+    ring_offsets_into(d, &mut out);
     out
+}
+
+/// Reusable work buffers for [`correlogram_into`].
+#[derive(Default)]
+pub(crate) struct CorrelogramScratch {
+    ring: Vec<(i64, i64)>,
+    ring_lin: Vec<isize>,
+    same: Vec<u64>,
+    total: Vec<u64>,
+    hits: Vec<u16>,
+}
+
+/// Core auto-correlogram accumulation over a pre-quantized bin plane,
+/// writing the `[color-major][distance-minor]` probabilities into `out`.
+///
+/// Pixels are split per distance into a border band (ring probes
+/// bounds-checked, exactly as the straightforward formulation) and the
+/// interior (every ring offset is guaranteed in bounds, probed offset-major
+/// over contiguous row slices so the equality scan vectorizes, with a
+/// single bulk `total` update). The per-color counters are plain `u64`
+/// sums, so the partition changes only the order of commutative integer
+/// increments: counts — and therefore the final `same / total` divisions —
+/// are bit-identical to the naive loop.
+pub(crate) fn correlogram_into(
+    plane: &[u16],
+    width: u32,
+    height: u32,
+    n_colors: usize,
+    distances: &[u32],
+    scratch: &mut CorrelogramScratch,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(plane.len(), width as usize * height as usize);
+    debug_assert_eq!(out.len(), n_colors * distances.len());
+    let CorrelogramScratch {
+        ring,
+        ring_lin,
+        same,
+        total,
+        hits,
+    } = scratch;
+    let (wi, hi) = (width as i64, height as i64);
+    for (di, &d) in distances.iter().enumerate() {
+        let dd = d as i64;
+        ring.clear();
+        ring_offsets_into(dd, ring);
+        same.clear();
+        same.resize(n_colors, 0);
+        total.clear();
+        total.resize(n_colors, 0);
+
+        // Rows/columns within `dd` of an edge need bounds checks; everything
+        // else is interior.
+        let y_lo = dd.min(hi);
+        let y_hi = (hi - dd).max(y_lo);
+        let x_lo = dd.min(wi);
+        let x_hi = (wi - dd).max(x_lo);
+        {
+            // The in-bounds part of a pixel's ring is four contiguous
+            // segments (two row spans, two column spans), so clip each
+            // segment analytically instead of bounds-checking every probe;
+            // the row spans then scan as contiguous slices.
+            let mut probe_clipped = |x: i64, y: i64| {
+                let c16 = plane[(y * wi + x) as usize];
+                let mut count = 0u64;
+                let mut matches = 0u64;
+                let dx0 = (-dd).max(-x);
+                let dx1 = dd.min(wi - 1 - x);
+                if dx0 <= dx1 {
+                    for ny in [y - dd, y + dd] {
+                        if ny >= 0 && ny < hi {
+                            let start = (ny * wi + x + dx0) as usize;
+                            let seg = &plane[start..start + (dx1 - dx0 + 1) as usize];
+                            count += seg.len() as u64;
+                            matches += seg.iter().filter(|&&v| v == c16).count() as u64;
+                        }
+                    }
+                }
+                let dy0 = (1 - dd).max(-y);
+                let dy1 = (dd - 1).min(hi - 1 - y);
+                if dy0 <= dy1 {
+                    for nx in [x - dd, x + dd] {
+                        if nx >= 0 && nx < wi {
+                            let mut idx = ((y + dy0) * wi + nx) as usize;
+                            for _ in dy0..=dy1 {
+                                count += 1;
+                                matches += u64::from(plane[idx] == c16);
+                                idx += wi as usize;
+                            }
+                        }
+                    }
+                }
+                total[c16 as usize] += count;
+                same[c16 as usize] += matches;
+            };
+            for y in 0..y_lo {
+                for x in 0..wi {
+                    probe_clipped(x, y);
+                }
+            }
+            for y in y_lo..y_hi {
+                for x in 0..x_lo {
+                    probe_clipped(x, y);
+                }
+                for x in x_hi..wi {
+                    probe_clipped(x, y);
+                }
+            }
+            for y in y_hi..hi {
+                for x in 0..wi {
+                    probe_clipped(x, y);
+                }
+            }
+        }
+
+        // Interior: the whole ring is in bounds for every pixel. Probed
+        // offset-major per row — for a fixed offset the probe is a second
+        // contiguous `u16` slice compared elementwise against the row, which
+        // vectorizes at full u16 lane width into same-width hit counters —
+        // with per-pixel hit counts scattered into the per-color counters in
+        // a second pass.
+        ring_lin.clear();
+        ring_lin.extend(ring.iter().map(|&(dx, dy)| (dy * wi + dx) as isize));
+        let ring_len = ring_lin.len() as u64;
+        let row_w = (x_hi - x_lo).max(0) as usize;
+        if ring_lin.len() <= usize::from(u16::MAX) {
+            hits.clear();
+            hits.resize(row_w, 0);
+            let hrow = &mut hits[..row_w];
+            for y in y_lo..y_hi {
+                let base = (y * wi + x_lo) as usize;
+                let cur = &plane[base..base + row_w];
+                hrow.fill(0);
+                for &off in ring_lin.iter() {
+                    let shifted = &plane[(base as isize + off) as usize..][..row_w];
+                    for i in 0..row_w {
+                        hrow[i] += u16::from(cur[i] == shifted[i]);
+                    }
+                }
+                for (&c16, &h) in cur.iter().zip(hrow.iter()) {
+                    total[c16 as usize] += ring_len;
+                    same[c16 as usize] += u64::from(h);
+                }
+            }
+        } else {
+            // Ring wider than a u16 counter (needs an image > 16k pixels on
+            // a side): straightforward per-pixel probe, same exact counts.
+            for y in y_lo..y_hi {
+                for x in x_lo..x_hi {
+                    let i = (y * wi + x) as usize;
+                    let c16 = plane[i];
+                    let mut h = 0u64;
+                    for &off in ring_lin.iter() {
+                        h += u64::from(plane[(i as isize + off) as usize] == c16);
+                    }
+                    total[c16 as usize] += ring_len;
+                    same[c16 as usize] += h;
+                }
+            }
+        }
+
+        for c in 0..n_colors {
+            out[c * distances.len() + di] = if total[c] > 0 {
+                same[c] as f32 / total[c] as f32
+            } else {
+                0.0
+            };
+        }
+    }
 }
 
 impl AutoCorrelogram {
@@ -53,38 +228,16 @@ impl AutoCorrelogram {
 
         // Pre-quantize the image once.
         let quantized: Vec<u16> = img.pixels().map(|p| quantizer.bin_of(p) as u16).collect();
-        let bin_at = |x: i64, y: i64| -> Option<u16> {
-            if x < 0 || y < 0 || x >= w as i64 || y >= h as i64 {
-                None
-            } else {
-                Some(quantized[y as usize * w as usize + x as usize])
-            }
-        };
-
         let mut values = vec![0.0f32; n_colors * distances.len()];
-        for (di, &d) in distances.iter().enumerate() {
-            let ring = ring_offsets(d as i64);
-            let mut same = vec![0u64; n_colors];
-            let mut total = vec![0u64; n_colors];
-            for y in 0..h as i64 {
-                for x in 0..w as i64 {
-                    let c = quantized[y as usize * w as usize + x as usize] as usize;
-                    for &(dx, dy) in &ring {
-                        if let Some(nb) = bin_at(x + dx, y + dy) {
-                            total[c] += 1;
-                            if nb as usize == c {
-                                same[c] += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            for c in 0..n_colors {
-                if total[c] > 0 {
-                    values[c * distances.len() + di] = same[c] as f32 / total[c] as f32;
-                }
-            }
-        }
+        correlogram_into(
+            &quantized,
+            w,
+            h,
+            n_colors,
+            distances,
+            &mut CorrelogramScratch::default(),
+            &mut values,
+        );
         Ok(AutoCorrelogram {
             distances: distances.to_vec(),
             values,
@@ -220,6 +373,52 @@ mod tests {
         assert!(AutoCorrelogram::compute(&img, &q, &[0, 1]).is_err());
         let empty = RgbImage::filled(0, 0, RED);
         assert!(AutoCorrelogram::compute(&empty, &q, &[1]).is_err());
+    }
+
+    #[test]
+    fn interior_fast_path_matches_bruteforce_bitwise() {
+        // Reference: the straightforward all-bounds-checked formulation.
+        let img = RgbImage::from_fn(21, 13, |x, y| {
+            Rgb::new((x * 17) as u8, (y * 29) as u8, ((x * y) % 251) as u8)
+        });
+        let q = Quantizer::rgb_compact();
+        let (w, h) = img.dimensions();
+        let quantized: Vec<u16> = img.pixels().map(|p| q.bin_of(p) as u16).collect();
+        let n = q.n_bins();
+        // Distances straddling every regime: deep interior, thin interior,
+        // distance >= one axis, distance >= both axes.
+        for dists in [vec![1u32], vec![1, 3, 5, 7], vec![6, 12], vec![20, 50]] {
+            let mut values = vec![0.0f32; n * dists.len()];
+            for (di, &d) in dists.iter().enumerate() {
+                let ring = ring_offsets(d as i64);
+                let mut same = vec![0u64; n];
+                let mut total = vec![0u64; n];
+                for y in 0..h as i64 {
+                    for x in 0..w as i64 {
+                        let c = quantized[y as usize * w as usize + x as usize] as usize;
+                        for &(dx, dy) in &ring {
+                            let nx = x + dx;
+                            let ny = y + dy;
+                            if nx >= 0 && ny >= 0 && nx < w as i64 && ny < h as i64 {
+                                total[c] += 1;
+                                if quantized[ny as usize * w as usize + nx as usize] as usize == c {
+                                    same[c] += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                for c in 0..n {
+                    if total[c] > 0 {
+                        values[c * dists.len() + di] = same[c] as f32 / total[c] as f32;
+                    }
+                }
+            }
+            let fast = AutoCorrelogram::compute(&img, &q, &dists).unwrap();
+            let fast_bits: Vec<u32> = fast.to_vec().iter().map(|v| v.to_bits()).collect();
+            let ref_bits: Vec<u32> = values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fast_bits, ref_bits, "distances {dists:?}");
+        }
     }
 
     #[test]

@@ -107,22 +107,36 @@ pub fn salience_distance_transform(img: &GrayImage, scale: f32) -> Result<FloatI
         )));
     }
     let mag = sobel::sobel_magnitude(img);
-    let peak = mag.pixels().fold(0.0f32, f32::max);
-    if peak <= 0.0 {
+    let mut dt = FloatImage::filled(0, 0, 0.0);
+    if !sdt_from_magnitude(&mag, scale, &mut dt) {
         return Err(FeatureError::InvalidParameter(
             "image has no gradients; SDT undefined".into(),
         ));
     }
-    let mut dt = mag.map(|m| {
+    Ok(dt)
+}
+
+/// [`salience_distance_transform`] over a precomputed normalized Sobel
+/// magnitude plane, writing into a reusable `dt` plane. Returns `false`
+/// (leaving `dt` untouched) when the image has no gradients — the caller
+/// decides whether that is an error or a fallback.
+pub(crate) fn sdt_from_magnitude(mag: &FloatImage, scale: f32, dt: &mut FloatImage) -> bool {
+    let peak = mag.pixels().fold(0.0f32, f32::max);
+    if peak <= 0.0 {
+        return false;
+    }
+    let (w, h) = mag.dimensions();
+    dt.reset(w, h, 0.0);
+    for (d, &m) in dt.as_mut_slice().iter_mut().zip(mag.as_slice()) {
         let strength = m / peak;
-        if strength > 0.05 {
+        *d = if strength > 0.05 {
             scale * (1.0 - strength)
         } else {
             INF
-        }
-    });
-    chamfer_propagate(&mut dt);
-    Ok(dt)
+        };
+    }
+    chamfer_propagate(dt);
+    true
 }
 
 /// Normalized histogram of distance-transform values with `bins` uniform
@@ -144,15 +158,23 @@ pub fn dt_histogram(dt: &FloatImage, bins: usize, max_value: f32) -> Result<Vec<
         return Err(FeatureError::EmptyImage("dt histogram"));
     }
     let mut hist = vec![0.0f32; bins];
+    dt_histogram_into(dt, bins, max_value, &mut hist);
+    Ok(hist)
+}
+
+/// [`dt_histogram`] into a caller-provided slice; parameters are assumed
+/// already validated (`bins` in range, positive `max_value`, non-empty `dt`).
+pub(crate) fn dt_histogram_into(dt: &FloatImage, bins: usize, max_value: f32, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), bins);
+    out.fill(0.0);
     for v in dt.pixels() {
         let b = ((v / max_value) * bins as f32) as usize;
-        hist[b.min(bins - 1)] += 1.0;
+        out[b.min(bins - 1)] += 1.0;
     }
     let n = dt.len() as f32;
-    for h in &mut hist {
+    for h in out {
         *h /= n;
     }
-    Ok(hist)
 }
 
 #[cfg(test)]

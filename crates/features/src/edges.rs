@@ -4,7 +4,7 @@
 
 use crate::error::{FeatureError, Result};
 use cbir_image::ops::sobel;
-use cbir_image::GrayImage;
+use cbir_image::{FloatImage, GrayImage};
 
 /// Magnitude-weighted edge-orientation histogram over `[0, π)`.
 ///
@@ -25,8 +25,26 @@ pub fn edge_orientation_histogram(img: &GrayImage, bins: usize) -> Result<Vec<f3
     let g = sobel(img);
     let mag = g.magnitude();
     let ori = g.orientation();
-    let mut hist = vec![0.0f64; bins];
-    for (m, o) in mag.pixels().zip(ori.pixels()) {
+    let mut hist = Vec::new();
+    let mut out = vec![0.0f32; bins];
+    orientation_histogram_core(&mag, &ori, bins, &mut hist, &mut out);
+    Ok(out)
+}
+
+/// [`edge_orientation_histogram`] over precomputed magnitude and
+/// orientation planes, with `hist` reused as the accumulation buffer and
+/// the normalized histogram written into `out`.
+pub(crate) fn orientation_histogram_core(
+    mag: &FloatImage,
+    ori: &FloatImage,
+    bins: usize,
+    hist: &mut Vec<f64>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), bins);
+    hist.clear();
+    hist.resize(bins, 0.0);
+    for (&m, &o) in mag.as_slice().iter().zip(ori.as_slice()) {
         if m <= 0.0 {
             continue;
         }
@@ -35,9 +53,12 @@ pub fn edge_orientation_histogram(img: &GrayImage, bins: usize) -> Result<Vec<f3
     }
     let total: f64 = hist.iter().sum();
     if total <= 0.0 {
-        return Ok(vec![1.0 / bins as f32; bins]);
+        out.fill(1.0 / bins as f32);
+        return;
     }
-    Ok(hist.iter().map(|&v| (v / total) as f32).collect())
+    for (o, &v) in out.iter_mut().zip(hist.iter()) {
+        *o = (v / total) as f32;
+    }
 }
 
 /// Minimum L1 distance between two orientation histograms over all circular
@@ -78,23 +99,50 @@ pub fn edge_density_grid(img: &GrayImage, grid: u32, threshold: f32) -> Result<V
             "image {w}x{h} smaller than {grid}x{grid} grid"
         )));
     }
-    let edges = sobel::edge_map(img, threshold);
-    let mut counts = vec![0u32; (grid * grid) as usize];
-    let mut totals = vec![0u32; (grid * grid) as usize];
-    for (x, y, p) in edges.enumerate_pixels() {
+    let mag_norm = sobel::sobel_magnitude(img);
+    let mut counts = Vec::new();
+    let mut totals = Vec::new();
+    let mut out = vec![0.0f32; (grid * grid) as usize];
+    density_grid_core(
+        &mag_norm,
+        grid,
+        threshold,
+        &mut counts,
+        &mut totals,
+        &mut out,
+    );
+    Ok(out)
+}
+
+/// [`edge_density_grid`] over a precomputed normalized Sobel magnitude
+/// plane. `m > threshold` is exactly the predicate `edge_map` uses to mark
+/// an edge pixel, so the densities match the binary-edge-map formulation.
+pub(crate) fn density_grid_core(
+    mag_norm: &FloatImage,
+    grid: u32,
+    threshold: f32,
+    counts: &mut Vec<u32>,
+    totals: &mut Vec<u32>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), (grid * grid) as usize);
+    let (w, h) = mag_norm.dimensions();
+    counts.clear();
+    counts.resize((grid * grid) as usize, 0);
+    totals.clear();
+    totals.resize((grid * grid) as usize, 0);
+    for (x, y, m) in mag_norm.enumerate_pixels() {
         let cx = (x * grid / w).min(grid - 1);
         let cy = (y * grid / h).min(grid - 1);
         let c = (cy * grid + cx) as usize;
         totals[c] += 1;
-        if p == 255 {
+        if m > threshold {
             counts[c] += 1;
         }
     }
-    Ok(counts
-        .iter()
-        .zip(&totals)
-        .map(|(&c, &t)| if t > 0 { c as f32 / t as f32 } else { 0.0 })
-        .collect())
+    for ((o, &c), &t) in out.iter_mut().zip(counts.iter()).zip(totals.iter()) {
+        *o = if t > 0 { c as f32 / t as f32 } else { 0.0 };
+    }
 }
 
 #[cfg(test)]

@@ -153,14 +153,138 @@ impl Glcm {
 /// Rotation-tolerant texture signature: the five GLCM statistics averaged
 /// over the four standard orientations, as `f32`s.
 pub fn glcm_features(img: &GrayImage, levels: usize) -> Result<Vec<f32>> {
+    let mut counts = Vec::new();
+    let mut out = vec![0.0f32; 5];
+    glcm_features_into(img, levels, &mut counts, &mut out)?;
+    Ok(out)
+}
+
+/// [`glcm_features`] with `counts` reused as the co-occurrence counting
+/// buffer and the statistics written into `out`.
+///
+/// The statistics are computed straight off the integer counts with the
+/// same `count / total` division [`Glcm::compute`] performs when
+/// normalizing, in the same summation orders, so the results are
+/// bit-identical to building the probability matrix first.
+pub(crate) fn glcm_features_into(
+    img: &GrayImage,
+    levels: usize,
+    counts: &mut Vec<u64>,
+    out: &mut [f32],
+) -> Result<()> {
+    debug_assert_eq!(out.len(), 5);
     let mut acc = [0.0f64; 5];
     for &(dx, dy) in &STANDARD_OFFSETS {
-        let g = Glcm::compute(img, levels, dx, dy)?;
-        for (a, f) in acc.iter_mut().zip(g.features()) {
+        let stats = glcm_stats(img, levels, dx, dy, counts)?;
+        for (a, f) in acc.iter_mut().zip(stats) {
             *a += f;
         }
     }
-    Ok(acc.iter().map(|&a| (a / 4.0) as f32).collect())
+    for (o, &a) in out.iter_mut().zip(acc.iter()) {
+        *o = (a / 4.0) as f32;
+    }
+    Ok(())
+}
+
+/// The five statistics of one symmetric GLCM, mirroring [`Glcm::compute`]
+/// and the individual statistic methods exactly.
+fn glcm_stats(
+    img: &GrayImage,
+    levels: usize,
+    dx: i32,
+    dy: i32,
+    counts: &mut Vec<u64>,
+) -> Result<[f64; 5]> {
+    if !(2..=256).contains(&levels) {
+        return Err(FeatureError::InvalidParameter(format!(
+            "GLCM levels must be in 2..=256, got {levels}"
+        )));
+    }
+    if dx == 0 && dy == 0 {
+        return Err(FeatureError::InvalidParameter(
+            "GLCM displacement must be nonzero".into(),
+        ));
+    }
+    if img.is_empty() {
+        return Err(FeatureError::EmptyImage("glcm"));
+    }
+    let (w, h) = img.dimensions();
+    let quant = |v: u8| (v as usize * levels) / 256;
+    counts.clear();
+    counts.resize(levels * levels, 0);
+    let mut total = 0u64;
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            let nx = x + dx as i64;
+            let ny = y + dy as i64;
+            if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                continue;
+            }
+            let a = quant(img.pixel(x as u32, y as u32));
+            let b = quant(img.pixel(nx as u32, ny as u32));
+            counts[a * levels + b] += 1;
+            counts[b * levels + a] += 1;
+            total += 2;
+        }
+    }
+    if total == 0 {
+        return Err(FeatureError::InvalidParameter(
+            "GLCM displacement exceeds image extent; no pixel pairs".into(),
+        ));
+    }
+    let t = total as f64;
+    let prob = |i: usize, j: usize| counts[i * levels + j] as f64 / t;
+
+    let mut energy = 0.0;
+    for &c in counts.iter() {
+        let v = c as f64 / t;
+        energy += v * v;
+    }
+    let mut neg_entropy = 0.0;
+    for &c in counts.iter() {
+        if c > 0 {
+            let v = c as f64 / t;
+            neg_entropy += v * v.ln();
+        }
+    }
+    let entropy = -neg_entropy;
+    let mut contrast = 0.0;
+    for i in 0..levels {
+        for j in 0..levels {
+            let d = i as f64 - j as f64;
+            contrast += d * d * prob(i, j);
+        }
+    }
+    let mut homogeneity = 0.0;
+    for i in 0..levels {
+        for j in 0..levels {
+            homogeneity += prob(i, j) / (1.0 + (i as f64 - j as f64).abs());
+        }
+    }
+    let mut mu = 0.0;
+    for i in 0..levels {
+        for j in 0..levels {
+            mu += i as f64 * prob(i, j);
+        }
+    }
+    let mut var = 0.0;
+    for i in 0..levels {
+        for j in 0..levels {
+            var += (i as f64 - mu) * (i as f64 - mu) * prob(i, j);
+        }
+    }
+    let correlation = if var <= 1e-12 {
+        0.0
+    } else {
+        let mut num = 0.0;
+        for i in 0..levels {
+            for j in 0..levels {
+                num += (i as f64 - mu) * (j as f64 - mu) * prob(i, j);
+            }
+        }
+        num / var
+    };
+    Ok([energy, entropy, contrast, homogeneity, correlation])
 }
 
 #[cfg(test)]
@@ -245,6 +369,27 @@ mod tests {
         assert!(f[2] >= 0.0); // contrast
         assert!(f[3] > 0.0 && f[3] <= 1.0); // homogeneity
         assert!((-1.0..=1.0).contains(&f[4])); // correlation
+    }
+
+    #[test]
+    fn count_based_stats_match_probability_matrix_bitwise() {
+        let img = GrayImage::from_fn(20, 14, |x, y| ((x * 11 + y * 3) % 256) as u8);
+        for levels in [2, 8, 16] {
+            let mut acc = [0.0f64; 5];
+            for &(dx, dy) in &STANDARD_OFFSETS {
+                let g = Glcm::compute(&img, levels, dx, dy).unwrap();
+                for (a, f) in acc.iter_mut().zip(g.features()) {
+                    *a += f;
+                }
+            }
+            let reference: Vec<u32> = acc.iter().map(|&a| ((a / 4.0) as f32).to_bits()).collect();
+            let fast: Vec<u32> = glcm_features(&img, levels)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(fast, reference, "levels {levels}");
+        }
     }
 
     #[test]

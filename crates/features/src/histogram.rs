@@ -76,6 +76,28 @@ impl ColorHistogram {
     }
 }
 
+/// Normalized histogram over a pre-quantized bin plane, written into `out`
+/// with `counts` reused as the counting buffer. The probabilities are the
+/// same `count / total` divisions [`ColorHistogram::normalized`] performs,
+/// so results are bit-identical to the two-step path.
+pub(crate) fn histogram_normalized_from_indexed(
+    plane: &[u16],
+    n_bins: usize,
+    counts: &mut Vec<u64>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), n_bins);
+    counts.clear();
+    counts.resize(n_bins, 0);
+    for &b in plane {
+        counts[b as usize] += 1;
+    }
+    let t = plane.len() as u64 as f32;
+    for (o, &c) in out.iter_mut().zip(counts.iter()) {
+        *o = c as f32 / t;
+    }
+}
+
 /// The first three statistical moments (mean, standard deviation, skewness
 /// cube root) of each HSV channel: a 9-component signature that is far more
 /// compact than a histogram yet competitive for coarse color matching.
@@ -83,10 +105,20 @@ pub fn color_moments(img: &RgbImage) -> Result<Vec<f32>> {
     if img.is_empty() {
         return Err(FeatureError::EmptyImage("color moments"));
     }
+    let mut values = Vec::new();
+    let mut out = vec![0.0f32; 9];
+    color_moments_into(img, &mut values, &mut out);
+    Ok(out)
+}
+
+/// [`color_moments`] over a non-empty image, writing the nine moments into
+/// `out` and reusing `values` as the per-pixel HSV buffer.
+pub(crate) fn color_moments_into(img: &RgbImage, values: &mut Vec<[f32; 3]>, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), 9);
     let n = img.len() as f64;
     // Channel extractors into comparable [0,1]-ish ranges.
     let mut sums = [0.0f64; 3];
-    let mut values: Vec<[f32; 3]> = Vec::with_capacity(img.len());
+    values.clear();
     for p in img.pixels() {
         let hsv = rgb_to_hsv(p);
         let v = [hsv.h / 360.0, hsv.s, hsv.v];
@@ -99,22 +131,20 @@ pub fn color_moments(img: &RgbImage) -> Result<Vec<f32>> {
 
     let mut m2 = [0.0f64; 3];
     let mut m3 = [0.0f64; 3];
-    for v in &values {
+    for v in values.iter() {
         for c in 0..3 {
             let d = v[c] as f64 - means[c];
             m2[c] += d * d;
             m3[c] += d * d * d;
         }
     }
-    let mut out = Vec::with_capacity(9);
     for c in 0..3 {
-        out.push(means[c] as f32);
-        out.push((m2[c] / n).sqrt() as f32);
+        out[3 * c] = means[c] as f32;
+        out[3 * c + 1] = (m2[c] / n).sqrt() as f32;
         // Signed cube root of the third moment keeps units linear.
         let third = m3[c] / n;
-        out.push(third.signum() as f32 * (third.abs().powf(1.0 / 3.0)) as f32);
+        out[3 * c + 2] = third.signum() as f32 * (third.abs().powf(1.0 / 3.0)) as f32;
     }
-    Ok(out)
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+mod context;
 mod correlogram;
 mod descriptor;
 mod distance_transform;
@@ -36,6 +37,7 @@ mod edges;
 mod error;
 mod glcm;
 mod histogram;
+mod mask;
 mod moments;
 mod pipeline;
 mod quantize;
@@ -43,6 +45,7 @@ mod tamura;
 mod wavelet;
 mod window_search;
 
+pub use context::{ExtractContext, ExtractScratch};
 pub use correlogram::AutoCorrelogram;
 pub use descriptor::{normalize_l1, normalize_l2, normalize_minmax, FeatureKind, Segment};
 pub use distance_transform::{distance_transform, dt_histogram, salience_distance_transform};
@@ -50,6 +53,7 @@ pub use edges::{circular_min_l1, edge_density_grid, edge_orientation_histogram};
 pub use error::{FeatureError, Result};
 pub use glcm::{glcm_features, Glcm, STANDARD_OFFSETS};
 pub use histogram::{color_moments, ColorHistogram};
+pub use mask::{foreground_mask, foreground_mask_into};
 pub use moments::{hu_feature_vector, region_shape_features, shape_summary, Moments};
 pub use pipeline::{FeatureSpec, Pipeline};
 pub use quantize::Quantizer;

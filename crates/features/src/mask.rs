@@ -1,0 +1,86 @@
+//! Otsu foreground masking shared by every shape feature.
+//!
+//! The pipeline and the extraction planner both segment the canonical
+//! grayscale image the same way; this module is the single home of that
+//! logic and of its non-empty guarantee.
+
+use cbir_image::ops::otsu_level;
+use cbir_image::GrayImage;
+
+/// Compute the Otsu foreground mask of `gray` into `out`, reusing `out`'s
+/// allocation.
+///
+/// Guarantee: the resulting mask always contains at least one foreground
+/// (255) pixel, so downstream shape features (moments, region analysis)
+/// cannot fail on it:
+///
+/// - normal case: pixels strictly above the Otsu level become foreground;
+/// - Otsu undefined (empty input): a 1×1 all-foreground mask;
+/// - threshold marks nothing (e.g. a constant image): the whole frame
+///   becomes foreground.
+pub fn foreground_mask_into(gray: &GrayImage, out: &mut GrayImage) {
+    let t = match otsu_level(gray) {
+        Ok(t) => t,
+        Err(_) => {
+            out.reset(1, 1, 255);
+            return;
+        }
+    };
+    let (w, h) = gray.dimensions();
+    out.reset(w, h, 0);
+    let mut any = false;
+    for (o, &p) in out.as_mut_slice().iter_mut().zip(gray.as_slice()) {
+        if p > t {
+            *o = 255;
+            any = true;
+        }
+    }
+    if !any {
+        out.as_mut_slice().fill(255);
+    }
+}
+
+/// Allocating convenience wrapper around [`foreground_mask_into`].
+pub fn foreground_mask(gray: &GrayImage) -> GrayImage {
+    let mut out = GrayImage::filled(0, 0, 0);
+    foreground_mask_into(gray, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbir_image::ops::threshold;
+
+    #[test]
+    fn matches_direct_thresholding() {
+        let gray = GrayImage::from_fn(16, 16, |x, y| ((x * 13 + y * 31) % 256) as u8);
+        let t = otsu_level(&gray).unwrap();
+        assert_eq!(foreground_mask(&gray), threshold(&gray, t));
+    }
+
+    #[test]
+    fn never_empty_on_degenerate_inputs() {
+        // Constant image: Otsu marks nothing -> whole frame is foreground.
+        let flat = GrayImage::filled(8, 8, 100);
+        let m = foreground_mask(&flat);
+        assert_eq!(m.dimensions(), (8, 8));
+        assert!(m.pixels().all(|p| p == 255));
+        // Empty image: Otsu errors -> 1x1 foreground.
+        let empty = GrayImage::filled(0, 0, 0);
+        let m = foreground_mask(&empty);
+        assert_eq!(m.dimensions(), (1, 1));
+        assert_eq!(m.pixel(0, 0), 255);
+    }
+
+    #[test]
+    fn into_variant_reuses_allocation_and_matches() {
+        let a = GrayImage::from_fn(12, 9, |x, y| ((x * 7 + y * 3) % 256) as u8);
+        let b = GrayImage::filled(5, 5, 42);
+        let mut out = GrayImage::filled(0, 0, 0);
+        for img in [&a, &b, &a] {
+            foreground_mask_into(img, &mut out);
+            assert_eq!(out, foreground_mask(img));
+        }
+    }
+}

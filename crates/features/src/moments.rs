@@ -5,7 +5,7 @@
 //! with the thresholding and morphology operators.
 
 use crate::error::{FeatureError, Result};
-use cbir_image::ops::{connected_components, Connectivity};
+use cbir_image::ops::{Connectivity, Labeling};
 use cbir_image::GrayImage;
 
 /// Raw, central, and normalized moments of a binary region.
@@ -138,17 +138,33 @@ impl Moments {
 /// `sign(h) * ln(1 + |h| * 1e6)` keeps the wildly different magnitudes of
 /// the seven invariants on a comparable scale.
 pub fn hu_feature_vector(mask: &GrayImage) -> Result<Vec<f32>> {
+    let mut out = vec![0.0f32; 7];
+    hu_into(mask, &mut out)?;
+    Ok(out)
+}
+
+/// [`hu_feature_vector`] into a caller-provided 7-element slice.
+pub(crate) fn hu_into(mask: &GrayImage, out: &mut [f32]) -> Result<()> {
+    debug_assert_eq!(out.len(), 7);
     let m = Moments::compute(mask)?;
-    Ok(m.hu_invariants()
-        .iter()
-        .map(|&h| (h.signum() * (1.0 + h.abs() * 1e6).ln()) as f32)
-        .collect())
+    for (o, &h) in out.iter_mut().zip(m.hu_invariants().iter()) {
+        *o = (h.signum() * (1.0 + h.abs() * 1e6).ln()) as f32;
+    }
+    Ok(())
 }
 
 /// Shape summary `[eccentricity, compactness, extent]`:
 /// compactness = `4π·area / perimeter²` (1 for a disc), extent = fraction of
 /// the bounding box covered.
 pub fn shape_summary(mask: &GrayImage) -> Result<Vec<f32>> {
+    let mut out = vec![0.0f32; 3];
+    shape_summary_into(mask, &mut out)?;
+    Ok(out)
+}
+
+/// [`shape_summary`] into a caller-provided 3-element slice.
+pub(crate) fn shape_summary_into(mask: &GrayImage, out: &mut [f32]) -> Result<()> {
+    debug_assert_eq!(out.len(), 3);
     let m = Moments::compute(mask)?;
     let (w, h) = mask.dimensions();
 
@@ -189,11 +205,10 @@ pub fn shape_summary(mask: &GrayImage) -> Result<Vec<f32>> {
     };
     let bbox = (max_x - min_x + 1) as f64 * (max_y - min_y + 1) as f64;
     let extent = area / bbox;
-    Ok(vec![
-        m.eccentricity() as f32,
-        compactness as f32,
-        extent as f32,
-    ])
+    out[0] = m.eccentricity() as f32;
+    out[1] = compactness as f32;
+    out[2] = extent as f32;
+    Ok(())
 }
 
 /// Region-based shape signature built on connected-component analysis of
@@ -202,25 +217,46 @@ pub fn shape_summary(mask: &GrayImage) -> Result<Vec<f32>> {
 /// whole-mask statistics this describes *the dominant object*, ignoring
 /// disconnected clutter.
 pub fn region_shape_features(mask: &GrayImage) -> Result<Vec<f32>> {
+    let mut labeling = Labeling::empty();
+    let mut largest = GrayImage::filled(0, 0, 0);
+    let mut out = vec![0.0f32; 5];
+    region_shape_into(mask, &mut labeling, &mut largest, &mut out)?;
+    Ok(out)
+}
+
+/// [`region_shape_features`] into a caller-provided 5-element slice, with
+/// the component labeling and largest-region mask buffers reused across
+/// calls. `connected_components` is just `Labeling::recompute` on a fresh
+/// labeling, so the results are identical.
+pub(crate) fn region_shape_into(
+    mask: &GrayImage,
+    labeling: &mut Labeling,
+    largest: &mut GrayImage,
+    out: &mut [f32],
+) -> Result<()> {
+    debug_assert_eq!(out.len(), 5);
     if mask.is_empty() {
         return Err(FeatureError::EmptyImage("region shape"));
     }
-    let labeling = connected_components(mask, Connectivity::Eight).map_err(FeatureError::Image)?;
-    let Some(largest) = labeling.largest_mask() else {
+    labeling
+        .recompute(mask, Connectivity::Eight)
+        .map_err(FeatureError::Image)?;
+    if !labeling.largest_mask_into(largest) {
         // No foreground at all: a distinctive all-zero signature.
-        return Ok(vec![0.0; 5]);
-    };
+        out.fill(0.0);
+        return Ok(());
+    }
     let n_regions = labeling.len() as f32;
     let largest_area = labeling.regions[0].area as f32;
     let area_fraction = largest_area / mask.len() as f32;
-    let summary = shape_summary(&largest)?;
-    Ok(vec![
-        ((1.0 + n_regions).log2() / 8.0).min(1.0),
-        area_fraction,
-        summary[0],
-        summary[1],
-        summary[2],
-    ])
+    let mut summary = [0.0f32; 3];
+    shape_summary_into(largest, &mut summary)?;
+    out[0] = ((1.0 + n_regions).log2() / 8.0).min(1.0);
+    out[1] = area_fraction;
+    out[2] = summary[0];
+    out[3] = summary[1];
+    out[4] = summary[2];
+    Ok(())
 }
 
 #[cfg(test)]

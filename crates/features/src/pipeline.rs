@@ -2,6 +2,7 @@
 //! one composite feature vector per image, with a stable segment layout so
 //! query-time measures can address individual families.
 
+use crate::context::{ExtractContext, ExtractScratch};
 use crate::correlogram::AutoCorrelogram;
 use crate::descriptor::{normalize_l1, FeatureKind, Segment};
 use crate::distance_transform::{dt_histogram, salience_distance_transform};
@@ -9,12 +10,13 @@ use crate::edges::{edge_density_grid, edge_orientation_histogram};
 use crate::error::{FeatureError, Result};
 use crate::glcm::glcm_features;
 use crate::histogram::{color_moments, ColorHistogram};
+use crate::mask::foreground_mask;
 use crate::moments::{hu_feature_vector, region_shape_features, shape_summary};
 use crate::quantize::Quantizer;
 use crate::tamura::tamura_features;
 use crate::wavelet::wavelet_signature;
-use cbir_image::ops::{otsu_level, resize_bilinear_rgb, threshold};
-use cbir_image::{GrayImage, RgbImage};
+use cbir_image::ops::resize_bilinear_rgb;
+use cbir_image::RgbImage;
 
 /// One feature family plus its parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -178,20 +180,6 @@ impl FeatureSpec {
     }
 }
 
-/// Foreground mask via Otsu; guaranteed non-empty (falls back to all-
-/// foreground for degenerate images so shape features never fail mid-batch).
-fn foreground_mask(gray: &GrayImage) -> GrayImage {
-    let mask = match otsu_level(gray) {
-        Ok(t) => threshold(gray, t),
-        Err(_) => return GrayImage::filled(1, 1, 255),
-    };
-    if mask.pixels().any(|p| p != 0) {
-        mask
-    } else {
-        GrayImage::filled(gray.width(), gray.height(), 255)
-    }
-}
-
 /// A validated, ordered list of feature specs with a fixed canonical size.
 #[derive(Clone, Debug)]
 pub struct Pipeline {
@@ -252,15 +240,75 @@ impl Pipeline {
 
     /// Extract the composite feature vector for one image.
     pub fn extract(&self, img: &RgbImage) -> Result<Vec<f32>> {
+        let mut scratch = ExtractScratch::new();
+        let mut out = Vec::new();
+        self.extract_into(img, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Extract into a caller-provided vector, reusing `scratch`'s buffers.
+    ///
+    /// This is the steady-state ingest path: after one warm-up image has
+    /// sized the scratch, repeated calls over same-shaped work allocate
+    /// nothing. `out` is cleared first; its contents are unspecified if an
+    /// error is returned. Results are bit-identical to [`Self::extract`]
+    /// and to the per-family reference path [`Self::extract_naive`].
+    pub fn extract_into(
+        &self,
+        img: &RgbImage,
+        scratch: &mut ExtractScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        let mut ctx = ExtractContext::new(img, scratch, self.canonical)?;
+        out.clear();
+        out.reserve(self.dim());
+        for spec in &self.specs {
+            let start = out.len();
+            out.resize(start + spec.dim(), 0.0);
+            let dst = &mut out[start..];
+            match spec {
+                FeatureSpec::ColorHistogram(q) => ctx.color_histogram(q, dst)?,
+                FeatureSpec::ColorMoments => ctx.color_moments(dst)?,
+                FeatureSpec::Correlogram {
+                    quantizer,
+                    distances,
+                } => ctx.correlogram(quantizer, distances, dst)?,
+                FeatureSpec::Glcm { levels } => ctx.glcm(*levels, dst)?,
+                FeatureSpec::Tamura => ctx.tamura(dst)?,
+                FeatureSpec::Wavelet { levels } => ctx.wavelet(*levels, dst)?,
+                FeatureSpec::EdgeOrientation { bins } => ctx.edge_orientation(*bins, dst)?,
+                FeatureSpec::EdgeDensityGrid { grid, threshold } => {
+                    ctx.edge_density_grid(*grid, *threshold, dst)?
+                }
+                FeatureSpec::HuMoments => ctx.hu_moments(dst)?,
+                FeatureSpec::ShapeSummary => ctx.shape_summary(dst)?,
+                FeatureSpec::RegionShape => ctx.region_shape(dst)?,
+                FeatureSpec::DtHistogram { bins } => {
+                    // Range: half the canonical diagonal in chamfer units
+                    // keeps the histogram well-populated.
+                    let max_value = 3.0 * self.canonical as f32 / 2.0;
+                    ctx.dt_histogram(*bins, max_value, dst)?
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reference extraction path: every family recomputes its own
+    /// intermediates from scratch (fresh resize, grayscale, gradients, and
+    /// mask per family) with no sharing whatsoever.
+    ///
+    /// Exists to pin down the planner's contract: the equivalence tests and
+    /// the throughput experiment assert [`Self::extract`] is bit-identical
+    /// to this path before trusting any speedup numbers.
+    pub fn extract_naive(&self, img: &RgbImage) -> Result<Vec<f32>> {
         if img.is_empty() {
             return Err(FeatureError::EmptyImage("pipeline"));
         }
-        let canon = resize_bilinear_rgb(img, self.canonical, self.canonical)?;
-        let gray = canon.to_gray();
-        // Lazily computed shared intermediates.
-        let mut mask: Option<GrayImage> = None;
         let mut out = Vec::with_capacity(self.dim());
         for spec in &self.specs {
+            let canon = resize_bilinear_rgb(img, self.canonical, self.canonical)?;
+            let gray = canon.to_gray();
             let part: Vec<f32> = match spec {
                 FeatureSpec::ColorHistogram(q) => ColorHistogram::compute(&canon, q)?.normalized(),
                 FeatureSpec::ColorMoments => color_moments(&canon)?,
@@ -275,23 +323,12 @@ impl Pipeline {
                 FeatureSpec::EdgeDensityGrid { grid, threshold } => {
                     edge_density_grid(&gray, *grid, *threshold)?
                 }
-                FeatureSpec::HuMoments => {
-                    let m = mask.get_or_insert_with(|| foreground_mask(&gray));
-                    hu_feature_vector(m)?
-                }
-                FeatureSpec::ShapeSummary => {
-                    let m = mask.get_or_insert_with(|| foreground_mask(&gray));
-                    shape_summary(m)?
-                }
-                FeatureSpec::RegionShape => {
-                    let m = mask.get_or_insert_with(|| foreground_mask(&gray));
-                    region_shape_features(m)?
-                }
+                FeatureSpec::HuMoments => hu_feature_vector(&foreground_mask(&gray))?,
+                FeatureSpec::ShapeSummary => shape_summary(&foreground_mask(&gray))?,
+                FeatureSpec::RegionShape => region_shape_features(&foreground_mask(&gray))?,
                 FeatureSpec::DtHistogram { bins } => {
                     match salience_distance_transform(&gray, 3.0) {
                         Ok(dt) => {
-                            // Range: half the canonical diagonal in chamfer
-                            // units keeps the histogram well-populated.
                             let max_value = 3.0 * self.canonical as f32 / 2.0;
                             dt_histogram(&dt, *bins, max_value)?
                         }
@@ -308,6 +345,72 @@ impl Pipeline {
             out.extend_from_slice(&part);
         }
         Ok(out)
+    }
+
+    /// Extract many images with `threads` worker threads, each owning one
+    /// [`ExtractScratch`].
+    ///
+    /// Work is split into contiguous chunks in input order, so results are
+    /// deterministic and bit-identical at every thread count (each image's
+    /// extraction is independent; only the partitioning varies). On error
+    /// the first failing image in input order wins.
+    pub fn extract_batch(&self, images: &[&RgbImage], threads: usize) -> Result<Vec<Vec<f32>>> {
+        self.extract_batch_with(images, threads, false)
+    }
+
+    /// [`Self::extract_batch`] with per-segment L1 normalization, matching
+    /// [`Self::extract_balanced`].
+    pub fn extract_balanced_batch(
+        &self,
+        images: &[&RgbImage],
+        threads: usize,
+    ) -> Result<Vec<Vec<f32>>> {
+        self.extract_batch_with(images, threads, true)
+    }
+
+    fn extract_batch_with(
+        &self,
+        images: &[&RgbImage],
+        threads: usize,
+        balanced: bool,
+    ) -> Result<Vec<Vec<f32>>> {
+        if threads == 0 {
+            return Err(FeatureError::InvalidParameter(
+                "extract_batch needs >= 1 thread".into(),
+            ));
+        }
+        if images.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chunk_size = images.len().div_ceil(threads);
+        let chunks: Vec<&[&RgbImage]> = images.chunks(chunk_size).collect();
+        let results: Vec<Vec<Result<Vec<f32>>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut scratch = ExtractScratch::new();
+                        let mut buf = Vec::new();
+                        chunk
+                            .iter()
+                            .map(|img| {
+                                let r = if balanced {
+                                    self.extract_balanced_into(img, &mut scratch, &mut buf)
+                                } else {
+                                    self.extract_into(img, &mut scratch, &mut buf)
+                                };
+                                r.map(|()| buf.clone())
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("extraction worker panicked"))
+                .collect()
+        });
+        results.into_iter().flatten().collect()
     }
 
     /// The classical color-indexing pipeline: one 256-bin HSV histogram.
@@ -350,11 +453,29 @@ impl Pipeline {
     /// with large natural scales (e.g. GLCM contrast) cannot drown the
     /// others when a single global measure is applied.
     pub fn extract_balanced(&self, img: &RgbImage) -> Result<Vec<f32>> {
-        let mut v = self.extract(img)?;
-        for seg in self.layout() {
-            normalize_l1(&mut v[seg.start..seg.end]);
+        let mut scratch = ExtractScratch::new();
+        let mut out = Vec::new();
+        self.extract_balanced_into(img, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::extract_balanced`] into a caller-provided vector, reusing
+    /// `scratch`'s buffers; allocation-free at steady state like
+    /// [`Self::extract_into`].
+    pub fn extract_balanced_into(
+        &self,
+        img: &RgbImage,
+        scratch: &mut ExtractScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.extract_into(img, scratch, out)?;
+        let mut at = 0usize;
+        for spec in &self.specs {
+            let d = spec.dim();
+            normalize_l1(&mut out[at..at + d]);
+            at += d;
         }
-        Ok(v)
+        Ok(())
     }
 }
 

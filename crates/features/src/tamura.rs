@@ -3,13 +3,18 @@
 
 use crate::error::{FeatureError, Result};
 use cbir_image::ops::{sobel, IntegralImage};
-use cbir_image::GrayImage;
+use cbir_image::{FloatImage, GrayImage};
 
 /// Mean over the `2^k × 2^k` window centred at `(x, y)`, or `None` if the
 /// window does not fit entirely inside the image. Partial (clamped) windows
 /// are rejected rather than approximated: a truncated window has a slightly
 /// different mean, which would hand the arg-max spurious nonzero responses
 /// at large scales on textures whose true response there is zero.
+///
+/// This is the reference formulation; [`coarseness_core`] computes the
+/// same responses with the bounds tests hoisted and the division factored
+/// out (a test asserts bitwise agreement).
+#[cfg_attr(not(test), allow(dead_code))]
 fn window_mean(ii: &IntegralImage, x: i64, y: i64, k: u32) -> Option<f64> {
     let half = (1i64 << k) / 2;
     let w = ii.width() as i64;
@@ -37,7 +42,52 @@ pub fn coarseness(img: &GrayImage, max_k: u32) -> Result<f64> {
             "coarseness max_k must be in 1..=8, got {max_k}"
         )));
     }
-    let (w, h) = img.dimensions();
+    let ii = IntegralImage::new(img);
+    Ok(coarseness_core(&ii, max_k))
+}
+
+/// Reusable buffers for [`coarseness_core_into`]: the per-scale response
+/// plane, the running arg-max planes, and one row of column-prefix sums.
+/// All are sized to the image on first use and reused across images.
+#[derive(Default)]
+pub(crate) struct CoarsenessScratch {
+    /// Response `max(E_h, E_v)` at the current scale, zero where the
+    /// opposed windows do not fit.
+    e: Vec<f64>,
+    best_e: Vec<f64>,
+    best_k: Vec<u8>,
+    /// Per-row combination of summed-area-table rows (`w + 1` entries).
+    cs: Vec<i64>,
+}
+
+/// [`coarseness`] over a prebuilt integral image (whose dimensions are the
+/// image's). Allocates its scratch; hot paths keep a
+/// [`CoarsenessScratch`] alive and call [`coarseness_core_into`].
+pub(crate) fn coarseness_core(ii: &IntegralImage, max_k: u32) -> f64 {
+    coarseness_core_into(ii, max_k, &mut CoarsenessScratch::default())
+}
+
+/// Scale-major coarseness with the per-scale in-bounds tests of
+/// [`window_mean`] hoisted into rectangle bounds and each row's window
+/// sums derived from one precomputed prefix combination.
+///
+/// For the horizontal pair at row `y`, both opposed windows span rows
+/// `[y-half, y+half-1]`, so with `cs[c] = colprefix(c)` (the sum of those
+/// rows left of column `c`) the response numerator is
+/// `|cs[x+2^k] - 2·cs[x] + cs[x-2^k]|` — an exact integer. The vertical
+/// pair is the transpose with `cs[c] = prefix(y+2^k) - 2·prefix(y) +
+/// prefix(y-2^k)` per column. Window sums are < 2^24 (so exact in f64) and
+/// the `(2^k)^2` area divisor is a power of two (so the division is
+/// exact); the responses therefore carry the exact same f64 bits as the
+/// straightforward [`window_mean`] formulation, and scanning scales in
+/// ascending order with the same tie rule makes the winning scale per
+/// pixel identical (a test asserts bitwise agreement).
+pub(crate) fn coarseness_core_into(
+    ii: &IntegralImage,
+    max_k: u32,
+    s: &mut CoarsenessScratch,
+) -> f64 {
+    let (w, h) = (ii.width(), ii.height());
     let kmax = max_k.min({
         // Largest window that fits.
         let mut k = 1;
@@ -46,41 +96,87 @@ pub fn coarseness(img: &GrayImage, max_k: u32) -> Result<f64> {
         }
         k
     });
-    let ii = IntegralImage::new(img);
-    let mut total = 0.0f64;
-    for y in 0..h as i64 {
-        for x in 0..w as i64 {
-            let mut best_e = 0.0f64;
-            let mut best_k = 1u32;
-            for k in 1..=kmax {
-                let step = 1i64 << (k - 1);
-                let eh = match (
-                    window_mean(&ii, x + step, y, k),
-                    window_mean(&ii, x - step, y, k),
-                ) {
-                    (Some(a), Some(b)) => (a - b).abs(),
-                    _ => 0.0,
-                };
-                let ev = match (
-                    window_mean(&ii, x, y + step, k),
-                    window_mean(&ii, x, y - step, k),
-                ) {
-                    (Some(a), Some(b)) => (a - b).abs(),
-                    _ => 0.0,
-                };
-                let e = eh.max(ev);
-                // Ties between positive responses go to the coarser scale:
-                // a block of width 2^k produces identical responses at all
-                // window sizes up to 2^k, and the grain size is the largest.
-                if e > best_e || (e > 0.0 && e == best_e) {
-                    best_e = e;
-                    best_k = k;
+    let (wi, hi) = (w as i64, h as i64);
+    let (wu, n) = (w as usize, w as usize * h as usize);
+    s.e.clear();
+    s.e.resize(n, 0.0);
+    s.best_e.clear();
+    s.best_e.resize(n, 0.0);
+    s.best_k.clear();
+    s.best_k.resize(n, 1);
+    s.cs.clear();
+    s.cs.resize(wu + 1, 0);
+
+    for k in 1..=kmax {
+        let half = 1i64 << (k - 1);
+        let win = 2 * half;
+        // `(2^k)^2` divisor: a power of two, so dividing an integer
+        // window-sum difference by it is exact.
+        let area = ((1u64 << k) * (1u64 << k)) as f64;
+        s.e.fill(0.0);
+
+        // Horizontal pair: windows [x-2^k, x-1] and [x, x+2^k-1] by
+        // column, both spanning rows [y-half, y+half-1].
+        for y in half..=(hi - half) {
+            let top = ii.row_prefix((y - half) as u32);
+            let bot = ii.row_prefix((y + half) as u32);
+            for (c, cs) in s.cs.iter_mut().enumerate() {
+                *cs = (bot[c] - top[c]) as i64;
+            }
+            let cs = &s.cs[..];
+            let row = &mut s.e[y as usize * wu..][..wu];
+            for x in win..=(wi - win) {
+                let x = x as usize;
+                let num = (cs[x + win as usize] - 2 * cs[x] + cs[x - win as usize]).unsigned_abs();
+                row[x] = num as f64 / area;
+            }
+        }
+        // Vertical pair is the transpose: windows [y-2^k, y-1] and
+        // [y, y+2^k-1] by row, both spanning columns [x-half, x+half-1].
+        for y in win..=(hi - win) {
+            let up = ii.row_prefix((y - win) as u32);
+            let mid = ii.row_prefix(y as u32);
+            let down = ii.row_prefix((y + win) as u32);
+            for (c, cs) in s.cs.iter_mut().enumerate() {
+                *cs = (down[c] - mid[c]) as i64 - (mid[c] - up[c]) as i64;
+            }
+            let cs = &s.cs[..];
+            let row = &mut s.e[y as usize * wu..][..wu];
+            for x in half..=(wi - half) {
+                let x = x as usize;
+                let num = (cs[x + half as usize] - cs[x - half as usize]).unsigned_abs();
+                let ev = num as f64 / area;
+                // Zero where the horizontal pair did not fit, so this is
+                // max(E_h, E_v) exactly as the pixel-major loop computes.
+                row[x] = row[x].max(ev);
+            }
+        }
+        // Fold this scale into the running arg-max. Both rectangles above
+        // sit inside rows/cols [half, dim-half], and pixels outside them
+        // hold zero, which never updates. Ties between positive responses
+        // go to the coarser scale: a block of width 2^k produces identical
+        // responses at all window sizes up to 2^k, and the grain size is
+        // the largest.
+        for y in half..=(hi - half) {
+            let base = y as usize * wu;
+            for x in half..=(wi - half) {
+                let i = base + x as usize;
+                let e = s.e[i];
+                if e > s.best_e[i] || (e > 0.0 && e == s.best_e[i]) {
+                    s.best_e[i] = e;
+                    s.best_k[i] = k as u8;
                 }
             }
-            total += (1u64 << best_k) as f64;
         }
     }
-    Ok(total / (w as f64 * h as f64))
+
+    // Each term is an exact power of two and the total stays below 2^53,
+    // so this sum is exact and independent of accumulation order.
+    let mut total = 0.0f64;
+    for &bk in &s.best_k {
+        total += (1u64 << bk) as f64;
+    }
+    total / (w as f64 * h as f64)
 }
 
 /// Tamura contrast: `σ / κ^{1/4}` where `σ` is the intensity standard
@@ -125,9 +221,24 @@ pub fn directionality(img: &GrayImage, bins: usize) -> Result<f64> {
     let g = sobel::sobel(img);
     let mag = g.magnitude();
     let ori = g.orientation();
-    let mut hist = vec![0.0f64; bins];
+    let mut hist = Vec::new();
+    Ok(directionality_core(&mag, &ori, bins, &mut hist))
+}
+
+/// [`directionality`] over precomputed magnitude and orientation planes,
+/// with `hist` reused as the accumulation buffer. Note the running `total`:
+/// it is accumulated per pixel (not summed over bins afterwards), mirroring
+/// the original formulation exactly.
+pub(crate) fn directionality_core(
+    mag: &FloatImage,
+    ori: &FloatImage,
+    bins: usize,
+    hist: &mut Vec<f64>,
+) -> f64 {
+    hist.clear();
+    hist.resize(bins, 0.0);
     let mut total = 0.0f64;
-    for (m, o) in mag.pixels().zip(ori.pixels()) {
+    for (&m, &o) in mag.as_slice().iter().zip(ori.as_slice()) {
         if m <= 0.0 {
             continue;
         }
@@ -137,7 +248,7 @@ pub fn directionality(img: &GrayImage, bins: usize) -> Result<f64> {
     }
     if total <= 0.0 {
         // No gradients: perfectly isotropic by convention.
-        return Ok(0.0);
+        return 0.0;
     }
     let entropy: f64 = hist
         .iter()
@@ -148,7 +259,7 @@ pub fn directionality(img: &GrayImage, bins: usize) -> Result<f64> {
         })
         .sum();
     let h_max = (bins as f64).ln();
-    Ok((1.0 - entropy / h_max).clamp(0.0, 1.0))
+    (1.0 - entropy / h_max).clamp(0.0, 1.0)
 }
 
 /// The three Tamura features as `[coarseness, contrast, directionality]`,
@@ -267,6 +378,79 @@ mod tests {
         assert!(coarseness(&empty, 3).is_err());
         assert!(contrast(&empty).is_err());
         assert!(directionality(&empty, 8).is_err());
+    }
+
+    #[test]
+    fn coarseness_matches_window_mean_formulation_bitwise() {
+        // Reference: the straightforward per-pixel window_mean arg-max.
+        fn reference(img: &GrayImage, max_k: u32) -> f64 {
+            let ii = IntegralImage::new(img);
+            let (w, h) = (ii.width(), ii.height());
+            let kmax = max_k.min({
+                let mut k = 1;
+                while (1u32 << (k + 1)) <= w.min(h) {
+                    k += 1;
+                }
+                k
+            });
+            let mut total = 0.0f64;
+            for y in 0..h as i64 {
+                for x in 0..w as i64 {
+                    let mut best_e = 0.0f64;
+                    let mut best_k = 1u32;
+                    for k in 1..=kmax {
+                        let step = 1i64 << (k - 1);
+                        let eh = match (
+                            window_mean(&ii, x + step, y, k),
+                            window_mean(&ii, x - step, y, k),
+                        ) {
+                            (Some(a), Some(b)) => (a - b).abs(),
+                            _ => 0.0,
+                        };
+                        let ev = match (
+                            window_mean(&ii, x, y + step, k),
+                            window_mean(&ii, x, y - step, k),
+                        ) {
+                            (Some(a), Some(b)) => (a - b).abs(),
+                            _ => 0.0,
+                        };
+                        let e = eh.max(ev);
+                        if e > best_e || (e > 0.0 && e == best_e) {
+                            best_e = e;
+                            best_k = k;
+                        }
+                    }
+                    total += (1u64 << best_k) as f64;
+                }
+            }
+            total / (w as f64 * h as f64)
+        }
+        // Non-square shapes so one axis runs out of room before the other,
+        // plus max_k values above and below what fits.
+        for (img, max_k) in [
+            (noise(48), 5),
+            (noise(17), 8),
+            (stripes(64, 4, false), 5),
+            (
+                GrayImage::from_fn(40, 9, |x, y| ((x * 31 + y * 7) % 256) as u8),
+                4,
+            ),
+            (
+                GrayImage::from_fn(9, 40, |x, y| ((x * 13 + y * 47) % 256) as u8),
+                4,
+            ),
+            (GrayImage::filled(16, 16, 80), 3),
+        ] {
+            let got = coarseness(&img, max_k).unwrap();
+            let want = reference(&img, max_k);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{}x{} max_k={max_k}: {got} vs {want}",
+                img.width(),
+                img.height()
+            );
+        }
     }
 
     #[test]

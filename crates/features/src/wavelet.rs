@@ -180,6 +180,7 @@ impl HaarDecomposition {
 }
 
 /// Root-mean-square of a coefficient plane.
+#[cfg_attr(not(test), allow(dead_code))]
 fn rms(img: &FloatImage) -> f32 {
     if img.is_empty() {
         return 0.0;
@@ -192,15 +193,120 @@ fn rms(img: &FloatImage) -> f32 {
 /// `[L1-LH, L1-HL, L1-HH, L2-LH, ..., LL]`. Three levels give the classical
 /// 10-component signature.
 pub fn wavelet_signature(img: &GrayImage, levels: u32) -> Result<Vec<f32>> {
-    let dec = HaarDecomposition::forward(&img.to_float_normalized(), levels)?;
-    let mut sig = Vec::with_capacity(3 * levels as usize + 1);
-    for level in 1..=levels {
-        for band in [Subband::Lh, Subband::Hl, Subband::Hh] {
-            sig.push(rms(&dec.subband(level, band)?));
+    let mut ws = WaveletScratch::default();
+    let mut out = vec![0.0f32; 3 * levels as usize + 1];
+    wavelet_signature_into(img, levels, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// Reusable buffers for [`wavelet_signature_into`]: the coefficient plane
+/// plus the row/column/scratch vectors of the in-place transform.
+pub(crate) struct WaveletScratch {
+    coeffs: FloatImage,
+    row: Vec<f32>,
+    col: Vec<f32>,
+    scratch: Vec<f32>,
+}
+
+impl Default for WaveletScratch {
+    fn default() -> Self {
+        WaveletScratch {
+            coeffs: FloatImage::filled(0, 0, 0.0),
+            row: Vec::new(),
+            col: Vec::new(),
+            scratch: Vec::new(),
         }
     }
-    sig.push(rms(&dec.approximation()));
-    Ok(sig)
+}
+
+/// [`wavelet_signature`] into a caller-provided output slice, reusing
+/// `ws`'s buffers. The transform mirrors [`HaarDecomposition::forward`]
+/// over `to_float_normalized` pixel values, and each subband RMS sums the
+/// same row-major coefficient order [`rms`] sees after `crop` — results
+/// are bit-identical to the decomposition-object path.
+pub(crate) fn wavelet_signature_into(
+    img: &GrayImage,
+    levels: u32,
+    ws: &mut WaveletScratch,
+    out: &mut [f32],
+) -> Result<()> {
+    debug_assert_eq!(out.len(), 3 * levels as usize + 1);
+    let (w, h) = img.dimensions();
+    if levels == 0 {
+        return Err(FeatureError::InvalidParameter(
+            "wavelet levels must be >= 1".into(),
+        ));
+    }
+    let div = 1u32 << levels;
+    if w == 0 || h == 0 || w % div != 0 || h % div != 0 {
+        return Err(FeatureError::InvalidParameter(format!(
+            "image {w}x{h} not divisible by 2^{levels}"
+        )));
+    }
+    ws.coeffs.reset(w, h, 0.0);
+    for (c, &p) in ws.coeffs.as_mut_slice().iter_mut().zip(img.as_slice()) {
+        *c = p as f32 / 255.0;
+    }
+    let coeffs = &mut ws.coeffs;
+    let (mut cw, mut ch) = (w as usize, h as usize);
+    for _ in 0..levels {
+        // Rows.
+        ws.row.clear();
+        ws.row.resize(cw, 0.0);
+        for y in 0..ch {
+            for (x, r) in ws.row.iter_mut().enumerate() {
+                *r = coeffs.pixel(x as u32, y as u32);
+            }
+            haar_1d(&mut ws.row, cw, &mut ws.scratch);
+            for (x, &r) in ws.row.iter().enumerate() {
+                coeffs.set(x as u32, y as u32, r);
+            }
+        }
+        // Columns.
+        ws.col.clear();
+        ws.col.resize(ch, 0.0);
+        for x in 0..cw {
+            for (y, c) in ws.col.iter_mut().enumerate() {
+                *c = coeffs.pixel(x as u32, y as u32);
+            }
+            haar_1d(&mut ws.col, ch, &mut ws.scratch);
+            for (y, &c) in ws.col.iter().enumerate() {
+                coeffs.set(x as u32, y as u32, c);
+            }
+        }
+        cw /= 2;
+        ch /= 2;
+    }
+    let mut oi = 0;
+    for level in 1..=levels {
+        let bw = (w >> level) as usize;
+        let bh = (h >> level) as usize;
+        // Subband origins in Mallat layout: LH, HL, HH.
+        for (x0, y0) in [(bw, 0), (0, bh), (bw, bh)] {
+            out[oi] = rms_region(coeffs, x0, y0, bw, bh);
+            oi += 1;
+        }
+    }
+    let bw = (w >> levels) as usize;
+    let bh = (h >> levels) as usize;
+    out[oi] = rms_region(coeffs, 0, 0, bw, bh);
+    Ok(())
+}
+
+/// RMS over a rectangular region, summing in the same row-major order as
+/// [`rms`] over the cropped plane.
+fn rms_region(img: &FloatImage, x0: usize, y0: usize, bw: usize, bh: usize) -> f32 {
+    if bw == 0 || bh == 0 {
+        return 0.0;
+    }
+    let w = img.width() as usize;
+    let mut s = 0.0f32;
+    for y in y0..y0 + bh {
+        for &p in &img.as_slice()[y * w + x0..y * w + x0 + bw] {
+            s += p * p;
+        }
+    }
+    (s / (bw * bh) as f32).sqrt()
 }
 
 #[cfg(test)]
@@ -209,6 +315,26 @@ mod tests {
 
     fn test_image(n: u32) -> FloatImage {
         FloatImage::from_fn(n, n, |x, y| ((x * 31 + y * 17) % 97) as f32 / 97.0)
+    }
+
+    #[test]
+    fn signature_matches_decomposition_assembly_bitwise() {
+        // wavelet_signature now runs the in-place scratch transform; it must
+        // reproduce the decomposition-object + crop + rms path to the bit.
+        let gray = GrayImage::from_fn(48, 48, |x, y| ((x * 13 + y * 29) % 256) as u8);
+        for levels in 1..=3u32 {
+            let got = wavelet_signature(&gray, levels).unwrap();
+            let dec = HaarDecomposition::forward(&gray.to_float_normalized(), levels).unwrap();
+            let mut want = Vec::new();
+            for level in 1..=levels {
+                for band in [Subband::Lh, Subband::Hl, Subband::Hh] {
+                    want.push(rms(&dec.subband(level, band).unwrap()));
+                }
+            }
+            want.push(rms(&dec.approximation()));
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&got), bits(&want), "levels {levels}");
+        }
     }
 
     #[test]

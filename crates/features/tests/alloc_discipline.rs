@@ -1,0 +1,116 @@
+//! Allocation discipline of the extraction planner: after one warm-up pass
+//! has sized an [`ExtractScratch`]'s buffers, steady-state extraction
+//! through `extract_into` / `extract_balanced_into` over the same images
+//! performs **zero** heap allocations. Verified with a counting global
+//! allocator.
+//!
+//! This file holds exactly one `#[test]` so no sibling test thread can
+//! allocate inside the measured window.
+
+use cbir_features::{ExtractScratch, FeatureSpec, Pipeline, Quantizer};
+use cbir_image::RgbImage;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn run_pass(
+    pipelines: &[Pipeline],
+    images: &[RgbImage],
+    scratch: &mut ExtractScratch,
+    buf: &mut Vec<f32>,
+) {
+    for p in pipelines {
+        for img in images {
+            p.extract_into(img, scratch, buf).unwrap();
+            std::hint::black_box(&buf);
+            p.extract_balanced_into(img, scratch, buf).unwrap();
+            std::hint::black_box(&buf);
+        }
+    }
+}
+
+#[test]
+fn steady_state_extraction_does_not_allocate() {
+    // Every feature family is exercised, including both branches of the
+    // mask fallback and the gradient-free DT fallback (flat image).
+    let all_families = Pipeline::new(
+        64,
+        vec![
+            FeatureSpec::ColorHistogram(Quantizer::hsv_default()),
+            FeatureSpec::ColorMoments,
+            FeatureSpec::Correlogram {
+                quantizer: Quantizer::rgb_compact(),
+                distances: vec![1, 3],
+            },
+            FeatureSpec::Glcm { levels: 8 },
+            FeatureSpec::Tamura,
+            FeatureSpec::Wavelet { levels: 2 },
+            FeatureSpec::EdgeOrientation { bins: 8 },
+            FeatureSpec::EdgeDensityGrid {
+                grid: 4,
+                threshold: 10.0,
+            },
+            FeatureSpec::HuMoments,
+            FeatureSpec::ShapeSummary,
+            FeatureSpec::DtHistogram { bins: 16 },
+            FeatureSpec::RegionShape,
+        ],
+    )
+    .unwrap();
+    let pipelines = vec![Pipeline::full_default(), all_families];
+
+    let corpus = cbir_workload::Corpus::generate(cbir_workload::CorpusSpec {
+        classes: 3,
+        images_per_class: 2,
+        image_size: 80,
+        ..Default::default()
+    });
+    let mut images = corpus.images;
+    // A flat image drives the degenerate branches (Otsu fallback mask, DT
+    // last-bin spike); a canonical-size image drives the resize-skip path.
+    images.push(RgbImage::filled(
+        32,
+        32,
+        cbir_image::Rgb::new(128, 128, 128),
+    ));
+    images.push(RgbImage::from_fn(64, 64, |x, y| {
+        cbir_image::Rgb::new((x * 4) as u8, (y * 4) as u8, ((x + y) * 2) as u8)
+    }));
+
+    let mut scratch = ExtractScratch::new();
+    let mut buf = Vec::new();
+    // Warm-up: one pass sizes every buffer to its high-water mark.
+    run_pass(&pipelines, &images, &mut scratch, &mut buf);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    run_pass(&pipelines, &images, &mut scratch, &mut buf);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "{} heap allocations in steady-state extraction",
+        after - before
+    );
+}

@@ -165,6 +165,23 @@ impl<P: Copy> ImageBuffer<P> {
         self.data[i] = value;
     }
 
+    /// Re-shape this image in place to `width × height`, setting every pixel
+    /// to `fill`. The existing pixel allocation is reused whenever its
+    /// capacity suffices, so repeated resets at steady-state sizes perform no
+    /// heap allocation — the primitive scratch-backed extraction builds on.
+    ///
+    /// # Panics
+    /// Panics if `width * height` overflows `usize`.
+    pub fn reset(&mut self, width: u32, height: u32, fill: P) {
+        let len = (width as usize)
+            .checked_mul(height as usize)
+            .expect("image dimensions overflow");
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data.resize(len, fill);
+    }
+
     /// Row-major slice of all pixels.
     #[inline]
     pub fn as_slice(&self) -> &[P] {
@@ -373,6 +390,21 @@ mod tests {
         assert!(img.crop(0, 4, 1, 2).is_err());
         // Degenerate but legal zero-size crop.
         assert_eq!(img.crop(0, 0, 0, 0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn reset_reshapes_and_reuses_capacity() {
+        let mut img = GrayImage::from_fn(4, 4, |x, y| (x + y) as u8);
+        let cap = {
+            img.reset(3, 2, 9);
+            assert_eq!(img.dimensions(), (3, 2));
+            assert!(img.pixels().all(|p| p == 9));
+            img.as_slice().as_ptr()
+        };
+        // Growing back within the original capacity keeps the allocation.
+        img.reset(4, 4, 0);
+        assert_eq!(img.as_slice().as_ptr(), cap);
+        assert!(img.pixels().all(|p| p == 0));
     }
 
     #[test]

@@ -93,6 +93,11 @@ pub fn convolve(img: &FloatImage, kernel: &Kernel) -> FloatImage {
 /// Convolve with a separable kernel given as a horizontal then a vertical
 /// 1-D pass. Equivalent to `convolve` with the outer product kernel but
 /// O(k) instead of O(k²) per pixel.
+///
+/// Both passes stream whole rows through contiguous slices instead of doing
+/// per-pixel clamped lookups; per-pixel tap contributions are still
+/// accumulated in ascending tap order, so results are bit-identical to the
+/// straightforward per-pixel formulation.
 pub fn convolve_separable(img: &FloatImage, kx: &[f32], ky: &[f32]) -> Result<FloatImage> {
     if kx.len().is_multiple_of(2) || ky.len().is_multiple_of(2) || kx.is_empty() || ky.is_empty() {
         return Err(ImageError::InvalidParameter(
@@ -100,22 +105,57 @@ pub fn convolve_separable(img: &FloatImage, kx: &[f32], ky: &[f32]) -> Result<Fl
         ));
     }
     let (w, h) = img.dimensions();
+    if w == 0 || h == 0 {
+        return Ok(FloatImage::filled(w, h, 0.0));
+    }
+    let wi = w as usize;
     let rx = (kx.len() / 2) as i64;
-    let horizontal = FloatImage::from_fn(w, h, |x, y| {
-        let mut acc = 0.0f32;
+
+    // Horizontal pass: for each tap, the replicated-border source index
+    // x + off splits each row into a clamped-left prefix, a contiguous
+    // middle, and a clamped-right suffix.
+    let mut horizontal = FloatImage::filled(w, h, 0.0);
+    for y in 0..h {
+        let src = img.row(y);
+        let row_start = y as usize * wi;
+        let dst = &mut horizontal.as_mut_slice()[row_start..row_start + wi];
         for (i, &wgt) in kx.iter().enumerate() {
-            acc += wgt * img.get_clamped(x as i64 + i as i64 - rx, y as i64);
+            let off = i as i64 - rx;
+            let lo = (-off).clamp(0, wi as i64) as usize;
+            let hi = (wi as i64 - 1 - off).clamp(-1, wi as i64 - 1);
+            for d in dst[..lo].iter_mut() {
+                *d += wgt * src[0];
+            }
+            if hi >= lo as i64 {
+                let (lo, hi) = (lo, hi as usize);
+                let shifted = &src[(lo as i64 + off) as usize..=(hi as i64 + off) as usize];
+                for (d, &s) in dst[lo..=hi].iter_mut().zip(shifted) {
+                    *d += wgt * s;
+                }
+            }
+            let tail = ((hi + 1).max(0) as usize).min(wi);
+            for d in dst[tail..].iter_mut() {
+                *d += wgt * src[wi - 1];
+            }
         }
-        acc
-    });
+    }
+
+    // Vertical pass: each tap adds a whole (border-clamped) source row to
+    // each output row.
     let ry = (ky.len() / 2) as i64;
-    Ok(FloatImage::from_fn(w, h, |x, y| {
-        let mut acc = 0.0f32;
-        for (i, &wgt) in ky.iter().enumerate() {
-            acc += wgt * horizontal.get_clamped(x as i64, y as i64 + i as i64 - ry);
+    let mut out = FloatImage::filled(w, h, 0.0);
+    for (i, &wgt) in ky.iter().enumerate() {
+        let off = i as i64 - ry;
+        for y in 0..h {
+            let sy = (y as i64 + off).clamp(0, h as i64 - 1) as u32;
+            let row_start = y as usize * wi;
+            let dst = &mut out.as_mut_slice()[row_start..row_start + wi];
+            for (d, &s) in dst.iter_mut().zip(horizontal.row(sy)) {
+                *d += wgt * s;
+            }
         }
-        acc
-    }))
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -17,21 +17,39 @@ pub struct IntegralImage {
 impl IntegralImage {
     /// Build the table in one pass.
     pub fn new(img: &GrayImage) -> Self {
+        let mut ii = IntegralImage::empty();
+        ii.recompute(img);
+        ii
+    }
+
+    /// A zero-size table to be filled in later via
+    /// [`IntegralImage::recompute`] — lets scratch-backed callers keep one
+    /// table allocation alive across images.
+    pub fn empty() -> Self {
+        IntegralImage {
+            width: 0,
+            height: 0,
+            table: Vec::new(),
+        }
+    }
+
+    /// Rebuild the table over `img` in place, reusing the existing
+    /// allocation when its capacity suffices.
+    pub fn recompute(&mut self, img: &GrayImage) {
         let (w, h) = img.dimensions();
         let tw = w as usize + 1;
         let th = h as usize + 1;
-        let mut table = vec![0u64; tw * th];
+        self.width = w;
+        self.height = h;
+        self.table.clear();
+        self.table.resize(tw * th, 0u64);
+        let table = &mut self.table;
         for y in 0..h as usize {
             let mut row_sum = 0u64;
             for x in 0..w as usize {
                 row_sum += img.as_slice()[y * w as usize + x] as u64;
                 table[(y + 1) * tw + (x + 1)] = table[y * tw + (x + 1)] + row_sum;
             }
-        }
-        IntegralImage {
-            width: w,
-            height: h,
-            table,
         }
     }
 
@@ -49,6 +67,7 @@ impl IntegralImage {
     ///
     /// # Panics
     /// Panics if the rectangle is inverted or out of bounds.
+    #[inline]
     pub fn sum(&self, x0: u32, y0: u32, x1: u32, y1: u32) -> u64 {
         assert!(x0 <= x1 && y0 <= y1, "inverted rectangle");
         assert!(
@@ -63,7 +82,22 @@ impl IntegralImage {
         d + a - b - c
     }
 
+    /// One row of the `(h+1) × (w+1)` summed-area table:
+    /// `row_prefix(y)[x]` is the pixel sum over the half-open rectangle
+    /// `[0, x) × [0, y)`, so `row_prefix(y1 + 1)[x] - row_prefix(y0)[x]`
+    /// is the column-prefix sum of rows `y0..=y1`. Lets callers that sweep
+    /// many windows along a row share the row lookups.
+    ///
+    /// # Panics
+    /// Panics if `y > height`.
+    #[inline]
+    pub fn row_prefix(&self, y: u32) -> &[u64] {
+        let tw = self.width as usize + 1;
+        &self.table[y as usize * tw..][..tw]
+    }
+
     /// Mean intensity over the inclusive rectangle.
+    #[inline]
     pub fn mean(&self, x0: u32, y0: u32, x1: u32, y1: u32) -> f64 {
         let n = (x1 - x0 + 1) as u64 * (y1 - y0 + 1) as u64;
         self.sum(x0, y0, x1, y1) as f64 / n as f64
@@ -134,6 +168,23 @@ mod tests {
     fn inverted_rect_panics() {
         let ii = IntegralImage::new(&GrayImage::filled(2, 2, 0));
         ii.sum(1, 0, 0, 1);
+    }
+
+    #[test]
+    fn recompute_matches_fresh_table() {
+        let a = GrayImage::from_fn(6, 4, |x, y| (x * 9 + y * 5) as u8);
+        let b = GrayImage::from_fn(3, 8, |x, y| ((x + 1) * (y + 1) * 7 % 256) as u8);
+        let mut ii = IntegralImage::empty();
+        for img in [&a, &b, &a] {
+            ii.recompute(img);
+            let fresh = IntegralImage::new(img);
+            assert_eq!((ii.width(), ii.height()), (fresh.width(), fresh.height()));
+            for y in 0..img.height() {
+                for x in 0..img.width() {
+                    assert_eq!(ii.sum(0, 0, x, y), fresh.sum(0, 0, x, y));
+                }
+            }
+        }
     }
 
     #[test]

@@ -55,9 +55,24 @@ pub struct Labeling {
     height: u32,
     /// Regions sorted by decreasing area (ties by label).
     pub regions: Vec<Region>,
+    /// Flood-fill work stack, kept so recomputes reuse its allocation.
+    stack: Vec<(u32, u32)>,
 }
 
 impl Labeling {
+    /// A zero-size labelling to be filled in via [`Labeling::recompute`] —
+    /// lets scratch-backed callers keep the label plane, region list, and
+    /// flood-fill stack allocations alive across images.
+    pub fn empty() -> Self {
+        Labeling {
+            labels: Vec::new(),
+            width: 0,
+            height: 0,
+            regions: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
     /// Label at `(x, y)`.
     pub fn label_at(&self, x: u32, y: u32) -> u32 {
         assert!(x < self.width && y < self.height, "out of bounds");
@@ -89,72 +104,101 @@ impl Labeling {
     pub fn largest_mask(&self) -> Option<GrayImage> {
         self.regions.first().map(|r| self.mask_of(r.label))
     }
+
+    /// Write the mask of the largest region into `out` (reusing its
+    /// allocation); returns `false` without touching `out` when there are no
+    /// regions. The mask written is identical to [`Labeling::largest_mask`].
+    pub fn largest_mask_into(&self, out: &mut GrayImage) -> bool {
+        let Some(r) = self.regions.first() else {
+            return false;
+        };
+        out.reset(self.width, self.height, 0);
+        for (l, o) in self.labels.iter().zip(out.as_mut_slice()) {
+            if *l == r.label {
+                *o = 255;
+            }
+        }
+        true
+    }
+
+    /// Re-label the connected components of `binary` in place, reusing the
+    /// label plane, region list, and flood-fill stack allocations. The
+    /// resulting labelling is identical to a fresh
+    /// [`connected_components`] call.
+    pub fn recompute(&mut self, binary: &GrayImage, conn: Connectivity) -> Result<()> {
+        if binary.is_empty() {
+            return Err(ImageError::InvalidParameter(
+                "connected components of an empty image".into(),
+            ));
+        }
+        let (w, h) = binary.dimensions();
+        self.width = w;
+        self.height = h;
+        self.labels.clear();
+        self.labels.resize(w as usize * h as usize, 0u32);
+        self.regions.clear();
+        self.stack.clear();
+        let labels = &mut self.labels;
+        let regions = &mut self.regions;
+        let stack = &mut self.stack;
+        let mut next_label = 1u32;
+        let at = |x: u32, y: u32| y as usize * w as usize + x as usize;
+
+        for sy in 0..h {
+            for sx in 0..w {
+                if binary.pixel(sx, sy) == 0 || labels[at(sx, sy)] != 0 {
+                    continue;
+                }
+                // Flood-fill a new component.
+                let label = next_label;
+                next_label += 1;
+                labels[at(sx, sy)] = label;
+                stack.push((sx, sy));
+                let mut area = 0usize;
+                let (mut min_x, mut min_y, mut max_x, mut max_y) = (sx, sy, sx, sy);
+                let mut sum_x = 0.0f64;
+                let mut sum_y = 0.0f64;
+                while let Some((x, y)) = stack.pop() {
+                    area += 1;
+                    sum_x += x as f64;
+                    sum_y += y as f64;
+                    min_x = min_x.min(x);
+                    min_y = min_y.min(y);
+                    max_x = max_x.max(x);
+                    max_y = max_y.max(y);
+                    for &(dx, dy) in conn.offsets() {
+                        let nx = x as i64 + dx;
+                        let ny = y as i64 + dy;
+                        if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                            continue;
+                        }
+                        let (nx, ny) = (nx as u32, ny as u32);
+                        if binary.pixel(nx, ny) != 0 && labels[at(nx, ny)] == 0 {
+                            labels[at(nx, ny)] = label;
+                            stack.push((nx, ny));
+                        }
+                    }
+                }
+                regions.push(Region {
+                    label,
+                    area,
+                    bbox: (min_x, min_y, max_x, max_y),
+                    centroid: (sum_x / area as f64, sum_y / area as f64),
+                });
+            }
+        }
+        // Unstable sort allocates nothing; the (area, label) key is unique
+        // per region, so the order matches the previous stable sort exactly.
+        regions.sort_unstable_by(|a, b| b.area.cmp(&a.area).then(a.label.cmp(&b.label)));
+        Ok(())
+    }
 }
 
 /// Label all connected components of the nonzero pixels of `binary`.
 pub fn connected_components(binary: &GrayImage, conn: Connectivity) -> Result<Labeling> {
-    if binary.is_empty() {
-        return Err(ImageError::InvalidParameter(
-            "connected components of an empty image".into(),
-        ));
-    }
-    let (w, h) = binary.dimensions();
-    let mut labels = vec![0u32; w as usize * h as usize];
-    let mut regions: Vec<Region> = Vec::new();
-    let mut next_label = 1u32;
-    let at = |x: u32, y: u32| y as usize * w as usize + x as usize;
-
-    let mut stack: Vec<(u32, u32)> = Vec::new();
-    for sy in 0..h {
-        for sx in 0..w {
-            if binary.pixel(sx, sy) == 0 || labels[at(sx, sy)] != 0 {
-                continue;
-            }
-            // Flood-fill a new component.
-            let label = next_label;
-            next_label += 1;
-            labels[at(sx, sy)] = label;
-            stack.push((sx, sy));
-            let mut area = 0usize;
-            let (mut min_x, mut min_y, mut max_x, mut max_y) = (sx, sy, sx, sy);
-            let mut sum_x = 0.0f64;
-            let mut sum_y = 0.0f64;
-            while let Some((x, y)) = stack.pop() {
-                area += 1;
-                sum_x += x as f64;
-                sum_y += y as f64;
-                min_x = min_x.min(x);
-                min_y = min_y.min(y);
-                max_x = max_x.max(x);
-                max_y = max_y.max(y);
-                for &(dx, dy) in conn.offsets() {
-                    let nx = x as i64 + dx;
-                    let ny = y as i64 + dy;
-                    if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
-                        continue;
-                    }
-                    let (nx, ny) = (nx as u32, ny as u32);
-                    if binary.pixel(nx, ny) != 0 && labels[at(nx, ny)] == 0 {
-                        labels[at(nx, ny)] = label;
-                        stack.push((nx, ny));
-                    }
-                }
-            }
-            regions.push(Region {
-                label,
-                area,
-                bbox: (min_x, min_y, max_x, max_y),
-                centroid: (sum_x / area as f64, sum_y / area as f64),
-            });
-        }
-    }
-    regions.sort_by(|a, b| b.area.cmp(&a.area).then(a.label.cmp(&b.label)));
-    Ok(Labeling {
-        labels,
-        width: w,
-        height: h,
-        regions,
-    })
+    let mut l = Labeling::empty();
+    l.recompute(binary, conn)?;
+    Ok(l)
 }
 
 #[cfg(test)]
@@ -208,6 +252,30 @@ mod tests {
         assert_eq!(mask.pixel(2, 2), 255);
         assert_eq!(mask.pixel(7, 6), 0);
         assert_eq!(mask.pixels().filter(|&p| p == 255).count(), 9);
+    }
+
+    #[test]
+    fn recompute_and_largest_mask_into_match_fresh() {
+        let img = two_blobs();
+        let mut reused = Labeling::empty();
+        // Recompute over several inputs; the last must match a fresh run.
+        reused
+            .recompute(&GrayImage::filled(4, 4, 255), Connectivity::Four)
+            .unwrap();
+        reused.recompute(&img, Connectivity::Eight).unwrap();
+        let fresh = connected_components(&img, Connectivity::Eight).unwrap();
+        assert_eq!(reused.labels, fresh.labels);
+        assert_eq!(reused.regions, fresh.regions);
+        let mut mask = GrayImage::filled(0, 0, 0);
+        assert!(reused.largest_mask_into(&mut mask));
+        assert_eq!(mask, fresh.largest_mask().unwrap());
+        // No regions: into-variant reports false, mask untouched.
+        reused
+            .recompute(&GrayImage::filled(3, 3, 0), Connectivity::Four)
+            .unwrap();
+        let before = mask.clone();
+        assert!(!reused.largest_mask_into(&mut mask));
+        assert_eq!(mask, before);
     }
 
     #[test]

@@ -19,7 +19,12 @@ pub use gaussian::{gaussian_blur, gaussian_blur_gray, gaussian_kernel_1d};
 pub use integral::IntegralImage;
 pub use label::{connected_components, Connectivity, Labeling, Region};
 pub use morphology::{close, dilate, erode, open, Structuring};
-pub use resize::{resize_bilinear_gray, resize_bilinear_rgb, resize_nearest};
-pub use sobel::{edge_density, edge_map, sobel, sobel_magnitude, GradientField};
+pub use resize::{
+    resize_bilinear_gray, resize_bilinear_rgb, resize_bilinear_rgb_into, resize_nearest,
+};
+pub use sobel::{
+    edge_density, edge_map, magnitude_orientation_into, sobel, sobel_into, sobel_magnitude,
+    GradientField, SOBEL_MAGNITUDE_MAX,
+};
 pub use threshold::{adaptive_mean_threshold, gray_histogram, otsu_level, threshold};
 pub use transform::{flip_horizontal, flip_vertical, rotate180, rotate270, rotate90};

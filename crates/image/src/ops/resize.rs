@@ -69,6 +69,25 @@ pub fn resize_bilinear_gray(img: &GrayImage, w: u32, h: u32) -> Result<GrayImage
 
 /// Bilinear resampling of an RGB image (per channel).
 pub fn resize_bilinear_rgb(img: &RgbImage, w: u32, h: u32) -> Result<RgbImage> {
+    let mut x_taps = Vec::new();
+    let mut out = RgbImage::filled(0, 0, Rgb::default());
+    resize_bilinear_rgb_into(img, w, h, &mut x_taps, &mut out)?;
+    Ok(out)
+}
+
+/// Bilinear RGB resampling into a caller-provided output buffer, with the
+/// per-column source taps precomputed once into `x_taps` instead of being
+/// re-derived for every pixel. Both buffers reuse their allocations, so
+/// repeated steady-state calls allocate nothing. Results are bit-identical
+/// to [`resize_bilinear_rgb`] (the tap expressions are the same; they were
+/// previously just evaluated redundantly per row).
+pub fn resize_bilinear_rgb_into(
+    img: &RgbImage,
+    w: u32,
+    h: u32,
+    x_taps: &mut Vec<(u32, u32, f64)>,
+    out: &mut RgbImage,
+) -> Result<()> {
     check_target(w, h)?;
     if img.is_empty() {
         return Err(ImageError::InvalidParameter(
@@ -77,21 +96,35 @@ pub fn resize_bilinear_rgb(img: &RgbImage, w: u32, h: u32) -> Result<RgbImage> {
     }
     let sx = img.width() as f64 / w as f64;
     let sy = img.height() as f64 / h as f64;
-    Ok(RgbImage::from_fn(w, h, |x, y| {
-        let (x0, x1, fx) = bilinear_axis(x, sx, img.width());
+    x_taps.clear();
+    x_taps.extend((0..w).map(|x| bilinear_axis(x, sx, img.width())));
+    out.reset(w, h, Rgb::default());
+    let wi = w as usize;
+    for y in 0..h {
         let (y0, y1, fy) = bilinear_axis(y, sy, img.height());
-        let mut out = [0u8; 3];
-        for (c, o) in out.iter_mut().enumerate() {
-            let p00 = img.pixel(x0, y0).0[c] as f64;
-            let p10 = img.pixel(x1, y0).0[c] as f64;
-            let p01 = img.pixel(x0, y1).0[c] as f64;
-            let p11 = img.pixel(x1, y1).0[c] as f64;
-            let top = p00 + (p10 - p00) * fx;
-            let bot = p01 + (p11 - p01) * fx;
-            *o = (top + (bot - top) * fy).round().clamp(0.0, 255.0) as u8;
+        let row0 = img.row(y0);
+        let row1 = img.row(y1);
+        let row_start = y as usize * wi;
+        let dst = &mut out.as_mut_slice()[row_start..row_start + wi];
+        for (&(x0, x1, fx), d) in x_taps.iter().zip(dst) {
+            let p0 = row0[x0 as usize].0;
+            let p1 = row0[x1 as usize].0;
+            let q0 = row1[x0 as usize].0;
+            let q1 = row1[x1 as usize].0;
+            let mut px = [0u8; 3];
+            for (c, o) in px.iter_mut().enumerate() {
+                let p00 = p0[c] as f64;
+                let p10 = p1[c] as f64;
+                let p01 = q0[c] as f64;
+                let p11 = q1[c] as f64;
+                let top = p00 + (p10 - p00) * fx;
+                let bot = p01 + (p11 - p01) * fx;
+                *o = (top + (bot - top) * fy).round().clamp(0.0, 255.0) as u8;
+            }
+            *d = Rgb(px);
         }
-        Rgb(out)
-    }))
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -168,6 +201,19 @@ mod tests {
         assert!(resize_nearest(&empty, 2, 2).is_err());
         assert!(resize_bilinear_gray(&empty, 2, 2).is_err());
         assert!(resize_bilinear_rgb(&RgbImage::filled(0, 0, Rgb::default()), 2, 2).is_err());
+    }
+
+    #[test]
+    fn rgb_resize_into_reuses_buffers_and_matches() {
+        let img = RgbImage::from_fn(13, 9, |x, y| {
+            Rgb::new((x * 19) as u8, (y * 27) as u8, ((x + y) * 11) as u8)
+        });
+        let mut taps = Vec::new();
+        let mut out = RgbImage::filled(0, 0, Rgb::default());
+        for (w, h) in [(8, 8), (13, 9), (20, 3), (1, 1), (8, 8)] {
+            resize_bilinear_rgb_into(&img, w, h, &mut taps, &mut out).unwrap();
+            assert_eq!(out, resize_bilinear_rgb(&img, w, h).unwrap(), "{w}x{h}");
+        }
     }
 
     #[test]

@@ -1,8 +1,18 @@
 //! Sobel gradient estimation: per-pixel gradient vectors, magnitude,
 //! orientation, and thresholded edge maps.
+//!
+//! The gradient kernel is a fused single pass directly over the `u8` input:
+//! every Sobel tap is a small integer, so each output is an exact integer in
+//! `[-1020, 1020]` — far below the 2^24 limit where `f32` addition stops
+//! being exact — and the fused form is bit-identical to the separable
+//! two-pass formulation regardless of summation order.
 
-use super::convolve::convolve_separable;
 use crate::image::{FloatImage, GrayImage};
+
+/// Theoretical maximum of the Sobel gradient magnitude on 8-bit input
+/// (`|gx| ≤ 1020`, `|gy| ≤ 1020`, so `|g| ≤ 1020·√2`). Used to normalize
+/// magnitudes into `[0, 255]` so thresholds are comparable across images.
+pub const SOBEL_MAGNITUDE_MAX: f32 = 1020.0 * std::f32::consts::SQRT_2;
 
 /// Per-pixel image gradient produced by the Sobel operator.
 #[derive(Clone, Debug)]
@@ -40,22 +50,97 @@ impl GradientField {
     }
 }
 
+/// Fused 3x3 Sobel over one pixel's replicate-border neighbourhood
+/// `a b c / d e f / g h i`. All terms are integers ≤ 1020 in magnitude, so
+/// the `f32` arithmetic is exact and equals the separable formulation.
+#[inline]
+#[allow(clippy::too_many_arguments)] // the eight neighbourhood taps
+fn sobel_taps(a: f32, b: f32, c: f32, d: f32, f: f32, g: f32, h: f32, i: f32) -> (f32, f32) {
+    let gx = (c + 2.0 * f + i) - (a + 2.0 * d + g);
+    let gy = (g + 2.0 * h + i) - (a + 2.0 * b + c);
+    (gx, gy)
+}
+
+/// Compute the Sobel gradient field into caller-provided buffers, reusing
+/// their allocations. Single fused pass over the `u8` input with
+/// replicate-border handling; results are bit-identical to the separable
+/// `[1 2 1] × [-1 0 1]` two-pass formulation.
+pub fn sobel_into(img: &GrayImage, gx: &mut FloatImage, gy: &mut FloatImage) {
+    let (w, h) = img.dimensions();
+    gx.reset(w, h, 0.0);
+    gy.reset(w, h, 0.0);
+    if w == 0 || h == 0 {
+        return;
+    }
+    let wi = w as usize;
+    for y in 0..h {
+        let ym = y.saturating_sub(1);
+        let yp = (y + 1).min(h - 1);
+        let rm = img.row(ym);
+        let r0 = img.row(y);
+        let rp = img.row(yp);
+        let ox = &mut gx.as_mut_slice()[y as usize * wi..(y as usize + 1) * wi];
+        let oy = &mut gy.as_mut_slice()[y as usize * wi..(y as usize + 1) * wi];
+        for x in 0..wi {
+            let xm = x.saturating_sub(1);
+            let xp = (x + 1).min(wi - 1);
+            let (vx, vy) = sobel_taps(
+                rm[xm] as f32,
+                rm[x] as f32,
+                rm[xp] as f32,
+                r0[xm] as f32,
+                r0[xp] as f32,
+                rp[xm] as f32,
+                rp[x] as f32,
+                rp[xp] as f32,
+            );
+            ox[x] = vx;
+            oy[x] = vy;
+        }
+    }
+}
+
 /// Apply the 3x3 Sobel operator. The kernels are separable:
-/// `Gx = [1 2 1]ᵀ × [-1 0 1]` and `Gy = [-1 0 1]ᵀ × [1 2 1]`.
+/// `Gx = [1 2 1]ᵀ × [-1 0 1]` and `Gy = [-1 0 1]ᵀ × [1 2 1]`; the
+/// implementation fuses both into one pass (see [`sobel_into`]).
 pub fn sobel(img: &GrayImage) -> GradientField {
-    let f = img.to_float();
-    let smooth = [1.0f32, 2.0, 1.0];
-    let diff = [-1.0f32, 0.0, 1.0];
-    let gx = convolve_separable(&f, &diff, &smooth).expect("static odd kernels");
-    let gy = convolve_separable(&f, &smooth, &diff).expect("static odd kernels");
+    let mut gx = FloatImage::filled(0, 0, 0.0);
+    let mut gy = FloatImage::filled(0, 0, 0.0);
+    sobel_into(img, &mut gx, &mut gy);
     GradientField { gx, gy }
 }
 
+/// Compute gradient magnitude and orientation into caller-provided buffers
+/// in one pass over the gradient field. Per-pixel expressions match
+/// [`GradientField::magnitude`] and [`GradientField::orientation`] exactly.
+pub fn magnitude_orientation_into(
+    gx: &FloatImage,
+    gy: &FloatImage,
+    mag: &mut FloatImage,
+    ori: &mut FloatImage,
+) {
+    let (w, h) = gx.dimensions();
+    debug_assert_eq!((w, h), gy.dimensions());
+    mag.reset(w, h, 0.0);
+    ori.reset(w, h, 0.0);
+    for ((&vx, &vy), (m, o)) in gx
+        .as_slice()
+        .iter()
+        .zip(gy.as_slice())
+        .zip(mag.as_mut_slice().iter_mut().zip(ori.as_mut_slice()))
+    {
+        *m = (vx * vx + vy * vy).sqrt();
+        *o = vy.atan2(vx).rem_euclid(std::f32::consts::PI);
+    }
+}
+
 /// Gradient magnitude normalized into `[0, 255]` by the theoretical Sobel
-/// maximum (1020·√2), so thresholds are comparable across images.
+/// maximum ([`SOBEL_MAGNITUDE_MAX`]), so thresholds are comparable across
+/// images.
 pub fn sobel_magnitude(img: &GrayImage) -> FloatImage {
-    const MAX: f32 = 1020.0 * std::f32::consts::SQRT_2;
-    sobel(img).magnitude().map(|m| m / MAX * 255.0)
+    sobel(img)
+        .magnitude()
+        .map(|m| m / SOBEL_MAGNITUDE_MAX * 255.0)
 }
 
 /// Binary edge map: 255 where normalized Sobel magnitude exceeds
@@ -77,6 +162,7 @@ pub fn edge_density(img: &GrayImage, threshold: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::convolve::convolve_separable;
 
     /// Vertical step edge: left half dark, right half bright.
     fn vertical_edge(w: u32, h: u32) -> GrayImage {
@@ -126,6 +212,43 @@ mod tests {
         assert_eq!(g.gx.pixel(2, 3), 4.0);
         assert_eq!(g.gx.pixel(3, 3), 4.0);
         assert_eq!(g.gx.pixel(1, 3), 0.0);
+    }
+
+    #[test]
+    fn fused_sobel_matches_separable_bitwise() {
+        // The fused single-pass kernel must reproduce the textbook separable
+        // two-pass formulation bit-for-bit, including on degenerate shapes
+        // where border clamping dominates.
+        let images = [
+            GrayImage::from_fn(17, 13, |x, y| ((x * 31 + y * 57 + x * y) % 256) as u8),
+            GrayImage::from_fn(1, 1, |_, _| 93),
+            GrayImage::from_fn(1, 9, |_, y| (y * 29) as u8),
+            GrayImage::from_fn(9, 1, |x, _| (x * 29) as u8),
+            GrayImage::from_fn(8, 8, |x, y| if (x + y) % 2 == 0 { 255 } else { 0 }),
+        ];
+        let smooth = [1.0f32, 2.0, 1.0];
+        let diff = [-1.0f32, 0.0, 1.0];
+        for img in &images {
+            let f = img.to_float();
+            let gx_ref = convolve_separable(&f, &diff, &smooth).unwrap();
+            let gy_ref = convolve_separable(&f, &smooth, &diff).unwrap();
+            let g = sobel(img);
+            let bits = |im: &FloatImage| im.pixels().map(f32::to_bits).collect::<Vec<_>>();
+            assert_eq!(bits(&g.gx), bits(&gx_ref), "{:?}", img.dimensions());
+            assert_eq!(bits(&g.gy), bits(&gy_ref), "{:?}", img.dimensions());
+        }
+    }
+
+    #[test]
+    fn magnitude_orientation_into_matches_field_methods() {
+        let img = GrayImage::from_fn(16, 12, |x, y| ((x * 17 + y * 29) % 256) as u8);
+        let g = sobel(&img);
+        let mut mag = FloatImage::filled(0, 0, 0.0);
+        let mut ori = FloatImage::filled(0, 0, 0.0);
+        magnitude_orientation_into(&g.gx, &g.gy, &mut mag, &mut ori);
+        let bits = |im: &FloatImage| im.pixels().map(f32::to_bits).collect::<Vec<_>>();
+        assert_eq!(bits(&mag), bits(&g.magnitude()));
+        assert_eq!(bits(&ori), bits(&g.orientation()));
     }
 
     #[test]

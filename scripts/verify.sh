@@ -1,7 +1,13 @@
 #!/usr/bin/env sh
-# Full offline verification gate: formatting, lints, release build, tests.
-# Every step works with no network access (the workspace has zero
-# external dependencies). Fails fast on the first broken step.
+# Full offline verification gate: formatting, lints, release build, docs,
+# tests, and a quick-bench smoke pass. Every step works with no network
+# access (the workspace has zero external dependencies). Fails fast on the
+# first broken step.
+#
+# The quick-bench step runs the throughput bench binaries in quick
+# (1-iteration) mode: their bit-identity assertions (planner vs naive
+# extraction, batched vs single-query k-NN) execute on every verify.
+# Skip it with SKIP_QUICK_BENCH=1 when iterating on unrelated changes.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,7 +21,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
+
+if [ "${SKIP_QUICK_BENCH:-0}" != 1 ]; then
+    echo "==> quick-bench smoke (equivalence assertions in bench binaries)"
+    cargo run --release -q -p cbir-bench --bin exp_extraction_throughput -- --quick
+    cargo run --release -q -p cbir-bench --bin exp_batch_throughput -- --quick
+fi
 
 echo "verify: all checks passed"

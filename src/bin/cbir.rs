@@ -258,11 +258,12 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let db = persist::load_file(db_path)?;
     let n = db.len();
     let engine = QueryEngine::build(db, kind, measure)?;
-    let mut queries = Vec::with_capacity(img_paths.len());
+    let mut images = Vec::with_capacity(img_paths.len());
     for p in img_paths {
-        let img = decode(&std::fs::read(p)?)?.into_rgb();
-        queries.push(engine.database().extract(&img)?);
+        images.push(decode(&std::fs::read(p)?)?.into_rgb());
     }
+    let refs: Vec<&_> = images.iter().collect();
+    let queries = engine.database().extract_batch(&refs, threads)?;
     let mut stats = BatchStats::new();
     let results = engine.knn_batch(&queries, k, threads, &mut stats)?;
 
