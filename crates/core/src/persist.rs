@@ -330,15 +330,39 @@ pub fn load_from_slice(bytes: &[u8]) -> Result<ImageDatabase> {
 }
 
 /// Save a database to a file.
+///
+/// I/O failures are reported as [`CoreError::Persist`] naming the path, so
+/// a CLI user sees "cannot write database file 'x.cbir': ..." rather than a
+/// bare OS error.
 pub fn save_file(db: &ImageDatabase, path: impl AsRef<Path>) -> Result<()> {
-    std::fs::write(path, save_to_vec(db)?)?;
-    Ok(())
+    let path = path.as_ref();
+    std::fs::write(path, save_to_vec(db)?).map_err(|e| {
+        CoreError::Persist(format!(
+            "cannot write database file '{}': {e}",
+            path.display()
+        ))
+    })
 }
 
 /// Load a database from a file.
+///
+/// Both I/O failures (missing file, permissions) and format violations
+/// (truncation, bad magic, corrupt fields) are reported as
+/// [`CoreError::Persist`] naming the offending path.
 pub fn load_file(path: impl AsRef<Path>) -> Result<ImageDatabase> {
-    let bytes = std::fs::read(path)?;
-    load_from_slice(&bytes)
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| {
+        CoreError::Persist(format!(
+            "cannot read database file '{}': {e}",
+            path.display()
+        ))
+    })?;
+    load_from_slice(&bytes).map_err(|e| match e {
+        CoreError::Persist(msg) => {
+            CoreError::Persist(format!("database file '{}': {msg}", path.display()))
+        }
+        other => other,
+    })
 }
 
 #[cfg(test)]
@@ -470,6 +494,106 @@ mod tests {
             load_from_slice(&bytes),
             Err(CoreError::Persist(_))
         ));
+    }
+
+    #[test]
+    fn every_spec_variant_roundtrips_alone() {
+        let mut variants: Vec<FeatureSpec> = [
+            Quantizer::Gray { bins: 8 },
+            Quantizer::UniformRgb { per_channel: 3 },
+            Quantizer::hsv_default(),
+            Quantizer::Lab { l: 4, a: 3, b: 3 },
+        ]
+        .into_iter()
+        .map(FeatureSpec::ColorHistogram)
+        .collect();
+        variants.extend([
+            FeatureSpec::ColorMoments,
+            FeatureSpec::Correlogram {
+                quantizer: Quantizer::Gray { bins: 4 },
+                distances: vec![1, 2, 5],
+            },
+            FeatureSpec::Glcm { levels: 8 },
+            FeatureSpec::Tamura,
+            FeatureSpec::Wavelet { levels: 1 },
+            FeatureSpec::EdgeOrientation { bins: 12 },
+            FeatureSpec::EdgeDensityGrid {
+                grid: 3,
+                threshold: 5.5,
+            },
+            FeatureSpec::HuMoments,
+            FeatureSpec::ShapeSummary,
+            FeatureSpec::DtHistogram { bins: 6 },
+            FeatureSpec::RegionShape,
+        ]);
+        let img = RgbImage::from_fn(20, 20, |x, y| Rgb::new((x * 11) as u8, (y * 9) as u8, 77));
+        for spec in variants {
+            let pipeline = Pipeline::new(16, vec![spec.clone()]).unwrap();
+            let mut db = ImageDatabase::new(pipeline);
+            db.insert("probe.ppm", &img).unwrap();
+            let loaded = load_from_slice(&save_to_vec(&db).unwrap())
+                .unwrap_or_else(|e| panic!("roundtrip failed for {spec:?}: {e}"));
+            assert_eq!(loaded.pipeline().specs(), db.pipeline().specs(), "{spec:?}");
+            assert_eq!(
+                loaded.descriptor(0).unwrap(),
+                db.descriptor(0).unwrap(),
+                "descriptor diverged for {spec:?}"
+            );
+            // Empty databases of the same shape must also survive.
+            let empty = ImageDatabase::new(Pipeline::new(16, vec![spec.clone()]).unwrap());
+            let loaded = load_from_slice(&save_to_vec(&empty).unwrap()).unwrap();
+            assert_eq!(loaded.len(), 0, "{spec:?}");
+            assert_eq!(loaded.pipeline().specs(), empty.pipeline().specs());
+        }
+    }
+
+    #[test]
+    fn load_file_missing_path_is_a_clear_persist_error() {
+        let path = std::env::temp_dir().join("cbir_persist_test_no_such_file.cbir");
+        std::fs::remove_file(&path).ok();
+        let err = load_file(&path).unwrap_err();
+        match &err {
+            CoreError::Persist(msg) => {
+                assert!(
+                    msg.contains("cbir_persist_test_no_such_file.cbir"),
+                    "message must name the path: {msg}"
+                );
+                assert!(msg.contains("cannot read"), "message must say why: {msg}");
+            }
+            other => panic!("expected CoreError::Persist, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_file_truncated_and_bad_magic_name_the_path() {
+        let db = populated_db();
+        let dir = std::env::temp_dir().join("cbir_persist_test_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bytes = save_to_vec(&db).unwrap();
+
+        let truncated = dir.join("truncated.cbir");
+        std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_file(&truncated).unwrap_err();
+        match &err {
+            CoreError::Persist(msg) => {
+                assert!(msg.contains("truncated.cbir"), "path missing: {msg}")
+            }
+            other => panic!("expected CoreError::Persist, got {other:?}"),
+        }
+
+        let bad_magic = dir.join("bad_magic.cbir");
+        let mut corrupt = bytes.clone();
+        corrupt[..8].copy_from_slice(b"NOTCBIR!");
+        std::fs::write(&bad_magic, &corrupt).unwrap();
+        let err = load_file(&bad_magic).unwrap_err();
+        match &err {
+            CoreError::Persist(msg) => {
+                assert!(msg.contains("bad_magic.cbir"), "path missing: {msg}");
+                assert!(msg.contains("magic"), "cause missing: {msg}");
+            }
+            other => panic!("expected CoreError::Persist, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -66,16 +66,62 @@ macro_rules! unit_kernel {
     };
 }
 
-unit_kernel!(
-    /// City-block (L1) kernel.
-    L1Kernel,
-    l1
-);
-unit_kernel!(
-    /// Euclidean (L2) kernel.
-    L2Kernel,
-    l2
-);
+/// Validation shared by the batch entry points (kept identical to the
+/// default [`DistanceKernel::dist_to_many`] contract).
+#[inline]
+fn check_batch(query: &[f32], rows: &[f32], out: &[f32]) {
+    let dim = query.len();
+    assert!(dim > 0, "dist_to_many needs a non-empty query");
+    assert_eq!(
+        rows.len(),
+        out.len() * dim,
+        "rows length {} is not out length {} x dim {dim}",
+        rows.len(),
+        out.len()
+    );
+}
+
+/// City-block (L1) kernel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct L1Kernel;
+
+impl DistanceKernel for L1Kernel {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        l1(a, b)
+    }
+
+    /// Overridden so the wide-kernel dispatch (see `crate::simd`) is
+    /// resolved once per batch, with the whole row loop compiled for the
+    /// selected instruction set. Results are bit-identical to the
+    /// per-row default.
+    fn dist_to_many(&self, query: &[f32], rows: &[f32], out: &mut [f32]) {
+        check_batch(query, rows, out);
+        crate::simd::pair_sum_to_many::<false>(query, rows, out);
+    }
+}
+
+/// Euclidean (L2) kernel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct L2Kernel;
+
+impl DistanceKernel for L2Kernel {
+    #[inline]
+    fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        l2(a, b)
+    }
+
+    /// Batch override: squared distances through the dispatched wide
+    /// kernel, then one exact IEEE `sqrt` per row — the same two steps as
+    /// the scalar [`l2`], so bits match the per-row default.
+    fn dist_to_many(&self, query: &[f32], rows: &[f32], out: &mut [f32]) {
+        check_batch(query, rows, out);
+        crate::simd::pair_sum_to_many::<true>(query, rows, out);
+        for d in out.iter_mut() {
+            *d = d.sqrt();
+        }
+    }
+}
 unit_kernel!(
     /// Chebyshev (L∞) kernel.
     LInfKernel,

@@ -30,6 +30,7 @@ mod kernel;
 mod metric;
 mod minkowski;
 mod quadratic;
+mod simd;
 
 pub use combine::{CombineError, CombinedMeasure, Component};
 pub use hausdorff::{

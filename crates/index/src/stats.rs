@@ -103,7 +103,12 @@ impl BatchStats {
 }
 
 /// Nearest-rank percentile (`p` in 0..=100) of a sample set; 0 when empty.
-fn percentile(samples: &[u64], p: u64) -> u64 {
+///
+/// Public because every layer that aggregates per-query samples — the
+/// [`BatchStats`] summaries here, the serving layer's latency counters —
+/// needs the same tail summary; keeping one definition keeps p50/p95
+/// comparable across reports.
+pub fn percentile(samples: &[u64], p: u64) -> u64 {
     if samples.is_empty() {
         return 0;
     }

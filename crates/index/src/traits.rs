@@ -18,6 +18,21 @@ use crate::stats::{BatchStats, Neighbor, SearchStats};
 /// and the batch loops are derived from them. Reusing one
 /// [`QueryScratch`] across queries is what makes steady-state search
 /// allocation-free.
+///
+/// # Tie-breaking
+///
+/// Equal distances are broken by **ascending id**, everywhere:
+///
+/// * result lists are sorted by `(distance, id)` — two hits at the same
+///   distance always appear smaller id first;
+/// * when the k-th place is contested (more than `k` candidates would
+///   remain after including every vector tied with the k-th distance),
+///   the candidates with the smallest ids win the remaining slots.
+///
+/// Because the rule depends only on the candidate set — not on traversal
+/// order — every implementation resolves ties identically, which is what
+/// makes the cross-index and cross-thread-count bit-identity contract
+/// testable on data with duplicated vectors.
 pub trait SearchIndex: Send + Sync {
     /// Number of indexed vectors.
     fn len(&self) -> usize;

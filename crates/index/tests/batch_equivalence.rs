@@ -180,3 +180,55 @@ fn batch_stats_match_single_query_totals() {
         }
     }
 }
+
+#[test]
+fn duplicate_distance_ties_break_by_id_across_thread_counts() {
+    // 60 distinct vectors, each stored 5 times: every candidate distance
+    // occurs in runs of five bit-identical values, so k = 7 always cuts
+    // through a tie group and the winner is decided purely by the
+    // documented ascending-id rule.
+    let base = cbir_workload::clustered(60, 4, 6, 1.0, 10.0, 5);
+    let mut vectors = Vec::new();
+    for v in &base {
+        for _ in 0..5 {
+            vectors.push(v.clone());
+        }
+    }
+    let ds = Dataset::from_vectors(&vectors).unwrap();
+    let queries = cbir_workload::queries(&base, 16, 0.25, 123);
+    let k = 7;
+    for measure in [Measure::L1, Measure::L2] {
+        for index in lineup(&ds, &measure) {
+            let mut sstats = SearchStats::new();
+            let want: Vec<Vec<Neighbor>> = queries
+                .iter()
+                .map(|q| index.knn_search(q, k, &mut sstats))
+                .collect();
+            for (qi, hits) in want.iter().enumerate() {
+                assert_eq!(hits.len(), k);
+                // Sorted by (distance, id); with quintuplicated vectors at
+                // k = 7 every result list must actually contain a tie.
+                let mut saw_tie = false;
+                for w in hits.windows(2) {
+                    let tied = w[0].distance.to_bits() == w[1].distance.to_bits();
+                    saw_tie |= tied;
+                    assert!(
+                        w[0].distance < w[1].distance || (tied && w[0].id < w[1].id),
+                        "{}: query {qi} violates (distance, id) order",
+                        index.name()
+                    );
+                }
+                assert!(saw_tie, "{}: query {qi} produced no tie", index.name());
+            }
+            for threads in [1usize, 2, 3, 8] {
+                let mut stats = BatchStats::new();
+                let got = knn_batch_parallel(index.as_ref(), &queries, k, threads, &mut stats);
+                assert_bit_identical(
+                    &got,
+                    &want,
+                    &format!("{} duplicate-tie knn, {threads} threads", index.name()),
+                );
+            }
+        }
+    }
+}

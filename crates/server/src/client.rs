@@ -1,0 +1,240 @@
+//! Blocking client for the `CBIRRPC1` protocol.
+//!
+//! [`Client`] offers one-call request/response methods (`knn`, `range`,
+//! `knn_by_id`, `ping`, `stats`, `shutdown`) plus a pipelined pair
+//! (`send_*` / `recv_hits`) used by load generators: send a window of
+//! requests before reading any reply, and the server — whose replies are
+//! always in request order — keeps its micro-batches full.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Hit, Request, Response,
+    StatsSnapshot, WireError,
+};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a request did not return hits.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The peer sent something that is not a valid response frame, or a
+    /// response of an unexpected kind.
+    Protocol(String),
+    /// The server rejected or failed the request with an explicit reply.
+    Rejected(Rejection),
+}
+
+/// An explicit non-hit server reply, preserved so callers can tell
+/// overload shedding apart from failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rejection {
+    /// Per-request failure; the connection is still usable.
+    Error(String),
+    /// Admission control shed the request (queue full).
+    Overloaded(String),
+    /// The server is draining and no longer admits requests.
+    ShuttingDown(String),
+    /// The request's deadline expired before execution.
+    DeadlineExpired(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::Rejected(r) => match r {
+                Rejection::Error(m) => write!(f, "server error: {m}"),
+                Rejection::Overloaded(m) => write!(f, "server overloaded: {m}"),
+                Rejection::ShuttingDown(m) => write!(f, "server shutting down: {m}"),
+                Rejection::DeadlineExpired(m) => write!(f, "deadline expired: {m}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Protocol(e.0)
+    }
+}
+
+/// Convenience alias.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A blocking connection to a `cbir` query server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server address (e.g. `"127.0.0.1:7878"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> std::io::Result<()> {
+        write_frame(&mut self.writer, &encode_request(req))
+    }
+
+    /// Flush buffered request frames to the socket.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    fn recv(&mut self) -> ClientResult<Response> {
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("connection closed mid-conversation".into()))?;
+        Ok(decode_response(&payload)?)
+    }
+
+    fn expect_hits(resp: Response) -> ClientResult<Vec<Hit>> {
+        match resp {
+            Response::Hits(h) => Ok(h),
+            Response::Error(m) => Err(ClientError::Rejected(Rejection::Error(m))),
+            Response::Overloaded(m) => Err(ClientError::Rejected(Rejection::Overloaded(m))),
+            Response::ShuttingDown(m) => Err(ClientError::Rejected(Rejection::ShuttingDown(m))),
+            Response::DeadlineExpired(m) => {
+                Err(ClientError::Rejected(Rejection::DeadlineExpired(m)))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected hits, got {other:?}"
+            ))),
+        }
+    }
+
+    /// k-NN over a raw descriptor. `deadline_us` is a relative budget in
+    /// microseconds (0 = no deadline).
+    pub fn knn(
+        &mut self,
+        descriptor: &[f32],
+        k: usize,
+        deadline_us: u64,
+    ) -> ClientResult<Vec<Hit>> {
+        self.send_knn(descriptor, k, deadline_us)?;
+        self.flush()?;
+        self.recv_hits()
+    }
+
+    /// Range search over a raw descriptor.
+    pub fn range(
+        &mut self,
+        descriptor: &[f32],
+        radius: f32,
+        deadline_us: u64,
+    ) -> ClientResult<Vec<Hit>> {
+        self.send(&Request::Range {
+            radius,
+            deadline_us,
+            descriptor: descriptor.to_vec(),
+        })?;
+        self.flush()?;
+        self.recv_hits()
+    }
+
+    /// Self-excluding k-NN by database image id.
+    pub fn knn_by_id(&mut self, id: usize, k: usize, deadline_us: u64) -> ClientResult<Vec<Hit>> {
+        self.send(&Request::KnnById {
+            k: k as u32,
+            deadline_us,
+            id: id as u64,
+        })?;
+        self.flush()?;
+        self.recv_hits()
+    }
+
+    /// Pipelined send half of [`Client::knn`]: buffers the request
+    /// without reading a reply. Call [`Client::flush`] after the window
+    /// and [`Client::recv_hits`] once per outstanding request, in order.
+    pub fn send_knn(&mut self, descriptor: &[f32], k: usize, deadline_us: u64) -> ClientResult<()> {
+        self.send(&Request::Knn {
+            k: k as u32,
+            deadline_us,
+            descriptor: descriptor.to_vec(),
+        })?;
+        Ok(())
+    }
+
+    /// Pipelined receive half: the next in-order hits reply.
+    pub fn recv_hits(&mut self) -> ClientResult<Vec<Hit>> {
+        let resp = self.recv()?;
+        Self::expect_hits(resp)
+    }
+
+    /// Liveness probe; returns `(database length, descriptor dim)`.
+    pub fn ping(&mut self) -> ClientResult<(u64, u32)> {
+        self.send(&Request::Ping)?;
+        self.flush()?;
+        match self.recv()? {
+            Response::Pong { db_len, dim } => Ok((db_len, dim)),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Server counter snapshot.
+    pub fn stats(&mut self) -> ClientResult<StatsSnapshot> {
+        self.send(&Request::Stats)?;
+        self.flush()?;
+        match self.recv()? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to drain and stop; returns once acknowledged.
+    ///
+    /// Must not be called with pipelined requests still unread: replies
+    /// are in request order, so drain every outstanding
+    /// [`Client::recv_hits`] first (or use the pipelined
+    /// [`Client::send_shutdown`] / [`Client::recv_shutdown_ack`] pair).
+    pub fn shutdown(&mut self) -> ClientResult<()> {
+        self.send_shutdown()?;
+        self.flush()?;
+        self.recv_shutdown_ack()
+    }
+
+    /// Pipelined send half of [`Client::shutdown`]: buffers the shutdown
+    /// op behind any outstanding requests without reading a reply.
+    pub fn send_shutdown(&mut self) -> ClientResult<()> {
+        self.send(&Request::Shutdown)?;
+        Ok(())
+    }
+
+    /// Pipelined receive half of [`Client::shutdown`]: expects the next
+    /// in-order reply to be the shutdown acknowledgement.
+    pub fn recv_shutdown_ack(&mut self) -> ClientResult<()> {
+        match self.recv()? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected shutdown ack, got {other:?}"
+            ))),
+        }
+    }
+}

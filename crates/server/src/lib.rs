@@ -1,0 +1,55 @@
+//! # `cbir-server` — the network query-serving layer
+//!
+//! A long-running TCP server that keeps a built [`cbir_core::QueryEngine`]
+//! hot and answers similarity queries over the `CBIRRPC1` length-prefixed
+//! binary protocol, plus the matching blocking [`Client`].
+//!
+//! The serving model is **dynamic micro-batching**: concurrent requests
+//! land in a bounded admission queue; a dispatcher claims up to
+//! `max_batch` of them (waiting at most `max_delay` for stragglers) and
+//! executes the whole batch through the engine's amortized
+//! `knn_batch`/`range_batch` path. Under load, per-request dispatch
+//! overhead — wakeups, scratch setup, allocator traffic — is paid once
+//! per batch instead of once per query; responses stay **bit-identical**
+//! to direct engine calls because the batched path itself is
+//! bit-identical to the single-query path (the PR 1 contract).
+//!
+//! Overload is handled by **admission control**, not queueing: when the
+//! bounded queue is full, requests are shed immediately with an explicit
+//! overloaded reply, and per-request deadlines expire queued work that
+//! can no longer be answered in time. Shutdown is graceful — admitted
+//! work is drained and answered before the server stops.
+//!
+//! ```no_run
+//! use cbir_core::{ImageDatabase, IndexKind, QueryEngine};
+//! use cbir_distance::Measure;
+//! use cbir_features::Pipeline;
+//! use cbir_server::{Client, SchedulerConfig, Server};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let db = ImageDatabase::new(Pipeline::color_histogram_default());
+//! // ... insert images ...
+//! let engine = QueryEngine::build(db, IndexKind::VpTree, Measure::L1)?;
+//! let handle = Server::spawn(engine, "127.0.0.1:0", SchedulerConfig::default())?;
+//!
+//! let mut client = Client::connect(handle.local_addr())?;
+//! let (db_len, dim) = client.ping()?;
+//! let hits = client.knn(&vec![0.0; dim as usize], 10, 0)?;
+//! client.shutdown()?;
+//! handle.join();
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use client::{Client, ClientError, ClientResult, Rejection};
+pub use metrics::Metrics;
+pub use protocol::{Hit, Request, Response, StatsSnapshot, WireError};
+pub use scheduler::{Pending, QueryWork, Scheduler, SchedulerConfig};
+pub use server::{Server, ServerHandle};

@@ -1,0 +1,165 @@
+//! Server-side counters: admission outcomes, micro-batch shape, and
+//! enqueue-to-reply latency tails.
+//!
+//! Cheap monotonically-increasing counters are atomics updated lock-free
+//! on the request path; the batch-size histogram, latency samples, and
+//! aggregated engine [`BatchStats`] live behind one mutex taken once per
+//! *batch* (not per request), so metric upkeep amortizes exactly like the
+//! work it measures.
+
+use crate::protocol::StatsSnapshot;
+use cbir_index::{percentile, BatchStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Inclusive upper bounds of the batch-size histogram buckets.
+pub const BATCH_HIST_BOUNDS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, u64::MAX];
+
+/// Cap on retained latency samples; beyond it the reservoir stops growing
+/// (the tail summary then reflects the first `LATENCY_SAMPLE_CAP`
+/// executed requests, which a long-running server reports explicitly via
+/// the `requests` counter).
+const LATENCY_SAMPLE_CAP: usize = 1 << 20;
+
+#[derive(Default)]
+struct Sampled {
+    batch_hist: [u64; BATCH_HIST_BOUNDS.len()],
+    latency_us: Vec<u64>,
+    search: BatchStats,
+}
+
+/// Shared counter block; one per server.
+#[derive(Default)]
+pub struct Metrics {
+    requests: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    expired: AtomicU64,
+    executed: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    sampled: Mutex<Sampled>,
+}
+
+impl Metrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// A query request was decoded (before admission).
+    pub fn on_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request entered the bounded queue.
+    pub fn on_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was shed because the queue was full.
+    pub fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was refused because the server is shutting down.
+    pub fn on_rejected_shutdown(&self) {
+        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was answered with a per-request error.
+    pub fn on_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one dispatched micro-batch: its size, how many of its
+    /// members had already expired, each executed member's
+    /// enqueue-to-reply latency, and the engine's per-batch search stats.
+    pub fn on_batch(&self, size: usize, expired: usize, latencies_us: &[u64], search: &BatchStats) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.expired.fetch_add(expired as u64, Ordering::Relaxed);
+        self.executed
+            .fetch_add(latencies_us.len() as u64, Ordering::Relaxed);
+        let bucket = BATCH_HIST_BOUNDS
+            .iter()
+            .position(|&b| size as u64 <= b)
+            .expect("last bound is u64::MAX");
+        let mut s = self.sampled.lock().expect("metrics lock");
+        s.batch_hist[bucket] += 1;
+        let room = LATENCY_SAMPLE_CAP.saturating_sub(s.latency_us.len());
+        s.latency_us
+            .extend_from_slice(&latencies_us[..latencies_us.len().min(room)]);
+        s.search.merge(search);
+    }
+
+    /// Snapshot every counter; `queue_depth` is supplied by the caller
+    /// (the queue lives in the scheduler, not here).
+    pub fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
+        let s = self.sampled.lock().expect("metrics lock");
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            queue_depth: queue_depth as u64,
+            latency_p50_us: percentile(&s.latency_us, 50),
+            latency_p95_us: percentile(&s.latency_us, 95),
+            distance_computations: s.search.total().distance_computations,
+            batch_hist: BATCH_HIST_BOUNDS
+                .iter()
+                .zip(s.batch_hist.iter())
+                .map(|(&b, &c)| (b, c))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbir_index::SearchStats;
+
+    #[test]
+    fn batch_recording_and_snapshot() {
+        let m = Metrics::new();
+        for _ in 0..10 {
+            m.on_request();
+        }
+        for _ in 0..8 {
+            m.on_admitted();
+        }
+        m.on_shed();
+        m.on_rejected_shutdown();
+
+        let mut search = BatchStats::new();
+        search.record(&SearchStats {
+            distance_computations: 40,
+            nodes_visited: 4,
+        });
+        m.on_batch(5, 1, &[100, 200, 300, 400], &search);
+        m.on_batch(1, 0, &[50], &BatchStats::new());
+
+        let snap = m.snapshot(3);
+        assert_eq!(snap.requests, 10);
+        assert_eq!(snap.admitted, 8);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.rejected_shutdown, 1);
+        assert_eq!(snap.expired, 1);
+        assert_eq!(snap.executed, 5);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.distance_computations, 40);
+        assert_eq!(snap.latency_p50_us, 200);
+        assert_eq!(snap.latency_p95_us, 400);
+        // Size 5 lands in the `<= 8` bucket, size 1 in `<= 1`.
+        let hist: std::collections::BTreeMap<u64, u64> = snap.batch_hist.into_iter().collect();
+        assert_eq!(hist[&1], 1);
+        assert_eq!(hist[&8], 1);
+        assert_eq!(hist.values().sum::<u64>(), 2);
+    }
+}

@@ -1,0 +1,686 @@
+//! The `CBIRRPC1` wire protocol: length-prefixed little-endian binary
+//! frames over a byte stream.
+//!
+//! Every frame, in both directions, is:
+//!
+//! ```text
+//! [8 bytes magic "CBIRRPC1"] [u32 LE payload length] [payload bytes]
+//! ```
+//!
+//! A request payload is an op tag followed by an op-specific body; a
+//! response payload is a status tag followed by a status-specific body.
+//! All multi-byte integers and floats are little-endian. Strings are a
+//! `u32` byte length followed by UTF-8 bytes. See [`Request`] and
+//! [`Response`] for the exact bodies.
+//!
+//! The format is self-describing enough for per-connection error
+//! isolation: a malformed frame produces a [`WireError`] which the server
+//! answers with [`Response::Error`] before closing that connection,
+//! leaving every other connection untouched.
+
+use std::io::{Read, Write};
+
+/// Frame magic; doubles as a protocol version stamp.
+pub const MAGIC: &[u8; 8] = b"CBIRRPC1";
+
+/// Upper bound on a frame payload (16 MiB); anything larger is treated as
+/// a corrupt stream rather than an allocation request.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Upper bound on a query descriptor's dimensionality on the wire.
+pub const MAX_WIRE_DIM: usize = 1 << 20;
+
+/// A malformed frame or payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire protocol: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn wire_err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+/// A client-to-server operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered inline with [`Response::Pong`].
+    Ping,
+    /// k-nearest-neighbour search over a raw descriptor.
+    ///
+    /// Body: `u32 k`, `u64 deadline_us` (0 = no deadline; a relative
+    /// budget measured from server receipt), `u32 dim`, `dim × f32`.
+    Knn {
+        /// Number of neighbours requested.
+        k: u32,
+        /// Relative deadline in microseconds (0 = none).
+        deadline_us: u64,
+        /// Query descriptor.
+        descriptor: Vec<f32>,
+    },
+    /// Range search over a raw descriptor.
+    ///
+    /// Body: `f32 radius`, `u64 deadline_us`, `u32 dim`, `dim × f32`.
+    Range {
+        /// Inclusive distance threshold.
+        radius: f32,
+        /// Relative deadline in microseconds (0 = none).
+        deadline_us: u64,
+        /// Query descriptor.
+        descriptor: Vec<f32>,
+    },
+    /// k-NN by database image id, excluding the query image itself.
+    ///
+    /// Body: `u32 k`, `u64 deadline_us`, `u64 id`.
+    KnnById {
+        /// Number of neighbours requested.
+        k: u32,
+        /// Relative deadline in microseconds (0 = none).
+        deadline_us: u64,
+        /// Database image id.
+        id: u64,
+    },
+    /// Server counter snapshot; answered inline with [`Response::Stats`].
+    Stats,
+    /// Graceful shutdown: drain admitted requests, answer them, then stop.
+    Shutdown,
+}
+
+const OP_PING: u8 = 0;
+const OP_KNN: u8 = 1;
+const OP_RANGE: u8 = 2;
+const OP_KNN_BY_ID: u8 = 3;
+const OP_STATS: u8 = 4;
+const OP_SHUTDOWN: u8 = 5;
+
+/// One retrieval hit on the wire; mirrors `cbir_core::Ranked`.
+///
+/// Body: `u64 id`, string name, `u8 has_label` (`1` followed by
+/// `u32 label`, or `0`), `f32 distance`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hit {
+    /// Image id in the server's database.
+    pub id: u64,
+    /// External name of the image.
+    pub name: String,
+    /// Class label if the image has one.
+    pub label: Option<u32>,
+    /// Distance from the query under the server's measure.
+    pub distance: f32,
+}
+
+/// Snapshot of the server-side counters (see `metrics` module for the
+/// semantics of each field).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Query requests decoded (knn/range/knn-by-id; control ops excluded).
+    pub requests: u64,
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests shed with [`Response::Overloaded`] (queue full).
+    pub shed: u64,
+    /// Requests refused because the server was shutting down.
+    pub rejected_shutdown: u64,
+    /// Admitted requests whose deadline expired before execution.
+    pub expired: u64,
+    /// Requests executed through the engine.
+    pub executed: u64,
+    /// Requests answered with [`Response::Error`] (validation or engine).
+    pub errors: u64,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// p50 of enqueue-to-reply latency, microseconds (executed requests).
+    pub latency_p50_us: u64,
+    /// p95 of enqueue-to-reply latency, microseconds (executed requests).
+    pub latency_p95_us: u64,
+    /// Total distance computations performed by the engine.
+    pub distance_computations: u64,
+    /// Batch-size histogram as `(inclusive upper bound, count)` pairs.
+    pub batch_hist: Vec<(u64, u64)>,
+}
+
+/// A server-to-client reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Ranked hits for a knn/range/knn-by-id request.
+    Hits(Vec<Hit>),
+    /// Answer to [`Request::Ping`]: database size and descriptor dim.
+    Pong {
+        /// Number of images in the served database.
+        db_len: u64,
+        /// Descriptor dimensionality the server expects.
+        dim: u32,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// Acknowledges [`Request::Shutdown`]; sent before the server drains.
+    ShutdownAck,
+    /// Per-request failure (bad dimension, unknown id, engine error). The
+    /// connection stays usable.
+    Error(String),
+    /// Admission control shed this request: the bounded queue was full.
+    Overloaded(String),
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown(String),
+    /// The request's deadline expired while it waited in the queue.
+    DeadlineExpired(String),
+}
+
+const ST_HITS: u8 = 0;
+const ST_PONG: u8 = 1;
+const ST_STATS: u8 = 2;
+const ST_SHUTDOWN_ACK: u8 = 3;
+const ST_ERROR: u8 = 4;
+const ST_OVERLOADED: u8 = 5;
+const ST_SHUTTING_DOWN: u8 = 6;
+const ST_DEADLINE_EXPIRED: u8 = 7;
+
+// ---------------------------------------------------------------------------
+// Payload writer/reader (little-endian, length-prefixed strings).
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        PayloadReader { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let slice = self
+            .bytes
+            .get(self.at..self.at.saturating_add(n))
+            .ok_or_else(|| wire_err("unexpected end of payload"))?;
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        if n > MAX_FRAME_LEN {
+            return Err(wire_err(format!("string length {n} implausible")));
+        }
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| wire_err("invalid UTF-8 in string field"))
+    }
+
+    fn descriptor(&mut self) -> Result<Vec<f32>, WireError> {
+        let dim = self.u32()? as usize;
+        if dim == 0 || dim > MAX_WIRE_DIM {
+            return Err(wire_err(format!("descriptor dim {dim} out of range")));
+        }
+        let mut v = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            v.push(self.f32()?);
+        }
+        Ok(v)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(wire_err(format!(
+                "{} trailing bytes after payload",
+                self.bytes.len() - self.at
+            )))
+        }
+    }
+}
+
+fn write_descriptor(w: &mut PayloadWriter, d: &[f32]) {
+    w.u32(d.len() as u32);
+    for &v in d {
+        w.f32(v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request encode/decode.
+// ---------------------------------------------------------------------------
+
+/// Serialize a request into a frame payload (no magic / length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = PayloadWriter::default();
+    match req {
+        Request::Ping => w.u8(OP_PING),
+        Request::Knn {
+            k,
+            deadline_us,
+            descriptor,
+        } => {
+            w.u8(OP_KNN);
+            w.u32(*k);
+            w.u64(*deadline_us);
+            write_descriptor(&mut w, descriptor);
+        }
+        Request::Range {
+            radius,
+            deadline_us,
+            descriptor,
+        } => {
+            w.u8(OP_RANGE);
+            w.f32(*radius);
+            w.u64(*deadline_us);
+            write_descriptor(&mut w, descriptor);
+        }
+        Request::KnnById { k, deadline_us, id } => {
+            w.u8(OP_KNN_BY_ID);
+            w.u32(*k);
+            w.u64(*deadline_us);
+            w.u64(*id);
+        }
+        Request::Stats => w.u8(OP_STATS),
+        Request::Shutdown => w.u8(OP_SHUTDOWN),
+    }
+    w.buf
+}
+
+/// Parse a frame payload as a request.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = PayloadReader::new(payload);
+    let req = match r.u8()? {
+        OP_PING => Request::Ping,
+        OP_KNN => Request::Knn {
+            k: r.u32()?,
+            deadline_us: r.u64()?,
+            descriptor: r.descriptor()?,
+        },
+        OP_RANGE => Request::Range {
+            radius: r.f32()?,
+            deadline_us: r.u64()?,
+            descriptor: r.descriptor()?,
+        },
+        OP_KNN_BY_ID => Request::KnnById {
+            k: r.u32()?,
+            deadline_us: r.u64()?,
+            id: r.u64()?,
+        },
+        OP_STATS => Request::Stats,
+        OP_SHUTDOWN => Request::Shutdown,
+        t => return Err(wire_err(format!("unknown request op {t}"))),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------------
+// Response encode/decode.
+// ---------------------------------------------------------------------------
+
+/// Serialize a response into a frame payload (no magic / length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w = PayloadWriter::default();
+    match resp {
+        Response::Hits(hits) => {
+            w.u8(ST_HITS);
+            w.u32(hits.len() as u32);
+            for h in hits {
+                w.u64(h.id);
+                w.str(&h.name);
+                match h.label {
+                    Some(l) => {
+                        w.u8(1);
+                        w.u32(l);
+                    }
+                    None => w.u8(0),
+                }
+                w.f32(h.distance);
+            }
+        }
+        Response::Pong { db_len, dim } => {
+            w.u8(ST_PONG);
+            w.u64(*db_len);
+            w.u32(*dim);
+        }
+        Response::Stats(s) => {
+            w.u8(ST_STATS);
+            w.u64(s.requests);
+            w.u64(s.admitted);
+            w.u64(s.shed);
+            w.u64(s.rejected_shutdown);
+            w.u64(s.expired);
+            w.u64(s.executed);
+            w.u64(s.errors);
+            w.u64(s.batches);
+            w.u64(s.queue_depth);
+            w.u64(s.latency_p50_us);
+            w.u64(s.latency_p95_us);
+            w.u64(s.distance_computations);
+            w.u32(s.batch_hist.len() as u32);
+            for &(bound, count) in &s.batch_hist {
+                w.u64(bound);
+                w.u64(count);
+            }
+        }
+        Response::ShutdownAck => w.u8(ST_SHUTDOWN_ACK),
+        Response::Error(msg) => {
+            w.u8(ST_ERROR);
+            w.str(msg);
+        }
+        Response::Overloaded(msg) => {
+            w.u8(ST_OVERLOADED);
+            w.str(msg);
+        }
+        Response::ShuttingDown(msg) => {
+            w.u8(ST_SHUTTING_DOWN);
+            w.str(msg);
+        }
+        Response::DeadlineExpired(msg) => {
+            w.u8(ST_DEADLINE_EXPIRED);
+            w.str(msg);
+        }
+    }
+    w.buf
+}
+
+/// Parse a frame payload as a response.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = PayloadReader::new(payload);
+    let resp = match r.u8()? {
+        ST_HITS => {
+            let n = r.u32()? as usize;
+            if n > MAX_FRAME_LEN / 17 {
+                return Err(wire_err(format!("hit count {n} implausible")));
+            }
+            let mut hits = Vec::with_capacity(n);
+            for _ in 0..n {
+                let id = r.u64()?;
+                let name = r.str()?;
+                let label = if r.u8()? != 0 { Some(r.u32()?) } else { None };
+                let distance = r.f32()?;
+                hits.push(Hit {
+                    id,
+                    name,
+                    label,
+                    distance,
+                });
+            }
+            Response::Hits(hits)
+        }
+        ST_PONG => Response::Pong {
+            db_len: r.u64()?,
+            dim: r.u32()?,
+        },
+        ST_STATS => {
+            let mut s = StatsSnapshot {
+                requests: r.u64()?,
+                admitted: r.u64()?,
+                shed: r.u64()?,
+                rejected_shutdown: r.u64()?,
+                expired: r.u64()?,
+                executed: r.u64()?,
+                errors: r.u64()?,
+                batches: r.u64()?,
+                queue_depth: r.u64()?,
+                latency_p50_us: r.u64()?,
+                latency_p95_us: r.u64()?,
+                distance_computations: r.u64()?,
+                batch_hist: Vec::new(),
+            };
+            let n = r.u32()? as usize;
+            if n > 1024 {
+                return Err(wire_err(format!("histogram bucket count {n} implausible")));
+            }
+            for _ in 0..n {
+                let bound = r.u64()?;
+                let count = r.u64()?;
+                s.batch_hist.push((bound, count));
+            }
+            Response::Stats(s)
+        }
+        ST_SHUTDOWN_ACK => Response::ShutdownAck,
+        ST_ERROR => Response::Error(r.str()?),
+        ST_OVERLOADED => Response::Overloaded(r.str()?),
+        ST_SHUTTING_DOWN => Response::ShuttingDown(r.str()?),
+        ST_DEADLINE_EXPIRED => Response::DeadlineExpired(r.str()?),
+        t => return Err(wire_err(format!("unknown response status {t}"))),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O.
+// ---------------------------------------------------------------------------
+
+/// Write one frame (magic, length, payload) to a stream. One `write_all`
+/// per field; callers wrap the stream in a `BufWriter` and flush per
+/// frame or per batch.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one frame from a stream. Returns `Ok(None)` on clean EOF at a
+/// frame boundary; a bad magic, an implausible length, or EOF inside a
+/// frame is an `InvalidData` error carrying a [`WireError`] message.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut magic = [0u8; 8];
+    // Hand-rolled first read so EOF before any byte is a clean end of
+    // stream rather than an error.
+    let mut filled = 0;
+    while filled < magic.len() {
+        let n = r.read(&mut magic[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(invalid_data("EOF inside frame magic"));
+        }
+        filled += n;
+    }
+    if &magic != MAGIC {
+        return Err(invalid_data("bad frame magic (not a CBIRRPC1 stream)"));
+    }
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)
+        .map_err(|_| invalid_data("EOF inside frame length"))?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(invalid_data(format!("frame length {len} exceeds limit")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|_| invalid_data("EOF inside frame payload"))?;
+    Ok(Some(payload))
+}
+
+fn invalid_data(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, WireError(msg.into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let payload = encode_request(&req);
+        assert_eq!(decode_request(&payload).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let payload = encode_response(&resp);
+        assert_eq!(decode_response(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Knn {
+            k: 10,
+            deadline_us: 5_000,
+            descriptor: vec![0.25, -1.5, 3.0],
+        });
+        roundtrip_request(Request::Range {
+            radius: 0.75,
+            deadline_us: 0,
+            descriptor: vec![1.0; 16],
+        });
+        roundtrip_request(Request::KnnById {
+            k: 3,
+            deadline_us: 42,
+            id: 7,
+        });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Hits(vec![
+            Hit {
+                id: 3,
+                name: "class-1-0003.ppm".into(),
+                label: Some(1),
+                distance: 0.125,
+            },
+            Hit {
+                id: 9,
+                name: "unlabeled".into(),
+                label: None,
+                distance: 2.5,
+            },
+        ]));
+        roundtrip_response(Response::Hits(Vec::new()));
+        roundtrip_response(Response::Pong { db_len: 12, dim: 4 });
+        roundtrip_response(Response::ShutdownAck);
+        roundtrip_response(Response::Error("bad dim".into()));
+        roundtrip_response(Response::Overloaded("queue full".into()));
+        roundtrip_response(Response::ShuttingDown("draining".into()));
+        roundtrip_response(Response::DeadlineExpired("5ms budget".into()));
+        roundtrip_response(Response::Stats(StatsSnapshot {
+            requests: 100,
+            admitted: 90,
+            shed: 10,
+            rejected_shutdown: 0,
+            expired: 2,
+            executed: 88,
+            errors: 1,
+            batches: 12,
+            queue_depth: 3,
+            latency_p50_us: 150,
+            latency_p95_us: 900,
+            distance_computations: 123_456,
+            batch_hist: vec![(1, 4), (2, 3), (u64::MAX, 5)],
+        }));
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[99]).is_err());
+        assert!(decode_response(&[99]).is_err());
+        // Truncated knn body.
+        let mut payload = encode_request(&Request::Knn {
+            k: 5,
+            deadline_us: 0,
+            descriptor: vec![1.0, 2.0],
+        });
+        payload.truncate(payload.len() - 3);
+        assert!(decode_request(&payload).is_err());
+        // Trailing bytes.
+        let mut payload = encode_request(&Request::Ping);
+        payload.push(0);
+        assert!(decode_request(&payload).is_err());
+        // Zero-dim descriptor.
+        let mut w = PayloadWriter::default();
+        w.u8(OP_KNN);
+        w.u32(1);
+        w.u64(0);
+        w.u32(0); // dim = 0
+        assert!(decode_request(&w.buf).is_err());
+    }
+
+    #[test]
+    fn frame_io_roundtrips_and_rejects_garbage() {
+        let payload = encode_request(&Request::Knn {
+            k: 2,
+            deadline_us: 0,
+            descriptor: vec![0.5; 8],
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, &encode_request(&Request::Ping)).unwrap();
+
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), payload);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().unwrap(),
+            encode_request(&Request::Ping)
+        );
+        // Clean EOF at a frame boundary.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+
+        // Bad magic.
+        let mut cursor = std::io::Cursor::new(b"NOTMAGIC\x00\x00\x00\x00".to_vec());
+        assert!(read_frame(&mut cursor).is_err());
+
+        // EOF mid-frame.
+        let mut partial = Vec::new();
+        write_frame(&mut partial, &payload).unwrap();
+        partial.truncate(partial.len() - 2);
+        let mut cursor = std::io::Cursor::new(partial);
+        assert!(read_frame(&mut cursor).is_err());
+
+        // Implausible length.
+        let mut huge = MAGIC.to_vec();
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(huge);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

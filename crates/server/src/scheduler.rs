@@ -1,0 +1,667 @@
+//! The dynamic micro-batch scheduler: a bounded admission queue feeding a
+//! single dispatcher that coalesces concurrent requests into batches for
+//! the engine's amortized execution path.
+//!
+//! ## State machine
+//!
+//! The dispatcher cycles through three states:
+//!
+//! 1. **Idle** — the queue is empty; block on the `not_empty` condvar.
+//! 2. **Collect** — at least one request is queued. Drain up to
+//!    `max_batch` requests immediately; if the batch is still short and
+//!    `max_delay` is nonzero, keep draining arrivals until either the
+//!    batch fills or the delay budget elapses (first request's wait is
+//!    never extended past `max_delay`).
+//! 3. **Execute** — group the collected requests by compatible engine
+//!    call (same op and parameter), run each group through
+//!    `QueryEngine::{knn_batch, range_batch, knn_batch_by_ids}` with one
+//!    shared scratch per worker, and answer every member.
+//!
+//! During shutdown the queue stops admitting (new requests get an
+//! explicit [`Response::ShuttingDown`]) but the dispatcher keeps cycling
+//! until everything already admitted has been executed and answered —
+//! shedding is explicit and draining is complete; requests are never
+//! silently dropped.
+//!
+//! ## Overload policy
+//!
+//! Admission is a hard bound: when `queue_cap` requests are pending, new
+//! arrivals are answered immediately with [`Response::Overloaded`]
+//! (shed), keeping queueing delay — and therefore tail latency — bounded
+//! instead of letting the backlog grow without limit.
+
+use crate::metrics::Metrics;
+use crate::protocol::{Hit, Response};
+use cbir_core::{QueryEngine, Ranked};
+use cbir_index::BatchStats;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the micro-batch scheduler.
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// Largest batch handed to the engine in one dispatch. `1` degenerates
+    /// to single-request-per-dispatch scheduling (the benchmark baseline).
+    pub max_batch: usize,
+    /// How long a dispatch may wait for the batch to fill once the first
+    /// request has been claimed. Zero dispatches whatever is queued.
+    pub max_delay: Duration,
+    /// Bound on queued (admitted, not yet dispatched) requests; arrivals
+    /// beyond it are shed with an explicit overload response.
+    pub queue_cap: usize,
+    /// Worker threads for the engine's batched execution (1 executes on
+    /// the dispatcher thread).
+    pub exec_threads: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_batch: 64,
+            max_delay: Duration::from_micros(200),
+            queue_cap: 1024,
+            exec_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// One admissible query (control ops never enter the queue).
+#[derive(Clone, Debug)]
+pub enum QueryWork {
+    /// k-NN over a raw descriptor.
+    Knn {
+        /// Query descriptor (must match the engine's dimensionality).
+        descriptor: Vec<f32>,
+        /// Neighbour count.
+        k: usize,
+    },
+    /// Range search over a raw descriptor.
+    Range {
+        /// Query descriptor (must match the engine's dimensionality).
+        descriptor: Vec<f32>,
+        /// Inclusive distance threshold.
+        radius: f32,
+    },
+    /// k-NN by database image id (self-excluding).
+    KnnById {
+        /// Database image id.
+        id: usize,
+        /// Neighbour count.
+        k: usize,
+    },
+}
+
+/// A queued request: the work, its deadline, and the reply slot the
+/// connection is blocked on. Every `Pending` receives exactly one
+/// [`Response`].
+pub struct Pending {
+    /// What to execute.
+    pub work: QueryWork,
+    /// Absolute expiry; a request still queued past it is answered with
+    /// [`Response::DeadlineExpired`] instead of being executed.
+    pub deadline: Option<Instant>,
+    /// When the request was handed to the scheduler (latency origin).
+    pub enqueued: Instant,
+    /// Single-use reply slot.
+    pub reply: SyncSender<Response>,
+}
+
+struct QueueState {
+    items: VecDeque<Pending>,
+    shutting_down: bool,
+}
+
+/// The shared scheduler: admission queue + dispatcher logic. The server
+/// runs [`Scheduler::run`] on a dedicated thread; connection handlers call
+/// [`Scheduler::submit`].
+pub struct Scheduler {
+    engine: Arc<QueryEngine>,
+    config: SchedulerConfig,
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    metrics: Arc<Metrics>,
+}
+
+impl Scheduler {
+    /// New scheduler over a built engine.
+    pub fn new(engine: Arc<QueryEngine>, config: SchedulerConfig, metrics: Arc<Metrics>) -> Self {
+        Scheduler {
+            engine,
+            config: SchedulerConfig {
+                max_batch: config.max_batch.max(1),
+                exec_threads: config.exec_threads.max(1),
+                ..config
+            },
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                shutting_down: false,
+            }),
+            not_empty: Condvar::new(),
+            metrics,
+        }
+    }
+
+    /// The engine this scheduler executes against.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// The effective configuration (after floor clamping).
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The counter block this scheduler reports into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Requests currently admitted but not yet dispatched.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("queue lock").items.len()
+    }
+
+    /// Validate, then admit or reject. Every path answers the request:
+    /// invalid work gets [`Response::Error`], a full queue gets
+    /// [`Response::Overloaded`], a draining server gets
+    /// [`Response::ShuttingDown`]; otherwise the request is queued and the
+    /// dispatcher will answer it.
+    pub fn submit(&self, pending: Pending) {
+        self.metrics.on_request();
+        if let Some(msg) = self.validate(&pending.work) {
+            self.metrics.on_error();
+            let _ = pending.reply.try_send(Response::Error(msg));
+            return;
+        }
+        let mut q = self.queue.lock().expect("queue lock");
+        if q.shutting_down {
+            drop(q);
+            self.metrics.on_rejected_shutdown();
+            let _ = pending
+                .reply
+                .try_send(Response::ShuttingDown("server is draining".into()));
+            return;
+        }
+        if q.items.len() >= self.config.queue_cap {
+            drop(q);
+            self.metrics.on_shed();
+            let _ = pending.reply.try_send(Response::Overloaded(format!(
+                "request queue full ({} pending)",
+                self.config.queue_cap
+            )));
+            return;
+        }
+        q.items.push_back(pending);
+        drop(q);
+        self.metrics.on_admitted();
+        self.not_empty.notify_one();
+    }
+
+    fn validate(&self, work: &QueryWork) -> Option<String> {
+        let dim = self.engine.database().dim();
+        let check_desc = |d: &[f32]| -> Option<String> {
+            if d.len() != dim {
+                return Some(format!(
+                    "descriptor dim {} does not match database dim {dim}",
+                    d.len()
+                ));
+            }
+            if d.iter().any(|x| !x.is_finite()) {
+                return Some("descriptor contains a non-finite component".into());
+            }
+            None
+        };
+        match work {
+            QueryWork::Knn { descriptor, k } => {
+                if *k == 0 {
+                    return Some("k must be >= 1".into());
+                }
+                check_desc(descriptor)
+            }
+            QueryWork::Range { descriptor, radius } => {
+                if !radius.is_finite() || *radius < 0.0 {
+                    return Some(format!("radius must be finite and >= 0, got {radius}"));
+                }
+                check_desc(descriptor)
+            }
+            QueryWork::KnnById { id, k } => {
+                if *k == 0 {
+                    return Some("k must be >= 1".into());
+                }
+                if *id >= self.engine.database().len() {
+                    return Some(format!(
+                        "image id {id} not in database (len {})",
+                        self.engine.database().len()
+                    ));
+                }
+                None
+            }
+        }
+    }
+
+    /// Stop admitting; wake the dispatcher so it drains what remains and
+    /// exits. Idempotent.
+    pub fn begin_shutdown(&self) {
+        let mut q = self.queue.lock().expect("queue lock");
+        q.shutting_down = true;
+        drop(q);
+        self.not_empty.notify_all();
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.queue.lock().expect("queue lock").shutting_down
+    }
+
+    /// Dispatcher loop: collect → execute until shutdown has begun *and*
+    /// the queue is fully drained. Run this on a dedicated thread.
+    pub fn run(&self) {
+        while let Some(batch) = self.collect_batch() {
+            self.execute_batch(batch);
+        }
+    }
+
+    /// Block until work or shutdown; returns `None` only when shutting
+    /// down with an empty queue (nothing left to drain).
+    fn collect_batch(&self) -> Option<Vec<Pending>> {
+        let max_batch = self.config.max_batch;
+        let mut guard = self.queue.lock().expect("queue lock");
+        while guard.items.is_empty() {
+            if guard.shutting_down {
+                return None;
+            }
+            guard = self.not_empty.wait(guard).expect("queue lock");
+        }
+        let mut batch = Vec::with_capacity(guard.items.len().min(max_batch));
+        while batch.len() < max_batch {
+            match guard.items.pop_front() {
+                Some(p) => batch.push(p),
+                None => break,
+            }
+        }
+        // Dynamic part: hold the dispatch briefly to let concurrent
+        // arrivals coalesce, but never once shutdown has begun.
+        if batch.len() < max_batch && !self.config.max_delay.is_zero() && !guard.shutting_down {
+            let deadline = Instant::now() + self.config.max_delay;
+            loop {
+                if batch.len() >= max_batch || guard.shutting_down {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (g, timeout) = self
+                    .not_empty
+                    .wait_timeout(guard, deadline - now)
+                    .expect("queue lock");
+                guard = g;
+                while batch.len() < max_batch {
+                    match guard.items.pop_front() {
+                        Some(p) => batch.push(p),
+                        None => break,
+                    }
+                }
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        Some(batch)
+    }
+
+    /// Group a batch by compatible engine call, execute each group on the
+    /// batched path, and answer every member.
+    fn execute_batch(&self, batch: Vec<Pending>) {
+        let size = batch.len();
+        let dispatch_time = Instant::now();
+
+        // Expired requests are answered without execution; the rest are
+        // grouped by (op, parameter) so each group is one engine call.
+        // BTreeMap keeps group execution order deterministic.
+        let mut expired = 0usize;
+        let mut groups: BTreeMap<(u8, u64, u64), Vec<usize>> = BTreeMap::new();
+        let mut slots: Vec<Option<Pending>> = Vec::with_capacity(size);
+        for (i, p) in batch.into_iter().enumerate() {
+            if p.deadline.is_some_and(|d| dispatch_time > d) {
+                expired += 1;
+                let _ = p.reply.try_send(Response::DeadlineExpired(
+                    "deadline expired while queued".into(),
+                ));
+                slots.push(None);
+                continue;
+            }
+            let key = match &p.work {
+                QueryWork::Knn { k, .. } => (0u8, *k as u64, 0u64),
+                QueryWork::Range { radius, .. } => (1, radius.to_bits() as u64, 0),
+                QueryWork::KnnById { k, .. } => (2, *k as u64, 0),
+            };
+            groups.entry(key).or_default().push(i);
+            slots.push(Some(p));
+        }
+
+        let mut latencies = Vec::with_capacity(size - expired);
+        let mut search = BatchStats::new();
+        for ((tag, param, _), members) in groups {
+            let mut stats = BatchStats::new();
+            let outcome: cbir_core::Result<Vec<Vec<Ranked>>> = match tag {
+                0 => {
+                    let queries: Vec<Vec<f32>> = members
+                        .iter()
+                        .map(|&i| match &slots[i].as_ref().expect("live slot").work {
+                            QueryWork::Knn { descriptor, .. } => descriptor.clone(),
+                            _ => unreachable!("knn group"),
+                        })
+                        .collect();
+                    self.engine.knn_batch(
+                        &queries,
+                        param as usize,
+                        self.config.exec_threads,
+                        &mut stats,
+                    )
+                }
+                1 => {
+                    let queries: Vec<Vec<f32>> = members
+                        .iter()
+                        .map(|&i| match &slots[i].as_ref().expect("live slot").work {
+                            QueryWork::Range { descriptor, .. } => descriptor.clone(),
+                            _ => unreachable!("range group"),
+                        })
+                        .collect();
+                    self.engine.range_batch(
+                        &queries,
+                        f32::from_bits(param as u32),
+                        self.config.exec_threads,
+                        &mut stats,
+                    )
+                }
+                _ => {
+                    let ids: Vec<usize> = members
+                        .iter()
+                        .map(|&i| match &slots[i].as_ref().expect("live slot").work {
+                            QueryWork::KnnById { id, .. } => *id,
+                            _ => unreachable!("knn-by-id group"),
+                        })
+                        .collect();
+                    self.engine.knn_batch_by_ids(
+                        &ids,
+                        param as usize,
+                        self.config.exec_threads,
+                        &mut stats,
+                    )
+                }
+            };
+            search.merge(&stats);
+            match outcome {
+                Ok(result_lists) => {
+                    debug_assert_eq!(result_lists.len(), members.len());
+                    for (ranked, &i) in result_lists.into_iter().zip(&members) {
+                        let p = slots[i].take().expect("live slot");
+                        latencies.push(p.enqueued.elapsed().as_micros() as u64);
+                        let _ = p.reply.try_send(Response::Hits(ranked_to_hits(ranked)));
+                    }
+                }
+                Err(e) => {
+                    // Admission validation makes this unreachable in
+                    // practice; if the engine does fail, isolate the
+                    // failure to this group's members.
+                    let msg = e.to_string();
+                    for &i in &members {
+                        let p = slots[i].take().expect("live slot");
+                        self.metrics.on_error();
+                        let _ = p.reply.try_send(Response::Error(msg.clone()));
+                    }
+                }
+            }
+        }
+        self.metrics.on_batch(size, expired, &latencies, &search);
+    }
+}
+
+/// Convert the engine's ranked hits to their wire form.
+pub fn ranked_to_hits(ranked: Vec<Ranked>) -> Vec<Hit> {
+    ranked
+        .into_iter()
+        .map(|r| Hit {
+            id: r.id as u64,
+            name: r.name,
+            label: r.label,
+            distance: r.distance,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbir_core::{ImageDatabase, IndexKind, QueryEngine};
+    use cbir_distance::Measure;
+    use cbir_features::{FeatureSpec, Pipeline, Quantizer};
+    use cbir_index::SearchStats;
+    use std::sync::mpsc::{sync_channel, Receiver};
+
+    fn tiny_engine() -> Arc<QueryEngine> {
+        let pipeline = Pipeline::new(
+            16,
+            vec![FeatureSpec::ColorHistogram(Quantizer::Gray { bins: 8 })],
+        )
+        .unwrap();
+        let mut db = ImageDatabase::new(pipeline);
+        for (i, v) in cbir_workload::histograms(12, 8, 1.0, 5)
+            .into_iter()
+            .enumerate()
+        {
+            db.insert_descriptor(
+                cbir_core::ImageMeta {
+                    name: format!("img-{i}"),
+                    label: Some((i % 3) as u32),
+                },
+                v,
+            )
+            .unwrap();
+        }
+        Arc::new(QueryEngine::build(db, IndexKind::VpTree, Measure::L1).unwrap())
+    }
+
+    fn pending(work: QueryWork) -> (Pending, Receiver<Response>) {
+        let (tx, rx) = sync_channel(1);
+        (
+            Pending {
+                work,
+                deadline: None,
+                enqueued: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    fn sched(config: SchedulerConfig) -> Scheduler {
+        Scheduler::new(tiny_engine(), config, Arc::new(Metrics::new()))
+    }
+
+    #[test]
+    fn admission_sheds_beyond_queue_cap() {
+        // No dispatcher running: the queue fills deterministically.
+        let s = sched(SchedulerConfig {
+            queue_cap: 2,
+            ..SchedulerConfig::default()
+        });
+        let q = || {
+            pending(QueryWork::Knn {
+                descriptor: vec![0.125; 8],
+                k: 3,
+            })
+        };
+        let (p1, _rx1) = q();
+        let (p2, _rx2) = q();
+        let (p3, rx3) = q();
+        s.submit(p1);
+        s.submit(p2);
+        assert_eq!(s.queue_depth(), 2);
+        s.submit(p3);
+        assert!(matches!(rx3.recv().unwrap(), Response::Overloaded(_)));
+        assert_eq!(s.queue_depth(), 2, "shed request never entered the queue");
+        let snap = s.metrics.snapshot(s.queue_depth());
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.admitted, 2);
+    }
+
+    #[test]
+    fn invalid_work_is_answered_with_error_not_queued() {
+        let s = sched(SchedulerConfig::default());
+        let (p, rx) = pending(QueryWork::Knn {
+            descriptor: vec![0.5; 3], // wrong dim
+            k: 1,
+        });
+        s.submit(p);
+        assert!(matches!(rx.recv().unwrap(), Response::Error(_)));
+        let (p, rx) = pending(QueryWork::KnnById { id: 999, k: 1 });
+        s.submit(p);
+        assert!(matches!(rx.recv().unwrap(), Response::Error(_)));
+        let (p, rx) = pending(QueryWork::Range {
+            descriptor: vec![0.5; 8],
+            radius: -1.0,
+        });
+        s.submit(p);
+        assert!(matches!(rx.recv().unwrap(), Response::Error(_)));
+        assert_eq!(s.queue_depth(), 0);
+        assert_eq!(s.metrics.snapshot(0).errors, 3);
+    }
+
+    #[test]
+    fn expired_requests_get_explicit_deadline_reply() {
+        let s = sched(SchedulerConfig::default());
+        let (mut p, rx) = pending(QueryWork::Knn {
+            descriptor: vec![0.125; 8],
+            k: 2,
+        });
+        p.deadline = Some(Instant::now() - Duration::from_millis(1));
+        let (live, live_rx) = pending(QueryWork::Knn {
+            descriptor: vec![0.125; 8],
+            k: 2,
+        });
+        s.execute_batch(vec![p, live]);
+        assert!(matches!(rx.recv().unwrap(), Response::DeadlineExpired(_)));
+        assert!(matches!(live_rx.recv().unwrap(), Response::Hits(_)));
+        let snap = s.metrics.snapshot(0);
+        assert_eq!(snap.expired, 1);
+        assert_eq!(snap.executed, 1);
+        assert_eq!(snap.batches, 1);
+    }
+
+    #[test]
+    fn batched_execution_is_bit_identical_to_direct_engine_calls() {
+        let s = sched(SchedulerConfig {
+            max_batch: 16,
+            max_delay: Duration::from_micros(500),
+            ..SchedulerConfig::default()
+        });
+        let engine = Arc::clone(&s.engine);
+        let db_len = engine.database().len();
+
+        // A mixed batch: knn at two different k, a range query, a by-id
+        // query — grouped into four engine calls, all answered.
+        let descs: Vec<Vec<f32>> = (0..db_len)
+            .map(|i| engine.database().descriptor(i).unwrap().to_vec())
+            .collect();
+        let mut pendings = Vec::new();
+        let mut receivers = Vec::new();
+        for (i, d) in descs.iter().enumerate() {
+            let work = match i % 4 {
+                0 => QueryWork::Knn {
+                    descriptor: d.clone(),
+                    k: 3,
+                },
+                1 => QueryWork::Knn {
+                    descriptor: d.clone(),
+                    k: 5,
+                },
+                2 => QueryWork::Range {
+                    descriptor: d.clone(),
+                    radius: 0.5,
+                },
+                _ => QueryWork::KnnById { id: i, k: 3 },
+            };
+            let (p, rx) = pending(work.clone());
+            pendings.push(p);
+            receivers.push((work, rx));
+        }
+        s.execute_batch(pendings);
+
+        for (work, rx) in receivers {
+            let got = match rx.recv().unwrap() {
+                Response::Hits(h) => h,
+                other => panic!("expected hits, got {other:?}"),
+            };
+            let want = match work {
+                QueryWork::Knn { descriptor, k } => {
+                    let mut st = SearchStats::new();
+                    engine.query_by_descriptor(&descriptor, k, &mut st).unwrap()
+                }
+                QueryWork::Range { descriptor, radius } => {
+                    let mut st = BatchStats::new();
+                    engine
+                        .range_batch(&[descriptor], radius, 1, &mut st)
+                        .unwrap()
+                        .remove(0)
+                }
+                QueryWork::KnnById { id, k } => {
+                    let mut st = SearchStats::new();
+                    engine.query_by_id(id, k, &mut st).unwrap()
+                }
+            };
+            let want = ranked_to_hits(want);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.id, w.id);
+                assert_eq!(g.name, w.name);
+                assert_eq!(g.label, w.label);
+                assert_eq!(g.distance.to_bits(), w.distance.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn run_drains_admitted_work_before_exiting_on_shutdown() {
+        let s = Arc::new(sched(SchedulerConfig {
+            max_batch: 4,
+            max_delay: Duration::from_micros(100),
+            ..SchedulerConfig::default()
+        }));
+        let mut receivers = Vec::new();
+        for _ in 0..10 {
+            let (p, rx) = pending(QueryWork::Knn {
+                descriptor: vec![0.125; 8],
+                k: 2,
+            });
+            s.submit(p);
+            receivers.push(rx);
+        }
+        s.begin_shutdown();
+        // Admission after shutdown is refused explicitly.
+        let (late, late_rx) = pending(QueryWork::Knn {
+            descriptor: vec![0.125; 8],
+            k: 2,
+        });
+        s.submit(late);
+        assert!(matches!(late_rx.recv().unwrap(), Response::ShuttingDown(_)));
+
+        // The dispatcher still answers everything admitted before exiting.
+        let runner = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || s.run())
+        };
+        for rx in receivers {
+            assert!(matches!(rx.recv().unwrap(), Response::Hits(_)));
+        }
+        runner.join().unwrap();
+        assert_eq!(s.queue_depth(), 0);
+        let snap = s.metrics.snapshot(0);
+        assert_eq!(snap.executed, 10);
+        assert_eq!(snap.rejected_shutdown, 1);
+    }
+}

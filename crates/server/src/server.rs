@@ -1,0 +1,391 @@
+//! The TCP server: accept loop, per-connection framing, and lifecycle.
+//!
+//! Each connection gets a reader thread (decode frames, admit work) and a
+//! writer thread (encode replies in request order). The reader never
+//! blocks on execution: every request — including admission rejections
+//! and control ops — produces exactly one reply slot pushed onto the
+//! connection's in-order reply queue, so a connection may keep many
+//! requests in flight (pipelining) and responses still arrive in the
+//! order the requests were sent.
+//!
+//! Failures are isolated per connection: a malformed frame is answered
+//! with an error reply and closes only that connection; a per-request
+//! validation failure is answered and the connection stays usable.
+//!
+//! Graceful shutdown (client `shutdown` op or [`ServerHandle::shutdown`])
+//! stops admission and accepting, shuts down the *read* half of every
+//! connection, drains everything already admitted through the dispatcher,
+//! flushes every queued reply, then joins all threads.
+
+use crate::metrics::Metrics;
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, Request, Response, StatsSnapshot,
+};
+use crate::scheduler::{Pending, QueryWork, Scheduler, SchedulerConfig};
+use cbir_core::QueryEngine;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Connection registry: read-half handles used to unblock reader threads
+/// at shutdown, plus the closing flag that stops new registrations.
+/// Entries are keyed by a connection token so a finished connection can
+/// drop its clone — otherwise the registry would hold every socket open
+/// (and leak one fd per connection) for the server's whole lifetime.
+struct ConnRegistry {
+    streams: Vec<(u64, TcpStream)>,
+    next_token: u64,
+    closing: bool,
+}
+
+/// Shared shutdown switch: idempotently stops admission, accepting, and
+/// reading, leaving write halves open so queued replies still flush.
+struct Controller {
+    scheduler: Arc<Scheduler>,
+    conns: Mutex<ConnRegistry>,
+    local_addr: SocketAddr,
+    triggered: AtomicBool,
+}
+
+impl Controller {
+    /// Register a live connection; `None` means the server is closing
+    /// and the stream should be dropped instead of served. The returned
+    /// token must be passed to [`Controller::deregister`] when the
+    /// connection ends.
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let mut reg = self.conns.lock().expect("conn registry lock");
+        if reg.closing {
+            return None;
+        }
+        let token = reg.next_token;
+        reg.next_token += 1;
+        if let Ok(clone) = stream.try_clone() {
+            reg.streams.push((token, clone));
+        }
+        Some(token)
+    }
+
+    /// Drop the registry's clone of a finished connection so the socket
+    /// actually closes when the reader and writer halves are done.
+    fn deregister(&self, token: u64) {
+        let mut reg = self.conns.lock().expect("conn registry lock");
+        reg.streams.retain(|(t, _)| *t != token);
+    }
+
+    fn trigger(&self) {
+        if self.triggered.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Stop admitting; the dispatcher will drain what remains.
+        self.scheduler.begin_shutdown();
+        {
+            let mut reg = self.conns.lock().expect("conn registry lock");
+            reg.closing = true;
+            for (_, s) in &reg.streams {
+                // Read half only: readers see EOF, writers keep flushing.
+                let _ = s.shutdown(Shutdown::Read);
+            }
+        }
+        // Unblock the accept loop; the dummy connection is refused by
+        // `register` and dropped.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] or [`ServerHandle::join`] detaches the
+/// worker threads (they keep serving until the process exits).
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    controller: Arc<Controller>,
+    metrics: Arc<Metrics>,
+    acceptor: JoinHandle<()>,
+    dispatcher: JoinHandle<()>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live counter snapshot.
+    pub fn metrics(&self) -> StatsSnapshot {
+        self.metrics
+            .snapshot(self.controller.scheduler.queue_depth())
+    }
+
+    /// Initiate graceful shutdown and wait for it to complete; returns
+    /// the final counter snapshot.
+    pub fn shutdown(self) -> StatsSnapshot {
+        self.controller.trigger();
+        self.join()
+    }
+
+    /// Wait for the server to finish (a client `shutdown` op, or a prior
+    /// [`ServerHandle::shutdown`] call); returns the final counters.
+    pub fn join(self) -> StatsSnapshot {
+        let _ = self.acceptor.join();
+        let _ = self.dispatcher.join();
+        // Connection readers exit on EOF/read-shutdown; each joins its
+        // own writer after the reply queue drains.
+        let handles = std::mem::take(&mut *self.conn_threads.lock().expect("conn threads lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+        self.metrics.snapshot(0)
+    }
+}
+
+/// The serving entry point.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+    /// `engine` until shutdown.
+    pub fn spawn(
+        engine: QueryEngine,
+        addr: impl ToSocketAddrs,
+        config: SchedulerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        Self::spawn_shared(Arc::new(engine), addr, config)
+    }
+
+    /// [`Server::spawn`] over an engine the caller keeps a handle to
+    /// (tests compare server responses against direct engine calls).
+    pub fn spawn_shared(
+        engine: Arc<QueryEngine>,
+        addr: impl ToSocketAddrs,
+        config: SchedulerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Arc::new(Scheduler::new(engine, config, Arc::clone(&metrics)));
+        let controller = Arc::new(Controller {
+            scheduler: Arc::clone(&scheduler),
+            conns: Mutex::new(ConnRegistry {
+                streams: Vec::new(),
+                next_token: 0,
+                closing: false,
+            }),
+            local_addr,
+            triggered: AtomicBool::new(false),
+        });
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let dispatcher = {
+            let scheduler = Arc::clone(&scheduler);
+            std::thread::Builder::new()
+                .name("cbir-dispatch".into())
+                .spawn(move || scheduler.run())?
+        };
+
+        let acceptor = {
+            let controller = Arc::clone(&controller);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::Builder::new()
+                .name("cbir-accept".into())
+                .spawn(move || loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // The writer already coalesces replies via
+                            // BufWriter + explicit flushes; Nagle on top
+                            // of that only delays flushed segments.
+                            let _ = stream.set_nodelay(true);
+                            let Some(token) = controller.register(&stream) else {
+                                break; // shutting down
+                            };
+                            let controller = Arc::clone(&controller);
+                            let spawned = std::thread::Builder::new()
+                                .name("cbir-conn".into())
+                                .spawn(move || serve_connection(stream, controller, token));
+                            if let Ok(h) = spawned {
+                                conn_threads.lock().expect("conn threads lock").push(h);
+                            }
+                        }
+                        Err(_) => {
+                            if controller.triggered.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                    }
+                })?
+        };
+
+        Ok(ServerHandle {
+            local_addr,
+            controller,
+            metrics,
+            acceptor,
+            dispatcher,
+            conn_threads,
+        })
+    }
+}
+
+/// Reader half of one connection: decode frames, admit work, and push one
+/// in-order reply slot per request. Spawns and finally joins the writer.
+fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) {
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            controller.deregister(token);
+            return;
+        }
+    };
+    let (slots_tx, slots_rx): (Sender<Receiver<Response>>, _) = channel();
+    let writer = std::thread::Builder::new()
+        .name("cbir-write".into())
+        .spawn(move || write_replies(writer_stream, slots_rx));
+
+    let scheduler = &controller.scheduler;
+    let engine = scheduler.engine();
+    let mut reader = BufReader::new(stream);
+    // Every request produces exactly one slot, pushed before the next
+    // frame is read, so replies leave in request order.
+    let respond_now = |resp: Response| {
+        let (tx, rx) = sync_channel(1);
+        let _ = tx.send(resp);
+        let _ = slots_tx.send(rx);
+    };
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => break, // clean EOF (or read-half shutdown)
+            Err(e) => {
+                // Corrupt stream: answer if possible, then isolate the
+                // failure by closing only this connection.
+                respond_now(Response::Error(format!("malformed frame: {e}")));
+                break;
+            }
+        };
+        let request = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                respond_now(Response::Error(format!("malformed request: {e}")));
+                break;
+            }
+        };
+        match request {
+            Request::Ping => respond_now(Response::Pong {
+                db_len: engine.database().len() as u64,
+                dim: engine.database().dim() as u32,
+            }),
+            Request::Stats => {
+                respond_now(Response::Stats(
+                    controller
+                        .scheduler
+                        .metrics()
+                        .snapshot(scheduler.queue_depth()),
+                ));
+            }
+            Request::Shutdown => {
+                respond_now(Response::ShutdownAck);
+                controller.trigger();
+                break;
+            }
+            Request::Knn {
+                k,
+                deadline_us,
+                descriptor,
+            } => submit_query(
+                scheduler,
+                &slots_tx,
+                QueryWork::Knn {
+                    descriptor,
+                    k: k as usize,
+                },
+                deadline_us,
+            ),
+            Request::Range {
+                radius,
+                deadline_us,
+                descriptor,
+            } => submit_query(
+                scheduler,
+                &slots_tx,
+                QueryWork::Range { descriptor, radius },
+                deadline_us,
+            ),
+            Request::KnnById { k, deadline_us, id } => submit_query(
+                scheduler,
+                &slots_tx,
+                QueryWork::KnnById {
+                    id: id as usize,
+                    k: k as usize,
+                },
+                deadline_us,
+            ),
+        }
+    }
+    // Close the slot queue; the writer flushes what remains and exits.
+    drop(slots_tx);
+    if let Ok(w) = writer {
+        let _ = w.join();
+    }
+    controller.deregister(token);
+}
+
+fn submit_query(
+    scheduler: &Scheduler,
+    slots_tx: &Sender<Receiver<Response>>,
+    work: QueryWork,
+    deadline_us: u64,
+) {
+    let now = Instant::now();
+    let (tx, rx) = sync_channel(1);
+    let _ = slots_tx.send(rx);
+    scheduler.submit(Pending {
+        work,
+        deadline: (deadline_us > 0).then(|| now + Duration::from_micros(deadline_us)),
+        enqueued: now,
+        reply: tx,
+    });
+}
+
+/// Writer half: emit replies in slot order, flushing whenever the next
+/// reply isn't immediately ready (batched syscalls under load, prompt
+/// delivery when idle).
+fn write_replies(stream: TcpStream, slots: Receiver<Receiver<Response>>) {
+    let mut out = BufWriter::new(stream);
+    let mut dirty = false;
+    loop {
+        let slot = match slots.try_recv() {
+            Ok(s) => s,
+            Err(TryRecvError::Empty) => {
+                if dirty && out.flush().is_err() {
+                    return;
+                }
+                dirty = false;
+                match slots.recv() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        };
+        let response = match slot.try_recv() {
+            Ok(r) => r,
+            Err(_) => {
+                // About to block on an executing request: flush what is
+                // already encoded so finished replies reach the client.
+                if dirty && out.flush().is_err() {
+                    return;
+                }
+                slot.recv()
+                    .unwrap_or_else(|_| Response::Error("internal: reply dropped".into()))
+            }
+        };
+        if write_frame(&mut out, &encode_response(&response)).is_err() {
+            return;
+        }
+        dirty = true;
+    }
+    let _ = out.flush();
+}

@@ -89,6 +89,31 @@ pub fn queries(data: &[Vec<f32>], n_queries: usize, perturbation: f32, seed: u64
         .collect()
 }
 
+/// Per-client query streams for serving benchmarks: `clients` independent
+/// streams of `per_client` queries each (the same perturbed-member /
+/// out-of-set mix as [`queries`]), seeded disjointly so concurrent load
+/// generators do not replay each other's traffic. Deterministic in
+/// `(seed, clients, per_client)`.
+pub fn query_streams(
+    data: &[Vec<f32>],
+    clients: usize,
+    per_client: usize,
+    perturbation: f32,
+    seed: u64,
+) -> Vec<Vec<Vec<f32>>> {
+    assert!(clients > 0, "query streams need clients > 0");
+    (0..clients as u64)
+        .map(|c| {
+            queries(
+                data,
+                per_client,
+                perturbation,
+                seed.wrapping_add(c.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +184,18 @@ mod tests {
     #[should_panic]
     fn empty_args_panic() {
         uniform(0, 3, 1.0, 1);
+    }
+
+    #[test]
+    fn query_streams_are_disjoint_and_deterministic() {
+        let data = uniform(50, 3, 5.0, 9);
+        let s = query_streams(&data, 4, 10, 0.1, 11);
+        assert_eq!(s.len(), 4);
+        assert!(s.iter().all(|st| st.len() == 10));
+        assert_eq!(s, query_streams(&data, 4, 10, 0.1, 11));
+        // Different clients see different traffic.
+        assert_ne!(s[0], s[1]);
+        // Client 0's stream is exactly the plain query generator.
+        assert_eq!(s[0], queries(&data, 10, 0.1, 11));
     }
 }

@@ -31,6 +31,32 @@ if [ "${SKIP_QUICK_BENCH:-0}" != 1 ]; then
     echo "==> quick-bench smoke (equivalence assertions in bench binaries)"
     cargo run --release -q -p cbir-bench --bin exp_extraction_throughput -- --quick
     cargo run --release -q -p cbir-bench --bin exp_batch_throughput -- --quick
+    cargo run --release -q -p cbir-bench --bin exp_serve_throughput -- --quick
 fi
+
+echo "==> server smoke test (generate -> index -> serve -> rpc-query -> shutdown)"
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+CBIR=target/release/cbir
+"$CBIR" generate "$SMOKE_DIR/photos" --classes 2 --per-class 3 --size 32 >/dev/null
+"$CBIR" index "$SMOKE_DIR/photos" --db "$SMOKE_DIR/photos.cbir" >/dev/null
+"$CBIR" serve "$SMOKE_DIR/photos.cbir" --port 0 --addr-file "$SMOKE_DIR/addr" \
+    --index linear --measure l1 >/dev/null &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/addr" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/addr" ] || { echo "server never wrote its address"; exit 1; }
+ADDR=$(cat "$SMOKE_DIR/addr")
+"$CBIR" rpc-ctl "$ADDR" ping >/dev/null
+QUERY_IMG=$(ls "$SMOKE_DIR"/photos/*.ppm | head -1)
+KNN_OUT=$("$CBIR" rpc-query "$ADDR" "$QUERY_IMG" --db "$SMOKE_DIR/photos.cbir" -k 3)
+echo "$KNN_OUT" | grep -q "class-" || { echo "rpc-query knn returned no hits"; exit 1; }
+BYID_OUT=$("$CBIR" rpc-query "$ADDR" --id 0 -k 2)
+echo "$BYID_OUT" | grep -q "class-" || { echo "rpc-query --id returned no hits"; exit 1; }
+"$CBIR" rpc-ctl "$ADDR" stats >/dev/null
+"$CBIR" rpc-ctl "$ADDR" shutdown >/dev/null
+wait "$SERVER_PID"
 
 echo "verify: all checks passed"

@@ -15,6 +15,7 @@
 
 use cbir::core::persist;
 use cbir::image::codec::{decode, encode_ppm, PnmEncoding};
+use cbir::server::{Client, Hit, SchedulerConfig, Server, StatsSnapshot};
 use cbir::workload::{Corpus, CorpusSpec};
 use cbir::{
     evaluate_engine, BatchItem, BatchStats, FeatureSpec, ImageDatabase, IndexKind, Measure,
@@ -23,6 +24,7 @@ use cbir::{
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
@@ -42,7 +44,20 @@ fn usage() -> ! {
       print database statistics
 
   cbir evaluate <db> [-k N] [--measure M] [--index I] [--threads N]
-      leave-one-out retrieval evaluation over the database's class labels"
+      leave-one-out retrieval evaluation over the database's class labels
+
+  cbir serve <db> [--port P] [--addr-file F] [--measure M] [--index I]
+                  [--max-batch N] [--max-delay-us N] [--queue-cap N] [--threads N]
+      serve the database over TCP (CBIRRPC1) with dynamic micro-batching;
+      --port 0 picks an ephemeral port, --addr-file writes the bound address
+
+  cbir rpc-query <addr> [<image>...] --db <file> [-k N] [--radius R] [--deadline-us D]
+  cbir rpc-query <addr> --id N [-k N] [--deadline-us D]
+      query a running server; example images are extracted locally with
+      the pipeline stored in --db, or --id queries by database image id
+
+  cbir rpc-ctl <addr> ping|stats|shutdown
+      probe, inspect counters, or gracefully stop a running server"
     );
     std::process::exit(2);
 }
@@ -349,6 +364,156 @@ fn cmd_evaluate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn print_server_stats(snap: &StatsSnapshot) {
+    println!(
+        "requests {} (admitted {}, shed {}, refused-shutdown {}), executed {} in {} batches, \
+         expired {}, errors {}",
+        snap.requests,
+        snap.admitted,
+        snap.shed,
+        snap.rejected_shutdown,
+        snap.executed,
+        snap.batches,
+        snap.expired,
+        snap.errors,
+    );
+    println!(
+        "latency p50 {}us p95 {}us, {} distance computations, queue depth {}",
+        snap.latency_p50_us, snap.latency_p95_us, snap.distance_computations, snap.queue_depth,
+    );
+    let hist: Vec<String> = snap
+        .batch_hist
+        .iter()
+        .filter(|(_, count)| *count > 0)
+        .map(|(bound, count)| {
+            if *bound == u64::MAX {
+                format!("larger: {count}")
+            } else {
+                format!("<={bound}: {count}")
+            }
+        })
+        .collect();
+    if !hist.is_empty() {
+        println!("batch sizes: {}", hist.join(", "));
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let db_path = args.positional.first().unwrap_or_else(|| usage());
+    let port: u16 = args.flag_parse("port", 7878);
+    let measure = measure_by_name(args.flag("measure").unwrap_or("l1"));
+    let kind = index_by_name(args.flag("index").unwrap_or("vp"));
+    let defaults = SchedulerConfig::default();
+    let config = SchedulerConfig {
+        max_batch: args.flag_parse("max-batch", defaults.max_batch),
+        max_delay: Duration::from_micros(
+            args.flag_parse("max-delay-us", defaults.max_delay.as_micros() as u64),
+        ),
+        queue_cap: args.flag_parse("queue-cap", defaults.queue_cap),
+        exec_threads: args.flag_parse("threads", defaults.exec_threads),
+    };
+
+    let db = persist::load_file(db_path)?;
+    let n = db.len();
+    let kind_name = kind.name();
+    let engine = QueryEngine::build(db, kind, measure)?;
+    let handle = Server::spawn(engine, ("127.0.0.1", port), config)?;
+    let addr = handle.local_addr();
+    println!("listening on {addr} ({n} images, {kind_name} index)");
+    if let Some(addr_file) = args.flag("addr-file") {
+        std::fs::write(addr_file, addr.to_string())?;
+    }
+    // Blocks until a client sends the shutdown op.
+    let snap = handle.join();
+    println!("server stopped; final counters:");
+    print_server_stats(&snap);
+    Ok(())
+}
+
+fn print_hits(hits: &[Hit]) {
+    println!("{:<28} {:>7} {:>9}", "name", "label", "distance");
+    for h in hits {
+        println!(
+            "{:<28} {:>7} {:>9.4}",
+            h.name,
+            h.label.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+            h.distance
+        );
+    }
+    println!();
+}
+
+fn cmd_rpc_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = args.positional.first().unwrap_or_else(|| usage());
+    let k: usize = args.flag_parse("k", 10);
+    let deadline_us: u64 = args.flag_parse("deadline-us", 0);
+    let mut client = Client::connect(addr)?;
+
+    if let Some(id) = args.flag("id") {
+        let id: usize = id.parse().map_err(|_| format!("invalid --id: {id}"))?;
+        let hits = client.knn_by_id(id, k, deadline_us)?;
+        print_hits(&hits);
+        return Ok(());
+    }
+
+    let img_paths = &args.positional[1..];
+    if img_paths.is_empty() {
+        usage();
+    }
+    // The server speaks raw descriptors; the stored pipeline turns the
+    // example images into descriptors of the dimension the server expects.
+    let db_path = args.flag("db").ok_or("rpc-query with images needs --db <file> (the database the server was started from) to extract descriptors")?;
+    let db = persist::load_file(db_path)?;
+    let mut images = Vec::with_capacity(img_paths.len());
+    for p in img_paths {
+        images.push(decode(&std::fs::read(p)?)?.into_rgb());
+    }
+    let refs: Vec<&_> = images.iter().collect();
+    let queries = db.extract_batch(&refs, 1)?;
+
+    let radius = args.flag("radius");
+    for (query, img_path) in queries.iter().zip(img_paths) {
+        if img_paths.len() > 1 {
+            println!("query: {img_path}");
+        }
+        let hits = match radius {
+            Some(r) => {
+                let r: f32 = r.parse().map_err(|_| format!("invalid --radius: {r}"))?;
+                client.range(query, r, deadline_us)?
+            }
+            None => client.knn(query, k, deadline_us)?,
+        };
+        print_hits(&hits);
+    }
+    Ok(())
+}
+
+fn cmd_rpc_ctl(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = args.positional.first().unwrap_or_else(|| usage());
+    let op = args
+        .positional
+        .get(1)
+        .map(|s| s.as_str())
+        .unwrap_or_else(|| usage());
+    let mut client = Client::connect(addr)?;
+    match op {
+        "ping" => {
+            let (db_len, dim) = client.ping()?;
+            println!("server at {addr}: {db_len} images, dim {dim}");
+        }
+        "stats" => {
+            let snap = client.stats()?;
+            print_server_stats(&snap);
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            println!("server at {addr} acknowledged shutdown");
+        }
+        _ => usage(),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -362,6 +527,9 @@ fn main() -> ExitCode {
         "query" => cmd_query(&args),
         "info" => cmd_info(&args),
         "evaluate" => cmd_evaluate(&args),
+        "serve" => cmd_serve(&args),
+        "rpc-query" => cmd_rpc_query(&args),
+        "rpc-ctl" => cmd_rpc_ctl(&args),
         _ => usage(),
     };
     match result {

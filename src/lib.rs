@@ -21,7 +21,10 @@
 //! - [`core`] — the engine: [`ImageDatabase`], [`QueryEngine`], retrieval
 //!   evaluation, binary persistence;
 //! - [`workload`] — deterministic synthetic corpora and vector workloads
-//!   used by the test and benchmark suites.
+//!   used by the test and benchmark suites;
+//! - [`server`] — the network serving layer: a TCP query server with
+//!   dynamic micro-batching and admission control, plus the matching
+//!   blocking [`server::Client`] (`cbir serve` / `cbir rpc-query`).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub use cbir_distance as distance;
 pub use cbir_features as features;
 pub use cbir_image as image;
 pub use cbir_index as index;
+pub use cbir_server as server;
 pub use cbir_workload as workload;
 
 pub use cbir_core::{
