@@ -157,6 +157,7 @@ fn assert_saturation_sheds(engine: &Arc<QueryEngine>, queries: &[Vec<f32>]) -> u
             max_delay: Duration::ZERO,
             queue_cap: 2,
             exec_threads: 1,
+            ..SchedulerConfig::default()
         },
     )
     .expect("spawn server");
@@ -260,12 +261,14 @@ fn main() {
         max_delay: Duration::ZERO,
         queue_cap: 4096,
         exec_threads: 1,
+        ..SchedulerConfig::default()
     };
     let batched_config = SchedulerConfig {
         max_batch: 64,
         max_delay: Duration::from_micros(300),
         queue_cap: 4096,
         exec_threads,
+        ..SchedulerConfig::default()
     };
 
     // Warm up both paths (page cache, allocator, listener teardown).

@@ -1,6 +1,93 @@
 //! Unified error type for the CBIR engine.
 
 use std::fmt;
+use std::path::PathBuf;
+
+/// A structured persistence failure: what went wrong and where.
+///
+/// Every corruption, truncation, or I/O failure on the persistence path
+/// is reported through this type so callers (and the `cbir fsck` tool)
+/// can point at the offending file, the format section being processed,
+/// and — when known — the absolute byte offset of the damage.
+#[derive(Debug)]
+pub struct PersistError {
+    /// The database file the failure refers to, when the operation had
+    /// one (in-memory encode/decode failures have none).
+    pub path: Option<PathBuf>,
+    /// The format section being read or written when the failure
+    /// occurred (`"header"`, `"config"`, `"descriptors"`, `"metas"`).
+    pub section: Option<&'static str>,
+    /// Absolute byte offset of the corruption within the file, when the
+    /// damage can be localized (section start for checksum mismatches).
+    pub offset: Option<u64>,
+    /// Human-readable cause.
+    pub detail: String,
+}
+
+impl PersistError {
+    /// A new error with only a cause; context is attached by the
+    /// builder methods as it becomes known up the call stack.
+    pub fn new(detail: impl Into<String>) -> Self {
+        PersistError {
+            path: None,
+            section: None,
+            offset: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// Attach the format section, if not already set.
+    pub fn in_section(mut self, section: &'static str) -> Self {
+        self.section.get_or_insert(section);
+        self
+    }
+
+    /// Attach the absolute byte offset, if not already set.
+    pub fn at_offset(mut self, offset: u64) -> Self {
+        self.offset.get_or_insert(offset);
+        self
+    }
+
+    /// Attach the file path, if not already set.
+    pub fn with_path(mut self, path: impl Into<PathBuf>) -> Self {
+        if self.path.is_none() {
+            self.path = Some(path.into());
+        }
+        self
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(path) = &self.path {
+            write!(f, "database file '{}': ", path.display())?;
+        }
+        if let Some(section) = self.section {
+            write!(f, "section {section}")?;
+            if let Some(offset) = self.offset {
+                write!(f, " (offset {offset})")?;
+            }
+            write!(f, ": ")?;
+        } else if let Some(offset) = self.offset {
+            write!(f, "offset {offset}: ")?;
+        }
+        write!(f, "{}", self.detail)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<String> for PersistError {
+    fn from(detail: String) -> Self {
+        PersistError::new(detail)
+    }
+}
+
+impl From<&str> for PersistError {
+    fn from(detail: &str) -> Self {
+        PersistError::new(detail)
+    }
+}
 
 /// Errors from the engine layer or any substrate beneath it.
 #[derive(Debug)]
@@ -11,8 +98,8 @@ pub enum CoreError {
     Index(cbir_index::IndexError),
     /// Imaging failed.
     Image(cbir_image::ImageError),
-    /// Persistence format violation.
-    Persist(String),
+    /// Persistence format violation or persistence-path I/O failure.
+    Persist(PersistError),
     /// A parameter is outside its valid domain.
     InvalidParameter(String),
     /// A referenced image id does not exist.
@@ -27,7 +114,7 @@ impl fmt::Display for CoreError {
             CoreError::Feature(e) => write!(f, "feature extraction: {e}"),
             CoreError::Index(e) => write!(f, "index: {e}"),
             CoreError::Image(e) => write!(f, "image: {e}"),
-            CoreError::Persist(msg) => write!(f, "persistence: {msg}"),
+            CoreError::Persist(e) => write!(f, "persistence: {e}"),
             CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             CoreError::NotFound(id) => write!(f, "image id {id} not found"),
             CoreError::Io(e) => write!(f, "i/o: {e}"),
@@ -71,6 +158,12 @@ impl From<std::io::Error> for CoreError {
     }
 }
 
+impl From<PersistError> for CoreError {
+    fn from(e: PersistError) -> Self {
+        CoreError::Persist(e)
+    }
+}
+
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, CoreError>;
 
@@ -84,8 +177,35 @@ mod tests {
         assert!(e.to_string().contains("bad"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(CoreError::NotFound(9).to_string().contains('9'));
-        assert!(CoreError::Persist("magic".into())
+        assert!(CoreError::Persist(PersistError::new("magic"))
             .to_string()
             .contains("magic"));
+    }
+
+    #[test]
+    fn persist_error_display_includes_all_context() {
+        let e = PersistError::new("crc mismatch")
+            .in_section("descriptors")
+            .at_offset(123)
+            .with_path("/tmp/db.cbir");
+        let s = e.to_string();
+        assert!(s.contains("/tmp/db.cbir"), "{s}");
+        assert!(s.contains("descriptors"), "{s}");
+        assert!(s.contains("123"), "{s}");
+        assert!(s.contains("crc mismatch"), "{s}");
+    }
+
+    #[test]
+    fn persist_error_builders_do_not_overwrite_existing_context() {
+        let e = PersistError::new("x")
+            .in_section("config")
+            .in_section("metas")
+            .at_offset(5)
+            .at_offset(99)
+            .with_path("a")
+            .with_path("b");
+        assert_eq!(e.section, Some("config"));
+        assert_eq!(e.offset, Some(5));
+        assert_eq!(e.path.as_deref(), Some(std::path::Path::new("a")));
     }
 }

@@ -1,0 +1,432 @@
+//! Deterministic fault injection for the persistence path.
+//!
+//! The atomic save sequence in [`crate::persist`] is decomposed into a
+//! series of primitive operations ([`FaultPoint`]s: create the temp
+//! file, write each chunk, sync, rename, sync the directory). Before
+//! executing each primitive, the save path consults a [`FaultPolicy`],
+//! which may let the operation proceed, fail it outright (`ENOSPC`,
+//! `EIO`, ...), tear a write after a prefix of its bytes, or silently
+//! flip a bit in the data (a misbehaving disk or controller).
+//!
+//! Policies are deterministic — the same policy over the same save
+//! produces the same failure — which makes exhaustive sweeps possible:
+//! [`CountOps`] enumerates how many fault points a save has, and a test
+//! can then re-run the save with [`FailAtOp`] targeting every index in
+//! turn, asserting after each interrupted save that the previous
+//! snapshot is still intact (the crash-consistency property).
+//!
+//! [`FaultFile`] is the same idea applied to a raw byte stream: a
+//! `Read`/`Write` wrapper that injects short reads, short writes, and
+//! errors at exact operation indices, used to harden framed-protocol
+//! readers against pathological I/O schedules.
+
+use std::io::{self, Read, Write};
+
+/// One primitive operation of an atomic save; the unit at which faults
+/// are injected.
+#[derive(Debug)]
+pub enum FaultPoint<'a> {
+    /// Creating the temporary sibling file.
+    CreateTemp,
+    /// Writing one chunk of the serialized database. `written` is the
+    /// number of bytes already durably handed to the file before this
+    /// chunk; `chunk` is the bytes about to be written.
+    Write {
+        /// Bytes already written before this chunk.
+        written: u64,
+        /// The chunk about to be written.
+        chunk: &'a [u8],
+    },
+    /// `fsync` of the temp file (contents durable before rename).
+    SyncFile,
+    /// Atomic rename of the temp file over the target path.
+    Rename,
+    /// `fsync` of the containing directory (rename durable).
+    SyncDir,
+}
+
+/// What a policy decides for one [`FaultPoint`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Execute the operation normally.
+    Proceed,
+    /// Fail immediately with an error of this kind; nothing of the
+    /// operation takes effect.
+    Fail(io::ErrorKind),
+    /// For writes: persist only the first `keep` bytes of the chunk,
+    /// then fail — a torn write, as left by power loss mid-`write`.
+    Torn {
+        /// How many leading bytes of the chunk reach the file.
+        keep: usize,
+        /// The error reported for the remainder.
+        kind: io::ErrorKind,
+    },
+    /// For writes: flip bit `bit` of byte `at` within the chunk and
+    /// proceed as if nothing happened — silent corruption.
+    FlipBit {
+        /// Byte index within the chunk.
+        at: usize,
+        /// Bit index 0–7.
+        bit: u8,
+    },
+}
+
+/// A deterministic fault schedule consulted before every primitive save
+/// operation.
+pub trait FaultPolicy {
+    /// Decide what happens to the next operation.
+    fn before(&mut self, point: &FaultPoint<'_>) -> FaultAction;
+}
+
+/// The production policy: every operation proceeds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultPolicy for NoFaults {
+    fn before(&mut self, _point: &FaultPoint<'_>) -> FaultAction {
+        FaultAction::Proceed
+    }
+}
+
+/// Counts fault points without injecting anything. Run a save with this
+/// policy first to learn how many primitive operations it performs,
+/// then sweep [`FailAtOp`] over `0..count`.
+#[derive(Debug, Default)]
+pub struct CountOps {
+    /// Number of fault points seen so far.
+    pub count: u64,
+}
+
+impl FaultPolicy for CountOps {
+    fn before(&mut self, _point: &FaultPoint<'_>) -> FaultAction {
+        self.count += 1;
+        FaultAction::Proceed
+    }
+}
+
+/// Fails the `op`-th primitive operation (0-based) with `kind`; every
+/// other operation proceeds.
+#[derive(Debug)]
+pub struct FailAtOp {
+    /// Which operation index to fail.
+    pub op: u64,
+    /// The error kind to inject (e.g. [`io::ErrorKind::StorageFull`]
+    /// for `ENOSPC`).
+    pub kind: io::ErrorKind,
+    seen: u64,
+}
+
+impl FailAtOp {
+    /// Fail operation index `op` with error kind `kind`.
+    pub fn new(op: u64, kind: io::ErrorKind) -> Self {
+        FailAtOp { op, kind, seen: 0 }
+    }
+}
+
+impl FaultPolicy for FailAtOp {
+    fn before(&mut self, _point: &FaultPoint<'_>) -> FaultAction {
+        let i = self.seen;
+        self.seen += 1;
+        if i == self.op {
+            FaultAction::Fail(self.kind)
+        } else {
+            FaultAction::Proceed
+        }
+    }
+}
+
+/// Tears the write that spans absolute byte offset `at`: bytes before
+/// the offset reach the file, the rest of that chunk (and the save)
+/// does not.
+#[derive(Debug)]
+pub struct TornWriteAt {
+    /// Absolute byte offset (within the serialized file image) at which
+    /// the write is cut.
+    pub at: u64,
+    /// The error reported for the torn write.
+    pub kind: io::ErrorKind,
+}
+
+impl TornWriteAt {
+    /// Tear the write spanning absolute offset `at`.
+    pub fn new(at: u64) -> Self {
+        TornWriteAt {
+            at,
+            kind: io::ErrorKind::StorageFull,
+        }
+    }
+}
+
+impl FaultPolicy for TornWriteAt {
+    fn before(&mut self, point: &FaultPoint<'_>) -> FaultAction {
+        if let FaultPoint::Write { written, chunk } = point {
+            let start = *written;
+            let end = start + chunk.len() as u64;
+            if self.at >= start && self.at < end {
+                return FaultAction::Torn {
+                    keep: (self.at - start) as usize,
+                    kind: self.kind,
+                };
+            }
+        }
+        FaultAction::Proceed
+    }
+}
+
+/// Silently flips one bit of the byte at absolute offset `at` as it is
+/// written — the save "succeeds" but the file is corrupt, which the
+/// checksummed load must detect.
+#[derive(Debug)]
+pub struct FlipBitAt {
+    /// Absolute byte offset of the corrupted byte.
+    pub at: u64,
+    /// Bit index 0–7 to flip.
+    pub bit: u8,
+}
+
+impl FaultPolicy for FlipBitAt {
+    fn before(&mut self, point: &FaultPoint<'_>) -> FaultAction {
+        if let FaultPoint::Write { written, chunk } = point {
+            let start = *written;
+            let end = start + chunk.len() as u64;
+            if self.at >= start && self.at < end {
+                return FaultAction::FlipBit {
+                    at: (self.at - start) as usize,
+                    bit: self.bit,
+                };
+            }
+        }
+        FaultAction::Proceed
+    }
+}
+
+/// Read the save fault policy from the environment, if one is set.
+///
+/// This is the shell-level hook the crash-recovery smoke test uses:
+/// `CBIR_FAULT_SAVE_OP=<n>` makes the `n`-th primitive operation of the
+/// next [`crate::persist::save_file`] fail with `ENOSPC`-style storage
+/// exhaustion, so a script can interrupt a save mid-flight and assert
+/// the previous snapshot is untouched. Unset (the normal case) returns
+/// `None` and saves run with [`NoFaults`].
+pub fn policy_from_env() -> Option<Box<dyn FaultPolicy>> {
+    let raw = std::env::var("CBIR_FAULT_SAVE_OP").ok()?;
+    let op: u64 = raw.parse().ok()?;
+    Some(Box::new(FailAtOp::new(op, io::ErrorKind::StorageFull)))
+}
+
+// ---------------------------------------------------------------------------
+// FaultFile: a faulty byte stream.
+// ---------------------------------------------------------------------------
+
+/// A scheduled stream-level fault for [`FaultFile`].
+#[derive(Clone, Debug)]
+pub enum StreamFault {
+    /// The `op`-th read/write moves at most `max` bytes (a short
+    /// transfer, still `Ok`).
+    Short {
+        /// Operation index (reads and writes share one counter).
+        op: u64,
+        /// Byte cap for that operation.
+        max: usize,
+    },
+    /// The `op`-th read/write fails with this kind.
+    Error {
+        /// Operation index.
+        op: u64,
+        /// Error kind returned.
+        kind: io::ErrorKind,
+    },
+}
+
+/// A `Read`/`Write` wrapper that injects short transfers and errors at
+/// exact operation indices — deterministic pathological I/O schedules
+/// for exercising retry loops and framed-protocol readers.
+#[derive(Debug)]
+pub struct FaultFile<T> {
+    inner: T,
+    faults: Vec<StreamFault>,
+    throttle: Option<usize>,
+    op: u64,
+}
+
+impl<T> FaultFile<T> {
+    /// Wrap `inner` with a fault schedule.
+    pub fn new(inner: T, faults: Vec<StreamFault>) -> Self {
+        FaultFile {
+            inner,
+            faults,
+            throttle: None,
+            op: 0,
+        }
+    }
+
+    /// Wrap `inner` so every transfer moves at most `max` bytes — the
+    /// maximally fragmented schedule.
+    pub fn throttled(inner: T, max: usize) -> Self {
+        FaultFile {
+            inner,
+            faults: Vec::new(),
+            throttle: Some(max),
+            op: 0,
+        }
+    }
+
+    /// Unwrap the inner stream.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn next_fault(&mut self) -> Option<StreamFault> {
+        if let Some(max) = self.throttle {
+            return Some(StreamFault::Short { op: 0, max });
+        }
+        let i = self.op;
+        self.op += 1;
+        self.faults.iter().find_map(|f| match f {
+            StreamFault::Short { op, max } if *op == i => {
+                Some(StreamFault::Short { op: i, max: *max })
+            }
+            StreamFault::Error { op, kind } if *op == i => {
+                Some(StreamFault::Error { op: i, kind: *kind })
+            }
+            _ => None,
+        })
+    }
+}
+
+impl<T: Read> Read for FaultFile<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.next_fault() {
+            Some(StreamFault::Error { kind, .. }) => {
+                Err(io::Error::new(kind, "injected read fault"))
+            }
+            Some(StreamFault::Short { max, .. }) => {
+                let cap = buf.len().min(max.max(1));
+                self.inner.read(&mut buf[..cap])
+            }
+            None => self.inner.read(buf),
+        }
+    }
+}
+
+impl<T: Write> Write for FaultFile<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.next_fault() {
+            Some(StreamFault::Error { kind, .. }) => {
+                Err(io::Error::new(kind, "injected write fault"))
+            }
+            Some(StreamFault::Short { max, .. }) => {
+                let cap = buf.len().min(max.max(1));
+                self.inner.write(&buf[..cap])
+            }
+            None => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_at_op_fails_exactly_once() {
+        let mut p = FailAtOp::new(2, io::ErrorKind::StorageFull);
+        assert_eq!(p.before(&FaultPoint::CreateTemp), FaultAction::Proceed);
+        assert_eq!(
+            p.before(&FaultPoint::Write {
+                written: 0,
+                chunk: b"abc"
+            }),
+            FaultAction::Proceed
+        );
+        assert_eq!(
+            p.before(&FaultPoint::SyncFile),
+            FaultAction::Fail(io::ErrorKind::StorageFull)
+        );
+        assert_eq!(p.before(&FaultPoint::Rename), FaultAction::Proceed);
+    }
+
+    #[test]
+    fn torn_write_targets_the_spanning_chunk() {
+        let mut p = TornWriteAt::new(10);
+        assert_eq!(
+            p.before(&FaultPoint::Write {
+                written: 0,
+                chunk: &[0; 8]
+            }),
+            FaultAction::Proceed
+        );
+        assert_eq!(
+            p.before(&FaultPoint::Write {
+                written: 8,
+                chunk: &[0; 8]
+            }),
+            FaultAction::Torn {
+                keep: 2,
+                kind: io::ErrorKind::StorageFull
+            }
+        );
+    }
+
+    #[test]
+    fn flip_bit_targets_the_spanning_chunk() {
+        let mut p = FlipBitAt { at: 5, bit: 3 };
+        assert_eq!(
+            p.before(&FaultPoint::Write {
+                written: 4,
+                chunk: &[0; 4]
+            }),
+            FaultAction::FlipBit { at: 1, bit: 3 }
+        );
+    }
+
+    #[test]
+    fn fault_file_short_reads_still_deliver_everything() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut f = FaultFile::throttled(std::io::Cursor::new(data.clone()), 3);
+        let mut out = Vec::new();
+        f.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn fault_file_injects_error_at_exact_op() {
+        let mut f = FaultFile::new(
+            std::io::Cursor::new(vec![1u8, 2, 3, 4]),
+            vec![
+                StreamFault::Short { op: 0, max: 1 },
+                StreamFault::Error {
+                    op: 1,
+                    kind: io::ErrorKind::TimedOut,
+                },
+            ],
+        );
+        let mut buf = [0u8; 4];
+        assert_eq!(f.read(&mut buf).unwrap(), 1);
+        assert_eq!(
+            f.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::TimedOut
+        );
+        // Past the schedule the stream behaves normally.
+        assert_eq!(f.read(&mut buf).unwrap(), 3);
+    }
+
+    #[test]
+    fn fault_file_short_writes_exercise_write_all_loops() {
+        let mut f = FaultFile::throttled(Vec::new(), 2);
+        f.write_all(b"hello fault injection").unwrap();
+        assert_eq!(f.into_inner(), b"hello fault injection");
+    }
+
+    #[test]
+    fn policy_from_env_roundtrip() {
+        // Serialized through a dedicated var name to avoid clobbering
+        // parallel tests: just exercise the parse on the real var.
+        std::env::remove_var("CBIR_FAULT_SAVE_OP");
+        assert!(policy_from_env().is_none());
+    }
+}

@@ -32,12 +32,13 @@ mod database;
 mod engine;
 mod error;
 pub mod eval;
+pub mod faults;
 pub mod feedback;
 pub mod persist;
 
 pub use database::{BatchItem, ImageDatabase, ImageMeta};
 pub use engine::{build_index, IndexKind, QueryEngine, Ranked};
-pub use error::{CoreError, Result};
+pub use error::{CoreError, PersistError, Result};
 pub use eval::{evaluate_engine, EvalReport};
 pub use feedback::{
     feedback_round, refine_query, refine_query_by_ids, FeedbackRound, RocchioParams,

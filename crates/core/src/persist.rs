@@ -2,15 +2,117 @@
 //!
 //! A hand-rolled length-prefixed little-endian format (no serde): the
 //! pipeline configuration is stored alongside the descriptor matrix so a
-//! loaded database extracts query descriptors exactly as the saved one did.
-//! Format magic: `CBIRDB01`.
+//! loaded database extracts query descriptors exactly as the saved one
+//! did.
+//!
+//! ## Format v2 (`CBIRDB02`) — sectioned and checksummed
+//!
+//! ```text
+//! [ 8] magic "CBIRDB02"
+//! [ 4] u32 section count
+//! per section (table of contents):
+//!   [ 1] u8  section id      (1 = config, 2 = descriptors, 3 = metas)
+//!   [ 8] u64 payload length
+//!   [ 4] u32 CRC32C of payload
+//! [ 4] u32 CRC32C of every header byte above
+//! then the section payloads, concatenated in table order
+//! ```
+//!
+//! Every payload byte is covered by a per-section CRC32C and every
+//! header byte by the trailing header CRC32C, so any single-bit flip —
+//! and any burst shorter than 32 bits — anywhere in the file is
+//! detected and reported as a typed [`PersistError`] naming the file,
+//! the section, and the offset. Truncation is detected positionally
+//! (the table's lengths must tile the rest of the file exactly).
+//!
+//! Saving is **atomic**: the new image is written to a temp sibling,
+//! fsynced, renamed over the target, and the directory fsynced — an
+//! interrupted save (crash, `ENOSPC`, torn write) leaves the previous
+//! snapshot untouched. The primitive steps of that sequence are fault
+//! points consulted through [`crate::faults::FaultPolicy`], which the
+//! crash-consistency tests sweep exhaustively.
+//!
+//! Files written by the v1 format (`CBIRDB01`, unchecksummed, single
+//! stream) are still readable; [`fsck_slice`] validates either version
+//! section-by-section and reports the first corrupt offset.
 
 use crate::database::{ImageDatabase, ImageMeta};
-use crate::error::{CoreError, Result};
+use crate::error::{CoreError, PersistError, Result};
+use crate::faults::{FaultAction, FaultPoint, FaultPolicy, NoFaults};
 use cbir_features::{FeatureSpec, Pipeline, Quantizer};
+use std::io::Write as _;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"CBIRDB01";
+const MAGIC_V1: &[u8; 8] = b"CBIRDB01";
+const MAGIC_V2: &[u8; 8] = b"CBIRDB02";
+
+const SEC_CONFIG: u8 = 1;
+const SEC_DESCRIPTORS: u8 = 2;
+const SEC_METAS: u8 = 3;
+
+/// The three required sections, in file order.
+const SECTION_ORDER: [u8; 3] = [SEC_CONFIG, SEC_DESCRIPTORS, SEC_METAS];
+
+/// Bytes per table-of-contents entry: id (1) + length (8) + crc (4).
+const TOC_ENTRY_LEN: usize = 13;
+
+/// Section payloads are written to disk in chunks of this size; each
+/// chunk is one fault point for torn-write injection.
+const SAVE_CHUNK: usize = 4096;
+
+/// Upper bound on the section count a reader will accept.
+const MAX_SECTIONS: usize = 16;
+
+fn section_name(id: u8) -> &'static str {
+    match id {
+        SEC_CONFIG => "config",
+        SEC_DESCRIPTORS => "descriptors",
+        SEC_METAS => "metas",
+        _ => "unknown",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C (Castagnoli), software table-based.
+// ---------------------------------------------------------------------------
+
+const fn crc32c_table() -> [u32; 256] {
+    // Reflected polynomial 0x1EDC6F41 -> 0x82F63B78.
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x82F6_3B78
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32C_TABLE: [u32; 256] = crc32c_table();
+
+/// CRC32C (Castagnoli) of `bytes` — the checksum protecting every v2
+/// section and header. Public so tooling and tests can verify or forge
+/// checksums deliberately.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Field-level writer/reader.
+// ---------------------------------------------------------------------------
 
 struct Writer {
     buf: Vec<u8>,
@@ -45,21 +147,48 @@ impl Writer {
     }
 }
 
+/// A bounds-checked field reader over one section payload (or, for v1
+/// files, the whole stream). Every error carries the section name and
+/// the absolute file offset at which decoding failed.
 struct Reader<'a> {
     bytes: &'a [u8],
     at: usize,
+    section: Option<&'static str>,
+    base: u64,
 }
 
 impl<'a> Reader<'a> {
     fn new(bytes: &'a [u8]) -> Self {
-        Reader { bytes, at: 0 }
+        Reader {
+            bytes,
+            at: 0,
+            section: None,
+            base: 0,
+        }
+    }
+
+    fn for_section(bytes: &'a [u8], section: &'static str, base: u64) -> Self {
+        Reader {
+            bytes,
+            at: 0,
+            section: Some(section),
+            base,
+        }
+    }
+
+    fn err(&self, detail: impl Into<String>) -> CoreError {
+        let mut e = PersistError::new(detail).at_offset(self.base + self.at as u64);
+        if let Some(s) = self.section {
+            e = e.in_section(s);
+        }
+        CoreError::Persist(e)
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         let slice = self
             .bytes
-            .get(self.at..self.at + n)
-            .ok_or_else(|| CoreError::Persist("unexpected end of data".into()))?;
+            .get(self.at..self.at.saturating_add(n))
+            .ok_or_else(|| self.err("unexpected end of data"))?;
         self.at += n;
         Ok(slice)
     }
@@ -86,21 +215,31 @@ impl<'a> Reader<'a> {
     fn str(&mut self) -> Result<String> {
         let n = self.u32()? as usize;
         if n > 1 << 20 {
-            return Err(CoreError::Persist(format!("string length {n} implausible")));
+            return Err(self.err(format!("string length {n} implausible")));
         }
         let b = self.take(n)?;
-        String::from_utf8(b.to_vec())
-            .map_err(|_| CoreError::Persist("invalid UTF-8 in name".into()))
+        String::from_utf8(b.to_vec()).map_err(|_| self.err("invalid UTF-8 in name"))
     }
 
     fn remaining(&self) -> usize {
         self.bytes.len() - self.at
     }
 
-    fn done(&self) -> bool {
-        self.at == self.bytes.len()
+    fn finish(&self) -> Result<()> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "{} trailing bytes after decoded content",
+                self.bytes.len() - self.at
+            )))
+        }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Pipeline configuration encode/decode (shared by v1 and v2).
+// ---------------------------------------------------------------------------
 
 fn write_quantizer(w: &mut Writer, q: &Quantizer) {
     match *q {
@@ -143,7 +282,7 @@ fn read_quantizer(r: &mut Reader) -> Result<Quantizer> {
             a: r.u32()?,
             b: r.u32()?,
         },
-        t => return Err(CoreError::Persist(format!("unknown quantizer tag {t}"))),
+        t => return Err(r.err(format!("unknown quantizer tag {t}"))),
     })
 }
 
@@ -201,7 +340,7 @@ fn read_spec(r: &mut Reader) -> Result<FeatureSpec> {
             let quantizer = read_quantizer(r)?;
             let n = r.u32()? as usize;
             if n > 1024 {
-                return Err(CoreError::Persist("implausible distance count".into()));
+                return Err(r.err("implausible distance count"));
             }
             let mut distances = Vec::with_capacity(n);
             for _ in 0..n {
@@ -230,14 +369,89 @@ fn read_spec(r: &mut Reader) -> Result<FeatureSpec> {
             bins: r.u32()? as usize,
         },
         11 => FeatureSpec::RegionShape,
-        t => return Err(CoreError::Persist(format!("unknown spec tag {t}"))),
+        t => return Err(r.err(format!("unknown spec tag {t}"))),
     })
 }
 
-/// Serialize a database (pipeline + descriptors + metadata) to bytes.
-pub fn save_to_vec(db: &ImageDatabase) -> Result<Vec<u8>> {
+// ---------------------------------------------------------------------------
+// Section encode (v2).
+// ---------------------------------------------------------------------------
+
+fn encode_config(db: &ImageDatabase) -> Vec<u8> {
     let mut w = Writer::new();
-    w.buf.extend_from_slice(MAGIC);
+    w.u8(db.is_balanced() as u8);
+    w.u32(db.pipeline().canonical_size());
+    let specs = db.pipeline().specs();
+    w.u32(specs.len() as u32);
+    for s in specs {
+        write_spec(&mut w, s);
+    }
+    w.buf
+}
+
+fn encode_descriptors(db: &ImageDatabase) -> Result<Vec<u8>> {
+    let mut w = Writer::new();
+    w.u64(db.len() as u64);
+    w.u32(db.dim() as u32);
+    w.buf.reserve(db.len() * db.dim() * 4);
+    for i in 0..db.len() {
+        for &v in db.descriptor(i)? {
+            w.f32(v);
+        }
+    }
+    Ok(w.buf)
+}
+
+fn encode_metas(db: &ImageDatabase) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(db.metas().len() as u64);
+    for m in db.metas() {
+        w.str(&m.name);
+        match m.label {
+            Some(l) => {
+                w.u8(1);
+                w.u32(l);
+            }
+            None => w.u8(0),
+        }
+    }
+    w.buf
+}
+
+/// Serialize a database (pipeline + descriptors + metadata) to bytes in
+/// the current (`CBIRDB02`) sectioned, checksummed format.
+pub fn save_to_vec(db: &ImageDatabase) -> Result<Vec<u8>> {
+    let sections: [(u8, Vec<u8>); 3] = [
+        (SEC_CONFIG, encode_config(db)),
+        (SEC_DESCRIPTORS, encode_descriptors(db)?),
+        (SEC_METAS, encode_metas(db)),
+    ];
+    let payload_len: usize = sections.iter().map(|(_, p)| p.len()).sum();
+    let header_len = 8 + 4 + TOC_ENTRY_LEN * sections.len() + 4;
+    let mut out = Vec::with_capacity(header_len + payload_len);
+    out.extend_from_slice(MAGIC_V2);
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for (id, payload) in &sections {
+        out.push(*id);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32c(payload).to_le_bytes());
+    }
+    let header_crc = crc32c(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    for (_, payload) in &sections {
+        out.extend_from_slice(payload);
+    }
+    Ok(out)
+}
+
+/// Serialize in the legacy unchecksummed `CBIRDB01` format.
+///
+/// Kept for migration round-trip tests and for tooling that needs to
+/// produce files an old reader can load; new code should use
+/// [`save_to_vec`].
+pub fn save_to_vec_v1(db: &ImageDatabase) -> Result<Vec<u8>> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(MAGIC_V1);
     w.u8(db.is_balanced() as u8);
     w.u32(db.pipeline().canonical_size());
     let specs = db.pipeline().specs();
@@ -265,19 +479,237 @@ pub fn save_to_vec(db: &ImageDatabase) -> Result<Vec<u8>> {
     Ok(w.buf)
 }
 
-/// Deserialize a database saved with [`save_to_vec`].
-pub fn load_from_slice(bytes: &[u8]) -> Result<ImageDatabase> {
-    let mut r = Reader::new(bytes);
-    if r.take(8)? != MAGIC {
-        return Err(CoreError::Persist("bad magic (not a CBIRDB01 file)".into()));
+// ---------------------------------------------------------------------------
+// Decode (v2 + legacy v1).
+// ---------------------------------------------------------------------------
+
+/// One parsed table-of-contents entry with its resolved payload span.
+struct TocEntry {
+    id: u8,
+    len: u64,
+    crc: u32,
+    /// Absolute offset of the payload within the file.
+    offset: u64,
+}
+
+fn header_err(detail: impl Into<String>, offset: u64) -> PersistError {
+    PersistError::new(detail)
+        .in_section("header")
+        .at_offset(offset)
+}
+
+/// Parse and fully validate the v2 header (magic, count, TOC, header
+/// CRC, payload tiling). On success the returned entries cover
+/// `bytes[header_end..]` exactly.
+fn parse_toc(bytes: &[u8]) -> std::result::Result<Vec<TocEntry>, PersistError> {
+    if bytes.len() < 12 {
+        return Err(header_err(
+            format!("file is {} bytes, too short for a header", bytes.len()),
+            bytes.len() as u64,
+        ));
     }
+    let n = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    if n == 0 || n > MAX_SECTIONS {
+        return Err(header_err(format!("implausible section count {n}"), 8));
+    }
+    let toc_end = 12 + n * TOC_ENTRY_LEN;
+    let header_end = toc_end + 4;
+    if bytes.len() < header_end {
+        return Err(header_err(
+            format!(
+                "header claims {n} sections ({header_end} header bytes) but file has {}",
+                bytes.len()
+            ),
+            bytes.len() as u64,
+        ));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[toc_end..header_end].try_into().expect("4 bytes"));
+    let actual_crc = crc32c(&bytes[..toc_end]);
+    if stored_crc != actual_crc {
+        return Err(header_err(
+            format!(
+                "header checksum mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+            ),
+            0,
+        ));
+    }
+    let mut entries = Vec::with_capacity(n);
+    let mut offset = header_end as u64;
+    for i in 0..n {
+        let at = 12 + i * TOC_ENTRY_LEN;
+        let id = bytes[at];
+        let len = u64::from_le_bytes(bytes[at + 1..at + 9].try_into().expect("8 bytes"));
+        let crc = u32::from_le_bytes(bytes[at + 9..at + 13].try_into().expect("4 bytes"));
+        entries.push(TocEntry {
+            id,
+            len,
+            crc,
+            offset,
+        });
+        offset = offset.checked_add(len).ok_or_else(|| {
+            header_err(format!("section lengths overflow at entry {i}"), at as u64)
+        })?;
+    }
+    if offset != bytes.len() as u64 {
+        let (verb, name) = if offset > bytes.len() as u64 {
+            // Name the first section whose payload runs past EOF.
+            let short = entries
+                .iter()
+                .find(|e| e.offset + e.len > bytes.len() as u64)
+                .map(|e| section_name(e.id))
+                .unwrap_or("header");
+            ("truncated: sections need", short)
+        } else {
+            ("has trailing bytes: sections cover", "header")
+        };
+        return Err(PersistError::new(format!(
+            "file {verb} {offset} bytes but file has {}",
+            bytes.len()
+        ))
+        .in_section(name)
+        .at_offset(bytes.len().min(offset as usize) as u64));
+    }
+    Ok(entries)
+}
+
+/// Validate one section's payload span and checksum, returning the
+/// payload slice.
+fn section_payload<'a>(
+    bytes: &'a [u8],
+    entry: &TocEntry,
+) -> std::result::Result<&'a [u8], PersistError> {
+    let name = section_name(entry.id);
+    let start = entry.offset as usize;
+    let end = start + entry.len as usize;
+    let payload = &bytes[start..end]; // spans validated by parse_toc
+    let actual = crc32c(payload);
+    if actual != entry.crc {
+        return Err(PersistError::new(format!(
+            "checksum mismatch (stored {:#010x}, computed {actual:#010x})",
+            entry.crc
+        ))
+        .in_section(name)
+        .at_offset(entry.offset));
+    }
+    Ok(payload)
+}
+
+fn decode_config(payload: &[u8], base: u64) -> Result<(bool, Pipeline)> {
+    let mut r = Reader::for_section(payload, "config", base);
     let balanced = r.u8()? != 0;
     let canonical = r.u32()?;
     let n_specs = r.u32()? as usize;
     if n_specs == 0 || n_specs > 256 {
-        return Err(CoreError::Persist(format!(
-            "implausible spec count {n_specs}"
+        return Err(r.err(format!("implausible spec count {n_specs}")));
+    }
+    let mut specs = Vec::with_capacity(n_specs);
+    for _ in 0..n_specs {
+        specs.push(read_spec(&mut r)?);
+    }
+    r.finish()?;
+    let pipeline = Pipeline::new(canonical, specs)?;
+    Ok((balanced, pipeline))
+}
+
+fn decode_descriptors(payload: &[u8], base: u64, dim: usize) -> Result<Vec<Vec<f32>>> {
+    let mut r = Reader::for_section(payload, "descriptors", base);
+    let n = r.u64()? as usize;
+    let stored_dim = r.u32()? as usize;
+    if stored_dim != dim {
+        return Err(r.err(format!(
+            "stored dim {stored_dim} disagrees with pipeline dim {dim}"
         )));
+    }
+    // Validate the claimed count against the bytes actually present
+    // before allocating: a corrupt count must produce an error, not a
+    // capacity-overflow abort.
+    let descriptor_bytes = n
+        .checked_mul(dim)
+        .and_then(|c| c.checked_mul(4))
+        .ok_or_else(|| r.err(format!("image count {n} overflows")))?;
+    if descriptor_bytes != r.remaining() {
+        return Err(r.err(format!(
+            "claims {n} descriptors ({descriptor_bytes} bytes) but {} bytes follow",
+            r.remaining()
+        )));
+    }
+    let mut descriptors = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut d = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            d.push(r.f32()?);
+        }
+        descriptors.push(d);
+    }
+    r.finish()?;
+    Ok(descriptors)
+}
+
+fn decode_metas(payload: &[u8], base: u64, expected: usize) -> Result<Vec<ImageMeta>> {
+    let mut r = Reader::for_section(payload, "metas", base);
+    let n = r.u64()? as usize;
+    if n != expected {
+        return Err(r.err(format!("{n} metadata entries for {expected} descriptors")));
+    }
+    let mut metas = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let label = if r.u8()? != 0 { Some(r.u32()?) } else { None };
+        metas.push(ImageMeta { name, label });
+    }
+    r.finish()?;
+    Ok(metas)
+}
+
+fn load_v2(bytes: &[u8]) -> Result<ImageDatabase> {
+    let entries = parse_toc(bytes)?;
+    if entries.len() != SECTION_ORDER.len()
+        || entries
+            .iter()
+            .zip(SECTION_ORDER)
+            .any(|(e, want)| e.id != want)
+    {
+        let got: Vec<&str> = entries.iter().map(|e| section_name(e.id)).collect();
+        return Err(CoreError::Persist(
+            PersistError::new(format!(
+                "expected sections [config, descriptors, metas], found [{}]",
+                got.join(", ")
+            ))
+            .in_section("header")
+            .at_offset(12),
+        ));
+    }
+    let (balanced, pipeline) = {
+        let payload = section_payload(bytes, &entries[0])?;
+        decode_config(payload, entries[0].offset)?
+    };
+    let mut db = if balanced {
+        ImageDatabase::new(pipeline)
+    } else {
+        ImageDatabase::with_raw_extraction(pipeline)
+    };
+    let descriptors = {
+        let payload = section_payload(bytes, &entries[1])?;
+        decode_descriptors(payload, entries[1].offset, db.dim())?
+    };
+    let metas = {
+        let payload = section_payload(bytes, &entries[2])?;
+        decode_metas(payload, entries[2].offset, descriptors.len())?
+    };
+    for (meta, d) in metas.into_iter().zip(descriptors) {
+        db.insert_descriptor(meta, d)?;
+    }
+    Ok(db)
+}
+
+fn load_v1(bytes: &[u8]) -> Result<ImageDatabase> {
+    let mut r = Reader::new(bytes);
+    r.take(8)?; // magic, already checked
+    let balanced = r.u8()? != 0;
+    let canonical = r.u32()?;
+    let n_specs = r.u32()? as usize;
+    if n_specs == 0 || n_specs > 256 {
+        return Err(r.err(format!("implausible spec count {n_specs}")));
     }
     let mut specs = Vec::with_capacity(n_specs);
     for _ in 0..n_specs {
@@ -292,20 +724,17 @@ pub fn load_from_slice(bytes: &[u8]) -> Result<ImageDatabase> {
     let n = r.u64()? as usize;
     let dim = r.u32()? as usize;
     if dim != db.dim() {
-        return Err(CoreError::Persist(format!(
+        return Err(r.err(format!(
             "stored dim {dim} disagrees with pipeline dim {}",
             db.dim()
         )));
     }
-    // Validate the claimed count against the bytes actually present before
-    // allocating: a corrupt header must produce an error, not a
-    // capacity-overflow abort.
     let descriptor_bytes = n
         .checked_mul(dim)
         .and_then(|c| c.checked_mul(4))
-        .ok_or_else(|| CoreError::Persist(format!("image count {n} overflows")))?;
+        .ok_or_else(|| r.err(format!("image count {n} overflows")))?;
     if descriptor_bytes > r.remaining() {
-        return Err(CoreError::Persist(format!(
+        return Err(r.err(format!(
             "header claims {n} descriptors ({descriptor_bytes} bytes) but only {} bytes remain",
             r.remaining()
         )));
@@ -323,46 +752,313 @@ pub fn load_from_slice(bytes: &[u8]) -> Result<ImageDatabase> {
         let label = if r.u8()? != 0 { Some(r.u32()?) } else { None };
         db.insert_descriptor(ImageMeta { name, label }, d)?;
     }
-    if !r.done() {
-        return Err(CoreError::Persist("trailing bytes after database".into()));
-    }
+    r.finish()?;
     Ok(db)
 }
 
-/// Save a database to a file.
+/// Deserialize a database saved with [`save_to_vec`] (v2) or by the
+/// legacy v1 writer — the format is dispatched on the magic.
+pub fn load_from_slice(bytes: &[u8]) -> Result<ImageDatabase> {
+    match bytes.get(..8) {
+        Some(m) if m == MAGIC_V2 => load_v2(bytes),
+        Some(m) if m == MAGIC_V1 => load_v1(bytes),
+        _ => Err(CoreError::Persist(
+            PersistError::new("bad magic (not a CBIRDB01/CBIRDB02 file)")
+                .in_section("header")
+                .at_offset(0),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fsck: section-by-section validation with first-corrupt-offset report.
+// ---------------------------------------------------------------------------
+
+/// One section's verification outcome in an [`FsckReport`].
+#[derive(Debug)]
+pub struct SectionStatus {
+    /// Section name (`config` / `descriptors` / `metas` / `unknown`).
+    pub name: &'static str,
+    /// Absolute payload offset in the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// `None` when the section's checksum and structure are valid.
+    pub error: Option<String>,
+}
+
+/// The result of validating a database file section-by-section.
+#[derive(Debug)]
+pub struct FsckReport {
+    /// Detected format: `"CBIRDB02"`, `"CBIRDB01 (legacy)"`, or
+    /// `"unknown"`.
+    pub format: &'static str,
+    /// Per-section outcomes (empty for legacy/unknown formats, which
+    /// have no section table).
+    pub sections: Vec<SectionStatus>,
+    /// Lowest byte offset at which corruption was detected, if any.
+    pub first_corrupt_offset: Option<u64>,
+    /// Header-level or whole-file error, if any.
+    pub error: Option<String>,
+}
+
+impl FsckReport {
+    /// Whether the file validated clean.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none() && self.sections.iter().all(|s| s.error.is_none())
+    }
+}
+
+fn fsck_record(report: &mut FsckReport, offset: u64) {
+    let first = report.first_corrupt_offset.get_or_insert(offset);
+    *first = (*first).min(offset);
+}
+
+/// Validate a database image section-by-section: header checksum,
+/// payload tiling, per-section checksums, then a full decode. Unlike
+/// [`load_from_slice`] this does not stop at the first failure — every
+/// section is checked so the report shows the full extent of the
+/// damage, alongside the first corrupt offset.
+pub fn fsck_slice(bytes: &[u8]) -> FsckReport {
+    let mut report = FsckReport {
+        format: "unknown",
+        sections: Vec::new(),
+        first_corrupt_offset: None,
+        error: None,
+    };
+    match bytes.get(..8) {
+        Some(m) if m == MAGIC_V2 => report.format = "CBIRDB02",
+        Some(m) if m == MAGIC_V1 => {
+            // Legacy stream: no sections, no checksums — all we can do
+            // is a full decode.
+            report.format = "CBIRDB01 (legacy)";
+            if let Err(e) = load_v1(bytes) {
+                let (msg, offset) = persist_parts(e);
+                report.error = Some(msg);
+                fsck_record(&mut report, offset.unwrap_or(0));
+            }
+            return report;
+        }
+        _ => {
+            report.error = Some("bad magic (not a CBIRDB01/CBIRDB02 file)".into());
+            fsck_record(&mut report, 0);
+            return report;
+        }
+    }
+    let entries = match parse_toc(bytes) {
+        Ok(entries) => entries,
+        Err(e) => {
+            let offset = e.offset;
+            report.error = Some(e.to_string());
+            fsck_record(&mut report, offset.unwrap_or(0));
+            return report;
+        }
+    };
+    for entry in &entries {
+        let error = section_payload(bytes, entry).err().map(|e| e.detail);
+        if error.is_some() {
+            fsck_record(&mut report, entry.offset);
+        }
+        report.sections.push(SectionStatus {
+            name: section_name(entry.id),
+            offset: entry.offset,
+            len: entry.len,
+            error,
+        });
+    }
+    // Structure and checksums hold — the payloads must also decode.
+    if report.is_ok() {
+        if let Err(e) = load_v2(bytes) {
+            let (msg, offset) = persist_parts(e);
+            let section = report
+                .sections
+                .iter_mut()
+                .rev()
+                .find(|s| offset.is_some_and(|o| o >= s.offset));
+            match section {
+                Some(s) => s.error = Some(msg),
+                None => report.error = Some(msg),
+            }
+            fsck_record(&mut report, offset.unwrap_or(0));
+        }
+    }
+    report
+}
+
+/// Split a load error into its message and offset (non-persist errors
+/// have no offset).
+fn persist_parts(e: CoreError) -> (String, Option<u64>) {
+    match e {
+        CoreError::Persist(p) => {
+            let offset = p.offset;
+            (p.to_string(), offset)
+        }
+        other => (other.to_string(), None),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File I/O: atomic save, checked load.
+// ---------------------------------------------------------------------------
+
+/// Save a database to a file atomically.
 ///
-/// I/O failures are reported as [`CoreError::Persist`] naming the path, so
-/// a CLI user sees "cannot write database file 'x.cbir': ..." rather than a
-/// bare OS error.
+/// The serialized image is written to a temp sibling, fsynced, renamed
+/// over `path`, and the directory fsynced: after a crash or I/O failure
+/// at any point, `path` holds either the complete previous snapshot or
+/// the complete new one — never a partial state.
+///
+/// I/O failures are reported as [`CoreError::Persist`] naming the path.
+/// The `CBIR_FAULT_SAVE_OP` environment variable (see
+/// [`crate::faults::policy_from_env`]) injects a deterministic failure
+/// for crash-recovery testing.
 pub fn save_file(db: &ImageDatabase, path: impl AsRef<Path>) -> Result<()> {
+    match crate::faults::policy_from_env() {
+        Some(mut policy) => save_file_with(db, path, policy.as_mut()),
+        None => save_file_with(db, path, &mut NoFaults),
+    }
+}
+
+/// [`save_file`] with an explicit fault policy — the entry point the
+/// crash-consistency tests sweep.
+pub fn save_file_with(
+    db: &ImageDatabase,
+    path: impl AsRef<Path>,
+    policy: &mut dyn FaultPolicy,
+) -> Result<()> {
     let path = path.as_ref();
-    std::fs::write(path, save_to_vec(db)?).map_err(|e| {
-        CoreError::Persist(format!(
-            "cannot write database file '{}': {e}",
-            path.display()
-        ))
-    })
+    let bytes = save_to_vec(db)?;
+    atomic_write(path, &bytes, policy).map_err(|e| CoreError::Persist(e.with_path(path)))
+}
+
+fn op_err(what: &str, e: std::io::Error) -> PersistError {
+    PersistError::new(format!(
+        "cannot {what}: {e} (previous snapshot left untouched)"
+    ))
+}
+
+fn injected(kind: std::io::ErrorKind) -> std::io::Error {
+    std::io::Error::new(kind, "injected fault")
+}
+
+fn atomic_write(
+    path: &Path,
+    bytes: &[u8],
+    policy: &mut dyn FaultPolicy,
+) -> std::result::Result<(), PersistError> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| PersistError::new("path has no file name"))?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => Path::new(".").to_path_buf(),
+    };
+    let tmp = dir.join(format!(
+        "{}.{}.tmp",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = write_temp_then_rename(path, &tmp, bytes, policy);
+    if result.is_err() {
+        // Best-effort cleanup; the target path was never touched unless
+        // the rename itself completed.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn write_temp_then_rename(
+    path: &Path,
+    tmp: &Path,
+    bytes: &[u8],
+    policy: &mut dyn FaultPolicy,
+) -> std::result::Result<(), PersistError> {
+    if let FaultAction::Fail(kind) = policy.before(&FaultPoint::CreateTemp) {
+        return Err(op_err("create temp file", injected(kind)));
+    }
+    let mut file = std::fs::File::create(tmp).map_err(|e| op_err("create temp file", e))?;
+
+    let mut written = 0u64;
+    for chunk in bytes.chunks(SAVE_CHUNK) {
+        match policy.before(&FaultPoint::Write { written, chunk }) {
+            FaultAction::Proceed => {
+                file.write_all(chunk)
+                    .map_err(|e| op_err("write database image", e))?;
+            }
+            FaultAction::Fail(kind) => {
+                return Err(op_err("write database image", injected(kind)));
+            }
+            FaultAction::Torn { keep, kind } => {
+                let keep = keep.min(chunk.len());
+                let _ = file.write_all(&chunk[..keep]);
+                let _ = file.sync_all();
+                return Err(op_err("write database image (torn write)", injected(kind)));
+            }
+            FaultAction::FlipBit { at, bit } => {
+                let mut corrupt = chunk.to_vec();
+                if let Some(b) = corrupt.get_mut(at) {
+                    *b ^= 1 << (bit & 7);
+                }
+                file.write_all(&corrupt)
+                    .map_err(|e| op_err("write database image", e))?;
+            }
+        }
+        written += chunk.len() as u64;
+    }
+
+    if let FaultAction::Fail(kind) = policy.before(&FaultPoint::SyncFile) {
+        return Err(op_err("sync temp file", injected(kind)));
+    }
+    file.sync_all().map_err(|e| op_err("sync temp file", e))?;
+    drop(file);
+
+    if let FaultAction::Fail(kind) = policy.before(&FaultPoint::Rename) {
+        return Err(op_err("rename temp file into place", injected(kind)));
+    }
+    std::fs::rename(tmp, path).map_err(|e| op_err("rename temp file into place", e))?;
+
+    if let FaultAction::Fail(kind) = policy.before(&FaultPoint::SyncDir) {
+        return Err(op_err("sync directory", injected(kind)));
+    }
+    // Make the rename durable. Directories cannot be opened for sync on
+    // every platform; when they can't, the rename is still atomic.
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        if let Ok(d) = std::fs::File::open(dir) {
+            d.sync_all().map_err(|e| op_err("sync directory", e))?;
+        }
+    }
+    Ok(())
 }
 
 /// Load a database from a file.
 ///
 /// Both I/O failures (missing file, permissions) and format violations
-/// (truncation, bad magic, corrupt fields) are reported as
-/// [`CoreError::Persist`] naming the offending path.
+/// (truncation, bad magic, checksum mismatches, corrupt fields) are
+/// reported as [`CoreError::Persist`] naming the offending path, the
+/// section, and — when known — the corrupt offset.
 pub fn load_file(path: impl AsRef<Path>) -> Result<ImageDatabase> {
     let path = path.as_ref();
     let bytes = std::fs::read(path).map_err(|e| {
-        CoreError::Persist(format!(
-            "cannot read database file '{}': {e}",
-            path.display()
-        ))
+        CoreError::Persist(
+            PersistError::new(format!("cannot read database file: {e}")).with_path(path),
+        )
     })?;
     load_from_slice(&bytes).map_err(|e| match e {
-        CoreError::Persist(msg) => {
-            CoreError::Persist(format!("database file '{}': {msg}", path.display()))
-        }
+        CoreError::Persist(p) => CoreError::Persist(p.with_path(path)),
         other => other,
     })
+}
+
+/// Validate a database file section-by-section (see [`fsck_slice`]).
+pub fn fsck_file(path: impl AsRef<Path>) -> Result<FsckReport> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| {
+        CoreError::Persist(
+            PersistError::new(format!("cannot read database file: {e}")).with_path(path),
+        )
+    })?;
+    Ok(fsck_slice(&bytes))
 }
 
 #[cfg(test)]
@@ -420,9 +1116,32 @@ mod tests {
     }
 
     #[test]
+    fn crc32c_known_vectors() {
+        // RFC 3720 / standard Castagnoli check values.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+    }
+
+    #[test]
+    fn crc32c_detects_every_single_bit_flip() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let clean = crc32c(&data);
+        let mut copy = data.clone();
+        for byte in 0..copy.len() {
+            for bit in 0..8 {
+                copy[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&copy), clean, "flip at {byte}.{bit} undetected");
+                copy[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
     fn roundtrip_preserves_everything() {
         let db = populated_db();
         let bytes = save_to_vec(&db).unwrap();
+        assert_eq!(&bytes[..8], MAGIC_V2);
         let loaded = load_from_slice(&bytes).unwrap();
         assert_eq!(loaded.len(), db.len());
         assert_eq!(loaded.dim(), db.dim());
@@ -432,6 +1151,20 @@ mod tests {
             loaded.pipeline().canonical_size(),
             db.pipeline().canonical_size()
         );
+        for i in 0..db.len() {
+            assert_eq!(loaded.descriptor(i).unwrap(), db.descriptor(i).unwrap());
+            assert_eq!(loaded.meta(i).unwrap(), db.meta(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        let db = populated_db();
+        let v1 = save_to_vec_v1(&db).unwrap();
+        assert_eq!(&v1[..8], MAGIC_V1);
+        let loaded = load_from_slice(&v1).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        assert_eq!(loaded.pipeline().specs(), db.pipeline().specs());
         for i in 0..db.len() {
             assert_eq!(loaded.descriptor(i).unwrap(), db.descriptor(i).unwrap());
             assert_eq!(loaded.meta(i).unwrap(), db.meta(i).unwrap());
@@ -469,31 +1202,52 @@ mod tests {
     }
 
     #[test]
-    fn implausible_image_count_is_an_error_not_an_abort() {
+    fn payload_bit_flips_are_caught_by_section_checksums() {
         let db = populated_db();
-        let mut bytes = save_to_vec(&db).unwrap();
-        // Locate the n_images u64 (value = db.len()) followed by dim u32.
-        let needle: Vec<u8> = (db.len() as u64)
-            .to_le_bytes()
-            .iter()
-            .chain((db.dim() as u32).to_le_bytes().iter())
-            .copied()
-            .collect();
-        let pos = bytes
-            .windows(12)
-            .position(|w| w == &needle[..])
-            .expect("count field present");
-        bytes[pos..pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
-        assert!(matches!(
-            load_from_slice(&bytes),
-            Err(CoreError::Persist(_))
-        ));
-        // A merely-too-large (non-overflowing) count also errors cleanly.
-        bytes[pos..pos + 8].copy_from_slice(&10_000u64.to_le_bytes());
-        assert!(matches!(
-            load_from_slice(&bytes),
-            Err(CoreError::Persist(_))
-        ));
+        let bytes = save_to_vec(&db).unwrap();
+        let entries = parse_toc(&bytes).unwrap();
+        for entry in &entries {
+            let mut corrupt = bytes.clone();
+            let mid = (entry.offset + entry.len / 2) as usize;
+            corrupt[mid] ^= 0x10;
+            let err = load_from_slice(&corrupt).unwrap_err();
+            match err {
+                CoreError::Persist(p) => {
+                    assert_eq!(p.section, Some(section_name(entry.id)));
+                    assert!(p.detail.contains("checksum"), "{}", p.detail);
+                }
+                other => panic!("expected Persist, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn forged_checksum_with_implausible_count_is_still_an_error() {
+        // An adversarial file: corrupt the descriptor count AND fix up
+        // the section + header checksums so only semantic validation can
+        // catch it — it must error, never abort on allocation.
+        let db = populated_db();
+        let bytes = save_to_vec(&db).unwrap();
+        let entries = parse_toc(&bytes).unwrap();
+        let desc = &entries[1];
+        let start = desc.offset as usize;
+        let mut forged = bytes.clone();
+        forged[start..start + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let new_crc = crc32c(&forged[start..start + desc.len as usize]);
+        // TOC entry 1 crc lives at 12 + TOC_ENTRY_LEN + 9.
+        let crc_at = 12 + TOC_ENTRY_LEN + 9;
+        forged[crc_at..crc_at + 4].copy_from_slice(&new_crc.to_le_bytes());
+        let toc_end = 12 + 3 * TOC_ENTRY_LEN;
+        let header_crc = crc32c(&forged[..toc_end]);
+        forged[toc_end..toc_end + 4].copy_from_slice(&header_crc.to_le_bytes());
+
+        let err = load_from_slice(&forged).unwrap_err();
+        match err {
+            CoreError::Persist(p) => {
+                assert_eq!(p.section, Some("descriptors"));
+            }
+            other => panic!("expected Persist, got {other:?}"),
+        }
     }
 
     #[test]
@@ -553,7 +1307,8 @@ mod tests {
         std::fs::remove_file(&path).ok();
         let err = load_file(&path).unwrap_err();
         match &err {
-            CoreError::Persist(msg) => {
+            CoreError::Persist(e) => {
+                let msg = e.to_string();
                 assert!(
                     msg.contains("cbir_persist_test_no_such_file.cbir"),
                     "message must name the path: {msg}"
@@ -575,8 +1330,9 @@ mod tests {
         std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
         let err = load_file(&truncated).unwrap_err();
         match &err {
-            CoreError::Persist(msg) => {
-                assert!(msg.contains("truncated.cbir"), "path missing: {msg}")
+            CoreError::Persist(e) => {
+                let msg = e.to_string();
+                assert!(msg.contains("truncated.cbir"), "path missing: {msg}");
             }
             other => panic!("expected CoreError::Persist, got {other:?}"),
         }
@@ -587,7 +1343,8 @@ mod tests {
         std::fs::write(&bad_magic, &corrupt).unwrap();
         let err = load_file(&bad_magic).unwrap_err();
         match &err {
-            CoreError::Persist(msg) => {
+            CoreError::Persist(e) => {
+                let msg = e.to_string();
                 assert!(msg.contains("bad_magic.cbir"), "path missing: {msg}");
                 assert!(msg.contains("magic"), "cause missing: {msg}");
             }
@@ -597,15 +1354,25 @@ mod tests {
     }
 
     #[test]
-    fn file_roundtrip() {
+    fn file_roundtrip_is_atomic_and_leaves_no_temp_files() {
         let db = populated_db();
-        let dir = std::env::temp_dir().join("cbir_persist_test");
+        let dir = std::env::temp_dir().join("cbir_persist_test_atomic");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("db.cbir");
         save_file(&db, &path).unwrap();
         let loaded = load_file(&path).unwrap();
         assert_eq!(loaded.len(), db.len());
-        std::fs::remove_file(&path).ok();
+        // Overwrite in place (the temp + rename path with a live target).
+        save_file(&db, &path).unwrap();
+        assert_eq!(load_file(&path).unwrap().len(), db.len());
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "temp files left behind: {stray:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -621,5 +1388,67 @@ mod tests {
         let db = ImageDatabase::new(full_pipeline());
         let loaded = load_from_slice(&save_to_vec(&db).unwrap()).unwrap();
         assert_eq!(loaded.len(), 0);
+    }
+
+    #[test]
+    fn fsck_reports_clean_file_as_ok() {
+        let db = populated_db();
+        let bytes = save_to_vec(&db).unwrap();
+        let report = fsck_slice(&bytes);
+        assert!(report.is_ok(), "{report:?}");
+        assert_eq!(report.format, "CBIRDB02");
+        assert_eq!(report.sections.len(), 3);
+        assert_eq!(report.first_corrupt_offset, None);
+        let names: Vec<_> = report.sections.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["config", "descriptors", "metas"]);
+
+        let v1 = save_to_vec_v1(&db).unwrap();
+        let report = fsck_slice(&v1);
+        assert!(report.is_ok(), "{report:?}");
+        assert_eq!(report.format, "CBIRDB01 (legacy)");
+    }
+
+    #[test]
+    fn fsck_reports_first_corrupt_offset() {
+        let db = populated_db();
+        let bytes = save_to_vec(&db).unwrap();
+        let entries = parse_toc(&bytes).unwrap();
+
+        // Corrupt the middle of the descriptors payload.
+        let mut corrupt = bytes.clone();
+        let flip_at = (entries[1].offset + entries[1].len / 2) as usize;
+        corrupt[flip_at] ^= 0x01;
+        let report = fsck_slice(&corrupt);
+        assert!(!report.is_ok());
+        assert_eq!(report.first_corrupt_offset, Some(entries[1].offset));
+        let bad: Vec<_> = report
+            .sections
+            .iter()
+            .filter(|s| s.error.is_some())
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(bad, ["descriptors"]);
+
+        // Corrupt two sections: both are reported (fsck does not stop
+        // at the first).
+        let mut corrupt = bytes.clone();
+        corrupt[entries[0].offset as usize] ^= 0x80;
+        corrupt[entries[2].offset as usize] ^= 0x80;
+        let report = fsck_slice(&corrupt);
+        let bad: Vec<_> = report
+            .sections
+            .iter()
+            .filter(|s| s.error.is_some())
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(bad, ["config", "metas"]);
+        assert_eq!(report.first_corrupt_offset, Some(entries[0].offset));
+
+        // Header corruption.
+        let mut corrupt = bytes.clone();
+        corrupt[9] ^= 0x02; // section count
+        let report = fsck_slice(&corrupt);
+        assert!(!report.is_ok());
+        assert!(report.error.is_some());
     }
 }

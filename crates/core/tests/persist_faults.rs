@@ -1,0 +1,365 @@
+//! Crash-consistency and corruption-sweep tests for the persistence
+//! layer.
+//!
+//! The properties verified here are the acceptance criteria for the
+//! fault-tolerance layer:
+//!
+//! 1. **Crash consistency** — for *every* fault point during
+//!    `save_file`, a subsequent `load_file` of the target path succeeds
+//!    and the file on disk is bit-identical to either the old snapshot
+//!    or the new one, never a partial state.
+//! 2. **Corruption detection** — every truncation point and every
+//!    single-bit flip over a saved multi-`FeatureSpec` database yields
+//!    a typed `CoreError::Persist` naming the section (and, through
+//!    `load_file`, the path) — never a panic and never silently wrong
+//!    data.
+//! 3. **Migration** — legacy `CBIRDB01` files round-trip through the
+//!    v2 writer unchanged in content.
+
+use cbir_core::faults::{CountOps, FailAtOp, FlipBitAt, TornWriteAt};
+use cbir_core::persist::{fsck_slice, load_file, load_from_slice, save_file_with, save_to_vec};
+use cbir_core::{CoreError, ImageDatabase};
+use cbir_features::{FeatureSpec, Pipeline, Quantizer};
+use cbir_image::{Rgb, RgbImage};
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+
+/// A multi-spec pipeline so the config section exercises several
+/// encoders and the descriptor matrix is non-trivial.
+fn pipeline() -> Pipeline {
+    Pipeline::new(
+        24,
+        vec![
+            FeatureSpec::ColorHistogram(Quantizer::hsv_default()),
+            FeatureSpec::ColorMoments,
+            FeatureSpec::Glcm { levels: 8 },
+            FeatureSpec::EdgeOrientation { bins: 8 },
+        ],
+    )
+    .unwrap()
+}
+
+fn db_with(n: usize, seed: u8) -> ImageDatabase {
+    let mut db = ImageDatabase::new(pipeline());
+    for i in 0..n {
+        let img = RgbImage::from_fn(20, 20, |x, y| {
+            let v = (x as usize * 7 + y as usize * 13 + i * 31 + seed as usize) as u8;
+            Rgb::new(v, v.wrapping_mul(3), v.wrapping_add(seed))
+        });
+        db.insert_labeled(format!("img_{seed}_{i}.ppm"), (i % 4) as u32, &img)
+            .unwrap();
+    }
+    db
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cbir_persist_faults_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn assert_no_temp_droppings(dir: &Path) {
+    let stray: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".tmp"))
+        .collect();
+    assert!(stray.is_empty(), "temp files left behind: {stray:?}");
+}
+
+/// A tiny deterministic xorshift generator so the randomized sweeps are
+/// seeded and reproducible.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Crash consistency.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn interrupted_save_at_every_fault_point_preserves_the_old_snapshot() {
+    let dir = temp_dir("crash");
+    let path = dir.join("db.cbir");
+
+    let old_db = db_with(3, 1);
+    let new_db = db_with(5, 2);
+    save_file_with(&old_db, &path, &mut cbir_core::faults::NoFaults).unwrap();
+    let old_bytes = std::fs::read(&path).unwrap();
+    let new_bytes = save_to_vec(&new_db).unwrap();
+    assert_ne!(old_bytes, new_bytes);
+
+    // Enumerate the fault points of the overwrite...
+    let mut counter = CountOps::default();
+    save_file_with(&new_db, &path, &mut counter).unwrap();
+    assert!(
+        counter.count >= 4,
+        "expected >=4 fault points (create, write+, sync, rename, syncdir), got {}",
+        counter.count
+    );
+    // ...restore the old snapshot, then interrupt the save at each one.
+    std::fs::write(&path, &old_bytes).unwrap();
+
+    for op in 0..counter.count {
+        let mut policy = FailAtOp::new(op, ErrorKind::StorageFull);
+        let result = save_file_with(&new_db, &path, &mut policy);
+
+        let on_disk = std::fs::read(&path).unwrap();
+        let loaded = load_file(&path)
+            .unwrap_or_else(|e| panic!("after fault at op {op}, target no longer loads: {e}"));
+        // The file is ALWAYS exactly one of the two snapshots, never a
+        // partial state.
+        assert!(
+            on_disk == old_bytes || on_disk == new_bytes,
+            "op {op}: on-disk bytes are neither old nor new snapshot"
+        );
+        if let Err(e) = &result {
+            let msg = e.to_string();
+            assert!(
+                msg.contains("db.cbir"),
+                "op {op}: error must name the path: {msg}"
+            );
+            assert!(
+                matches!(e, CoreError::Persist(_)),
+                "op {op}: expected typed persist error"
+            );
+        }
+        if on_disk == old_bytes {
+            // Fault hit before the rename: the save must have reported
+            // failure and the old snapshot must be untouched.
+            assert!(
+                result.is_err(),
+                "op {op}: old bytes on disk but save said Ok"
+            );
+            assert_eq!(loaded.len(), old_db.len(), "op {op}");
+        } else {
+            // Rename completed (a fault in the post-rename directory
+            // sync may still surface as an error): the new snapshot
+            // must be complete. Restore for the next iteration.
+            assert_eq!(loaded.len(), new_db.len(), "op {op}");
+            std::fs::write(&path, &old_bytes).unwrap();
+        }
+    }
+    assert_no_temp_droppings(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_writes_at_every_chunk_boundary_never_corrupt_the_target() {
+    let dir = temp_dir("torn");
+    let path = dir.join("db.cbir");
+
+    let old_db = db_with(2, 3);
+    let new_db = db_with(4, 4);
+    save_file_with(&old_db, &path, &mut cbir_core::faults::NoFaults).unwrap();
+    let old_bytes = std::fs::read(&path).unwrap();
+    let new_bytes = save_to_vec(&new_db).unwrap();
+
+    // Tear at a spread of absolute offsets: the first byte, a header
+    // byte, section interiors, chunk boundaries, and the last byte.
+    let mut offsets = vec![
+        0u64,
+        9,
+        41,
+        new_bytes.len() as u64 / 2,
+        new_bytes.len() as u64 - 1,
+    ];
+    for boundary in (4096..new_bytes.len() as u64).step_by(4096) {
+        offsets.push(boundary);
+        offsets.push(boundary - 1);
+    }
+    for at in offsets {
+        let mut policy = TornWriteAt::new(at);
+        let err = save_file_with(&new_db, &path, &mut policy)
+            .expect_err("torn write must surface as an error");
+        assert!(matches!(err, CoreError::Persist(_)));
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(
+            on_disk, old_bytes,
+            "torn write at {at} leaked a partial state to the target"
+        );
+        load_file(&path).unwrap();
+    }
+    assert_no_temp_droppings(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn silent_bit_flip_during_save_is_caught_at_load() {
+    let dir = temp_dir("flip");
+    let path = dir.join("db.cbir");
+    let db = db_with(3, 5);
+    let len = save_to_vec(&db).unwrap().len() as u64;
+
+    let mut rng = XorShift(0x5EED_CAFE);
+    for _ in 0..32 {
+        let at = rng.below(len);
+        let bit = (rng.next() % 8) as u8;
+        let mut policy = FlipBitAt { at, bit };
+        // The save itself "succeeds" — the corruption is silent.
+        save_file_with(&db, &path, &mut policy).unwrap();
+        let err = load_file(&path).expect_err(&format!(
+            "flipped bit {bit} at offset {at} loaded without error"
+        ));
+        match err {
+            CoreError::Persist(p) => {
+                assert!(p.section.is_some(), "flip at {at}: no section named");
+                let msg = p.to_string();
+                assert!(msg.contains("db.cbir"), "flip at {at}: no path: {msg}");
+            }
+            other => panic!("flip at {at}: expected Persist, got {other:?}"),
+        }
+        assert!(!fsck_slice(&std::fs::read(&path).unwrap()).is_ok());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// 2. Corruption sweeps on a saved image.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_truncation_point_is_a_typed_error() {
+    let db = db_with(2, 6);
+    let bytes = save_to_vec(&db).unwrap();
+    // Exhaustive over the header and first section; sampled beyond (the
+    // tail is dominated by the f32 matrix and O(n^2) over it is slow in
+    // debug builds).
+    let mut lengths: Vec<usize> = (0..256.min(bytes.len())).collect();
+    let mut rng = XorShift(0xDEAD_BEEF);
+    for _ in 0..64 {
+        lengths.push(rng.below(bytes.len() as u64) as usize);
+    }
+    lengths.push(bytes.len() - 1);
+    for len in lengths {
+        match load_from_slice(&bytes[..len]) {
+            Err(CoreError::Persist(p)) => {
+                assert!(
+                    p.section.is_some(),
+                    "truncation to {len}: error names no section: {p}"
+                );
+            }
+            Err(other) => panic!("truncation to {len}: untyped error {other:?}"),
+            Ok(_) => panic!("truncation to {len} bytes loaded successfully"),
+        }
+        let report = fsck_slice(&bytes[..len]);
+        assert!(!report.is_ok(), "fsck passed a file truncated to {len}");
+        assert!(
+            report.first_corrupt_offset.is_some(),
+            "fsck reported no corrupt offset for truncation to {len}"
+        );
+    }
+}
+
+#[test]
+fn every_header_bit_flip_is_a_typed_error() {
+    let db = db_with(2, 7);
+    let bytes = save_to_vec(&db).unwrap();
+    // Header = magic + count + TOC + header crc for 3 sections.
+    let header_len = 8 + 4 + 3 * 13 + 4;
+    for byte in 0..header_len {
+        for bit in 0..8u8 {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 1 << bit;
+            match load_from_slice(&corrupt) {
+                Err(CoreError::Persist(_)) => {}
+                Err(other) => panic!("header flip {byte}.{bit}: untyped error {other:?}"),
+                Ok(_) => panic!("header flip at byte {byte} bit {bit} loaded successfully"),
+            }
+            assert!(
+                !fsck_slice(&corrupt).is_ok(),
+                "fsck passed header flip {byte}.{bit}"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_random_payload_bit_flips_are_typed_errors() {
+    let db = db_with(3, 8);
+    let bytes = save_to_vec(&db).unwrap();
+    let header_len = 8 + 4 + 3 * 13 + 4;
+    let mut rng = XorShift(0xC0FF_EE00_1234_5678);
+    for _ in 0..256 {
+        let at = header_len as u64 + rng.below((bytes.len() - header_len) as u64);
+        let bit = (rng.next() % 8) as u8;
+        let mut corrupt = bytes.clone();
+        corrupt[at as usize] ^= 1 << bit;
+        match load_from_slice(&corrupt) {
+            Err(CoreError::Persist(p)) => {
+                assert!(
+                    p.section.is_some(),
+                    "payload flip at {at}: no section in {p}"
+                );
+                assert!(p.offset.is_some(), "payload flip at {at}: no offset in {p}");
+            }
+            Err(other) => panic!("payload flip at {at}: untyped error {other:?}"),
+            Ok(_) => panic!("payload flip at offset {at} bit {bit} loaded successfully"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Migration: CBIRDB01 -> CBIRDB02.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn v1_to_v2_migration_roundtrip_preserves_content() {
+    let db = db_with(4, 9);
+    // Write the legacy format, load it, re-save in v2, load again.
+    let v1 = cbir_core::persist::save_to_vec_v1(&db).unwrap();
+    assert_eq!(&v1[..8], b"CBIRDB01");
+    let from_v1 = load_from_slice(&v1).unwrap();
+    let v2 = save_to_vec(&from_v1).unwrap();
+    assert_eq!(&v2[..8], b"CBIRDB02");
+    let migrated = load_from_slice(&v2).unwrap();
+
+    assert_eq!(migrated.len(), db.len());
+    assert_eq!(migrated.dim(), db.dim());
+    assert_eq!(migrated.is_balanced(), db.is_balanced());
+    assert_eq!(migrated.pipeline().specs(), db.pipeline().specs());
+    for i in 0..db.len() {
+        assert_eq!(migrated.descriptor(i).unwrap(), db.descriptor(i).unwrap());
+        assert_eq!(migrated.meta(i).unwrap(), db.meta(i).unwrap());
+    }
+    // And the migrated database extracts queries identically.
+    let probe = RgbImage::from_fn(20, 20, |x, y| Rgb::new((x * 9) as u8, (y * 5) as u8, 33));
+    assert_eq!(
+        db.extract(&probe).unwrap(),
+        migrated.extract(&probe).unwrap()
+    );
+}
+
+#[test]
+fn truncated_v1_files_are_typed_errors_too() {
+    let db = db_with(2, 10);
+    let v1 = cbir_core::persist::save_to_vec_v1(&db).unwrap();
+    let mut rng = XorShift(0xFEED_F00D);
+    let mut lengths: Vec<usize> = (0..64.min(v1.len())).collect();
+    for _ in 0..32 {
+        lengths.push(rng.below(v1.len() as u64) as usize);
+    }
+    for len in lengths {
+        match load_from_slice(&v1[..len]) {
+            Err(CoreError::Persist(_)) => {}
+            Err(other) => panic!("v1 truncation to {len}: untyped error {other:?}"),
+            Ok(_) => panic!("v1 file truncated to {len} loaded successfully"),
+        }
+    }
+}

@@ -18,11 +18,37 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub enum ClientError {
     /// Transport failure.
     Io(std::io::Error),
+    /// The server closed the connection mid-conversation (process
+    /// death, idle reaping, network partition). Distinguished from
+    /// [`ClientError::Io`] so retry logic can treat it as transient:
+    /// reconnect and resend.
+    ConnectionLost(String),
     /// The peer sent something that is not a valid response frame, or a
     /// response of an unexpected kind.
     Protocol(String),
     /// The server rejected or failed the request with an explicit reply.
     Rejected(Rejection),
+}
+
+impl ClientError {
+    /// Whether retrying the request (possibly on a fresh connection) can
+    /// plausibly succeed: lost connections, timeouts, refused connects,
+    /// and overload shedding are transient; protocol violations and
+    /// explicit server errors are not.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::ConnectionLost(_) => true,
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::Interrupted
+            ),
+            ClientError::Rejected(Rejection::Overloaded(_)) => true,
+            _ => false,
+        }
+    }
 }
 
 /// An explicit non-hit server reply, preserved so callers can tell
@@ -43,6 +69,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::ConnectionLost(msg) => write!(f, "connection lost: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
             ClientError::Rejected(r) => match r {
                 Rejection::Error(m) => write!(f, "server error: {m}"),
@@ -65,7 +92,18 @@ impl std::error::Error for ClientError {
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e)
+        match e.kind() {
+            // The peer vanished under us — typed so retry logic can
+            // tell "reconnect and resend" apart from a fatal failure.
+            std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::NotConnected
+            | std::io::ErrorKind::UnexpectedEof => {
+                ClientError::ConnectionLost(format!("{} ({})", e, e.kind()))
+            }
+            _ => ClientError::Io(e),
+        }
     }
 }
 
@@ -106,8 +144,9 @@ impl Client {
     }
 
     fn recv(&mut self) -> ClientResult<Response> {
-        let payload = read_frame(&mut self.reader)?
-            .ok_or_else(|| ClientError::Protocol("connection closed mid-conversation".into()))?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::ConnectionLost("server closed the connection mid-conversation".into())
+        })?;
         Ok(decode_response(&payload)?)
     }
 

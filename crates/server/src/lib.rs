@@ -45,11 +45,13 @@
 pub mod client;
 pub mod metrics;
 pub mod protocol;
+pub mod retry;
 pub mod scheduler;
 pub mod server;
 
 pub use client::{Client, ClientError, ClientResult, Rejection};
 pub use metrics::Metrics;
 pub use protocol::{Hit, Request, Response, StatsSnapshot, WireError};
+pub use retry::{RetryPolicy, RetryStats, RetryingClient};
 pub use scheduler::{Pending, QueryWork, Scheduler, SchedulerConfig};
 pub use server::{Server, ServerHandle};

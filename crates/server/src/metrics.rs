@@ -39,6 +39,8 @@ pub struct Metrics {
     executed: AtomicU64,
     errors: AtomicU64,
     batches: AtomicU64,
+    io_timeouts: AtomicU64,
+    panics_isolated: AtomicU64,
     sampled: Mutex<Sampled>,
 }
 
@@ -71,6 +73,18 @@ impl Metrics {
     /// A request was answered with a per-request error.
     pub fn on_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was reaped after a read/write timeout (idle peer or
+    /// stuck transfer).
+    pub fn on_io_timeout(&self) {
+        self.io_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A panic during batch execution was caught and converted into
+    /// error replies for the affected group.
+    pub fn on_panic_isolated(&self) {
+        self.panics_isolated.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one dispatched micro-batch: its size, how many of its
@@ -110,6 +124,8 @@ impl Metrics {
             latency_p50_us: percentile(&s.latency_us, 50),
             latency_p95_us: percentile(&s.latency_us, 95),
             distance_computations: s.search.total().distance_computations,
+            io_timeouts: self.io_timeouts.load(Ordering::Relaxed),
+            panics_isolated: self.panics_isolated.load(Ordering::Relaxed),
             batch_hist: BATCH_HIST_BOUNDS
                 .iter()
                 .zip(s.batch_hist.iter())
@@ -135,6 +151,8 @@ mod tests {
         }
         m.on_shed();
         m.on_rejected_shutdown();
+        m.on_io_timeout();
+        m.on_panic_isolated();
 
         let mut search = BatchStats::new();
         search.record(&SearchStats {
@@ -154,6 +172,8 @@ mod tests {
         assert_eq!(snap.batches, 2);
         assert_eq!(snap.queue_depth, 3);
         assert_eq!(snap.distance_computations, 40);
+        assert_eq!(snap.io_timeouts, 1);
+        assert_eq!(snap.panics_isolated, 1);
         assert_eq!(snap.latency_p50_us, 200);
         assert_eq!(snap.latency_p95_us, 400);
         // Size 5 lands in the `<= 8` bucket, size 1 in `<= 1`.

@@ -142,6 +142,10 @@ pub struct StatsSnapshot {
     pub latency_p95_us: u64,
     /// Total distance computations performed by the engine.
     pub distance_computations: u64,
+    /// Connections reaped after a read/write timeout (idle or stuck).
+    pub io_timeouts: u64,
+    /// Batch-execution panics caught and converted to error replies.
+    pub panics_isolated: u64,
     /// Batch-size histogram as `(inclusive upper bound, count)` pairs.
     pub batch_hist: Vec<(u64, u64)>,
 }
@@ -400,6 +404,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u64(s.latency_p50_us);
             w.u64(s.latency_p95_us);
             w.u64(s.distance_computations);
+            w.u64(s.io_timeouts);
+            w.u64(s.panics_isolated);
             w.u32(s.batch_hist.len() as u32);
             for &(bound, count) in &s.batch_hist {
                 w.u64(bound);
@@ -469,6 +475,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 latency_p50_us: r.u64()?,
                 latency_p95_us: r.u64()?,
                 distance_computations: r.u64()?,
+                io_timeouts: r.u64()?,
+                panics_isolated: r.u64()?,
                 batch_hist: Vec::new(),
             };
             let n = r.u32()? as usize;
@@ -509,6 +517,11 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
 /// Read one frame from a stream. Returns `Ok(None)` on clean EOF at a
 /// frame boundary; a bad magic, an implausible length, or EOF inside a
 /// frame is an `InvalidData` error carrying a [`WireError`] message.
+///
+/// Transport errors other than EOF — notably `TimedOut`/`WouldBlock`
+/// from a socket read timeout — are propagated with their original
+/// [`std::io::ErrorKind`] so callers can tell an idle peer apart from a
+/// corrupt stream.
 pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     let mut magic = [0u8; 8];
     // Hand-rolled first read so EOF before any byte is a clean end of
@@ -529,15 +542,25 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     }
     let mut len_bytes = [0u8; 4];
     r.read_exact(&mut len_bytes)
-        .map_err(|_| invalid_data("EOF inside frame length"))?;
+        .map_err(|e| eof_as_invalid_data(e, "EOF inside frame length"))?;
     let len = u32::from_le_bytes(len_bytes) as usize;
     if len > MAX_FRAME_LEN {
         return Err(invalid_data(format!("frame length {len} exceeds limit")));
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)
-        .map_err(|_| invalid_data("EOF inside frame payload"))?;
+        .map_err(|e| eof_as_invalid_data(e, "EOF inside frame payload"))?;
     Ok(Some(payload))
+}
+
+/// Rewrap only mid-frame EOF as a [`WireError`]; any other transport
+/// failure keeps its kind (a timeout must stay classifiable).
+fn eof_as_invalid_data(e: std::io::Error, msg: &str) -> std::io::Error {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        invalid_data(msg)
+    } else {
+        e
+    }
 }
 
 fn invalid_data(msg: impl Into<String>) -> std::io::Error {
@@ -616,8 +639,73 @@ mod tests {
             latency_p50_us: 150,
             latency_p95_us: 900,
             distance_computations: 123_456,
+            io_timeouts: 2,
+            panics_isolated: 1,
             batch_hist: vec![(1, 4), (2, 3), (u64::MAX, 5)],
         }));
+    }
+
+    #[test]
+    fn read_frame_survives_maximally_fragmented_streams() {
+        // Deliver a frame one byte at a time through the fault harness:
+        // the reader must reassemble it exactly.
+        let payload = encode_request(&Request::Knn {
+            k: 4,
+            deadline_us: 7,
+            descriptor: vec![0.25; 16],
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut fragmented = cbir_core::faults::FaultFile::throttled(std::io::Cursor::new(buf), 1);
+        assert_eq!(read_frame(&mut fragmented).unwrap().unwrap(), payload);
+        assert!(read_frame(&mut fragmented).unwrap().is_none());
+    }
+
+    #[test]
+    fn read_frame_preserves_timeout_error_kinds() {
+        use cbir_core::faults::{FaultFile, StreamFault};
+        let payload = encode_request(&Request::Ping);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+
+        // Timeout before any byte: must surface as TimedOut, not be
+        // swallowed into InvalidData (idle-reaping depends on it).
+        let mut stream = FaultFile::new(
+            std::io::Cursor::new(buf.clone()),
+            vec![StreamFault::Error {
+                op: 0,
+                kind: std::io::ErrorKind::TimedOut,
+            }],
+        );
+        assert_eq!(
+            read_frame(&mut stream).unwrap_err().kind(),
+            std::io::ErrorKind::TimedOut
+        );
+
+        // Timeout later, inside the payload read: kind still preserved.
+        let mut stream = FaultFile::new(
+            std::io::Cursor::new(buf),
+            vec![
+                StreamFault::Short { op: 0, max: 8 },
+                StreamFault::Short { op: 1, max: 4 },
+                StreamFault::Error {
+                    op: 2,
+                    kind: std::io::ErrorKind::WouldBlock,
+                },
+            ],
+        );
+        assert_eq!(
+            read_frame(&mut stream).unwrap_err().kind(),
+            std::io::ErrorKind::WouldBlock
+        );
+
+        // Genuine truncation still reads as a corrupt stream.
+        let mut partial = Vec::new();
+        write_frame(&mut partial, &encode_request(&Request::Ping)).unwrap();
+        partial.truncate(partial.len() - 1);
+        let mut cursor = std::io::Cursor::new(partial);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

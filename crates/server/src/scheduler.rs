@@ -36,6 +36,8 @@ use cbir_core::{QueryEngine, Ranked};
 use cbir_index::BatchStats;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -55,6 +57,14 @@ pub struct SchedulerConfig {
     /// Worker threads for the engine's batched execution (1 executes on
     /// the dispatcher thread).
     pub exec_threads: usize,
+    /// Per-connection read timeout: a connection with no complete frame
+    /// for this long is reaped (closed without a reply, counted in
+    /// `io_timeouts`). `None` disables idle reaping.
+    pub idle_timeout: Option<Duration>,
+    /// Per-connection write timeout: a peer that stops draining its
+    /// responses for this long has its connection closed. `None`
+    /// disables the bound.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for SchedulerConfig {
@@ -64,6 +74,8 @@ impl Default for SchedulerConfig {
             max_delay: Duration::from_micros(200),
             queue_cap: 1024,
             exec_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            idle_timeout: Some(Duration::from_secs(60)),
+            write_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -123,6 +135,7 @@ pub struct Scheduler {
     queue: Mutex<QueueState>,
     not_empty: Condvar,
     metrics: Arc<Metrics>,
+    panic_trap: AtomicBool,
 }
 
 impl Scheduler {
@@ -141,7 +154,15 @@ impl Scheduler {
             }),
             not_empty: Condvar::new(),
             metrics,
+            panic_trap: AtomicBool::new(false),
         }
+    }
+
+    /// Make the next executed group panic mid-execution. Test hook for
+    /// verifying panic isolation end-to-end; never set in production.
+    #[doc(hidden)]
+    pub fn trip_panic_trap(&self) {
+        self.panic_trap.store(true, Ordering::SeqCst);
     }
 
     /// The engine this scheduler executes against.
@@ -157,6 +178,12 @@ impl Scheduler {
     /// The counter block this scheduler reports into.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// A shareable handle to the counter block (connection threads
+    /// outlive borrows of the scheduler).
+    pub fn shared_metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Requests currently admitted but not yet dispatched.
@@ -347,54 +374,82 @@ impl Scheduler {
         let mut search = BatchStats::new();
         for ((tag, param, _), members) in groups {
             let mut stats = BatchStats::new();
-            let outcome: cbir_core::Result<Vec<Vec<Ranked>>> = match tag {
-                0 => {
-                    let queries: Vec<Vec<f32>> = members
-                        .iter()
-                        .map(|&i| match &slots[i].as_ref().expect("live slot").work {
-                            QueryWork::Knn { descriptor, .. } => descriptor.clone(),
-                            _ => unreachable!("knn group"),
-                        })
-                        .collect();
-                    self.engine.knn_batch(
-                        &queries,
-                        param as usize,
-                        self.config.exec_threads,
-                        &mut stats,
-                    )
-                }
-                1 => {
-                    let queries: Vec<Vec<f32>> = members
-                        .iter()
-                        .map(|&i| match &slots[i].as_ref().expect("live slot").work {
-                            QueryWork::Range { descriptor, .. } => descriptor.clone(),
-                            _ => unreachable!("range group"),
-                        })
-                        .collect();
-                    self.engine.range_batch(
-                        &queries,
-                        f32::from_bits(param as u32),
-                        self.config.exec_threads,
-                        &mut stats,
-                    )
-                }
-                _ => {
-                    let ids: Vec<usize> = members
-                        .iter()
-                        .map(|&i| match &slots[i].as_ref().expect("live slot").work {
-                            QueryWork::KnnById { id, .. } => *id,
-                            _ => unreachable!("knn-by-id group"),
-                        })
-                        .collect();
-                    self.engine.knn_batch_by_ids(
-                        &ids,
-                        param as usize,
-                        self.config.exec_threads,
-                        &mut stats,
-                    )
+            // The engine is stateless across calls (scratch is
+            // per-invocation), so unwinding out of one group cannot
+            // poison the next: catch the panic, answer this group's
+            // members with an error, and keep dispatching.
+            let caught: std::thread::Result<cbir_core::Result<Vec<Vec<Ranked>>>> =
+                catch_unwind(AssertUnwindSafe(|| {
+                    if self.panic_trap.swap(false, Ordering::SeqCst) {
+                        panic!("induced test panic");
+                    }
+                    match tag {
+                        0 => {
+                            let queries: Vec<Vec<f32>> = members
+                                .iter()
+                                .map(|&i| match &slots[i].as_ref().expect("live slot").work {
+                                    QueryWork::Knn { descriptor, .. } => descriptor.clone(),
+                                    _ => unreachable!("knn group"),
+                                })
+                                .collect();
+                            self.engine.knn_batch(
+                                &queries,
+                                param as usize,
+                                self.config.exec_threads,
+                                &mut stats,
+                            )
+                        }
+                        1 => {
+                            let queries: Vec<Vec<f32>> = members
+                                .iter()
+                                .map(|&i| match &slots[i].as_ref().expect("live slot").work {
+                                    QueryWork::Range { descriptor, .. } => descriptor.clone(),
+                                    _ => unreachable!("range group"),
+                                })
+                                .collect();
+                            self.engine.range_batch(
+                                &queries,
+                                f32::from_bits(param as u32),
+                                self.config.exec_threads,
+                                &mut stats,
+                            )
+                        }
+                        _ => {
+                            let ids: Vec<usize> = members
+                                .iter()
+                                .map(|&i| match &slots[i].as_ref().expect("live slot").work {
+                                    QueryWork::KnnById { id, .. } => *id,
+                                    _ => unreachable!("knn-by-id group"),
+                                })
+                                .collect();
+                            self.engine.knn_batch_by_ids(
+                                &ids,
+                                param as usize,
+                                self.config.exec_threads,
+                                &mut stats,
+                            )
+                        }
+                    }
+                }));
+            search.merge(&stats);
+            let outcome = match caught {
+                Ok(o) => o,
+                Err(payload) => {
+                    // A poisoned request: convert the panic into error
+                    // replies for this group and keep the dispatcher
+                    // alive for everyone else.
+                    self.metrics.on_panic_isolated();
+                    let msg = panic_message(payload.as_ref());
+                    for &i in &members {
+                        let p = slots[i].take().expect("live slot");
+                        self.metrics.on_error();
+                        let _ = p.reply.try_send(Response::Error(format!(
+                            "internal: execution panicked (isolated): {msg}"
+                        )));
+                    }
+                    continue;
                 }
             };
-            search.merge(&stats);
             match outcome {
                 Ok(result_lists) => {
                     debug_assert_eq!(result_lists.len(), members.len());
@@ -418,6 +473,18 @@ impl Scheduler {
             }
         }
         self.metrics.on_batch(size, expired, &latencies, &search);
+    }
+}
+
+/// Extract a human-readable message from a panic payload (panics carry
+/// `&str` or `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -551,6 +618,39 @@ mod tests {
         assert_eq!(snap.expired, 1);
         assert_eq!(snap.executed, 1);
         assert_eq!(snap.batches, 1);
+    }
+
+    #[test]
+    fn panic_during_execution_is_isolated_to_its_group() {
+        let s = sched(SchedulerConfig::default());
+        s.trip_panic_trap();
+        // Two groups in one batch: k=2 executes first (BTreeMap order)
+        // and trips the trap; the k=3 group must still be answered.
+        let (p1, rx1) = pending(QueryWork::Knn {
+            descriptor: vec![0.125; 8],
+            k: 2,
+        });
+        let (p2, rx2) = pending(QueryWork::Knn {
+            descriptor: vec![0.125; 8],
+            k: 3,
+        });
+        s.execute_batch(vec![p1, p2]);
+        match rx1.recv().unwrap() {
+            Response::Error(m) => assert!(m.contains("panic"), "{m}"),
+            other => panic!("expected error reply for poisoned group, got {other:?}"),
+        }
+        assert!(matches!(rx2.recv().unwrap(), Response::Hits(_)));
+        let snap = s.metrics.snapshot(0);
+        assert_eq!(snap.panics_isolated, 1);
+        assert_eq!(snap.errors, 1);
+
+        // The dispatcher survives: the next batch executes normally.
+        let (p3, rx3) = pending(QueryWork::Knn {
+            descriptor: vec![0.125; 8],
+            k: 2,
+        });
+        s.execute_batch(vec![p3]);
+        assert!(matches!(rx3.recv().unwrap(), Response::Hits(_)));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::protocol::{
 };
 use crate::scheduler::{Pending, QueryWork, Scheduler, SchedulerConfig};
 use cbir_core::QueryEngine;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, TryRecvError};
@@ -120,6 +120,13 @@ impl ServerHandle {
             .snapshot(self.controller.scheduler.queue_depth())
     }
 
+    /// Make the next executed batch group panic mid-execution. Test
+    /// hook for exercising panic isolation over a real connection.
+    #[doc(hidden)]
+    pub fn trip_panic_trap(&self) {
+        self.controller.scheduler.trip_panic_trap();
+    }
+
     /// Initiate graceful shutdown and wait for it to complete; returns
     /// the final counter snapshot.
     pub fn shutdown(self) -> StatsSnapshot {
@@ -209,10 +216,17 @@ impl Server {
                                 conn_threads.lock().expect("conn threads lock").push(h);
                             }
                         }
-                        Err(_) => {
+                        Err(e) => {
                             if controller.triggered.load(Ordering::SeqCst) {
                                 break;
                             }
+                            // Transient accept failures (EMFILE/ENFILE
+                            // under fd pressure, aborted handshakes)
+                            // must not kill the listener: log, pause
+                            // briefly so an exhausted-fd condition does
+                            // not hot-spin, and keep accepting.
+                            eprintln!("cbir-server: accept error (continuing): {e}");
+                            std::thread::sleep(Duration::from_millis(10));
                         }
                     }
                 })?
@@ -239,10 +253,22 @@ fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) 
             return;
         }
     };
+    // Bound both directions: an idle peer is reaped by the read
+    // timeout, a peer that stops draining responses by the write
+    // timeout. Neither can wedge a connection thread forever.
+    let metrics = controller.scheduler.shared_metrics();
+    {
+        let config = controller.scheduler.config();
+        let _ = stream.set_read_timeout(config.idle_timeout);
+        let _ = writer_stream.set_write_timeout(config.write_timeout);
+    }
     let (slots_tx, slots_rx): (Sender<Receiver<Response>>, _) = channel();
-    let writer = std::thread::Builder::new()
-        .name("cbir-write".into())
-        .spawn(move || write_replies(writer_stream, slots_rx));
+    let writer = {
+        let metrics = Arc::clone(&metrics);
+        std::thread::Builder::new()
+            .name("cbir-write".into())
+            .spawn(move || write_replies(writer_stream, slots_rx, metrics))
+    };
 
     let scheduler = &controller.scheduler;
     let engine = scheduler.engine();
@@ -258,6 +284,14 @@ fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) 
         let payload = match read_frame(&mut reader) {
             Ok(Some(p)) => p,
             Ok(None) => break, // clean EOF (or read-half shutdown)
+            Err(e) if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) => {
+                // Idle (or stalled) peer: reap the connection silently.
+                // No courtesy error frame — an unsolicited reply would
+                // desync the client's request/response pairing if a
+                // request did arrive later.
+                metrics.on_io_timeout();
+                break;
+            }
             Err(e) => {
                 // Corrupt stream: answer if possible, then isolate the
                 // failure by closing only this connection.
@@ -352,15 +386,29 @@ fn submit_query(
 /// Writer half: emit replies in slot order, flushing whenever the next
 /// reply isn't immediately ready (batched syscalls under load, prompt
 /// delivery when idle).
-fn write_replies(stream: TcpStream, slots: Receiver<Receiver<Response>>) {
+///
+/// A write failure closes the whole connection: the socket is shut down
+/// both ways so the reader (possibly blocked on a quiet peer) wakes up
+/// instead of lingering until its own timeout. Timeouts — a peer that
+/// stopped draining — are counted in `io_timeouts`.
+fn write_replies(stream: TcpStream, slots: Receiver<Receiver<Response>>, metrics: Arc<Metrics>) {
     let mut out = BufWriter::new(stream);
     let mut dirty = false;
+    let abort = |out: &BufWriter<TcpStream>, e: &std::io::Error| {
+        if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) {
+            metrics.on_io_timeout();
+        }
+        let _ = out.get_ref().shutdown(Shutdown::Both);
+    };
     loop {
         let slot = match slots.try_recv() {
             Ok(s) => s,
             Err(TryRecvError::Empty) => {
-                if dirty && out.flush().is_err() {
-                    return;
+                if dirty {
+                    if let Err(e) = out.flush() {
+                        abort(&out, &e);
+                        return;
+                    }
                 }
                 dirty = false;
                 match slots.recv() {
@@ -375,17 +423,23 @@ fn write_replies(stream: TcpStream, slots: Receiver<Receiver<Response>>) {
             Err(_) => {
                 // About to block on an executing request: flush what is
                 // already encoded so finished replies reach the client.
-                if dirty && out.flush().is_err() {
-                    return;
+                if dirty {
+                    if let Err(e) = out.flush() {
+                        abort(&out, &e);
+                        return;
+                    }
                 }
                 slot.recv()
                     .unwrap_or_else(|_| Response::Error("internal: reply dropped".into()))
             }
         };
-        if write_frame(&mut out, &encode_response(&response)).is_err() {
+        if let Err(e) = write_frame(&mut out, &encode_response(&response)) {
+            abort(&out, &e);
             return;
         }
         dirty = true;
     }
-    let _ = out.flush();
+    if let Err(e) = out.flush() {
+        abort(&out, &e);
+    }
 }

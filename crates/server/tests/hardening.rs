@@ -1,0 +1,252 @@
+//! Serving-path hardening, end to end over real TCP sockets: panic
+//! isolation, idle-connection reaping, torn-client cleanup, transparent
+//! client reconnect with backoff, and deadline-bounded retries.
+
+use cbir_core::{ImageDatabase, ImageMeta, IndexKind, QueryEngine, Ranked};
+use cbir_distance::Measure;
+use cbir_features::{FeatureSpec, Pipeline, Quantizer};
+use cbir_index::BatchStats;
+use cbir_server::{
+    Client, ClientError, Hit, Rejection, RetryPolicy, RetryingClient, SchedulerConfig, Server,
+    ServerHandle,
+};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Deterministic engine over `n` synthetic histogram descriptors.
+fn engine(n: usize, kind: IndexKind) -> Arc<QueryEngine> {
+    let pipeline = Pipeline::new(
+        16,
+        vec![FeatureSpec::ColorHistogram(Quantizer::Gray { bins: 16 })],
+    )
+    .unwrap();
+    let mut db = ImageDatabase::new(pipeline);
+    for (i, v) in cbir_workload::histograms(n, 16, 1.0, 42)
+        .into_iter()
+        .enumerate()
+    {
+        db.insert_descriptor(
+            ImageMeta {
+                name: format!("img-{i:05}"),
+                label: Some((i % 7) as u32),
+            },
+            v,
+        )
+        .unwrap();
+    }
+    Arc::new(QueryEngine::build(db, kind, Measure::L1).unwrap())
+}
+
+fn spawn(engine: &Arc<QueryEngine>, config: SchedulerConfig) -> ServerHandle {
+    Server::spawn_shared(Arc::clone(engine), "127.0.0.1:0", config).expect("spawn server")
+}
+
+fn assert_hits_match(got: &[Hit], want: &[Ranked], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: hit count");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.id, w.id as u64, "{what}: id");
+        assert_eq!(
+            g.distance.to_bits(),
+            w.distance.to_bits(),
+            "{what}: distance bits"
+        );
+    }
+}
+
+#[test]
+fn panic_during_execution_poisons_one_request_not_the_server() {
+    let engine = engine(48, IndexKind::VpTree);
+    let handle = spawn(&engine, SchedulerConfig::default());
+    let addr = handle.local_addr();
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    let q = engine.database().descriptor(5).unwrap().to_vec();
+
+    // Arm the trap: the next executed request group panics inside the
+    // engine call. The server must isolate it to an Error reply.
+    handle.trip_panic_trap();
+    let err = a.knn(&q, 4, 0).expect_err("trapped request must fail");
+    match err {
+        ClientError::Rejected(Rejection::Error(m)) => {
+            assert!(
+                m.contains("isolated"),
+                "error should say the panic was isolated: {m}"
+            );
+        }
+        other => panic!("expected a per-request Error reply, got {other}"),
+    }
+
+    // The poisoned connection is still usable: the panic was confined to
+    // that one request, not the connection or the dispatcher.
+    let mut stats = BatchStats::new();
+    let want = engine
+        .knn_batch(std::slice::from_ref(&q), 4, 1, &mut stats)
+        .unwrap();
+    let got = a.knn(&q, 4, 0).expect("same connection works after panic");
+    assert_hits_match(&got, &want[0], "post-panic same connection");
+
+    // And an unrelated connection is untouched and bit-identical.
+    let got = b.knn(&q, 4, 0).expect("other connection unaffected");
+    assert_hits_match(&got, &want[0], "post-panic other connection");
+
+    // The isolation is visible on the wire counters.
+    let snap = b.stats().unwrap();
+    assert_eq!(snap.panics_isolated, 1, "one panic must be counted");
+    assert_eq!(snap.errors, 1, "the trapped request counts as an error");
+
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_and_counted() {
+    let engine = engine(24, IndexKind::Linear);
+    let handle = spawn(
+        &engine,
+        SchedulerConfig {
+            idle_timeout: Some(Duration::from_millis(150)),
+            ..SchedulerConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    let mut idle = Client::connect(addr).unwrap();
+    idle.ping().expect("fresh connection answers");
+
+    // Go quiet for longer than the idle timeout; the server reaps the
+    // connection silently (a courtesy frame would desync framing).
+    std::thread::sleep(Duration::from_millis(600));
+
+    let err = idle.ping().expect_err("reaped connection must fail");
+    assert!(
+        matches!(err, ClientError::ConnectionLost(_)),
+        "reap surfaces as the typed ConnectionLost, got: {err}"
+    );
+    assert!(err.is_transient(), "a reaped connection is retryable");
+
+    // A fresh connection still works, and the reap shows up in the
+    // io-timeout counter.
+    let mut fresh = Client::connect(addr).unwrap();
+    fresh.ping().expect("server is still serving");
+    let snap = fresh.stats().unwrap();
+    assert!(
+        snap.io_timeouts >= 1,
+        "idle reap must increment io_timeouts, got {}",
+        snap.io_timeouts
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn torn_client_does_not_disturb_other_connections() {
+    let engine = engine(24, IndexKind::VpTree);
+    let handle = spawn(&engine, SchedulerConfig::default());
+    let addr = handle.local_addr();
+    let mut healthy = Client::connect(addr).unwrap();
+    let q = engine.database().descriptor(1).unwrap().to_vec();
+
+    // A client that promises a 4096-byte payload, delivers 3 bytes, and
+    // vanishes mid-frame (what `cbir rpc-ctl <addr> abort` does).
+    let mut torn = std::net::TcpStream::connect(addr).unwrap();
+    torn.write_all(b"CBIRRPC1").unwrap();
+    torn.write_all(&4096u32.to_le_bytes()).unwrap();
+    torn.write_all(&[0xde, 0xad, 0x01]).unwrap();
+    torn.flush().unwrap();
+    drop(torn);
+
+    // The healthy connection keeps getting correct answers.
+    let mut stats = BatchStats::new();
+    let want = engine
+        .knn_batch(std::slice::from_ref(&q), 3, 1, &mut stats)
+        .unwrap();
+    for _ in 0..3 {
+        let got = healthy.knn(&q, 3, 0).expect("healthy client still served");
+        assert_hits_match(&got, &want[0], "after torn client");
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn retrying_client_reconnects_transparently_after_reap() {
+    let engine = engine(24, IndexKind::Linear);
+    let handle = spawn(
+        &engine,
+        SchedulerConfig {
+            idle_timeout: Some(Duration::from_millis(150)),
+            ..SchedulerConfig::default()
+        },
+    );
+    let addr = handle.local_addr().to_string();
+
+    let mut client = RetryingClient::connect(
+        addr,
+        RetryPolicy {
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            ..RetryPolicy::default()
+        },
+    )
+    .expect("initial connect");
+
+    let q = engine.database().descriptor(2).unwrap().to_vec();
+    let mut stats = BatchStats::new();
+    let want = engine
+        .knn_batch(std::slice::from_ref(&q), 5, 1, &mut stats)
+        .unwrap();
+
+    // Let the server reap us, then query anyway: the retry layer must
+    // notice the lost connection, reconnect, resend, and return hits
+    // bit-identical to a direct engine call.
+    std::thread::sleep(Duration::from_millis(600));
+    let got = client.knn(&q, 5, 0).expect("transparent reconnect");
+    assert_hits_match(&got, &want[0], "after transparent reconnect");
+
+    let rstats = client.retry_stats();
+    assert!(
+        rstats.retries >= 1,
+        "the resend must be counted: {rstats:?}"
+    );
+    assert!(
+        rstats.reconnects >= 1,
+        "the fresh connection must be counted: {rstats:?}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn retry_honors_the_caller_deadline() {
+    // A port with nothing listening: every connect is refused, which is
+    // transient, so only the deadline can stop the retry loop early.
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let mut client = RetryingClient::new_disconnected(
+        addr,
+        RetryPolicy {
+            max_retries: 50,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(400),
+            ..RetryPolicy::default()
+        },
+    );
+    let started = Instant::now();
+    // 50 retries at 50..400ms backoff would take > 10 s; a 60 ms
+    // deadline must cut the loop off at the first backoff that would
+    // overrun it.
+    let err = client
+        .knn(&[0.0; 16], 3, 60_000)
+        .expect_err("dead server must fail");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "deadline must bound the retry loop, took {elapsed:?}"
+    );
+    assert!(
+        err.is_transient() || matches!(err, ClientError::Rejected(_)),
+        "surfaced error reflects the transient failure or the expired deadline: {err}"
+    );
+}

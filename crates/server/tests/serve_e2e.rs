@@ -176,6 +176,7 @@ fn bounded_queue_sheds_with_explicit_overload_reply() {
             max_delay: Duration::ZERO,
             queue_cap: 2,
             exec_threads: 1,
+            ..SchedulerConfig::default()
         },
     );
     let mut client = Client::connect(handle.local_addr()).unwrap();
@@ -221,6 +222,7 @@ fn queued_requests_past_their_deadline_get_explicit_expiry() {
             max_delay: Duration::ZERO,
             queue_cap: 1024,
             exec_threads: 1,
+            ..SchedulerConfig::default()
         },
     );
     let mut client = Client::connect(handle.local_addr()).unwrap();

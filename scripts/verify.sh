@@ -56,7 +56,36 @@ echo "$KNN_OUT" | grep -q "class-" || { echo "rpc-query knn returned no hits"; e
 BYID_OUT=$("$CBIR" rpc-query "$ADDR" --id 0 -k 2)
 echo "$BYID_OUT" | grep -q "class-" || { echo "rpc-query --id returned no hits"; exit 1; }
 "$CBIR" rpc-ctl "$ADDR" stats >/dev/null
+
+echo "==> abort-mid-request smoke (torn client, server keeps serving)"
+# A client that promises a payload, sends 3 bytes, and vanishes. The
+# server must reap the torn connection and keep answering others.
+"$CBIR" rpc-ctl "$ADDR" abort >/dev/null
+AFTER_OUT=$("$CBIR" rpc-query "$ADDR" --id 1 -k 2)
+echo "$AFTER_OUT" | grep -q "class-" || { echo "server stopped serving after torn client"; exit 1; }
+
 "$CBIR" rpc-ctl "$ADDR" shutdown >/dev/null
 wait "$SERVER_PID"
+
+echo "==> crash-recovery smoke (fault-injected save leaves old snapshot intact)"
+"$CBIR" fsck "$SMOKE_DIR/photos.cbir" >/dev/null
+cp "$SMOKE_DIR/photos.cbir" "$SMOKE_DIR/before-crash.cbir"
+# Crash the save at fault point 2 (mid-write): re-indexing must fail...
+if CBIR_FAULT_SAVE_OP=2 "$CBIR" index "$SMOKE_DIR/photos" \
+    --db "$SMOKE_DIR/photos.cbir" >/dev/null 2>&1; then
+    echo "fault-injected save unexpectedly succeeded"; exit 1
+fi
+# ...and the previous snapshot must still be on disk, bit for bit.
+cmp -s "$SMOKE_DIR/photos.cbir" "$SMOKE_DIR/before-crash.cbir" \
+    || { echo "interrupted save corrupted the existing snapshot"; exit 1; }
+"$CBIR" fsck "$SMOKE_DIR/photos.cbir" >/dev/null
+"$CBIR" info "$SMOKE_DIR/photos.cbir" >/dev/null
+# A deliberately corrupted copy (truncated mid-section) must be caught
+# with a nonzero exit.
+DB_SIZE=$(wc -c < "$SMOKE_DIR/photos.cbir")
+head -c $((DB_SIZE - 7)) "$SMOKE_DIR/photos.cbir" > "$SMOKE_DIR/corrupt.cbir"
+if "$CBIR" fsck "$SMOKE_DIR/corrupt.cbir" >/dev/null 2>&1; then
+    echo "fsck passed a corrupted file"; exit 1
+fi
 
 echo "verify: all checks passed"

@@ -6,6 +6,7 @@
 //! cbir index <dir> --db <file> [--pipeline full|color|texture|shape] [--threads N]
 //! cbir query <db> <image>... [-k N] [--measure M] [--index I] [--threads N]
 //! cbir info <db>
+//! cbir fsck <db>
 //! cbir evaluate <db> [-k N] [--measure M] [--index I] [--threads N]
 //! ```
 //!
@@ -15,7 +16,9 @@
 
 use cbir::core::persist;
 use cbir::image::codec::{decode, encode_ppm, PnmEncoding};
-use cbir::server::{Client, Hit, SchedulerConfig, Server, StatsSnapshot};
+use cbir::server::{
+    Client, Hit, RetryPolicy, RetryingClient, SchedulerConfig, Server, StatsSnapshot,
+};
 use cbir::workload::{Corpus, CorpusSpec};
 use cbir::{
     evaluate_engine, BatchItem, BatchStats, FeatureSpec, ImageDatabase, IndexKind, Measure,
@@ -46,18 +49,27 @@ fn usage() -> ! {
   cbir evaluate <db> [-k N] [--measure M] [--index I] [--threads N]
       leave-one-out retrieval evaluation over the database's class labels
 
+  cbir fsck <db>
+      validate a database file section by section (checksums, lengths);
+      prints per-section status and exits nonzero on the first corruption
+
   cbir serve <db> [--port P] [--addr-file F] [--measure M] [--index I]
                   [--max-batch N] [--max-delay-us N] [--queue-cap N] [--threads N]
+                  [--idle-timeout-ms N] [--write-timeout-ms N]
       serve the database over TCP (CBIRRPC1) with dynamic micro-batching;
-      --port 0 picks an ephemeral port, --addr-file writes the bound address
+      --port 0 picks an ephemeral port, --addr-file writes the bound address;
+      timeout 0 disables idle reaping / write timeouts
 
   cbir rpc-query <addr> [<image>...] --db <file> [-k N] [--radius R] [--deadline-us D]
-  cbir rpc-query <addr> --id N [-k N] [--deadline-us D]
+  cbir rpc-query <addr> --id N [-k N] [--deadline-us D] [--retries N]
       query a running server; example images are extracted locally with
-      the pipeline stored in --db, or --id queries by database image id
+      the pipeline stored in --db, or --id queries by database image id;
+      --retries > 0 reconnects and resends on transient failures
 
-  cbir rpc-ctl <addr> ping|stats|shutdown
-      probe, inspect counters, or gracefully stop a running server"
+  cbir rpc-ctl <addr> ping|stats|shutdown|abort
+      probe, inspect counters, gracefully stop a running server, or
+      abort: open a connection, send a deliberately truncated frame, and
+      vanish (exercises the server's torn-client handling)"
     );
     std::process::exit(2);
 }
@@ -330,6 +342,37 @@ fn cmd_info(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_fsck(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let db_path = args.positional.first().unwrap_or_else(|| usage());
+    let report = persist::fsck_file(db_path)?;
+    println!("database: {db_path}");
+    println!("format:   {}", report.format);
+    for s in &report.sections {
+        match &s.error {
+            None => println!(
+                "  {:<12} offset {:>8} len {:>10}  ok",
+                s.name, s.offset, s.len
+            ),
+            Some(e) => println!(
+                "  {:<12} offset {:>8} len {:>10}  CORRUPT: {e}",
+                s.name, s.offset, s.len
+            ),
+        }
+    }
+    if let Some(e) = &report.error {
+        println!("error: {e}");
+    }
+    if report.is_ok() {
+        println!("ok: all sections validate");
+        Ok(())
+    } else {
+        match report.first_corrupt_offset {
+            Some(off) => Err(format!("corrupt: first corrupt offset {off}").into()),
+            None => Err("corrupt: file does not validate".into()),
+        }
+    }
+}
+
 fn cmd_evaluate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let db_path = args.positional.first().unwrap_or_else(|| usage());
     let k: usize = args.flag_parse("k", 10);
@@ -381,6 +424,10 @@ fn print_server_stats(snap: &StatsSnapshot) {
         "latency p50 {}us p95 {}us, {} distance computations, queue depth {}",
         snap.latency_p50_us, snap.latency_p95_us, snap.distance_computations, snap.queue_depth,
     );
+    println!(
+        "io timeouts {}, panics isolated {}",
+        snap.io_timeouts, snap.panics_isolated,
+    );
     let hist: Vec<String> = snap
         .batch_hist
         .iter()
@@ -404,6 +451,14 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let measure = measure_by_name(args.flag("measure").unwrap_or("l1"));
     let kind = index_by_name(args.flag("index").unwrap_or("vp"));
     let defaults = SchedulerConfig::default();
+    // Timeout flags take milliseconds; 0 disables the timeout entirely.
+    let timeout_flag = |name: &str, default: Option<Duration>| -> Option<Duration> {
+        let default_ms = default.map_or(0, |d| d.as_millis() as u64);
+        match args.flag_parse(name, default_ms) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        }
+    };
     let config = SchedulerConfig {
         max_batch: args.flag_parse("max-batch", defaults.max_batch),
         max_delay: Duration::from_micros(
@@ -411,6 +466,8 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         ),
         queue_cap: args.flag_parse("queue-cap", defaults.queue_cap),
         exec_threads: args.flag_parse("threads", defaults.exec_threads),
+        idle_timeout: timeout_flag("idle-timeout-ms", defaults.idle_timeout),
+        write_timeout: timeout_flag("write-timeout-ms", defaults.write_timeout),
     };
 
     let db = persist::load_file(db_path)?;
@@ -443,16 +500,86 @@ fn print_hits(hits: &[Hit]) {
     println!();
 }
 
+/// Plain or retrying RPC connection, so `rpc-query` shares one code path.
+enum RpcClient {
+    Plain(Client),
+    Retrying(RetryingClient),
+}
+
+impl RpcClient {
+    fn open(addr: &str, retries: u32) -> Result<RpcClient, Box<dyn std::error::Error>> {
+        if retries == 0 {
+            Ok(RpcClient::Plain(Client::connect(addr)?))
+        } else {
+            let policy = RetryPolicy {
+                max_retries: retries,
+                ..RetryPolicy::default()
+            };
+            Ok(RpcClient::Retrying(RetryingClient::connect(addr, policy)?))
+        }
+    }
+
+    fn knn_by_id(
+        &mut self,
+        id: usize,
+        k: usize,
+        deadline_us: u64,
+    ) -> Result<Vec<Hit>, Box<dyn std::error::Error>> {
+        match self {
+            RpcClient::Plain(c) => Ok(c.knn_by_id(id, k, deadline_us)?),
+            RpcClient::Retrying(c) => Ok(c.knn_by_id(id, k, deadline_us)?),
+        }
+    }
+
+    fn knn(
+        &mut self,
+        descriptor: &[f32],
+        k: usize,
+        deadline_us: u64,
+    ) -> Result<Vec<Hit>, Box<dyn std::error::Error>> {
+        match self {
+            RpcClient::Plain(c) => Ok(c.knn(descriptor, k, deadline_us)?),
+            RpcClient::Retrying(c) => Ok(c.knn(descriptor, k, deadline_us)?),
+        }
+    }
+
+    fn range(
+        &mut self,
+        descriptor: &[f32],
+        radius: f32,
+        deadline_us: u64,
+    ) -> Result<Vec<Hit>, Box<dyn std::error::Error>> {
+        match self {
+            RpcClient::Plain(c) => Ok(c.range(descriptor, radius, deadline_us)?),
+            RpcClient::Retrying(c) => Ok(c.range(descriptor, radius, deadline_us)?),
+        }
+    }
+
+    fn report_retries(&self) {
+        if let RpcClient::Retrying(c) = self {
+            let stats = c.retry_stats();
+            if stats.retries > 0 || stats.reconnects > 0 {
+                println!(
+                    "(recovered from transient failures: {} retries, {} reconnects)",
+                    stats.retries, stats.reconnects
+                );
+            }
+        }
+    }
+}
+
 fn cmd_rpc_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let addr = args.positional.first().unwrap_or_else(|| usage());
     let k: usize = args.flag_parse("k", 10);
     let deadline_us: u64 = args.flag_parse("deadline-us", 0);
-    let mut client = Client::connect(addr)?;
+    let retries: u32 = args.flag_parse("retries", 0);
+    let mut client = RpcClient::open(addr, retries)?;
 
     if let Some(id) = args.flag("id") {
         let id: usize = id.parse().map_err(|_| format!("invalid --id: {id}"))?;
         let hits = client.knn_by_id(id, k, deadline_us)?;
         print_hits(&hits);
+        client.report_retries();
         return Ok(());
     }
 
@@ -485,6 +612,25 @@ fn cmd_rpc_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         };
         print_hits(&hits);
     }
+    client.report_retries();
+    Ok(())
+}
+
+/// Simulate a client dying mid-request: open a connection, send a frame
+/// header that promises more payload than ever arrives, and vanish. A
+/// hardened server must reap the torn connection without disturbing
+/// other clients.
+fn rpc_abort(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::Write as _;
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(b"CBIRRPC1")?;
+    // Claim a 4096-byte payload, deliver 3 bytes, hang up.
+    stream.write_all(&4096u32.to_le_bytes())?;
+    stream.write_all(&[0xde, 0xad, 0x01])?;
+    stream.flush()?;
+    drop(stream);
+    println!("sent truncated frame to {addr} and dropped the connection");
     Ok(())
 }
 
@@ -495,6 +641,9 @@ fn cmd_rpc_ctl(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         .get(1)
         .map(|s| s.as_str())
         .unwrap_or_else(|| usage());
+    if op == "abort" {
+        return rpc_abort(addr);
+    }
     let mut client = Client::connect(addr)?;
     match op {
         "ping" => {
@@ -527,6 +676,7 @@ fn main() -> ExitCode {
         "query" => cmd_query(&args),
         "info" => cmd_info(&args),
         "evaluate" => cmd_evaluate(&args),
+        "fsck" => cmd_fsck(&args),
         "serve" => cmd_serve(&args),
         "rpc-query" => cmd_rpc_query(&args),
         "rpc-ctl" => cmd_rpc_ctl(&args),
