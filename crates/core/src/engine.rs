@@ -9,6 +9,7 @@ use cbir_index::{
     knn_batch_parallel, range_batch_parallel, AntipoleTree, BatchStats, Dataset, KdTree,
     LinearScan, MTree, Neighbor, RStarTree, SearchIndex, SearchStats, VpTree,
 };
+use std::time::Instant;
 
 /// Which index structure backs the engine.
 #[derive(Clone, Debug, PartialEq)]
@@ -71,6 +72,108 @@ pub fn build_index(
         }
         IndexKind::MTree => Box::new(MTree::build(dataset, measure)?),
     })
+}
+
+/// Per-call observability capture for one engine entry point. Created
+/// before the work starts and consumed after it completes, flushing the
+/// search-counter delta and call latency to the process-wide registry —
+/// one flush per engine call, so the index hot loops stay untouched. When
+/// the call is trace-sampled it additionally records a stage timeline.
+///
+/// Everything here only *observes*: the query executes identically whether
+/// capture (or tracing) is on or off, and when the registry is disabled the
+/// whole capture collapses to a single relaxed load.
+struct ObsCapture {
+    start: Option<Instant>,
+    trace_seq: Option<u64>,
+    spans: Vec<cbir_obs::TraceSpan>,
+    open: Option<(&'static str, Instant)>,
+}
+
+impl ObsCapture {
+    fn begin() -> Self {
+        if !cbir_obs::enabled() {
+            return ObsCapture {
+                start: None,
+                trace_seq: None,
+                spans: Vec::new(),
+                open: None,
+            };
+        }
+        ObsCapture {
+            start: Some(Instant::now()),
+            trace_seq: cbir_obs::trace_should_sample(),
+            spans: Vec::new(),
+            open: None,
+        }
+    }
+
+    /// Open a named stage span (no-op unless this call is trace-sampled).
+    fn stage(&mut self, name: &'static str) {
+        self.close_stage();
+        if self.trace_seq.is_some() {
+            self.open = Some((name, Instant::now()));
+        }
+    }
+
+    fn close_stage(&mut self) {
+        if let (Some((name, at)), Some(start)) = (self.open.take(), self.start) {
+            let start_ns = at.duration_since(start).as_nanos() as u64;
+            self.spans.push(cbir_obs::TraceSpan {
+                name,
+                start_ns,
+                dur_ns: at.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+
+    /// Flush counters (and the trace, if sampled) to the registry.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        mut self,
+        kind: &IndexKind,
+        op: cbir_obs::QueryOp,
+        trace_op: &'static str,
+        queries: u64,
+        before: &SearchStats,
+        after: &SearchStats,
+        results: u64,
+    ) {
+        let Some(start) = self.start else {
+            return;
+        };
+        self.close_stage();
+        let total_ns = start.elapsed().as_nanos() as u64;
+        let counters = cbir_obs::QueryCounters {
+            distance_evaluations: after.distance_computations - before.distance_computations,
+            nodes_visited: after.nodes_visited - before.nodes_visited,
+            subtrees_pruned: after.subtrees_pruned - before.subtrees_pruned,
+            postfilter_candidates: after.postfilter_candidates - before.postfilter_candidates,
+        };
+        cbir_obs::record_query(
+            kind.name(),
+            op,
+            queries,
+            total_ns / 1_000,
+            &counters,
+            results,
+        );
+        if let Some(seq) = self.trace_seq {
+            cbir_obs::push_trace(cbir_obs::QueryTrace {
+                seq,
+                op: trace_op,
+                index: kind.name(),
+                queries,
+                total_ns,
+                spans: self.spans,
+                distance_evaluations: counters.distance_evaluations,
+                nodes_visited: counters.nodes_visited,
+                subtrees_pruned: counters.subtrees_pruned,
+                postfilter_candidates: counters.postfilter_candidates,
+                results,
+            });
+        }
+    }
 }
 
 /// One ranked retrieval hit.
@@ -153,18 +256,48 @@ impl QueryEngine {
         k: usize,
         stats: &mut SearchStats,
     ) -> Result<Vec<Ranked>> {
+        let mut obs = ObsCapture::begin();
+        let before = stats.clone();
+        obs.stage("extract");
         let desc = self.db.extract(img)?;
-        self.rank(self.index.knn_search(&desc, k, stats))
+        obs.stage("search");
+        let hits = self.index.knn_search(&desc, k, stats);
+        obs.stage("rank");
+        let ranked = self.rank(hits)?;
+        obs.finish(
+            &self.kind,
+            cbir_obs::QueryOp::Knn,
+            "knn",
+            1,
+            &before,
+            stats,
+            ranked.len() as u64,
+        );
+        Ok(ranked)
     }
 
     /// The `k` most similar images to database image `id`, excluding `id`
     /// itself (the usual retrieval convention).
     pub fn query_by_id(&self, id: usize, k: usize, stats: &mut SearchStats) -> Result<Vec<Ranked>> {
+        let mut obs = ObsCapture::begin();
+        let before = stats.clone();
         let desc: Vec<f32> = self.db.descriptor(id)?.to_vec();
+        obs.stage("search");
         // Ask for one extra hit to absorb the query itself.
         let hits = self.index.knn_search(&desc, k.saturating_add(1), stats);
+        obs.stage("rank");
         let filtered: Vec<Neighbor> = hits.into_iter().filter(|n| n.id != id).take(k).collect();
-        self.rank(filtered)
+        let ranked = self.rank(filtered)?;
+        obs.finish(
+            &self.kind,
+            cbir_obs::QueryOp::Knn,
+            "knn_by_id",
+            1,
+            &before,
+            stats,
+            ranked.len() as u64,
+        );
+        Ok(ranked)
     }
 
     /// All database images within `radius` of the example image.
@@ -174,8 +307,24 @@ impl QueryEngine {
         radius: f32,
         stats: &mut SearchStats,
     ) -> Result<Vec<Ranked>> {
+        let mut obs = ObsCapture::begin();
+        let before = stats.clone();
+        obs.stage("extract");
         let desc = self.db.extract(img)?;
-        self.rank(self.index.range_search(&desc, radius, stats))
+        obs.stage("search");
+        let hits = self.index.range_search(&desc, radius, stats);
+        obs.stage("rank");
+        let ranked = self.rank(hits)?;
+        obs.finish(
+            &self.kind,
+            cbir_obs::QueryOp::Range,
+            "range",
+            1,
+            &before,
+            stats,
+            ranked.len() as u64,
+        );
+        Ok(ranked)
     }
 
     fn check_batch_dims(&self, queries: &[Vec<f32>]) -> Result<()> {
@@ -204,10 +353,25 @@ impl QueryEngine {
         stats: &mut BatchStats,
     ) -> Result<Vec<Vec<Ranked>>> {
         self.check_batch_dims(queries)?;
-        knn_batch_parallel(self.index.as_ref(), queries, k, threads, stats)
-            .into_iter()
-            .map(|hits| self.rank(hits))
-            .collect()
+        let mut obs = ObsCapture::begin();
+        let before = stats.total().clone();
+        obs.stage("search");
+        let raw = knn_batch_parallel(self.index.as_ref(), queries, k, threads, stats);
+        obs.stage("rank");
+        let ranked: Result<Vec<Vec<Ranked>>> =
+            raw.into_iter().map(|hits| self.rank(hits)).collect();
+        let ranked = ranked?;
+        let results: u64 = ranked.iter().map(|r| r.len() as u64).sum();
+        obs.finish(
+            &self.kind,
+            cbir_obs::QueryOp::Knn,
+            "knn_batch",
+            queries.len() as u64,
+            &before,
+            stats.total(),
+            results,
+        );
+        Ok(ranked)
     }
 
     /// Batched range search over raw descriptor vectors; the batched
@@ -221,10 +385,25 @@ impl QueryEngine {
         stats: &mut BatchStats,
     ) -> Result<Vec<Vec<Ranked>>> {
         self.check_batch_dims(queries)?;
-        range_batch_parallel(self.index.as_ref(), queries, radius, threads, stats)
-            .into_iter()
-            .map(|hits| self.rank(hits))
-            .collect()
+        let mut obs = ObsCapture::begin();
+        let before = stats.total().clone();
+        obs.stage("search");
+        let raw = range_batch_parallel(self.index.as_ref(), queries, radius, threads, stats);
+        obs.stage("rank");
+        let ranked: Result<Vec<Vec<Ranked>>> =
+            raw.into_iter().map(|hits| self.rank(hits)).collect();
+        let ranked = ranked?;
+        let results: u64 = ranked.iter().map(|r| r.len() as u64).sum();
+        obs.finish(
+            &self.kind,
+            cbir_obs::QueryOp::Range,
+            "range_batch",
+            queries.len() as u64,
+            &before,
+            stats.total(),
+            results,
+        );
+        Ok(ranked)
     }
 
     /// Batched k-NN by database image id, excluding each query image from
@@ -241,6 +420,9 @@ impl QueryEngine {
             .iter()
             .map(|&id| Ok(self.db.descriptor(id)?.to_vec()))
             .collect::<Result<_>>()?;
+        let mut obs = ObsCapture::begin();
+        let before = stats.total().clone();
+        obs.stage("search");
         // Ask for one extra hit per query to absorb the query itself.
         let raw = knn_batch_parallel(
             self.index.as_ref(),
@@ -249,14 +431,28 @@ impl QueryEngine {
             threads,
             stats,
         );
-        raw.into_iter()
+        obs.stage("rank");
+        let ranked: Result<Vec<Vec<Ranked>>> = raw
+            .into_iter()
             .zip(ids)
             .map(|(hits, &id)| {
                 let filtered: Vec<Neighbor> =
                     hits.into_iter().filter(|n| n.id != id).take(k).collect();
                 self.rank(filtered)
             })
-            .collect()
+            .collect();
+        let ranked = ranked?;
+        let results: u64 = ranked.iter().map(|r| r.len() as u64).sum();
+        obs.finish(
+            &self.kind,
+            cbir_obs::QueryOp::Knn,
+            "knn_batch_by_ids",
+            ids.len() as u64,
+            &before,
+            stats.total(),
+            results,
+        );
+        Ok(ranked)
     }
 
     /// k-NN over a raw descriptor vector (for callers managing their own
@@ -274,7 +470,22 @@ impl QueryEngine {
                 self.db.dim()
             )));
         }
-        self.rank(self.index.knn_search(descriptor, k, stats))
+        let mut obs = ObsCapture::begin();
+        let before = stats.clone();
+        obs.stage("search");
+        let hits = self.index.knn_search(descriptor, k, stats);
+        obs.stage("rank");
+        let ranked = self.rank(hits)?;
+        obs.finish(
+            &self.kind,
+            cbir_obs::QueryOp::Knn,
+            "knn",
+            1,
+            &before,
+            stats,
+            ranked.len() as u64,
+        );
+        Ok(ranked)
     }
 }
 

@@ -35,6 +35,7 @@ use cbir_image::ops::{
     SOBEL_MAGNITUDE_MAX,
 };
 use cbir_image::{FloatImage, GrayImage, RgbImage};
+use cbir_obs::{stage_hit, Stage, StageTimer};
 
 /// Salience scale of the pipeline's distance transform (chamfer units).
 const SDT_SCALE: f32 = 3.0;
@@ -146,6 +147,7 @@ impl<'a> ExtractContext<'a> {
         {
             let s = &mut *scratch;
             if !canon_is_input {
+                let t = StageTimer::start(Stage::Resize);
                 resize_bilinear_rgb_into(
                     img,
                     canonical,
@@ -153,12 +155,18 @@ impl<'a> ExtractContext<'a> {
                     &mut s.resize_taps,
                     &mut s.canon,
                 )?;
+                t.finish();
+            } else {
+                // Input already canonical: the resize pass is skipped.
+                stage_hit(Stage::Resize);
             }
             let canon: &RgbImage = if canon_is_input { img } else { &s.canon };
+            let t = StageTimer::start(Stage::Grayscale);
             s.gray.reset(canonical, canonical, 0);
             for (g, p) in s.gray.as_mut_slice().iter_mut().zip(canon.pixels()) {
                 *g = p.luma();
             }
+            t.finish();
             for qp in &mut s.quant {
                 qp.ready = false;
             }
@@ -179,52 +187,69 @@ impl<'a> ExtractContext<'a> {
 
     fn ensure_gradient(&mut self) {
         if self.have_gradient {
+            stage_hit(Stage::Sobel);
             return;
         }
+        let t = StageTimer::start(Stage::Sobel);
         let s = &mut *self.s;
         sobel_into(&s.gray, &mut s.gx, &mut s.gy);
+        t.finish();
         self.have_gradient = true;
     }
 
     fn ensure_mag_ori(&mut self) {
         if self.have_mag_ori {
+            stage_hit(Stage::MagOri);
             return;
         }
         self.ensure_gradient();
+        // The timer covers only this stage's own pass; the gradient
+        // dependency accounts for itself above.
+        let t = StageTimer::start(Stage::MagOri);
         let s = &mut *self.s;
         magnitude_orientation_into(&s.gx, &s.gy, &mut s.mag, &mut s.ori);
+        t.finish();
         self.have_mag_ori = true;
     }
 
     fn ensure_mag_norm(&mut self) {
         if self.have_mag_norm {
+            stage_hit(Stage::MagNorm);
             return;
         }
         self.ensure_mag_ori();
+        let t = StageTimer::start(Stage::MagNorm);
         let s = &mut *self.s;
         let (w, h) = s.mag.dimensions();
         s.mag_norm.reset(w, h, 0.0);
         for (n, &m) in s.mag_norm.as_mut_slice().iter_mut().zip(s.mag.as_slice()) {
             *n = m / SOBEL_MAGNITUDE_MAX * 255.0;
         }
+        t.finish();
         self.have_mag_norm = true;
     }
 
     fn ensure_mask(&mut self) {
         if self.have_mask {
+            stage_hit(Stage::Mask);
             return;
         }
+        let t = StageTimer::start(Stage::Mask);
         let s = &mut *self.s;
         foreground_mask_into(&s.gray, &mut s.mask);
+        t.finish();
         self.have_mask = true;
     }
 
     fn ensure_integral(&mut self) {
         if self.have_integral {
+            stage_hit(Stage::Integral);
             return;
         }
+        let t = StageTimer::start(Stage::Integral);
         let s = &mut *self.s;
         s.integral.recompute(&s.gray);
+        t.finish();
         self.have_integral = true;
     }
 
@@ -232,11 +257,14 @@ impl<'a> ExtractContext<'a> {
     /// has gradients); computed at most once.
     fn ensure_dt(&mut self) -> bool {
         if let Some(ok) = self.dt_state {
+            stage_hit(Stage::Sdt);
             return ok;
         }
         self.ensure_mag_norm();
+        let t = StageTimer::start(Stage::Sdt);
         let s = &mut *self.s;
         let ok = sdt_from_magnitude(&s.mag_norm, SDT_SCALE, &mut s.dt);
+        t.finish();
         self.dt_state = Some(ok);
         ok
     }
@@ -265,9 +293,13 @@ impl<'a> ExtractContext<'a> {
         };
         let QuantPlane { key, plane, ready } = &mut s.quant[idx];
         if !*ready {
+            let t = StageTimer::start(Stage::Quantize);
             plane.clear();
             plane.extend(canon.pixels().map(|p| key.bin_of(p) as u16));
+            t.finish();
             *ready = true;
+        } else {
+            stage_hit(Stage::Quantize);
         }
         idx
     }

@@ -322,6 +322,7 @@ impl SearchIndex for AntipoleTree {
         frames.push(Frame::unconditional(self.root));
         while let Some(frame) = frames.pop() {
             if !Self::admits(&frame, t) {
+                stats.subtrees_pruned += 1;
                 continue;
             }
             stats.nodes_visited += 1;
@@ -344,6 +345,7 @@ impl SearchIndex for AntipoleTree {
                     }
                     // Whole-cluster exclusion.
                     if dc > t + radius + tri_slack(dc, *radius) {
+                        stats.subtrees_pruned += 1;
                         continue;
                     }
                     for &(id, dcm) in members {
@@ -352,6 +354,7 @@ impl SearchIndex for AntipoleTree {
                             continue;
                         }
                         stats.distance_computations += 1;
+                        stats.postfilter_candidates += 1;
                         let d = self
                             .measure
                             .distance(query, self.dataset.vector(id as usize));
@@ -428,6 +431,7 @@ impl SearchIndex for AntipoleTree {
             // Lazy admission check against the current (possibly tightened)
             // bound — prunes at least as much as the recursive form.
             if !Self::admits(&frame, heap.bound()) {
+                stats.subtrees_pruned += 1;
                 continue;
             }
             stats.nodes_visited += 1;
@@ -444,6 +448,7 @@ impl SearchIndex for AntipoleTree {
                         .distance(query, self.dataset.vector(*centroid as usize));
                     heap.offer(*centroid as usize, dc);
                     if dc > heap.bound() + radius + tri_slack(dc, *radius) {
+                        stats.subtrees_pruned += 1;
                         continue;
                     }
                     for &(id, dcm) in members {
@@ -451,6 +456,7 @@ impl SearchIndex for AntipoleTree {
                             continue;
                         }
                         stats.distance_computations += 1;
+                        stats.postfilter_candidates += 1;
                         let d = self
                             .measure
                             .distance(query, self.dataset.vector(id as usize));

@@ -192,12 +192,14 @@ impl SearchIndex for KdTree {
         frames.push(Frame::unconditional(self.root));
         while let Some(frame) = frames.pop() {
             if frame.tag == 1 && frame.a.abs() > radius + tri_slack(frame.a, radius) {
+                stats.subtrees_pruned += 1;
                 continue;
             }
             stats.nodes_visited += 1;
             if let Some(ids) = self.push_children(frames, query, frame.node) {
                 for &id in ids {
                     stats.distance_computations += 1;
+                    stats.postfilter_candidates += 1;
                     let d = self
                         .measure
                         .distance(query, self.dataset.vector(id as usize));
@@ -236,6 +238,7 @@ impl SearchIndex for KdTree {
             if frame.tag == 1 {
                 let t = heap.bound();
                 if frame.a.abs() > t + tri_slack(frame.a, t) {
+                    stats.subtrees_pruned += 1;
                     continue;
                 }
             }
@@ -243,6 +246,7 @@ impl SearchIndex for KdTree {
             if let Some(ids) = self.push_children(frames, query, frame.node) {
                 for &id in ids {
                     stats.distance_computations += 1;
+                    stats.postfilter_candidates += 1;
                     let d = self
                         .measure
                         .distance(query, self.dataset.vector(id as usize));

@@ -51,6 +51,8 @@ impl LinearScan {
             .dist_to_many(query, self.dataset.flat(), &mut scratch.dists);
         stats.distance_computations += n as u64;
         stats.nodes_visited += 1;
+        // Every row is a candidate scored in full; nothing is pruned.
+        stats.postfilter_candidates += n as u64;
     }
 
     /// Rows per cache block for the batched scan.
@@ -64,6 +66,7 @@ impl LinearScan {
         per_query.reset();
         per_query.distance_computations = self.dataset.len() as u64;
         per_query.nodes_visited = 1;
+        per_query.postfilter_candidates = self.dataset.len() as u64;
         stats.record(per_query);
     }
 }

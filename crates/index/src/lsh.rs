@@ -124,6 +124,9 @@ impl LshIndex {
                 self.width,
             );
             let Some(bucket) = table.buckets.get(&key) else {
+                // An empty bucket is a "pruned subtree": the whole table
+                // contributed no candidates.
+                stats.subtrees_pruned += 1;
                 continue;
             };
             for &id in bucket {
@@ -132,6 +135,7 @@ impl LshIndex {
                 }
                 seen[id as usize] = true;
                 stats.distance_computations += 1;
+                stats.postfilter_candidates += 1;
                 heap.offer(id as usize, l2(query, self.dataset.vector(id as usize)));
             }
         }

@@ -413,6 +413,7 @@ impl SearchIndex for MTree {
                             }
                         }
                         stats.distance_computations += 1;
+                        stats.postfilter_candidates += 1;
                         let d = self
                             .measure
                             .distance(query, self.dataset.vector(e.id as usize));
@@ -430,6 +431,7 @@ impl SearchIndex for MTree {
                             if (d_qp - e.d_parent).abs()
                                 > t + e.radius + tri_slack(d_qp, e.d_parent)
                             {
+                                stats.subtrees_pruned += 1;
                                 continue;
                             }
                         }
@@ -444,6 +446,8 @@ impl SearchIndex for MTree {
                                 a: d,
                                 b: 0.0,
                             });
+                        } else {
+                            stats.subtrees_pruned += 1;
                         }
                     }
                 }
@@ -478,6 +482,7 @@ impl SearchIndex for MTree {
             // max(0, d(q, router) - radius); re-check lazily against the
             // bound, which tightens as siblings are visited.
             if frame.tag == 1 && frame.b > heap.bound() {
+                stats.subtrees_pruned += 1;
                 continue;
             }
             stats.nodes_visited += 1;
@@ -493,6 +498,7 @@ impl SearchIndex for MTree {
                             }
                         }
                         stats.distance_computations += 1;
+                        stats.postfilter_candidates += 1;
                         let d = self
                             .measure
                             .distance(query, self.dataset.vector(e.id as usize));
@@ -508,6 +514,7 @@ impl SearchIndex for MTree {
                             if (d_qp - e.d_parent).abs()
                                 > heap.bound() + e.radius + tri_slack(d_qp, e.d_parent)
                             {
+                                stats.subtrees_pruned += 1;
                                 continue;
                             }
                         }

@@ -526,6 +526,7 @@ impl SearchIndex for RStarTree {
             if n.level == 0 {
                 for &id in &n.slots {
                     stats.distance_computations += 1;
+                    stats.postfilter_candidates += 1;
                     let d2 = l2_squared(query, self.point(id));
                     if d2 <= radius_sq {
                         out.push(Neighbor {
@@ -539,6 +540,8 @@ impl SearchIndex for RStarTree {
                     let md = self.nodes[c as usize].mbr.mindist_sq(query);
                     if md <= radius_sq + tri_slack(md, radius_sq) {
                         frames.push(Frame::unconditional(c));
+                    } else {
+                        stats.subtrees_pruned += 1;
                     }
                 }
             }
@@ -571,6 +574,9 @@ impl SearchIndex for RStarTree {
             if bound.is_finite()
                 && mindist_sq > bound * bound + tri_slack(mindist_sq, bound * bound)
             {
+                // Best-first order: the popped node and everything still on
+                // the frontier are all beyond the bound.
+                stats.subtrees_pruned += 1 + frontier.len() as u64;
                 break;
             }
             stats.nodes_visited += 1;
@@ -578,6 +584,7 @@ impl SearchIndex for RStarTree {
             if n.level == 0 {
                 for &id in &n.slots {
                     stats.distance_computations += 1;
+                    stats.postfilter_candidates += 1;
                     let d2 = l2_squared(query, self.point(id));
                     heap.offer(id as usize, d2.sqrt());
                 }
@@ -587,6 +594,8 @@ impl SearchIndex for RStarTree {
                     let bound = heap.bound();
                     if !bound.is_finite() || md <= bound * bound + tri_slack(md, bound * bound) {
                         frontier.push(Reverse((OrderedF32(md), c)));
+                    } else {
+                        stats.subtrees_pruned += 1;
                     }
                 }
             }

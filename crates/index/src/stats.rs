@@ -9,6 +9,14 @@ pub struct SearchStats {
     pub distance_computations: u64,
     /// Index nodes (internal or leaf) visited.
     pub nodes_visited: u64,
+    /// Subtrees (or hash buckets) excluded by a pruning bound without
+    /// being visited. Zero for linear scan, which has nothing to prune.
+    pub subtrees_pruned: u64,
+    /// Candidates that survived pruning and were scored with a full
+    /// distance evaluation. For linear scan this is the database size; for
+    /// tree indexes it counts leaf-level candidate scorings (routing-level
+    /// evaluations are excluded, so it is ≤ `distance_computations`).
+    pub postfilter_candidates: u64,
 }
 
 impl SearchStats {
@@ -26,6 +34,8 @@ impl SearchStats {
     pub fn merge(&mut self, other: &SearchStats) {
         self.distance_computations += other.distance_computations;
         self.nodes_visited += other.nodes_visited;
+        self.subtrees_pruned += other.subtrees_pruned;
+        self.postfilter_candidates += other.postfilter_candidates;
     }
 }
 
@@ -158,6 +168,7 @@ mod tests {
             b.record(&SearchStats {
                 distance_computations: comps,
                 nodes_visited: comps * 2,
+                ..SearchStats::default()
             });
         }
         assert_eq!(b.queries(), 100);
@@ -171,6 +182,7 @@ mod tests {
         other.record(&SearchStats {
             distance_computations: 1000,
             nodes_visited: 1,
+            ..SearchStats::default()
         });
         b.merge(&other);
         assert_eq!(b.queries(), 101);
@@ -190,16 +202,79 @@ mod tests {
         let mut a = SearchStats {
             distance_computations: 5,
             nodes_visited: 2,
+            subtrees_pruned: 1,
+            postfilter_candidates: 4,
         };
         let b = SearchStats {
             distance_computations: 3,
             nodes_visited: 10,
+            subtrees_pruned: 2,
+            postfilter_candidates: 3,
         };
         a.merge(&b);
         assert_eq!(a.distance_computations, 8);
         assert_eq!(a.nodes_visited, 12);
+        assert_eq!(a.subtrees_pruned, 3);
+        assert_eq!(a.postfilter_candidates, 7);
         a.reset();
         assert_eq!(a, SearchStats::new());
+    }
+
+    /// Count-based oracle for the nearest-rank percentile: the smallest
+    /// sample value `v` such that at least `ceil(p·n/100)` samples are
+    /// `≤ v` (and at least one, so p=0 yields the minimum). Derived
+    /// directly from the nearest-rank definition rather than by indexing,
+    /// so it cannot share an off-by-one with the implementation.
+    fn percentile_oracle(samples: &[u64], p: u64) -> u64 {
+        if samples.is_empty() {
+            return 0;
+        }
+        let n = samples.len() as u64;
+        let rank = (p * n).div_ceil(100).max(1);
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        *sorted
+            .iter()
+            .find(|&&v| sorted.iter().filter(|&&s| s <= v).count() as u64 >= rank)
+            .expect("rank ≤ n, so some value satisfies it")
+    }
+
+    #[test]
+    fn percentile_matches_oracle_on_edge_cases() {
+        // Empty, single-element, and all-equal inputs, across the full
+        // percentile range including the 0 and 100 endpoints.
+        for p in [0, 1, 50, 95, 99, 100] {
+            assert_eq!(percentile(&[], p), 0, "empty, p={p}");
+            assert_eq!(percentile(&[42], p), 42, "singleton, p={p}");
+            assert_eq!(percentile(&[7; 9], p), 7, "all-equal, p={p}");
+            assert_eq!(percentile(&[], p), percentile_oracle(&[], p));
+            assert_eq!(percentile(&[42], p), percentile_oracle(&[42], p));
+            assert_eq!(percentile(&[7; 9], p), percentile_oracle(&[7; 9], p));
+        }
+        // p=0 is the minimum, p=100 the maximum.
+        assert_eq!(percentile(&[3, 1, 2], 0), 1);
+        assert_eq!(percentile(&[3, 1, 2], 100), 3);
+    }
+
+    #[test]
+    fn percentile_matches_oracle_on_random_samples() {
+        let mut rng = cbir_workload::Pcg32::new(0xbeef);
+        for case in 0..200 {
+            let len = (rng.next_u32() % 50) as usize + 1;
+            let samples: Vec<u64> = (0..len)
+                .map(|_| {
+                    // Mix small ranges (many duplicates) with wide ones.
+                    let width = if case % 2 == 0 { 8 } else { 10_000 };
+                    (rng.next_u32() % width) as u64
+                })
+                .collect();
+            let p = (rng.next_u32() % 101) as u64;
+            assert_eq!(
+                percentile(&samples, p),
+                percentile_oracle(&samples, p),
+                "case {case}: p={p}, samples={samples:?}"
+            );
+        }
     }
 
     #[test]

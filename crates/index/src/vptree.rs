@@ -165,6 +165,7 @@ impl SearchIndex for VpTree {
         frames.push(Frame::unconditional(self.root));
         while let Some(frame) = frames.pop() {
             if !Self::admits(&frame, radius) {
+                stats.subtrees_pruned += 1;
                 continue;
             }
             stats.nodes_visited += 1;
@@ -172,6 +173,7 @@ impl SearchIndex for VpTree {
                 Node::Leaf { ids } => {
                     for &id in ids {
                         stats.distance_computations += 1;
+                        stats.postfilter_candidates += 1;
                         let d = self
                             .measure
                             .distance(query, self.dataset.vector(id as usize));
@@ -204,6 +206,8 @@ impl SearchIndex for VpTree {
                     // ball_radius of vp, so if d > radius + ball_radius
                     // nothing below can qualify.
                     if d > radius + ball_radius + tri_slack(d, *ball_radius) {
+                        // Ball exclusion skips both children at once.
+                        stats.subtrees_pruned += 2;
                         continue;
                     }
                     frames.push(Frame {
@@ -244,6 +248,7 @@ impl SearchIndex for VpTree {
             // Lazy admission check against the current (possibly tightened)
             // bound — prunes at least as much as the recursive form.
             if !Self::admits(&frame, heap.bound()) {
+                stats.subtrees_pruned += 1;
                 continue;
             }
             stats.nodes_visited += 1;
@@ -251,6 +256,7 @@ impl SearchIndex for VpTree {
                 Node::Leaf { ids } => {
                     for &id in ids {
                         stats.distance_computations += 1;
+                        stats.postfilter_candidates += 1;
                         let d = self
                             .measure
                             .distance(query, self.dataset.vector(id as usize));
@@ -270,6 +276,8 @@ impl SearchIndex for VpTree {
                         .distance(query, self.dataset.vector(*vp as usize));
                     heap.offer(*vp as usize, d);
                     if d > heap.bound() + ball_radius + tri_slack(d, *ball_radius) {
+                        // Ball exclusion skips both children at once.
+                        stats.subtrees_pruned += 2;
                         continue;
                     }
                     // The more promising side is pushed last so it pops

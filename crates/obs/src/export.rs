@@ -1,0 +1,422 @@
+//! Text export surfaces: hand-rolled JSON and Prometheus text exposition
+//! (both dependency-free; every value the registry holds is a `u64`, a
+//! `bool`, or a static string, so no general serializer is needed).
+
+use crate::trace::{QueryTrace, TraceSpan};
+use crate::{LatencySummary, ObsSnapshot};
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn latency_json(l: &LatencySummary) -> String {
+    format!(
+        "{{\"count\": {}, \"sum_us\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
+        l.count, l.sum_us, l.p50_us, l.p95_us, l.p99_us
+    )
+}
+
+/// Render a registry snapshot as a JSON object.
+///
+/// Top-level keys: `enabled`, `trace_sample_n`, `queue_depth`, `indexes`
+/// (array, one object per [`crate::INDEX_NAMES`] slot), `stages` (array,
+/// one object per [`crate::Stage`]), `latency` (object with `knn` and
+/// `range` summaries), `trace_count`.
+pub fn to_json(snap: &ObsSnapshot) -> String {
+    let indexes: Vec<String> = snap
+        .indexes
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"index\": \"{}\", \"queries\": {}, \"distance_evaluations\": {}, \
+                 \"nodes_visited\": {}, \"subtrees_pruned\": {}, \"postfilter_candidates\": {}, \
+                 \"results\": {}}}",
+                json_escape(s.index),
+                s.queries,
+                s.distance_evaluations,
+                s.nodes_visited,
+                s.subtrees_pruned,
+                s.postfilter_candidates,
+                s.results
+            )
+        })
+        .collect();
+    let stages: Vec<String> = snap
+        .stages
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"stage\": \"{}\", \"hits\": {}, \"misses\": {}, \"nanos\": {}}}",
+                json_escape(s.stage),
+                s.hits,
+                s.misses,
+                s.nanos
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"enabled\": {},\n  \"trace_sample_n\": {},\n  \"queue_depth\": {},\n  \
+         \"indexes\": [\n{}\n  ],\n  \"stages\": [\n{}\n  ],\n  \"latency\": {{\"knn\": {}, \
+         \"range\": {}}},\n  \"trace_count\": {}\n}}\n",
+        snap.enabled,
+        snap.trace_sample_n,
+        snap.queue_depth,
+        indexes.join(",\n"),
+        stages.join(",\n"),
+        latency_json(&snap.knn_latency),
+        latency_json(&snap.range_latency),
+        snap.trace_count
+    )
+}
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn prom_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP`/`# TYPE` comment pairs followed by
+/// `name{labels} value` sample lines, ending with a trailing newline.
+pub fn to_prometheus(snap: &ObsSnapshot) -> String {
+    let mut out = String::new();
+    let mut counter = |name: &str, help: &str, rows: &[(String, u64)]| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+        for (labels, value) in rows {
+            out.push_str(&format!("{name}{labels} {value}\n"));
+        }
+    };
+
+    let idx_rows = |f: &dyn Fn(&crate::IndexCounters) -> u64| -> Vec<(String, u64)> {
+        snap.indexes
+            .iter()
+            .map(|s| (format!("{{index=\"{}\"}}", prom_escape(s.index)), f(s)))
+            .collect()
+    };
+    counter(
+        "cbir_index_queries_total",
+        "Queries flushed per index kind.",
+        &idx_rows(&|s| s.queries),
+    );
+    counter(
+        "cbir_index_distance_evaluations_total",
+        "Full distance evaluations per index kind.",
+        &idx_rows(&|s| s.distance_evaluations),
+    );
+    counter(
+        "cbir_index_nodes_visited_total",
+        "Index nodes visited per index kind.",
+        &idx_rows(&|s| s.nodes_visited),
+    );
+    counter(
+        "cbir_index_subtrees_pruned_total",
+        "Subtrees excluded by a pruning bound per index kind.",
+        &idx_rows(&|s| s.subtrees_pruned),
+    );
+    counter(
+        "cbir_index_postfilter_candidates_total",
+        "Candidates surfaced for exact-distance evaluation per index kind.",
+        &idx_rows(&|s| s.postfilter_candidates),
+    );
+    counter(
+        "cbir_index_results_total",
+        "Result rows returned per index kind.",
+        &idx_rows(&|s| s.results),
+    );
+
+    let stage_rows = |f: &dyn Fn(&crate::StageCounters) -> u64| -> Vec<(String, u64)> {
+        snap.stages
+            .iter()
+            .map(|s| (format!("{{stage=\"{}\"}}", prom_escape(s.stage)), f(s)))
+            .collect()
+    };
+    counter(
+        "cbir_stage_hits_total",
+        "Extraction-planner requests answered from cached intermediates.",
+        &stage_rows(&|s| s.hits),
+    );
+    counter(
+        "cbir_stage_misses_total",
+        "Extraction-planner stage computes.",
+        &stage_rows(&|s| s.misses),
+    );
+    counter(
+        "cbir_stage_nanoseconds_total",
+        "Nanoseconds spent computing each extraction stage.",
+        &stage_rows(&|s| s.nanos),
+    );
+
+    out.push_str(
+        "# HELP cbir_query_latency_microseconds Engine call latency (log2-bucket estimate).\n\
+         # TYPE cbir_query_latency_microseconds summary\n",
+    );
+    for (op, l) in [("knn", &snap.knn_latency), ("range", &snap.range_latency)] {
+        for (q, v) in [("0.5", l.p50_us), ("0.95", l.p95_us), ("0.99", l.p99_us)] {
+            out.push_str(&format!(
+                "cbir_query_latency_microseconds{{op=\"{op}\",quantile=\"{q}\"}} {v}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "cbir_query_latency_microseconds_sum{{op=\"{op}\"}} {}\n",
+            l.sum_us
+        ));
+        out.push_str(&format!(
+            "cbir_query_latency_microseconds_count{{op=\"{op}\"}} {}\n",
+            l.count
+        ));
+    }
+
+    out.push_str(
+        "# HELP cbir_queue_depth Requests admitted but not yet dispatched.\n\
+         # TYPE cbir_queue_depth gauge\n",
+    );
+    out.push_str(&format!("cbir_queue_depth {}\n", snap.queue_depth));
+    out.push_str(
+        "# HELP cbir_traces_held Traces currently in the sampling ring.\n\
+         # TYPE cbir_traces_held gauge\n",
+    );
+    out.push_str(&format!("cbir_traces_held {}\n", snap.trace_count));
+    out
+}
+
+fn span_json(s: &TraceSpan) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"start_ns\": {}, \"dur_ns\": {}}}",
+        json_escape(s.name),
+        s.start_ns,
+        s.dur_ns
+    )
+}
+
+/// Render one trace as a JSON object. Keys: `seq`, `op`, `index`,
+/// `queries`, `total_ns`, `spans` (array of `{name, start_ns, dur_ns}`),
+/// `distance_evaluations`, `nodes_visited`, `subtrees_pruned`,
+/// `postfilter_candidates`, `results`.
+pub fn trace_to_json(t: &QueryTrace) -> String {
+    let spans: Vec<String> = t.spans.iter().map(span_json).collect();
+    format!(
+        "{{\"seq\": {}, \"op\": \"{}\", \"index\": \"{}\", \"queries\": {}, \"total_ns\": {}, \
+         \"spans\": [{}], \"distance_evaluations\": {}, \"nodes_visited\": {}, \
+         \"subtrees_pruned\": {}, \"postfilter_candidates\": {}, \"results\": {}}}",
+        t.seq,
+        json_escape(t.op),
+        json_escape(t.index),
+        t.queries,
+        t.total_ns,
+        spans.join(", "),
+        t.distance_evaluations,
+        t.nodes_visited,
+        t.subtrees_pruned,
+        t.postfilter_candidates,
+        t.results
+    )
+}
+
+/// Render a list of traces as a JSON object `{"traces": [...]}` (the
+/// `explain` RPC payload; empty list when nothing has been sampled).
+pub fn traces_to_json(traces: &[QueryTrace]) -> String {
+    let rows: Vec<String> = traces
+        .iter()
+        .map(|t| format!("  {}", trace_to_json(t)))
+        .collect();
+    if rows.is_empty() {
+        "{\"traces\": []}\n".to_string()
+    } else {
+        format!("{{\"traces\": [\n{}\n]}}\n", rows.join(",\n"))
+    }
+}
+
+/// Render one trace as a human-readable stage timeline.
+pub fn render_trace(t: &QueryTrace) -> String {
+    let mut out = format!(
+        "trace #{} — {} on {} ({} quer{}, {:.3} ms total)\n",
+        t.seq,
+        t.op,
+        t.index,
+        t.queries,
+        if t.queries == 1 { "y" } else { "ies" },
+        t.total_ns as f64 / 1e6
+    );
+    for s in &t.spans {
+        let share = if t.total_ns > 0 {
+            s.dur_ns as f64 / t.total_ns as f64 * 100.0
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:<10} +{:>9.3} ms  {:>9.3} ms  {share:>5.1}%\n",
+            s.name,
+            s.start_ns as f64 / 1e6,
+            s.dur_ns as f64 / 1e6,
+        ));
+    }
+    out.push_str(&format!(
+        "  counters: {} distance evaluations, {} nodes visited, {} subtrees pruned, \
+         {} postfilter candidates, {} results\n",
+        t.distance_evaluations,
+        t.nodes_visited,
+        t.subtrees_pruned,
+        t.postfilter_candidates,
+        t.results
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IndexCounters, StageCounters};
+
+    fn snap() -> ObsSnapshot {
+        ObsSnapshot {
+            enabled: true,
+            trace_sample_n: 1,
+            queue_depth: 2,
+            indexes: vec![IndexCounters {
+                index: "vp-tree",
+                queries: 3,
+                distance_evaluations: 40,
+                nodes_visited: 12,
+                subtrees_pruned: 7,
+                postfilter_candidates: 33,
+                results: 9,
+            }],
+            stages: vec![StageCounters {
+                stage: "resize",
+                hits: 1,
+                misses: 2,
+                nanos: 5000,
+            }],
+            knn_latency: LatencySummary {
+                count: 3,
+                sum_us: 900,
+                p50_us: 255,
+                p95_us: 511,
+                p99_us: 511,
+            },
+            range_latency: LatencySummary::default(),
+            trace_count: 1,
+        }
+    }
+
+    #[test]
+    fn json_has_every_section() {
+        let j = to_json(&snap());
+        for key in [
+            "\"enabled\"",
+            "\"trace_sample_n\"",
+            "\"queue_depth\"",
+            "\"indexes\"",
+            "\"stages\"",
+            "\"latency\"",
+            "\"subtrees_pruned\"",
+            "\"postfilter_candidates\"",
+            "\"p99_us\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // Balanced braces/brackets — cheap structural sanity.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let p = to_prometheus(&snap());
+        assert!(p.ends_with('\n'));
+        for line in p.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            // Sample lines: metric_name[{labels}] value
+            let (name_part, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
+            let name = name_part.split('{').next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name: {line}"
+            );
+            if let Some(rest) = name_part.strip_prefix(name) {
+                if !rest.is_empty() {
+                    assert!(rest.starts_with('{') && rest.ends_with('}'), "{line}");
+                }
+            }
+        }
+        assert!(p.contains("cbir_index_subtrees_pruned_total{index=\"vp-tree\"} 7"));
+        assert!(p.contains("cbir_queue_depth 2"));
+        assert!(p.contains("quantile=\"0.99\""));
+    }
+
+    #[test]
+    fn trace_json_and_rendering() {
+        let t = QueryTrace {
+            seq: 4,
+            op: "knn",
+            index: "kd-tree",
+            queries: 1,
+            total_ns: 2_000_000,
+            spans: vec![
+                TraceSpan {
+                    name: "extract",
+                    start_ns: 0,
+                    dur_ns: 1_500_000,
+                },
+                TraceSpan {
+                    name: "search",
+                    start_ns: 1_500_000,
+                    dur_ns: 500_000,
+                },
+            ],
+            distance_evaluations: 20,
+            nodes_visited: 8,
+            subtrees_pruned: 3,
+            postfilter_candidates: 16,
+            results: 10,
+        };
+        let j = trace_to_json(&t);
+        for key in [
+            "\"seq\"",
+            "\"op\"",
+            "\"spans\"",
+            "\"dur_ns\"",
+            "\"results\"",
+        ] {
+            assert!(j.contains(key), "missing {key}");
+        }
+        let wrapped = traces_to_json(std::slice::from_ref(&t));
+        assert!(wrapped.starts_with("{\"traces\": ["));
+        assert_eq!(traces_to_json(&[]), "{\"traces\": []}\n");
+        let r = render_trace(&t);
+        assert!(r.contains("extract"));
+        assert!(r.contains("75.0%"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(prom_escape("r*-tree"), "r*-tree");
+        assert_eq!(prom_escape("a\"b"), "a\\\"b");
+    }
+}

@@ -1,0 +1,174 @@
+//! Fixed-bucket log₂ histograms with lock-free recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible bit length of a `u64` (0..=64).
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in microseconds,
+/// typically). Bucket `b` holds samples whose bit length is `b`: bucket 0
+/// holds the value 0, bucket `b ≥ 1` holds values in `[2^(b-1), 2^b - 1]`.
+/// Recording is a single relaxed fetch-add, so the histogram is safe to
+/// update from any number of threads on the hot path.
+///
+/// Quantiles are estimated by walking the cumulative counts and reporting
+/// the **inclusive upper bound** of the bucket containing the requested
+/// rank — an overestimate by at most 2×, which is the precision log₂
+/// buckets buy. Exact per-batch tails still come from
+/// `cbir_index::percentile` over raw samples; this histogram is the
+/// unbounded-lifetime process-wide summary.
+pub struct LogHistogram {
+    buckets: [AtomicU64; LOG2_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Bucket index for a sample: its bit length (0 for the value 0).
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `b` (`0` for bucket 0, else `2^b - 1`).
+#[inline]
+pub fn bucket_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// A fresh, zeroed histogram.
+    pub const fn new() -> Self {
+        // `AtomicU64` is not `Copy`; the inline-const repeat builds the
+        // array element by element.
+        LogHistogram {
+            buckets: [const { AtomicU64::new(0) }; LOG2_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample (relaxed atomics; never blocks).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Zero every bucket and the count/sum.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram's contents.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; LOG2_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`LogHistogram`] at one moment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (see [`bucket_of`] for the bucketing rule).
+    pub buckets: [u64; LOG2_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wraps on overflow; practically unreachable for
+    /// microsecond latencies).
+    pub sum: u64,
+}
+
+impl HistSnapshot {
+    /// Nearest-rank quantile estimate: the inclusive upper bound of the
+    /// bucket containing the `q`-quantile sample (`q` in 0..=100). Returns
+    /// 0 when the histogram is empty.
+    pub fn quantile(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Same nearest-rank convention as `cbir_index::percentile`.
+        let rank = (q * self.count).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(LOG2_BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_rule() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(10), 1023);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = LogHistogram::new();
+        for v in [0u64, 1, 5, 5, 7, 100, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum, 1118);
+        // Rank 4 of 7 at p50 lands in the [4,7] bucket.
+        assert_eq!(snap.quantile(50), 7);
+        // The p99 rank is the largest sample's bucket.
+        assert_eq!(snap.quantile(99), 1023);
+        h.reset();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.quantile(50), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LogHistogram::new();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.sum, 0);
+        assert_eq!(snap.quantile(95), 0);
+    }
+}

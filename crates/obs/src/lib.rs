@@ -1,0 +1,612 @@
+//! # `cbir-obs` — the observability substrate
+//!
+//! A zero-dependency, process-global registry of lock-free counters,
+//! log₂ latency histograms, per-extraction-stage hit/miss accounting, and
+//! a sampled per-query trace ring — the runtime measurement surface for
+//! the quantities the offline evaluation (pruning effectiveness, per-stage
+//! extraction cost, query cost distribution) measures in batch.
+//!
+//! ## Design rules
+//!
+//! * **Bit-invisible**: instrumentation only observes; query results are
+//!   identical with observation on or off (asserted by the engine's
+//!   equivalence tests and the `verify.sh` traced-vs-untraced smoke).
+//! * **Out of the hot loop**: index traversals accumulate into plain
+//!   per-query `SearchStats` fields exactly as before; the engine layer
+//!   flushes those totals here once per query (or once per batch call),
+//!   so the registry's relaxed atomics are touched O(queries), not
+//!   O(distance computations).
+//! * **Near-free when off**: every recording entry point first checks a
+//!   relaxed [`enabled`] flag; timers are never started when disabled.
+//!   The additive `noop` cargo feature removes even the flag load for
+//!   builds that must not observe at all.
+//!
+//! ```
+//! cbir_obs::record_query(
+//!     "vp-tree",
+//!     cbir_obs::QueryOp::Knn,
+//!     1,
+//!     250,
+//!     &cbir_obs::QueryCounters {
+//!         distance_evaluations: 40,
+//!         nodes_visited: 12,
+//!         subtrees_pruned: 7,
+//!         postfilter_candidates: 35,
+//!     },
+//!     10,
+//! );
+//! let snap = cbir_obs::snapshot();
+//! let json = cbir_obs::to_json(&snap);
+//! assert!(json.contains("\"indexes\""));
+//! ```
+
+#![warn(missing_docs)]
+
+mod export;
+mod hist;
+mod trace;
+
+pub use export::{render_trace, to_json, to_prometheus, trace_to_json, traces_to_json};
+pub use hist::{bucket_bound, bucket_of, HistSnapshot, LogHistogram, LOG2_BUCKETS};
+pub use trace::{QueryTrace, TraceSpan, TRACE_RING_CAP};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+use trace::TraceRing;
+
+/// Index slots tracked by the registry, in export order. Unknown index
+/// names fall into the final `"other"` slot.
+pub const INDEX_NAMES: [&str; 8] = [
+    "linear", "kd-tree", "vp-tree", "antipole", "r*-tree", "m-tree", "lsh", "other",
+];
+
+/// Shared-intermediate extraction stages tracked by the registry.
+///
+/// A **miss** is the stage actually computing (timed); a **hit** is a
+/// family requesting an intermediate that the planner already has.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Stage {
+    /// Canonical bilinear resize of the input frame.
+    Resize = 0,
+    /// Grayscale (luma) conversion of the canonical frame.
+    Grayscale = 1,
+    /// Fused Sobel gradient pass.
+    Sobel = 2,
+    /// Gradient magnitude/orientation planes.
+    MagOri = 3,
+    /// Normalized-magnitude plane.
+    MagNorm = 4,
+    /// Otsu foreground mask.
+    Mask = 5,
+    /// Grayscale integral image.
+    Integral = 6,
+    /// Salience distance transform.
+    Sdt = 7,
+    /// Per-quantizer bin plane.
+    Quantize = 8,
+}
+
+impl Stage {
+    /// Every stage, in export order.
+    pub const ALL: [Stage; 9] = [
+        Stage::Resize,
+        Stage::Grayscale,
+        Stage::Sobel,
+        Stage::MagOri,
+        Stage::MagNorm,
+        Stage::Mask,
+        Stage::Integral,
+        Stage::Sdt,
+        Stage::Quantize,
+    ];
+
+    /// Stable export name of the stage.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Resize => "resize",
+            Stage::Grayscale => "grayscale",
+            Stage::Sobel => "sobel",
+            Stage::MagOri => "mag_ori",
+            Stage::MagNorm => "mag_norm",
+            Stage::Mask => "mask",
+            Stage::Integral => "integral",
+            Stage::Sdt => "sdt",
+            Stage::Quantize => "quantize",
+        }
+    }
+}
+
+/// Which search operation a flushed query ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryOp {
+    /// k-nearest-neighbour search (single or batched).
+    Knn,
+    /// Range search (single or batched).
+    Range,
+}
+
+impl QueryOp {
+    /// Stable export name of the operation.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryOp::Knn => "knn",
+            QueryOp::Range => "range",
+        }
+    }
+}
+
+/// Per-query pruning counters flushed from a `SearchStats` total.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryCounters {
+    /// Full distance evaluations performed.
+    pub distance_evaluations: u64,
+    /// Index nodes (internal or leaf) visited.
+    pub nodes_visited: u64,
+    /// Subtrees/clusters/pages excluded by a pruning bound.
+    pub subtrees_pruned: u64,
+    /// Dataset members surfaced as candidates for exact-distance
+    /// evaluation (leaf scans, bucket hits).
+    pub postfilter_candidates: u64,
+}
+
+struct IndexSlot {
+    queries: AtomicU64,
+    distance_evaluations: AtomicU64,
+    nodes_visited: AtomicU64,
+    subtrees_pruned: AtomicU64,
+    postfilter_candidates: AtomicU64,
+    results: AtomicU64,
+}
+
+impl IndexSlot {
+    const fn new() -> Self {
+        IndexSlot {
+            queries: AtomicU64::new(0),
+            distance_evaluations: AtomicU64::new(0),
+            nodes_visited: AtomicU64::new(0),
+            subtrees_pruned: AtomicU64::new(0),
+            postfilter_candidates: AtomicU64::new(0),
+            results: AtomicU64::new(0),
+        }
+    }
+}
+
+struct StageSlot {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    nanos: AtomicU64,
+}
+
+impl StageSlot {
+    const fn new() -> Self {
+        StageSlot {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Registry {
+    enabled: AtomicBool,
+    indexes: [IndexSlot; INDEX_NAMES.len()],
+    stages: [StageSlot; Stage::ALL.len()],
+    knn_latency: LogHistogram,
+    range_latency: LogHistogram,
+    queue_depth: AtomicU64,
+    traces: TraceRing,
+}
+
+static REGISTRY: Registry = Registry {
+    enabled: AtomicBool::new(true),
+    indexes: [
+        IndexSlot::new(),
+        IndexSlot::new(),
+        IndexSlot::new(),
+        IndexSlot::new(),
+        IndexSlot::new(),
+        IndexSlot::new(),
+        IndexSlot::new(),
+        IndexSlot::new(),
+    ],
+    stages: [
+        StageSlot::new(),
+        StageSlot::new(),
+        StageSlot::new(),
+        StageSlot::new(),
+        StageSlot::new(),
+        StageSlot::new(),
+        StageSlot::new(),
+        StageSlot::new(),
+        StageSlot::new(),
+    ],
+    knn_latency: LogHistogram::new(),
+    range_latency: LogHistogram::new(),
+    queue_depth: AtomicU64::new(0),
+    traces: TraceRing::new(),
+};
+
+/// Whether recording is active. Compile-time `false` under the `noop`
+/// feature; otherwise a relaxed load of the runtime switch (default on).
+#[inline]
+pub fn enabled() -> bool {
+    if cfg!(feature = "noop") {
+        return false;
+    }
+    REGISTRY.enabled.load(Ordering::Relaxed)
+}
+
+/// Turn runtime recording on or off. Has no effect under the `noop`
+/// feature (recording stays off).
+pub fn set_enabled(on: bool) {
+    REGISTRY.enabled.store(on, Ordering::Relaxed);
+}
+
+/// Slot index for an index-kind name; unknown names map to `"other"`.
+fn slot_of(index: &str) -> usize {
+    INDEX_NAMES
+        .iter()
+        .position(|&n| n == index)
+        .unwrap_or(INDEX_NAMES.len() - 1)
+}
+
+/// Flush one finished query (or one batched engine call covering
+/// `queries` queries) into the registry: pruning counters under the index
+/// slot, the call latency into the op's histogram. No-op when disabled.
+pub fn record_query(
+    index: &str,
+    op: QueryOp,
+    queries: u64,
+    latency_us: u64,
+    counters: &QueryCounters,
+    results: u64,
+) {
+    if !enabled() {
+        return;
+    }
+    let slot = &REGISTRY.indexes[slot_of(index)];
+    slot.queries.fetch_add(queries, Ordering::Relaxed);
+    slot.distance_evaluations
+        .fetch_add(counters.distance_evaluations, Ordering::Relaxed);
+    slot.nodes_visited
+        .fetch_add(counters.nodes_visited, Ordering::Relaxed);
+    slot.subtrees_pruned
+        .fetch_add(counters.subtrees_pruned, Ordering::Relaxed);
+    slot.postfilter_candidates
+        .fetch_add(counters.postfilter_candidates, Ordering::Relaxed);
+    slot.results.fetch_add(results, Ordering::Relaxed);
+    match op {
+        QueryOp::Knn => REGISTRY.knn_latency.record(latency_us),
+        QueryOp::Range => REGISTRY.range_latency.record(latency_us),
+    }
+}
+
+/// Record a planner stage hit: the intermediate was requested and already
+/// available. No-op when disabled.
+#[inline]
+pub fn stage_hit(stage: Stage) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY.stages[stage as usize]
+        .hits
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record a planner stage miss: the intermediate was computed, taking
+/// `nanos`. No-op when disabled.
+#[inline]
+pub fn stage_miss(stage: Stage, nanos: u64) {
+    if !enabled() {
+        return;
+    }
+    let s = &REGISTRY.stages[stage as usize];
+    s.misses.fetch_add(1, Ordering::Relaxed);
+    s.nanos.fetch_add(nanos, Ordering::Relaxed);
+}
+
+/// A stage-compute timer: started before the work, finished after.
+/// Carries no clock when recording is disabled, so the disabled path
+/// costs one relaxed load and no `Instant::now` call.
+#[must_use]
+pub struct StageTimer {
+    stage: Stage,
+    start: Option<Instant>,
+}
+
+impl StageTimer {
+    /// Start timing a stage compute (no-op when disabled).
+    #[inline]
+    pub fn start(stage: Stage) -> Self {
+        StageTimer {
+            stage,
+            start: enabled().then(Instant::now),
+        }
+    }
+
+    /// Record the stage miss with the elapsed time.
+    #[inline]
+    pub fn finish(self) {
+        if let Some(start) = self.start {
+            stage_miss(self.stage, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Update the scheduler queue-depth gauge.
+#[inline]
+pub fn set_queue_depth(depth: u64) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY.queue_depth.store(depth, Ordering::Relaxed);
+}
+
+/// Set trace sampling: `0` disables tracing, `1` traces every query,
+/// `n > 1` traces every n-th query.
+pub fn set_trace_sample_n(n: u64) {
+    REGISTRY.traces.set_sample_n(n);
+}
+
+/// The current trace sampling rate (`0` = off).
+pub fn trace_sample_n() -> u64 {
+    REGISTRY.traces.sample_n()
+}
+
+/// Advance the query sequence and decide whether the caller should
+/// capture a trace for this query; returns the sequence number when it
+/// should. Always `None` when recording is disabled or sampling is off.
+pub fn trace_should_sample() -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    REGISTRY.traces.should_sample()
+}
+
+/// Store a captured trace in the ring (oldest dropped when full).
+pub fn push_trace(trace: QueryTrace) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY.traces.push(trace);
+}
+
+/// The most recently captured trace, if any.
+pub fn latest_trace() -> Option<QueryTrace> {
+    REGISTRY.traces.latest()
+}
+
+/// Every trace currently in the ring, oldest first.
+pub fn traces() -> Vec<QueryTrace> {
+    REGISTRY.traces.all()
+}
+
+/// Counters of one index slot at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexCounters {
+    /// Index kind name (one of [`INDEX_NAMES`]).
+    pub index: &'static str,
+    /// Queries flushed under this index.
+    pub queries: u64,
+    /// Total full distance evaluations.
+    pub distance_evaluations: u64,
+    /// Total index nodes visited.
+    pub nodes_visited: u64,
+    /// Total subtrees excluded by a pruning bound.
+    pub subtrees_pruned: u64,
+    /// Total candidates surfaced for exact-distance evaluation.
+    pub postfilter_candidates: u64,
+    /// Total result rows returned.
+    pub results: u64,
+}
+
+/// Counters of one extraction stage at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageCounters {
+    /// Stage name (see [`Stage::name`]).
+    pub stage: &'static str,
+    /// Requests answered from the planner cache.
+    pub hits: u64,
+    /// Actual computes.
+    pub misses: u64,
+    /// Total nanoseconds spent computing.
+    pub nanos: u64,
+}
+
+/// Latency tail summary of one op's histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Calls recorded.
+    pub count: u64,
+    /// Sum of recorded latencies, microseconds.
+    pub sum_us: u64,
+    /// Estimated p50 (log₂-bucket upper bound), microseconds.
+    pub p50_us: u64,
+    /// Estimated p95, microseconds.
+    pub p95_us: u64,
+    /// Estimated p99, microseconds.
+    pub p99_us: u64,
+}
+
+impl LatencySummary {
+    fn from_hist(h: &HistSnapshot) -> Self {
+        LatencySummary {
+            count: h.count,
+            sum_us: h.sum,
+            p50_us: h.quantile(50),
+            p95_us: h.quantile(95),
+            p99_us: h.quantile(99),
+        }
+    }
+}
+
+/// A point-in-time copy of every registry counter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObsSnapshot {
+    /// Whether recording was enabled at snapshot time.
+    pub enabled: bool,
+    /// Trace sampling rate at snapshot time (`0` = off).
+    pub trace_sample_n: u64,
+    /// Scheduler queue-depth gauge.
+    pub queue_depth: u64,
+    /// Per-index pruning counters, in [`INDEX_NAMES`] order.
+    pub indexes: Vec<IndexCounters>,
+    /// Per-stage planner counters, in [`Stage::ALL`] order.
+    pub stages: Vec<StageCounters>,
+    /// k-NN call latency summary.
+    pub knn_latency: LatencySummary,
+    /// Range call latency summary.
+    pub range_latency: LatencySummary,
+    /// Traces currently held in the ring.
+    pub trace_count: u64,
+}
+
+/// Snapshot every counter in the registry.
+pub fn snapshot() -> ObsSnapshot {
+    let indexes = INDEX_NAMES
+        .iter()
+        .zip(&REGISTRY.indexes)
+        .map(|(&name, s)| IndexCounters {
+            index: name,
+            queries: s.queries.load(Ordering::Relaxed),
+            distance_evaluations: s.distance_evaluations.load(Ordering::Relaxed),
+            nodes_visited: s.nodes_visited.load(Ordering::Relaxed),
+            subtrees_pruned: s.subtrees_pruned.load(Ordering::Relaxed),
+            postfilter_candidates: s.postfilter_candidates.load(Ordering::Relaxed),
+            results: s.results.load(Ordering::Relaxed),
+        })
+        .collect();
+    let stages = Stage::ALL
+        .iter()
+        .zip(&REGISTRY.stages)
+        .map(|(&stage, s)| StageCounters {
+            stage: stage.name(),
+            hits: s.hits.load(Ordering::Relaxed),
+            misses: s.misses.load(Ordering::Relaxed),
+            nanos: s.nanos.load(Ordering::Relaxed),
+        })
+        .collect();
+    ObsSnapshot {
+        enabled: enabled(),
+        trace_sample_n: trace_sample_n(),
+        queue_depth: REGISTRY.queue_depth.load(Ordering::Relaxed),
+        indexes,
+        stages,
+        knn_latency: LatencySummary::from_hist(&REGISTRY.knn_latency.snapshot()),
+        range_latency: LatencySummary::from_hist(&REGISTRY.range_latency.snapshot()),
+        trace_count: REGISTRY.traces.all().len() as u64,
+    }
+}
+
+/// Zero every counter, histogram, gauge, and the trace ring. The enabled
+/// flag and sampling rate are left as set. Intended for process startup
+/// and benchmark harnesses, not for concurrent use with recording.
+pub fn reset() {
+    for s in &REGISTRY.indexes {
+        s.queries.store(0, Ordering::Relaxed);
+        s.distance_evaluations.store(0, Ordering::Relaxed);
+        s.nodes_visited.store(0, Ordering::Relaxed);
+        s.subtrees_pruned.store(0, Ordering::Relaxed);
+        s.postfilter_candidates.store(0, Ordering::Relaxed);
+        s.results.store(0, Ordering::Relaxed);
+    }
+    for s in &REGISTRY.stages {
+        s.hits.store(0, Ordering::Relaxed);
+        s.misses.store(0, Ordering::Relaxed);
+        s.nanos.store(0, Ordering::Relaxed);
+    }
+    REGISTRY.knn_latency.reset();
+    REGISTRY.range_latency.reset();
+    REGISTRY.queue_depth.store(0, Ordering::Relaxed);
+    REGISTRY.traces.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and `cargo test` runs tests on
+    // threads; serialize the tests that flip the enabled flag or assert
+    // counter deltas.
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn record_query_accumulates_under_the_right_slot() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        let before = snapshot();
+        let b = &before.indexes[slot_of("vp-tree")];
+        let (q0, d0) = (b.queries, b.distance_evaluations);
+        record_query(
+            "vp-tree",
+            QueryOp::Knn,
+            2,
+            100,
+            &QueryCounters {
+                distance_evaluations: 30,
+                nodes_visited: 10,
+                subtrees_pruned: 4,
+                postfilter_candidates: 25,
+            },
+            6,
+        );
+        let after = snapshot();
+        let a = &after.indexes[slot_of("vp-tree")];
+        assert_eq!(a.index, "vp-tree");
+        assert_eq!(a.queries - q0, 2);
+        assert_eq!(a.distance_evaluations - d0, 30);
+        assert!(after.knn_latency.count > before.knn_latency.count);
+    }
+
+    #[test]
+    fn unknown_index_names_fall_into_other() {
+        assert_eq!(slot_of("linear"), 0);
+        assert_eq!(slot_of("no-such-index"), INDEX_NAMES.len() - 1);
+        assert_eq!(INDEX_NAMES[slot_of("no-such-index")], "other");
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        let s0 = snapshot();
+        set_enabled(false);
+        record_query(
+            "linear",
+            QueryOp::Range,
+            1,
+            50,
+            &QueryCounters {
+                distance_evaluations: 1_000_000,
+                ..QueryCounters::default()
+            },
+            1,
+        );
+        stage_hit(Stage::Resize);
+        stage_miss(Stage::Resize, 1_000_000);
+        assert_eq!(trace_should_sample(), None);
+        set_enabled(true);
+        let s1 = snapshot();
+        // Nothing recorded while disabled (other tests may have recorded
+        // concurrently, so only check the unmistakable million-unit spike
+        // is absent).
+        let spike = s1.indexes[slot_of("linear")].distance_evaluations
+            - s0.indexes[slot_of("linear")].distance_evaluations;
+        assert!(spike < 1_000_000);
+    }
+
+    #[test]
+    fn stage_counters_accumulate() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        let h0 = snapshot().stages[Stage::Mask as usize].hits;
+        stage_hit(Stage::Mask);
+        let t = StageTimer::start(Stage::Mask);
+        t.finish();
+        let s = snapshot();
+        assert_eq!(s.stages[Stage::Mask as usize].stage, "mask");
+        assert!(s.stages[Stage::Mask as usize].hits > h0);
+        assert!(s.stages[Stage::Mask as usize].misses >= 1);
+    }
+}

@@ -247,6 +247,31 @@ impl Client {
         }
     }
 
+    /// Server-side observability snapshot, rendered as JSON (or
+    /// Prometheus text exposition when `prometheus` is set).
+    pub fn obs_stats(&mut self, prometheus: bool) -> ClientResult<String> {
+        self.send(&Request::ObsStats { prometheus })?;
+        self.flush()?;
+        match self.recv()? {
+            Response::ObsText(text) => Ok(text),
+            other => Err(ClientError::Protocol(format!(
+                "expected obs text, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's sampled query traces, rendered as JSON.
+    pub fn explain(&mut self) -> ClientResult<String> {
+        self.send(&Request::Explain)?;
+        self.flush()?;
+        match self.recv()? {
+            Response::ObsText(text) => Ok(text),
+            other => Err(ClientError::Protocol(format!(
+                "expected obs text, got {other:?}"
+            ))),
+        }
+    }
+
     /// Ask the server to drain and stop; returns once acknowledged.
     ///
     /// Must not be called with pipelined requests still unread: replies

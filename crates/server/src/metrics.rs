@@ -158,6 +158,7 @@ mod tests {
         search.record(&SearchStats {
             distance_computations: 40,
             nodes_visited: 4,
+            ..SearchStats::default()
         });
         m.on_batch(5, 1, &[100, 200, 300, 400], &search);
         m.on_batch(1, 0, &[50], &BatchStats::new());

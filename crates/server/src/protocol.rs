@@ -89,6 +89,17 @@ pub enum Request {
     Stats,
     /// Graceful shutdown: drain admitted requests, answer them, then stop.
     Shutdown,
+    /// Observability registry snapshot, rendered server-side; answered
+    /// inline with [`Response::ObsText`].
+    ///
+    /// Body: `u8 format` (`0` = JSON, `1` = Prometheus text exposition).
+    ObsStats {
+        /// `true` renders Prometheus text exposition instead of JSON.
+        prometheus: bool,
+    },
+    /// Sampled query traces (JSON), for `cbir rpc-ctl explain`; answered
+    /// inline with [`Response::ObsText`].
+    Explain,
 }
 
 const OP_PING: u8 = 0;
@@ -97,6 +108,8 @@ const OP_RANGE: u8 = 2;
 const OP_KNN_BY_ID: u8 = 3;
 const OP_STATS: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
+const OP_OBS_STATS: u8 = 6;
+const OP_EXPLAIN: u8 = 7;
 
 /// One retrieval hit on the wire; mirrors `cbir_core::Ranked`.
 ///
@@ -175,6 +188,9 @@ pub enum Response {
     ShuttingDown(String),
     /// The request's deadline expired while it waited in the queue.
     DeadlineExpired(String),
+    /// Rendered observability text (JSON or Prometheus exposition),
+    /// answering [`Request::ObsStats`] and [`Request::Explain`].
+    ObsText(String),
 }
 
 const ST_HITS: u8 = 0;
@@ -185,6 +201,7 @@ const ST_ERROR: u8 = 4;
 const ST_OVERLOADED: u8 = 5;
 const ST_SHUTTING_DOWN: u8 = 6;
 const ST_DEADLINE_EXPIRED: u8 = 7;
+const ST_OBS_TEXT: u8 = 8;
 
 // ---------------------------------------------------------------------------
 // Payload writer/reader (little-endian, length-prefixed strings).
@@ -329,6 +346,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => w.u8(OP_STATS),
         Request::Shutdown => w.u8(OP_SHUTDOWN),
+        Request::ObsStats { prometheus } => {
+            w.u8(OP_OBS_STATS);
+            w.u8(u8::from(*prometheus));
+        }
+        Request::Explain => w.u8(OP_EXPLAIN),
     }
     w.buf
 }
@@ -355,6 +377,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         },
         OP_STATS => Request::Stats,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_OBS_STATS => match r.u8()? {
+            0 => Request::ObsStats { prometheus: false },
+            1 => Request::ObsStats { prometheus: true },
+            f => return Err(wire_err(format!("unknown obs-stats format {f}"))),
+        },
+        OP_EXPLAIN => Request::Explain,
         t => return Err(wire_err(format!("unknown request op {t}"))),
     };
     r.finish()?;
@@ -429,6 +457,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u8(ST_DEADLINE_EXPIRED);
             w.str(msg);
         }
+        Response::ObsText(text) => {
+            w.u8(ST_OBS_TEXT);
+            w.str(text);
+        }
     }
     w.buf
 }
@@ -495,6 +527,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         ST_OVERLOADED => Response::Overloaded(r.str()?),
         ST_SHUTTING_DOWN => Response::ShuttingDown(r.str()?),
         ST_DEADLINE_EXPIRED => Response::DeadlineExpired(r.str()?),
+        ST_OBS_TEXT => Response::ObsText(r.str()?),
         t => return Err(wire_err(format!("unknown response status {t}"))),
     };
     r.finish()?;
@@ -601,6 +634,17 @@ mod tests {
             deadline_us: 42,
             id: 7,
         });
+        roundtrip_request(Request::ObsStats { prometheus: false });
+        roundtrip_request(Request::ObsStats { prometheus: true });
+        roundtrip_request(Request::Explain);
+    }
+
+    #[test]
+    fn obs_stats_rejects_unknown_format() {
+        let mut w = PayloadWriter::default();
+        w.u8(OP_OBS_STATS);
+        w.u8(7);
+        assert!(decode_request(&w.buf).is_err());
     }
 
     #[test]
@@ -626,6 +670,7 @@ mod tests {
         roundtrip_response(Response::Overloaded("queue full".into()));
         roundtrip_response(Response::ShuttingDown("draining".into()));
         roundtrip_response(Response::DeadlineExpired("5ms budget".into()));
+        roundtrip_response(Response::ObsText("{\"traces\": []}\n".into()));
         roundtrip_response(Response::Stats(StatsSnapshot {
             requests: 100,
             admitted: 90,

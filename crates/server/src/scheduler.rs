@@ -222,7 +222,9 @@ impl Scheduler {
             return;
         }
         q.items.push_back(pending);
+        let depth = q.items.len();
         drop(q);
+        cbir_obs::set_queue_depth(depth as u64);
         self.metrics.on_admitted();
         self.not_empty.notify_one();
     }
@@ -337,6 +339,7 @@ impl Scheduler {
                 }
             }
         }
+        cbir_obs::set_queue_depth(guard.items.len() as u64);
         Some(batch)
     }
 

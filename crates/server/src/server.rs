@@ -319,6 +319,23 @@ fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) 
                         .snapshot(scheduler.queue_depth()),
                 ));
             }
+            Request::ObsStats { prometheus } => {
+                // Refresh the queue-depth gauge so a snapshot taken from an
+                // otherwise idle server still reads the live value.
+                cbir_obs::set_queue_depth(scheduler.queue_depth() as u64);
+                let snap = cbir_obs::snapshot();
+                let text = if prometheus {
+                    cbir_obs::to_prometheus(&snap)
+                } else {
+                    cbir_obs::to_json(&snap)
+                };
+                respond_now(Response::ObsText(text));
+            }
+            Request::Explain => {
+                respond_now(Response::ObsText(cbir_obs::traces_to_json(
+                    &cbir_obs::traces(),
+                )));
+            }
             Request::Shutdown => {
                 respond_now(Response::ShutdownAck);
                 controller.trigger();

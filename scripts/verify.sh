@@ -32,6 +32,7 @@ if [ "${SKIP_QUICK_BENCH:-0}" != 1 ]; then
     cargo run --release -q -p cbir-bench --bin exp_extraction_throughput -- --quick
     cargo run --release -q -p cbir-bench --bin exp_batch_throughput -- --quick
     cargo run --release -q -p cbir-bench --bin exp_serve_throughput -- --quick
+    cargo run --release -q -p cbir-bench --bin exp_obs_overhead -- --quick
 fi
 
 echo "==> server smoke test (generate -> index -> serve -> rpc-query -> shutdown)"
@@ -56,6 +57,28 @@ echo "$KNN_OUT" | grep -q "class-" || { echo "rpc-query knn returned no hits"; e
 BYID_OUT=$("$CBIR" rpc-query "$ADDR" --id 0 -k 2)
 echo "$BYID_OUT" | grep -q "class-" || { echo "rpc-query --id returned no hits"; exit 1; }
 "$CBIR" rpc-ctl "$ADDR" stats >/dev/null
+
+echo "==> observability smoke (stats export, explain, traced bit-identity)"
+# Both export formats must parse as non-empty text with the expected
+# leading tokens.
+"$CBIR" stats "$ADDR" | grep -q '"enabled"' \
+    || { echo "cbir stats json missing enabled key"; exit 1; }
+"$CBIR" stats "$ADDR" --format prometheus | grep -q '^cbir_queue_depth ' \
+    || { echo "cbir stats prometheus missing queue gauge"; exit 1; }
+"$CBIR" rpc-ctl "$ADDR" explain | grep -q '"traces"' \
+    || { echo "rpc-ctl explain missing traces key"; exit 1; }
+# Tracing must be bit-invisible: a query with --trace-sample-n 1 writes
+# its trace to stderr and leaves stdout byte-identical to an untraced run.
+"$CBIR" query "$SMOKE_DIR/photos.cbir" "$QUERY_IMG" -k 3 \
+    > "$SMOKE_DIR/untraced.out"
+"$CBIR" query "$SMOKE_DIR/photos.cbir" "$QUERY_IMG" -k 3 --trace-sample-n 1 \
+    > "$SMOKE_DIR/traced.out" 2> "$SMOKE_DIR/traced.err"
+cmp -s "$SMOKE_DIR/untraced.out" "$SMOKE_DIR/traced.out" \
+    || { echo "tracing changed query stdout"; exit 1; }
+grep -q "trace #" "$SMOKE_DIR/traced.err" \
+    || { echo "traced query produced no trace on stderr"; exit 1; }
+"$CBIR" trace "$SMOKE_DIR/photos.cbir" "$QUERY_IMG" -k 3 --format json \
+    | grep -q '"spans"' || { echo "cbir trace json missing spans"; exit 1; }
 
 echo "==> abort-mid-request smoke (torn client, server keeps serving)"
 # A client that promises a payload, sends 3 bytes, and vanishes. The

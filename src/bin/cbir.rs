@@ -8,6 +8,8 @@
 //! cbir info <db>
 //! cbir fsck <db>
 //! cbir evaluate <db> [-k N] [--measure M] [--index I] [--threads N]
+//! cbir trace <db> <image> [-k N] [--format text|json]
+//! cbir stats <addr> [--format json|prometheus]
 //! ```
 //!
 //! Images are read in any supported container (PPM/PGM/PBM/BMP). Class
@@ -22,7 +24,7 @@ use cbir::server::{
 use cbir::workload::{Corpus, CorpusSpec};
 use cbir::{
     evaluate_engine, BatchItem, BatchStats, FeatureSpec, ImageDatabase, IndexKind, Measure,
-    Pipeline, QueryEngine,
+    Pipeline, QueryEngine, SearchStats,
 };
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -39,9 +41,11 @@ fn usage() -> ! {
       extract signatures from every image in <dir> and save a database
 
   cbir query <db> <image>... [-k N] [--measure l1|l2|linf|chisq|match|cosine|intersect]
-                             [--index linear|kd|vp|antipole|rstar] [--threads N]
+                             [--index linear|kd|vp|antipole|rstar|mtree] [--threads N]
+                             [--trace-sample-n N]
       rank database images by similarity to the example image(s);
-      multiple images run as one batch
+      multiple images run as one batch; --trace-sample-n 1 prints a
+      per-query stage trace to stderr (stdout stays byte-identical)
 
   cbir info <db>
       print database statistics
@@ -49,16 +53,25 @@ fn usage() -> ! {
   cbir evaluate <db> [-k N] [--measure M] [--index I] [--threads N]
       leave-one-out retrieval evaluation over the database's class labels
 
+  cbir trace <db> <image> [-k N] [--measure M] [--index I] [--format text|json]
+      run one traced query and print its stage timeline plus pruning
+      counters (text renders a timeline, json emits the raw trace)
+
+  cbir stats <addr> [--format json|prometheus]
+      fetch a running server's observability snapshot (per-index pruning
+      counters, stage cache hits, latency quantiles, queue depth)
+
   cbir fsck <db>
       validate a database file section by section (checksums, lengths);
       prints per-section status and exits nonzero on the first corruption
 
   cbir serve <db> [--port P] [--addr-file F] [--measure M] [--index I]
                   [--max-batch N] [--max-delay-us N] [--queue-cap N] [--threads N]
-                  [--idle-timeout-ms N] [--write-timeout-ms N]
+                  [--idle-timeout-ms N] [--write-timeout-ms N] [--trace-sample-n N]
       serve the database over TCP (CBIRRPC1) with dynamic micro-batching;
       --port 0 picks an ephemeral port, --addr-file writes the bound address;
-      timeout 0 disables idle reaping / write timeouts
+      timeout 0 disables idle reaping / write timeouts; --trace-sample-n N
+      samples every Nth query into the trace ring (see rpc-ctl explain)
 
   cbir rpc-query <addr> [<image>...] --db <file> [-k N] [--radius R] [--deadline-us D]
   cbir rpc-query <addr> --id N [-k N] [--deadline-us D] [--retries N]
@@ -66,10 +79,11 @@ fn usage() -> ! {
       the pipeline stored in --db, or --id queries by database image id;
       --retries > 0 reconnects and resends on transient failures
 
-  cbir rpc-ctl <addr> ping|stats|shutdown|abort
-      probe, inspect counters, gracefully stop a running server, or
-      abort: open a connection, send a deliberately truncated frame, and
-      vanish (exercises the server's torn-client handling)"
+  cbir rpc-ctl <addr> ping|stats|explain|shutdown|abort
+      probe, inspect counters, dump sampled query traces as JSON
+      (explain), gracefully stop a running server, or abort: open a
+      connection, send a deliberately truncated frame, and vanish
+      (exercises the server's torn-client handling)"
     );
     std::process::exit(2);
 }
@@ -168,6 +182,7 @@ fn index_by_name(name: &str) -> IndexKind {
         "vp" => IndexKind::VpTree,
         "antipole" => IndexKind::Antipole { diameter: None },
         "rstar" => IndexKind::RStar,
+        "mtree" => IndexKind::MTree,
         other => {
             eprintln!("error: unknown index {other:?}");
             std::process::exit(2);
@@ -282,6 +297,11 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
 
+    let trace_every: u64 = args.flag_parse("trace-sample-n", 0);
+    if trace_every > 0 {
+        cbir::obs::set_trace_sample_n(trace_every);
+    }
+
     let db = persist::load_file(db_path)?;
     let n = db.len();
     let engine = QueryEngine::build(db, kind, measure)?;
@@ -293,6 +313,14 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let queries = engine.database().extract_batch(&refs, threads)?;
     let mut stats = BatchStats::new();
     let results = engine.knn_batch(&queries, k, threads, &mut stats)?;
+
+    // Traces go to stderr so stdout stays byte-identical with and
+    // without sampling (verified by scripts/verify.sh).
+    if trace_every > 0 {
+        for t in cbir::obs::traces() {
+            eprint!("{}", cbir::obs::render_trace(&t));
+        }
+    }
 
     for (hits, img_path) in results.iter().zip(img_paths) {
         if img_paths.len() > 1 {
@@ -407,6 +435,49 @@ fn cmd_evaluate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_trace(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let db_path = args.positional.first().unwrap_or_else(|| usage());
+    let img_path = args.positional.get(1).unwrap_or_else(|| usage());
+    let k: usize = args.flag_parse("k", 10);
+    let measure = measure_by_name(args.flag("measure").unwrap_or("l1"));
+    let kind = index_by_name(args.flag("index").unwrap_or("antipole"));
+    let format = args.flag("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        eprintln!("error: unknown format {format:?} (text|json)");
+        std::process::exit(2);
+    }
+
+    let db = persist::load_file(db_path)?;
+    let engine = QueryEngine::build(db, kind, measure)?;
+    let image = decode(&std::fs::read(img_path)?)?.into_rgb();
+    cbir::obs::set_trace_sample_n(1);
+    let mut stats = SearchStats::new();
+    engine.query_by_example(&image, k, &mut stats)?;
+    let trace = cbir::obs::latest_trace()
+        .ok_or("no trace captured (observability disabled in this build?)")?;
+    match format {
+        "json" => println!("{}", cbir::obs::trace_to_json(&trace)),
+        _ => print!("{}", cbir::obs::render_trace(&trace)),
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = args.positional.first().unwrap_or_else(|| usage());
+    let format = args.flag("format").unwrap_or("json");
+    let prometheus = match format {
+        "json" => false,
+        "prometheus" => true,
+        other => {
+            eprintln!("error: unknown format {other:?} (json|prometheus)");
+            std::process::exit(2);
+        }
+    };
+    let mut client = Client::connect(addr)?;
+    print!("{}", client.obs_stats(prometheus)?);
+    Ok(())
+}
+
 fn print_server_stats(snap: &StatsSnapshot) {
     println!(
         "requests {} (admitted {}, shed {}, refused-shutdown {}), executed {} in {} batches, \
@@ -469,6 +540,11 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         idle_timeout: timeout_flag("idle-timeout-ms", defaults.idle_timeout),
         write_timeout: timeout_flag("write-timeout-ms", defaults.write_timeout),
     };
+
+    let trace_every: u64 = args.flag_parse("trace-sample-n", 0);
+    if trace_every > 0 {
+        cbir::obs::set_trace_sample_n(trace_every);
+    }
 
     let db = persist::load_file(db_path)?;
     let n = db.len();
@@ -654,6 +730,9 @@ fn cmd_rpc_ctl(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             let snap = client.stats()?;
             print_server_stats(&snap);
         }
+        "explain" => {
+            print!("{}", client.explain()?);
+        }
         "shutdown" => {
             client.shutdown()?;
             println!("server at {addr} acknowledged shutdown");
@@ -676,6 +755,8 @@ fn main() -> ExitCode {
         "query" => cmd_query(&args),
         "info" => cmd_info(&args),
         "evaluate" => cmd_evaluate(&args),
+        "trace" => cmd_trace(&args),
+        "stats" => cmd_stats(&args),
         "fsck" => cmd_fsck(&args),
         "serve" => cmd_serve(&args),
         "rpc-query" => cmd_rpc_query(&args),

@@ -24,7 +24,10 @@
 //!   used by the test and benchmark suites;
 //! - [`server`] — the network serving layer: a TCP query server with
 //!   dynamic micro-batching and admission control, plus the matching
-//!   blocking [`server::Client`] (`cbir serve` / `cbir rpc-query`).
+//!   blocking [`server::Client`] (`cbir serve` / `cbir rpc-query`);
+//! - [`obs`] — observability: process-wide pruning/stage counters,
+//!   latency histograms, sampled per-query traces, and JSON/Prometheus
+//!   export (`cbir stats` / `cbir trace`).
 //!
 //! ## Quickstart
 //!
@@ -52,6 +55,7 @@ pub use cbir_distance as distance;
 pub use cbir_features as features;
 pub use cbir_image as image;
 pub use cbir_index as index;
+pub use cbir_obs as obs;
 pub use cbir_server as server;
 pub use cbir_workload as workload;
 

@@ -167,3 +167,461 @@ fn bmp_ingest_works_too() {
     assert!(stdout.contains("indexed 3 images"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Observability surface: `cbir trace`, `cbir stats`, `rpc-ctl explain`.
+//
+// The JSON these commands emit is consumed by scripts, so the tests parse
+// it with a minimal recursive-descent parser (no external dependency) and
+// assert the documented schema key by key.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value, just enough to validate output schemas.
+#[derive(Debug)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn expect(&self, key: &str) -> &Json {
+        self.get(key)
+            .unwrap_or_else(|| panic!("missing key {key:?} in {self:?}"))
+    }
+
+    fn as_arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    fn as_num(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn as_bool(&self) -> bool {
+        match self {
+            Json::Bool(b) => *b,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(c) => return Err(format!("unsupported escape \\{}", *c as char)),
+                            None => return Err("unterminated escape".into()),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        s.push(c as char);
+                        *pos += 1;
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("invalid number at offset {start}"))
+        }
+    }
+}
+
+/// Build a tiny indexed database for the observability tests; returns the
+/// workspace dir, db path, and one corpus image path.
+fn obs_fixture(tag: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let dir = temp_workspace(tag);
+    let corpus = dir.join("corpus");
+    let db = dir.join("db.cbir");
+    let (ok, _, stderr) = run(&[
+        "generate",
+        corpus.to_str().unwrap(),
+        "--classes",
+        "3",
+        "--per-class",
+        "4",
+        "--size",
+        "32",
+    ]);
+    assert!(ok, "generate failed: {stderr}");
+    let (ok, _, stderr) = run(&[
+        "index",
+        corpus.to_str().unwrap(),
+        "--db",
+        db.to_str().unwrap(),
+        "--pipeline",
+        "color",
+    ]);
+    assert!(ok, "index failed: {stderr}");
+    let img = std::fs::read_dir(&corpus)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "ppm"))
+        .unwrap();
+    (dir, db, img)
+}
+
+const TRACE_KEYS: &[&str] = &[
+    "seq",
+    "op",
+    "index",
+    "queries",
+    "total_ns",
+    "spans",
+    "distance_evaluations",
+    "nodes_visited",
+    "subtrees_pruned",
+    "postfilter_candidates",
+    "results",
+];
+
+fn assert_trace_schema(trace: &Json) {
+    for key in TRACE_KEYS {
+        trace.expect(key);
+    }
+    let spans = trace.expect("spans").as_arr();
+    assert!(!spans.is_empty(), "trace has no spans");
+    for span in spans {
+        span.expect("name").as_str();
+        span.expect("start_ns").as_num();
+        span.expect("dur_ns").as_num();
+    }
+}
+
+#[test]
+fn trace_command_emits_documented_schema() {
+    let (dir, db, img) = obs_fixture("trace");
+    let db_s = db.to_str().unwrap();
+    let img_s = img.to_str().unwrap();
+
+    // JSON format parses and carries every documented key.
+    let (ok, stdout, stderr) = run(&["trace", db_s, img_s, "-k", "3", "--format", "json"]);
+    assert!(ok, "trace --format json failed: {stderr}");
+    let trace = Json::parse(&stdout).unwrap_or_else(|e| panic!("bad trace JSON: {e}\n{stdout}"));
+    assert_trace_schema(&trace);
+    assert_eq!(trace.expect("op").as_str(), "knn");
+    assert_eq!(trace.expect("queries").as_num(), 1.0);
+    // query_by_example runs extract → search → rank.
+    let names: Vec<&str> = trace
+        .expect("spans")
+        .as_arr()
+        .iter()
+        .map(|s| s.expect("name").as_str())
+        .collect();
+    assert_eq!(names, ["extract", "search", "rank"], "{stdout}");
+
+    // Text format renders a timeline with the counters footer.
+    let (ok, stdout, stderr) = run(&["trace", db_s, img_s, "-k", "3", "--index", "vp"]);
+    assert!(ok, "trace text failed: {stderr}");
+    assert!(stdout.contains("trace #"), "{stdout}");
+    assert!(stdout.contains("vp-tree"), "{stdout}");
+    assert!(stdout.contains("counters:"), "{stdout}");
+    assert!(stdout.contains("distance evaluations"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn traced_query_stdout_is_bit_identical() {
+    let (dir, db, img) = obs_fixture("bitid");
+    let db_s = db.to_str().unwrap();
+    let img_s = img.to_str().unwrap();
+
+    let (ok, plain, stderr) = run(&["query", db_s, img_s, "-k", "5"]);
+    assert!(ok, "untraced query failed: {stderr}");
+    let (ok, traced, traced_err) = run(&["query", db_s, img_s, "-k", "5", "--trace-sample-n", "1"]);
+    assert!(ok, "traced query failed: {traced_err}");
+    assert_eq!(plain, traced, "tracing changed query stdout");
+    assert!(
+        traced_err.contains("trace #"),
+        "traces should land on stderr: {traced_err}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_and_explain_rpcs_emit_documented_schemas() {
+    let (dir, db, img) = obs_fixture("stats");
+    let db_s = db.to_str().unwrap();
+    let addr_file = dir.join("addr.txt");
+
+    let mut server = Command::new(bin())
+        .args([
+            "serve",
+            db_s,
+            "--port",
+            "0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--trace-sample-n",
+            "1",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn cbir serve");
+
+    // Wait for the server to write its bound address.
+    let mut addr = String::new();
+    for _ in 0..100 {
+        if let Ok(s) = std::fs::read_to_string(&addr_file) {
+            if !s.is_empty() {
+                addr = s;
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(!addr.is_empty(), "server never wrote its address");
+
+    // Drive one query through so the counters are non-zero.
+    let (ok, _, stderr) = run(&[
+        "rpc-query",
+        &addr,
+        img.to_str().unwrap(),
+        "--db",
+        db_s,
+        "-k",
+        "3",
+    ]);
+    assert!(ok, "rpc-query failed: {stderr}");
+
+    // JSON stats: every documented section, with the query visible.
+    let (ok, stdout, stderr) = run(&["stats", &addr]);
+    assert!(ok, "stats failed: {stderr}");
+    let snap = Json::parse(&stdout).unwrap_or_else(|e| panic!("bad stats JSON: {e}\n{stdout}"));
+    for key in [
+        "enabled",
+        "trace_sample_n",
+        "queue_depth",
+        "indexes",
+        "stages",
+        "latency",
+        "trace_count",
+    ] {
+        snap.expect(key);
+    }
+    assert!(snap.expect("enabled").as_bool(), "counters should be on");
+    let indexes = snap.expect("indexes").as_arr();
+    assert!(!indexes.is_empty());
+    let mut queries_total = 0.0;
+    for row in indexes {
+        for key in [
+            "index",
+            "queries",
+            "distance_evaluations",
+            "nodes_visited",
+            "subtrees_pruned",
+            "postfilter_candidates",
+            "results",
+        ] {
+            row.expect(key);
+        }
+        queries_total += row.expect("queries").as_num();
+    }
+    assert!(queries_total >= 1.0, "rpc query not counted: {stdout}");
+    for row in snap.expect("stages").as_arr() {
+        for key in ["stage", "hits", "misses", "nanos"] {
+            row.expect(key);
+        }
+    }
+    for op in ["knn", "range"] {
+        let lat = snap.expect("latency").expect(op);
+        for key in ["count", "sum_us", "p50_us", "p95_us", "p99_us"] {
+            lat.expect(key);
+        }
+    }
+    assert!(snap.expect("trace_count").as_num() >= 1.0, "{stdout}");
+
+    // Prometheus format: well-formed text exposition.
+    let (ok, prom, stderr) = run(&["stats", &addr, "--format", "prometheus"]);
+    assert!(ok, "stats --format prometheus failed: {stderr}");
+    let mut samples = 0usize;
+    for line in prom.lines() {
+        if line.is_empty() || line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        // Every sample line is `metric{labels} value` or `metric value`.
+        let (name_part, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line without value: {line:?}");
+        });
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample value: {line:?}"
+        );
+        let name = name_part.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name: {line:?}"
+        );
+        if let Some(rest) = name_part.strip_prefix(name) {
+            if !rest.is_empty() {
+                assert!(
+                    rest.starts_with('{') && rest.ends_with('}'),
+                    "bad label block: {line:?}"
+                );
+            }
+        }
+        samples += 1;
+    }
+    assert!(samples > 20, "suspiciously few samples:\n{prom}");
+    for metric in [
+        "cbir_index_queries_total",
+        "cbir_index_distance_evaluations_total",
+        "cbir_index_subtrees_pruned_total",
+        "cbir_stage_hits_total",
+        "cbir_query_latency_microseconds",
+        "cbir_queue_depth",
+    ] {
+        assert!(prom.contains(metric), "missing metric {metric}:\n{prom}");
+    }
+
+    // explain: a JSON object holding the sampled traces.
+    let (ok, stdout, stderr) = run(&["rpc-ctl", &addr, "explain"]);
+    assert!(ok, "explain failed: {stderr}");
+    let traces = Json::parse(&stdout).unwrap_or_else(|e| panic!("bad explain JSON: {e}\n{stdout}"));
+    let list = traces.expect("traces").as_arr();
+    assert!(!list.is_empty(), "server sampled no traces: {stdout}");
+    for t in list {
+        assert_trace_schema(t);
+    }
+
+    let (ok, _, stderr) = run(&["rpc-ctl", &addr, "shutdown"]);
+    assert!(ok, "shutdown failed: {stderr}");
+    server.wait().expect("server exit");
+    std::fs::remove_dir_all(&dir).ok();
+}
