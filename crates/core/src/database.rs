@@ -176,6 +176,39 @@ impl ImageDatabase {
         Ok(ids)
     }
 
+    /// Rebuild a database from already-validated parts: a flat row-major
+    /// descriptor matrix plus id-ordered metadata. Used by the segment
+    /// store when materializing a snapshot; unlike repeated
+    /// [`ImageDatabase::insert_descriptor`] calls this is O(n) with one
+    /// allocation and no per-component finiteness re-scan (the parts come
+    /// from storage that only ever held validated descriptors).
+    pub fn from_parts(
+        pipeline: Pipeline,
+        balanced: bool,
+        descriptors: Vec<f32>,
+        metas: Vec<ImageMeta>,
+    ) -> Result<Self> {
+        let dim = pipeline.dim();
+        if descriptors.len() != metas.len() * dim {
+            return Err(CoreError::InvalidParameter(format!(
+                "descriptor matrix has {} floats for {} metas of dim {dim}",
+                descriptors.len(),
+                metas.len()
+            )));
+        }
+        Ok(ImageDatabase {
+            pipeline,
+            balanced,
+            descriptors,
+            metas,
+        })
+    }
+
+    /// The whole descriptor matrix as one row-major `len() * dim()` slice.
+    pub fn flat_descriptors(&self) -> &[f32] {
+        &self.descriptors
+    }
+
     /// Insert a precomputed descriptor (used by persistence and tests).
     pub fn insert_descriptor(&mut self, meta: ImageMeta, descriptor: Vec<f32>) -> Result<usize> {
         if descriptor.len() != self.dim() {

@@ -34,7 +34,9 @@ mod error;
 pub mod eval;
 pub mod faults;
 pub mod feedback;
+pub mod mmap;
 pub mod persist;
+pub mod store;
 
 pub use database::{BatchItem, ImageDatabase, ImageMeta};
 pub use engine::{build_index, IndexKind, QueryEngine, Ranked};
@@ -42,4 +44,7 @@ pub use error::{CoreError, PersistError, Result};
 pub use eval::{evaluate_engine, EvalReport};
 pub use feedback::{
     feedback_round, refine_query, refine_query_by_ids, FeedbackRound, RocchioParams,
+};
+pub use store::{
+    CompactionStats, CorpusSnapshot, CorpusStore, PinnedView, ServedCorpus, StoreOptions,
 };

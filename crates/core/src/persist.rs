@@ -35,6 +35,41 @@
 //! Files written by the v1 format (`CBIRDB01`, unchecksummed, single
 //! stream) are still readable; [`fsck_slice`] validates either version
 //! section-by-section and reports the first corrupt offset.
+//!
+//! ## Format v3 (`CBIRDB03`) — aligned, mmap-friendly segments
+//!
+//! The out-of-core store ([`crate::store`]) persists a corpus as a
+//! *segment directory*: one `MANIFEST` file plus immutable
+//! `seg-NNNNNNNN.seg` files, all in the v3 container:
+//!
+//! ```text
+//! [ 8] magic "CBIRDB03"
+//! [ 4] u32 section count
+//! per section (table of contents, 24 bytes each):
+//!   [ 1] u8  section id
+//!   [ 3] zero padding
+//!   [ 4] u32 CRC32C of payload
+//!   [ 8] u64 absolute payload offset
+//!   [ 8] u64 payload length
+//! [ 4] u32 CRC32C of every header byte above
+//! then the payloads, each starting at a 64-byte-aligned offset
+//! (gaps zero-filled), in table order
+//! ```
+//!
+//! Unlike v2, payload offsets are explicit and 64-byte aligned, so the
+//! descriptor section — stored as *raw* little-endian `f32` rows with no
+//! interior framing — can be served zero-copy from a memory mapping
+//! ([`crate::mmap::Mmap`]): opening a segment validates the header, the
+//! small `seghdr`/`config` sections, and every section's *extent*, but
+//! defers the O(data) checksum passes over descriptors and metas. Those
+//! are verified by `fsck`, at compaction commit, and (for metas) on
+//! first access, keeping cold open O(1) in the corpus size. A segment is
+//! self-describing (it embeds the pipeline config), so a single `.seg`
+//! file also loads as an ordinary database. The `MANIFEST` names the
+//! live segment set and the store's epoch; replacing it atomically (the
+//! same temp + rename + dir-fsync sequence as v2 saves) is the *only*
+//! commit point a compaction has, which is what makes
+//! crash-mid-compaction recovery "old set or new set, never partial".
 
 use crate::database::{ImageDatabase, ImageMeta};
 use crate::error::{CoreError, PersistError, Result};
@@ -45,16 +80,44 @@ use std::path::Path;
 
 const MAGIC_V1: &[u8; 8] = b"CBIRDB01";
 const MAGIC_V2: &[u8; 8] = b"CBIRDB02";
+const MAGIC_V3: &[u8; 8] = b"CBIRDB03";
 
 const SEC_CONFIG: u8 = 1;
 const SEC_DESCRIPTORS: u8 = 2;
 const SEC_METAS: u8 = 3;
+const SEC_SEGHDR: u8 = 4;
+const SEC_MANIFEST: u8 = 5;
 
 /// The three required sections, in file order.
 const SECTION_ORDER: [u8; 3] = [SEC_CONFIG, SEC_DESCRIPTORS, SEC_METAS];
 
+/// The sections of a v3 segment, in file order. Descriptors come last so
+/// the raw `f32` matrix ends the file.
+const SEGMENT_SECTION_ORDER: [u8; 4] = [SEC_CONFIG, SEC_SEGHDR, SEC_METAS, SEC_DESCRIPTORS];
+
+/// The sections of a v3 manifest, in file order.
+const MANIFEST_SECTION_ORDER: [u8; 2] = [SEC_CONFIG, SEC_MANIFEST];
+
 /// Bytes per table-of-contents entry: id (1) + length (8) + crc (4).
 const TOC_ENTRY_LEN: usize = 13;
+
+/// Bytes per v3 table-of-contents entry: id (1) + pad (3) + crc (4) +
+/// absolute offset (8) + length (8).
+const TOC3_ENTRY_LEN: usize = 24;
+
+/// Every v3 payload starts at a multiple of this, so a memory-mapped
+/// descriptor section reinterprets directly as `[f32]` (and whole cache
+/// lines) regardless of what precedes it.
+const SEG_ALIGN: u64 = 64;
+
+/// File name of the commit-point manifest inside a segment directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// The canonical file name for segment sequence number `n`
+/// (`seg-00000042.seg`).
+pub fn segment_file_name(n: u64) -> String {
+    format!("seg-{n:08}.seg")
+}
 
 /// Section payloads are written to disk in chunks of this size; each
 /// chunk is one fault point for torn-write injection.
@@ -68,6 +131,8 @@ fn section_name(id: u8) -> &'static str {
         SEC_CONFIG => "config",
         SEC_DESCRIPTORS => "descriptors",
         SEC_METAS => "metas",
+        SEC_SEGHDR => "seghdr",
+        SEC_MANIFEST => "manifest",
         _ => "unknown",
     }
 }
@@ -377,16 +442,20 @@ fn read_spec(r: &mut Reader) -> Result<FeatureSpec> {
 // Section encode (v2).
 // ---------------------------------------------------------------------------
 
-fn encode_config(db: &ImageDatabase) -> Vec<u8> {
+pub(crate) fn encode_config_parts(balanced: bool, pipeline: &Pipeline) -> Vec<u8> {
     let mut w = Writer::new();
-    w.u8(db.is_balanced() as u8);
-    w.u32(db.pipeline().canonical_size());
-    let specs = db.pipeline().specs();
+    w.u8(balanced as u8);
+    w.u32(pipeline.canonical_size());
+    let specs = pipeline.specs();
     w.u32(specs.len() as u32);
     for s in specs {
         write_spec(&mut w, s);
     }
     w.buf
+}
+
+fn encode_config(db: &ImageDatabase) -> Vec<u8> {
+    encode_config_parts(db.is_balanced(), db.pipeline())
 }
 
 fn encode_descriptors(db: &ImageDatabase) -> Result<Vec<u8>> {
@@ -402,10 +471,10 @@ fn encode_descriptors(db: &ImageDatabase) -> Result<Vec<u8>> {
     Ok(w.buf)
 }
 
-fn encode_metas(db: &ImageDatabase) -> Vec<u8> {
+fn encode_metas_slice(metas: &[ImageMeta]) -> Vec<u8> {
     let mut w = Writer::new();
-    w.u64(db.metas().len() as u64);
-    for m in db.metas() {
+    w.u64(metas.len() as u64);
+    for m in metas {
         w.str(&m.name);
         match m.label {
             Some(l) => {
@@ -416,6 +485,10 @@ fn encode_metas(db: &ImageDatabase) -> Vec<u8> {
         }
     }
     w.buf
+}
+
+fn encode_metas(db: &ImageDatabase) -> Vec<u8> {
+    encode_metas_slice(db.metas())
 }
 
 /// Serialize a database (pipeline + descriptors + metadata) to bytes in
@@ -484,6 +557,7 @@ pub fn save_to_vec_v1(db: &ImageDatabase) -> Result<Vec<u8>> {
 // ---------------------------------------------------------------------------
 
 /// One parsed table-of-contents entry with its resolved payload span.
+#[derive(Clone, Copy, Debug)]
 struct TocEntry {
     id: u8,
     len: u64,
@@ -756,18 +830,459 @@ fn load_v1(bytes: &[u8]) -> Result<ImageDatabase> {
     Ok(db)
 }
 
-/// Deserialize a database saved with [`save_to_vec`] (v2) or by the
-/// legacy v1 writer — the format is dispatched on the magic.
+/// Deserialize a database saved with [`save_to_vec`] (v2), by the
+/// legacy v1 writer, or a single v3 segment file — the format is
+/// dispatched on the magic.
 pub fn load_from_slice(bytes: &[u8]) -> Result<ImageDatabase> {
     match bytes.get(..8) {
+        Some(m) if m == MAGIC_V3 => load_v3(bytes),
         Some(m) if m == MAGIC_V2 => load_v2(bytes),
         Some(m) if m == MAGIC_V1 => load_v1(bytes),
         _ => Err(CoreError::Persist(
-            PersistError::new("bad magic (not a CBIRDB01/CBIRDB02 file)")
+            PersistError::new("bad magic (not a CBIRDB01/CBIRDB02/CBIRDB03 file)")
                 .in_section("header")
                 .at_offset(0),
         )),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Format v3: aligned segment container, segments, manifest.
+// ---------------------------------------------------------------------------
+
+/// Assemble a v3 container: header with explicit offsets, payloads at
+/// 64-byte-aligned offsets with zero-filled gaps.
+fn encode_v3(sections: &[(u8, Vec<u8>)]) -> Vec<u8> {
+    let header_len = 8 + 4 + sections.len() * TOC3_ENTRY_LEN + 4;
+    let mut offsets = Vec::with_capacity(sections.len());
+    let mut at = header_len as u64;
+    for (_, payload) in sections {
+        let aligned = at.next_multiple_of(SEG_ALIGN);
+        offsets.push(aligned);
+        at = aligned + payload.len() as u64;
+    }
+    let mut out = Vec::with_capacity(at as usize);
+    out.extend_from_slice(MAGIC_V3);
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for ((id, payload), offset) in sections.iter().zip(&offsets) {
+        out.push(*id);
+        out.extend_from_slice(&[0u8; 3]);
+        out.extend_from_slice(&crc32c(payload).to_le_bytes());
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    }
+    let header_crc = crc32c(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    for ((_, payload), offset) in sections.iter().zip(&offsets) {
+        out.resize(*offset as usize, 0);
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Parse and fully validate a v3 header: magic, count, header CRC, and
+/// the offset geometry (ascending, 64-byte aligned, zero-filled gaps
+/// smaller than one alignment unit, last payload ending exactly at EOF).
+/// Payload CRCs are *not* checked here — that is the deferred O(data)
+/// work [`parse_segment`] exists to avoid.
+fn parse_toc_v3(bytes: &[u8]) -> std::result::Result<Vec<TocEntry>, PersistError> {
+    if bytes.len() < 12 {
+        return Err(header_err(
+            format!("file is {} bytes, too short for a header", bytes.len()),
+            bytes.len() as u64,
+        ));
+    }
+    let n = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    if n == 0 || n > MAX_SECTIONS {
+        return Err(header_err(format!("implausible section count {n}"), 8));
+    }
+    let toc_end = 12 + n * TOC3_ENTRY_LEN;
+    let header_end = toc_end + 4;
+    if bytes.len() < header_end {
+        return Err(header_err(
+            format!(
+                "header claims {n} sections ({header_end} header bytes) but file has {}",
+                bytes.len()
+            ),
+            bytes.len() as u64,
+        ));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[toc_end..header_end].try_into().expect("4 bytes"));
+    let actual_crc = crc32c(&bytes[..toc_end]);
+    if stored_crc != actual_crc {
+        return Err(header_err(
+            format!(
+                "header checksum mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+            ),
+            0,
+        ));
+    }
+    let mut entries = Vec::with_capacity(n);
+    let mut prev_end = header_end as u64;
+    for i in 0..n {
+        let at = 12 + i * TOC3_ENTRY_LEN;
+        let id = bytes[at];
+        if bytes[at + 1..at + 4] != [0, 0, 0] {
+            return Err(header_err(
+                format!("nonzero padding in TOC entry {i}"),
+                at as u64 + 1,
+            ));
+        }
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+        let offset = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().expect("8 bytes"));
+        let len = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().expect("8 bytes"));
+        if !offset.is_multiple_of(SEG_ALIGN) {
+            return Err(header_err(
+                format!(
+                    "section {} offset {offset} is not {SEG_ALIGN}-byte aligned",
+                    section_name(id)
+                ),
+                at as u64 + 8,
+            ));
+        }
+        if offset < prev_end || offset - prev_end >= SEG_ALIGN {
+            return Err(header_err(
+                format!(
+                    "section {} offset {offset} does not follow previous end {prev_end}",
+                    section_name(id)
+                ),
+                at as u64 + 8,
+            ));
+        }
+        let end = offset.checked_add(len).ok_or_else(|| {
+            header_err(format!("section lengths overflow at entry {i}"), at as u64)
+        })?;
+        if end > bytes.len() as u64 {
+            return Err(PersistError::new(format!(
+                "truncated: section needs bytes up to {end} but file has {}",
+                bytes.len()
+            ))
+            .in_section(section_name(id))
+            .at_offset(bytes.len() as u64));
+        }
+        if bytes[prev_end as usize..offset as usize]
+            .iter()
+            .any(|&b| b != 0)
+        {
+            return Err(header_err(
+                format!(
+                    "alignment gap before section {} is not zero-filled",
+                    section_name(id)
+                ),
+                prev_end,
+            ));
+        }
+        entries.push(TocEntry {
+            id,
+            len,
+            crc,
+            offset,
+        });
+        prev_end = end;
+    }
+    if prev_end != bytes.len() as u64 {
+        return Err(PersistError::new(format!(
+            "file has trailing bytes: sections cover {prev_end} bytes but file has {}",
+            bytes.len()
+        ))
+        .in_section("header")
+        .at_offset(prev_end));
+    }
+    Ok(entries)
+}
+
+fn section_order_err(entries: &[TocEntry], want: &[u8]) -> PersistError {
+    let got: Vec<&str> = entries.iter().map(|e| section_name(e.id)).collect();
+    let want: Vec<&str> = want.iter().map(|&id| section_name(id)).collect();
+    PersistError::new(format!(
+        "expected sections [{}], found [{}]",
+        want.join(", "),
+        got.join(", ")
+    ))
+    .in_section("header")
+    .at_offset(12)
+}
+
+/// A structurally validated view of one v3 segment file.
+///
+/// [`parse_segment`] eagerly verifies everything O(1)-ish in the data
+/// size — header CRC, `config` and `seghdr` payload CRCs and decode, and
+/// that the descriptor extent is exactly `rows * dim` little-endian
+/// `f32`s — but defers the O(data) checksum passes: metas are verified
+/// by [`SegmentView::decode_metas`] on first access, descriptors by
+/// [`SegmentView::verify_descriptors`] (run by `fsck` and at compaction
+/// commit, not on the serving open path).
+#[derive(Debug)]
+pub struct SegmentView {
+    /// Whether extraction was segment-balanced.
+    pub balanced: bool,
+    /// The extraction pipeline the segment's descriptors came from.
+    pub pipeline: Pipeline,
+    /// Number of descriptor rows.
+    pub rows: usize,
+    /// Descriptor dimensionality (equal to `pipeline.dim()`).
+    pub dim: usize,
+    metas: TocEntry,
+    descriptors: TocEntry,
+}
+
+impl SegmentView {
+    /// Byte range of the raw descriptor matrix within the file — the
+    /// span a zero-copy reader maps as `[f32]`. Guaranteed 64-byte
+    /// aligned and exactly `rows * dim * 4` long.
+    pub fn descriptor_range(&self) -> std::ops::Range<usize> {
+        let start = self.descriptors.offset as usize;
+        start..start + self.descriptors.len as usize
+    }
+
+    /// Verify the descriptor section's checksum (an O(data) pass —
+    /// deferred off the open path by design).
+    pub fn verify_descriptors(&self, bytes: &[u8]) -> Result<()> {
+        section_payload(bytes, &self.descriptors)
+            .map(|_| ())
+            .map_err(CoreError::Persist)
+    }
+
+    /// Verify and decode the metadata section.
+    pub fn decode_metas(&self, bytes: &[u8]) -> Result<Vec<ImageMeta>> {
+        let payload = section_payload(bytes, &self.metas).map_err(CoreError::Persist)?;
+        decode_metas(payload, self.metas.offset, self.rows)
+    }
+
+    /// Decode the descriptor matrix into an owned flat `Vec<f32>` (the
+    /// non-zero-copy path: heap fallback and full single-file loads).
+    pub fn decode_descriptors_owned(&self, bytes: &[u8]) -> Vec<f32> {
+        bytes[self.descriptor_range()]
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect()
+    }
+}
+
+/// Serialize one immutable segment: pipeline config, row header,
+/// metadata, and the raw little-endian descriptor matrix (last, aligned).
+///
+/// `flat` must hold exactly `metas.len() * pipeline.dim()` floats in
+/// row-major order.
+pub fn encode_segment(
+    balanced: bool,
+    pipeline: &Pipeline,
+    flat: &[f32],
+    metas: &[ImageMeta],
+) -> Result<Vec<u8>> {
+    let dim = pipeline.dim();
+    if flat.len() != metas.len() * dim {
+        return Err(CoreError::InvalidParameter(format!(
+            "segment has {} floats for {} metas of dim {dim}",
+            flat.len(),
+            metas.len()
+        )));
+    }
+    let mut seghdr = Writer::new();
+    seghdr.u64(metas.len() as u64);
+    seghdr.u32(dim as u32);
+    let mut desc = Vec::with_capacity(flat.len() * 4);
+    for &v in flat {
+        desc.extend_from_slice(&v.to_le_bytes());
+    }
+    Ok(encode_v3(&[
+        (SEC_CONFIG, encode_config_parts(balanced, pipeline)),
+        (SEC_SEGHDR, seghdr.buf),
+        (SEC_METAS, encode_metas_slice(metas)),
+        (SEC_DESCRIPTORS, desc),
+    ]))
+}
+
+/// Open a v3 segment image: validate the header and the small sections
+/// eagerly, returning a [`SegmentView`] describing the deferred spans.
+pub fn parse_segment(bytes: &[u8]) -> Result<SegmentView> {
+    if bytes.get(..8) != Some(MAGIC_V3.as_slice()) {
+        return Err(CoreError::Persist(
+            PersistError::new("bad magic (not a CBIRDB03 segment)")
+                .in_section("header")
+                .at_offset(0),
+        ));
+    }
+    let entries = parse_toc_v3(bytes)?;
+    if entries.len() != SEGMENT_SECTION_ORDER.len()
+        || entries
+            .iter()
+            .zip(SEGMENT_SECTION_ORDER)
+            .any(|(e, want)| e.id != want)
+    {
+        return Err(CoreError::Persist(section_order_err(
+            &entries,
+            &SEGMENT_SECTION_ORDER,
+        )));
+    }
+    let (balanced, pipeline) = {
+        let payload = section_payload(bytes, &entries[0]).map_err(CoreError::Persist)?;
+        decode_config(payload, entries[0].offset)?
+    };
+    let (rows, dim) = {
+        let payload = section_payload(bytes, &entries[1]).map_err(CoreError::Persist)?;
+        let mut r = Reader::for_section(payload, "seghdr", entries[1].offset);
+        let rows = r.u64()? as usize;
+        let dim = r.u32()? as usize;
+        r.finish()?;
+        (rows, dim)
+    };
+    if dim != pipeline.dim() {
+        return Err(CoreError::Persist(
+            PersistError::new(format!(
+                "stored dim {dim} disagrees with pipeline dim {}",
+                pipeline.dim()
+            ))
+            .in_section("seghdr")
+            .at_offset(entries[1].offset),
+        ));
+    }
+    let expected = (rows as u64)
+        .checked_mul(dim as u64)
+        .and_then(|c| c.checked_mul(4))
+        .ok_or_else(|| {
+            CoreError::Persist(
+                PersistError::new(format!("row count {rows} overflows"))
+                    .in_section("seghdr")
+                    .at_offset(entries[1].offset),
+            )
+        })?;
+    if entries[3].len != expected {
+        return Err(CoreError::Persist(
+            PersistError::new(format!(
+                "descriptor section is {} bytes but seghdr claims {rows} rows of dim {dim} ({expected} bytes)",
+                entries[3].len
+            ))
+            .in_section("descriptors")
+            .at_offset(entries[3].offset),
+        ));
+    }
+    Ok(SegmentView {
+        balanced,
+        pipeline,
+        rows,
+        dim,
+        metas: entries[2],
+        descriptors: entries[3],
+    })
+}
+
+/// Fully load a single v3 segment file as an in-memory database (every
+/// checksum verified — this is the non-lazy path used by `load`/`info`
+/// on a bare `.seg` file).
+fn load_v3(bytes: &[u8]) -> Result<ImageDatabase> {
+    let seg = parse_segment(bytes)?;
+    seg.verify_descriptors(bytes)?;
+    let metas = seg.decode_metas(bytes)?;
+    let flat = seg.decode_descriptors_owned(bytes);
+    let SegmentView {
+        balanced, pipeline, ..
+    } = seg;
+    ImageDatabase::from_parts(pipeline, balanced, flat, metas)
+}
+
+/// One segment named by a [`Manifest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Segment file name, relative to the store directory.
+    pub name: String,
+    /// Descriptor rows in the segment.
+    pub rows: u64,
+}
+
+/// The decoded `MANIFEST` of a segment directory — the store's single
+/// commit point. Only the segment files named here are live; anything
+/// else in the directory is an orphan from an interrupted compaction.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Store epoch at the time this manifest was committed (monotonic;
+    /// bumped by every committed mutation batch and compaction).
+    pub epoch: u64,
+    /// Next segment sequence number to allocate (never reused, so a new
+    /// compaction can never collide with a file a pinned snapshot maps).
+    pub next_seg: u64,
+    /// Whether extraction is segment-balanced.
+    pub balanced: bool,
+    /// The extraction pipeline every segment shares.
+    pub pipeline: Pipeline,
+    /// The live segments, in search order.
+    pub segments: Vec<ManifestEntry>,
+}
+
+/// Serialize a [`Manifest`] as a v3 container.
+pub fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(m.epoch);
+    w.u64(m.next_seg);
+    w.u32(m.segments.len() as u32);
+    for s in &m.segments {
+        w.str(&s.name);
+        w.u64(s.rows);
+    }
+    encode_v3(&[
+        (SEC_CONFIG, encode_config_parts(m.balanced, &m.pipeline)),
+        (SEC_MANIFEST, w.buf),
+    ])
+}
+
+/// Parse and fully validate a `MANIFEST` image (both sections are tiny,
+/// so nothing is deferred). Segment names are constrained to plain file
+/// names — no path separators — so a corrupt or hostile manifest cannot
+/// direct reads outside its own directory.
+pub fn parse_manifest(bytes: &[u8]) -> Result<Manifest> {
+    if bytes.get(..8) != Some(MAGIC_V3.as_slice()) {
+        return Err(CoreError::Persist(
+            PersistError::new("bad magic (not a CBIRDB03 manifest)")
+                .in_section("header")
+                .at_offset(0),
+        ));
+    }
+    let entries = parse_toc_v3(bytes)?;
+    if entries.len() != MANIFEST_SECTION_ORDER.len()
+        || entries
+            .iter()
+            .zip(MANIFEST_SECTION_ORDER)
+            .any(|(e, want)| e.id != want)
+    {
+        return Err(CoreError::Persist(section_order_err(
+            &entries,
+            &MANIFEST_SECTION_ORDER,
+        )));
+    }
+    let (balanced, pipeline) = {
+        let payload = section_payload(bytes, &entries[0]).map_err(CoreError::Persist)?;
+        decode_config(payload, entries[0].offset)?
+    };
+    let payload = section_payload(bytes, &entries[1]).map_err(CoreError::Persist)?;
+    let mut r = Reader::for_section(payload, "manifest", entries[1].offset);
+    let epoch = r.u64()?;
+    let next_seg = r.u64()?;
+    let n = r.u32()? as usize;
+    if n > 1 << 20 {
+        return Err(r.err(format!("implausible segment count {n}")));
+    }
+    let mut segments = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        if name.is_empty()
+            || name.contains('/')
+            || name.contains('\\')
+            || name == "."
+            || name == ".."
+        {
+            return Err(r.err(format!("segment name {name:?} is not a plain file name")));
+        }
+        let rows = r.u64()?;
+        segments.push(ManifestEntry { name, rows });
+    }
+    r.finish()?;
+    Ok(Manifest {
+        epoch,
+        next_seg,
+        balanced,
+        pipeline,
+        segments,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -827,6 +1342,7 @@ pub fn fsck_slice(bytes: &[u8]) -> FsckReport {
         error: None,
     };
     match bytes.get(..8) {
+        Some(m) if m == MAGIC_V3 => return fsck_v3(bytes),
         Some(m) if m == MAGIC_V2 => report.format = "CBIRDB02",
         Some(m) if m == MAGIC_V1 => {
             // Legacy stream: no sections, no checksums — all we can do
@@ -885,6 +1401,146 @@ pub fn fsck_slice(bytes: &[u8]) -> FsckReport {
     report
 }
 
+/// [`fsck_slice`] for the v3 container: header geometry, every
+/// section's CRC (fsck runs the full O(data) passes the serving open
+/// defers), then a semantic decode as a segment or a manifest depending
+/// on the section set.
+fn fsck_v3(bytes: &[u8]) -> FsckReport {
+    let mut report = FsckReport {
+        format: "CBIRDB03",
+        sections: Vec::new(),
+        first_corrupt_offset: None,
+        error: None,
+    };
+    let entries = match parse_toc_v3(bytes) {
+        Ok(entries) => entries,
+        Err(e) => {
+            let offset = e.offset;
+            report.error = Some(e.to_string());
+            fsck_record(&mut report, offset.unwrap_or(0));
+            return report;
+        }
+    };
+    for entry in &entries {
+        let error = section_payload(bytes, entry).err().map(|e| e.detail);
+        if error.is_some() {
+            fsck_record(&mut report, entry.offset);
+        }
+        report.sections.push(SectionStatus {
+            name: section_name(entry.id),
+            offset: entry.offset,
+            len: entry.len,
+            error,
+        });
+    }
+    if report.is_ok() {
+        let ids: Vec<u8> = entries.iter().map(|e| e.id).collect();
+        let semantic = if ids == SEGMENT_SECTION_ORDER {
+            load_v3(bytes).map(|_| ())
+        } else if ids == MANIFEST_SECTION_ORDER {
+            parse_manifest(bytes).map(|_| ())
+        } else {
+            let got: Vec<&str> = entries.iter().map(|e| section_name(e.id)).collect();
+            Err(CoreError::Persist(
+                PersistError::new(format!(
+                    "section set [{}] is neither a segment nor a manifest",
+                    got.join(", ")
+                ))
+                .in_section("header")
+                .at_offset(12),
+            ))
+        };
+        if let Err(e) = semantic {
+            let (msg, offset) = persist_parts(e);
+            let section = report
+                .sections
+                .iter_mut()
+                .rev()
+                .find(|s| offset.is_some_and(|o| o >= s.offset));
+            match section {
+                Some(s) => s.error = Some(msg),
+                None => report.error = Some(msg),
+            }
+            fsck_record(&mut report, offset.unwrap_or(0));
+        }
+    }
+    report
+}
+
+/// The result of validating a whole segment directory file-by-file.
+#[derive(Debug)]
+pub struct DirFsckReport {
+    /// Report for the `MANIFEST` file itself.
+    pub manifest: FsckReport,
+    /// Per-segment reports keyed by file name, in manifest order.
+    pub segments: Vec<(String, FsckReport)>,
+    /// Segment files the manifest references but which could not be
+    /// read, with the I/O error text.
+    pub missing: Vec<(String, String)>,
+    /// `.seg` files present in the directory but not referenced by the
+    /// manifest — debris from an interrupted compaction. Harmless
+    /// (never opened) and reclaimed by the next compaction, so they are
+    /// reported but do not fail the check.
+    pub orphans: Vec<String>,
+}
+
+impl DirFsckReport {
+    /// Whether the manifest and every referenced segment validated clean.
+    pub fn is_ok(&self) -> bool {
+        self.manifest.is_ok()
+            && self.missing.is_empty()
+            && self.segments.iter().all(|(_, r)| r.is_ok())
+    }
+}
+
+/// Validate a segment directory: the `MANIFEST`, then every referenced
+/// segment file section-by-section (full checksum passes, unlike the
+/// lazy serving open). Unreferenced `.seg` files are listed as orphans.
+/// Errors carry the offending *file* path, not just the directory.
+pub fn fsck_dir(dir: impl AsRef<Path>) -> Result<DirFsckReport> {
+    let dir = dir.as_ref();
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let bytes = std::fs::read(&manifest_path).map_err(|e| {
+        CoreError::Persist(
+            PersistError::new(format!("cannot read manifest: {e}")).with_path(&manifest_path),
+        )
+    })?;
+    let mut report = DirFsckReport {
+        manifest: fsck_slice(&bytes),
+        segments: Vec::new(),
+        missing: Vec::new(),
+        orphans: Vec::new(),
+    };
+    let mut referenced = Vec::new();
+    if let Ok(manifest) = parse_manifest(&bytes) {
+        for entry in &manifest.segments {
+            referenced.push(entry.name.clone());
+            let seg_path = dir.join(&entry.name);
+            match std::fs::read(&seg_path) {
+                Ok(seg_bytes) => {
+                    report
+                        .segments
+                        .push((entry.name.clone(), fsck_slice(&seg_bytes)));
+                }
+                Err(e) => report.missing.push((entry.name.clone(), e.to_string())),
+            }
+        }
+    }
+    let listing = std::fs::read_dir(dir).map_err(|e| {
+        CoreError::Persist(
+            PersistError::new(format!("cannot list segment directory: {e}")).with_path(dir),
+        )
+    })?;
+    for item in listing.filter_map(|e| e.ok()) {
+        let name = item.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".seg") && !referenced.contains(&name) {
+            report.orphans.push(name);
+        }
+    }
+    report.orphans.sort();
+    Ok(report)
+}
+
 /// Split a load error into its message and offset (non-persist errors
 /// have no offset).
 fn persist_parts(e: CoreError) -> (String, Option<u64>) {
@@ -929,6 +1585,30 @@ pub fn save_file_with(
     let path = path.as_ref();
     let bytes = save_to_vec(db)?;
     atomic_write(path, &bytes, policy).map_err(|e| CoreError::Persist(e.with_path(path)))
+}
+
+/// Write raw bytes to `path` atomically — temp sibling, fsync, rename,
+/// directory fsync — consulting `policy` at every fault point. This is
+/// the primitive the segment store builds compaction on: each segment
+/// and the manifest go through this sequence, and the manifest rename is
+/// the compaction's commit point.
+pub fn write_file_atomic(
+    path: impl AsRef<Path>,
+    bytes: &[u8],
+    policy: &mut dyn FaultPolicy,
+) -> Result<()> {
+    let path = path.as_ref();
+    atomic_write(path, bytes, policy).map_err(|e| CoreError::Persist(e.with_path(path)))
+}
+
+/// Read a whole file, reporting failure as a [`PersistError`] that
+/// names the *file* (not just its directory) — segment-directory
+/// corruption reports stay actionable even when many files are in play.
+pub fn read_file_bytes(path: impl AsRef<Path>) -> Result<Vec<u8>> {
+    let path = path.as_ref();
+    std::fs::read(path).map_err(|e| {
+        CoreError::Persist(PersistError::new(format!("cannot read file: {e}")).with_path(path))
+    })
 }
 
 fn op_err(what: &str, e: std::io::Error) -> PersistError {
@@ -1450,5 +2130,249 @@ mod tests {
         let report = fsck_slice(&corrupt);
         assert!(!report.is_ok());
         assert!(report.error.is_some());
+    }
+
+    fn segment_bytes(db: &ImageDatabase) -> Vec<u8> {
+        encode_segment(
+            db.is_balanced(),
+            db.pipeline(),
+            db.flat_descriptors(),
+            db.metas(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn v3_segment_roundtrips_with_aligned_descriptors() {
+        let db = populated_db();
+        let bytes = segment_bytes(&db);
+        assert_eq!(&bytes[..8], MAGIC_V3);
+
+        let seg = parse_segment(&bytes).unwrap();
+        assert_eq!(seg.rows, db.len());
+        assert_eq!(seg.dim, db.dim());
+        assert_eq!(seg.balanced, db.is_balanced());
+        assert_eq!(seg.pipeline.specs(), db.pipeline().specs());
+        let range = seg.descriptor_range();
+        assert_eq!(range.start % 64, 0, "descriptors must be 64-byte aligned");
+        assert_eq!(range.len(), db.len() * db.dim() * 4);
+        seg.verify_descriptors(&bytes).unwrap();
+        assert_eq!(seg.decode_metas(&bytes).unwrap(), db.metas());
+        assert_eq!(seg.decode_descriptors_owned(&bytes), db.flat_descriptors());
+
+        // A bare .seg file also loads as a full database.
+        let loaded = load_from_slice(&bytes).unwrap();
+        assert_eq!(loaded.len(), db.len());
+        for i in 0..db.len() {
+            assert_eq!(loaded.descriptor(i).unwrap(), db.descriptor(i).unwrap());
+            assert_eq!(loaded.meta(i).unwrap(), db.meta(i).unwrap());
+        }
+
+        // Empty segments are legal (an empty store still has a manifest,
+        // but compaction of a fully-deleted corpus writes none).
+        let empty = ImageDatabase::new(full_pipeline());
+        let bytes = segment_bytes(&empty);
+        let seg = parse_segment(&bytes).unwrap();
+        assert_eq!(seg.rows, 0);
+        assert_eq!(load_from_slice(&bytes).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn v3_descriptor_corruption_is_deferred_but_not_missed() {
+        let db = populated_db();
+        let bytes = segment_bytes(&db);
+        let seg = parse_segment(&bytes).unwrap();
+        let mid = seg.descriptor_range().start + seg.descriptor_range().len() / 2;
+
+        let mut corrupt = bytes.clone();
+        corrupt[mid] ^= 0x08;
+        // The open path defers the descriptor CRC...
+        let reopened = parse_segment(&corrupt).unwrap();
+        // ...but the deferred check and fsck both catch the flip.
+        let err = reopened.verify_descriptors(&corrupt).unwrap_err();
+        match err {
+            CoreError::Persist(p) => assert_eq!(p.section, Some("descriptors")),
+            other => panic!("expected Persist, got {other:?}"),
+        }
+        let report = fsck_slice(&corrupt);
+        assert!(!report.is_ok());
+        assert_eq!(report.format, "CBIRDB03");
+        let bad: Vec<_> = report
+            .sections
+            .iter()
+            .filter(|s| s.error.is_some())
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(bad, ["descriptors"]);
+        assert!(report.first_corrupt_offset.is_some());
+
+        // Config corruption, by contrast, is caught eagerly at open:
+        // the first payload sits at the first 64-byte boundary past the
+        // 4-entry header.
+        let config_at = ((12 + 4 * TOC3_ENTRY_LEN + 4) as u64).next_multiple_of(SEG_ALIGN) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[config_at] ^= 0x01;
+        let err = parse_segment(&corrupt).unwrap_err();
+        match err {
+            CoreError::Persist(p) => assert_eq!(p.section, Some("config")),
+            other => panic!("expected Persist, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v3_alignment_gaps_must_be_zero() {
+        let db = populated_db();
+        let mut bytes = segment_bytes(&db);
+        // The gap between header end and the first aligned payload is
+        // not covered by any section CRC — the zero-fill rule covers it.
+        let header_end = 12 + 4 * TOC3_ENTRY_LEN + 4;
+        let first_payload = (header_end as u64).next_multiple_of(SEG_ALIGN) as usize;
+        assert!(first_payload > header_end, "test needs a nonempty gap");
+        bytes[header_end] = 0xFF;
+        let err = parse_segment(&bytes).unwrap_err();
+        match err {
+            CoreError::Persist(p) => assert!(p.detail.contains("zero-filled"), "{}", p.detail),
+            other => panic!("expected Persist, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v3_truncation_and_trailing_bytes_are_rejected() {
+        let db = populated_db();
+        let bytes = segment_bytes(&db);
+        assert!(parse_segment(&bytes[..bytes.len() - 1]).is_err());
+        assert!(parse_segment(&bytes[..100]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(parse_segment(&extended).is_err());
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_rejects_path_traversal() {
+        let db = populated_db();
+        let manifest = Manifest {
+            epoch: 7,
+            next_seg: 3,
+            balanced: db.is_balanced(),
+            pipeline: db.pipeline().clone(),
+            segments: vec![
+                ManifestEntry {
+                    name: segment_file_name(0),
+                    rows: 2,
+                },
+                ManifestEntry {
+                    name: segment_file_name(2),
+                    rows: 5,
+                },
+            ],
+        };
+        let bytes = encode_manifest(&manifest);
+        let parsed = parse_manifest(&bytes).unwrap();
+        assert_eq!(parsed.epoch, 7);
+        assert_eq!(parsed.next_seg, 3);
+        assert_eq!(parsed.balanced, manifest.balanced);
+        assert_eq!(parsed.pipeline.specs(), manifest.pipeline.specs());
+        assert_eq!(parsed.segments, manifest.segments);
+        assert!(fsck_slice(&bytes).is_ok());
+
+        // An empty segment list is a valid (empty) store.
+        let empty = Manifest {
+            segments: Vec::new(),
+            ..manifest.clone()
+        };
+        assert!(parse_manifest(&encode_manifest(&empty))
+            .unwrap()
+            .segments
+            .is_empty());
+
+        // Names that escape the directory are rejected at parse time.
+        for bad in ["../evil.seg", "a/b.seg", "", ".."] {
+            let hostile = Manifest {
+                segments: vec![ManifestEntry {
+                    name: bad.into(),
+                    rows: 1,
+                }],
+                ..manifest.clone()
+            };
+            let err = parse_manifest(&encode_manifest(&hostile)).unwrap_err();
+            match err {
+                CoreError::Persist(p) => assert_eq!(p.section, Some("manifest")),
+                other => panic!("expected Persist, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fsck_dir_walks_manifest_segments_and_orphans() {
+        let db = populated_db();
+        let dir = std::env::temp_dir().join(format!("cbir_fsck_dir_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let seg = segment_bytes(&db);
+        std::fs::write(dir.join(segment_file_name(0)), &seg).unwrap();
+        std::fs::write(dir.join(segment_file_name(1)), &seg).unwrap();
+        std::fs::write(dir.join("seg-orphaned.seg"), b"junk").unwrap();
+        let manifest = Manifest {
+            epoch: 1,
+            next_seg: 2,
+            balanced: db.is_balanced(),
+            pipeline: db.pipeline().clone(),
+            segments: vec![
+                ManifestEntry {
+                    name: segment_file_name(0),
+                    rows: db.len() as u64,
+                },
+                ManifestEntry {
+                    name: segment_file_name(1),
+                    rows: db.len() as u64,
+                },
+            ],
+        };
+        std::fs::write(dir.join(MANIFEST_FILE), encode_manifest(&manifest)).unwrap();
+
+        let report = fsck_dir(&dir).unwrap();
+        assert!(report.is_ok(), "{report:?}");
+        assert_eq!(report.segments.len(), 2);
+        assert_eq!(report.orphans, vec!["seg-orphaned.seg".to_string()]);
+
+        // Corrupt one segment: the report names the file and stays
+        // intact for the healthy one.
+        let mut corrupt = seg.clone();
+        let view = parse_segment(&seg).unwrap();
+        corrupt[view.descriptor_range().start] ^= 0x40;
+        std::fs::write(dir.join(segment_file_name(1)), &corrupt).unwrap();
+        let report = fsck_dir(&dir).unwrap();
+        assert!(!report.is_ok());
+        assert!(report.segments[0].1.is_ok());
+        assert_eq!(report.segments[1].0, segment_file_name(1));
+        assert!(!report.segments[1].1.is_ok());
+
+        // A referenced-but-deleted segment shows up as missing.
+        std::fs::remove_file(dir.join(segment_file_name(1))).unwrap();
+        let report = fsck_dir(&dir).unwrap();
+        assert!(!report.is_ok());
+        assert_eq!(report.missing.len(), 1);
+        assert_eq!(report.missing[0].0, segment_file_name(1));
+
+        // No manifest at all: the error names the MANIFEST path.
+        std::fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+        let err = fsck_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("MANIFEST"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_byte_writes_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("cbir_awrite_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        write_file_atomic(&path, b"hello", &mut NoFaults).unwrap();
+        assert_eq!(read_file_bytes(&path).unwrap(), b"hello");
+        write_file_atomic(&path, b"goodbye", &mut NoFaults).unwrap();
+        assert_eq!(read_file_bytes(&path).unwrap(), b"goodbye");
+        let err = read_file_bytes(dir.join("nope.bin")).unwrap_err();
+        assert!(err.to_string().contains("nope.bin"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,1721 @@
+//! The out-of-core corpus store: immutable mmap-backed segments plus a
+//! mutable in-memory memtable, unified behind epoch-stamped immutable
+//! snapshots.
+//!
+//! ## Architecture
+//!
+//! A [`CorpusStore`] lives in one directory. The durable state is a set
+//! of immutable `CBIRDB03` segment files named by a `MANIFEST` (see
+//! [`crate::persist`]); the volatile state is a memtable of descriptors
+//! inserted since the last compaction plus a tombstone set of deleted
+//! global ids. Every mutation bumps a per-process epoch and publishes a
+//! fresh [`CorpusSnapshot`]; readers pin a snapshot with one `Arc` clone
+//! and keep querying it unperturbed while writers move on — compaction
+//! included. Segment files are deleted only after a compaction commits,
+//! and a pinned snapshot keeps its mappings alive across that deletion
+//! (the mapping outlives the directory entry), so an in-flight
+//! `knn_batch` can never observe a torn view: it sees exactly the epoch
+//! it pinned.
+//!
+//! ## Ids and epochs
+//!
+//! Global ids are dense: segment rows in manifest order, then memtable
+//! rows. They are *epoch-relative* — compaction drops tombstoned rows
+//! and renumbers. The epoch is monotonic within a process; only
+//! compaction makes it durable (in the manifest). There is no WAL: the
+//! memtable and tombstones are volatile by design, and
+//! [`CorpusStore::compact`] is the durability point.
+//!
+//! ## Query semantics
+//!
+//! A snapshot searches each segment's lazily built index plus the
+//! memtable's, asks each source for enough neighbours to absorb its own
+//! tombstoned rows (`k' = min(rows, k + dead_in_source)`), merges by
+//! `(distance, id)` with the exact comparator the indexes use, and
+//! truncates to `k`. Results are therefore bit-identical to a single
+//! [`crate::QueryEngine`] built over [`CorpusSnapshot::materialize`].
+
+use crate::database::{ImageDatabase, ImageMeta};
+use crate::engine::{build_index, IndexKind, Ranked};
+use crate::error::{CoreError, PersistError, Result};
+use crate::faults::{compact_policy_from_env, FaultPolicy, NoFaults};
+use crate::mmap::Mmap;
+use crate::persist::{
+    encode_config_parts, encode_manifest, encode_segment, parse_manifest, parse_segment,
+    read_file_bytes, segment_file_name, write_file_atomic, Manifest, ManifestEntry, SegmentView,
+    MANIFEST_FILE,
+};
+use cbir_distance::Measure;
+use cbir_features::Pipeline;
+use cbir_image::RgbImage;
+use cbir_index::{BatchStats, Dataset, SearchIndex, SearchStats};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Attach a file path to the persistence context of an error, if it is a
+/// persistence error and has none yet.
+fn attach_path(e: CoreError, path: &Path) -> CoreError {
+    match e {
+        CoreError::Persist(p) => CoreError::Persist(p.with_path(path)),
+        other => other,
+    }
+}
+
+/// Tuning knobs for a [`CorpusStore`].
+#[derive(Clone, Debug)]
+pub struct StoreOptions {
+    /// Index structure built over each segment and the memtable.
+    pub kind: IndexKind,
+    /// Similarity measure shared by every index.
+    pub measure: Measure,
+    /// Soft memtable row bound: [`CorpusStore::insert`] triggers a
+    /// best-effort compaction once the memtable reaches this size.
+    pub memtable_limit: usize,
+    /// Maximum rows per segment written by compaction (larger corpora
+    /// split into several segments).
+    pub max_seg_rows: usize,
+    /// Map segment files (`true`, the out-of-core mode) or read them
+    /// into the heap (`false`, for filesystems where mapping is
+    /// undesirable). Both modes serve bit-identical results.
+    pub mmap: bool,
+}
+
+impl StoreOptions {
+    /// Options with default sizing for the chosen index and measure.
+    pub fn new(kind: IndexKind, measure: Measure) -> Self {
+        StoreOptions {
+            kind,
+            measure,
+            memtable_limit: 4096,
+            max_seg_rows: 1 << 20,
+            mmap: true,
+        }
+    }
+}
+
+/// Zero-copy view of a segment's descriptor matrix: the mapped file
+/// bytes reinterpreted as `[f32]`. Constructed only when the platform is
+/// little-endian and the (64-byte-aligned) descriptor section satisfies
+/// `f32` alignment; otherwise the store decodes an owned copy instead.
+struct SegmentRows {
+    bytes: Arc<Mmap>,
+    start: usize,
+    floats: usize,
+}
+
+impl AsRef<[f32]> for SegmentRows {
+    fn as_ref(&self) -> &[f32] {
+        let raw = &self.bytes[self.start..self.start + self.floats * 4];
+        // SAFETY: every bit pattern is a valid f32, the slice length is an
+        // exact multiple of 4, and 4-byte alignment of `start` within the
+        // mapping was verified at construction, so `align_to` yields the
+        // whole slice as the aligned middle.
+        let (pre, mid, post) = unsafe { raw.align_to::<f32>() };
+        debug_assert!(pre.is_empty() && post.is_empty());
+        mid
+    }
+}
+
+/// One open immutable segment: the mapped (or heap-loaded) file image,
+/// its parsed view, and lazily materialized metadata and search index.
+/// Laziness is load-bearing: opening a store must stay O(segments), not
+/// O(rows), so cold-open cost is independent of corpus size.
+struct Segment {
+    name: String,
+    path: PathBuf,
+    bytes: Arc<Mmap>,
+    view: SegmentView,
+    rows: usize,
+    /// `None` iff the segment is empty.
+    dataset: Option<Dataset>,
+    metas_cell: OnceLock<std::result::Result<Vec<ImageMeta>, String>>,
+    index_cell: OnceLock<std::result::Result<Box<dyn SearchIndex>, String>>,
+}
+
+impl Segment {
+    fn open(path: &Path, name: &str, use_mmap: bool) -> Result<Arc<Segment>> {
+        let bytes = if use_mmap {
+            Arc::new(Mmap::open(path).map_err(|e| {
+                CoreError::Persist(
+                    PersistError::new(format!("cannot open segment: {e}")).with_path(path),
+                )
+            })?)
+        } else {
+            Arc::new(Mmap::from_bytes(read_file_bytes(path)?))
+        };
+        let view = parse_segment(&bytes).map_err(|e| attach_path(e, path))?;
+        let rows = view.rows;
+        let dataset = if rows == 0 {
+            None
+        } else {
+            let range = view.descriptor_range();
+            let raw = &bytes[range.clone()];
+            let rows_arc: Arc<dyn AsRef<[f32]> + Send + Sync> = if cfg!(target_endian = "little")
+                && (raw.as_ptr() as usize).is_multiple_of(std::mem::align_of::<f32>())
+            {
+                Arc::new(SegmentRows {
+                    bytes: Arc::clone(&bytes),
+                    start: range.start,
+                    floats: rows * view.dim,
+                })
+            } else {
+                Arc::new(view.decode_descriptors_owned(&bytes))
+            };
+            Some(Dataset::from_shared(view.dim, rows_arc)?)
+        };
+        Ok(Arc::new(Segment {
+            name: name.to_string(),
+            path: path.to_path_buf(),
+            bytes,
+            view,
+            rows,
+            dataset,
+            metas_cell: OnceLock::new(),
+            index_cell: OnceLock::new(),
+        }))
+    }
+
+    /// Verified, decoded metadata (first access pays the checksum pass;
+    /// the result — or the failure — is cached).
+    fn metas(&self) -> Result<&[ImageMeta]> {
+        let cached = self.metas_cell.get_or_init(|| {
+            self.view
+                .decode_metas(&self.bytes)
+                .map_err(|e| attach_path(e, &self.path).to_string())
+        });
+        match cached {
+            Ok(m) => Ok(m),
+            Err(msg) => Err(CoreError::Persist(PersistError::new(msg.clone()))),
+        }
+    }
+
+    /// The lazily built search index (first query over the segment pays
+    /// the build; concurrent first queries block on one build).
+    fn index(&self, kind: &IndexKind, measure: &Measure) -> Result<&dyn SearchIndex> {
+        let cached = self.index_cell.get_or_init(|| {
+            let ds = self
+                .dataset
+                .clone()
+                .expect("index is never requested for an empty segment");
+            build_index(kind, ds, measure.clone()).map_err(|e| e.to_string())
+        });
+        match cached {
+            Ok(ix) => Ok(ix.as_ref()),
+            Err(msg) => Err(CoreError::InvalidParameter(format!(
+                "segment '{}' index build failed: {msg}",
+                self.name
+            ))),
+        }
+    }
+}
+
+/// An immutable, epoch-stamped view of the whole corpus: the open
+/// segments, a frozen copy of the memtable, and the tombstone set at
+/// publication time. Cheap to pin (`Arc` clone) and safe to query while
+/// the store mutates or compacts underneath — the snapshot keeps its
+/// segment mappings alive even after compaction unlinks the files.
+pub struct CorpusSnapshot {
+    epoch: u64,
+    balanced: bool,
+    pipeline: Pipeline,
+    kind: IndexKind,
+    measure: Measure,
+    segments: Vec<Arc<Segment>>,
+    /// `bases[i]` is the global id of segment `i`'s first row.
+    bases: Vec<u64>,
+    seg_rows_total: u64,
+    mem_flat: Arc<Vec<f32>>,
+    mem_metas: Arc<Vec<ImageMeta>>,
+    mem_index: Option<Box<dyn SearchIndex>>,
+    tombstones: Arc<BTreeSet<u64>>,
+}
+
+impl std::fmt::Debug for CorpusSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorpusSnapshot")
+            .field("epoch", &self.epoch)
+            .field("segments", &self.segments.len())
+            .field("segment_rows", &self.seg_rows_total)
+            .field("memtable_rows", &self.mem_metas.len())
+            .field("tombstones", &self.tombstones.len())
+            .finish()
+    }
+}
+
+impl CorpusSnapshot {
+    /// The store epoch this snapshot was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Live (non-tombstoned) rows visible to queries.
+    pub fn len(&self) -> usize {
+        self.total_rows() - self.tombstones.len()
+    }
+
+    /// Whether no live rows are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All physical rows, live or tombstoned.
+    pub fn total_rows(&self) -> usize {
+        self.seg_rows_total as usize + self.mem_metas.len()
+    }
+
+    /// Descriptor dimensionality.
+    pub fn dim(&self) -> usize {
+        self.pipeline.dim()
+    }
+
+    /// The extraction pipeline shared by every row.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Whether extraction is segment-balanced.
+    pub fn is_balanced(&self) -> bool {
+        self.balanced
+    }
+
+    /// Number of immutable segments.
+    pub fn segments_len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Rows in the frozen memtable portion.
+    pub fn memtable_rows(&self) -> usize {
+        self.mem_metas.len()
+    }
+
+    /// Tombstoned (deleted but not yet compacted) rows.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Whether global id `id` addresses a live (non-tombstoned) row in
+    /// this snapshot.
+    pub fn contains(&self, id: u64) -> bool {
+        id < self.total_rows() as u64 && !self.tombstones.contains(&id)
+    }
+
+    /// Which physical source holds global id `id`.
+    fn locate(&self, id: u64) -> Result<(Option<usize>, usize)> {
+        if id < self.seg_rows_total {
+            let i = self.bases.partition_point(|&b| b <= id) - 1;
+            Ok((Some(i), (id - self.bases[i]) as usize))
+        } else {
+            let local = (id - self.seg_rows_total) as usize;
+            if local >= self.mem_metas.len() {
+                return Err(CoreError::NotFound(id as usize));
+            }
+            Ok((None, local))
+        }
+    }
+
+    /// Metadata of global id `id` (tombstoned rows are still addressable
+    /// until compaction renumbers).
+    pub fn meta(&self, id: u64) -> Result<ImageMeta> {
+        match self.locate(id)? {
+            (Some(seg), local) => Ok(self.segments[seg].metas()?[local].clone()),
+            (None, local) => Ok(self.mem_metas[local].clone()),
+        }
+    }
+
+    /// Descriptor of global id `id`.
+    pub fn descriptor(&self, id: u64) -> Result<Vec<f32>> {
+        match self.locate(id)? {
+            (Some(seg), local) => {
+                let ds = self.segments[seg]
+                    .dataset
+                    .as_ref()
+                    .expect("located row implies non-empty segment");
+                Ok(ds.vector(local).to_vec())
+            }
+            (None, local) => {
+                let dim = self.dim();
+                Ok(self.mem_flat[local * dim..(local + 1) * dim].to_vec())
+            }
+        }
+    }
+
+    /// Extract a query descriptor exactly as the corpus was built.
+    pub fn extract(&self, img: &RgbImage) -> Result<Vec<f32>> {
+        Ok(if self.balanced {
+            self.pipeline.extract_balanced(img)?
+        } else {
+            self.pipeline.extract(img)?
+        })
+    }
+
+    /// k-NN for one query over every source, merged tombstone-aware.
+    ///
+    /// Each source is asked for `min(rows, k + tombstones_in_source)`
+    /// neighbours — enough that discarding that source's dead rows can
+    /// never cost it a live top-`k` hit — then all candidates merge by
+    /// `(distance, id)` with [`f32::total_cmp`], the exact comparator the
+    /// indexes' own tie-break contract uses, and truncate to `k`.
+    fn knn_one(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Result<Vec<(u64, f32)>> {
+        let mut merged: Vec<(u64, f32)> = Vec::new();
+        for (seg, &base) in self.segments.iter().zip(&self.bases) {
+            if seg.rows == 0 {
+                continue;
+            }
+            let dead = self.tombstones.range(base..base + seg.rows as u64).count();
+            let want = (k + dead).min(seg.rows);
+            if want == 0 {
+                continue;
+            }
+            let index = seg.index(&self.kind, &self.measure)?;
+            merged.extend(
+                index
+                    .knn_search(query, want, stats)
+                    .into_iter()
+                    .map(|n| (base + n.id as u64, n.distance))
+                    .filter(|(g, _)| !self.tombstones.contains(g)),
+            );
+        }
+        if let Some(mi) = &self.mem_index {
+            let base = self.seg_rows_total;
+            let dead = self.tombstones.range(base..).count();
+            let want = (k + dead).min(self.mem_metas.len());
+            if want > 0 {
+                merged.extend(
+                    mi.knn_search(query, want, stats)
+                        .into_iter()
+                        .map(|n| (base + n.id as u64, n.distance))
+                        .filter(|(g, _)| !self.tombstones.contains(g)),
+                );
+            }
+        }
+        merged.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        merged.truncate(k);
+        Ok(merged)
+    }
+
+    /// Range search for one query (results sorted by `(distance, id)`).
+    fn range_one(
+        &self,
+        query: &[f32],
+        radius: f32,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<(u64, f32)>> {
+        let mut merged: Vec<(u64, f32)> = Vec::new();
+        for (seg, &base) in self.segments.iter().zip(&self.bases) {
+            if seg.rows == 0 {
+                continue;
+            }
+            let index = seg.index(&self.kind, &self.measure)?;
+            merged.extend(
+                index
+                    .range_search(query, radius, stats)
+                    .into_iter()
+                    .map(|n| (base + n.id as u64, n.distance))
+                    .filter(|(g, _)| !self.tombstones.contains(g)),
+            );
+        }
+        if let Some(mi) = &self.mem_index {
+            let base = self.seg_rows_total;
+            merged.extend(
+                mi.range_search(query, radius, stats)
+                    .into_iter()
+                    .map(|n| (base + n.id as u64, n.distance))
+                    .filter(|(g, _)| !self.tombstones.contains(g)),
+            );
+        }
+        merged.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(merged)
+    }
+
+    fn rank(&self, hits: Vec<(u64, f32)>) -> Result<Vec<Ranked>> {
+        hits.into_iter()
+            .map(|(id, distance)| {
+                let meta = self.meta(id)?;
+                Ok(Ranked {
+                    id: id as usize,
+                    name: meta.name,
+                    label: meta.label,
+                    distance,
+                })
+            })
+            .collect()
+    }
+
+    fn check_dims(&self, queries: &[Vec<f32>]) -> Result<()> {
+        let dim = self.dim();
+        for (i, q) in queries.iter().enumerate() {
+            if q.len() != dim {
+                return Err(CoreError::InvalidParameter(format!(
+                    "query {i} has dim {} but corpus dim is {dim}",
+                    q.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Run `per_query` for indices `0..n` on up to `threads` scoped
+    /// worker threads, merging per-query stats in input order — the same
+    /// execution contract as the index layer's batched paths, so results
+    /// and aggregate stats are identical at every thread count.
+    fn run_batch<F>(
+        &self,
+        n: usize,
+        threads: usize,
+        stats: &mut BatchStats,
+        per_query: F,
+    ) -> Result<Vec<Vec<Ranked>>>
+    where
+        F: Fn(usize, &mut SearchStats) -> Result<Vec<Ranked>> + Sync,
+    {
+        let threads = threads.max(1).min(n.max(1));
+        if threads <= 1 {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut s = SearchStats::new();
+                out.push(per_query(i, &mut s)?);
+                stats.record(&s);
+            }
+            return Ok(out);
+        }
+        let chunk = n.div_ceil(threads);
+        type ChunkResult = std::result::Result<(Vec<Vec<Ranked>>, BatchStats), CoreError>;
+        let mut chunks: Vec<ChunkResult> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    break;
+                }
+                let per_query = &per_query;
+                handles.push(scope.spawn(move || -> ChunkResult {
+                    let mut bs = BatchStats::new();
+                    let mut out = Vec::with_capacity(hi - lo);
+                    for i in lo..hi {
+                        let mut s = SearchStats::new();
+                        out.push(per_query(i, &mut s)?);
+                        bs.record(&s);
+                    }
+                    Ok((out, bs))
+                }));
+            }
+            for h in handles {
+                chunks.push(h.join().expect("snapshot batch worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for c in chunks {
+            let (part, bs) = c?;
+            out.extend(part);
+            stats.merge(&bs);
+        }
+        Ok(out)
+    }
+
+    fn record_obs(
+        &self,
+        op: cbir_obs::QueryOp,
+        start: Option<Instant>,
+        queries: usize,
+        before: &SearchStats,
+        stats: &BatchStats,
+        out: &[Vec<Ranked>],
+    ) {
+        let Some(start) = start else { return };
+        let total = stats.total();
+        let counters = cbir_obs::QueryCounters {
+            distance_evaluations: total.distance_computations - before.distance_computations,
+            nodes_visited: total.nodes_visited - before.nodes_visited,
+            subtrees_pruned: total.subtrees_pruned - before.subtrees_pruned,
+            postfilter_candidates: total.postfilter_candidates - before.postfilter_candidates,
+        };
+        cbir_obs::record_query(
+            self.kind.name(),
+            op,
+            queries as u64,
+            start.elapsed().as_micros() as u64,
+            &counters,
+            out.iter().map(|r| r.len() as u64).sum(),
+        );
+    }
+
+    /// Batched k-NN over raw descriptors; the snapshot counterpart of
+    /// [`crate::QueryEngine::knn_batch`], bit-identical to an engine
+    /// built over [`CorpusSnapshot::materialize`].
+    pub fn knn_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        self.check_dims(queries)?;
+        let start = cbir_obs::enabled().then(Instant::now);
+        let before = stats.total().clone();
+        let out = self.run_batch(queries.len(), threads, stats, |i, s| {
+            let hits = self.knn_one(&queries[i], k, s)?;
+            self.rank(hits)
+        })?;
+        self.record_obs(
+            cbir_obs::QueryOp::Knn,
+            start,
+            queries.len(),
+            &before,
+            stats,
+            &out,
+        );
+        Ok(out)
+    }
+
+    /// Batched range search over raw descriptors (results sorted by
+    /// `(distance, id)` per query).
+    pub fn range_batch(
+        &self,
+        queries: &[Vec<f32>],
+        radius: f32,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        self.check_dims(queries)?;
+        let start = cbir_obs::enabled().then(Instant::now);
+        let before = stats.total().clone();
+        let out = self.run_batch(queries.len(), threads, stats, |i, s| {
+            let hits = self.range_one(&queries[i], radius, s)?;
+            self.rank(hits)
+        })?;
+        self.record_obs(
+            cbir_obs::QueryOp::Range,
+            start,
+            queries.len(),
+            &before,
+            stats,
+            &out,
+        );
+        Ok(out)
+    }
+
+    /// Batched k-NN by global id, excluding each query row from its own
+    /// results (the usual retrieval convention).
+    pub fn knn_batch_by_ids(
+        &self,
+        ids: &[u64],
+        k: usize,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        let queries: Vec<Vec<f32>> = ids
+            .iter()
+            .map(|&id| self.descriptor(id))
+            .collect::<Result<_>>()?;
+        let start = cbir_obs::enabled().then(Instant::now);
+        let before = stats.total().clone();
+        let out = self.run_batch(queries.len(), threads, stats, |i, s| {
+            // One extra hit absorbs the query row itself.
+            let hits = self.knn_one(&queries[i], k.saturating_add(1), s)?;
+            let filtered: Vec<(u64, f32)> = hits
+                .into_iter()
+                .filter(|&(g, _)| g != ids[i])
+                .take(k)
+                .collect();
+            self.rank(filtered)
+        })?;
+        self.record_obs(
+            cbir_obs::QueryOp::Knn,
+            start,
+            ids.len(),
+            &before,
+            stats,
+            &out,
+        );
+        Ok(out)
+    }
+
+    /// k-NN for one external example image.
+    pub fn query_by_example(
+        &self,
+        img: &RgbImage,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<Ranked>> {
+        let desc = self.extract(img)?;
+        let hits = self.knn_one(&desc, k, stats)?;
+        self.rank(hits)
+    }
+
+    /// Materialize every live row, in global id order, as one in-memory
+    /// [`ImageDatabase`] (the bridge back to the RAM-resident engine —
+    /// used by migration, tests, and the bit-identity experiment).
+    pub fn materialize(&self) -> Result<ImageDatabase> {
+        let dim = self.dim();
+        let mut flat = Vec::with_capacity(self.len() * dim);
+        let mut metas = Vec::with_capacity(self.len());
+        for (seg, &base) in self.segments.iter().zip(&self.bases) {
+            if seg.rows == 0 {
+                continue;
+            }
+            let seg_metas = seg.metas()?;
+            let ds = seg
+                .dataset
+                .as_ref()
+                .expect("non-empty segment has a dataset");
+            for (local, meta) in seg_metas.iter().enumerate().take(seg.rows) {
+                if self.tombstones.contains(&(base + local as u64)) {
+                    continue;
+                }
+                flat.extend_from_slice(ds.vector(local));
+                metas.push(meta.clone());
+            }
+        }
+        for local in 0..self.mem_metas.len() {
+            if self
+                .tombstones
+                .contains(&(self.seg_rows_total + local as u64))
+            {
+                continue;
+            }
+            flat.extend_from_slice(&self.mem_flat[local * dim..(local + 1) * dim]);
+            metas.push(self.mem_metas[local].clone());
+        }
+        ImageDatabase::from_parts(self.pipeline.clone(), self.balanced, flat, metas)
+    }
+}
+
+/// What one [`CorpusStore::compact`] call did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Store epoch after the call.
+    pub epoch: u64,
+    /// Live segments after the call.
+    pub segments: usize,
+    /// Live rows after the call.
+    pub rows: u64,
+    /// Bytes written (segments + manifest); `0` when skipped.
+    pub bytes_written: u64,
+    /// `true` when there was nothing to compact (no memtable rows, no
+    /// tombstones) and the call was a no-op.
+    pub skipped: bool,
+}
+
+/// Mutable state under the store's writer lock.
+struct StoreState {
+    balanced: bool,
+    pipeline: Pipeline,
+    epoch: u64,
+    next_seg: u64,
+    segments: Vec<Arc<Segment>>,
+    mem_flat: Vec<f32>,
+    mem_metas: Vec<ImageMeta>,
+    tombstones: BTreeSet<u64>,
+}
+
+impl StoreState {
+    fn seg_rows_total(&self) -> u64 {
+        self.segments.iter().map(|s| s.rows as u64).sum()
+    }
+}
+
+/// The live, mutable corpus store: a segment directory plus memtable,
+/// accepting online inserts and deletes while serving queries from
+/// published [`CorpusSnapshot`]s. All mutation goes through an internal
+/// writer lock; readers never take it — they pin the published snapshot.
+pub struct CorpusStore {
+    dir: PathBuf,
+    options: StoreOptions,
+    state: Mutex<StoreState>,
+    published: Mutex<Arc<CorpusSnapshot>>,
+}
+
+impl std::fmt::Debug for CorpusStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorpusStore")
+            .field("dir", &self.dir)
+            .field("options", &self.options)
+            .finish()
+    }
+}
+
+impl CorpusStore {
+    /// Create an empty store in `dir` (created if missing) and commit an
+    /// empty manifest.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        pipeline: Pipeline,
+        balanced: bool,
+        options: StoreOptions,
+    ) -> Result<Arc<CorpusStore>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| {
+            CoreError::Persist(
+                PersistError::new(format!("cannot create store directory: {e}")).with_path(dir),
+            )
+        })?;
+        let manifest = Manifest {
+            epoch: 0,
+            next_seg: 0,
+            balanced,
+            pipeline: pipeline.clone(),
+            segments: Vec::new(),
+        };
+        write_file_atomic(
+            dir.join(MANIFEST_FILE),
+            &encode_manifest(&manifest),
+            &mut NoFaults,
+        )?;
+        Self::open(dir, options)
+    }
+
+    /// Open an existing store directory: read and validate the manifest,
+    /// open every live segment (O(segments), not O(rows) — metadata
+    /// decoding, descriptor checksums, and index builds are deferred),
+    /// and publish the initial snapshot.
+    pub fn open(dir: impl AsRef<Path>, options: StoreOptions) -> Result<Arc<CorpusStore>> {
+        let dir = dir.as_ref();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest = parse_manifest(&read_file_bytes(&manifest_path)?)
+            .map_err(|e| attach_path(e, &manifest_path))?;
+        let want_config = encode_config_parts(manifest.balanced, &manifest.pipeline);
+        let mut segments = Vec::with_capacity(manifest.segments.len());
+        for entry in &manifest.segments {
+            let path = dir.join(&entry.name);
+            let seg = Segment::open(&path, &entry.name, options.mmap)?;
+            if seg.rows as u64 != entry.rows {
+                return Err(CoreError::Persist(
+                    PersistError::new(format!(
+                        "segment has {} rows but the manifest records {}",
+                        seg.rows, entry.rows
+                    ))
+                    .with_path(&path),
+                ));
+            }
+            if encode_config_parts(seg.view.balanced, &seg.view.pipeline) != want_config {
+                return Err(CoreError::Persist(
+                    PersistError::new("segment pipeline configuration disagrees with the manifest")
+                        .with_path(&path),
+                ));
+            }
+            segments.push(seg);
+        }
+        let store = Arc::new(CorpusStore {
+            dir: dir.to_path_buf(),
+            options,
+            state: Mutex::new(StoreState {
+                balanced: manifest.balanced,
+                pipeline: manifest.pipeline,
+                epoch: manifest.epoch,
+                next_seg: manifest.next_seg,
+                segments,
+                mem_flat: Vec::new(),
+                mem_metas: Vec::new(),
+                tombstones: BTreeSet::new(),
+            }),
+            published: Mutex::new(Arc::new(CorpusSnapshot {
+                epoch: 0,
+                balanced: false,
+                pipeline: Pipeline::color_histogram_default(),
+                kind: IndexKind::Linear,
+                measure: Measure::L1,
+                segments: Vec::new(),
+                bases: Vec::new(),
+                seg_rows_total: 0,
+                mem_flat: Arc::new(Vec::new()),
+                mem_metas: Arc::new(Vec::new()),
+                mem_index: None,
+                tombstones: Arc::new(BTreeSet::new()),
+            })),
+        });
+        {
+            let state = store.state.lock().expect("store lock poisoned");
+            store.publish(&state)?;
+        }
+        Ok(store)
+    }
+
+    /// Migrate a RAM-resident [`ImageDatabase`] into a fresh store at
+    /// `dir`: its rows are written as immutable segments (chunked by
+    /// `options.max_seg_rows`) and committed under a manifest.
+    pub fn create_from_database(
+        dir: impl AsRef<Path>,
+        db: &ImageDatabase,
+        options: StoreOptions,
+    ) -> Result<Arc<CorpusStore>> {
+        let store = Self::create(dir, db.pipeline().clone(), db.is_balanced(), options)?;
+        if !db.is_empty() {
+            let dim = db.dim();
+            let flat = db.flat_descriptors();
+            {
+                let mut state = store.state.lock().expect("store lock poisoned");
+                state.mem_flat.extend_from_slice(flat);
+                state.mem_metas.extend_from_slice(db.metas());
+                state.epoch += 1;
+                debug_assert_eq!(state.mem_flat.len(), state.mem_metas.len() * dim);
+                store.publish(&state)?;
+            }
+            store.compact()?;
+        }
+        Ok(store)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The store options.
+    pub fn options(&self) -> &StoreOptions {
+        &self.options
+    }
+
+    /// Pin the current published snapshot. O(1); the snapshot stays
+    /// valid (and its mapped segments stay alive) for as long as the
+    /// `Arc` is held, across any number of mutations and compactions.
+    pub fn snapshot(&self) -> Arc<CorpusSnapshot> {
+        Arc::clone(&self.published.lock().expect("store lock poisoned"))
+    }
+
+    /// Build and publish a snapshot of `state`. The memtable is frozen
+    /// by copy and its linear index built eagerly (memtables are small
+    /// by construction); segment indexes stay lazy.
+    fn publish(&self, state: &StoreState) -> Result<()> {
+        let mem_flat = Arc::new(state.mem_flat.clone());
+        let mem_metas = Arc::new(state.mem_metas.clone());
+        let mem_index = if state.mem_metas.is_empty() {
+            None
+        } else {
+            let ds = Dataset::from_shared(state.pipeline.dim(), Arc::clone(&mem_flat) as _)?;
+            // The memtable always uses a linear scan: O(1) build per
+            // publish, and the cross-index bit-identity contract makes
+            // mixing it with tree-indexed segments safe.
+            Some(build_index(
+                &IndexKind::Linear,
+                ds,
+                self.options.measure.clone(),
+            )?)
+        };
+        let mut bases = Vec::with_capacity(state.segments.len());
+        let mut total = 0u64;
+        for seg in &state.segments {
+            bases.push(total);
+            total += seg.rows as u64;
+        }
+        let snapshot = Arc::new(CorpusSnapshot {
+            epoch: state.epoch,
+            balanced: state.balanced,
+            pipeline: state.pipeline.clone(),
+            kind: self.options.kind.clone(),
+            measure: self.options.measure.clone(),
+            segments: state.segments.clone(),
+            bases,
+            seg_rows_total: total,
+            mem_flat,
+            mem_metas,
+            mem_index,
+            tombstones: Arc::new(state.tombstones.clone()),
+        });
+        cbir_obs::set_store_state(
+            snapshot.segments_len() as u64,
+            snapshot.memtable_rows() as u64,
+            snapshot.tombstone_count() as u64,
+            snapshot.epoch,
+        );
+        *self.published.lock().expect("store lock poisoned") = snapshot;
+        Ok(())
+    }
+
+    fn validate_descriptor(dim: usize, desc: &[f32]) -> Result<()> {
+        if desc.len() != dim {
+            return Err(CoreError::InvalidParameter(format!(
+                "descriptor has dim {}, store expects {dim}",
+                desc.len()
+            )));
+        }
+        if desc.iter().any(|x| !x.is_finite()) {
+            return Err(CoreError::InvalidParameter(
+                "descriptor contains a non-finite component".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Insert one precomputed descriptor; returns its global id at the
+    /// published epoch. Triggers a best-effort background-free compaction
+    /// when the memtable reaches `memtable_limit` (compaction failure is
+    /// swallowed — the insert itself has already been published).
+    pub fn insert(&self, meta: ImageMeta, descriptor: Vec<f32>) -> Result<u64> {
+        let id = self.insert_batch(vec![(meta, descriptor)])?[0];
+        let over_limit = {
+            let state = self.state.lock().expect("store lock poisoned");
+            state.mem_metas.len() >= self.options.memtable_limit
+        };
+        if over_limit {
+            // Soft limit: the memtable keeps absorbing inserts even if
+            // compaction cannot run (e.g. a read-only filesystem).
+            let _ = self.compact();
+        }
+        Ok(id)
+    }
+
+    /// Insert many precomputed descriptors under one epoch bump; returns
+    /// their global ids. All-or-nothing: validation happens before any
+    /// state changes.
+    pub fn insert_batch(&self, items: Vec<(ImageMeta, Vec<f32>)>) -> Result<Vec<u64>> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut state = self.state.lock().expect("store lock poisoned");
+        let dim = state.pipeline.dim();
+        for (_, desc) in &items {
+            Self::validate_descriptor(dim, desc)?;
+        }
+        let base = state.seg_rows_total() + state.mem_metas.len() as u64;
+        let mut ids = Vec::with_capacity(items.len());
+        for (i, (meta, desc)) in items.into_iter().enumerate() {
+            state.mem_flat.extend_from_slice(&desc);
+            state.mem_metas.push(meta);
+            ids.push(base + i as u64);
+        }
+        state.epoch += 1;
+        self.publish(&state)?;
+        cbir_obs::store_inserted(ids.len() as u64);
+        Ok(ids)
+    }
+
+    /// Extract and insert one image.
+    pub fn insert_image(
+        &self,
+        name: impl Into<String>,
+        label: Option<u32>,
+        img: &RgbImage,
+    ) -> Result<u64> {
+        let (balanced, pipeline) = {
+            let state = self.state.lock().expect("store lock poisoned");
+            (state.balanced, state.pipeline.clone())
+        };
+        let desc = if balanced {
+            pipeline.extract_balanced(img)?
+        } else {
+            pipeline.extract(img)?
+        };
+        self.insert(
+            ImageMeta {
+                name: name.into(),
+                label,
+            },
+            desc,
+        )
+    }
+
+    /// Tombstone global id `id`. The row disappears from queries at the
+    /// next epoch and is physically dropped by the next compaction.
+    pub fn delete(&self, id: u64) -> Result<()> {
+        let mut state = self.state.lock().expect("store lock poisoned");
+        let total = state.seg_rows_total() + state.mem_metas.len() as u64;
+        if id >= total || state.tombstones.contains(&id) {
+            return Err(CoreError::NotFound(id as usize));
+        }
+        state.tombstones.insert(id);
+        state.epoch += 1;
+        self.publish(&state)?;
+        cbir_obs::store_deleted(1);
+        Ok(())
+    }
+
+    /// Compact with the fault policy from `CBIR_FAULT_COMPACT_OP` (or no
+    /// faults): merge every live row into fresh segments, commit them
+    /// under a new manifest, clear the memtable and tombstones, and drop
+    /// the old segment files. See [`CorpusStore::compact_with`].
+    pub fn compact(&self) -> Result<CompactionStats> {
+        match compact_policy_from_env() {
+            Some(mut policy) => self.compact_with(policy.as_mut()),
+            None => self.compact_with(&mut NoFaults),
+        }
+    }
+
+    /// [`CorpusStore::compact`] with an explicit fault policy — the entry
+    /// point the crash-consistency sweep drives. The protocol:
+    ///
+    /// 1. verify every source segment's descriptor checksum (bit rot
+    ///    must not be laundered into freshly checksummed output);
+    /// 2. write each new segment via the atomic temp/fsync/rename
+    ///    sequence, then read it back and verify it end to end;
+    /// 3. open the new segments;
+    /// 4. atomically write the new `MANIFEST` — **the only commit
+    ///    point**;
+    /// 5. swap in-memory state, publish the new snapshot, and
+    ///    best-effort delete the old segment files (pinned snapshots
+    ///    keep their mappings alive regardless).
+    ///
+    /// A failure anywhere before step 4 leaves the old state fully
+    /// intact (new files are best-effort removed); a failure *after*
+    /// the manifest rename (e.g. the directory sync) rolls forward,
+    /// because the commit already landed. Recovery is therefore always
+    /// "old set or new set", never a mixture.
+    pub fn compact_with(&self, policy: &mut dyn FaultPolicy) -> Result<CompactionStats> {
+        let mut state = self.state.lock().expect("store lock poisoned");
+        if state.mem_metas.is_empty() && state.tombstones.is_empty() {
+            return Ok(CompactionStats {
+                epoch: state.epoch,
+                segments: state.segments.len(),
+                rows: state.seg_rows_total(),
+                bytes_written: 0,
+                skipped: true,
+            });
+        }
+        let dim = state.pipeline.dim();
+        // 1. Verify sources, then gather live rows in global id order.
+        let mut flat: Vec<f32> = Vec::new();
+        let mut metas: Vec<ImageMeta> = Vec::new();
+        let mut base = 0u64;
+        for seg in &state.segments {
+            seg.view
+                .verify_descriptors(&seg.bytes)
+                .map_err(|e| attach_path(e, &seg.path))?;
+            let seg_metas = seg.metas()?;
+            if let Some(ds) = &seg.dataset {
+                for (local, meta) in seg_metas.iter().enumerate().take(seg.rows) {
+                    if !state.tombstones.contains(&(base + local as u64)) {
+                        flat.extend_from_slice(ds.vector(local));
+                        metas.push(meta.clone());
+                    }
+                }
+            }
+            base += seg.rows as u64;
+        }
+        for local in 0..state.mem_metas.len() {
+            if !state.tombstones.contains(&(base + local as u64)) {
+                flat.extend_from_slice(&state.mem_flat[local * dim..(local + 1) * dim]);
+                metas.push(state.mem_metas[local].clone());
+            }
+        }
+        // 2. Write the new segments, re-reading each to catch corruption
+        // (e.g. an injected bit flip) before the commit point.
+        let chunk_rows = self.options.max_seg_rows.max(1);
+        let mut new_entries: Vec<ManifestEntry> = Vec::new();
+        let mut new_paths: Vec<PathBuf> = Vec::new();
+        let mut bytes_written = 0u64;
+        let mut next_seg = state.next_seg;
+        let result = (|| -> Result<Vec<Arc<Segment>>> {
+            let mut opened = Vec::new();
+            for (i, chunk) in metas.chunks(chunk_rows).enumerate() {
+                let lo = i * chunk_rows;
+                let seg_flat = &flat[lo * dim..(lo + chunk.len()) * dim];
+                let bytes = encode_segment(state.balanced, &state.pipeline, seg_flat, chunk)?;
+                let name = segment_file_name(next_seg);
+                next_seg += 1;
+                let path = self.dir.join(&name);
+                write_file_atomic(&path, &bytes, policy)?;
+                bytes_written += bytes.len() as u64;
+                new_paths.push(path.clone());
+                // Read back through the real file so what we commit is
+                // what the disk actually holds.
+                let reread = read_file_bytes(&path)?;
+                let view = parse_segment(&reread).map_err(|e| attach_path(e, &path))?;
+                view.verify_descriptors(&reread)
+                    .map_err(|e| attach_path(e, &path))?;
+                view.decode_metas(&reread)
+                    .map_err(|e| attach_path(e, &path))?;
+                new_entries.push(ManifestEntry {
+                    name: name.clone(),
+                    rows: chunk.len() as u64,
+                });
+                // 3. Open before committing: a commit must never point at
+                // a segment we cannot serve.
+                opened.push(Segment::open(&path, &name, self.options.mmap)?);
+            }
+            // 4. Commit.
+            let manifest = Manifest {
+                epoch: state.epoch + 1,
+                next_seg,
+                balanced: state.balanced,
+                pipeline: state.pipeline.clone(),
+                segments: new_entries.clone(),
+            };
+            let mbytes = encode_manifest(&manifest);
+            write_file_atomic(self.dir.join(MANIFEST_FILE), &mbytes, policy)?;
+            bytes_written += mbytes.len() as u64;
+            Ok(opened)
+        })();
+        let opened = match result {
+            Ok(opened) => opened,
+            Err(e) => {
+                // A fault between the manifest rename and its directory
+                // sync reports an error even though the commit already
+                // landed; deleting the new segment files then would leave
+                // the committed manifest pointing at nothing. Check what
+                // the disk actually holds before cleaning up.
+                let landed = read_file_bytes(self.dir.join(MANIFEST_FILE))
+                    .ok()
+                    .and_then(|b| parse_manifest(&b).ok())
+                    .is_some_and(|m| m.epoch == state.epoch + 1);
+                if !landed {
+                    // Pre-commit failure: the old manifest still rules.
+                    // Remove whatever new files made it to disk; the
+                    // in-memory state is untouched.
+                    for p in &new_paths {
+                        let _ = std::fs::remove_file(p);
+                    }
+                    return Err(e);
+                }
+                // Roll forward: the rename is the commit point and it
+                // completed, so serve the new state. (After a real crash
+                // the un-synced rename may or may not survive — either
+                // way recovery sees exactly the old or the new set.)
+                let mut reopened = Vec::new();
+                for (path, entry) in new_paths.iter().zip(&new_entries) {
+                    reopened.push(Segment::open(path, &entry.name, self.options.mmap)?);
+                }
+                reopened
+            }
+        };
+        // 5. Swap, publish, and drop the replaced files.
+        let old_paths: Vec<PathBuf> = state.segments.iter().map(|s| s.path.clone()).collect();
+        state.segments = opened;
+        state.mem_flat.clear();
+        state.mem_metas.clear();
+        state.tombstones.clear();
+        state.epoch += 1;
+        state.next_seg = next_seg;
+        self.publish(&state)?;
+        for p in old_paths {
+            if !new_paths.contains(&p) {
+                // Best-effort: pinned snapshots hold their mappings open,
+                // and fsck treats leftovers as orphans, not corruption.
+                let _ = std::fs::remove_file(&p);
+            }
+        }
+        cbir_obs::store_compacted();
+        Ok(CompactionStats {
+            epoch: state.epoch,
+            segments: state.segments.len(),
+            rows: metas.len() as u64,
+            bytes_written,
+            skipped: false,
+        })
+    }
+}
+
+/// What a server is serving: a static RAM-resident engine (the classic
+/// offline-built database) or a live mutable store.
+#[derive(Clone)]
+pub enum ServedCorpus {
+    /// Offline-built immutable engine.
+    Static(Arc<crate::QueryEngine>),
+    /// Live store accepting online mutation.
+    Live(Arc<CorpusStore>),
+}
+
+impl ServedCorpus {
+    /// Pin a consistent read view: the engine itself (already immutable)
+    /// or the store's current snapshot.
+    pub fn pin(&self) -> PinnedView {
+        match self {
+            ServedCorpus::Static(e) => PinnedView::Static(Arc::clone(e)),
+            ServedCorpus::Live(s) => PinnedView::Snapshot(s.snapshot()),
+        }
+    }
+
+    /// The live store, when serving one.
+    pub fn store(&self) -> Option<&Arc<CorpusStore>> {
+        match self {
+            ServedCorpus::Static(_) => None,
+            ServedCorpus::Live(s) => Some(s),
+        }
+    }
+}
+
+/// One pinned, immutable read view over a [`ServedCorpus`] — every query
+/// in a batch group runs against exactly one of these, so a group can
+/// never straddle an epoch boundary.
+pub enum PinnedView {
+    /// A static engine (epoch 0 forever).
+    Static(Arc<crate::QueryEngine>),
+    /// A pinned store snapshot.
+    Snapshot(Arc<CorpusSnapshot>),
+}
+
+impl PinnedView {
+    /// Live rows visible to queries.
+    pub fn len(&self) -> usize {
+        match self {
+            PinnedView::Static(e) => e.database().len(),
+            PinnedView::Snapshot(s) => s.len(),
+        }
+    }
+
+    /// Whether no rows are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Descriptor dimensionality.
+    pub fn dim(&self) -> usize {
+        match self {
+            PinnedView::Static(e) => e.database().dim(),
+            PinnedView::Snapshot(s) => s.dim(),
+        }
+    }
+
+    /// Epoch of the pinned view (static engines are always epoch 0).
+    pub fn epoch(&self) -> u64 {
+        match self {
+            PinnedView::Static(_) => 0,
+            PinnedView::Snapshot(s) => s.epoch(),
+        }
+    }
+
+    /// Whether `id` addresses a live row in this view.
+    pub fn contains(&self, id: u64) -> bool {
+        match self {
+            PinnedView::Static(e) => (id as usize) < e.database().len(),
+            PinnedView::Snapshot(s) => s.contains(id),
+        }
+    }
+
+    /// Batched k-NN (see [`CorpusSnapshot::knn_batch`]).
+    pub fn knn_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        match self {
+            PinnedView::Static(e) => e.knn_batch(queries, k, threads, stats),
+            PinnedView::Snapshot(s) => s.knn_batch(queries, k, threads, stats),
+        }
+    }
+
+    /// Batched range search (see [`CorpusSnapshot::range_batch`]).
+    pub fn range_batch(
+        &self,
+        queries: &[Vec<f32>],
+        radius: f32,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        match self {
+            PinnedView::Static(e) => e.range_batch(queries, radius, threads, stats),
+            PinnedView::Snapshot(s) => s.range_batch(queries, radius, threads, stats),
+        }
+    }
+
+    /// Batched k-NN by id (see [`CorpusSnapshot::knn_batch_by_ids`]).
+    pub fn knn_batch_by_ids(
+        &self,
+        ids: &[u64],
+        k: usize,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        match self {
+            PinnedView::Static(e) => {
+                let ids: Vec<usize> = ids.iter().map(|&i| i as usize).collect();
+                e.knn_batch_by_ids(&ids, k, threads, stats)
+            }
+            PinnedView::Snapshot(s) => s.knn_batch_by_ids(ids, k, threads, stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryEngine;
+    use cbir_features::{FeatureSpec, Quantizer};
+
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn next_f32(&mut self) -> f32 {
+            (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+        }
+    }
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new(
+            16,
+            vec![FeatureSpec::ColorHistogram(Quantizer::UniformRgb {
+                per_channel: 2,
+            })],
+        )
+        .unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cbir-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn synth_items(n: usize, dim: usize, seed: u64) -> Vec<(ImageMeta, Vec<f32>)> {
+        let mut rng = XorShift(seed | 1);
+        (0..n)
+            .map(|i| {
+                (
+                    ImageMeta {
+                        name: format!("img-{seed}-{i:04}"),
+                        label: Some((i % 5) as u32),
+                    },
+                    (0..dim).map(|_| rng.next_f32()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn synth_queries(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = XorShift(seed | 1);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.next_f32()).collect())
+            .collect()
+    }
+
+    /// Flatten results to comparable keys. `with_ids` only when both
+    /// sides number rows identically (no tombstones in play).
+    fn keys(results: &[Vec<Ranked>], with_ids: bool) -> Vec<(Option<usize>, String, u32)> {
+        results
+            .iter()
+            .flat_map(|r| {
+                r.iter().map(move |h| {
+                    (
+                        with_ids.then_some(h.id),
+                        h.name.clone(),
+                        h.distance.to_bits(),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn engine_over(snap: &CorpusSnapshot, kind: IndexKind, measure: Measure) -> QueryEngine {
+        QueryEngine::build(snap.materialize().unwrap(), kind, measure).unwrap()
+    }
+
+    #[test]
+    fn snapshot_matches_engine_across_kinds_and_sources() {
+        let dim = pipeline().dim();
+        let queries = synth_queries(8, dim, 99);
+        for (t, kind) in [
+            IndexKind::Linear,
+            IndexKind::VpTree,
+            IndexKind::KdTree,
+            IndexKind::MTree,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let dir = temp_dir(&format!("parity-{t}"));
+            let store = CorpusStore::create(
+                &dir,
+                pipeline(),
+                true,
+                StoreOptions::new(kind.clone(), Measure::L1),
+            )
+            .unwrap();
+            // Rows in segments *and* in the memtable.
+            store.insert_batch(synth_items(40, dim, 7)).unwrap();
+            store.compact().unwrap();
+            store.insert_batch(synth_items(13, dim, 8)).unwrap();
+            let snap = store.snapshot();
+            assert_eq!(snap.segments_len(), 1);
+            assert_eq!(snap.memtable_rows(), 13);
+            let engine = engine_over(&snap, kind, Measure::L1);
+            let mut s1 = BatchStats::new();
+            let mut s2 = BatchStats::new();
+            let got = snap.knn_batch(&queries, 5, 2, &mut s1).unwrap();
+            let want = engine.knn_batch(&queries, 5, 2, &mut s2).unwrap();
+            // No tombstones: global ids equal engine ids, bit for bit.
+            assert_eq!(keys(&got, true), keys(&want, true));
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn range_batch_matches_engine_as_a_set() {
+        let dim = pipeline().dim();
+        let dir = temp_dir("range");
+        let store = CorpusStore::create(
+            &dir,
+            pipeline(),
+            true,
+            StoreOptions::new(IndexKind::VpTree, Measure::L2),
+        )
+        .unwrap();
+        store.insert_batch(synth_items(30, dim, 3)).unwrap();
+        store.compact().unwrap();
+        store.insert_batch(synth_items(10, dim, 4)).unwrap();
+        let snap = store.snapshot();
+        let engine = engine_over(&snap, IndexKind::VpTree, Measure::L2);
+        let queries = synth_queries(5, dim, 5);
+        let mut s1 = BatchStats::new();
+        let mut s2 = BatchStats::new();
+        let got = snap.range_batch(&queries, 0.4, 1, &mut s1).unwrap();
+        let want = engine.range_batch(&queries, 0.4, 1, &mut s2).unwrap();
+        assert!(got.iter().map(|r| r.len()).sum::<usize>() > 0);
+        for (g, w) in got.iter().zip(&want) {
+            let mut g = keys(std::slice::from_ref(g), true);
+            let mut w = keys(std::slice::from_ref(w), true);
+            g.sort();
+            w.sort();
+            assert_eq!(g, w);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_serves_identically_in_mmap_and_heap_modes() {
+        let dim = pipeline().dim();
+        let queries = synth_queries(6, dim, 42);
+        let dir = temp_dir("reopen");
+        let mut options = StoreOptions::new(IndexKind::VpTree, Measure::L1);
+        options.max_seg_rows = 16;
+        let store = CorpusStore::create(&dir, pipeline(), true, options.clone()).unwrap();
+        store.insert_batch(synth_items(50, dim, 11)).unwrap();
+        let cs = store.compact().unwrap();
+        assert!(!cs.skipped);
+        assert_eq!(cs.segments, 4); // ceil(50 / 16)
+        let mut s = BatchStats::new();
+        let want = keys(
+            &store.snapshot().knn_batch(&queries, 4, 1, &mut s).unwrap(),
+            true,
+        );
+        let durable_epoch = cs.epoch;
+        drop(store);
+        for mmap in [true, false] {
+            let mut o = options.clone();
+            o.mmap = mmap;
+            let store = CorpusStore::open(&dir, o).unwrap();
+            let snap = store.snapshot();
+            assert_eq!(snap.epoch(), durable_epoch);
+            assert_eq!(snap.segments_len(), 4);
+            assert_eq!(snap.len(), 50);
+            let mut s = BatchStats::new();
+            let got = keys(&snap.knn_batch(&queries, 4, 3, &mut s).unwrap(), true);
+            assert_eq!(got, want, "mmap={mmap}");
+            // Row addressing across segment boundaries.
+            for id in [0u64, 15, 16, 49] {
+                assert!(snap.meta(id).is_ok());
+                assert_eq!(snap.descriptor(id).unwrap().len(), dim);
+            }
+            assert!(snap.meta(50).is_err());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delete_tombstones_then_compaction_renumbers() {
+        let dim = pipeline().dim();
+        let dir = temp_dir("delete");
+        let store = CorpusStore::create(
+            &dir,
+            pipeline(),
+            true,
+            StoreOptions::new(IndexKind::Linear, Measure::L1),
+        )
+        .unwrap();
+        let items = synth_items(20, dim, 21);
+        let victim_name = items[4].0.name.clone();
+        store.insert_batch(items).unwrap();
+        store.compact().unwrap();
+        store.delete(4).unwrap();
+        store.delete(17).unwrap();
+        assert!(matches!(store.delete(4), Err(CoreError::NotFound(4))));
+        assert!(matches!(store.delete(99), Err(CoreError::NotFound(99))));
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 18);
+        assert_eq!(snap.total_rows(), 20);
+        assert_eq!(snap.tombstone_count(), 2);
+        // Tombstoned rows never surface, and results still match an
+        // engine over the live rows (names and distances; ids shift).
+        let queries = synth_queries(6, dim, 22);
+        let engine = engine_over(&snap, IndexKind::Linear, Measure::L1);
+        let mut s1 = BatchStats::new();
+        let mut s2 = BatchStats::new();
+        let got = snap.knn_batch(&queries, 20, 1, &mut s1).unwrap();
+        let want = engine.knn_batch(&queries, 20, 1, &mut s2).unwrap();
+        assert_eq!(keys(&got, false), keys(&want, false));
+        assert!(!got.iter().flatten().any(|h| h.name == victim_name));
+        // Compaction drops the tombstones and renumbers densely.
+        store.compact().unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 18);
+        assert_eq!(snap.total_rows(), 18);
+        assert_eq!(snap.tombstone_count(), 0);
+        let mut s3 = BatchStats::new();
+        let after = snap.knn_batch(&queries, 20, 1, &mut s3).unwrap();
+        assert_eq!(keys(&after, false), keys(&want, false));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn migration_from_database_is_lossless() {
+        let dim = pipeline().dim();
+        let mut db = ImageDatabase::new(pipeline());
+        for (meta, desc) in synth_items(25, dim, 31) {
+            db.insert_descriptor(meta, desc).unwrap();
+        }
+        let dir = temp_dir("migrate");
+        let store = CorpusStore::create_from_database(
+            &dir,
+            &db,
+            StoreOptions::new(IndexKind::VpTree, Measure::L1),
+        )
+        .unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 25);
+        assert_eq!(snap.memtable_rows(), 0); // migration ends compacted
+        let queries = synth_queries(5, dim, 32);
+        let engine = QueryEngine::build(db, IndexKind::VpTree, Measure::L1).unwrap();
+        let mut s1 = BatchStats::new();
+        let mut s2 = BatchStats::new();
+        let got = snap.knn_batch(&queries, 6, 1, &mut s1).unwrap();
+        let want = engine.knn_batch(&queries, 6, 1, &mut s2).unwrap();
+        assert_eq!(keys(&got, true), keys(&want, true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_compaction_unlinking_its_files() {
+        let dim = pipeline().dim();
+        let dir = temp_dir("pinned");
+        let store = CorpusStore::create(
+            &dir,
+            pipeline(),
+            true,
+            StoreOptions::new(IndexKind::VpTree, Measure::L1),
+        )
+        .unwrap();
+        store.insert_batch(synth_items(30, dim, 51)).unwrap();
+        store.compact().unwrap();
+        let pinned = store.snapshot();
+        let queries = synth_queries(6, dim, 52);
+        let mut s = BatchStats::new();
+        let before = keys(&pinned.knn_batch(&queries, 5, 1, &mut s).unwrap(), true);
+        let pinned_epoch = pinned.epoch();
+        let old_seg = dir.join(segment_file_name(0));
+        assert!(old_seg.exists());
+        // Mutate and compact underneath the pin: the old segment file is
+        // unlinked, but the pinned mapping must keep serving.
+        store.insert_batch(synth_items(10, dim, 53)).unwrap();
+        store.delete(2).unwrap();
+        store.compact().unwrap();
+        assert!(
+            !old_seg.exists(),
+            "compaction should unlink the old segment"
+        );
+        assert_eq!(pinned.epoch(), pinned_epoch);
+        assert_eq!(pinned.len(), 30);
+        let mut s2 = BatchStats::new();
+        let after = keys(&pinned.knn_batch(&queries, 5, 1, &mut s2).unwrap(), true);
+        assert_eq!(after, before, "pinned snapshot must be immutable");
+        // And the new snapshot moved on.
+        let fresh = store.snapshot();
+        assert!(fresh.epoch() > pinned_epoch);
+        assert_eq!(fresh.len(), 39);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn insert_auto_compacts_at_the_memtable_limit() {
+        let dim = pipeline().dim();
+        let dir = temp_dir("autocompact");
+        let mut options = StoreOptions::new(IndexKind::Linear, Measure::L1);
+        options.memtable_limit = 4;
+        let store = CorpusStore::create(&dir, pipeline(), true, options).unwrap();
+        for (meta, desc) in synth_items(9, dim, 61) {
+            store.insert(meta, desc).unwrap();
+        }
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 9);
+        assert!(snap.segments_len() >= 1);
+        assert!(
+            snap.memtable_rows() < 4,
+            "memtable should have been flushed, has {} rows",
+            snap.memtable_rows()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_and_validation() {
+        let dim = pipeline().dim();
+        let dir = temp_dir("empty");
+        let store = CorpusStore::create(
+            &dir,
+            pipeline(),
+            true,
+            StoreOptions::new(IndexKind::Linear, Measure::L1),
+        )
+        .unwrap();
+        let snap = store.snapshot();
+        assert!(snap.is_empty());
+        let mut s = BatchStats::new();
+        let got = snap
+            .knn_batch(&synth_queries(2, dim, 71), 3, 1, &mut s)
+            .unwrap();
+        assert!(got.iter().all(|r| r.is_empty()));
+        assert!(store.compact().unwrap().skipped);
+        // Validation happens before any state changes.
+        let meta = ImageMeta {
+            name: "bad".into(),
+            label: None,
+        };
+        assert!(store.insert(meta.clone(), vec![0.0; dim + 1]).is_err());
+        assert!(store.insert(meta, vec![f32::NAN; dim]).is_err());
+        assert_eq!(store.snapshot().total_rows(), 0);
+        // Reopening an empty store works.
+        drop(store);
+        let store =
+            CorpusStore::open(&dir, StoreOptions::new(IndexKind::Linear, Measure::L1)).unwrap();
+        assert!(store.snapshot().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn served_corpus_pins_consistent_views() {
+        let dim = pipeline().dim();
+        let dir = temp_dir("served");
+        let store = CorpusStore::create(
+            &dir,
+            pipeline(),
+            true,
+            StoreOptions::new(IndexKind::Linear, Measure::L1),
+        )
+        .unwrap();
+        store.insert_batch(synth_items(12, dim, 81)).unwrap();
+        let served = ServedCorpus::Live(Arc::clone(&store));
+        let view = served.pin();
+        let epoch = view.epoch();
+        assert_eq!(view.len(), 12);
+        // Mutations after the pin do not move the pinned view.
+        store.insert_batch(synth_items(3, dim, 82)).unwrap();
+        assert_eq!(view.len(), 12);
+        assert_eq!(view.epoch(), epoch);
+        assert!(served.pin().epoch() > epoch);
+        assert!(served.store().is_some());
+        // A static corpus pins the engine itself at epoch 0.
+        let engine = engine_over(&store.snapshot(), IndexKind::Linear, Measure::L1);
+        let served = ServedCorpus::Static(Arc::new(engine));
+        let view = served.pin();
+        assert_eq!(view.epoch(), 0);
+        assert_eq!(view.len(), 15);
+        assert!(served.store().is_none());
+        let mut s = BatchStats::new();
+        let ids = [0u64, 5];
+        let by_ids = view.knn_batch_by_ids(&ids, 3, 1, &mut s).unwrap();
+        assert_eq!(by_ids.len(), 2);
+        assert!(by_ids[0].iter().all(|h| h.id != 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

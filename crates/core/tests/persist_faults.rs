@@ -16,13 +16,19 @@
 //! 3. **Migration** — legacy `CBIRDB01` files round-trip through the
 //!    v2 writer unchanged in content.
 
-use cbir_core::faults::{CountOps, FailAtOp, FlipBitAt, TornWriteAt};
-use cbir_core::persist::{fsck_slice, load_file, load_from_slice, save_file_with, save_to_vec};
-use cbir_core::{CoreError, ImageDatabase};
+use cbir_core::faults::{CountOps, FailAtOp, FlipBitAt, NoFaults, TornWriteAt};
+use cbir_core::persist::{
+    fsck_dir, fsck_slice, load_file, load_from_slice, save_file_with, save_to_vec,
+};
+use cbir_core::{
+    CoreError, CorpusSnapshot, CorpusStore, ImageDatabase, ImageMeta, IndexKind, StoreOptions,
+};
+use cbir_distance::Measure;
 use cbir_features::{FeatureSpec, Pipeline, Quantizer};
 use cbir_image::{Rgb, RgbImage};
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// A multi-spec pipeline so the config section exercises several
 /// encoders and the descriptor matrix is non-trivial.
@@ -86,6 +92,10 @@ impl XorShift {
 
     fn below(&mut self, n: u64) -> u64 {
         self.next() % n
+    }
+
+    fn next_f32(&mut self) -> f32 {
+        (self.next() >> 40) as f32 / (1u64 << 24) as f32
     }
 }
 
@@ -362,4 +372,266 @@ fn truncated_v1_files_are_typed_errors_too() {
             Ok(_) => panic!("v1 file truncated to {len} loaded successfully"),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Compaction crash consistency.
+// ---------------------------------------------------------------------------
+//
+// The segment store's durability contract mirrors the single-file one,
+// lifted to a directory: the `MANIFEST` rename is the only commit
+// point, so a compaction interrupted at *any* primitive operation must
+// leave a store that reopens to exactly the old segment set or exactly
+// the new one — never a mixture, never an unreadable directory.
+// (Memtable rows and tombstones are volatile by design; the durable
+// "old" state is whatever the last committed manifest describes.)
+
+fn store_pipeline() -> Pipeline {
+    Pipeline::new(
+        16,
+        vec![FeatureSpec::ColorHistogram(Quantizer::UniformRgb {
+            per_channel: 2,
+        })],
+    )
+    .unwrap()
+}
+
+fn store_options() -> StoreOptions {
+    let mut options = StoreOptions::new(IndexKind::Linear, Measure::L1);
+    // Small segments force multi-segment compactions; a high memtable
+    // limit keeps the store from compacting underneath the test.
+    options.max_seg_rows = 4;
+    options.memtable_limit = 1 << 16;
+    options
+}
+
+fn synth_rows(n: usize, dim: usize, seed: u64) -> Vec<(ImageMeta, Vec<f32>)> {
+    let mut rng = XorShift(seed | 1);
+    (0..n)
+        .map(|i| {
+            (
+                ImageMeta {
+                    name: format!("row-{seed}-{i:03}"),
+                    label: Some((i % 3) as u32),
+                },
+                (0..dim).map(|_| rng.next_f32()).collect(),
+            )
+        })
+        .collect()
+}
+
+/// The logical content of a snapshot: live rows in global id order, with
+/// descriptors compared bit-for-bit.
+fn fingerprint(snap: &CorpusSnapshot) -> Vec<(String, Vec<u32>)> {
+    (0..snap.total_rows() as u64)
+        .filter(|&id| snap.contains(id))
+        .map(|id| {
+            let meta = snap.meta(id).unwrap();
+            let desc = snap.descriptor(id).unwrap();
+            (meta.name, desc.iter().map(|f| f.to_bits()).collect())
+        })
+        .collect()
+}
+
+/// Build a store with a committed 6-row / 2-segment old state plus a
+/// pending memtable (5 inserts) and tombstones (one segment row, one
+/// memtable row) — the compaction under test merges all of it.
+fn build_pending_store(dir: &Path) -> Arc<CorpusStore> {
+    let _ = std::fs::remove_dir_all(dir);
+    let store = CorpusStore::create(dir, store_pipeline(), false, store_options()).unwrap();
+    let dim = store.snapshot().dim();
+    for (meta, desc) in synth_rows(6, dim, 11) {
+        store.insert(meta, desc).unwrap();
+    }
+    store.compact().unwrap();
+    for (meta, desc) in synth_rows(5, dim, 22) {
+        store.insert(meta, desc).unwrap();
+    }
+    store.delete(1).unwrap();
+    store.delete(8).unwrap();
+    store
+}
+
+fn assert_dir_clean(dir: &Path, ctx: &str) {
+    assert_no_temp_droppings(dir);
+    let report = fsck_dir(dir).unwrap_or_else(|e| panic!("{ctx}: fsck cannot run: {e}"));
+    assert!(report.is_ok(), "{ctx}: fsck found corruption: {report:?}");
+    assert!(
+        report.orphans.is_empty(),
+        "{ctx}: segment files not referenced by the manifest: {:?}",
+        report.orphans
+    );
+}
+
+#[test]
+fn interrupted_compaction_at_every_fault_point_yields_old_or_new_store() {
+    let root = temp_dir("compact_crash");
+
+    // Learn the two legal outcomes and the number of fault points from
+    // one clean run. `build_pending_store` is deterministic, so the op
+    // count transfers to every rebuilt copy.
+    let probe = build_pending_store(&root.join("probe"));
+    let old_fp = fingerprint(
+        &CorpusStore::open(root.join("probe"), store_options())
+            .unwrap()
+            .snapshot(),
+    );
+    assert_eq!(old_fp.len(), 6, "durable old state is the committed rows");
+    let live_fp = fingerprint(&probe.snapshot());
+    assert_eq!(live_fp.len(), 9, "6 + 5 inserts - 2 deletes");
+    let mut counter = CountOps::default();
+    probe.compact_with(&mut counter).unwrap();
+    let new_fp = fingerprint(&probe.snapshot());
+    assert_eq!(
+        new_fp, live_fp,
+        "compaction must not change the logical rows"
+    );
+    assert!(
+        counter.count >= 15,
+        "expected >=15 fault points across 3 segments + manifest, got {}",
+        counter.count
+    );
+
+    for op in 0..counter.count {
+        let dir = root.join(format!("op{op}"));
+        let store = build_pending_store(&dir);
+        let mut policy = FailAtOp::new(op, ErrorKind::StorageFull);
+        let result = store.compact_with(&mut policy);
+
+        // Whatever happened, the directory must reopen...
+        let reopened = CorpusStore::open(&dir, store_options())
+            .unwrap_or_else(|e| panic!("op {op}: store no longer opens: {e}"));
+        let fp = fingerprint(&reopened.snapshot());
+        drop(reopened);
+        // ...to exactly one of the two legal states.
+        match &result {
+            Ok(stats) => {
+                assert!(!stats.skipped, "op {op}: compaction skipped unexpectedly");
+                assert_eq!(fp, new_fp, "op {op}: Ok compaction must commit the new set");
+            }
+            Err(e) => {
+                assert!(
+                    matches!(e, CoreError::Persist(_)),
+                    "op {op}: expected typed persist error, got {e:?}"
+                );
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("seg-") || msg.contains("MANIFEST"),
+                    "op {op}: error must name the segment file: {msg}"
+                );
+                assert_eq!(
+                    fp, old_fp,
+                    "op {op}: failed compaction must leave the old set"
+                );
+                // The live store still serves every pre-compaction row
+                // and the retry path works.
+                assert_eq!(
+                    fingerprint(&store.snapshot()),
+                    new_fp,
+                    "op {op}: failed compaction lost live rows"
+                );
+                store.compact().unwrap();
+                let retried = CorpusStore::open(&dir, store_options()).unwrap();
+                assert_eq!(
+                    fingerprint(&retried.snapshot()),
+                    new_fp,
+                    "op {op}: retry after failure did not commit"
+                );
+            }
+        }
+        drop(store);
+        assert_dir_clean(&dir, &format!("op {op}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn torn_segment_writes_during_compaction_preserve_the_old_store() {
+    let root = temp_dir("compact_torn");
+    // Measure a new segment file's size from a clean run so the torn
+    // offsets actually land inside segment writes.
+    let probe_dir = root.join("probe");
+    let probe = build_pending_store(&probe_dir);
+    probe.compact().unwrap();
+    let seg_len = std::fs::read_dir(&probe_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("seg-"))
+        .map(|e| e.metadata().unwrap().len())
+        .max()
+        .unwrap();
+    drop(probe);
+
+    let offsets = [0, 7, seg_len / 2, seg_len - 1];
+    for (i, &at) in offsets.iter().enumerate() {
+        let dir = root.join(format!("torn{i}"));
+        let store = build_pending_store(&dir);
+        let old_fp = fingerprint(&CorpusStore::open(&dir, store_options()).unwrap().snapshot());
+        let err = store
+            .compact_with(&mut TornWriteAt::new(at))
+            .expect_err("torn segment write must surface as an error");
+        assert!(
+            matches!(err, CoreError::Persist(_)),
+            "tear at {at}: {err:?}"
+        );
+        let reopened = CorpusStore::open(&dir, store_options()).unwrap();
+        assert_eq!(
+            fingerprint(&reopened.snapshot()),
+            old_fp,
+            "tear at {at} leaked a partial state"
+        );
+        drop(reopened);
+        drop(store);
+        assert_dir_clean(&dir, &format!("tear at {at}"));
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn bit_flip_during_compaction_is_caught_before_commit() {
+    let root = temp_dir("compact_flip");
+    let probe_dir = root.join("probe");
+    let probe = build_pending_store(&probe_dir);
+    probe.compact().unwrap();
+    let seg_len = std::fs::read_dir(&probe_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("seg-"))
+        .map(|e| e.metadata().unwrap().len())
+        .min()
+        .unwrap();
+    drop(probe);
+
+    // Offset 0 corrupts the magic; the tail offsets land in the raw
+    // descriptor matrix (descriptors are the final section). Both are
+    // regions the pre-commit read-back must reject.
+    let cases = [(0u64, 0u8), (seg_len - 1, 5), (seg_len - 9, 1)];
+    for (i, &(at, bit)) in cases.iter().enumerate() {
+        let dir = root.join(format!("flip{i}"));
+        let store = build_pending_store(&dir);
+        let old_fp = fingerprint(&CorpusStore::open(&dir, store_options()).unwrap().snapshot());
+        let err = store
+            .compact_with(&mut FlipBitAt { at, bit })
+            .expect_err(&format!("flip {bit} at {at} committed corrupt data"));
+        assert!(matches!(err, CoreError::Persist(_)));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("seg-"),
+            "flip at {at}: error must name the segment file: {msg}"
+        );
+        let reopened = CorpusStore::open(&dir, store_options()).unwrap();
+        assert_eq!(
+            fingerprint(&reopened.snapshot()),
+            old_fp,
+            "flip at {at}: old state not preserved"
+        );
+        drop(reopened);
+        // The store detected the corruption before the commit point, so
+        // a clean retry must still succeed.
+        store.compact_with(&mut NoFaults).unwrap();
+        drop(store);
+        assert_dir_clean(&dir, &format!("flip at {at}"));
+    }
+    std::fs::remove_dir_all(&root).ok();
 }

@@ -3,13 +3,42 @@
 use crate::error::{IndexError, Result};
 use std::sync::Arc;
 
+/// Row storage: either an owned flat matrix or an externally managed
+/// one (e.g. a checksummed memory-mapped segment) shared behind a trait
+/// object so indexes stay oblivious to where the floats live.
+#[derive(Clone)]
+enum Rows {
+    Owned(Arc<Vec<f32>>),
+    Shared(Arc<dyn AsRef<[f32]> + Send + Sync>),
+}
+
+impl Rows {
+    #[inline]
+    fn flat(&self) -> &[f32] {
+        match self {
+            Rows::Owned(v) => v,
+            Rows::Shared(s) => (**s).as_ref(),
+        }
+    }
+}
+
 /// An immutable, shared collection of equal-dimensional feature vectors
 /// stored as one contiguous row-major matrix (cache-friendly and cheap to
 /// share between several indexes in a comparison experiment).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Dataset {
     dim: usize,
-    data: Arc<Vec<f32>>,
+    data: Rows,
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("dim", &self.dim)
+            .field("len", &self.len())
+            .field("owned", &matches!(self.data, Rows::Owned(_)))
+            .finish()
+    }
 }
 
 impl Dataset {
@@ -40,7 +69,7 @@ impl Dataset {
         }
         Ok(Dataset {
             dim,
-            data: Arc::new(data),
+            data: Rows::Owned(Arc::new(data)),
         })
     }
 
@@ -62,18 +91,44 @@ impl Dataset {
         }
         Ok(Dataset {
             dim,
-            data: Arc::new(data),
+            data: Rows::Owned(Arc::new(data)),
+        })
+    }
+
+    /// Build over externally managed row storage — typically a
+    /// memory-mapped, checksummed segment file — without copying it into
+    /// the heap.
+    ///
+    /// Unlike [`Dataset::from_flat`], no per-component finiteness scan is
+    /// performed: scanning would fault in every page of an out-of-core
+    /// matrix and defeat the O(1) open this constructor exists for. The
+    /// caller guarantees finiteness instead (the segment formats only
+    /// persist descriptors that were validated on ingest, and integrity
+    /// against bit rot is covered by section checksums).
+    pub fn from_shared(dim: usize, rows: Arc<dyn AsRef<[f32]> + Send + Sync>) -> Result<Self> {
+        if dim == 0 {
+            return Err(IndexError::BadDataset("zero-dimensional vectors".into()));
+        }
+        let len = (*rows).as_ref().len();
+        if len == 0 || !len.is_multiple_of(dim) {
+            return Err(IndexError::BadDataset(format!(
+                "shared data length {len} is not a positive multiple of dim {dim}"
+            )));
+        }
+        Ok(Dataset {
+            dim,
+            data: Rows::Shared(rows),
         })
     }
 
     /// Number of vectors.
     pub fn len(&self) -> usize {
-        self.data.len() / self.dim
+        self.data.flat().len() / self.dim
     }
 
     /// Whether the dataset is empty (never true for a constructed dataset).
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.flat().is_empty()
     }
 
     /// Vector dimensionality.
@@ -87,19 +142,21 @@ impl Dataset {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn vector(&self, i: usize) -> &[f32] {
-        &self.data[i * self.dim..(i + 1) * self.dim]
+        &self.data.flat()[i * self.dim..(i + 1) * self.dim]
     }
 
     /// The whole dataset as one row-major matrix (`len() * dim()` floats) —
     /// the shape batched distance kernels consume.
     #[inline]
     pub fn flat(&self) -> &[f32] {
-        &self.data
+        self.data.flat()
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate in-memory footprint in bytes (for shared storage this
+    /// counts the mapped bytes, which may live in the page cache rather
+    /// than the heap).
     pub fn memory_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f32>()
+        std::mem::size_of_val(self.data.flat())
     }
 }
 
@@ -141,6 +198,29 @@ mod tests {
         let ds = Dataset::from_vectors(&[vec![1.0, 2.0]]).unwrap();
         let ds2 = ds.clone();
         assert_eq!(ds.vector(0).as_ptr(), ds2.vector(0).as_ptr());
+    }
+
+    #[test]
+    fn shared_storage_is_zero_copy() {
+        let backing: Arc<Vec<f32>> = Arc::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let ds = Dataset::from_shared(2, backing.clone()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.vector(1), &[3.0, 4.0]);
+        assert_eq!(ds.flat().as_ptr(), backing.as_ptr());
+        let ds2 = ds.clone();
+        assert_eq!(ds2.flat().as_ptr(), backing.as_ptr());
+        assert!(format!("{ds:?}").contains("owned: false"));
+    }
+
+    #[test]
+    fn shared_storage_validation() {
+        let bad: Arc<Vec<f32>> = Arc::new(vec![1.0, 2.0, 3.0]);
+        assert!(Dataset::from_shared(2, bad).is_err());
+        let empty: Arc<Vec<f32>> = Arc::new(Vec::new());
+        assert!(Dataset::from_shared(2, empty).is_err());
+        let any: Arc<Vec<f32>> = Arc::new(vec![1.0]);
+        assert!(Dataset::from_shared(0, any).is_err());
     }
 
     #[test]

@@ -66,10 +66,21 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
             )
         })
         .collect();
+    let store = format!(
+        "{{\"inserts\": {}, \"deletes\": {}, \"compactions\": {}, \"segments\": {}, \
+         \"memtable_rows\": {}, \"tombstones\": {}, \"epoch\": {}}}",
+        snap.store.inserts,
+        snap.store.deletes,
+        snap.store.compactions,
+        snap.store.segments,
+        snap.store.memtable_rows,
+        snap.store.tombstones,
+        snap.store.epoch
+    );
     format!(
         "{{\n  \"enabled\": {},\n  \"trace_sample_n\": {},\n  \"queue_depth\": {},\n  \
          \"indexes\": [\n{}\n  ],\n  \"stages\": [\n{}\n  ],\n  \"latency\": {{\"knn\": {}, \
-         \"range\": {}}},\n  \"trace_count\": {}\n}}\n",
+         \"range\": {}}},\n  \"store\": {},\n  \"trace_count\": {}\n}}\n",
         snap.enabled,
         snap.trace_sample_n,
         snap.queue_depth,
@@ -77,6 +88,7 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
         stages.join(",\n"),
         latency_json(&snap.knn_latency),
         latency_json(&snap.range_latency),
+        store,
         snap.trace_count
     )
 }
@@ -177,6 +189,52 @@ pub fn to_prometheus(snap: &ObsSnapshot) -> String {
             "cbir_query_latency_microseconds_count{{op=\"{op}\"}} {}\n",
             l.count
         ));
+    }
+
+    for (name, help, value) in [
+        (
+            "cbir_store_inserts_total",
+            "Rows inserted through the live segment store.",
+            snap.store.inserts,
+        ),
+        (
+            "cbir_store_deletes_total",
+            "Rows tombstoned through the live segment store.",
+            snap.store.deletes,
+        ),
+        (
+            "cbir_store_compactions_total",
+            "Compactions committed by the live segment store.",
+            snap.store.compactions,
+        ),
+    ] {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    for (name, help, value) in [
+        (
+            "cbir_store_segments",
+            "Live immutable segments.",
+            snap.store.segments,
+        ),
+        (
+            "cbir_store_memtable_rows",
+            "Rows currently in the store memtable.",
+            snap.store.memtable_rows,
+        ),
+        (
+            "cbir_store_tombstones",
+            "Tombstoned rows awaiting compaction.",
+            snap.store.tombstones,
+        ),
+        (
+            "cbir_store_epoch",
+            "Store epoch at the last published snapshot.",
+            snap.store.epoch,
+        ),
+    ] {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+        out.push_str(&format!("{name} {value}\n"));
     }
 
     out.push_str(
@@ -308,6 +366,15 @@ mod tests {
                 p99_us: 511,
             },
             range_latency: LatencySummary::default(),
+            store: crate::StoreCounters {
+                inserts: 11,
+                deletes: 2,
+                compactions: 1,
+                segments: 3,
+                memtable_rows: 7,
+                tombstones: 1,
+                epoch: 14,
+            },
             trace_count: 1,
         }
     }
@@ -322,6 +389,8 @@ mod tests {
             "\"indexes\"",
             "\"stages\"",
             "\"latency\"",
+            "\"store\"",
+            "\"memtable_rows\"",
             "\"subtrees_pruned\"",
             "\"postfilter_candidates\"",
             "\"p99_us\"",
@@ -367,6 +436,9 @@ mod tests {
         assert!(p.contains("cbir_index_subtrees_pruned_total{index=\"vp-tree\"} 7"));
         assert!(p.contains("cbir_queue_depth 2"));
         assert!(p.contains("quantile=\"0.99\""));
+        assert!(p.contains("cbir_store_inserts_total 11"));
+        assert!(p.contains("cbir_store_segments 3"));
+        assert!(p.contains("cbir_store_epoch 14"));
     }
 
     #[test]

@@ -188,6 +188,30 @@ impl StageSlot {
     }
 }
 
+struct StoreSlot {
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    compactions: AtomicU64,
+    segments: AtomicU64,
+    memtable_rows: AtomicU64,
+    tombstones: AtomicU64,
+    epoch: AtomicU64,
+}
+
+impl StoreSlot {
+    const fn new() -> Self {
+        StoreSlot {
+            inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            segments: AtomicU64::new(0),
+            memtable_rows: AtomicU64::new(0),
+            tombstones: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+        }
+    }
+}
+
 struct Registry {
     enabled: AtomicBool,
     indexes: [IndexSlot; INDEX_NAMES.len()],
@@ -195,6 +219,7 @@ struct Registry {
     knn_latency: LogHistogram,
     range_latency: LogHistogram,
     queue_depth: AtomicU64,
+    store: StoreSlot,
     traces: TraceRing,
 }
 
@@ -224,6 +249,7 @@ static REGISTRY: Registry = Registry {
     knn_latency: LogHistogram::new(),
     range_latency: LogHistogram::new(),
     queue_depth: AtomicU64::new(0),
+    store: StoreSlot::new(),
     traces: TraceRing::new(),
 };
 
@@ -343,6 +369,54 @@ pub fn set_queue_depth(depth: u64) {
     REGISTRY.queue_depth.store(depth, Ordering::Relaxed);
 }
 
+/// Record `n` rows inserted into the live segment store. No-op when
+/// disabled.
+#[inline]
+pub fn store_inserted(n: u64) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY.store.inserts.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record `n` rows tombstoned in the live segment store. No-op when
+/// disabled.
+#[inline]
+pub fn store_deleted(n: u64) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY.store.deletes.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record one committed compaction. No-op when disabled.
+#[inline]
+pub fn store_compacted() {
+    if !enabled() {
+        return;
+    }
+    REGISTRY.store.compactions.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Update the segment-store shape gauges (published with every store
+/// snapshot). No-op when disabled.
+#[inline]
+pub fn set_store_state(segments: u64, memtable_rows: u64, tombstones: u64, epoch: u64) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY.store.segments.store(segments, Ordering::Relaxed);
+    REGISTRY
+        .store
+        .memtable_rows
+        .store(memtable_rows, Ordering::Relaxed);
+    REGISTRY
+        .store
+        .tombstones
+        .store(tombstones, Ordering::Relaxed);
+    REGISTRY.store.epoch.store(epoch, Ordering::Relaxed);
+}
+
 /// Set trace sampling: `0` disables tracing, `1` traces every query,
 /// `n > 1` traces every n-th query.
 pub fn set_trace_sample_n(n: u64) {
@@ -441,6 +515,25 @@ impl LatencySummary {
     }
 }
 
+/// Segment-store counters and shape gauges at snapshot time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Rows inserted through the live store.
+    pub inserts: u64,
+    /// Rows tombstoned through the live store.
+    pub deletes: u64,
+    /// Compactions committed.
+    pub compactions: u64,
+    /// Gauge: live immutable segments.
+    pub segments: u64,
+    /// Gauge: rows currently in the memtable.
+    pub memtable_rows: u64,
+    /// Gauge: tombstoned rows awaiting compaction.
+    pub tombstones: u64,
+    /// Gauge: store epoch at the last published snapshot.
+    pub epoch: u64,
+}
+
 /// A point-in-time copy of every registry counter.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ObsSnapshot {
@@ -458,6 +551,8 @@ pub struct ObsSnapshot {
     pub knn_latency: LatencySummary,
     /// Range call latency summary.
     pub range_latency: LatencySummary,
+    /// Segment-store counters and gauges.
+    pub store: StoreCounters,
     /// Traces currently held in the ring.
     pub trace_count: u64,
 }
@@ -495,6 +590,15 @@ pub fn snapshot() -> ObsSnapshot {
         stages,
         knn_latency: LatencySummary::from_hist(&REGISTRY.knn_latency.snapshot()),
         range_latency: LatencySummary::from_hist(&REGISTRY.range_latency.snapshot()),
+        store: StoreCounters {
+            inserts: REGISTRY.store.inserts.load(Ordering::Relaxed),
+            deletes: REGISTRY.store.deletes.load(Ordering::Relaxed),
+            compactions: REGISTRY.store.compactions.load(Ordering::Relaxed),
+            segments: REGISTRY.store.segments.load(Ordering::Relaxed),
+            memtable_rows: REGISTRY.store.memtable_rows.load(Ordering::Relaxed),
+            tombstones: REGISTRY.store.tombstones.load(Ordering::Relaxed),
+            epoch: REGISTRY.store.epoch.load(Ordering::Relaxed),
+        },
         trace_count: REGISTRY.traces.all().len() as u64,
     }
 }
@@ -519,6 +623,13 @@ pub fn reset() {
     REGISTRY.knn_latency.reset();
     REGISTRY.range_latency.reset();
     REGISTRY.queue_depth.store(0, Ordering::Relaxed);
+    REGISTRY.store.inserts.store(0, Ordering::Relaxed);
+    REGISTRY.store.deletes.store(0, Ordering::Relaxed);
+    REGISTRY.store.compactions.store(0, Ordering::Relaxed);
+    REGISTRY.store.segments.store(0, Ordering::Relaxed);
+    REGISTRY.store.memtable_rows.store(0, Ordering::Relaxed);
+    REGISTRY.store.tombstones.store(0, Ordering::Relaxed);
+    REGISTRY.store.epoch.store(0, Ordering::Relaxed);
     REGISTRY.traces.reset();
 }
 
@@ -594,6 +705,26 @@ mod tests {
         let spike = s1.indexes[slot_of("linear")].distance_evaluations
             - s0.indexes[slot_of("linear")].distance_evaluations;
         assert!(spike < 1_000_000);
+    }
+
+    #[test]
+    fn store_counters_accumulate_and_gauges_overwrite() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        let before = snapshot().store;
+        store_inserted(5);
+        store_deleted(2);
+        store_compacted();
+        set_store_state(3, 17, 2, 9);
+        let after = snapshot().store;
+        assert_eq!(after.inserts - before.inserts, 5);
+        assert_eq!(after.deletes - before.deletes, 2);
+        assert_eq!(after.compactions - before.compactions, 1);
+        assert_eq!(after.segments, 3);
+        assert_eq!(after.memtable_rows, 17);
+        assert_eq!(after.tombstones, 2);
+        assert_eq!(after.epoch, 9);
+        set_store_state(0, 0, 0, 0);
     }
 
     #[test]

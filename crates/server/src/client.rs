@@ -272,6 +272,62 @@ impl Client {
         }
     }
 
+    /// Insert one descriptor into a live store; returns the assigned
+    /// global id and the store epoch after the insert. Servers fronting
+    /// a static database answer with a rejection.
+    pub fn insert(
+        &mut self,
+        name: &str,
+        label: Option<u32>,
+        descriptor: &[f32],
+    ) -> ClientResult<(u64, u64)> {
+        self.send(&Request::Insert {
+            name: name.to_string(),
+            label,
+            descriptor: descriptor.to_vec(),
+        })?;
+        self.flush()?;
+        match self.recv()? {
+            Response::InsertAck { id, epoch } => Ok((id, epoch)),
+            Response::Error(m) => Err(ClientError::Rejected(Rejection::Error(m))),
+            other => Err(ClientError::Protocol(format!(
+                "expected insert ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Tombstone the row with global id `id`; returns the store epoch
+    /// after the delete.
+    pub fn delete(&mut self, id: u64) -> ClientResult<u64> {
+        self.send(&Request::Delete { id })?;
+        self.flush()?;
+        match self.recv()? {
+            Response::DeleteAck { epoch } => Ok(epoch),
+            Response::Error(m) => Err(ClientError::Rejected(Rejection::Error(m))),
+            other => Err(ClientError::Protocol(format!(
+                "expected delete ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fold the store's memtable and tombstones into fresh immutable
+    /// segments; returns `(epoch, segments, rows)` after compaction.
+    pub fn compact(&mut self) -> ClientResult<(u64, u32, u64)> {
+        self.send(&Request::Compact)?;
+        self.flush()?;
+        match self.recv()? {
+            Response::CompactAck {
+                epoch,
+                segments,
+                rows,
+            } => Ok((epoch, segments, rows)),
+            Response::Error(m) => Err(ClientError::Rejected(Rejection::Error(m))),
+            other => Err(ClientError::Protocol(format!(
+                "expected compact ack, got {other:?}"
+            ))),
+        }
+    }
+
     /// Ask the server to drain and stop; returns once acknowledged.
     ///
     /// Must not be called with pipelined requests still unread: replies

@@ -100,6 +100,32 @@ pub enum Request {
     /// Sampled query traces (JSON), for `cbir rpc-ctl explain`; answered
     /// inline with [`Response::ObsText`].
     Explain,
+    /// Insert one precomputed descriptor into a live store; answered
+    /// inline with [`Response::InsertAck`] (or [`Response::Error`] when
+    /// the server is serving a static database).
+    ///
+    /// Body: string name, `u8 has_label` (`1` followed by `u32 label`,
+    /// or `0`), `u32 dim`, `dim × f32`.
+    Insert {
+        /// External name of the image.
+        name: String,
+        /// Optional class label.
+        label: Option<u32>,
+        /// The precomputed descriptor.
+        descriptor: Vec<f32>,
+    },
+    /// Tombstone one row of a live store by global id; answered inline
+    /// with [`Response::DeleteAck`].
+    ///
+    /// Body: `u64 id`.
+    Delete {
+        /// Global id at the server's current epoch.
+        id: u64,
+    },
+    /// Merge the live store's memtable and segments into fresh segments
+    /// (the durability point); answered inline with
+    /// [`Response::CompactAck`].
+    Compact,
 }
 
 const OP_PING: u8 = 0;
@@ -110,6 +136,9 @@ const OP_STATS: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
 const OP_OBS_STATS: u8 = 6;
 const OP_EXPLAIN: u8 = 7;
+const OP_INSERT: u8 = 8;
+const OP_DELETE: u8 = 9;
+const OP_COMPACT: u8 = 10;
 
 /// One retrieval hit on the wire; mirrors `cbir_core::Ranked`.
 ///
@@ -191,6 +220,27 @@ pub enum Response {
     /// Rendered observability text (JSON or Prometheus exposition),
     /// answering [`Request::ObsStats`] and [`Request::Explain`].
     ObsText(String),
+    /// Answer to [`Request::Insert`].
+    InsertAck {
+        /// Global id assigned to the inserted row.
+        id: u64,
+        /// Store epoch after the insert.
+        epoch: u64,
+    },
+    /// Answer to [`Request::Delete`].
+    DeleteAck {
+        /// Store epoch after the delete.
+        epoch: u64,
+    },
+    /// Answer to [`Request::Compact`].
+    CompactAck {
+        /// Store epoch after the compaction.
+        epoch: u64,
+        /// Live segments after the compaction.
+        segments: u32,
+        /// Live rows after the compaction.
+        rows: u64,
+    },
 }
 
 const ST_HITS: u8 = 0;
@@ -202,6 +252,9 @@ const ST_OVERLOADED: u8 = 5;
 const ST_SHUTTING_DOWN: u8 = 6;
 const ST_DEADLINE_EXPIRED: u8 = 7;
 const ST_OBS_TEXT: u8 = 8;
+const ST_INSERT_ACK: u8 = 9;
+const ST_DELETE_ACK: u8 = 10;
+const ST_COMPACT_ACK: u8 = 11;
 
 // ---------------------------------------------------------------------------
 // Payload writer/reader (little-endian, length-prefixed strings).
@@ -351,6 +404,27 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.u8(u8::from(*prometheus));
         }
         Request::Explain => w.u8(OP_EXPLAIN),
+        Request::Insert {
+            name,
+            label,
+            descriptor,
+        } => {
+            w.u8(OP_INSERT);
+            w.str(name);
+            match label {
+                Some(l) => {
+                    w.u8(1);
+                    w.u32(*l);
+                }
+                None => w.u8(0),
+            }
+            write_descriptor(&mut w, descriptor);
+        }
+        Request::Delete { id } => {
+            w.u8(OP_DELETE);
+            w.u64(*id);
+        }
+        Request::Compact => w.u8(OP_COMPACT),
     }
     w.buf
 }
@@ -383,6 +457,17 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             f => return Err(wire_err(format!("unknown obs-stats format {f}"))),
         },
         OP_EXPLAIN => Request::Explain,
+        OP_INSERT => {
+            let name = r.str()?;
+            let label = if r.u8()? != 0 { Some(r.u32()?) } else { None };
+            Request::Insert {
+                name,
+                label,
+                descriptor: r.descriptor()?,
+            }
+        }
+        OP_DELETE => Request::Delete { id: r.u64()? },
+        OP_COMPACT => Request::Compact,
         t => return Err(wire_err(format!("unknown request op {t}"))),
     };
     r.finish()?;
@@ -461,6 +546,25 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u8(ST_OBS_TEXT);
             w.str(text);
         }
+        Response::InsertAck { id, epoch } => {
+            w.u8(ST_INSERT_ACK);
+            w.u64(*id);
+            w.u64(*epoch);
+        }
+        Response::DeleteAck { epoch } => {
+            w.u8(ST_DELETE_ACK);
+            w.u64(*epoch);
+        }
+        Response::CompactAck {
+            epoch,
+            segments,
+            rows,
+        } => {
+            w.u8(ST_COMPACT_ACK);
+            w.u64(*epoch);
+            w.u32(*segments);
+            w.u64(*rows);
+        }
     }
     w.buf
 }
@@ -528,6 +632,16 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         ST_SHUTTING_DOWN => Response::ShuttingDown(r.str()?),
         ST_DEADLINE_EXPIRED => Response::DeadlineExpired(r.str()?),
         ST_OBS_TEXT => Response::ObsText(r.str()?),
+        ST_INSERT_ACK => Response::InsertAck {
+            id: r.u64()?,
+            epoch: r.u64()?,
+        },
+        ST_DELETE_ACK => Response::DeleteAck { epoch: r.u64()? },
+        ST_COMPACT_ACK => Response::CompactAck {
+            epoch: r.u64()?,
+            segments: r.u32()?,
+            rows: r.u64()?,
+        },
         t => return Err(wire_err(format!("unknown response status {t}"))),
     };
     r.finish()?;
@@ -637,6 +751,18 @@ mod tests {
         roundtrip_request(Request::ObsStats { prometheus: false });
         roundtrip_request(Request::ObsStats { prometheus: true });
         roundtrip_request(Request::Explain);
+        roundtrip_request(Request::Insert {
+            name: "new-img.ppm".into(),
+            label: Some(3),
+            descriptor: vec![0.5, 0.25],
+        });
+        roundtrip_request(Request::Insert {
+            name: "unlabeled".into(),
+            label: None,
+            descriptor: vec![1.0; 8],
+        });
+        roundtrip_request(Request::Delete { id: 12 });
+        roundtrip_request(Request::Compact);
     }
 
     #[test]
@@ -671,6 +797,13 @@ mod tests {
         roundtrip_response(Response::ShuttingDown("draining".into()));
         roundtrip_response(Response::DeadlineExpired("5ms budget".into()));
         roundtrip_response(Response::ObsText("{\"traces\": []}\n".into()));
+        roundtrip_response(Response::InsertAck { id: 41, epoch: 7 });
+        roundtrip_response(Response::DeleteAck { epoch: 8 });
+        roundtrip_response(Response::CompactAck {
+            epoch: 9,
+            segments: 2,
+            rows: 40,
+        });
         roundtrip_response(Response::Stats(StatsSnapshot {
             requests: 100,
             admitted: 90,

@@ -12,10 +12,14 @@
 //!    `max_delay` is nonzero, keep draining arrivals until either the
 //!    batch fills or the delay budget elapses (first request's wait is
 //!    never extended past `max_delay`).
-//! 3. **Execute** — group the collected requests by compatible engine
-//!    call (same op and parameter), run each group through
-//!    `QueryEngine::{knn_batch, range_batch, knn_batch_by_ids}` with one
-//!    shared scratch per worker, and answer every member.
+//! 3. **Execute** — pin one corpus view for the whole batch, group the
+//!    collected requests by compatible engine call (same op and
+//!    parameter), run each group through the pinned view's
+//!    `{knn_batch, range_batch, knn_batch_by_ids}` with one shared
+//!    scratch per worker, and answer every member. Pinning per batch
+//!    means a batch can never straddle a store epoch boundary: every
+//!    reply in it is computed against one consistent snapshot, even
+//!    while inserts, deletes, or a compaction land concurrently.
 //!
 //! During shutdown the queue stops admitting (new requests get an
 //! explicit [`Response::ShuttingDown`]) but the dispatcher keeps cycling
@@ -32,7 +36,7 @@
 
 use crate::metrics::Metrics;
 use crate::protocol::{Hit, Response};
-use cbir_core::{QueryEngine, Ranked};
+use cbir_core::{Ranked, ServedCorpus};
 use cbir_index::BatchStats;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -130,7 +134,7 @@ struct QueueState {
 /// runs [`Scheduler::run`] on a dedicated thread; connection handlers call
 /// [`Scheduler::submit`].
 pub struct Scheduler {
-    engine: Arc<QueryEngine>,
+    corpus: ServedCorpus,
     config: SchedulerConfig,
     queue: Mutex<QueueState>,
     not_empty: Condvar,
@@ -139,10 +143,10 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// New scheduler over a built engine.
-    pub fn new(engine: Arc<QueryEngine>, config: SchedulerConfig, metrics: Arc<Metrics>) -> Self {
+    /// New scheduler over a served corpus (static engine or live store).
+    pub fn new(corpus: ServedCorpus, config: SchedulerConfig, metrics: Arc<Metrics>) -> Self {
         Scheduler {
-            engine,
+            corpus,
             config: SchedulerConfig {
                 max_batch: config.max_batch.max(1),
                 exec_threads: config.exec_threads.max(1),
@@ -165,9 +169,9 @@ impl Scheduler {
         self.panic_trap.store(true, Ordering::SeqCst);
     }
 
-    /// The engine this scheduler executes against.
-    pub fn engine(&self) -> &QueryEngine {
-        &self.engine
+    /// The corpus this scheduler executes against.
+    pub fn corpus(&self) -> &ServedCorpus {
+        &self.corpus
     }
 
     /// The effective configuration (after floor clamping).
@@ -230,7 +234,8 @@ impl Scheduler {
     }
 
     fn validate(&self, work: &QueryWork) -> Option<String> {
-        let dim = self.engine.database().dim();
+        let view = self.corpus.pin();
+        let dim = view.dim();
         let check_desc = |d: &[f32]| -> Option<String> {
             if d.len() != dim {
                 return Some(format!(
@@ -260,10 +265,10 @@ impl Scheduler {
                 if *k == 0 {
                     return Some("k must be >= 1".into());
                 }
-                if *id >= self.engine.database().len() {
+                if !view.contains(*id as u64) {
                     return Some(format!(
                         "image id {id} not in database (len {})",
-                        self.engine.database().len()
+                        view.len()
                     ));
                 }
                 None
@@ -343,14 +348,21 @@ impl Scheduler {
         Some(batch)
     }
 
-    /// Group a batch by compatible engine call, execute each group on the
-    /// batched path, and answer every member.
+    /// Pin one corpus view, group the batch by compatible engine call,
+    /// execute each group on the batched path, and answer every member.
     fn execute_batch(&self, batch: Vec<Pending>) {
         let size = batch.len();
         let dispatch_time = Instant::now();
+        // One pinned view for the whole batch: every group executes
+        // against the same snapshot, so concurrent mutation or
+        // compaction can never produce a torn batch.
+        let view = self.corpus.pin();
 
-        // Expired requests are answered without execution; the rest are
-        // grouped by (op, parameter) so each group is one engine call.
+        // Expired requests are answered without execution; by-id
+        // requests whose row vanished between admission and dispatch
+        // (deleted, or renumbered by compaction) get an individual
+        // error instead of poisoning their group; the rest are grouped
+        // by (op, parameter) so each group is one engine call.
         // BTreeMap keeps group execution order deterministic.
         let mut expired = 0usize;
         let mut groups: BTreeMap<(u8, u64, u64), Vec<usize>> = BTreeMap::new();
@@ -363,6 +375,17 @@ impl Scheduler {
                 ));
                 slots.push(None);
                 continue;
+            }
+            if let QueryWork::KnnById { id, .. } = &p.work {
+                if !view.contains(*id as u64) {
+                    self.metrics.on_error();
+                    let _ = p.reply.try_send(Response::Error(format!(
+                        "image id {id} no longer in database (epoch {})",
+                        view.epoch()
+                    )));
+                    slots.push(None);
+                    continue;
+                }
             }
             let key = match &p.work {
                 QueryWork::Knn { k, .. } => (0u8, *k as u64, 0u64),
@@ -395,7 +418,7 @@ impl Scheduler {
                                     _ => unreachable!("knn group"),
                                 })
                                 .collect();
-                            self.engine.knn_batch(
+                            view.knn_batch(
                                 &queries,
                                 param as usize,
                                 self.config.exec_threads,
@@ -410,7 +433,7 @@ impl Scheduler {
                                     _ => unreachable!("range group"),
                                 })
                                 .collect();
-                            self.engine.range_batch(
+                            view.range_batch(
                                 &queries,
                                 f32::from_bits(param as u32),
                                 self.config.exec_threads,
@@ -418,14 +441,14 @@ impl Scheduler {
                             )
                         }
                         _ => {
-                            let ids: Vec<usize> = members
+                            let ids: Vec<u64> = members
                                 .iter()
                                 .map(|&i| match &slots[i].as_ref().expect("live slot").work {
-                                    QueryWork::KnnById { id, .. } => *id,
+                                    QueryWork::KnnById { id, .. } => *id as u64,
                                     _ => unreachable!("knn-by-id group"),
                                 })
                                 .collect();
-                            self.engine.knn_batch_by_ids(
+                            view.knn_batch_by_ids(
                                 &ids,
                                 param as usize,
                                 self.config.exec_threads,
@@ -550,7 +573,11 @@ mod tests {
     }
 
     fn sched(config: SchedulerConfig) -> Scheduler {
-        Scheduler::new(tiny_engine(), config, Arc::new(Metrics::new()))
+        Scheduler::new(
+            ServedCorpus::Static(tiny_engine()),
+            config,
+            Arc::new(Metrics::new()),
+        )
     }
 
     #[test]
@@ -663,7 +690,10 @@ mod tests {
             max_delay: Duration::from_micros(500),
             ..SchedulerConfig::default()
         });
-        let engine = Arc::clone(&s.engine);
+        let engine = match s.corpus() {
+            ServedCorpus::Static(e) => Arc::clone(e),
+            ServedCorpus::Live(_) => unreachable!("test serves a static engine"),
+        };
         let db_len = engine.database().len();
 
         // A mixed batch: knn at two different k, a range query, a by-id

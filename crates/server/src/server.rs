@@ -22,7 +22,7 @@ use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, Request, Response, StatsSnapshot,
 };
 use crate::scheduler::{Pending, QueryWork, Scheduler, SchedulerConfig};
-use cbir_core::QueryEngine;
+use cbir_core::{ImageMeta, QueryEngine, ServedCorpus};
 use std::io::{BufReader, BufWriter, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -154,7 +154,8 @@ pub struct Server;
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
-    /// `engine` until shutdown.
+    /// `engine` until shutdown. Mutation ops are refused (the engine is
+    /// immutable); serve a live store via [`Server::spawn_corpus`].
     pub fn spawn(
         engine: QueryEngine,
         addr: impl ToSocketAddrs,
@@ -170,10 +171,22 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: SchedulerConfig,
     ) -> std::io::Result<ServerHandle> {
+        Self::spawn_corpus(ServedCorpus::Static(engine), addr, config)
+    }
+
+    /// Serve a [`ServedCorpus`]: a static engine, or a live store whose
+    /// `Insert`/`Delete`/`Compact` ops are answered inline on the
+    /// connection thread (queries keep flowing through the scheduler
+    /// against pinned snapshots).
+    pub fn spawn_corpus(
+        corpus: ServedCorpus,
+        addr: impl ToSocketAddrs,
+        config: SchedulerConfig,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let metrics = Arc::new(Metrics::new());
-        let scheduler = Arc::new(Scheduler::new(engine, config, Arc::clone(&metrics)));
+        let scheduler = Arc::new(Scheduler::new(corpus, config, Arc::clone(&metrics)));
         let controller = Arc::new(Controller {
             scheduler: Arc::clone(&scheduler),
             conns: Mutex::new(ConnRegistry {
@@ -271,7 +284,6 @@ fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) 
     };
 
     let scheduler = &controller.scheduler;
-    let engine = scheduler.engine();
     let mut reader = BufReader::new(stream);
     // Every request produces exactly one slot, pushed before the next
     // frame is read, so replies leave in request order.
@@ -307,10 +319,13 @@ fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) 
             }
         };
         match request {
-            Request::Ping => respond_now(Response::Pong {
-                db_len: engine.database().len() as u64,
-                dim: engine.database().dim() as u32,
-            }),
+            Request::Ping => {
+                let view = scheduler.corpus().pin();
+                respond_now(Response::Pong {
+                    db_len: view.len() as u64,
+                    dim: view.dim() as u32,
+                });
+            }
             Request::Stats => {
                 respond_now(Response::Stats(
                     controller
@@ -373,6 +388,53 @@ fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) 
                 },
                 deadline_us,
             ),
+            // Mutations run inline on the connection thread: they take
+            // the store's writer lock, publish a new snapshot, and ack.
+            // Queries already admitted keep executing against their
+            // pinned (pre-mutation) snapshots.
+            Request::Insert {
+                name,
+                label,
+                descriptor,
+            } => match scheduler.corpus().store() {
+                None => respond_now(static_corpus_error()),
+                Some(store) => match store.insert(ImageMeta { name, label }, descriptor) {
+                    Ok(id) => respond_now(Response::InsertAck {
+                        id,
+                        epoch: store.snapshot().epoch(),
+                    }),
+                    Err(e) => {
+                        metrics.on_error();
+                        respond_now(Response::Error(e.to_string()));
+                    }
+                },
+            },
+            Request::Delete { id } => match scheduler.corpus().store() {
+                None => respond_now(static_corpus_error()),
+                Some(store) => match store.delete(id) {
+                    Ok(()) => respond_now(Response::DeleteAck {
+                        epoch: store.snapshot().epoch(),
+                    }),
+                    Err(e) => {
+                        metrics.on_error();
+                        respond_now(Response::Error(e.to_string()));
+                    }
+                },
+            },
+            Request::Compact => match scheduler.corpus().store() {
+                None => respond_now(static_corpus_error()),
+                Some(store) => match store.compact() {
+                    Ok(stats) => respond_now(Response::CompactAck {
+                        epoch: stats.epoch,
+                        segments: stats.segments as u32,
+                        rows: stats.rows,
+                    }),
+                    Err(e) => {
+                        metrics.on_error();
+                        respond_now(Response::Error(e.to_string()));
+                    }
+                },
+            },
         }
     }
     // Close the slot queue; the writer flushes what remains and exits.
@@ -381,6 +443,16 @@ fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) 
         let _ = w.join();
     }
     controller.deregister(token);
+}
+
+/// The refusal every mutation op gets when the server fronts an
+/// immutable offline-built engine instead of a live segment store.
+fn static_corpus_error() -> Response {
+    Response::Error(
+        "server is serving a static database; mutations require serving a segment store \
+         (serve --mmap)"
+            .into(),
+    )
 }
 
 fn submit_query(

@@ -1,9 +1,12 @@
 //! End-to-end tests over real TCP sockets: response equivalence with
 //! direct engine calls, concurrent pipelined clients, overload shedding,
-//! deadline expiry, per-connection error isolation, and graceful
-//! drain-on-shutdown.
+//! deadline expiry, per-connection error isolation, live-store mutation
+//! ops, and graceful drain-on-shutdown.
 
-use cbir_core::{ImageDatabase, ImageMeta, IndexKind, QueryEngine, Ranked};
+use cbir_core::{
+    CorpusStore, ImageDatabase, ImageMeta, IndexKind, QueryEngine, Ranked, ServedCorpus,
+    StoreOptions,
+};
 use cbir_distance::Measure;
 use cbir_features::{FeatureSpec, Pipeline, Quantizer};
 use cbir_index::BatchStats;
@@ -359,6 +362,107 @@ fn requests_after_shutdown_are_refused_explicitly() {
         a.knn(&q, 2, 0).is_err(),
         "server answered after shutdown completed"
     );
+}
+
+#[test]
+fn live_store_mutations_over_rpc() {
+    let dir = std::env::temp_dir().join(format!("cbir-e2e-live-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let pipeline = Pipeline::new(
+        16,
+        vec![FeatureSpec::ColorHistogram(Quantizer::Gray { bins: 16 })],
+    )
+    .unwrap();
+    let store = CorpusStore::create(
+        &dir,
+        pipeline,
+        false,
+        StoreOptions::new(IndexKind::VpTree, Measure::L1),
+    )
+    .unwrap();
+    let descs = cbir_workload::histograms(20, 16, 1.0, 7);
+    let handle = Server::spawn_corpus(
+        ServedCorpus::Live(Arc::clone(&store)),
+        "127.0.0.1:0",
+        SchedulerConfig::default(),
+    )
+    .expect("spawn server");
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // Empty store pings as empty, then grows with each acked insert.
+    assert_eq!(client.ping().unwrap().0, 0);
+    for (i, d) in descs.iter().enumerate() {
+        let (id, epoch) = client
+            .insert(&format!("live-{i:03}"), Some((i % 3) as u32), d)
+            .unwrap();
+        assert_eq!(id, i as u64);
+        assert!(epoch >= 1);
+    }
+    assert_eq!(client.ping().unwrap().0, 20);
+
+    // Queries see the inserted rows, and hits match the store's own
+    // snapshot bit-for-bit.
+    let got = client.knn(&descs[0], 5, 0).unwrap();
+    let mut stats = BatchStats::new();
+    let want = store
+        .snapshot()
+        .knn_batch(&[descs[0].clone()], 5, 1, &mut stats)
+        .unwrap()
+        .remove(0);
+    assert_hits_match(&got, &want, "live knn");
+
+    // Delete tombstones the row: it vanishes from results and ping.
+    let victim = got[0].id;
+    client.delete(victim).unwrap();
+    assert_eq!(client.ping().unwrap().0, 19);
+    let after = client.knn(&descs[0], 5, 0).unwrap();
+    assert!(
+        after.iter().all(|h| h.id != victim),
+        "tombstoned row served"
+    );
+    // Deleting it again is a per-request error; the connection survives.
+    assert!(matches!(
+        client.delete(victim),
+        Err(ClientError::Rejected(Rejection::Error(_)))
+    ));
+
+    // Compaction folds memtable + tombstone into segments and renumbers.
+    let (epoch, segments, rows) = client.compact().unwrap();
+    assert!(epoch >= 2);
+    assert!(segments >= 1);
+    assert_eq!(rows, 19);
+    assert_eq!(client.ping().unwrap().0, 19);
+    let compacted = client.knn(&descs[0], 5, 0).unwrap();
+    let names: Vec<&str> = compacted.iter().map(|h| h.name.as_str()).collect();
+    let want_names: Vec<&str> = after.iter().map(|h| h.name.as_str()).collect();
+    assert_eq!(names, want_names, "compaction changed result contents");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn static_server_refuses_mutations() {
+    let engine = engine(16, IndexKind::VpTree);
+    let handle = spawn(&engine, SchedulerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let d = engine.database().descriptor(0).unwrap().to_vec();
+    for result in [
+        client.insert("nope", None, &d).map(|_| ()),
+        client.delete(0).map(|_| ()),
+        client.compact().map(|_| ()),
+    ] {
+        match result {
+            Err(ClientError::Rejected(Rejection::Error(msg))) => {
+                assert!(msg.contains("static"), "{msg}")
+            }
+            other => panic!("expected static-corpus refusal, got {other:?}"),
+        }
+    }
+    // The connection is still usable for queries afterwards.
+    assert!(!client.knn(&d, 3, 0).unwrap().is_empty());
+    handle.shutdown();
 }
 
 #[test]

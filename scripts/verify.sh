@@ -33,6 +33,7 @@ if [ "${SKIP_QUICK_BENCH:-0}" != 1 ]; then
     cargo run --release -q -p cbir-bench --bin exp_batch_throughput -- --quick
     cargo run --release -q -p cbir-bench --bin exp_serve_throughput -- --quick
     cargo run --release -q -p cbir-bench --bin exp_obs_overhead -- --quick
+    cargo run --release -q -p cbir-bench --bin exp_mmap_ingest -- --quick
 fi
 
 echo "==> server smoke test (generate -> index -> serve -> rpc-query -> shutdown)"
@@ -110,5 +111,54 @@ head -c $((DB_SIZE - 7)) "$SMOKE_DIR/photos.cbir" > "$SMOKE_DIR/corrupt.cbir"
 if "$CBIR" fsck "$SMOKE_DIR/corrupt.cbir" >/dev/null 2>&1; then
     echo "fsck passed a corrupted file"; exit 1
 fi
+
+echo "==> live-store smoke (ingest -> serve -> rpc-insert -> compact -> kill -9 -> restart -> parity)"
+SEG_DIR="$SMOKE_DIR/photos.seg"
+"$CBIR" ingest "$SMOKE_DIR/photos" --store "$SEG_DIR" >/dev/null
+"$CBIR" fsck "$SEG_DIR" >/dev/null
+"$CBIR" serve "$SEG_DIR" --port 0 --addr-file "$SMOKE_DIR/addr-live" \
+    --index linear --measure l1 >/dev/null &
+LIVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/addr-live" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/addr-live" ] || { echo "live server never wrote its address"; exit 1; }
+LADDR=$(cat "$SMOKE_DIR/addr-live")
+# Insert a new image over RPC, make it durable with a compaction, then
+# kill the server without ceremony: the store must come back from the
+# committed manifest alone.
+cp "$QUERY_IMG" "$SMOKE_DIR/extra.ppm"
+"$CBIR" rpc-insert "$LADDR" "$SMOKE_DIR/extra.ppm" --db "$SEG_DIR" >/dev/null
+"$CBIR" compact "$LADDR" >/dev/null
+kill -9 "$LIVE_PID"
+wait "$LIVE_PID" 2>/dev/null || true
+"$CBIR" fsck "$SEG_DIR" >/dev/null
+# Restart over the same directory; the serving path must agree with a
+# fresh offline build over the same set of images.
+"$CBIR" serve "$SEG_DIR" --port 0 --addr-file "$SMOKE_DIR/addr-live2" \
+    --index linear --measure l1 >/dev/null &
+LIVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/addr-live2" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/addr-live2" ] || { echo "restarted live server never wrote its address"; exit 1; }
+LADDR=$(cat "$SMOKE_DIR/addr-live2")
+LIVE_HITS=$("$CBIR" rpc-query "$LADDR" "$QUERY_IMG" --db "$SEG_DIR" -k 3 \
+    | awk '/^(class-|extra)/ {print $1}')
+cp "$SMOKE_DIR/extra.ppm" "$SMOKE_DIR/photos/extra.ppm"
+"$CBIR" index "$SMOKE_DIR/photos" --db "$SMOKE_DIR/photos-all.cbir" >/dev/null
+FRESH_HITS=$("$CBIR" query "$SMOKE_DIR/photos-all.cbir" "$QUERY_IMG" -k 3 \
+    | awk '/^(class-|extra)/ {print $1}')
+[ -n "$LIVE_HITS" ] || { echo "live rpc-query returned no hits"; exit 1; }
+[ "$LIVE_HITS" = "$FRESH_HITS" ] || {
+    echo "live store hits diverge from a fresh offline build:"
+    echo "live:  $LIVE_HITS"
+    echo "fresh: $FRESH_HITS"
+    exit 1
+}
+"$CBIR" rpc-ctl "$LADDR" shutdown >/dev/null
+wait "$LIVE_PID"
 
 echo "verify: all checks passed"

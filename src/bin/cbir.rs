@@ -18,17 +18,19 @@
 
 use cbir::core::persist;
 use cbir::image::codec::{decode, encode_ppm, PnmEncoding};
+use cbir::image::RgbImage;
 use cbir::server::{
     Client, Hit, RetryPolicy, RetryingClient, SchedulerConfig, Server, StatsSnapshot,
 };
 use cbir::workload::{Corpus, CorpusSpec};
 use cbir::{
-    evaluate_engine, BatchItem, BatchStats, FeatureSpec, ImageDatabase, IndexKind, Measure,
-    Pipeline, QueryEngine, SearchStats,
+    evaluate_engine, BatchItem, BatchStats, CorpusStore, FeatureSpec, ImageDatabase, ImageMeta,
+    IndexKind, Measure, Pipeline, QueryEngine, SearchStats, ServedCorpus, StoreOptions,
 };
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ! {
@@ -61,29 +63,52 @@ fn usage() -> ! {
       fetch a running server's observability snapshot (per-index pruning
       counters, stage cache hits, latency quantiles, queue depth)
 
-  cbir fsck <db>
-      validate a database file section by section (checksums, lengths);
-      prints per-section status and exits nonzero on the first corruption
+  cbir fsck <db-or-segdir>
+      validate a database file — or a whole segment directory (manifest
+      plus every referenced segment) — section by section (checksums,
+      lengths); prints per-file per-section status and exits nonzero on
+      the first corruption
 
-  cbir serve <db> [--port P] [--addr-file F] [--measure M] [--index I]
+  cbir ingest <imgdir> --store <segdir> [--pipeline full|color|texture|shape]
+                       [--threads N] [--memtable-limit N]
+      extract signatures from every image in <imgdir> into a live segment
+      store (created with --pipeline if <segdir> has no MANIFEST yet),
+      then compact the memtable into immutable segments
+
+  cbir compact <segdir-or-addr>
+      fold a store's memtable and tombstones into fresh immutable
+      segments; a target containing ':' is treated as a running server's
+      address and compacted over RPC
+
+  cbir serve <db-or-segdir> [--mmap] [--port P] [--addr-file F] [--measure M] [--index I]
                   [--max-batch N] [--max-delay-us N] [--queue-cap N] [--threads N]
                   [--idle-timeout-ms N] [--write-timeout-ms N] [--trace-sample-n N]
       serve the database over TCP (CBIRRPC1) with dynamic micro-batching;
-      --port 0 picks an ephemeral port, --addr-file writes the bound address;
-      timeout 0 disables idle reaping / write timeouts; --trace-sample-n N
-      samples every Nth query into the trace ring (see rpc-ctl explain)
+      a segment directory (or --mmap, which migrates a database file to
+      <db>.seg/ on first use) serves mmap-backed segments with live
+      insert/delete/compact RPCs enabled; --port 0 picks an ephemeral
+      port, --addr-file writes the bound address; timeout 0 disables
+      idle reaping / write timeouts; --trace-sample-n N samples every
+      Nth query into the trace ring (see rpc-ctl explain)
 
-  cbir rpc-query <addr> [<image>...] --db <file> [-k N] [--radius R] [--deadline-us D]
+  cbir rpc-query <addr> [<image>...] --db <file-or-segdir> [-k N] [--radius R] [--deadline-us D]
   cbir rpc-query <addr> --id N [-k N] [--deadline-us D] [--retries N]
       query a running server; example images are extracted locally with
-      the pipeline stored in --db, or --id queries by database image id;
-      --retries > 0 reconnects and resends on transient failures
+      the pipeline stored in --db (a database file or segment store
+      directory), or --id queries by database image id; --retries > 0
+      reconnects and resends on transient failures
+
+  cbir rpc-insert <addr> <image>... --db <file-or-segdir>
+      insert example images into a live server, extracted locally with
+      the pipeline in --db; class labels inferred from file names
 
   cbir rpc-ctl <addr> ping|stats|explain|shutdown|abort
+  cbir rpc-ctl <addr> delete --id N
       probe, inspect counters, dump sampled query traces as JSON
-      (explain), gracefully stop a running server, or abort: open a
-      connection, send a deliberately truncated frame, and vanish
-      (exercises the server's torn-client handling)"
+      (explain), gracefully stop a running server, tombstone a live
+      store row by global id (delete), or abort: open a connection,
+      send a deliberately truncated frame, and vanish (exercises the
+      server's torn-client handling)"
     );
     std::process::exit(2);
 }
@@ -94,6 +119,9 @@ struct Args {
     flags: BTreeMap<String, String>,
 }
 
+/// Flags that are pure switches: present or absent, never taking a value.
+const BOOL_FLAGS: &[&str] = &["mmap"];
+
 impl Args {
     fn parse(args: &[String]) -> Self {
         let mut positional = Vec::new();
@@ -101,6 +129,10 @@ impl Args {
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                if BOOL_FLAGS.contains(&name) {
+                    flags.insert(name.to_string(), "true".to_string());
+                    continue;
+                }
                 // A following "--flag" is a missing value, not a value.
                 let value = match it.peek() {
                     Some(v) if !v.starts_with("--") => it.next().cloned().expect("peeked"),
@@ -116,6 +148,10 @@ impl Args {
 
     fn flag(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(|s| s.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
@@ -370,26 +406,25 @@ fn cmd_info(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_fsck(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let db_path = args.positional.first().unwrap_or_else(|| usage());
-    let report = persist::fsck_file(db_path)?;
-    println!("database: {db_path}");
-    println!("format:   {}", report.format);
+fn print_fsck_sections(report: &persist::FsckReport, indent: &str) {
     for s in &report.sections {
         match &s.error {
             None => println!(
-                "  {:<12} offset {:>8} len {:>10}  ok",
+                "{indent}{:<12} offset {:>8} len {:>10}  ok",
                 s.name, s.offset, s.len
             ),
             Some(e) => println!(
-                "  {:<12} offset {:>8} len {:>10}  CORRUPT: {e}",
+                "{indent}{:<12} offset {:>8} len {:>10}  CORRUPT: {e}",
                 s.name, s.offset, s.len
             ),
         }
     }
     if let Some(e) = &report.error {
-        println!("error: {e}");
+        println!("{indent}error: {e}");
     }
+}
+
+fn fsck_verdict(report: &persist::FsckReport) -> Result<(), Box<dyn std::error::Error>> {
     if report.is_ok() {
         println!("ok: all sections validate");
         Ok(())
@@ -399,6 +434,52 @@ fn cmd_fsck(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             None => Err("corrupt: file does not validate".into()),
         }
     }
+}
+
+/// Validate a segment directory: the manifest, then every referenced
+/// segment file (full checksum pass, per-file per-section report).
+fn fsck_dir(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    let report = persist::fsck_dir(dir)?;
+    println!("store:    {}", dir.display());
+    println!("manifest: format {}", report.manifest.format);
+    print_fsck_sections(&report.manifest, "  ");
+    for (name, seg) in &report.segments {
+        println!("{name}: format {}", seg.format);
+        print_fsck_sections(seg, "  ");
+    }
+    for (name, err) in &report.missing {
+        println!("{name}: MISSING: {err}");
+    }
+    for name in &report.orphans {
+        println!("{name}: orphan (not referenced by the manifest; reclaimed at next compaction)");
+    }
+    if report.is_ok() {
+        println!(
+            "ok: manifest and {} segment file(s) validate",
+            report.segments.len()
+        );
+        return Ok(());
+    }
+    let first_offset = std::iter::once(&report.manifest)
+        .chain(report.segments.iter().map(|(_, r)| r))
+        .filter_map(|r| r.first_corrupt_offset)
+        .next();
+    match first_offset {
+        Some(off) => Err(format!("corrupt: first corrupt offset {off}").into()),
+        None => Err("corrupt: store does not validate".into()),
+    }
+}
+
+fn cmd_fsck(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let db_path = args.positional.first().unwrap_or_else(|| usage());
+    if Path::new(db_path).is_dir() {
+        return fsck_dir(Path::new(db_path));
+    }
+    let report = persist::fsck_file(db_path)?;
+    println!("database: {db_path}");
+    println!("format:   {}", report.format);
+    print_fsck_sections(&report, "  ");
+    fsck_verdict(&report)
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -546,13 +627,31 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         cbir::obs::set_trace_sample_n(trace_every);
     }
 
-    let db = persist::load_file(db_path)?;
-    let n = db.len();
-    let kind_name = kind.name();
-    let engine = QueryEngine::build(db, kind, measure)?;
-    let handle = Server::spawn(engine, ("127.0.0.1", port), config)?;
+    let open_start = std::time::Instant::now();
+    let serve_live = Path::new(db_path).is_dir() || args.has("mmap");
+    let (corpus, n, mode) = if serve_live {
+        let store = open_serving_store(Path::new(db_path), StoreOptions::new(kind, measure))?;
+        let snap = store.snapshot();
+        let mode = format!(
+            "live store: {} segment(s) + {} memtable row(s), epoch {}",
+            snap.segments_len(),
+            snap.memtable_rows(),
+            snap.epoch()
+        );
+        (ServedCorpus::Live(store), snap.len(), mode)
+    } else {
+        let db = persist::load_file(db_path)?;
+        let n = db.len();
+        let mode = format!("{} index, static", kind.name());
+        let engine = QueryEngine::build(db, kind, measure)?;
+        (ServedCorpus::Static(Arc::new(engine)), n, mode)
+    };
+    let handle = Server::spawn_corpus(corpus, ("127.0.0.1", port), config)?;
     let addr = handle.local_addr();
-    println!("listening on {addr} ({n} images, {kind_name} index)");
+    println!(
+        "listening on {addr} ({n} images, {mode}, opened in {:.1}ms)",
+        open_start.elapsed().as_secs_f64() * 1e3
+    );
     if let Some(addr_file) = args.flag("addr-file") {
         std::fs::write(addr_file, addr.to_string())?;
     }
@@ -560,6 +659,195 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let snap = handle.join();
     println!("server stopped; final counters:");
     print_server_stats(&snap);
+    Ok(())
+}
+
+/// Open a live segment store for serving: a directory opens directly; a
+/// database file is migrated (once) into a `<file>.seg/` sibling store,
+/// which is opened on every subsequent serve.
+fn open_serving_store(
+    path: &Path,
+    options: StoreOptions,
+) -> Result<Arc<CorpusStore>, Box<dyn std::error::Error>> {
+    if path.is_dir() {
+        return Ok(CorpusStore::open(path, options)?);
+    }
+    let seg_dir = PathBuf::from(format!("{}.seg", path.display()));
+    if seg_dir.join(persist::MANIFEST_FILE).is_file() {
+        return Ok(CorpusStore::open(&seg_dir, options)?);
+    }
+    let db = persist::load_file(path)?;
+    eprintln!(
+        "migrating {} ({} images) into segment store {}",
+        path.display(),
+        db.len(),
+        seg_dir.display()
+    );
+    Ok(CorpusStore::create_from_database(&seg_dir, &db, options)?)
+}
+
+/// Extract query descriptors with the pipeline stored in `db_ref` — a
+/// database file or a segment store directory (whose manifest carries
+/// the same pipeline config).
+fn extract_descriptors(
+    db_ref: &str,
+    images: &[RgbImage],
+) -> Result<Vec<Vec<f32>>, Box<dyn std::error::Error>> {
+    let path = Path::new(db_ref);
+    if path.is_dir() {
+        let manifest = persist::parse_manifest(&persist::read_file_bytes(
+            path.join(persist::MANIFEST_FILE),
+        )?)?;
+        let mut out = Vec::with_capacity(images.len());
+        for img in images {
+            out.push(if manifest.balanced {
+                manifest.pipeline.extract_balanced(img)?
+            } else {
+                manifest.pipeline.extract(img)?
+            });
+        }
+        Ok(out)
+    } else {
+        let db = persist::load_file(path)?;
+        let refs: Vec<&_> = images.iter().collect();
+        Ok(db.extract_batch(&refs, 1)?)
+    }
+}
+
+fn cmd_ingest(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = PathBuf::from(args.positional.first().unwrap_or_else(|| usage()));
+    let store_dir = PathBuf::from(args.flag("store").unwrap_or_else(|| usage()));
+    let threads: usize = args.flag_parse(
+        "threads",
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    );
+    let mut options = StoreOptions::new(IndexKind::VpTree, Measure::L1);
+    options.memtable_limit = args.flag_parse("memtable-limit", options.memtable_limit);
+
+    let store = if store_dir.join(persist::MANIFEST_FILE).is_file() {
+        CorpusStore::open(&store_dir, options)?
+    } else {
+        let pipeline = pipeline_by_name(args.flag("pipeline").unwrap_or("full"));
+        CorpusStore::create(&store_dir, pipeline, false, options)?
+    };
+
+    let paths = list_images(&dir)?;
+    if paths.is_empty() {
+        return Err(format!("no images (.ppm/.pgm/.pbm/.bmp) in {}", dir.display()).into());
+    }
+    let start = std::time::Instant::now();
+    let mut decoded = Vec::with_capacity(paths.len());
+    for p in &paths {
+        let bytes = std::fs::read(p)?;
+        let name = p
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        decoded.push((name, decode(&bytes)?.into_rgb()));
+    }
+
+    // Extract in parallel against the store's pipeline, then land the
+    // whole batch on the memtable and compact it into segments.
+    let snap = store.snapshot();
+    let threads = threads.clamp(1, decoded.len());
+    let chunk_len = decoded.len().div_ceil(threads);
+    let mut descriptors: Vec<Vec<f32>> = Vec::with_capacity(decoded.len());
+    let chunks: Vec<Result<Vec<Vec<f32>>, cbir::CoreError>> = std::thread::scope(|s| {
+        let snap = &snap;
+        let handles: Vec<_> = decoded
+            .chunks(chunk_len)
+            .map(|chunk| s.spawn(move || chunk.iter().map(|(_, img)| snap.extract(img)).collect()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("extract worker panicked"))
+            .collect()
+    });
+    for chunk in chunks {
+        descriptors.extend(chunk?);
+    }
+
+    let items: Vec<(ImageMeta, Vec<f32>)> = decoded
+        .iter()
+        .zip(descriptors)
+        .map(|((name, _), desc)| {
+            (
+                ImageMeta {
+                    name: name.clone(),
+                    label: label_from_name(name),
+                },
+                desc,
+            )
+        })
+        .collect();
+    let n = items.len();
+    store.insert_batch(items)?;
+    let stats = store.compact()?;
+    println!(
+        "ingested {n} images into {} in {:.2}s using {threads} threads \
+         ({} segment(s), {} rows, epoch {})",
+        store_dir.display(),
+        start.elapsed().as_secs_f64(),
+        stats.segments,
+        stats.rows,
+        stats.epoch
+    );
+    Ok(())
+}
+
+fn cmd_compact(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let target = args.positional.first().unwrap_or_else(|| usage());
+    if target.contains(':') {
+        let mut client = Client::connect(target.as_str())?;
+        let (epoch, segments, rows) = client.compact()?;
+        println!("compacted over rpc: epoch {epoch}, {segments} segment(s), {rows} rows");
+        return Ok(());
+    }
+    // Index/measure choice is irrelevant to compaction itself; open with
+    // cheap defaults rather than requiring flags.
+    let store = CorpusStore::open(target, StoreOptions::new(IndexKind::Linear, Measure::L1))?;
+    let stats = store.compact()?;
+    if stats.skipped {
+        println!(
+            "nothing to compact: epoch {}, {} segment(s), {} rows",
+            stats.epoch, stats.segments, stats.rows
+        );
+    } else {
+        println!(
+            "compacted: epoch {}, {} segment(s), {} rows, {} bytes written",
+            stats.epoch, stats.segments, stats.rows, stats.bytes_written
+        );
+    }
+    Ok(())
+}
+
+fn cmd_rpc_insert(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = args.positional.first().unwrap_or_else(|| usage());
+    let img_paths = &args.positional[1..];
+    if img_paths.is_empty() {
+        usage();
+    }
+    let db_ref = args.flag("db").ok_or(
+        "rpc-insert needs --db <file-or-segdir> (the corpus the server was started from) \
+         to extract descriptors",
+    )?;
+    let mut names = Vec::with_capacity(img_paths.len());
+    let mut images = Vec::with_capacity(img_paths.len());
+    for p in img_paths {
+        names.push(
+            Path::new(p)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.clone()),
+        );
+        images.push(decode(&std::fs::read(p)?)?.into_rgb());
+    }
+    let descriptors = extract_descriptors(db_ref, &images)?;
+    let mut client = Client::connect(addr.as_str())?;
+    for (name, desc) in names.iter().zip(&descriptors) {
+        let (id, epoch) = client.insert(name, label_from_name(name), desc)?;
+        println!("inserted {name} as id {id} (epoch {epoch})");
+    }
     Ok(())
 }
 
@@ -665,14 +953,15 @@ fn cmd_rpc_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     // The server speaks raw descriptors; the stored pipeline turns the
     // example images into descriptors of the dimension the server expects.
-    let db_path = args.flag("db").ok_or("rpc-query with images needs --db <file> (the database the server was started from) to extract descriptors")?;
-    let db = persist::load_file(db_path)?;
+    let db_path = args.flag("db").ok_or(
+        "rpc-query with images needs --db <file-or-segdir> (the corpus the server was \
+         started from) to extract descriptors",
+    )?;
     let mut images = Vec::with_capacity(img_paths.len());
     for p in img_paths {
         images.push(decode(&std::fs::read(p)?)?.into_rgb());
     }
-    let refs: Vec<&_> = images.iter().collect();
-    let queries = db.extract_batch(&refs, 1)?;
+    let queries = extract_descriptors(db_path, &images)?;
 
     let radius = args.flag("radius");
     for (query, img_path) in queries.iter().zip(img_paths) {
@@ -737,6 +1026,15 @@ fn cmd_rpc_ctl(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             client.shutdown()?;
             println!("server at {addr} acknowledged shutdown");
         }
+        "delete" => {
+            let id: u64 = args
+                .flag("id")
+                .unwrap_or_else(|| usage())
+                .parse()
+                .map_err(|_| "invalid --id")?;
+            let epoch = client.delete(id)?;
+            println!("deleted id {id} (epoch {epoch})");
+        }
         _ => usage(),
     }
     Ok(())
@@ -758,8 +1056,11 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args),
         "stats" => cmd_stats(&args),
         "fsck" => cmd_fsck(&args),
+        "ingest" => cmd_ingest(&args),
+        "compact" => cmd_compact(&args),
         "serve" => cmd_serve(&args),
         "rpc-query" => cmd_rpc_query(&args),
+        "rpc-insert" => cmd_rpc_insert(&args),
         "rpc-ctl" => cmd_rpc_ctl(&args),
         _ => usage(),
     };

@@ -60,8 +60,9 @@ pub use cbir_server as server;
 pub use cbir_workload as workload;
 
 pub use cbir_core::{
-    build_index, evaluate_engine, BatchItem, CoreError, EvalReport, ImageDatabase, ImageMeta,
-    IndexKind, QueryEngine, Ranked, RocchioParams,
+    build_index, evaluate_engine, BatchItem, CompactionStats, CoreError, CorpusSnapshot,
+    CorpusStore, EvalReport, ImageDatabase, ImageMeta, IndexKind, PinnedView, QueryEngine, Ranked,
+    RocchioParams, ServedCorpus, StoreOptions,
 };
 pub use cbir_distance::{DistanceKernel, Measure};
 pub use cbir_features::{FeatureSpec, Pipeline, Quantizer};
