@@ -5,6 +5,13 @@
 //! recall/cost frontier over the number of hash tables and the bucket
 //! width, against the exact linear scan.
 //!
+//! Superseded for end-to-end evaluation by F14 (`exp_approx_search`),
+//! which folds the LSH recall evaluation into the serving-path two-stage
+//! pipeline and compares it against the truncated-Haar signature table
+//! and best-bin-first backends at dim ∈ {16, 64, 256}. This sweep remains
+//! as the parameter-sensitivity study (tables × width) for the LSH
+//! backend alone.
+//!
 //! Run: `cargo run --release -p cbir-bench --bin exp_lsh [--quick]`
 
 use cbir_bench::{clustered_dataset, Table};

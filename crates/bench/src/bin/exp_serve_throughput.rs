@@ -90,7 +90,7 @@ fn run_mode(
                 let (mut sent, mut recvd) = (0usize, 0usize);
                 while recvd < stream.len() {
                     while sent < stream.len() && sent - recvd < WINDOW {
-                        client.send_knn(&stream[sent], K, 0).expect("send");
+                        client.send_knn(&stream[sent], K, 0, 1.0).expect("send");
                         sent += 1;
                     }
                     client.flush().expect("flush");
@@ -130,7 +130,7 @@ fn assert_equivalence(engine: &Arc<QueryEngine>, queries: &[Vec<f32>]) {
         .knn_batch(queries, K, 1, &mut stats)
         .expect("direct knn");
     for (q, want) in queries.iter().zip(&direct) {
-        let got = client.knn(q, K, 0).expect("served knn");
+        let got = client.knn(q, K, 0, 1.0).expect("served knn");
         assert_eq!(got.len(), want.len(), "hit count diverges");
         for (g, w) in got.iter().zip(want) {
             assert_eq!(g.id, w.id as u64, "id diverges");
@@ -165,7 +165,7 @@ fn assert_saturation_sheds(engine: &Arc<QueryEngine>, queries: &[Vec<f32>]) -> u
     let mut client = Client::connect(handle.local_addr()).expect("connect");
     for i in 0..flood {
         client
-            .send_knn(&queries[i % queries.len()], K, 0)
+            .send_knn(&queries[i % queries.len()], K, 0, 1.0)
             .expect("send");
     }
     client.flush().expect("flush");

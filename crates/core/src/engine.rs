@@ -6,9 +6,11 @@ use crate::error::{CoreError, Result};
 use cbir_distance::Measure;
 use cbir_image::RgbImage;
 use cbir_index::{
-    knn_batch_parallel, range_batch_parallel, AntipoleTree, BatchStats, Dataset, KdTree,
+    approx_knn_batch_parallel, knn_batch_parallel, range_batch_parallel, rerank_exact,
+    AntipoleTree, ApproxScratch, ApproxSearch, BatchStats, CoarseHaarIndex, Dataset, KdTree,
     LinearScan, MTree, Neighbor, RStarTree, SearchIndex, SearchStats, VpTree,
 };
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Which index structure backs the engine.
@@ -72,6 +74,56 @@ pub fn build_index(
         }
         IndexKind::MTree => Box::new(MTree::build(dataset, measure)?),
     })
+}
+
+/// Reject recall targets outside `(0, 1]` (NaN included). Shared by the
+/// engine, the serving layer, and the CLI so every entry point agrees on
+/// what a valid target is.
+pub fn validate_recall_target(recall_target: f32) -> Result<()> {
+    if !recall_target.is_finite() || recall_target <= 0.0 || recall_target > 1.0 {
+        return Err(CoreError::InvalidParameter(format!(
+            "recall target must be in (0, 1], got {recall_target}"
+        )));
+    }
+    Ok(())
+}
+
+/// Map a recall target to a coarse-stage candidate budget for a corpus of
+/// `n` rows, or `None` when the target demands the exact path
+/// (`recall_target >= 1.0`), which makes a 1.0 target degenerate to the
+/// bit-identical exact search by construction.
+///
+/// The map is a piecewise-linear, monotone recall → corpus-fraction
+/// schedule calibrated against the F14 sweep (`exp_approx_search`) on its
+/// image-like near-duplicate workload at serving dimensionalities
+/// (dim ≥ 64, where approximate search is worth running at all): each
+/// knot's fraction was chosen so the measured coarse-Haar recall at that
+/// budget clears the target with margin. Higher targets buy more
+/// candidates, with a floor of `4·k` so small `k` at low targets still
+/// sees enough candidates to fill its result list.
+pub fn plan_candidate_budget(n: usize, k: usize, recall_target: f32) -> Option<usize> {
+    if recall_target >= 1.0 {
+        return None;
+    }
+    const KNOTS: [(f32, f32); 6] = [
+        (0.0, 0.0005),
+        (0.5, 0.001),
+        (0.8, 0.002),
+        (0.9, 0.004),
+        (0.95, 0.008),
+        (1.0, 0.05),
+    ];
+    let r = recall_target.clamp(0.0, 1.0);
+    let mut frac = KNOTS[KNOTS.len() - 1].1;
+    for w in KNOTS.windows(2) {
+        let (r0, f0) = w[0];
+        let (r1, f1) = w[1];
+        if r <= r1 {
+            frac = f0 + (f1 - f0) * ((r - r0) / (r1 - r0));
+            break;
+        }
+    }
+    Some((((n as f32 * frac).ceil() as usize).max(4 * k.max(1))).min(n))
 }
 
 /// Per-call observability capture for one engine entry point. Created
@@ -149,6 +201,8 @@ impl ObsCapture {
             nodes_visited: after.nodes_visited - before.nodes_visited,
             subtrees_pruned: after.subtrees_pruned - before.subtrees_pruned,
             postfilter_candidates: after.postfilter_candidates - before.postfilter_candidates,
+            coarse_candidates: after.coarse_candidates - before.coarse_candidates,
+            rerank_evaluations: after.rerank_evaluations - before.rerank_evaluations,
         };
         cbir_obs::record_query(
             kind.name(),
@@ -170,6 +224,8 @@ impl ObsCapture {
                 nodes_visited: counters.nodes_visited,
                 subtrees_pruned: counters.subtrees_pruned,
                 postfilter_candidates: counters.postfilter_candidates,
+                coarse_candidates: counters.coarse_candidates,
+                rerank_evaluations: counters.rerank_evaluations,
                 results,
             });
         }
@@ -195,6 +251,8 @@ pub struct QueryEngine {
     index: Box<dyn SearchIndex>,
     measure: Measure,
     kind: IndexKind,
+    dataset: Dataset,
+    coarse: OnceLock<CoarseHaarIndex>,
 }
 
 impl QueryEngine {
@@ -206,13 +264,31 @@ impl QueryEngine {
             ));
         }
         let dataset = db.to_dataset()?;
-        let index = build_index(&kind, dataset, measure.clone())?;
+        let index = build_index(&kind, dataset.clone(), measure.clone())?;
         Ok(QueryEngine {
             db,
             index,
             measure,
             kind,
+            dataset,
+            coarse: OnceLock::new(),
         })
+    }
+
+    /// The coarse signature table for the approximate path, built lazily
+    /// on first use (the exact path never pays for it). Datasets are
+    /// cheaply cloneable (`Arc`'d flat storage), so the table shares the
+    /// engine's descriptor storage.
+    fn coarse_index(&self) -> Result<&CoarseHaarIndex> {
+        if let Some(c) = self.coarse.get() {
+            return Ok(c);
+        }
+        let c = CoarseHaarIndex::default_coefficients(self.dataset.dim());
+        let built = CoarseHaarIndex::build(&self.dataset, c)?;
+        // A concurrent caller may have won the race; either table is
+        // byte-identical (the build is deterministic).
+        let _ = self.coarse.set(built);
+        Ok(self.coarse.get().expect("coarse table just set"))
     }
 
     /// The snapshotted database.
@@ -487,6 +563,189 @@ impl QueryEngine {
         );
         Ok(ranked)
     }
+
+    /// Two-stage approximate k-NN over a raw descriptor: a coarse Haar
+    /// signature scan proposes a candidate set sized by
+    /// [`plan_candidate_budget`], then exact distances rerank it (same
+    /// `(distance, id)` ordering as the exact path). `recall_target = 1.0`
+    /// routes to [`QueryEngine::query_by_descriptor`] — bit-identical to
+    /// the exact path, not merely equivalent.
+    pub fn query_by_descriptor_approx(
+        &self,
+        descriptor: &[f32],
+        k: usize,
+        recall_target: f32,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<Ranked>> {
+        validate_recall_target(recall_target)?;
+        let Some(budget) = plan_candidate_budget(self.dataset.len(), k, recall_target) else {
+            return self.query_by_descriptor(descriptor, k, stats);
+        };
+        if descriptor.len() != self.db.dim() {
+            return Err(CoreError::InvalidParameter(format!(
+                "descriptor dim {} does not match database dim {}",
+                descriptor.len(),
+                self.db.dim()
+            )));
+        }
+        let coarse = self.coarse_index()?;
+        let mut obs = ObsCapture::begin();
+        let before = stats.clone();
+        obs.stage("coarse");
+        let mut candidates = Vec::new();
+        coarse.coarse_candidates(descriptor, budget, stats, &mut candidates);
+        obs.stage("rerank");
+        let mut scratch = ApproxScratch::new();
+        let mut hits = Vec::new();
+        rerank_exact(
+            &self.dataset,
+            &self.measure,
+            descriptor,
+            k,
+            &candidates,
+            &mut scratch,
+            stats,
+            &mut hits,
+        );
+        obs.stage("rank");
+        let ranked = self.rank(hits)?;
+        obs.finish(
+            &self.kind,
+            cbir_obs::QueryOp::Knn,
+            "knn_approx",
+            1,
+            &before,
+            stats,
+            ranked.len() as u64,
+        );
+        Ok(ranked)
+    }
+
+    /// Approximate counterpart of [`QueryEngine::query_by_id`]: two-stage
+    /// search excluding the query image itself.
+    pub fn query_by_id_approx(
+        &self,
+        id: usize,
+        k: usize,
+        recall_target: f32,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<Ranked>> {
+        validate_recall_target(recall_target)?;
+        if plan_candidate_budget(self.dataset.len(), k, recall_target).is_none() {
+            return self.query_by_id(id, k, stats);
+        }
+        let desc: Vec<f32> = self.db.descriptor(id)?.to_vec();
+        // Ask for one extra hit to absorb the query itself.
+        let hits =
+            self.query_by_descriptor_approx(&desc, k.saturating_add(1), recall_target, stats)?;
+        Ok(hits.into_iter().filter(|h| h.id != id).take(k).collect())
+    }
+
+    /// Batched two-stage approximate k-NN; the approximate counterpart of
+    /// [`QueryEngine::knn_batch`]. `recall_target = 1.0` routes to the
+    /// exact batched path, bit-identically.
+    pub fn knn_batch_approx(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        recall_target: f32,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        validate_recall_target(recall_target)?;
+        let Some(budget) = plan_candidate_budget(self.dataset.len(), k, recall_target) else {
+            return self.knn_batch(queries, k, threads, stats);
+        };
+        self.check_batch_dims(queries)?;
+        let coarse = self.coarse_index()?;
+        let mut obs = ObsCapture::begin();
+        let before = stats.total().clone();
+        obs.stage("search");
+        let raw = approx_knn_batch_parallel(
+            coarse,
+            &self.dataset,
+            &self.measure,
+            queries,
+            k,
+            budget,
+            threads,
+            stats,
+        );
+        obs.stage("rank");
+        let ranked: Result<Vec<Vec<Ranked>>> =
+            raw.into_iter().map(|hits| self.rank(hits)).collect();
+        let ranked = ranked?;
+        let results: u64 = ranked.iter().map(|r| r.len() as u64).sum();
+        obs.finish(
+            &self.kind,
+            cbir_obs::QueryOp::Knn,
+            "knn_batch_approx",
+            queries.len() as u64,
+            &before,
+            stats.total(),
+            results,
+        );
+        Ok(ranked)
+    }
+
+    /// Batched two-stage approximate k-NN by database id, excluding each
+    /// query row from its own results; the approximate counterpart of
+    /// [`QueryEngine::knn_batch_by_ids`]. `recall_target = 1.0` routes to
+    /// the exact batched path, bit-identically.
+    pub fn knn_batch_by_ids_approx(
+        &self,
+        ids: &[usize],
+        k: usize,
+        recall_target: f32,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        validate_recall_target(recall_target)?;
+        let Some(budget) = plan_candidate_budget(self.dataset.len(), k, recall_target) else {
+            return self.knn_batch_by_ids(ids, k, threads, stats);
+        };
+        let queries: Vec<Vec<f32>> = ids
+            .iter()
+            .map(|&id| Ok(self.db.descriptor(id)?.to_vec()))
+            .collect::<Result<_>>()?;
+        let coarse = self.coarse_index()?;
+        let mut obs = ObsCapture::begin();
+        let before = stats.total().clone();
+        obs.stage("search");
+        // Ask for one extra hit per query to absorb the query itself.
+        let raw = approx_knn_batch_parallel(
+            coarse,
+            &self.dataset,
+            &self.measure,
+            &queries,
+            k.saturating_add(1),
+            budget,
+            threads,
+            stats,
+        );
+        obs.stage("rank");
+        let ranked: Result<Vec<Vec<Ranked>>> = raw
+            .into_iter()
+            .zip(ids)
+            .map(|(hits, &id)| {
+                let filtered: Vec<Neighbor> =
+                    hits.into_iter().filter(|n| n.id != id).take(k).collect();
+                self.rank(filtered)
+            })
+            .collect();
+        let ranked = ranked?;
+        let results: u64 = ranked.iter().map(|r| r.len() as u64).sum();
+        obs.finish(
+            &self.kind,
+            cbir_obs::QueryOp::Knn,
+            "knn_batch_by_ids_approx",
+            ids.len() as u64,
+            &before,
+            stats.total(),
+            results,
+        );
+        Ok(ranked)
+    }
 }
 
 #[cfg(test)]
@@ -684,6 +943,88 @@ mod tests {
         }
         let mut stats = BatchStats::new();
         assert!(engine.knn_batch(&[vec![0.0; 3]], 1, 1, &mut stats).is_err());
+    }
+
+    #[test]
+    fn budget_planner_is_monotone_and_gates_exact() {
+        assert_eq!(plan_candidate_budget(10_000, 10, 1.0), None);
+        assert_eq!(plan_candidate_budget(10_000, 10, 1.5), None);
+        let mut last = 0;
+        for r in [0.1, 0.5, 0.8, 0.9, 0.95, 0.99] {
+            let b = plan_candidate_budget(100_000, 10, r).unwrap();
+            assert!(b >= last, "budget not monotone at recall {r}");
+            assert!(b <= 100_000);
+            last = b;
+        }
+        // Floor: enough candidates to fill k even at tiny targets.
+        assert!(plan_candidate_budget(100_000, 50, 0.1).unwrap() >= 200);
+        // Never exceeds the corpus.
+        assert_eq!(plan_candidate_budget(10, 100, 0.9), Some(10));
+        assert!(validate_recall_target(0.9).is_ok());
+        assert!(validate_recall_target(1.0).is_ok());
+        for bad in [0.0, -0.5, 1.5, f32::NAN, f32::INFINITY] {
+            assert!(validate_recall_target(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn approx_at_recall_one_is_bit_identical_to_exact() {
+        let engine = QueryEngine::build(seeded_db(), IndexKind::VpTree, Measure::L2).unwrap();
+        let d: Vec<f32> = engine.database().descriptor(1).unwrap().to_vec();
+        let mut s1 = SearchStats::new();
+        let exact = engine.query_by_descriptor(&d, 3, &mut s1).unwrap();
+        let mut s2 = SearchStats::new();
+        let approx = engine
+            .query_by_descriptor_approx(&d, 3, 1.0, &mut s2)
+            .unwrap();
+        assert_eq!(exact, approx);
+        // The exact route never touches the coarse stage.
+        assert_eq!(s2.coarse_candidates, 0);
+        assert_eq!(s2.rerank_evaluations, 0);
+
+        let queries: Vec<Vec<f32>> = (0..engine.database().len())
+            .map(|id| engine.database().descriptor(id).unwrap().to_vec())
+            .collect();
+        let mut b1 = BatchStats::new();
+        let exact_b = engine.knn_batch(&queries, 3, 2, &mut b1).unwrap();
+        let mut b2 = BatchStats::new();
+        let approx_b = engine
+            .knn_batch_approx(&queries, 3, 1.0, 2, &mut b2)
+            .unwrap();
+        assert_eq!(exact_b, approx_b);
+    }
+
+    #[test]
+    fn approx_path_runs_two_stages_and_stays_exact_on_tiny_corpora() {
+        // On a 5-row corpus the budget floor (4k) covers everything, so the
+        // approximate result matches the exact one while exercising the
+        // coarse + rerank machinery and its counters.
+        let engine = QueryEngine::build(seeded_db(), IndexKind::Linear, Measure::L2).unwrap();
+        let d: Vec<f32> = engine.database().descriptor(2).unwrap().to_vec();
+        let mut s = SearchStats::new();
+        let exact = engine.query_by_descriptor(&d, 2, &mut s).unwrap();
+        let mut sa = SearchStats::new();
+        let approx = engine
+            .query_by_descriptor_approx(&d, 2, 0.9, &mut sa)
+            .unwrap();
+        assert_eq!(exact, approx);
+        assert!(sa.coarse_candidates > 0);
+        assert!(sa.rerank_evaluations > 0);
+        assert_eq!(sa.coarse_candidates, sa.rerank_evaluations);
+
+        // Bad targets are rejected before any work.
+        assert!(engine
+            .query_by_descriptor_approx(&d, 2, 0.0, &mut sa)
+            .is_err());
+        assert!(engine
+            .query_by_descriptor_approx(&d, 2, f32::NAN, &mut sa)
+            .is_err());
+
+        // By-id excludes self, like the exact path.
+        let by_id = engine.query_by_id_approx(0, 3, 0.9, &mut sa).unwrap();
+        assert!(by_id.iter().all(|h| h.id != 0));
+        let mut se = SearchStats::new();
+        assert_eq!(by_id, engine.query_by_id(0, 3, &mut se).unwrap());
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod persist;
 pub mod store;
 
 pub use database::{BatchItem, ImageDatabase, ImageMeta};
-pub use engine::{build_index, IndexKind, QueryEngine, Ranked};
+pub use engine::{
+    build_index, plan_candidate_budget, validate_recall_target, IndexKind, QueryEngine, Ranked,
+};
 pub use error::{CoreError, PersistError, Result};
 pub use eval::{evaluate_engine, EvalReport};
 pub use feedback::{

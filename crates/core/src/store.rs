@@ -36,7 +36,9 @@
 //! [`crate::QueryEngine`] built over [`CorpusSnapshot::materialize`].
 
 use crate::database::{ImageDatabase, ImageMeta};
-use crate::engine::{build_index, IndexKind, Ranked};
+use crate::engine::{
+    build_index, plan_candidate_budget, validate_recall_target, IndexKind, Ranked,
+};
 use crate::error::{CoreError, PersistError, Result};
 use crate::faults::{compact_policy_from_env, FaultPolicy, NoFaults};
 use crate::mmap::Mmap;
@@ -48,7 +50,10 @@ use crate::persist::{
 use cbir_distance::Measure;
 use cbir_features::Pipeline;
 use cbir_image::RgbImage;
-use cbir_index::{BatchStats, Dataset, SearchIndex, SearchStats};
+use cbir_index::{
+    rerank_exact, ApproxScratch, ApproxSearch, BatchStats, CoarseHaarIndex, Dataset, SearchIndex,
+    SearchStats,
+};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -132,6 +137,7 @@ struct Segment {
     dataset: Option<Dataset>,
     metas_cell: OnceLock<std::result::Result<Vec<ImageMeta>, String>>,
     index_cell: OnceLock<std::result::Result<Box<dyn SearchIndex>, String>>,
+    coarse_cell: OnceLock<std::result::Result<CoarseHaarIndex, String>>,
 }
 
 impl Segment {
@@ -174,6 +180,7 @@ impl Segment {
             dataset,
             metas_cell: OnceLock::new(),
             index_cell: OnceLock::new(),
+            coarse_cell: OnceLock::new(),
         }))
     }
 
@@ -209,6 +216,97 @@ impl Segment {
             ))),
         }
     }
+
+    /// The lazily built coarse signature table for the approximate path
+    /// (one per segment, mirroring [`Segment::index`]; the exact path
+    /// never pays for it).
+    fn coarse(&self) -> Result<&CoarseHaarIndex> {
+        let cached = self.coarse_cell.get_or_init(|| {
+            let ds = self
+                .dataset
+                .as_ref()
+                .expect("coarse is never requested for an empty segment");
+            CoarseHaarIndex::build(ds, CoarseHaarIndex::default_coefficients(ds.dim()))
+                .map_err(|e| e.to_string())
+        });
+        match cached {
+            Ok(c) => Ok(c),
+            Err(msg) => Err(CoreError::InvalidParameter(format!(
+                "segment '{}' coarse table build failed: {msg}",
+                self.name
+            ))),
+        }
+    }
+}
+
+/// Rows per frozen memtable chunk. This bounds the per-publish copy:
+/// every insert clones at most one chunk's worth of active-tail rows and
+/// `Arc`-shares the frozen chunks, instead of re-copying the entire
+/// memtable (which made sustained ingest O(n²) in memtable size).
+const MEM_CHUNK_ROWS: usize = 1024;
+
+/// One immutable slice of the memtable: frozen rows shared across
+/// snapshots by `Arc`, with their linear index and coarse signature
+/// table built once per chunk and reused by every subsequent publish —
+/// this chunking is what makes both incremental under live ingest.
+struct MemChunk {
+    metas: Arc<Vec<ImageMeta>>,
+    dataset: Dataset,
+    index_cell: OnceLock<std::result::Result<Box<dyn SearchIndex>, String>>,
+    coarse_cell: OnceLock<std::result::Result<CoarseHaarIndex, String>>,
+}
+
+impl MemChunk {
+    fn new(dim: usize, flat: Vec<f32>, metas: Vec<ImageMeta>) -> Result<Arc<MemChunk>> {
+        debug_assert!(!metas.is_empty());
+        debug_assert_eq!(flat.len(), metas.len() * dim);
+        let flat = Arc::new(flat);
+        let dataset = Dataset::from_shared(dim, flat as _)?;
+        Ok(Arc::new(MemChunk {
+            metas: Arc::new(metas),
+            dataset,
+            index_cell: OnceLock::new(),
+            coarse_cell: OnceLock::new(),
+        }))
+    }
+
+    fn rows(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// The chunk's linear index, built once on first query. The memtable
+    /// always uses a linear scan: O(1) build, and the cross-index
+    /// bit-identity contract makes mixing it with tree-indexed segments
+    /// safe.
+    fn index(&self, measure: &Measure) -> Result<&dyn SearchIndex> {
+        let cached = self.index_cell.get_or_init(|| {
+            build_index(&IndexKind::Linear, self.dataset.clone(), measure.clone())
+                .map_err(|e| e.to_string())
+        });
+        match cached {
+            Ok(ix) => Ok(ix.as_ref()),
+            Err(msg) => Err(CoreError::InvalidParameter(format!(
+                "memtable chunk index build failed: {msg}"
+            ))),
+        }
+    }
+
+    /// The chunk's coarse signature table for the approximate path.
+    fn coarse(&self) -> Result<&CoarseHaarIndex> {
+        let cached = self.coarse_cell.get_or_init(|| {
+            CoarseHaarIndex::build(
+                &self.dataset,
+                CoarseHaarIndex::default_coefficients(self.dataset.dim()),
+            )
+            .map_err(|e| e.to_string())
+        });
+        match cached {
+            Ok(c) => Ok(c),
+            Err(msg) => Err(CoreError::InvalidParameter(format!(
+                "memtable chunk coarse table build failed: {msg}"
+            ))),
+        }
+    }
 }
 
 /// An immutable, epoch-stamped view of the whole corpus: the open
@@ -226,9 +324,12 @@ pub struct CorpusSnapshot {
     /// `bases[i]` is the global id of segment `i`'s first row.
     bases: Vec<u64>,
     seg_rows_total: u64,
-    mem_flat: Arc<Vec<f32>>,
-    mem_metas: Arc<Vec<ImageMeta>>,
-    mem_index: Option<Box<dyn SearchIndex>>,
+    /// Frozen memtable chunks (shared with other snapshots) plus the
+    /// snapshot-private active tail as the final chunk, if non-empty.
+    mem_chunks: Vec<Arc<MemChunk>>,
+    /// `mem_bases[i]` is the memtable-local row offset of chunk `i`.
+    mem_bases: Vec<u64>,
+    mem_rows_total: usize,
     tombstones: Arc<BTreeSet<u64>>,
 }
 
@@ -238,7 +339,7 @@ impl std::fmt::Debug for CorpusSnapshot {
             .field("epoch", &self.epoch)
             .field("segments", &self.segments.len())
             .field("segment_rows", &self.seg_rows_total)
-            .field("memtable_rows", &self.mem_metas.len())
+            .field("memtable_rows", &self.mem_rows_total)
             .field("tombstones", &self.tombstones.len())
             .finish()
     }
@@ -262,7 +363,7 @@ impl CorpusSnapshot {
 
     /// All physical rows, live or tombstoned.
     pub fn total_rows(&self) -> usize {
-        self.seg_rows_total as usize + self.mem_metas.len()
+        self.seg_rows_total as usize + self.mem_rows_total
     }
 
     /// Descriptor dimensionality.
@@ -287,7 +388,7 @@ impl CorpusSnapshot {
 
     /// Rows in the frozen memtable portion.
     pub fn memtable_rows(&self) -> usize {
-        self.mem_metas.len()
+        self.mem_rows_total
     }
 
     /// Tombstoned (deleted but not yet compacted) rows.
@@ -308,11 +409,17 @@ impl CorpusSnapshot {
             Ok((Some(i), (id - self.bases[i]) as usize))
         } else {
             let local = (id - self.seg_rows_total) as usize;
-            if local >= self.mem_metas.len() {
+            if local >= self.mem_rows_total {
                 return Err(CoreError::NotFound(id as usize));
             }
             Ok((None, local))
         }
+    }
+
+    /// Which memtable chunk holds memtable-local row `local`.
+    fn mem_chunk_at(&self, local: usize) -> (&MemChunk, usize) {
+        let i = self.mem_bases.partition_point(|&b| b <= local as u64) - 1;
+        (&self.mem_chunks[i], local - self.mem_bases[i] as usize)
     }
 
     /// Metadata of global id `id` (tombstoned rows are still addressable
@@ -320,7 +427,10 @@ impl CorpusSnapshot {
     pub fn meta(&self, id: u64) -> Result<ImageMeta> {
         match self.locate(id)? {
             (Some(seg), local) => Ok(self.segments[seg].metas()?[local].clone()),
-            (None, local) => Ok(self.mem_metas[local].clone()),
+            (None, local) => {
+                let (chunk, off) = self.mem_chunk_at(local);
+                Ok(chunk.metas[off].clone())
+            }
         }
     }
 
@@ -335,8 +445,8 @@ impl CorpusSnapshot {
                 Ok(ds.vector(local).to_vec())
             }
             (None, local) => {
-                let dim = self.dim();
-                Ok(self.mem_flat[local * dim..(local + 1) * dim].to_vec())
+                let (chunk, off) = self.mem_chunk_at(local);
+                Ok(chunk.dataset.vector(off).to_vec())
             }
         }
     }
@@ -377,22 +487,127 @@ impl CorpusSnapshot {
                     .filter(|(g, _)| !self.tombstones.contains(g)),
             );
         }
-        if let Some(mi) = &self.mem_index {
-            let base = self.seg_rows_total;
-            let dead = self.tombstones.range(base..).count();
-            let want = (k + dead).min(self.mem_metas.len());
-            if want > 0 {
-                merged.extend(
-                    mi.knn_search(query, want, stats)
-                        .into_iter()
-                        .map(|n| (base + n.id as u64, n.distance))
-                        .filter(|(g, _)| !self.tombstones.contains(g)),
-                );
+        for (chunk, &cb) in self.mem_chunks.iter().zip(&self.mem_bases) {
+            let base = self.seg_rows_total + cb;
+            let dead = self
+                .tombstones
+                .range(base..base + chunk.rows() as u64)
+                .count();
+            let want = (k + dead).min(chunk.rows());
+            if want == 0 {
+                continue;
             }
+            merged.extend(
+                chunk
+                    .index(&self.measure)?
+                    .knn_search(query, want, stats)
+                    .into_iter()
+                    .map(|n| (base + n.id as u64, n.distance))
+                    .filter(|(g, _)| !self.tombstones.contains(g)),
+            );
         }
         merged.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         merged.truncate(k);
         Ok(merged)
+    }
+
+    /// Two-stage approximate k-NN for one query: each source (segment or
+    /// memtable chunk) surfaces a budget share of coarse candidates from
+    /// its signature table, reranks them with exact distances, and the
+    /// per-source exact results merge tombstone-aware by `(distance, id)`
+    /// exactly like [`CorpusSnapshot::knn_one`]. Coarse distances never
+    /// cross sources — only exact rerank distances are merged — so each
+    /// source's independent quantization scale is sound.
+    fn knn_one_approx(
+        &self,
+        query: &[f32],
+        k: usize,
+        budget: usize,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<(u64, f32)>> {
+        let mut merged: Vec<(u64, f32)> = Vec::new();
+        let mut scratch = ApproxScratch::new();
+        for (seg, &base) in self.segments.iter().zip(&self.bases) {
+            if seg.rows == 0 {
+                continue;
+            }
+            let ds = seg
+                .dataset
+                .as_ref()
+                .expect("non-empty segment has a dataset");
+            self.approx_source(
+                seg.coarse()?,
+                ds,
+                base,
+                query,
+                k,
+                budget,
+                &mut scratch,
+                stats,
+                &mut merged,
+            );
+        }
+        for (chunk, &cb) in self.mem_chunks.iter().zip(&self.mem_bases) {
+            self.approx_source(
+                chunk.coarse()?,
+                &chunk.dataset,
+                self.seg_rows_total + cb,
+                query,
+                k,
+                budget,
+                &mut scratch,
+                stats,
+                &mut merged,
+            );
+        }
+        merged.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        merged.truncate(k);
+        Ok(merged)
+    }
+
+    /// Coarse-then-rerank over one source. The source's budget share is
+    /// proportional to its row count, floored at `k + dead` so every
+    /// source can still surface a full live top-`k`.
+    #[allow(clippy::too_many_arguments)] // the full two-stage context, threaded explicitly
+    fn approx_source(
+        &self,
+        coarse: &CoarseHaarIndex,
+        dataset: &Dataset,
+        base: u64,
+        query: &[f32],
+        k: usize,
+        budget: usize,
+        scratch: &mut ApproxScratch,
+        stats: &mut SearchStats,
+        merged: &mut Vec<(u64, f32)>,
+    ) {
+        let rows = dataset.len();
+        let dead = self.tombstones.range(base..base + rows as u64).count();
+        let want = (k + dead).min(rows);
+        if want == 0 {
+            return;
+        }
+        let total = self.total_rows().max(1);
+        let share = ((budget as u128 * rows as u128).div_ceil(total as u128)) as usize;
+        let source_budget = share.max(want).min(rows);
+        let mut candidates = Vec::new();
+        coarse.coarse_candidates(query, source_budget, stats, &mut candidates);
+        let mut hits = Vec::new();
+        rerank_exact(
+            dataset,
+            &self.measure,
+            query,
+            want,
+            &candidates,
+            scratch,
+            stats,
+            &mut hits,
+        );
+        merged.extend(
+            hits.into_iter()
+                .map(|n| (base + n.id as u64, n.distance))
+                .filter(|(g, _)| !self.tombstones.contains(g)),
+        );
     }
 
     /// Range search for one query (results sorted by `(distance, id)`).
@@ -416,10 +631,12 @@ impl CorpusSnapshot {
                     .filter(|(g, _)| !self.tombstones.contains(g)),
             );
         }
-        if let Some(mi) = &self.mem_index {
-            let base = self.seg_rows_total;
+        for (chunk, &cb) in self.mem_chunks.iter().zip(&self.mem_bases) {
+            let base = self.seg_rows_total + cb;
             merged.extend(
-                mi.range_search(query, radius, stats)
+                chunk
+                    .index(&self.measure)?
+                    .range_search(query, radius, stats)
                     .into_iter()
                     .map(|n| (base + n.id as u64, n.distance))
                     .filter(|(g, _)| !self.tombstones.contains(g)),
@@ -532,6 +749,8 @@ impl CorpusSnapshot {
             nodes_visited: total.nodes_visited - before.nodes_visited,
             subtrees_pruned: total.subtrees_pruned - before.subtrees_pruned,
             postfilter_candidates: total.postfilter_candidates - before.postfilter_candidates,
+            coarse_candidates: total.coarse_candidates - before.coarse_candidates,
+            rerank_evaluations: total.rerank_evaluations - before.rerank_evaluations,
         };
         cbir_obs::record_query(
             self.kind.name(),
@@ -634,6 +853,84 @@ impl CorpusSnapshot {
         Ok(out)
     }
 
+    /// Batched two-stage approximate k-NN over raw descriptors; the
+    /// snapshot counterpart of [`crate::QueryEngine::knn_batch_approx`].
+    /// Each source (segment or memtable chunk) runs coarse-then-rerank
+    /// independently and the exact rerank distances merge under the
+    /// documented `(distance, id)` rule. `recall_target = 1.0` routes to
+    /// [`CorpusSnapshot::knn_batch`], bit-identically.
+    pub fn knn_batch_approx(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        recall_target: f32,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        validate_recall_target(recall_target)?;
+        let Some(budget) = plan_candidate_budget(self.total_rows(), k, recall_target) else {
+            return self.knn_batch(queries, k, threads, stats);
+        };
+        self.check_dims(queries)?;
+        let start = cbir_obs::enabled().then(Instant::now);
+        let before = stats.total().clone();
+        let out = self.run_batch(queries.len(), threads, stats, |i, s| {
+            let hits = self.knn_one_approx(&queries[i], k, budget, s)?;
+            self.rank(hits)
+        })?;
+        self.record_obs(
+            cbir_obs::QueryOp::Knn,
+            start,
+            queries.len(),
+            &before,
+            stats,
+            &out,
+        );
+        Ok(out)
+    }
+
+    /// Batched two-stage approximate k-NN by global id, excluding each
+    /// query row from its own results. `recall_target = 1.0` routes to
+    /// [`CorpusSnapshot::knn_batch_by_ids`], bit-identically.
+    pub fn knn_batch_by_ids_approx(
+        &self,
+        ids: &[u64],
+        k: usize,
+        recall_target: f32,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        validate_recall_target(recall_target)?;
+        let Some(budget) = plan_candidate_budget(self.total_rows(), k, recall_target) else {
+            return self.knn_batch_by_ids(ids, k, threads, stats);
+        };
+        let queries: Vec<Vec<f32>> = ids
+            .iter()
+            .map(|&id| self.descriptor(id))
+            .collect::<Result<_>>()?;
+        let start = cbir_obs::enabled().then(Instant::now);
+        let before = stats.total().clone();
+        let out = self.run_batch(queries.len(), threads, stats, |i, s| {
+            // One extra hit absorbs the query row itself.
+            let hits = self.knn_one_approx(&queries[i], k.saturating_add(1), budget, s)?;
+            let filtered: Vec<(u64, f32)> = hits
+                .into_iter()
+                .filter(|&(g, _)| g != ids[i])
+                .take(k)
+                .collect();
+            self.rank(filtered)
+        })?;
+        self.record_obs(
+            cbir_obs::QueryOp::Knn,
+            start,
+            ids.len(),
+            &before,
+            stats,
+            &out,
+        );
+        Ok(out)
+    }
+
     /// k-NN for one external example image.
     pub fn query_by_example(
         &self,
@@ -670,16 +967,17 @@ impl CorpusSnapshot {
                 metas.push(meta.clone());
             }
         }
-        for local in 0..self.mem_metas.len() {
-            if self
-                .tombstones
-                .contains(&(self.seg_rows_total + local as u64))
-            {
-                continue;
+        for (chunk, &cb) in self.mem_chunks.iter().zip(&self.mem_bases) {
+            let base = self.seg_rows_total + cb;
+            for (off, meta) in chunk.metas.iter().enumerate() {
+                if self.tombstones.contains(&(base + off as u64)) {
+                    continue;
+                }
+                flat.extend_from_slice(chunk.dataset.vector(off));
+                metas.push(meta.clone());
             }
-            flat.extend_from_slice(&self.mem_flat[local * dim..(local + 1) * dim]);
-            metas.push(self.mem_metas[local].clone());
         }
+        let _ = dim;
         ImageDatabase::from_parts(self.pipeline.clone(), self.balanced, flat, metas)
     }
 }
@@ -701,20 +999,43 @@ pub struct CompactionStats {
 }
 
 /// Mutable state under the store's writer lock.
+///
+/// The memtable is chunked: full [`MEM_CHUNK_ROWS`]-row prefixes live in
+/// immutable `Arc`'d [`MemChunk`]s that every published snapshot shares,
+/// and only the bounded tail (`< MEM_CHUNK_ROWS` rows) is mutable. A
+/// publish therefore clones O(tail) rows, not O(memtable) — the fix for
+/// the quadratic republish cost of a per-insert full-memtable copy.
 struct StoreState {
     balanced: bool,
     pipeline: Pipeline,
     epoch: u64,
     next_seg: u64,
     segments: Vec<Arc<Segment>>,
-    mem_flat: Vec<f32>,
-    mem_metas: Vec<ImageMeta>,
+    mem_frozen: Vec<Arc<MemChunk>>,
+    mem_tail_flat: Vec<f32>,
+    mem_tail_metas: Vec<ImageMeta>,
     tombstones: BTreeSet<u64>,
 }
 
 impl StoreState {
     fn seg_rows_total(&self) -> u64 {
         self.segments.iter().map(|s| s.rows as u64).sum()
+    }
+
+    fn mem_rows(&self) -> usize {
+        self.mem_frozen.iter().map(|c| c.rows()).sum::<usize>() + self.mem_tail_metas.len()
+    }
+
+    /// Move every full [`MEM_CHUNK_ROWS`]-row prefix of the tail into a
+    /// frozen chunk, leaving `< MEM_CHUNK_ROWS` rows behind. Amortized
+    /// O(1) per inserted row: each row is moved out of the tail once.
+    fn freeze_full_chunks(&mut self, dim: usize) -> Result<()> {
+        while self.mem_tail_metas.len() >= MEM_CHUNK_ROWS {
+            let metas: Vec<ImageMeta> = self.mem_tail_metas.drain(..MEM_CHUNK_ROWS).collect();
+            let flat: Vec<f32> = self.mem_tail_flat.drain(..MEM_CHUNK_ROWS * dim).collect();
+            self.mem_frozen.push(MemChunk::new(dim, flat, metas)?);
+        }
+        Ok(())
     }
 }
 
@@ -808,8 +1129,9 @@ impl CorpusStore {
                 epoch: manifest.epoch,
                 next_seg: manifest.next_seg,
                 segments,
-                mem_flat: Vec::new(),
-                mem_metas: Vec::new(),
+                mem_frozen: Vec::new(),
+                mem_tail_flat: Vec::new(),
+                mem_tail_metas: Vec::new(),
                 tombstones: BTreeSet::new(),
             }),
             published: Mutex::new(Arc::new(CorpusSnapshot {
@@ -821,9 +1143,9 @@ impl CorpusStore {
                 segments: Vec::new(),
                 bases: Vec::new(),
                 seg_rows_total: 0,
-                mem_flat: Arc::new(Vec::new()),
-                mem_metas: Arc::new(Vec::new()),
-                mem_index: None,
+                mem_chunks: Vec::new(),
+                mem_bases: Vec::new(),
+                mem_rows_total: 0,
                 tombstones: Arc::new(BTreeSet::new()),
             })),
         });
@@ -848,10 +1170,11 @@ impl CorpusStore {
             let flat = db.flat_descriptors();
             {
                 let mut state = store.state.lock().expect("store lock poisoned");
-                state.mem_flat.extend_from_slice(flat);
-                state.mem_metas.extend_from_slice(db.metas());
+                state.mem_tail_flat.extend_from_slice(flat);
+                state.mem_tail_metas.extend_from_slice(db.metas());
+                debug_assert_eq!(state.mem_tail_flat.len(), state.mem_tail_metas.len() * dim);
+                state.freeze_full_chunks(dim)?;
                 state.epoch += 1;
-                debug_assert_eq!(state.mem_flat.len(), state.mem_metas.len() * dim);
                 store.publish(&state)?;
             }
             store.compact()?;
@@ -876,25 +1199,25 @@ impl CorpusStore {
         Arc::clone(&self.published.lock().expect("store lock poisoned"))
     }
 
-    /// Build and publish a snapshot of `state`. The memtable is frozen
-    /// by copy and its linear index built eagerly (memtables are small
-    /// by construction); segment indexes stay lazy.
+    /// Build and publish a snapshot of `state`. Frozen memtable chunks
+    /// are shared by `Arc` clone — the publish cost is O(tail), bounded
+    /// by [`MEM_CHUNK_ROWS`] rows, regardless of memtable size. Chunk
+    /// and segment indexes (and coarse tables) stay lazy.
     fn publish(&self, state: &StoreState) -> Result<()> {
-        let mem_flat = Arc::new(state.mem_flat.clone());
-        let mem_metas = Arc::new(state.mem_metas.clone());
-        let mem_index = if state.mem_metas.is_empty() {
-            None
-        } else {
-            let ds = Dataset::from_shared(state.pipeline.dim(), Arc::clone(&mem_flat) as _)?;
-            // The memtable always uses a linear scan: O(1) build per
-            // publish, and the cross-index bit-identity contract makes
-            // mixing it with tree-indexed segments safe.
-            Some(build_index(
-                &IndexKind::Linear,
-                ds,
-                self.options.measure.clone(),
-            )?)
-        };
+        let mut mem_chunks: Vec<Arc<MemChunk>> = state.mem_frozen.clone();
+        if !state.mem_tail_metas.is_empty() {
+            mem_chunks.push(MemChunk::new(
+                state.pipeline.dim(),
+                state.mem_tail_flat.clone(),
+                state.mem_tail_metas.clone(),
+            )?);
+        }
+        let mut mem_bases = Vec::with_capacity(mem_chunks.len());
+        let mut mem_rows_total = 0usize;
+        for chunk in &mem_chunks {
+            mem_bases.push(mem_rows_total as u64);
+            mem_rows_total += chunk.rows();
+        }
         let mut bases = Vec::with_capacity(state.segments.len());
         let mut total = 0u64;
         for seg in &state.segments {
@@ -910,9 +1233,9 @@ impl CorpusStore {
             segments: state.segments.clone(),
             bases,
             seg_rows_total: total,
-            mem_flat,
-            mem_metas,
-            mem_index,
+            mem_chunks,
+            mem_bases,
+            mem_rows_total,
             tombstones: Arc::new(state.tombstones.clone()),
         });
         cbir_obs::set_store_state(
@@ -948,7 +1271,7 @@ impl CorpusStore {
         let id = self.insert_batch(vec![(meta, descriptor)])?[0];
         let over_limit = {
             let state = self.state.lock().expect("store lock poisoned");
-            state.mem_metas.len() >= self.options.memtable_limit
+            state.mem_rows() >= self.options.memtable_limit
         };
         if over_limit {
             // Soft limit: the memtable keeps absorbing inserts even if
@@ -970,13 +1293,14 @@ impl CorpusStore {
         for (_, desc) in &items {
             Self::validate_descriptor(dim, desc)?;
         }
-        let base = state.seg_rows_total() + state.mem_metas.len() as u64;
+        let base = state.seg_rows_total() + state.mem_rows() as u64;
         let mut ids = Vec::with_capacity(items.len());
         for (i, (meta, desc)) in items.into_iter().enumerate() {
-            state.mem_flat.extend_from_slice(&desc);
-            state.mem_metas.push(meta);
+            state.mem_tail_flat.extend_from_slice(&desc);
+            state.mem_tail_metas.push(meta);
             ids.push(base + i as u64);
         }
+        state.freeze_full_chunks(dim)?;
         state.epoch += 1;
         self.publish(&state)?;
         cbir_obs::store_inserted(ids.len() as u64);
@@ -1012,7 +1336,7 @@ impl CorpusStore {
     /// next epoch and is physically dropped by the next compaction.
     pub fn delete(&self, id: u64) -> Result<()> {
         let mut state = self.state.lock().expect("store lock poisoned");
-        let total = state.seg_rows_total() + state.mem_metas.len() as u64;
+        let total = state.seg_rows_total() + state.mem_rows() as u64;
         if id >= total || state.tombstones.contains(&id) {
             return Err(CoreError::NotFound(id as usize));
         }
@@ -1055,7 +1379,7 @@ impl CorpusStore {
     /// "old set or new set", never a mixture.
     pub fn compact_with(&self, policy: &mut dyn FaultPolicy) -> Result<CompactionStats> {
         let mut state = self.state.lock().expect("store lock poisoned");
-        if state.mem_metas.is_empty() && state.tombstones.is_empty() {
+        if state.mem_rows() == 0 && state.tombstones.is_empty() {
             return Ok(CompactionStats {
                 epoch: state.epoch,
                 segments: state.segments.len(),
@@ -1084,11 +1408,21 @@ impl CorpusStore {
             }
             base += seg.rows as u64;
         }
-        for local in 0..state.mem_metas.len() {
-            if !state.tombstones.contains(&(base + local as u64)) {
-                flat.extend_from_slice(&state.mem_flat[local * dim..(local + 1) * dim]);
-                metas.push(state.mem_metas[local].clone());
+        for chunk in &state.mem_frozen {
+            for (off, meta) in chunk.metas.iter().enumerate() {
+                if !state.tombstones.contains(&base) {
+                    flat.extend_from_slice(chunk.dataset.vector(off));
+                    metas.push(meta.clone());
+                }
+                base += 1;
             }
+        }
+        for local in 0..state.mem_tail_metas.len() {
+            if !state.tombstones.contains(&base) {
+                flat.extend_from_slice(&state.mem_tail_flat[local * dim..(local + 1) * dim]);
+                metas.push(state.mem_tail_metas[local].clone());
+            }
+            base += 1;
         }
         // 2. Write the new segments, re-reading each to catch corruption
         // (e.g. an injected bit flip) before the commit point.
@@ -1173,8 +1507,9 @@ impl CorpusStore {
         // 5. Swap, publish, and drop the replaced files.
         let old_paths: Vec<PathBuf> = state.segments.iter().map(|s| s.path.clone()).collect();
         state.segments = opened;
-        state.mem_flat.clear();
-        state.mem_metas.clear();
+        state.mem_frozen.clear();
+        state.mem_tail_flat.clear();
+        state.mem_tail_metas.clear();
         state.tombstones.clear();
         state.epoch += 1;
         state.next_seg = next_seg;
@@ -1316,6 +1651,46 @@ impl PinnedView {
                 e.knn_batch_by_ids(&ids, k, threads, stats)
             }
             PinnedView::Snapshot(s) => s.knn_batch_by_ids(ids, k, threads, stats),
+        }
+    }
+
+    /// Batched two-stage approximate k-NN (see
+    /// [`CorpusSnapshot::knn_batch_approx`]). `recall_target = 1.0`
+    /// routes to the exact batched path, bit-identically.
+    pub fn knn_batch_approx(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        recall_target: f32,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        match self {
+            PinnedView::Static(e) => e.knn_batch_approx(queries, k, recall_target, threads, stats),
+            PinnedView::Snapshot(s) => {
+                s.knn_batch_approx(queries, k, recall_target, threads, stats)
+            }
+        }
+    }
+
+    /// Batched two-stage approximate k-NN by id (see
+    /// [`CorpusSnapshot::knn_batch_by_ids_approx`]).
+    pub fn knn_batch_by_ids_approx(
+        &self,
+        ids: &[u64],
+        k: usize,
+        recall_target: f32,
+        threads: usize,
+        stats: &mut BatchStats,
+    ) -> Result<Vec<Vec<Ranked>>> {
+        match self {
+            PinnedView::Static(e) => {
+                let ids: Vec<usize> = ids.iter().map(|&i| i as usize).collect();
+                e.knn_batch_by_ids_approx(&ids, k, recall_target, threads, stats)
+            }
+            PinnedView::Snapshot(s) => {
+                s.knn_batch_by_ids_approx(ids, k, recall_target, threads, stats)
+            }
         }
     }
 }
@@ -1716,6 +2091,105 @@ mod tests {
         let by_ids = view.knn_batch_by_ids(&ids, 3, 1, &mut s).unwrap();
         assert_eq!(by_ids.len(), 2);
         assert!(by_ids[0].iter().all(|h| h.id != 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunked_memtable_crosses_chunk_boundaries() {
+        let dim = pipeline().dim();
+        let dir = temp_dir("chunked-mem");
+        let mut options = StoreOptions::new(IndexKind::Linear, Measure::L1);
+        options.memtable_limit = 100_000;
+        let store = CorpusStore::create(&dir, pipeline(), true, options).unwrap();
+        // Enough rows to freeze two full chunks and leave a tail.
+        let n = 2 * MEM_CHUNK_ROWS + 37;
+        store.insert_batch(synth_items(n, dim, 21)).unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.memtable_rows(), n);
+        assert_eq!(snap.mem_chunks.len(), 3);
+        assert_eq!(snap.mem_chunks[0].rows(), MEM_CHUNK_ROWS);
+        assert_eq!(snap.mem_chunks[2].rows(), 37);
+        // Queries crossing chunk boundaries match a materialized engine.
+        let queries = synth_queries(4, dim, 22);
+        let engine = engine_over(&snap, IndexKind::Linear, Measure::L1);
+        let mut s1 = BatchStats::new();
+        let mut s2 = BatchStats::new();
+        let got = snap.knn_batch(&queries, 7, 2, &mut s1).unwrap();
+        let want = engine.knn_batch(&queries, 7, 2, &mut s2).unwrap();
+        assert_eq!(keys(&got, true), keys(&want, true));
+        // A delete inside a frozen chunk disappears at the next epoch.
+        let victim = (MEM_CHUNK_ROWS + 3) as u64;
+        let victim_name = snap.meta(victim).unwrap().name;
+        store.delete(victim).unwrap();
+        let snap2 = store.snapshot();
+        let mut s3 = BatchStats::new();
+        let got2 = snap2.knn_batch(&queries, n, 1, &mut s3).unwrap();
+        assert!(got2.iter().flatten().all(|h| h.name != victim_name));
+        assert_eq!(got2[0].len(), n - 1);
+        // Compaction folds every chunk into segments.
+        store.compact().unwrap();
+        let snap3 = store.snapshot();
+        assert_eq!(snap3.memtable_rows(), 0);
+        assert_eq!(snap3.len(), n - 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_approx_two_stage_merges_sources_and_recall_one_is_exact() {
+        let dim = pipeline().dim();
+        let dir = temp_dir("approx");
+        let store = CorpusStore::create(
+            &dir,
+            pipeline(),
+            true,
+            StoreOptions::new(IndexKind::VpTree, Measure::L2),
+        )
+        .unwrap();
+        // Rows in a segment *and* the memtable, plus a tombstone, so the
+        // approx path has to merge across every source kind. The corpus
+        // is small enough that the 4k budget floor covers every source in
+        // full — the two-stage path must then reproduce the exact result.
+        store.insert_batch(synth_items(12, dim, 31)).unwrap();
+        store.compact().unwrap();
+        store.insert_batch(synth_items(6, dim, 32)).unwrap();
+        store.delete(3).unwrap();
+        let snap = store.snapshot();
+        let queries = synth_queries(6, dim, 33);
+        // recall_target = 1.0 degenerates to the exact path, bit for bit.
+        let mut exact = BatchStats::new();
+        let mut one = BatchStats::new();
+        let want = snap.knn_batch(&queries, 5, 2, &mut exact).unwrap();
+        let got = snap
+            .knn_batch_approx(&queries, 5, 1.0, 2, &mut one)
+            .unwrap();
+        assert_eq!(keys(&got, true), keys(&want, true));
+        assert_eq!(one.total().coarse_candidates, 0);
+        // A sub-1.0 target on a corpus this small gets a budget that
+        // covers every source in full: the two-stage path runs (counters
+        // move) yet stays exact.
+        let mut approx = BatchStats::new();
+        let got = snap
+            .knn_batch_approx(&queries, 5, 0.9, 2, &mut approx)
+            .unwrap();
+        assert_eq!(keys(&got, true), keys(&want, true));
+        assert!(approx.total().coarse_candidates > 0);
+        assert!(approx.total().rerank_evaluations > 0);
+        // By-id variant excludes the query row and matches its exact twin.
+        let ids = [0u64, 8, 14];
+        let mut s1 = BatchStats::new();
+        let mut s2 = BatchStats::new();
+        let want_ids = snap.knn_batch_by_ids(&ids, 4, 1, &mut s1).unwrap();
+        let got_ids = snap
+            .knn_batch_by_ids_approx(&ids, 4, 0.9, 1, &mut s2)
+            .unwrap();
+        assert_eq!(keys(&got_ids, true), keys(&want_ids, true));
+        for (row, &id) in got_ids.iter().zip(&ids) {
+            assert!(row.iter().all(|h| h.id as u64 != id));
+        }
+        // Bad targets are rejected up front.
+        let mut s = BatchStats::new();
+        assert!(snap.knn_batch_approx(&queries, 5, 0.0, 1, &mut s).is_err());
+        assert!(snap.knn_batch_approx(&queries, 5, 1.5, 1, &mut s).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -16,6 +16,13 @@
 //! | [`AntipoleTree`] | triangle inequality on antipole clusters | true metrics |
 //! | [`RStarTree`] | MINDIST to page rectangles | L2 |
 //!
+//! Exactness is the default contract; approximation is strictly opt-in.
+//! The [`ApproxSearch`] trait is the coarse half of a two-stage
+//! coarse-to-fine mode ([`CoarseHaarIndex`], [`BestBinFirst`], and
+//! [`LshIndex`] behind one interface) whose candidates are reranked
+//! *exactly* via [`rerank_exact`]; with an unbounded candidate budget it
+//! degenerates to the exact answer.
+//!
 //! Cost accounting ([`SearchStats`]) counts distance computations — the
 //! hardware-independent cost model used by the evaluation suite.
 //!
@@ -35,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod antipole;
+mod approx;
 mod dataset;
 mod error;
 mod kdtree;
@@ -51,6 +59,10 @@ mod traits;
 mod vptree;
 
 pub use antipole::AntipoleTree;
+pub use approx::{
+    approx_knn, approx_knn_batch, approx_knn_batch_parallel, haar_coarse_to_fine_for_tests,
+    rerank_exact, ApproxScratch, ApproxSearch, BestBinFirst, CoarseHaarIndex,
+};
 pub use dataset::Dataset;
 pub use error::{IndexError, Result};
 pub use kdtree::KdTree;

@@ -142,6 +142,52 @@ impl LshIndex {
         heap.into_sorted()
     }
 
+    /// The dataset the index was built over (shared, zero-copy).
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Append up to `budget` deduplicated candidate ids from the union of
+    /// the query's buckets across all tables into `out` (bucket order,
+    /// tables probed in build order). The coarse half of the
+    /// [`ApproxSearch`](crate::ApproxSearch) retrofit; counts table probes
+    /// as node visits and empty buckets as pruned subtrees, matching
+    /// [`LshIndex::knn_search`]'s accounting.
+    pub(crate) fn probe_buckets(
+        &self,
+        query: &[f32],
+        budget: usize,
+        stats: &mut SearchStats,
+        out: &mut Vec<u32>,
+    ) {
+        let start = out.len();
+        let mut seen = vec![false; self.dataset.len()];
+        'tables: for table in &self.tables {
+            stats.nodes_visited += 1;
+            let key = hash_key(
+                query,
+                &table.projections,
+                &table.offsets,
+                self.hashes_per_table,
+                self.width,
+            );
+            let Some(bucket) = table.buckets.get(&key) else {
+                stats.subtrees_pruned += 1;
+                continue;
+            };
+            for &id in bucket {
+                if seen[id as usize] {
+                    continue;
+                }
+                seen[id as usize] = true;
+                out.push(id);
+                if out.len() - start >= budget {
+                    break 'tables;
+                }
+            }
+        }
+    }
+
     /// Mean bucket occupancy (diagnostic).
     pub fn mean_bucket_size(&self) -> f64 {
         let (count, total) = self

@@ -17,6 +17,13 @@ pub struct SearchStats {
     /// tree indexes it counts leaf-level candidate scorings (routing-level
     /// evaluations are excluded, so it is ≤ `distance_computations`).
     pub postfilter_candidates: u64,
+    /// Candidates surfaced by the coarse stage of a two-stage approximate
+    /// search (see [`crate::ApproxSearch`]). Zero on the exact path.
+    pub coarse_candidates: u64,
+    /// Exact distance evaluations spent reranking coarse candidates. Zero
+    /// on the exact path; on the approximate path these are also counted
+    /// in `distance_computations` (they are full evaluations).
+    pub rerank_evaluations: u64,
 }
 
 impl SearchStats {
@@ -36,6 +43,8 @@ impl SearchStats {
         self.nodes_visited += other.nodes_visited;
         self.subtrees_pruned += other.subtrees_pruned;
         self.postfilter_candidates += other.postfilter_candidates;
+        self.coarse_candidates += other.coarse_candidates;
+        self.rerank_evaluations += other.rerank_evaluations;
     }
 }
 
@@ -204,18 +213,24 @@ mod tests {
             nodes_visited: 2,
             subtrees_pruned: 1,
             postfilter_candidates: 4,
+            coarse_candidates: 6,
+            rerank_evaluations: 5,
         };
         let b = SearchStats {
             distance_computations: 3,
             nodes_visited: 10,
             subtrees_pruned: 2,
             postfilter_candidates: 3,
+            coarse_candidates: 1,
+            rerank_evaluations: 2,
         };
         a.merge(&b);
         assert_eq!(a.distance_computations, 8);
         assert_eq!(a.nodes_visited, 12);
         assert_eq!(a.subtrees_pruned, 3);
         assert_eq!(a.postfilter_candidates, 7);
+        assert_eq!(a.coarse_candidates, 7);
+        assert_eq!(a.rerank_evaluations, 7);
         a.reset();
         assert_eq!(a, SearchStats::new());
     }

@@ -195,8 +195,9 @@ pub fn range_batch_parallel(
     })
 }
 
-/// Shared chunk-spawn-join scaffolding for the parallel batch entry points.
-fn run_parallel<F>(
+/// Shared chunk-spawn-join scaffolding for the parallel batch entry points
+/// (also reused by the approximate batch path in [`crate::approx`]).
+pub(crate) fn run_parallel<F>(
     queries: &[Vec<f32>],
     threads: usize,
     stats: &mut BatchStats,

@@ -42,13 +42,15 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
             format!(
                 "    {{\"index\": \"{}\", \"queries\": {}, \"distance_evaluations\": {}, \
                  \"nodes_visited\": {}, \"subtrees_pruned\": {}, \"postfilter_candidates\": {}, \
-                 \"results\": {}}}",
+                 \"coarse_candidates\": {}, \"rerank_evaluations\": {}, \"results\": {}}}",
                 json_escape(s.index),
                 s.queries,
                 s.distance_evaluations,
                 s.nodes_visited,
                 s.subtrees_pruned,
                 s.postfilter_candidates,
+                s.coarse_candidates,
+                s.rerank_evaluations,
                 s.results
             )
         })
@@ -142,6 +144,16 @@ pub fn to_prometheus(snap: &ObsSnapshot) -> String {
         "cbir_index_postfilter_candidates_total",
         "Candidates surfaced for exact-distance evaluation per index kind.",
         &idx_rows(&|s| s.postfilter_candidates),
+    );
+    counter(
+        "cbir_index_coarse_candidates_total",
+        "Coarse-stage candidates from two-stage approximate queries per index kind.",
+        &idx_rows(&|s| s.coarse_candidates),
+    );
+    counter(
+        "cbir_index_rerank_evaluations_total",
+        "Exact rerank evaluations from two-stage approximate queries per index kind.",
+        &idx_rows(&|s| s.rerank_evaluations),
     );
     counter(
         "cbir_index_results_total",
@@ -262,13 +274,15 @@ fn span_json(s: &TraceSpan) -> String {
 /// Render one trace as a JSON object. Keys: `seq`, `op`, `index`,
 /// `queries`, `total_ns`, `spans` (array of `{name, start_ns, dur_ns}`),
 /// `distance_evaluations`, `nodes_visited`, `subtrees_pruned`,
-/// `postfilter_candidates`, `results`.
+/// `postfilter_candidates`, `coarse_candidates`, `rerank_evaluations`,
+/// `results`.
 pub fn trace_to_json(t: &QueryTrace) -> String {
     let spans: Vec<String> = t.spans.iter().map(span_json).collect();
     format!(
         "{{\"seq\": {}, \"op\": \"{}\", \"index\": \"{}\", \"queries\": {}, \"total_ns\": {}, \
          \"spans\": [{}], \"distance_evaluations\": {}, \"nodes_visited\": {}, \
-         \"subtrees_pruned\": {}, \"postfilter_candidates\": {}, \"results\": {}}}",
+         \"subtrees_pruned\": {}, \"postfilter_candidates\": {}, \"coarse_candidates\": {}, \
+         \"rerank_evaluations\": {}, \"results\": {}}}",
         t.seq,
         json_escape(t.op),
         json_escape(t.index),
@@ -279,6 +293,8 @@ pub fn trace_to_json(t: &QueryTrace) -> String {
         t.nodes_visited,
         t.subtrees_pruned,
         t.postfilter_candidates,
+        t.coarse_candidates,
+        t.rerank_evaluations,
         t.results
     )
 }
@@ -330,6 +346,12 @@ pub fn render_trace(t: &QueryTrace) -> String {
         t.postfilter_candidates,
         t.results
     ));
+    if t.coarse_candidates > 0 || t.rerank_evaluations > 0 {
+        out.push_str(&format!(
+            "  approx: {} coarse candidates, {} rerank evaluations\n",
+            t.coarse_candidates, t.rerank_evaluations
+        ));
+    }
     out
 }
 
@@ -350,6 +372,8 @@ mod tests {
                 nodes_visited: 12,
                 subtrees_pruned: 7,
                 postfilter_candidates: 33,
+                coarse_candidates: 21,
+                rerank_evaluations: 20,
                 results: 9,
             }],
             stages: vec![StageCounters {
@@ -393,6 +417,8 @@ mod tests {
             "\"memtable_rows\"",
             "\"subtrees_pruned\"",
             "\"postfilter_candidates\"",
+            "\"coarse_candidates\"",
+            "\"rerank_evaluations\"",
             "\"p99_us\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
@@ -434,6 +460,8 @@ mod tests {
             }
         }
         assert!(p.contains("cbir_index_subtrees_pruned_total{index=\"vp-tree\"} 7"));
+        assert!(p.contains("cbir_index_coarse_candidates_total{index=\"vp-tree\"} 21"));
+        assert!(p.contains("cbir_index_rerank_evaluations_total{index=\"vp-tree\"} 20"));
         assert!(p.contains("cbir_queue_depth 2"));
         assert!(p.contains("quantile=\"0.99\""));
         assert!(p.contains("cbir_store_inserts_total 11"));
@@ -465,6 +493,8 @@ mod tests {
             nodes_visited: 8,
             subtrees_pruned: 3,
             postfilter_candidates: 16,
+            coarse_candidates: 0,
+            rerank_evaluations: 0,
             results: 10,
         };
         let j = trace_to_json(&t);

@@ -32,6 +32,8 @@
 //!         nodes_visited: 12,
 //!         subtrees_pruned: 7,
 //!         postfilter_candidates: 35,
+//!         coarse_candidates: 0,
+//!         rerank_evaluations: 0,
 //!     },
 //!     10,
 //! );
@@ -148,6 +150,12 @@ pub struct QueryCounters {
     /// Dataset members surfaced as candidates for exact-distance
     /// evaluation (leaf scans, bucket hits).
     pub postfilter_candidates: u64,
+    /// Candidates surfaced by the coarse stage of a two-stage approximate
+    /// query. Zero on the exact path.
+    pub coarse_candidates: u64,
+    /// Exact distance evaluations spent reranking coarse candidates.
+    /// Zero on the exact path.
+    pub rerank_evaluations: u64,
 }
 
 struct IndexSlot {
@@ -156,6 +164,8 @@ struct IndexSlot {
     nodes_visited: AtomicU64,
     subtrees_pruned: AtomicU64,
     postfilter_candidates: AtomicU64,
+    coarse_candidates: AtomicU64,
+    rerank_evaluations: AtomicU64,
     results: AtomicU64,
 }
 
@@ -167,6 +177,8 @@ impl IndexSlot {
             nodes_visited: AtomicU64::new(0),
             subtrees_pruned: AtomicU64::new(0),
             postfilter_candidates: AtomicU64::new(0),
+            coarse_candidates: AtomicU64::new(0),
+            rerank_evaluations: AtomicU64::new(0),
             results: AtomicU64::new(0),
         }
     }
@@ -301,6 +313,10 @@ pub fn record_query(
         .fetch_add(counters.subtrees_pruned, Ordering::Relaxed);
     slot.postfilter_candidates
         .fetch_add(counters.postfilter_candidates, Ordering::Relaxed);
+    slot.coarse_candidates
+        .fetch_add(counters.coarse_candidates, Ordering::Relaxed);
+    slot.rerank_evaluations
+        .fetch_add(counters.rerank_evaluations, Ordering::Relaxed);
     slot.results.fetch_add(results, Ordering::Relaxed);
     match op {
         QueryOp::Knn => REGISTRY.knn_latency.record(latency_us),
@@ -471,6 +487,10 @@ pub struct IndexCounters {
     pub subtrees_pruned: u64,
     /// Total candidates surfaced for exact-distance evaluation.
     pub postfilter_candidates: u64,
+    /// Total coarse-stage candidates from two-stage approximate queries.
+    pub coarse_candidates: u64,
+    /// Total exact rerank evaluations from two-stage approximate queries.
+    pub rerank_evaluations: u64,
     /// Total result rows returned.
     pub results: u64,
 }
@@ -569,6 +589,8 @@ pub fn snapshot() -> ObsSnapshot {
             nodes_visited: s.nodes_visited.load(Ordering::Relaxed),
             subtrees_pruned: s.subtrees_pruned.load(Ordering::Relaxed),
             postfilter_candidates: s.postfilter_candidates.load(Ordering::Relaxed),
+            coarse_candidates: s.coarse_candidates.load(Ordering::Relaxed),
+            rerank_evaluations: s.rerank_evaluations.load(Ordering::Relaxed),
             results: s.results.load(Ordering::Relaxed),
         })
         .collect();
@@ -613,6 +635,8 @@ pub fn reset() {
         s.nodes_visited.store(0, Ordering::Relaxed);
         s.subtrees_pruned.store(0, Ordering::Relaxed);
         s.postfilter_candidates.store(0, Ordering::Relaxed);
+        s.coarse_candidates.store(0, Ordering::Relaxed);
+        s.rerank_evaluations.store(0, Ordering::Relaxed);
         s.results.store(0, Ordering::Relaxed);
     }
     for s in &REGISTRY.stages {
@@ -659,6 +683,8 @@ mod tests {
                 nodes_visited: 10,
                 subtrees_pruned: 4,
                 postfilter_candidates: 25,
+                coarse_candidates: 0,
+                rerank_evaluations: 0,
             },
             6,
         );

@@ -48,6 +48,12 @@ pub struct QueryTrace {
     pub subtrees_pruned: u64,
     /// Candidates surfaced for exact-distance evaluation.
     pub postfilter_candidates: u64,
+    /// Coarse-stage candidates from a two-stage approximate query (zero
+    /// on the exact path).
+    pub coarse_candidates: u64,
+    /// Exact rerank evaluations from a two-stage approximate query (zero
+    /// on the exact path).
+    pub rerank_evaluations: u64,
     /// Result rows returned (summed over the batch for batch ops).
     pub results: u64,
 }
@@ -133,6 +139,8 @@ mod tests {
             nodes_visited: 1,
             subtrees_pruned: 0,
             postfilter_candidates: 5,
+            coarse_candidates: 0,
+            rerank_evaluations: 0,
             results: 3,
         }
     }

@@ -116,6 +116,21 @@ impl From<WireError> for ClientError {
 /// Convenience alias.
 pub type ClientResult<T> = Result<T, ClientError>;
 
+/// A hits reply with its per-query approximate-search counters. Both
+/// counters are zero when the server executed the exact path (always the
+/// case at `recall_target = 1.0`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HitsReply {
+    /// The ranked hits.
+    pub hits: Vec<Hit>,
+    /// Coarse-stage candidates the query surfaced (zero on the exact
+    /// path).
+    pub coarse_candidates: u64,
+    /// Exact rerank evaluations the query performed (zero on the exact
+    /// path).
+    pub rerank_evaluations: u64,
+}
+
 /// A blocking connection to a `cbir` query server.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -150,9 +165,17 @@ impl Client {
         Ok(decode_response(&payload)?)
     }
 
-    fn expect_hits(resp: Response) -> ClientResult<Vec<Hit>> {
+    fn expect_hits(resp: Response) -> ClientResult<HitsReply> {
         match resp {
-            Response::Hits(h) => Ok(h),
+            Response::Hits {
+                hits,
+                coarse_candidates,
+                rerank_evaluations,
+            } => Ok(HitsReply {
+                hits,
+                coarse_candidates,
+                rerank_evaluations,
+            }),
             Response::Error(m) => Err(ClientError::Rejected(Rejection::Error(m))),
             Response::Overloaded(m) => Err(ClientError::Rejected(Rejection::Overloaded(m))),
             Response::ShuttingDown(m) => Err(ClientError::Rejected(Rejection::ShuttingDown(m))),
@@ -166,16 +189,32 @@ impl Client {
     }
 
     /// k-NN over a raw descriptor. `deadline_us` is a relative budget in
-    /// microseconds (0 = no deadline).
+    /// microseconds (0 = no deadline); `recall_target` in `(0, 1]`
+    /// selects the exact path at `1.0` and the two-stage approximate
+    /// path below it.
     pub fn knn(
         &mut self,
         descriptor: &[f32],
         k: usize,
         deadline_us: u64,
+        recall_target: f32,
     ) -> ClientResult<Vec<Hit>> {
-        self.send_knn(descriptor, k, deadline_us)?;
+        Ok(self
+            .knn_detailed(descriptor, k, deadline_us, recall_target)?
+            .hits)
+    }
+
+    /// [`Client::knn`] keeping the reply's approximate-search counters.
+    pub fn knn_detailed(
+        &mut self,
+        descriptor: &[f32],
+        k: usize,
+        deadline_us: u64,
+        recall_target: f32,
+    ) -> ClientResult<HitsReply> {
+        self.send_knn(descriptor, k, deadline_us, recall_target)?;
         self.flush()?;
-        self.recv_hits()
+        self.recv_hits_detailed()
     }
 
     /// Range search over a raw descriptor.
@@ -195,23 +234,51 @@ impl Client {
     }
 
     /// Self-excluding k-NN by database image id.
-    pub fn knn_by_id(&mut self, id: usize, k: usize, deadline_us: u64) -> ClientResult<Vec<Hit>> {
+    pub fn knn_by_id(
+        &mut self,
+        id: usize,
+        k: usize,
+        deadline_us: u64,
+        recall_target: f32,
+    ) -> ClientResult<Vec<Hit>> {
+        Ok(self
+            .knn_by_id_detailed(id, k, deadline_us, recall_target)?
+            .hits)
+    }
+
+    /// [`Client::knn_by_id`] keeping the reply's approximate-search
+    /// counters.
+    pub fn knn_by_id_detailed(
+        &mut self,
+        id: usize,
+        k: usize,
+        deadline_us: u64,
+        recall_target: f32,
+    ) -> ClientResult<HitsReply> {
         self.send(&Request::KnnById {
             k: k as u32,
             deadline_us,
+            recall_target,
             id: id as u64,
         })?;
         self.flush()?;
-        self.recv_hits()
+        self.recv_hits_detailed()
     }
 
     /// Pipelined send half of [`Client::knn`]: buffers the request
     /// without reading a reply. Call [`Client::flush`] after the window
     /// and [`Client::recv_hits`] once per outstanding request, in order.
-    pub fn send_knn(&mut self, descriptor: &[f32], k: usize, deadline_us: u64) -> ClientResult<()> {
+    pub fn send_knn(
+        &mut self,
+        descriptor: &[f32],
+        k: usize,
+        deadline_us: u64,
+        recall_target: f32,
+    ) -> ClientResult<()> {
         self.send(&Request::Knn {
             k: k as u32,
             deadline_us,
+            recall_target,
             descriptor: descriptor.to_vec(),
         })?;
         Ok(())
@@ -219,6 +286,12 @@ impl Client {
 
     /// Pipelined receive half: the next in-order hits reply.
     pub fn recv_hits(&mut self) -> ClientResult<Vec<Hit>> {
+        Ok(self.recv_hits_detailed()?.hits)
+    }
+
+    /// Pipelined receive half keeping the reply's approximate-search
+    /// counters.
+    pub fn recv_hits_detailed(&mut self) -> ClientResult<HitsReply> {
         let resp = self.recv()?;
         Self::expect_hits(resp)
     }

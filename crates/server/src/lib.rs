@@ -34,7 +34,7 @@
 //!
 //! let mut client = Client::connect(handle.local_addr())?;
 //! let (db_len, dim) = client.ping()?;
-//! let hits = client.knn(&vec![0.0; dim as usize], 10, 0)?;
+//! let hits = client.knn(&vec![0.0; dim as usize], 10, 0, 1.0)?;
 //! client.shutdown()?;
 //! handle.join();
 //! # Ok(()) }
@@ -49,7 +49,7 @@ pub mod retry;
 pub mod scheduler;
 pub mod server;
 
-pub use client::{Client, ClientError, ClientResult, Rejection};
+pub use client::{Client, ClientError, ClientResult, HitsReply, Rejection};
 pub use metrics::Metrics;
 pub use protocol::{Hit, Request, Response, StatsSnapshot, WireError};
 pub use retry::{RetryPolicy, RetryStats, RetryingClient};

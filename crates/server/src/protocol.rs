@@ -54,12 +54,16 @@ pub enum Request {
     /// k-nearest-neighbour search over a raw descriptor.
     ///
     /// Body: `u32 k`, `u64 deadline_us` (0 = no deadline; a relative
-    /// budget measured from server receipt), `u32 dim`, `dim × f32`.
+    /// budget measured from server receipt), `f32 recall_target`
+    /// (`1.0` = exact search; below `1.0` opts into the two-stage
+    /// approximate path), `u32 dim`, `dim × f32`.
     Knn {
         /// Number of neighbours requested.
         k: u32,
         /// Relative deadline in microseconds (0 = none).
         deadline_us: u64,
+        /// Recall target in `(0, 1]`; `1.0` requests the exact path.
+        recall_target: f32,
         /// Query descriptor.
         descriptor: Vec<f32>,
     },
@@ -76,12 +80,14 @@ pub enum Request {
     },
     /// k-NN by database image id, excluding the query image itself.
     ///
-    /// Body: `u32 k`, `u64 deadline_us`, `u64 id`.
+    /// Body: `u32 k`, `u64 deadline_us`, `f32 recall_target`, `u64 id`.
     KnnById {
         /// Number of neighbours requested.
         k: u32,
         /// Relative deadline in microseconds (0 = none).
         deadline_us: u64,
+        /// Recall target in `(0, 1]`; `1.0` requests the exact path.
+        recall_target: f32,
         /// Database image id.
         id: u64,
     },
@@ -196,7 +202,21 @@ pub struct StatsSnapshot {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
     /// Ranked hits for a knn/range/knn-by-id request.
-    Hits(Vec<Hit>),
+    ///
+    /// Body: `u32 n`, `n` hit bodies, `u64 coarse_candidates`,
+    /// `u64 rerank_evaluations`. Both counters are zero when the request
+    /// executed on the exact path — so a `recall_target = 1.0` reply is
+    /// byte-identical to an exact reply, not merely equivalent.
+    Hits {
+        /// The ranked hits.
+        hits: Vec<Hit>,
+        /// Coarse-stage candidates this query surfaced (zero on the
+        /// exact path).
+        coarse_candidates: u64,
+        /// Exact rerank evaluations this query performed (zero on the
+        /// exact path).
+        rerank_evaluations: u64,
+    },
     /// Answer to [`Request::Ping`]: database size and descriptor dim.
     Pong {
         /// Number of images in the served database.
@@ -374,11 +394,13 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Knn {
             k,
             deadline_us,
+            recall_target,
             descriptor,
         } => {
             w.u8(OP_KNN);
             w.u32(*k);
             w.u64(*deadline_us);
+            w.f32(*recall_target);
             write_descriptor(&mut w, descriptor);
         }
         Request::Range {
@@ -391,10 +413,16 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.u64(*deadline_us);
             write_descriptor(&mut w, descriptor);
         }
-        Request::KnnById { k, deadline_us, id } => {
+        Request::KnnById {
+            k,
+            deadline_us,
+            recall_target,
+            id,
+        } => {
             w.u8(OP_KNN_BY_ID);
             w.u32(*k);
             w.u64(*deadline_us);
+            w.f32(*recall_target);
             w.u64(*id);
         }
         Request::Stats => w.u8(OP_STATS),
@@ -437,6 +465,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         OP_KNN => Request::Knn {
             k: r.u32()?,
             deadline_us: r.u64()?,
+            recall_target: r.f32()?,
             descriptor: r.descriptor()?,
         },
         OP_RANGE => Request::Range {
@@ -447,6 +476,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         OP_KNN_BY_ID => Request::KnnById {
             k: r.u32()?,
             deadline_us: r.u64()?,
+            recall_target: r.f32()?,
             id: r.u64()?,
         },
         OP_STATS => Request::Stats,
@@ -482,7 +512,11 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut w = PayloadWriter::default();
     match resp {
-        Response::Hits(hits) => {
+        Response::Hits {
+            hits,
+            coarse_candidates,
+            rerank_evaluations,
+        } => {
             w.u8(ST_HITS);
             w.u32(hits.len() as u32);
             for h in hits {
@@ -497,6 +531,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 }
                 w.f32(h.distance);
             }
+            w.u64(*coarse_candidates);
+            w.u64(*rerank_evaluations);
         }
         Response::Pong { db_len, dim } => {
             w.u8(ST_PONG);
@@ -591,7 +627,11 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                     distance,
                 });
             }
-            Response::Hits(hits)
+            Response::Hits {
+                hits,
+                coarse_candidates: r.u64()?,
+                rerank_evaluations: r.u64()?,
+            }
         }
         ST_PONG => Response::Pong {
             db_len: r.u64()?,
@@ -736,7 +776,14 @@ mod tests {
         roundtrip_request(Request::Knn {
             k: 10,
             deadline_us: 5_000,
+            recall_target: 1.0,
             descriptor: vec![0.25, -1.5, 3.0],
+        });
+        roundtrip_request(Request::Knn {
+            k: 10,
+            deadline_us: 0,
+            recall_target: 0.9,
+            descriptor: vec![0.25; 4],
         });
         roundtrip_request(Request::Range {
             radius: 0.75,
@@ -746,6 +793,7 @@ mod tests {
         roundtrip_request(Request::KnnById {
             k: 3,
             deadline_us: 42,
+            recall_target: 0.95,
             id: 7,
         });
         roundtrip_request(Request::ObsStats { prometheus: false });
@@ -775,21 +823,29 @@ mod tests {
 
     #[test]
     fn response_roundtrips() {
-        roundtrip_response(Response::Hits(vec![
-            Hit {
-                id: 3,
-                name: "class-1-0003.ppm".into(),
-                label: Some(1),
-                distance: 0.125,
-            },
-            Hit {
-                id: 9,
-                name: "unlabeled".into(),
-                label: None,
-                distance: 2.5,
-            },
-        ]));
-        roundtrip_response(Response::Hits(Vec::new()));
+        roundtrip_response(Response::Hits {
+            hits: vec![
+                Hit {
+                    id: 3,
+                    name: "class-1-0003.ppm".into(),
+                    label: Some(1),
+                    distance: 0.125,
+                },
+                Hit {
+                    id: 9,
+                    name: "unlabeled".into(),
+                    label: None,
+                    distance: 2.5,
+                },
+            ],
+            coarse_candidates: 0,
+            rerank_evaluations: 0,
+        });
+        roundtrip_response(Response::Hits {
+            hits: Vec::new(),
+            coarse_candidates: 128,
+            rerank_evaluations: 120,
+        });
         roundtrip_response(Response::Pong { db_len: 12, dim: 4 });
         roundtrip_response(Response::ShutdownAck);
         roundtrip_response(Response::Error("bad dim".into()));
@@ -830,6 +886,7 @@ mod tests {
         let payload = encode_request(&Request::Knn {
             k: 4,
             deadline_us: 7,
+            recall_target: 1.0,
             descriptor: vec![0.25; 16],
         });
         let mut buf = Vec::new();
@@ -895,6 +952,7 @@ mod tests {
         let mut payload = encode_request(&Request::Knn {
             k: 5,
             deadline_us: 0,
+            recall_target: 1.0,
             descriptor: vec![1.0, 2.0],
         });
         payload.truncate(payload.len() - 3);
@@ -908,6 +966,7 @@ mod tests {
         w.u8(OP_KNN);
         w.u32(1);
         w.u64(0);
+        w.f32(1.0); // recall target
         w.u32(0); // dim = 0
         assert!(decode_request(&w.buf).is_err());
     }
@@ -917,6 +976,7 @@ mod tests {
         let payload = encode_request(&Request::Knn {
             k: 2,
             deadline_us: 0,
+            recall_target: 0.9,
             descriptor: vec![0.5; 8],
         });
         let mut buf = Vec::new();

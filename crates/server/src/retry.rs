@@ -126,9 +126,10 @@ impl RetryingClient {
         descriptor: &[f32],
         k: usize,
         deadline_us: u64,
+        recall_target: f32,
     ) -> ClientResult<Vec<Hit>> {
         self.run(deadline_us, |client, remaining_us| {
-            client.knn(descriptor, k, remaining_us)
+            client.knn(descriptor, k, remaining_us, recall_target)
         })
     }
 
@@ -147,9 +148,15 @@ impl RetryingClient {
 
     /// k-NN by database id with reconnect/backoff (deadline semantics
     /// as [`RetryingClient::knn`]).
-    pub fn knn_by_id(&mut self, id: usize, k: usize, deadline_us: u64) -> ClientResult<Vec<Hit>> {
+    pub fn knn_by_id(
+        &mut self,
+        id: usize,
+        k: usize,
+        deadline_us: u64,
+        recall_target: f32,
+    ) -> ClientResult<Vec<Hit>> {
         self.run(deadline_us, |client, remaining_us| {
-            client.knn_by_id(id, k, remaining_us)
+            client.knn_by_id(id, k, remaining_us, recall_target)
         })
     }
 

@@ -69,6 +69,11 @@ pub struct SchedulerConfig {
     /// responses for this long has its connection closed. `None`
     /// disables the bound.
     pub write_timeout: Option<Duration>,
+    /// When set, every admitted k-NN request runs at this recall target
+    /// regardless of what the client asked for — an operator-side knob
+    /// for forcing a whole deployment onto the approximate (or exact)
+    /// path. `None` honors per-request targets.
+    pub recall_target_override: Option<f32>,
 }
 
 impl Default for SchedulerConfig {
@@ -80,6 +85,7 @@ impl Default for SchedulerConfig {
             exec_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             idle_timeout: Some(Duration::from_secs(60)),
             write_timeout: Some(Duration::from_secs(30)),
+            recall_target_override: None,
         }
     }
 }
@@ -93,6 +99,9 @@ pub enum QueryWork {
         descriptor: Vec<f32>,
         /// Neighbour count.
         k: usize,
+        /// Recall target in `(0, 1]`; `1.0` executes the exact path,
+        /// below `1.0` the two-stage coarse-to-fine approximate path.
+        recall_target: f32,
     },
     /// Range search over a raw descriptor.
     Range {
@@ -107,6 +116,8 @@ pub enum QueryWork {
         id: usize,
         /// Neighbour count.
         k: usize,
+        /// Recall target in `(0, 1]`; `1.0` executes the exact path.
+        recall_target: f32,
     },
 }
 
@@ -200,8 +211,16 @@ impl Scheduler {
     /// [`Response::Overloaded`], a draining server gets
     /// [`Response::ShuttingDown`]; otherwise the request is queued and the
     /// dispatcher will answer it.
-    pub fn submit(&self, pending: Pending) {
+    pub fn submit(&self, mut pending: Pending) {
         self.metrics.on_request();
+        if let Some(rt) = self.config.recall_target_override {
+            match &mut pending.work {
+                QueryWork::Knn { recall_target, .. } | QueryWork::KnnById { recall_target, .. } => {
+                    *recall_target = rt
+                }
+                QueryWork::Range { .. } => {}
+            }
+        }
         if let Some(msg) = self.validate(&pending.work) {
             self.metrics.on_error();
             let _ = pending.reply.try_send(Response::Error(msg));
@@ -249,9 +268,16 @@ impl Scheduler {
             None
         };
         match work {
-            QueryWork::Knn { descriptor, k } => {
+            QueryWork::Knn {
+                descriptor,
+                k,
+                recall_target,
+            } => {
                 if *k == 0 {
                     return Some("k must be >= 1".into());
+                }
+                if let Err(e) = cbir_core::validate_recall_target(*recall_target) {
+                    return Some(e.to_string());
                 }
                 check_desc(descriptor)
             }
@@ -261,9 +287,16 @@ impl Scheduler {
                 }
                 check_desc(descriptor)
             }
-            QueryWork::KnnById { id, k } => {
+            QueryWork::KnnById {
+                id,
+                k,
+                recall_target,
+            } => {
                 if *k == 0 {
                     return Some("k must be >= 1".into());
+                }
+                if let Err(e) = cbir_core::validate_recall_target(*recall_target) {
+                    return Some(e.to_string());
                 }
                 if !view.contains(*id as u64) {
                     return Some(format!(
@@ -387,10 +420,18 @@ impl Scheduler {
                     continue;
                 }
             }
+            // The third key slot carries the recall target's bits, so
+            // requests at different targets never share an engine call
+            // (their candidate budgets differ) while compatible approx
+            // requests still batch together.
             let key = match &p.work {
-                QueryWork::Knn { k, .. } => (0u8, *k as u64, 0u64),
+                QueryWork::Knn {
+                    k, recall_target, ..
+                } => (0u8, *k as u64, recall_target.to_bits() as u64),
                 QueryWork::Range { radius, .. } => (1, radius.to_bits() as u64, 0),
-                QueryWork::KnnById { k, .. } => (2, *k as u64, 0),
+                QueryWork::KnnById {
+                    k, recall_target, ..
+                } => (2, *k as u64, recall_target.to_bits() as u64),
             };
             groups.entry(key).or_default().push(i);
             slots.push(Some(p));
@@ -398,7 +439,7 @@ impl Scheduler {
 
         let mut latencies = Vec::with_capacity(size - expired);
         let mut search = BatchStats::new();
-        for ((tag, param, _), members) in groups {
+        for ((tag, param, extra), members) in groups {
             let mut stats = BatchStats::new();
             // The engine is stateless across calls (scratch is
             // per-invocation), so unwinding out of one group cannot
@@ -418,9 +459,12 @@ impl Scheduler {
                                     _ => unreachable!("knn group"),
                                 })
                                 .collect();
-                            view.knn_batch(
+                            // recall_target = 1.0 degenerates to the
+                            // exact batched path inside, bit-identically.
+                            view.knn_batch_approx(
                                 &queries,
                                 param as usize,
+                                f32::from_bits(extra as u32),
                                 self.config.exec_threads,
                                 &mut stats,
                             )
@@ -448,9 +492,10 @@ impl Scheduler {
                                     _ => unreachable!("knn-by-id group"),
                                 })
                                 .collect();
-                            view.knn_batch_by_ids(
+                            view.knn_batch_by_ids_approx(
                                 &ids,
                                 param as usize,
+                                f32::from_bits(extra as u32),
                                 self.config.exec_threads,
                                 &mut stats,
                             )
@@ -479,10 +524,22 @@ impl Scheduler {
             match outcome {
                 Ok(result_lists) => {
                     debug_assert_eq!(result_lists.len(), members.len());
+                    // Per-query approx counts: every member of a group
+                    // shares the same k, recall target, and pinned view,
+                    // so the coarse/rerank work is uniform across the
+                    // group and the group total divides exactly. Both are
+                    // zero for exact (and range) groups.
+                    let n = members.len().max(1) as u64;
+                    let coarse_candidates = stats.total().coarse_candidates / n;
+                    let rerank_evaluations = stats.total().rerank_evaluations / n;
                     for (ranked, &i) in result_lists.into_iter().zip(&members) {
                         let p = slots[i].take().expect("live slot");
                         latencies.push(p.enqueued.elapsed().as_micros() as u64);
-                        let _ = p.reply.try_send(Response::Hits(ranked_to_hits(ranked)));
+                        let _ = p.reply.try_send(Response::Hits {
+                            hits: ranked_to_hits(ranked),
+                            coarse_candidates,
+                            rerank_evaluations,
+                        });
                     }
                 }
                 Err(e) => {
@@ -591,6 +648,7 @@ mod tests {
             pending(QueryWork::Knn {
                 descriptor: vec![0.125; 8],
                 k: 3,
+                recall_target: 1.0,
             })
         };
         let (p1, _rx1) = q();
@@ -613,10 +671,15 @@ mod tests {
         let (p, rx) = pending(QueryWork::Knn {
             descriptor: vec![0.5; 3], // wrong dim
             k: 1,
+            recall_target: 1.0,
         });
         s.submit(p);
         assert!(matches!(rx.recv().unwrap(), Response::Error(_)));
-        let (p, rx) = pending(QueryWork::KnnById { id: 999, k: 1 });
+        let (p, rx) = pending(QueryWork::KnnById {
+            id: 999,
+            k: 1,
+            recall_target: 1.0,
+        });
         s.submit(p);
         assert!(matches!(rx.recv().unwrap(), Response::Error(_)));
         let (p, rx) = pending(QueryWork::Range {
@@ -635,15 +698,17 @@ mod tests {
         let (mut p, rx) = pending(QueryWork::Knn {
             descriptor: vec![0.125; 8],
             k: 2,
+            recall_target: 1.0,
         });
         p.deadline = Some(Instant::now() - Duration::from_millis(1));
         let (live, live_rx) = pending(QueryWork::Knn {
             descriptor: vec![0.125; 8],
             k: 2,
+            recall_target: 1.0,
         });
         s.execute_batch(vec![p, live]);
         assert!(matches!(rx.recv().unwrap(), Response::DeadlineExpired(_)));
-        assert!(matches!(live_rx.recv().unwrap(), Response::Hits(_)));
+        assert!(matches!(live_rx.recv().unwrap(), Response::Hits { .. }));
         let snap = s.metrics.snapshot(0);
         assert_eq!(snap.expired, 1);
         assert_eq!(snap.executed, 1);
@@ -659,17 +724,19 @@ mod tests {
         let (p1, rx1) = pending(QueryWork::Knn {
             descriptor: vec![0.125; 8],
             k: 2,
+            recall_target: 1.0,
         });
         let (p2, rx2) = pending(QueryWork::Knn {
             descriptor: vec![0.125; 8],
             k: 3,
+            recall_target: 1.0,
         });
         s.execute_batch(vec![p1, p2]);
         match rx1.recv().unwrap() {
             Response::Error(m) => assert!(m.contains("panic"), "{m}"),
             other => panic!("expected error reply for poisoned group, got {other:?}"),
         }
-        assert!(matches!(rx2.recv().unwrap(), Response::Hits(_)));
+        assert!(matches!(rx2.recv().unwrap(), Response::Hits { .. }));
         let snap = s.metrics.snapshot(0);
         assert_eq!(snap.panics_isolated, 1);
         assert_eq!(snap.errors, 1);
@@ -678,9 +745,64 @@ mod tests {
         let (p3, rx3) = pending(QueryWork::Knn {
             descriptor: vec![0.125; 8],
             k: 2,
+            recall_target: 1.0,
         });
         s.execute_batch(vec![p3]);
-        assert!(matches!(rx3.recv().unwrap(), Response::Hits(_)));
+        assert!(matches!(rx3.recv().unwrap(), Response::Hits { .. }));
+    }
+
+    #[test]
+    fn approx_requests_group_by_recall_target_and_report_counters() {
+        let s = sched(SchedulerConfig::default());
+        let engine = match s.corpus() {
+            ServedCorpus::Static(e) => Arc::clone(e),
+            ServedCorpus::Live(_) => unreachable!("test serves a static engine"),
+        };
+        let q = engine.database().descriptor(0).unwrap().to_vec();
+
+        // Same k, different recall targets: must land in different
+        // groups, so each reply reports its own group's counters.
+        let (exact, exact_rx) = pending(QueryWork::Knn {
+            descriptor: q.clone(),
+            k: 3,
+            recall_target: 1.0,
+        });
+        let (approx, approx_rx) = pending(QueryWork::Knn {
+            descriptor: q.clone(),
+            k: 3,
+            recall_target: 0.9,
+        });
+        s.execute_batch(vec![exact, approx]);
+
+        let (exact_hits, cc, re) = match exact_rx.recv().unwrap() {
+            Response::Hits {
+                hits,
+                coarse_candidates,
+                rerank_evaluations,
+            } => (hits, coarse_candidates, rerank_evaluations),
+            other => panic!("expected hits, got {other:?}"),
+        };
+        assert_eq!(cc, 0, "exact path reports zero coarse candidates");
+        assert_eq!(re, 0, "exact path reports zero rerank evaluations");
+
+        let (approx_hits, cc, re) = match approx_rx.recv().unwrap() {
+            Response::Hits {
+                hits,
+                coarse_candidates,
+                rerank_evaluations,
+            } => (hits, coarse_candidates, rerank_evaluations),
+            other => panic!("expected hits, got {other:?}"),
+        };
+        assert!(cc > 0, "approx path surfaces coarse candidates");
+        assert!(re > 0, "approx path reports rerank evaluations");
+        // The corpus is tiny, so the candidate budget covers it in full
+        // and the approx reply matches the exact one bit for bit.
+        assert_eq!(exact_hits.len(), approx_hits.len());
+        for (e, a) in exact_hits.iter().zip(&approx_hits) {
+            assert_eq!(e.id, a.id);
+            assert_eq!(e.distance.to_bits(), a.distance.to_bits());
+        }
+        assert_eq!(s.metrics.snapshot(0).batches, 1);
     }
 
     #[test]
@@ -708,16 +830,22 @@ mod tests {
                 0 => QueryWork::Knn {
                     descriptor: d.clone(),
                     k: 3,
+                    recall_target: 1.0,
                 },
                 1 => QueryWork::Knn {
                     descriptor: d.clone(),
                     k: 5,
+                    recall_target: 1.0,
                 },
                 2 => QueryWork::Range {
                     descriptor: d.clone(),
                     radius: 0.5,
                 },
-                _ => QueryWork::KnnById { id: i, k: 3 },
+                _ => QueryWork::KnnById {
+                    id: i,
+                    k: 3,
+                    recall_target: 1.0,
+                },
             };
             let (p, rx) = pending(work.clone());
             pendings.push(p);
@@ -727,11 +855,11 @@ mod tests {
 
         for (work, rx) in receivers {
             let got = match rx.recv().unwrap() {
-                Response::Hits(h) => h,
+                Response::Hits { hits, .. } => hits,
                 other => panic!("expected hits, got {other:?}"),
             };
             let want = match work {
-                QueryWork::Knn { descriptor, k } => {
+                QueryWork::Knn { descriptor, k, .. } => {
                     let mut st = SearchStats::new();
                     engine.query_by_descriptor(&descriptor, k, &mut st).unwrap()
                 }
@@ -742,7 +870,7 @@ mod tests {
                         .unwrap()
                         .remove(0)
                 }
-                QueryWork::KnnById { id, k } => {
+                QueryWork::KnnById { id, k, .. } => {
                     let mut st = SearchStats::new();
                     engine.query_by_id(id, k, &mut st).unwrap()
                 }
@@ -770,6 +898,7 @@ mod tests {
             let (p, rx) = pending(QueryWork::Knn {
                 descriptor: vec![0.125; 8],
                 k: 2,
+                recall_target: 1.0,
             });
             s.submit(p);
             receivers.push(rx);
@@ -779,6 +908,7 @@ mod tests {
         let (late, late_rx) = pending(QueryWork::Knn {
             descriptor: vec![0.125; 8],
             k: 2,
+            recall_target: 1.0,
         });
         s.submit(late);
         assert!(matches!(late_rx.recv().unwrap(), Response::ShuttingDown(_)));
@@ -789,7 +919,7 @@ mod tests {
             std::thread::spawn(move || s.run())
         };
         for rx in receivers {
-            assert!(matches!(rx.recv().unwrap(), Response::Hits(_)));
+            assert!(matches!(rx.recv().unwrap(), Response::Hits { .. }));
         }
         runner.join().unwrap();
         assert_eq!(s.queue_depth(), 0);

@@ -359,6 +359,7 @@ fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) 
             Request::Knn {
                 k,
                 deadline_us,
+                recall_target,
                 descriptor,
             } => submit_query(
                 scheduler,
@@ -366,6 +367,7 @@ fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) 
                 QueryWork::Knn {
                     descriptor,
                     k: k as usize,
+                    recall_target,
                 },
                 deadline_us,
             ),
@@ -379,12 +381,18 @@ fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) 
                 QueryWork::Range { descriptor, radius },
                 deadline_us,
             ),
-            Request::KnnById { k, deadline_us, id } => submit_query(
+            Request::KnnById {
+                k,
+                deadline_us,
+                recall_target,
+                id,
+            } => submit_query(
                 scheduler,
                 &slots_tx,
                 QueryWork::KnnById {
                     id: id as usize,
                     k: k as usize,
+                    recall_target,
                 },
                 deadline_us,
             ),

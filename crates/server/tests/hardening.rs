@@ -66,7 +66,7 @@ fn panic_during_execution_poisons_one_request_not_the_server() {
     // Arm the trap: the next executed request group panics inside the
     // engine call. The server must isolate it to an Error reply.
     handle.trip_panic_trap();
-    let err = a.knn(&q, 4, 0).expect_err("trapped request must fail");
+    let err = a.knn(&q, 4, 0, 1.0).expect_err("trapped request must fail");
     match err {
         ClientError::Rejected(Rejection::Error(m)) => {
             assert!(
@@ -83,11 +83,13 @@ fn panic_during_execution_poisons_one_request_not_the_server() {
     let want = engine
         .knn_batch(std::slice::from_ref(&q), 4, 1, &mut stats)
         .unwrap();
-    let got = a.knn(&q, 4, 0).expect("same connection works after panic");
+    let got = a
+        .knn(&q, 4, 0, 1.0)
+        .expect("same connection works after panic");
     assert_hits_match(&got, &want[0], "post-panic same connection");
 
     // And an unrelated connection is untouched and bit-identical.
-    let got = b.knn(&q, 4, 0).expect("other connection unaffected");
+    let got = b.knn(&q, 4, 0, 1.0).expect("other connection unaffected");
     assert_hits_match(&got, &want[0], "post-panic other connection");
 
     // The isolation is visible on the wire counters.
@@ -161,7 +163,9 @@ fn torn_client_does_not_disturb_other_connections() {
         .knn_batch(std::slice::from_ref(&q), 3, 1, &mut stats)
         .unwrap();
     for _ in 0..3 {
-        let got = healthy.knn(&q, 3, 0).expect("healthy client still served");
+        let got = healthy
+            .knn(&q, 3, 0, 1.0)
+            .expect("healthy client still served");
         assert_hits_match(&got, &want[0], "after torn client");
     }
 
@@ -200,7 +204,7 @@ fn retrying_client_reconnects_transparently_after_reap() {
     // notice the lost connection, reconnect, resend, and return hits
     // bit-identical to a direct engine call.
     std::thread::sleep(Duration::from_millis(600));
-    let got = client.knn(&q, 5, 0).expect("transparent reconnect");
+    let got = client.knn(&q, 5, 0, 1.0).expect("transparent reconnect");
     assert_hits_match(&got, &want[0], "after transparent reconnect");
 
     let rstats = client.retry_stats();
@@ -238,7 +242,7 @@ fn retry_honors_the_caller_deadline() {
     // deadline must cut the loop off at the first backoff that would
     // overrun it.
     let err = client
-        .knn(&[0.0; 16], 3, 60_000)
+        .knn(&[0.0; 16], 3, 60_000, 1.0)
         .expect_err("dead server must fail");
     let elapsed = started.elapsed();
     assert!(

@@ -73,7 +73,7 @@ fn responses_bit_identical_to_direct_engine_calls() {
     let mut stats = BatchStats::new();
     let direct_knn = engine.knn_batch(&queries, 5, 1, &mut stats).unwrap();
     for (q, want) in queries.iter().zip(&direct_knn) {
-        let got = client.knn(q, 5, 0).unwrap();
+        let got = client.knn(q, 5, 0, 1.0).unwrap();
         assert_hits_match(&got, want, "knn");
     }
 
@@ -88,7 +88,7 @@ fn responses_bit_identical_to_direct_engine_calls() {
     let mut stats = BatchStats::new();
     let direct_by_id = engine.knn_batch_by_ids(&ids, 3, 1, &mut stats).unwrap();
     for (&id, want) in ids.iter().zip(&direct_by_id) {
-        let got = client.knn_by_id(id, 3, 0).unwrap();
+        let got = client.knn_by_id(id, 3, 0, 1.0).unwrap();
         assert_hits_match(&got, want, "knn_by_id");
     }
 
@@ -134,7 +134,7 @@ fn concurrent_pipelined_clients_get_correct_ordered_replies() {
                 let mut client = Client::connect(addr).unwrap();
                 for chunk in queries.chunks(window) {
                     for q in chunk {
-                        client.send_knn(q, 4, 0).unwrap();
+                        client.send_knn(q, 4, 0, 1.0).unwrap();
                     }
                     client.flush().unwrap();
                     let base = queries
@@ -187,7 +187,7 @@ fn bounded_queue_sheds_with_explicit_overload_reply() {
     let q = engine.database().descriptor(0).unwrap().to_vec();
     let flood = 200;
     for _ in 0..flood {
-        client.send_knn(&q, 10, 0).unwrap();
+        client.send_knn(&q, 10, 0, 1.0).unwrap();
     }
     client.flush().unwrap();
 
@@ -235,7 +235,7 @@ fn queued_requests_past_their_deadline_get_explicit_expiry() {
     let q = engine.database().descriptor(1).unwrap().to_vec();
     let flood = 100;
     for _ in 0..flood {
-        client.send_knn(&q, 10, 1_000).unwrap();
+        client.send_knn(&q, 10, 1_000, 1.0).unwrap();
     }
     client.flush().unwrap();
 
@@ -263,16 +263,16 @@ fn per_connection_errors_are_isolated() {
 
     // A bad request (wrong dim) is answered and the connection survives.
     let mut client = Client::connect(addr).unwrap();
-    match client.knn(&[0.5; 3], 2, 0) {
+    match client.knn(&[0.5; 3], 2, 0, 1.0) {
         Err(ClientError::Rejected(Rejection::Error(msg))) => {
             assert!(msg.contains("dim"), "{msg}")
         }
         other => panic!("expected dim error, got {other:?}"),
     }
     let good = engine.database().descriptor(0).unwrap().to_vec();
-    assert!(!client.knn(&good, 2, 0).unwrap().is_empty());
+    assert!(!client.knn(&good, 2, 0, 1.0).unwrap().is_empty());
 
-    match client.knn_by_id(10_000, 2, 0) {
+    match client.knn_by_id(10_000, 2, 0, 1.0) {
         Err(ClientError::Rejected(Rejection::Error(msg))) => {
             assert!(msg.contains("not in database"), "{msg}")
         }
@@ -293,7 +293,7 @@ fn per_connection_errors_are_isolated() {
     }
 
     // ...while existing and new connections keep working.
-    assert!(!client.knn(&good, 2, 0).unwrap().is_empty());
+    assert!(!client.knn(&good, 2, 0, 1.0).unwrap().is_empty());
     let mut fresh = Client::connect(addr).unwrap();
     assert!(fresh.ping().is_ok());
 
@@ -316,7 +316,7 @@ fn client_shutdown_drains_pipelined_work_then_acks_in_order() {
     let q = engine.database().descriptor(3).unwrap().to_vec();
     let in_flight = 30;
     for _ in 0..in_flight {
-        client.send_knn(&q, 5, 0).unwrap();
+        client.send_knn(&q, 5, 0, 1.0).unwrap();
     }
     // Shutdown rides the same pipeline, queued behind the 30 requests:
     // every admitted request must be answered with hits, in order,
@@ -347,7 +347,7 @@ fn requests_after_shutdown_are_refused_explicitly() {
     let mut a = Client::connect(addr).unwrap();
     let mut b = Client::connect(addr).unwrap();
     let q = engine.database().descriptor(0).unwrap().to_vec();
-    assert!(!a.knn(&q, 2, 0).unwrap().is_empty());
+    assert!(!a.knn(&q, 2, 0, 1.0).unwrap().is_empty());
 
     // b asks for shutdown; a's read half is closed by the server, so a
     // subsequent request on a fails at the transport (its write may
@@ -359,7 +359,7 @@ fn requests_after_shutdown_are_refused_explicitly() {
 
     // Connection torn down — explicit at the transport level.
     assert!(
-        a.knn(&q, 2, 0).is_err(),
+        a.knn(&q, 2, 0, 1.0).is_err(),
         "server answered after shutdown completed"
     );
 }
@@ -402,7 +402,7 @@ fn live_store_mutations_over_rpc() {
 
     // Queries see the inserted rows, and hits match the store's own
     // snapshot bit-for-bit.
-    let got = client.knn(&descs[0], 5, 0).unwrap();
+    let got = client.knn(&descs[0], 5, 0, 1.0).unwrap();
     let mut stats = BatchStats::new();
     let want = store
         .snapshot()
@@ -415,7 +415,7 @@ fn live_store_mutations_over_rpc() {
     let victim = got[0].id;
     client.delete(victim).unwrap();
     assert_eq!(client.ping().unwrap().0, 19);
-    let after = client.knn(&descs[0], 5, 0).unwrap();
+    let after = client.knn(&descs[0], 5, 0, 1.0).unwrap();
     assert!(
         after.iter().all(|h| h.id != victim),
         "tombstoned row served"
@@ -432,7 +432,7 @@ fn live_store_mutations_over_rpc() {
     assert!(segments >= 1);
     assert_eq!(rows, 19);
     assert_eq!(client.ping().unwrap().0, 19);
-    let compacted = client.knn(&descs[0], 5, 0).unwrap();
+    let compacted = client.knn(&descs[0], 5, 0, 1.0).unwrap();
     let names: Vec<&str> = compacted.iter().map(|h| h.name.as_str()).collect();
     let want_names: Vec<&str> = after.iter().map(|h| h.name.as_str()).collect();
     assert_eq!(names, want_names, "compaction changed result contents");
@@ -461,7 +461,7 @@ fn static_server_refuses_mutations() {
         }
     }
     // The connection is still usable for queries afterwards.
-    assert!(!client.knn(&d, 3, 0).unwrap().is_empty());
+    assert!(!client.knn(&d, 3, 0, 1.0).unwrap().is_empty());
     handle.shutdown();
 }
 
@@ -473,7 +473,7 @@ fn stats_op_reports_live_counters() {
 
     let q = engine.database().descriptor(5).unwrap().to_vec();
     for _ in 0..7 {
-        client.knn(&q, 3, 0).unwrap();
+        client.knn(&q, 3, 0, 1.0).unwrap();
     }
     let snap = client.stats().unwrap();
     assert_eq!(snap.requests, 7);
@@ -486,5 +486,91 @@ fn stats_op_reports_live_counters() {
         snap.batches
     );
 
+    handle.shutdown();
+}
+
+#[test]
+fn recall_target_one_reply_is_byte_identical_to_exact_over_the_wire() {
+    use cbir_server::protocol::{
+        encode_request, encode_response, read_frame, write_frame, Request, Response,
+    };
+    use std::net::TcpStream;
+
+    let engine = engine(64, IndexKind::VpTree);
+    let handle = spawn(&engine, SchedulerConfig::default());
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+
+    let queries: Vec<Vec<f32>> = (0..6)
+        .map(|i| engine.database().descriptor(i * 7).unwrap().to_vec())
+        .collect();
+    let mut stats = BatchStats::new();
+    let direct = engine.knn_batch(&queries, 5, 1, &mut stats).unwrap();
+
+    for (q, want) in queries.iter().zip(&direct) {
+        // Raw frame exchange: no client-side decode/re-encode in the
+        // loop, so this compares the server's actual reply bytes.
+        let req = Request::Knn {
+            k: 5,
+            deadline_us: 0,
+            recall_target: 1.0,
+            descriptor: q.clone(),
+        };
+        write_frame(&mut stream, &encode_request(&req)).unwrap();
+        let reply = read_frame(&mut stream).unwrap().expect("reply frame");
+
+        // The exact serving path encodes the engine's ranked hits with
+        // both approximate-search counters at zero. A recall target of
+        // 1.0 must produce those bytes exactly.
+        let hits: Vec<Hit> = want
+            .iter()
+            .map(|r| Hit {
+                id: r.id as u64,
+                name: r.name.clone(),
+                label: r.label,
+                distance: r.distance,
+            })
+            .collect();
+        let exact_payload = encode_response(&Response::Hits {
+            hits,
+            coarse_candidates: 0,
+            rerank_evaluations: 0,
+        });
+        assert_eq!(
+            reply, exact_payload,
+            "recall_target=1.0 reply bytes differ from the exact path"
+        );
+    }
+
+    // Sanity check the contrast: an approximate request runs the
+    // two-stage path (nonzero counters, coarse stage truncates the
+    // candidate set below the 64-row corpus), so its bytes differ.
+    let req = Request::Knn {
+        k: 5,
+        deadline_us: 0,
+        recall_target: 0.9,
+        descriptor: queries[0].clone(),
+    };
+    write_frame(&mut stream, &encode_request(&req)).unwrap();
+    let reply = read_frame(&mut stream).unwrap().expect("reply frame");
+    match cbir_server::protocol::decode_response(&reply).unwrap() {
+        Response::Hits {
+            hits,
+            coarse_candidates,
+            rerank_evaluations,
+        } => {
+            assert!(coarse_candidates > 0);
+            assert!(rerank_evaluations > 0);
+            assert!(rerank_evaluations < 64, "coarse stage pruned the corpus");
+            assert_eq!(hits.len(), 5);
+            // The query is database row 0 itself: an L1-self-match at
+            // distance zero sorts first in any candidate set containing
+            // it, and the coarse stage always surfaces the exact query.
+            assert_eq!(hits[0].id, 0);
+            assert_eq!(hits[0].distance, 0.0);
+        }
+        other => panic!("expected hits, got {other:?}"),
+    }
+
+    drop(stream);
     handle.shutdown();
 }

@@ -39,6 +39,56 @@ pub fn clustered(
         .collect()
 }
 
+/// `n` vectors from Gaussian blobs whose *within-cluster* variation is
+/// spatially smooth across the descriptor axis — the spectral shape of
+/// real image descriptors, where neighbouring bins (adjacent colour-
+/// histogram cells, nearby wavelet subbands) are strongly correlated and
+/// signal energy concentrates in the low frequencies. Centres stay
+/// uniform white in `[0, scale)^dim` like [`clustered`], so the *global*
+/// geometry keeps its full intrinsic dimensionality (exact spatial
+/// pruning still collapses); only the within-blob residual is smooth.
+///
+/// Smoothing is a circular `width`-tap moving average over white
+/// Gaussian noise, rescaled by `sqrt(width)` so the per-dimension
+/// standard deviation stays exactly `spread` — `width = 1` degenerates
+/// to [`clustered`]'s white blobs, larger widths push the residual
+/// spectrum toward `1/f²` decay. Round-robin cluster assignment, so
+/// populations are balanced.
+pub fn clustered_smooth(
+    n: usize,
+    dim: usize,
+    clusters: usize,
+    spread: f32,
+    scale: f32,
+    width: usize,
+    seed: u64,
+) -> Vec<Vec<f32>> {
+    assert!(
+        n > 0 && dim > 0 && clusters > 0 && width > 0,
+        "clustered_smooth workload needs n, dim, clusters, width > 0"
+    );
+    let mut rng = Pcg32::new(seed);
+    let centres: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.range_f32(0.0, scale)).collect())
+        .collect();
+    let gain = spread * (width as f32).sqrt();
+    let mut white = vec![0.0f32; dim];
+    (0..n)
+        .map(|i| {
+            let c = &centres[i % clusters];
+            for w in &mut white {
+                *w = rng.normal();
+            }
+            (0..dim)
+                .map(|d| {
+                    let sum: f32 = (0..width).map(|t| white[(d + t) % dim]).sum();
+                    c[d] + sum / width as f32 * gain
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Normalized histogram-like vectors (non-negative, summing to 1) from a
 /// Dirichlet-ish draw — the domain histogram measures expect.
 pub fn histograms(n: usize, dim: usize, concentration: f32, seed: u64) -> Vec<Vec<f32>> {

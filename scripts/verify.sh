@@ -34,6 +34,7 @@ if [ "${SKIP_QUICK_BENCH:-0}" != 1 ]; then
     cargo run --release -q -p cbir-bench --bin exp_serve_throughput -- --quick
     cargo run --release -q -p cbir-bench --bin exp_obs_overhead -- --quick
     cargo run --release -q -p cbir-bench --bin exp_mmap_ingest -- --quick
+    cargo run --release -q -p cbir-bench --bin exp_approx_search -- --quick
 fi
 
 echo "==> server smoke test (generate -> index -> serve -> rpc-query -> shutdown)"
@@ -58,6 +59,20 @@ echo "$KNN_OUT" | grep -q "class-" || { echo "rpc-query knn returned no hits"; e
 BYID_OUT=$("$CBIR" rpc-query "$ADDR" --id 0 -k 2)
 echo "$BYID_OUT" | grep -q "class-" || { echo "rpc-query --id returned no hits"; exit 1; }
 "$CBIR" rpc-ctl "$ADDR" stats >/dev/null
+
+echo "==> approximate-search smoke (rpc-query --recall-target -> counters in stats)"
+# A sub-1.0 recall target must route through the two-stage path: the
+# reply carries per-query candidate counts, and the server's stats
+# export accumulates nonzero coarse/rerank counters.
+APPROX_OUT=$("$CBIR" rpc-query "$ADDR" "$QUERY_IMG" --db "$SMOKE_DIR/photos.cbir" \
+    -k 3 --recall-target 0.9)
+echo "$APPROX_OUT" | grep -q "class-" || { echo "approx rpc-query returned no hits"; exit 1; }
+echo "$APPROX_OUT" | grep -q "approx:" \
+    || { echo "approx rpc-query reply carried no candidate counts"; exit 1; }
+"$CBIR" stats "$ADDR" | grep -q '"coarse_candidates": [1-9]' \
+    || { echo "cbir stats shows no coarse candidates after approx query"; exit 1; }
+"$CBIR" stats "$ADDR" | grep -q '"rerank_evaluations": [1-9]' \
+    || { echo "cbir stats shows no rerank evaluations after approx query"; exit 1; }
 
 echo "==> observability smoke (stats export, explain, traced bit-identity)"
 # Both export formats must parse as non-empty text with the expected

@@ -44,10 +44,12 @@ fn usage() -> ! {
 
   cbir query <db> <image>... [-k N] [--measure l1|l2|linf|chisq|match|cosine|intersect]
                              [--index linear|kd|vp|antipole|rstar|mtree] [--threads N]
-                             [--trace-sample-n N]
+                             [--trace-sample-n N] [--recall-target R]
       rank database images by similarity to the example image(s);
       multiple images run as one batch; --trace-sample-n 1 prints a
-      per-query stage trace to stderr (stdout stays byte-identical)
+      per-query stage trace to stderr (stdout stays byte-identical);
+      --recall-target R in (0,1] trades recall for speed via two-stage
+      coarse-to-fine search (1.0, the default, is exact)
 
   cbir info <db>
       print database statistics
@@ -83,20 +85,25 @@ fn usage() -> ! {
   cbir serve <db-or-segdir> [--mmap] [--port P] [--addr-file F] [--measure M] [--index I]
                   [--max-batch N] [--max-delay-us N] [--queue-cap N] [--threads N]
                   [--idle-timeout-ms N] [--write-timeout-ms N] [--trace-sample-n N]
+                  [--recall-target R]
       serve the database over TCP (CBIRRPC1) with dynamic micro-batching;
       a segment directory (or --mmap, which migrates a database file to
       <db>.seg/ on first use) serves mmap-backed segments with live
       insert/delete/compact RPCs enabled; --port 0 picks an ephemeral
       port, --addr-file writes the bound address; timeout 0 disables
       idle reaping / write timeouts; --trace-sample-n N samples every
-      Nth query into the trace ring (see rpc-ctl explain)
+      Nth query into the trace ring (see rpc-ctl explain);
+      --recall-target R forces every k-NN request to recall target R,
+      overriding what clients ask for
 
   cbir rpc-query <addr> [<image>...] --db <file-or-segdir> [-k N] [--radius R] [--deadline-us D]
-  cbir rpc-query <addr> --id N [-k N] [--deadline-us D] [--retries N]
+  cbir rpc-query <addr> --id N [-k N] [--deadline-us D] [--retries N] [--recall-target R]
       query a running server; example images are extracted locally with
       the pipeline stored in --db (a database file or segment store
       directory), or --id queries by database image id; --retries > 0
-      reconnects and resends on transient failures
+      reconnects and resends on transient failures; --recall-target R
+      in (0,1] requests two-stage approximate search (replies report
+      per-query coarse/rerank candidate counts)
 
   cbir rpc-insert <addr> <image>... --db <file-or-segdir>
       insert example images into a live server, extracted locally with
@@ -332,6 +339,7 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "threads",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
+    let recall_target: f32 = args.flag_parse("recall-target", 1.0);
 
     let trace_every: u64 = args.flag_parse("trace-sample-n", 0);
     if trace_every > 0 {
@@ -348,7 +356,7 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let refs: Vec<&_> = images.iter().collect();
     let queries = engine.database().extract_batch(&refs, threads)?;
     let mut stats = BatchStats::new();
-    let results = engine.knn_batch(&queries, k, threads, &mut stats)?;
+    let results = engine.knn_batch_approx(&queries, k, recall_target, threads, &mut stats)?;
 
     // Traces go to stderr so stdout stays byte-identical with and
     // without sampling (verified by scripts/verify.sh).
@@ -380,6 +388,14 @@ fn cmd_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         if stats.queries() == 1 { "y" } else { "ies" },
         engine.index_kind().name(),
     );
+    let totals = stats.total();
+    if totals.coarse_candidates > 0 {
+        println!(
+            "approx search (recall target {recall_target}): {} coarse candidates, \
+             {} rerank evaluations",
+            totals.coarse_candidates, totals.rerank_evaluations,
+        );
+    }
     Ok(())
 }
 
@@ -620,6 +636,12 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         exec_threads: args.flag_parse("threads", defaults.exec_threads),
         idle_timeout: timeout_flag("idle-timeout-ms", defaults.idle_timeout),
         write_timeout: timeout_flag("write-timeout-ms", defaults.write_timeout),
+        recall_target_override: args.flag("recall-target").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid value for --recall-target: {v}");
+                std::process::exit(2);
+            })
+        }),
     };
 
     let trace_every: u64 = args.flag_parse("trace-sample-n", 0);
@@ -864,6 +886,10 @@ fn print_hits(hits: &[Hit]) {
     println!();
 }
 
+/// Hits plus the optional `(coarse_candidates, rerank_evaluations)`
+/// counts an approximate query reports (absent on the retrying client).
+type HitsWithCounts = (Vec<Hit>, Option<(u64, u64)>);
+
 /// Plain or retrying RPC connection, so `rpc-query` shares one code path.
 enum RpcClient {
     Plain(Client),
@@ -883,27 +909,45 @@ impl RpcClient {
         }
     }
 
+    /// k-NN by id; the plain client also reports per-query approximate
+    /// candidate counts (the retrying client's loop drops them).
     fn knn_by_id(
         &mut self,
         id: usize,
         k: usize,
         deadline_us: u64,
-    ) -> Result<Vec<Hit>, Box<dyn std::error::Error>> {
+        recall_target: f32,
+    ) -> Result<HitsWithCounts, Box<dyn std::error::Error>> {
         match self {
-            RpcClient::Plain(c) => Ok(c.knn_by_id(id, k, deadline_us)?),
-            RpcClient::Retrying(c) => Ok(c.knn_by_id(id, k, deadline_us)?),
+            RpcClient::Plain(c) => {
+                let reply = c.knn_by_id_detailed(id, k, deadline_us, recall_target)?;
+                Ok((
+                    reply.hits,
+                    Some((reply.coarse_candidates, reply.rerank_evaluations)),
+                ))
+            }
+            RpcClient::Retrying(c) => Ok((c.knn_by_id(id, k, deadline_us, recall_target)?, None)),
         }
     }
 
+    /// k-NN over a raw descriptor (counts reported as for
+    /// [`RpcClient::knn_by_id`]).
     fn knn(
         &mut self,
         descriptor: &[f32],
         k: usize,
         deadline_us: u64,
-    ) -> Result<Vec<Hit>, Box<dyn std::error::Error>> {
+        recall_target: f32,
+    ) -> Result<HitsWithCounts, Box<dyn std::error::Error>> {
         match self {
-            RpcClient::Plain(c) => Ok(c.knn(descriptor, k, deadline_us)?),
-            RpcClient::Retrying(c) => Ok(c.knn(descriptor, k, deadline_us)?),
+            RpcClient::Plain(c) => {
+                let reply = c.knn_detailed(descriptor, k, deadline_us, recall_target)?;
+                Ok((
+                    reply.hits,
+                    Some((reply.coarse_candidates, reply.rerank_evaluations)),
+                ))
+            }
+            RpcClient::Retrying(c) => Ok((c.knn(descriptor, k, deadline_us, recall_target)?, None)),
         }
     }
 
@@ -932,17 +976,27 @@ impl RpcClient {
     }
 }
 
+fn print_approx_counts(counts: Option<(u64, u64)>) {
+    if let Some((coarse, rerank)) = counts {
+        if coarse > 0 || rerank > 0 {
+            println!("(approx: {coarse} coarse candidates, {rerank} rerank evaluations)");
+        }
+    }
+}
+
 fn cmd_rpc_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let addr = args.positional.first().unwrap_or_else(|| usage());
     let k: usize = args.flag_parse("k", 10);
     let deadline_us: u64 = args.flag_parse("deadline-us", 0);
     let retries: u32 = args.flag_parse("retries", 0);
+    let recall_target: f32 = args.flag_parse("recall-target", 1.0);
     let mut client = RpcClient::open(addr, retries)?;
 
     if let Some(id) = args.flag("id") {
         let id: usize = id.parse().map_err(|_| format!("invalid --id: {id}"))?;
-        let hits = client.knn_by_id(id, k, deadline_us)?;
+        let (hits, counts) = client.knn_by_id(id, k, deadline_us, recall_target)?;
         print_hits(&hits);
+        print_approx_counts(counts);
         client.report_retries();
         return Ok(());
     }
@@ -968,14 +1022,15 @@ fn cmd_rpc_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         if img_paths.len() > 1 {
             println!("query: {img_path}");
         }
-        let hits = match radius {
+        let (hits, counts) = match radius {
             Some(r) => {
                 let r: f32 = r.parse().map_err(|_| format!("invalid --radius: {r}"))?;
-                client.range(query, r, deadline_us)?
+                (client.range(query, r, deadline_us)?, None)
             }
-            None => client.knn(query, k, deadline_us)?,
+            None => client.knn(query, k, deadline_us, recall_target)?,
         };
         print_hits(&hits);
+        print_approx_counts(counts);
     }
     client.report_retries();
     Ok(())
