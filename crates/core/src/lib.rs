@@ -36,6 +36,7 @@ pub mod faults;
 pub mod feedback;
 pub mod mmap;
 pub mod persist;
+pub mod shard;
 pub mod store;
 
 pub use database::{BatchItem, ImageDatabase, ImageMeta};
@@ -47,6 +48,7 @@ pub use eval::{evaluate_engine, EvalReport};
 pub use feedback::{
     feedback_round, refine_query, refine_query_by_ids, FeedbackRound, RocchioParams,
 };
+pub use shard::{merge_shards, split_database, ShardPlan, ShardScheme};
 pub use store::{
     CompactionStats, CorpusSnapshot, CorpusStore, PinnedView, ServedCorpus, StoreOptions,
 };

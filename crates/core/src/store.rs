@@ -1609,6 +1609,16 @@ impl PinnedView {
         }
     }
 
+    /// The descriptor of row `id`, copied out of the view (the
+    /// `get-descriptor` RPC: a router fetches a query row from the shard
+    /// that owns it before fanning a knn-by-id out to every shard).
+    pub fn descriptor(&self, id: u64) -> Result<Vec<f32>> {
+        match self {
+            PinnedView::Static(e) => e.database().descriptor(id as usize).map(<[f32]>::to_vec),
+            PinnedView::Snapshot(s) => s.descriptor(id),
+        }
+    }
+
     /// Batched k-NN (see [`CorpusSnapshot::knn_batch`]).
     pub fn knn_batch(
         &self,

@@ -33,7 +33,9 @@ fn latency_json(l: &LatencySummary) -> String {
 /// Top-level keys: `enabled`, `trace_sample_n`, `queue_depth`, `indexes`
 /// (array, one object per [`crate::INDEX_NAMES`] slot), `stages` (array,
 /// one object per [`crate::Stage`]), `latency` (object with `knn` and
-/// `range` summaries), `trace_count`.
+/// `range` summaries), `store`, `router` (array, one object per
+/// registered router backend replica; empty outside a router process),
+/// `trace_count`.
 pub fn to_json(snap: &ObsSnapshot) -> String {
     let indexes: Vec<String> = snap
         .indexes
@@ -68,6 +70,30 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
             )
         })
         .collect();
+    let router: Vec<String> = snap
+        .router
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"shard\": {}, \"replica\": \"{}\", \"requests\": {}, \
+                 \"failures\": {}, \"failovers\": {}, \"shed\": {}, \"healthy\": {}, \
+                 \"latency\": {}}}",
+                r.shard,
+                json_escape(&r.role),
+                r.requests,
+                r.failures,
+                r.failovers,
+                r.shed,
+                r.healthy,
+                latency_json(&r.latency)
+            )
+        })
+        .collect();
+    let router = if router.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n  ]", router.join(",\n"))
+    };
     let store = format!(
         "{{\"inserts\": {}, \"deletes\": {}, \"compactions\": {}, \"segments\": {}, \
          \"memtable_rows\": {}, \"tombstones\": {}, \"epoch\": {}}}",
@@ -82,7 +108,7 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
     format!(
         "{{\n  \"enabled\": {},\n  \"trace_sample_n\": {},\n  \"queue_depth\": {},\n  \
          \"indexes\": [\n{}\n  ],\n  \"stages\": [\n{}\n  ],\n  \"latency\": {{\"knn\": {}, \
-         \"range\": {}}},\n  \"store\": {},\n  \"trace_count\": {}\n}}\n",
+         \"range\": {}}},\n  \"store\": {},\n  \"router\": {},\n  \"trace_count\": {}\n}}\n",
         snap.enabled,
         snap.trace_sample_n,
         snap.queue_depth,
@@ -91,6 +117,7 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
         latency_json(&snap.knn_latency),
         latency_json(&snap.range_latency),
         store,
+        router,
         snap.trace_count
     )
 }
@@ -182,6 +209,74 @@ pub fn to_prometheus(snap: &ObsSnapshot) -> String {
         "Nanoseconds spent computing each extraction stage.",
         &stage_rows(&|s| s.nanos),
     );
+
+    if !snap.router.is_empty() {
+        let replica_rows =
+            |f: &dyn Fn(&crate::RouterReplicaCounters) -> u64| -> Vec<(String, u64)> {
+                snap.router
+                    .iter()
+                    .map(|r| {
+                        (
+                            format!(
+                                "{{shard=\"{}\",replica=\"{}\"}}",
+                                r.shard,
+                                prom_escape(&r.role)
+                            ),
+                            f(r),
+                        )
+                    })
+                    .collect()
+            };
+        counter(
+            "cbir_router_requests_total",
+            "Requests answered per router backend replica.",
+            &replica_rows(&|r| r.requests),
+        );
+        counter(
+            "cbir_router_failures_total",
+            "Failed attempts per router backend replica.",
+            &replica_rows(&|r| r.failures),
+        );
+        counter(
+            "cbir_router_failovers_total",
+            "Failovers away from each router backend replica onto a sibling.",
+            &replica_rows(&|r| r.failovers),
+        );
+        counter(
+            "cbir_router_shed_total",
+            "Overloaded sheds observed per router backend replica.",
+            &replica_rows(&|r| r.shed),
+        );
+        out.push_str(
+            "# HELP cbir_router_replica_healthy Whether the router currently considers the \
+             replica healthy.\n# TYPE cbir_router_replica_healthy gauge\n",
+        );
+        for (labels, v) in replica_rows(&|r| r.healthy as u64) {
+            out.push_str(&format!("cbir_router_replica_healthy{labels} {v}\n"));
+        }
+        out.push_str(
+            "# HELP cbir_router_replica_latency_microseconds Per-replica request latency \
+             (log2-bucket estimate).\n\
+             # TYPE cbir_router_replica_latency_microseconds summary\n",
+        );
+        for r in &snap.router {
+            let labels = format!("shard=\"{}\",replica=\"{}\"", r.shard, prom_escape(&r.role));
+            let l = &r.latency;
+            for (q, v) in [("0.5", l.p50_us), ("0.95", l.p95_us), ("0.99", l.p99_us)] {
+                out.push_str(&format!(
+                    "cbir_router_replica_latency_microseconds{{{labels},quantile=\"{q}\"}} {v}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "cbir_router_replica_latency_microseconds_sum{{{labels}}} {}\n",
+                l.sum_us
+            ));
+            out.push_str(&format!(
+                "cbir_router_replica_latency_microseconds_count{{{labels}}} {}\n",
+                l.count
+            ));
+        }
+    }
 
     out.push_str(
         "# HELP cbir_query_latency_microseconds Engine call latency (log2-bucket estimate).\n\
@@ -399,6 +494,34 @@ mod tests {
                 tombstones: 1,
                 epoch: 14,
             },
+            router: vec![
+                crate::RouterReplicaCounters {
+                    shard: 0,
+                    role: "primary".to_string(),
+                    requests: 42,
+                    failures: 1,
+                    failovers: 1,
+                    shed: 2,
+                    healthy: true,
+                    latency: LatencySummary {
+                        count: 42,
+                        sum_us: 8400,
+                        p50_us: 127,
+                        p95_us: 255,
+                        p99_us: 255,
+                    },
+                },
+                crate::RouterReplicaCounters {
+                    shard: 1,
+                    role: "backup-1".to_string(),
+                    requests: 5,
+                    failures: 0,
+                    failovers: 0,
+                    shed: 0,
+                    healthy: false,
+                    latency: LatencySummary::default(),
+                },
+            ],
             trace_count: 1,
         }
     }
@@ -420,9 +543,14 @@ mod tests {
             "\"coarse_candidates\"",
             "\"rerank_evaluations\"",
             "\"p99_us\"",
+            "\"router\"",
+            "\"replica\"",
+            "\"failovers\"",
+            "\"healthy\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
+        assert!(j.contains("\"replica\": \"backup-1\""));
         // Balanced braces/brackets — cheap structural sanity.
         assert_eq!(
             j.matches('{').count(),
@@ -467,6 +595,43 @@ mod tests {
         assert!(p.contains("cbir_store_inserts_total 11"));
         assert!(p.contains("cbir_store_segments 3"));
         assert!(p.contains("cbir_store_epoch 14"));
+    }
+
+    // Schema test for the router metric family: every metric name the
+    // router tier adds must appear with the shard + replica-role labels,
+    // and the labels must carry the fixture's values.
+    #[test]
+    fn prometheus_router_metrics_carry_shard_and_replica_labels() {
+        let p = to_prometheus(&snap());
+        for name in [
+            "cbir_router_requests_total",
+            "cbir_router_failures_total",
+            "cbir_router_failovers_total",
+            "cbir_router_shed_total",
+            "cbir_router_replica_healthy",
+        ] {
+            assert!(
+                p.contains(&format!("{name}{{shard=\"0\",replica=\"primary\"}}")),
+                "missing primary sample for {name}"
+            );
+            assert!(
+                p.contains(&format!("{name}{{shard=\"1\",replica=\"backup-1\"}}")),
+                "missing backup sample for {name}"
+            );
+        }
+        assert!(p.contains("cbir_router_requests_total{shard=\"0\",replica=\"primary\"} 42"));
+        assert!(p.contains("cbir_router_replica_healthy{shard=\"1\",replica=\"backup-1\"} 0"));
+        assert!(p.contains(
+            "cbir_router_replica_latency_microseconds{shard=\"0\",replica=\"primary\",quantile=\"0.5\"} 127"
+        ));
+        assert!(p.contains(
+            "cbir_router_replica_latency_microseconds_count{shard=\"0\",replica=\"primary\"} 42"
+        ));
+        // A snapshot with no registered replicas emits no router family
+        // at all (no empty HELP/TYPE stubs).
+        let mut bare = snap();
+        bare.router.clear();
+        assert!(!to_prometheus(&bare).contains("cbir_router_"));
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub use hist::{bucket_bound, bucket_of, HistSnapshot, LogHistogram, LOG2_BUCKETS
 pub use trace::{QueryTrace, TraceSpan, TRACE_RING_CAP};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use trace::TraceRing;
 
@@ -224,6 +225,23 @@ impl StoreSlot {
     }
 }
 
+/// One router backend replica's counters. Unlike the fixed index/stage
+/// slots, router slots are registered dynamically (shard count and replica
+/// fan-out are deployment choices, not compile-time constants); the
+/// registry holds them behind a mutex that is only taken at registration
+/// and snapshot time — recording itself is relaxed atomics on an `Arc`'d
+/// slot held by the router, so the query hot path never locks.
+struct RouterSlot {
+    shard: u32,
+    role: String,
+    requests: AtomicU64,
+    failures: AtomicU64,
+    failovers: AtomicU64,
+    shed: AtomicU64,
+    healthy: AtomicU64,
+    latency: LogHistogram,
+}
+
 struct Registry {
     enabled: AtomicBool,
     indexes: [IndexSlot; INDEX_NAMES.len()],
@@ -234,6 +252,8 @@ struct Registry {
     store: StoreSlot,
     traces: TraceRing,
 }
+
+static ROUTER_SLOTS: Mutex<Vec<Arc<RouterSlot>>> = Mutex::new(Vec::new());
 
 static REGISTRY: Registry = Registry {
     enabled: AtomicBool::new(true),
@@ -462,6 +482,90 @@ pub fn push_trace(trace: QueryTrace) {
     REGISTRY.traces.push(trace);
 }
 
+/// A recording handle for one router backend replica, obtained from
+/// [`router_replica`]. Cloning is cheap (`Arc`); recording is relaxed
+/// atomics and never locks.
+#[derive(Clone)]
+pub struct RouterReplicaHandle {
+    slot: Arc<RouterSlot>,
+}
+
+impl RouterReplicaHandle {
+    /// Record one request answered by this replica, with its end-to-end
+    /// latency in microseconds. No-op when disabled.
+    #[inline]
+    pub fn request_ok(&self, latency_us: u64) {
+        if !enabled() {
+            return;
+        }
+        self.slot.requests.fetch_add(1, Ordering::Relaxed);
+        self.slot.latency.record(latency_us);
+    }
+
+    /// Record one failed attempt against this replica (transport error or
+    /// terminal rejection). No-op when disabled.
+    #[inline]
+    pub fn failure(&self) {
+        if !enabled() {
+            return;
+        }
+        self.slot.failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one failover *away* from this replica onto a sibling.
+    /// No-op when disabled.
+    #[inline]
+    pub fn failover(&self) {
+        if !enabled() {
+            return;
+        }
+        self.slot.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one `Overloaded` shed observed from this replica. No-op
+    /// when disabled.
+    #[inline]
+    pub fn shed(&self) {
+        if !enabled() {
+            return;
+        }
+        self.slot.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Update the health gauge (`true` = considered healthy). Recorded
+    /// even when disabled: health is routing state, not a sample.
+    #[inline]
+    pub fn set_healthy(&self, healthy: bool) {
+        self.slot.healthy.store(healthy as u64, Ordering::Relaxed);
+    }
+}
+
+/// Register (or look up) the counter slot for router backend replica
+/// `role` of shard `shard` and return a recording handle. Re-registering
+/// the same `(shard, role)` pair returns the existing slot, so repeated
+/// router spawns in one process (tests, benches) do not grow the
+/// registry. New replicas start healthy.
+pub fn router_replica(shard: u32, role: &str) -> RouterReplicaHandle {
+    let mut slots = ROUTER_SLOTS.lock().unwrap();
+    if let Some(s) = slots.iter().find(|s| s.shard == shard && s.role == role) {
+        return RouterReplicaHandle {
+            slot: Arc::clone(s),
+        };
+    }
+    let slot = Arc::new(RouterSlot {
+        shard,
+        role: role.to_string(),
+        requests: AtomicU64::new(0),
+        failures: AtomicU64::new(0),
+        failovers: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        healthy: AtomicU64::new(1),
+        latency: LogHistogram::new(),
+    });
+    slots.push(Arc::clone(&slot));
+    RouterReplicaHandle { slot }
+}
+
 /// The most recently captured trace, if any.
 pub fn latest_trace() -> Option<QueryTrace> {
     REGISTRY.traces.latest()
@@ -554,6 +658,28 @@ pub struct StoreCounters {
     pub epoch: u64,
 }
 
+/// Counters of one router backend replica at snapshot time, in
+/// registration order (shard-major for a router spawned normally).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouterReplicaCounters {
+    /// Shard this replica serves.
+    pub shard: u32,
+    /// Replica role within the shard (`"primary"`, `"backup-1"`, …).
+    pub role: String,
+    /// Requests this replica answered successfully.
+    pub requests: u64,
+    /// Failed attempts against this replica.
+    pub failures: u64,
+    /// Failovers away from this replica onto a sibling.
+    pub failovers: u64,
+    /// `Overloaded` sheds observed from this replica.
+    pub shed: u64,
+    /// Gauge: whether the router currently considers the replica healthy.
+    pub healthy: bool,
+    /// Per-replica request latency summary.
+    pub latency: LatencySummary,
+}
+
 /// A point-in-time copy of every registry counter.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ObsSnapshot {
@@ -573,6 +699,9 @@ pub struct ObsSnapshot {
     pub range_latency: LatencySummary,
     /// Segment-store counters and gauges.
     pub store: StoreCounters,
+    /// Per-replica router counters (empty in processes that never
+    /// registered any, i.e. everything but a router).
+    pub router: Vec<RouterReplicaCounters>,
     /// Traces currently held in the ring.
     pub trace_count: u64,
 }
@@ -604,12 +733,28 @@ pub fn snapshot() -> ObsSnapshot {
             nanos: s.nanos.load(Ordering::Relaxed),
         })
         .collect();
+    let router = ROUTER_SLOTS
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|s| RouterReplicaCounters {
+            shard: s.shard,
+            role: s.role.clone(),
+            requests: s.requests.load(Ordering::Relaxed),
+            failures: s.failures.load(Ordering::Relaxed),
+            failovers: s.failovers.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            healthy: s.healthy.load(Ordering::Relaxed) != 0,
+            latency: LatencySummary::from_hist(&s.latency.snapshot()),
+        })
+        .collect();
     ObsSnapshot {
         enabled: enabled(),
         trace_sample_n: trace_sample_n(),
         queue_depth: REGISTRY.queue_depth.load(Ordering::Relaxed),
         indexes,
         stages,
+        router,
         knn_latency: LatencySummary::from_hist(&REGISTRY.knn_latency.snapshot()),
         range_latency: LatencySummary::from_hist(&REGISTRY.range_latency.snapshot()),
         store: StoreCounters {
@@ -654,6 +799,10 @@ pub fn reset() {
     REGISTRY.store.memtable_rows.store(0, Ordering::Relaxed);
     REGISTRY.store.tombstones.store(0, Ordering::Relaxed);
     REGISTRY.store.epoch.store(0, Ordering::Relaxed);
+    // Drop router replica registrations entirely: shard topology is
+    // per-router-spawn state, and a fresh harness run should not inherit
+    // slots from a previous topology.
+    ROUTER_SLOTS.lock().unwrap().clear();
     REGISTRY.traces.reset();
 }
 
@@ -751,6 +900,39 @@ mod tests {
         assert_eq!(after.tombstones, 2);
         assert_eq!(after.epoch, 9);
         set_store_state(0, 0, 0, 0);
+    }
+
+    #[test]
+    fn router_replica_slots_register_once_and_accumulate() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        let h = router_replica(7, "primary");
+        let before = snapshot()
+            .router
+            .into_iter()
+            .find(|r| r.shard == 7 && r.role == "primary")
+            .expect("slot registered");
+        assert!(before.healthy);
+        h.request_ok(120);
+        h.failure();
+        h.failover();
+        h.shed();
+        h.set_healthy(false);
+        // Same (shard, role) resolves to the same slot.
+        let h2 = router_replica(7, "primary");
+        h2.request_ok(80);
+        let after = snapshot()
+            .router
+            .into_iter()
+            .find(|r| r.shard == 7 && r.role == "primary")
+            .unwrap();
+        assert_eq!(after.requests - before.requests, 2);
+        assert_eq!(after.failures - before.failures, 1);
+        assert_eq!(after.failovers - before.failovers, 1);
+        assert_eq!(after.shed - before.shed, 1);
+        assert!(!after.healthy);
+        assert!(after.latency.count >= before.latency.count + 2);
+        h.set_healthy(true);
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Replica groups and shard-level failover.
+//!
+//! Each shard is served by one or more replica backends holding the
+//! *same* per-shard store. A [`ShardClient`] owns one [`Replica`] per
+//! backend address; every replica keeps a [`ClientPool`] of warm
+//! connections plus a health state with cooldown. A request is tried on
+//! the preferred (round-robin over healthy) replica first; failures
+//! classified retryable by [`should_failover`] — the existing
+//! [`ClientError::is_transient`] set plus a draining backend's
+//! `ShuttingDown` rejection — move the request to a sibling replica and
+//! put the failed one on cooldown. Because every replica of a shard
+//! answers queries identically, failover is invisible in the reply
+//! bytes: only latency and the per-replica observability counters show
+//! it happened.
+
+use cbir_obs::{router_replica, RouterReplicaHandle};
+use cbir_server::{Client, ClientError, ClientPool, ClientResult, Rejection};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Whether an error on one replica justifies retrying the request on a
+/// sibling replica. This is [`ClientError::is_transient`] — lost
+/// connections, timeouts, refused connects, overload shedding — plus
+/// `ShuttingDown`: a *draining* backend rejects new work permanently
+/// (so the per-connection retry loop rightly gives up), but a sibling
+/// replica that is not draining can still answer.
+pub fn should_failover(err: &ClientError) -> bool {
+    err.is_transient() || matches!(err, ClientError::Rejected(Rejection::ShuttingDown(_)))
+}
+
+/// One backend process serving a shard: its address, pooled
+/// connections, health state, and observability handle.
+pub struct Replica {
+    addr: String,
+    role: String,
+    pool: ClientPool,
+    /// Monotonic-clock deadline (microseconds since router start) until
+    /// which this replica is considered unhealthy; 0 = healthy.
+    unhealthy_until_us: AtomicU64,
+    obs: RouterReplicaHandle,
+}
+
+impl Replica {
+    fn new(shard: u32, index: usize, addr: String, pool_size: usize) -> Replica {
+        let role = if index == 0 {
+            "primary".to_string()
+        } else {
+            format!("backup-{index}")
+        };
+        let obs = router_replica(shard, &role);
+        Replica {
+            pool: ClientPool::new(addr.clone(), pool_size),
+            addr,
+            role,
+            unhealthy_until_us: AtomicU64::new(0),
+            obs,
+        }
+    }
+
+    /// The backend address this replica dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// `"primary"` for the first address of a shard, `"backup-N"` after.
+    pub fn role(&self) -> &str {
+        &self.role
+    }
+}
+
+/// The scatter side of one shard: replicas plus failover policy.
+pub struct ShardClient {
+    shard: u32,
+    replicas: Vec<Replica>,
+    next: AtomicUsize,
+    cooldown: Duration,
+    /// Shared monotonic epoch for the cooldown timestamps.
+    epoch: Instant,
+}
+
+impl ShardClient {
+    /// Build the client for `shard` over its replica addresses (the
+    /// first is the primary). `cooldown` is how long a failed replica
+    /// sits out before being preferred again; `pool_size` caps the warm
+    /// connections kept per replica (size it to the expected front-side
+    /// concurrency, since every in-flight request checks one out).
+    pub fn new(
+        shard: u32,
+        addrs: Vec<String>,
+        cooldown: Duration,
+        pool_size: usize,
+    ) -> ShardClient {
+        assert!(!addrs.is_empty(), "shard {shard} has no replicas");
+        let replicas = addrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, addr)| Replica::new(shard, i, addr, pool_size))
+            .collect();
+        ShardClient {
+            shard,
+            replicas,
+            next: AtomicUsize::new(0),
+            cooldown,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The shard index this client scatters to.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// The configured replicas, primary first.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn is_healthy(&self, r: &Replica) -> bool {
+        let until = r.unhealthy_until_us.load(Ordering::Relaxed);
+        until == 0 || self.now_us() >= until
+    }
+
+    fn mark_unhealthy(&self, r: &Replica) {
+        let until = self.now_us() + self.cooldown.as_micros() as u64;
+        r.unhealthy_until_us.store(until.max(1), Ordering::Relaxed);
+        // A replica that just failed may hold more broken connections.
+        r.pool.clear();
+        r.obs.set_healthy(false);
+    }
+
+    fn mark_healthy(&self, r: &Replica) {
+        if r.unhealthy_until_us.swap(0, Ordering::Relaxed) != 0 {
+            r.obs.set_healthy(true);
+        }
+    }
+
+    /// Run `op` against this shard with replica failover.
+    ///
+    /// Candidate order is round-robin over the currently healthy
+    /// replicas; replicas on cooldown are appended as a last resort so
+    /// a shard whose every replica recently failed still gets one
+    /// attempt per replica rather than an unconditional error. Per
+    /// candidate, a `ConnectionLost` on the **first** try is retried
+    /// once on a freshly dialed connection — a pooled idle connection
+    /// may have been reaped by the backend between requests, which is
+    /// not evidence the replica is down. Any further failover-worthy
+    /// error puts the replica on cooldown and moves on; a
+    /// non-failover error (explicit server error, deadline expiry,
+    /// protocol violation) is returned as-is, since every sibling
+    /// would answer it identically.
+    pub fn call<T>(&self, mut op: impl FnMut(&mut Client) -> ClientResult<T>) -> ClientResult<T> {
+        let n = self.replicas.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
+        let mut order: Vec<usize> = (0..n).map(|i| (start + i) % n).collect();
+        // Healthy candidates first, cooled-down ones as a last resort.
+        order.sort_by_key(|&i| !self.is_healthy(&self.replicas[i]));
+
+        let mut last_err: Option<ClientError> = None;
+        for (rank, &i) in order.iter().enumerate() {
+            let replica = &self.replicas[i];
+            if rank > 0 {
+                replica.obs.failover();
+            }
+            match self.try_replica(replica, &mut op) {
+                Ok(v) => {
+                    self.mark_healthy(replica);
+                    return Ok(v);
+                }
+                Err(e) if should_failover(&e) => {
+                    if matches!(&e, ClientError::Rejected(Rejection::Overloaded(_))) {
+                        replica.obs.shed();
+                    }
+                    replica.obs.failure();
+                    self.mark_unhealthy(replica);
+                    last_err = Some(e);
+                }
+                Err(e) => {
+                    replica.obs.failure();
+                    return Err(e);
+                }
+            }
+        }
+        Err(last_err.expect("at least one replica was tried"))
+    }
+
+    /// One attempt on one replica, with the single stale-connection
+    /// retry described on [`ShardClient::call`].
+    fn try_replica<T>(
+        &self,
+        replica: &Replica,
+        op: &mut impl FnMut(&mut Client) -> ClientResult<T>,
+    ) -> ClientResult<T> {
+        let mut fresh_dialed = false;
+        let mut client = match replica.pool.get() {
+            Ok(c) => c,
+            Err(e) => return Err(ClientError::from(e)),
+        };
+        loop {
+            let started = Instant::now();
+            match op(&mut client) {
+                Ok(v) => {
+                    replica.obs.request_ok(started.elapsed().as_micros() as u64);
+                    replica.pool.put(client);
+                    return Ok(v);
+                }
+                Err(ClientError::Rejected(r)) => {
+                    // Explicit reply: the connection stream is still in
+                    // sync, so it can be reused.
+                    replica.pool.put(client);
+                    return Err(ClientError::Rejected(r));
+                }
+                Err(e @ ClientError::ConnectionLost(_)) if !fresh_dialed => {
+                    // Could be an idle-reaped pooled connection; one
+                    // retry on a guaranteed-fresh dial tells a stale
+                    // connection apart from a dead replica.
+                    drop(client);
+                    client = match Client::connect(replica.addr.as_str()) {
+                        Ok(c) => c,
+                        Err(_) => return Err(e),
+                    };
+                    fresh_dialed = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Run `op` once on *every* replica (healthy or not), collecting
+    /// per-replica outcomes — the fan-out shape of stats aggregation,
+    /// where each backend's counters matter individually.
+    pub fn for_each_replica<T>(
+        &self,
+        mut op: impl FnMut(&mut Client) -> ClientResult<T>,
+    ) -> Vec<(String, ClientResult<T>)> {
+        self.replicas
+            .iter()
+            .map(|replica| {
+                let out = self.try_replica(replica, &mut op);
+                match &out {
+                    Ok(_) => self.mark_healthy(replica),
+                    Err(e) if should_failover(e) => {
+                        replica.obs.failure();
+                        self.mark_unhealthy(replica);
+                    }
+                    Err(_) => replica.obs.failure(),
+                }
+                (replica.role.clone(), out)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failover_classification_extends_is_transient_with_shutting_down() {
+        let lost = ClientError::ConnectionLost("gone".into());
+        assert!(should_failover(&lost));
+        let shed = ClientError::Rejected(Rejection::Overloaded("queue full".into()));
+        assert!(should_failover(&shed));
+        // ShuttingDown is NOT transient for a single connection (the
+        // backend will not come back) but IS failover-worthy (a sibling
+        // replica is not draining).
+        let drain = ClientError::Rejected(Rejection::ShuttingDown("draining".into()));
+        assert!(!drain.is_transient());
+        assert!(should_failover(&drain));
+        // Explicit errors and deadline expiry would repeat identically
+        // on any replica: no failover.
+        assert!(!should_failover(&ClientError::Rejected(Rejection::Error(
+            "bad dim".into()
+        ))));
+        assert!(!should_failover(&ClientError::Rejected(
+            Rejection::DeadlineExpired("late".into())
+        )));
+        assert!(!should_failover(&ClientError::Protocol("junk".into())));
+    }
+
+    #[test]
+    fn roles_are_primary_then_numbered_backups() {
+        let sc = ShardClient::new(
+            7,
+            vec![
+                "127.0.0.1:1".into(),
+                "127.0.0.1:2".into(),
+                "127.0.0.1:3".into(),
+            ],
+            Duration::from_millis(100),
+            4,
+        );
+        let roles: Vec<&str> = sc.replicas().iter().map(Replica::role).collect();
+        assert_eq!(roles, ["primary", "backup-1", "backup-2"]);
+        assert_eq!(sc.replicas()[1].addr(), "127.0.0.1:2");
+    }
+
+    #[test]
+    fn cooldown_marks_and_recovers() {
+        let sc = ShardClient::new(
+            0,
+            vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+            Duration::from_millis(20),
+            4,
+        );
+        let r = &sc.replicas()[0];
+        assert!(sc.is_healthy(r));
+        sc.mark_unhealthy(r);
+        assert!(!sc.is_healthy(r));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(sc.is_healthy(r), "cooldown must expire");
+        sc.mark_healthy(r);
+        assert!(sc.is_healthy(r));
+    }
+}

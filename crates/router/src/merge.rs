@@ -1,0 +1,209 @@
+//! The k-way result merge — the heart of the bit-identity contract.
+//!
+//! Every backend returns hits sorted by the tie-break rule documented in
+//! `cbir_index` (ascending `f32::total_cmp` on distance, then ascending
+//! id), and the shard plan's local→global id map is monotone per shard,
+//! so each translated per-shard list arrives here already in
+//! `(distance, global id)` order. Merging with **exactly the same
+//! comparator** therefore reproduces, element for element and bit for
+//! bit, the prefix a single-node search over the union corpus would
+//! have returned: every union hit appears in its owning shard's top-k,
+//! and ordering between shards is settled by the same rule that settles
+//! it inside one node.
+
+use cbir_server::Hit;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The documented result order: ascending distance under
+/// `f32::total_cmp`, ties broken by ascending id. This must stay
+/// byte-for-byte the comparator `cbir_index`/`cbir_core` sort results
+/// with — bit-identity of router replies hangs on it.
+#[inline]
+pub fn hit_order(a: &Hit, b: &Hit) -> Ordering {
+    a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id))
+}
+
+/// One cursor into a per-shard list, ordered for the min-heap.
+struct Head<'a> {
+    list: &'a [Hit],
+    pos: usize,
+}
+
+impl Head<'_> {
+    fn hit(&self) -> &Hit {
+        &self.list[self.pos]
+    }
+}
+
+impl PartialEq for Head<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Head<'_> {}
+impl PartialOrd for Head<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, we pop the smallest.
+        hit_order(other.hit(), self.hit())
+    }
+}
+
+/// Merge per-shard sorted hit lists into the union's first `limit` hits
+/// (`None` = all of them, the range-search case). Input lists must each
+/// be sorted by [`hit_order`] — which shard replies, translated through
+/// a monotone id map, already are. Empty lists are fine; when `limit`
+/// exceeds the total hit count every hit is returned.
+pub fn kway_merge(lists: &[Vec<Hit>], limit: Option<usize>) -> Vec<Hit> {
+    debug_assert!(lists.iter().all(|l| l
+        .windows(2)
+        .all(|w| hit_order(&w[0], &w[1]) != Ordering::Greater)));
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let want = limit.unwrap_or(total).min(total);
+    let mut heap: BinaryHeap<Head<'_>> = lists
+        .iter()
+        .filter(|l| !l.is_empty())
+        .map(|l| Head { list: l, pos: 0 })
+        .collect();
+    let mut out = Vec::with_capacity(want);
+    while out.len() < want {
+        let mut head = heap.pop().expect("want <= total");
+        out.push(head.hit().clone());
+        head.pos += 1;
+        if head.pos < head.list.len() {
+            heap.push(head);
+        }
+    }
+    out
+}
+
+/// Merge per-shard top-k lists into the union top-k.
+pub fn merge_topk(lists: &[Vec<Hit>], k: usize) -> Vec<Hit> {
+    kway_merge(lists, Some(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(id: u64, distance: f32) -> Hit {
+        Hit {
+            id,
+            name: format!("img-{id}"),
+            label: id.is_multiple_of(2).then_some(id as u32),
+            distance,
+        }
+    }
+
+    /// What a single node over the union corpus would return: sort the
+    /// union with the documented comparator, truncate.
+    fn single_node(lists: &[Vec<Hit>], k: usize) -> Vec<Hit> {
+        let mut union: Vec<Hit> = lists.iter().flatten().cloned().collect();
+        union.sort_by(hit_order);
+        union.truncate(k);
+        union
+    }
+
+    fn assert_bit_identical(a: &[Hit], b: &[Hit]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.label, y.label);
+            // Bit-level, not ==: distinguishes -0.0 from 0.0 and would
+            // catch any reordering that float == hides.
+            assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn duplicate_distances_across_shards_tie_break_on_id() {
+        // Three shards all reporting distance 0.5; ids interleave across
+        // shards, so the merged order is settled purely by the id rule.
+        let lists = vec![
+            vec![hit(0, 0.5), hit(3, 0.5), hit(9, 0.75)],
+            vec![hit(1, 0.5), hit(4, 0.5)],
+            vec![hit(2, 0.5), hit(5, 0.5), hit(6, 0.5)],
+        ];
+        for k in [1, 3, 5, 7, 8] {
+            assert_bit_identical(&merge_topk(&lists, k), &single_node(&lists, k));
+        }
+        let top = merge_topk(&lists, 7);
+        assert_eq!(
+            top.iter().map(|h| h.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn negative_zero_orders_before_positive_zero() {
+        // total_cmp orders -0.0 < 0.0; a merge comparing with plain
+        // PartialOrd (or comparing ids first) would diverge from the
+        // single-node order here.
+        let lists = vec![vec![hit(7, 0.0_f32)], vec![hit(2, -0.0_f32)]];
+        let merged = merge_topk(&lists, 2);
+        assert_eq!(merged[0].id, 2);
+        assert_eq!(merged[0].distance.to_bits(), (-0.0_f32).to_bits());
+        assert_bit_identical(&merged, &single_node(&lists, 2));
+    }
+
+    #[test]
+    fn k_larger_than_total_hits_returns_everything() {
+        let lists = vec![vec![hit(0, 0.1)], vec![hit(1, 0.2), hit(3, 0.9)]];
+        let merged = merge_topk(&lists, 100);
+        assert_eq!(merged.len(), 3);
+        assert_bit_identical(&merged, &single_node(&lists, 100));
+    }
+
+    #[test]
+    fn empty_shards_and_empty_input() {
+        let lists = vec![Vec::new(), vec![hit(4, 0.3), hit(8, 0.6)], Vec::new()];
+        assert_bit_identical(&merge_topk(&lists, 5), &single_node(&lists, 5));
+        assert!(merge_topk(&[], 5).is_empty());
+        assert!(merge_topk(&[Vec::new(), Vec::new()], 5).is_empty());
+        assert!(merge_topk(&lists, 0).is_empty());
+    }
+
+    #[test]
+    fn unlimited_merge_returns_full_sorted_union() {
+        let lists = vec![
+            vec![hit(0, 0.25), hit(6, 0.5)],
+            vec![hit(1, 0.125), hit(5, 0.5)],
+            vec![hit(2, 1.5)],
+        ];
+        let merged = kway_merge(&lists, None);
+        assert_bit_identical(&merged, &single_node(&lists, usize::MAX));
+    }
+
+    #[test]
+    fn randomized_merges_match_single_node_bitwise() {
+        // Deterministic xorshift; duplicate distances are injected on
+        // purpose (quantized grid) so ties are the common case.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let shards = 1 + (next() % 5) as usize;
+            let mut lists = vec![Vec::new(); shards];
+            let rows = next() % 40;
+            for id in 0..rows {
+                let d = (next() % 8) as f32 * 0.125;
+                lists[(next() % shards as u64) as usize].push(hit(id, d));
+            }
+            for l in &mut lists {
+                l.sort_by(hit_order);
+            }
+            let k = (next() % 50) as usize;
+            assert_bit_identical(&merge_topk(&lists, k), &single_node(&lists, k));
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! End-to-end bit-identity and failover tests: real backend servers,
+//! a real router, and **frame-level** comparisons — the reply payload
+//! bytes a client reads from the router must equal, byte for byte, the
+//! bytes a single node serving the union corpus would have sent.
+
+use cbir_core::{
+    split_database, ImageDatabase, ImageMeta, IndexKind, QueryEngine, ShardPlan, ShardScheme,
+};
+use cbir_distance::Measure;
+use cbir_features::Pipeline;
+use cbir_router::{Router, RouterConfig};
+use cbir_server::protocol::{encode_request, read_frame, write_frame, Request};
+use cbir_server::{Client, SchedulerConfig, Server, ServerHandle};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A union corpus with deliberate exact-duplicate rows, so distance
+/// ties across shard boundaries — the case the `(distance, id)`
+/// tie-break exists for — are the norm rather than a fluke.
+fn union_db(n: usize) -> ImageDatabase {
+    let pipeline = Pipeline::color_histogram_default();
+    let dim = pipeline.dim();
+    let base = cbir_workload::histograms(n, dim, 1.0, 0xC0FFEE);
+    let mut descriptors = Vec::with_capacity(n * dim);
+    let mut metas = Vec::with_capacity(n);
+    for (g, v) in base.iter().enumerate() {
+        // Every third row duplicates an earlier row bit-for-bit.
+        let row = if g % 3 == 0 && g > 0 { &base[g / 3] } else { v };
+        descriptors.extend_from_slice(row);
+        metas.push(ImageMeta {
+            name: format!("img-{g}"),
+            label: (g % 4 != 0).then_some((g % 11) as u32),
+        });
+    }
+    ImageDatabase::from_parts(pipeline, false, descriptors, metas).unwrap()
+}
+
+fn spawn_backend(db: ImageDatabase) -> ServerHandle {
+    let engine = QueryEngine::build(db, IndexKind::Linear, Measure::L1).unwrap();
+    Server::spawn(engine, "127.0.0.1:0", SchedulerConfig::default()).unwrap()
+}
+
+/// Send one encoded request frame, return the raw reply payload bytes.
+fn raw_call(addr: SocketAddr, req: &Request) -> Vec<u8> {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    write_frame(&mut writer, &encode_request(req)).unwrap();
+    read_frame(&mut BufReader::new(stream)).unwrap().unwrap()
+}
+
+/// The request mix every topology is checked against: searches with
+/// heavy ties, k larger than the corpus, range, knn-by-id on ids owned
+/// by different shards, point reads, and liveness.
+fn request_mix(db: &ImageDatabase) -> Vec<Request> {
+    let n = db.len();
+    let q_dup = db.descriptor(3).unwrap().to_vec(); // duplicated row
+    let q_other = db.descriptor(n - 1).unwrap().to_vec();
+    vec![
+        Request::Knn {
+            k: 1,
+            deadline_us: 0,
+            recall_target: 1.0,
+            descriptor: q_dup.clone(),
+        },
+        Request::Knn {
+            k: 7,
+            deadline_us: 0,
+            recall_target: 1.0,
+            descriptor: q_dup.clone(),
+        },
+        Request::Knn {
+            k: (n + 50) as u32, // k > total hits
+            deadline_us: 0,
+            recall_target: 1.0,
+            descriptor: q_other.clone(),
+        },
+        Request::Range {
+            radius: 0.6,
+            deadline_us: 0,
+            descriptor: q_dup,
+        },
+        Request::Range {
+            radius: 0.0, // exact duplicates only
+            deadline_us: 0,
+            descriptor: q_other,
+        },
+        Request::KnnById {
+            k: 5,
+            deadline_us: 0,
+            recall_target: 1.0,
+            id: 0,
+        },
+        Request::KnnById {
+            k: 5,
+            deadline_us: 0,
+            recall_target: 1.0,
+            id: (n - 2) as u64,
+        },
+        Request::GetDescriptor { id: 7 },
+        Request::Ping,
+    ]
+}
+
+#[test]
+fn router_replies_are_frame_level_bit_identical_to_single_node() {
+    let union = union_db(61);
+    let single = spawn_backend(union.clone());
+    for scheme in [ShardScheme::Mod, ShardScheme::Range] {
+        for shards in [2usize, 4] {
+            let plan = ShardPlan::new(scheme, union.dim(), union.len() as u64, shards).unwrap();
+            let parts = split_database(&union, &plan).unwrap();
+            let backends: Vec<ServerHandle> = parts.into_iter().map(spawn_backend).collect();
+            let addrs: Vec<Vec<String>> = backends
+                .iter()
+                .map(|b| vec![b.local_addr().to_string()])
+                .collect();
+            let router =
+                Router::spawn(plan, addrs, "127.0.0.1:0", RouterConfig::default()).unwrap();
+            for req in request_mix(&union) {
+                let want = raw_call(single.local_addr(), &req);
+                let got = raw_call(router.local_addr(), &req);
+                assert_eq!(
+                    got, want,
+                    "{scheme} x{shards}: reply bytes diverged for {req:?}"
+                );
+            }
+            router.shutdown();
+            for b in backends {
+                b.shutdown();
+            }
+        }
+    }
+    single.shutdown();
+}
+
+#[test]
+fn replica_failure_mid_run_is_invisible_in_reply_bytes() {
+    let union = union_db(40);
+    let single = spawn_backend(union.clone());
+    let plan = ShardPlan::new(ShardScheme::Mod, union.dim(), union.len() as u64, 2).unwrap();
+    let parts = split_database(&union, &plan).unwrap();
+    // Two replicas per shard: each replica serves its own engine over
+    // the same shard rows.
+    let backends: Vec<Vec<ServerHandle>> = parts
+        .into_iter()
+        .map(|db| vec![spawn_backend(db.clone()), spawn_backend(db)])
+        .collect();
+    let addrs: Vec<Vec<String>> = backends
+        .iter()
+        .map(|group| group.iter().map(|b| b.local_addr().to_string()).collect())
+        .collect();
+    let router = Router::spawn(
+        plan,
+        addrs,
+        "127.0.0.1:0",
+        RouterConfig {
+            cooldown: Duration::from_millis(200),
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mix = request_mix(&union);
+    // Warm the pools (and the baseline) while every replica is alive.
+    for req in &mix {
+        assert_eq!(
+            raw_call(router.local_addr(), req),
+            raw_call(single.local_addr(), req)
+        );
+    }
+
+    // Kill shard 0's primary outright. Pooled connections to it die
+    // mid-stream; fresh dials are refused. Every query must still
+    // answer, bit-identically, via the backup replica.
+    let shard0_primary_addr = backends[0][0].local_addr();
+    let mut groups = backends;
+    let primary = groups[0].remove(0);
+    primary.shutdown();
+    // The socket is really gone.
+    assert!(
+        Client::connect(shard0_primary_addr).is_err() || {
+            // A TIME_WAIT accept backlog can still accept; a ping must fail.
+            let mut c = Client::connect(shard0_primary_addr).unwrap();
+            c.ping().is_err()
+        }
+    );
+
+    // Several rounds so the round-robin rotation lands on the dead
+    // primary first at least once (2 replicas alternate start points).
+    for _ in 0..4 {
+        for req in &mix {
+            assert_eq!(
+                raw_call(router.local_addr(), req),
+                raw_call(single.local_addr(), req),
+                "reply bytes diverged after killing shard 0 primary"
+            );
+        }
+    }
+
+    // The failover is visible where it should be: the per-replica
+    // observability slots (shard 0 primary marked unhealthy and/or
+    // failed, with failovers recorded on the replicas that covered).
+    let snap = cbir_obs::snapshot();
+    let s0p = snap
+        .router
+        .iter()
+        .find(|r| r.shard == 0 && r.role == "primary")
+        .expect("router obs slot for shard 0 primary");
+    assert!(
+        s0p.failures > 0 || !s0p.healthy,
+        "killing shard 0 primary must be recorded: {s0p:?}"
+    );
+    let total_failovers: u64 = snap.router.iter().map(|r| r.failovers).sum();
+    assert!(
+        total_failovers > 0,
+        "covering the dead replica counts as failover"
+    );
+
+    router.shutdown();
+    for group in groups {
+        for b in group {
+            b.shutdown();
+        }
+    }
+    single.shutdown();
+}
+
+#[test]
+fn stats_through_router_aggregate_every_replica() {
+    let union = union_db(30);
+    let plan = ShardPlan::new(ShardScheme::Range, union.dim(), union.len() as u64, 2).unwrap();
+    let parts = split_database(&union, &plan).unwrap();
+    let backends: Vec<ServerHandle> = parts.into_iter().map(spawn_backend).collect();
+    let addrs: Vec<Vec<String>> = backends
+        .iter()
+        .map(|b| vec![b.local_addr().to_string()])
+        .collect();
+    let router = Router::spawn(plan, addrs, "127.0.0.1:0", RouterConfig::default()).unwrap();
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let q = union.descriptor(0).unwrap().to_vec();
+    for _ in 0..3 {
+        let hits = client.knn(&q, 4, 0, 1.0).unwrap();
+        assert_eq!(hits.len(), 4);
+    }
+
+    // Binary stats: the router's snapshot is the sum of what each
+    // backend reports individually (stats ops themselves don't count
+    // as query requests, so the comparison is race-free once the
+    // queries above have been answered).
+    let via_router = client.stats().unwrap();
+    let mut direct_requests = 0;
+    for b in &backends {
+        let mut c = Client::connect(b.local_addr()).unwrap();
+        direct_requests += c.stats().unwrap().requests;
+    }
+    assert_eq!(via_router.requests, direct_requests);
+    assert_eq!(via_router.requests, 6, "3 scatters x 2 shards");
+    assert!(via_router.executed >= 6);
+
+    // JSON obs stats: forward-compatible merge of backend documents
+    // plus the router's own (which carries the per-replica section).
+    let json = client.obs_stats(false).unwrap();
+    assert!(
+        json.contains("\"router\""),
+        "merged doc keeps the router section"
+    );
+    assert!(
+        json.contains("\"queue\"") || json.contains("\"store\""),
+        "backend sections survive the merge: {json}"
+    );
+
+    // Prometheus exposition from the router carries the labelled
+    // per-shard serving series.
+    let prom = client.obs_stats(true).unwrap();
+    assert!(
+        prom.contains("cbir_router_requests_total{shard=\"0\",replica=\"primary\"}"),
+        "router exposition must label shard/replica:\n{prom}"
+    );
+
+    // Explain through the router concatenates backend traces into one
+    // well-formed document.
+    let explain = client.explain().unwrap();
+    assert!(explain.contains("\"traces\""), "{explain}");
+
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+#[test]
+fn router_rejects_inserts_and_routes_point_ops() {
+    let union = union_db(12);
+    let plan = ShardPlan::new(ShardScheme::Mod, union.dim(), union.len() as u64, 3).unwrap();
+    let parts = split_database(&union, &plan).unwrap();
+    let backends: Vec<ServerHandle> = parts.into_iter().map(spawn_backend).collect();
+    let addrs: Vec<Vec<String>> = backends
+        .iter()
+        .map(|b| vec![b.local_addr().to_string()])
+        .collect();
+    let router =
+        Router::spawn(plan.clone(), addrs, "127.0.0.1:0", RouterConfig::default()).unwrap();
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let err = client
+        .insert("new-img", None, &vec![0.1; union.dim()])
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("shard plan"),
+        "insert must be refused with a routing explanation: {err}"
+    );
+
+    // GetDescriptor through the router translates global to local:
+    // every row must come back bit-for-bit.
+    for g in 0..union.len() {
+        let got = client.get_descriptor(g as u64).unwrap();
+        let want = union.descriptor(g).unwrap();
+        assert_eq!(got.len(), want.len());
+        assert!(got
+            .iter()
+            .zip(want)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+    // Unknown id: clean error, connection stays usable.
+    assert!(client.get_descriptor(union.len() as u64 + 5).is_err());
+    assert!(client.ping().is_ok());
+
+    router.shutdown();
+    for b in backends {
+        b.shutdown();
+    }
+}

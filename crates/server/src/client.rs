@@ -224,13 +224,25 @@ impl Client {
         radius: f32,
         deadline_us: u64,
     ) -> ClientResult<Vec<Hit>> {
+        Ok(self.range_detailed(descriptor, radius, deadline_us)?.hits)
+    }
+
+    /// [`Client::range`] keeping the reply's counters (always zero today
+    /// — range search has no approximate path — but a gathering router
+    /// forwards them rather than assuming so).
+    pub fn range_detailed(
+        &mut self,
+        descriptor: &[f32],
+        radius: f32,
+        deadline_us: u64,
+    ) -> ClientResult<HitsReply> {
         self.send(&Request::Range {
             radius,
             deadline_us,
             descriptor: descriptor.to_vec(),
         })?;
         self.flush()?;
-        self.recv_hits()
+        self.recv_hits_detailed()
     }
 
     /// Self-excluding k-NN by database image id.
@@ -397,6 +409,20 @@ impl Client {
             Response::Error(m) => Err(ClientError::Rejected(Rejection::Error(m))),
             other => Err(ClientError::Protocol(format!(
                 "expected compact ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the stored descriptor of row `id`, bit-for-bit as the server
+    /// holds it (the lookup half of a router-side knn-by-id).
+    pub fn get_descriptor(&mut self, id: u64) -> ClientResult<Vec<f32>> {
+        self.send(&Request::GetDescriptor { id })?;
+        self.flush()?;
+        match self.recv()? {
+            Response::Descriptor { descriptor } => Ok(descriptor),
+            Response::Error(m) => Err(ClientError::Rejected(Rejection::Error(m))),
+            other => Err(ClientError::Protocol(format!(
+                "expected descriptor, got {other:?}"
             ))),
         }
     }

@@ -44,6 +44,7 @@
 
 pub mod client;
 pub mod metrics;
+pub mod pool;
 pub mod protocol;
 pub mod retry;
 pub mod scheduler;
@@ -51,6 +52,7 @@ pub mod server;
 
 pub use client::{Client, ClientError, ClientResult, HitsReply, Rejection};
 pub use metrics::Metrics;
+pub use pool::ClientPool;
 pub use protocol::{Hit, Request, Response, StatsSnapshot, WireError};
 pub use retry::{RetryPolicy, RetryStats, RetryingClient};
 pub use scheduler::{Pending, QueryWork, Scheduler, SchedulerConfig};

@@ -132,6 +132,16 @@ pub enum Request {
     /// (the durability point); answered inline with
     /// [`Response::CompactAck`].
     Compact,
+    /// Fetch the stored descriptor of one row by id; answered inline with
+    /// [`Response::Descriptor`]. A scatter-gather router uses this to
+    /// resolve a knn-by-id against the shard that owns the query row
+    /// before fanning the search out to every shard.
+    ///
+    /// Body: `u64 id`.
+    GetDescriptor {
+        /// Row id at the server's current epoch.
+        id: u64,
+    },
 }
 
 const OP_PING: u8 = 0;
@@ -145,6 +155,7 @@ const OP_EXPLAIN: u8 = 7;
 const OP_INSERT: u8 = 8;
 const OP_DELETE: u8 = 9;
 const OP_COMPACT: u8 = 10;
+const OP_GET_DESCRIPTOR: u8 = 11;
 
 /// One retrieval hit on the wire; mirrors `cbir_core::Ranked`.
 ///
@@ -261,6 +272,13 @@ pub enum Response {
         /// Live rows after the compaction.
         rows: u64,
     },
+    /// Answer to [`Request::GetDescriptor`].
+    ///
+    /// Body: `u32 dim`, `dim × f32`.
+    Descriptor {
+        /// The stored descriptor, bit-for-bit as the server holds it.
+        descriptor: Vec<f32>,
+    },
 }
 
 const ST_HITS: u8 = 0;
@@ -275,6 +293,7 @@ const ST_OBS_TEXT: u8 = 8;
 const ST_INSERT_ACK: u8 = 9;
 const ST_DELETE_ACK: u8 = 10;
 const ST_COMPACT_ACK: u8 = 11;
+const ST_DESCRIPTOR: u8 = 12;
 
 // ---------------------------------------------------------------------------
 // Payload writer/reader (little-endian, length-prefixed strings).
@@ -453,6 +472,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.u64(*id);
         }
         Request::Compact => w.u8(OP_COMPACT),
+        Request::GetDescriptor { id } => {
+            w.u8(OP_GET_DESCRIPTOR);
+            w.u64(*id);
+        }
     }
     w.buf
 }
@@ -498,6 +521,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         }
         OP_DELETE => Request::Delete { id: r.u64()? },
         OP_COMPACT => Request::Compact,
+        OP_GET_DESCRIPTOR => Request::GetDescriptor { id: r.u64()? },
         t => return Err(wire_err(format!("unknown request op {t}"))),
     };
     r.finish()?;
@@ -601,6 +625,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u32(*segments);
             w.u64(*rows);
         }
+        Response::Descriptor { descriptor } => {
+            w.u8(ST_DESCRIPTOR);
+            write_descriptor(&mut w, descriptor);
+        }
     }
     w.buf
 }
@@ -681,6 +709,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             epoch: r.u64()?,
             segments: r.u32()?,
             rows: r.u64()?,
+        },
+        ST_DESCRIPTOR => Response::Descriptor {
+            descriptor: r.descriptor()?,
         },
         t => return Err(wire_err(format!("unknown response status {t}"))),
     };
@@ -811,6 +842,7 @@ mod tests {
         });
         roundtrip_request(Request::Delete { id: 12 });
         roundtrip_request(Request::Compact);
+        roundtrip_request(Request::GetDescriptor { id: 31 });
     }
 
     #[test]
@@ -859,6 +891,9 @@ mod tests {
             epoch: 9,
             segments: 2,
             rows: 40,
+        });
+        roundtrip_response(Response::Descriptor {
+            descriptor: vec![0.0, -1.5, 3.25, f32::MIN_POSITIVE],
         });
         roundtrip_response(Response::Stats(StatsSnapshot {
             requests: 100,
@@ -969,6 +1004,11 @@ mod tests {
         w.f32(1.0); // recall target
         w.u32(0); // dim = 0
         assert!(decode_request(&w.buf).is_err());
+        // Zero-dim get-descriptor reply.
+        let mut w = PayloadWriter::default();
+        w.u8(ST_DESCRIPTOR);
+        w.u32(0);
+        assert!(decode_response(&w.buf).is_err());
     }
 
     #[test]

@@ -443,6 +443,16 @@ fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) 
                     }
                 },
             },
+            // Row fetch runs inline: it is a point read against a pinned
+            // view, with none of the batching/admission machinery a
+            // search needs.
+            Request::GetDescriptor { id } => match scheduler.corpus().pin().descriptor(id) {
+                Ok(descriptor) => respond_now(Response::Descriptor { descriptor }),
+                Err(e) => {
+                    metrics.on_error();
+                    respond_now(Response::Error(e.to_string()));
+                }
+            },
         }
     }
     // Close the slot queue; the writer flushes what remains and exits.

@@ -254,3 +254,216 @@ fn retry_honors_the_caller_deadline() {
         "surfaced error reflects the transient failure or the expired deadline: {err}"
     );
 }
+
+// ---------------------------------------------------------------------
+// Failover-path classification, end to end: the three failure shapes a
+// scatter-gather router leans on when it moves a request to a sibling
+// replica — backend down at connect, a connection killed mid-stream,
+// and a backend shedding with Overloaded — must surface as *transient*
+// errors that the retry layer rides out.
+
+/// A hand-rolled CBIRRPC1 backend for failure injection: answers pings,
+/// sheds the first `shed` search requests with `Overloaded`, then
+/// serves a canned hit list. Runs until the listener is dropped.
+fn spawn_shedding_backend(
+    shed: usize,
+    canned: Vec<Hit>,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    use cbir_server::protocol::{
+        decode_request, encode_response, read_frame, write_frame, Request, Response,
+    };
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let mut remaining = shed;
+        for stream in listener.incoming().take(4) {
+            let Ok(stream) = stream else { break };
+            let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            while let Ok(Some(payload)) = read_frame(&mut reader) {
+                let resp = match decode_request(&payload) {
+                    Ok(Request::Ping) => Response::Pong { db_len: 1, dim: 16 },
+                    Ok(Request::Knn { .. }) => {
+                        if remaining > 0 {
+                            remaining -= 1;
+                            Response::Overloaded("synthetic shed".into())
+                        } else {
+                            Response::Hits {
+                                hits: canned.clone(),
+                                coarse_candidates: 0,
+                                rerank_evaluations: 0,
+                            }
+                        }
+                    }
+                    _ => Response::Error("unsupported in fake".into()),
+                };
+                if write_frame(&mut writer, &encode_response(&resp)).is_err() {
+                    break;
+                }
+                let _ = std::io::Write::flush(&mut writer);
+            }
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn backend_down_at_connect_is_ridden_out_by_the_retry_layer() {
+    // Reserve an address, leave it dead, and bring the real backend up
+    // on it only after the client has started retrying — the "replica
+    // not up yet / just restarted" arm of router failover.
+    let engine = engine(16, IndexKind::Linear);
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let late = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(250));
+            Server::spawn_shared(engine, addr, SchedulerConfig::default()).expect("late spawn")
+        })
+    };
+
+    let mut client = RetryingClient::new_disconnected(
+        addr.to_string(),
+        RetryPolicy {
+            max_retries: 60,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        },
+    );
+    let q = engine.database().descriptor(2).unwrap().to_vec();
+    let mut stats = BatchStats::new();
+    let want = engine
+        .knn_batch(std::slice::from_ref(&q), 3, 1, &mut stats)
+        .unwrap();
+    let got = client
+        .knn(&q, 3, 0, 1.0)
+        .expect("retry loop must outlast the dead-connect window");
+    assert_hits_match(&got, &want[0], "after late backend start");
+    assert!(
+        client.retry_stats().retries >= 1,
+        "the refused connects must have been retried: {:?}",
+        client.retry_stats()
+    );
+    late.join().unwrap().shutdown();
+}
+
+#[test]
+fn overload_shedding_is_transient_and_retried_until_admitted() {
+    let canned = vec![
+        Hit {
+            id: 3,
+            name: "img-3".into(),
+            label: Some(1),
+            distance: 0.25,
+        },
+        Hit {
+            id: 9,
+            name: "img-9".into(),
+            label: None,
+            distance: 0.25,
+        },
+    ];
+    let (addr, fake) = spawn_shedding_backend(2, canned.clone());
+    let mut client = RetryingClient::connect(
+        addr.to_string(),
+        RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            ..RetryPolicy::default()
+        },
+    )
+    .expect("fake backend answers the connect ping");
+
+    // Two sheds, then admission: the Overloaded replies are classified
+    // transient and resent on the SAME connection (an explicit reply
+    // leaves the stream in sync — no reconnect needed).
+    let got = client
+        .knn(&[0.0; 16], 2, 0, 1.0)
+        .expect("retried past shed");
+    assert_eq!(got.len(), canned.len());
+    for (g, w) in got.iter().zip(&canned) {
+        assert_eq!(g.id, w.id);
+        assert_eq!(g.distance.to_bits(), w.distance.to_bits());
+    }
+    let rstats = client.retry_stats();
+    assert!(rstats.retries >= 2, "both sheds retried: {rstats:?}");
+    assert_eq!(rstats.reconnects, 0, "shed must not burn the connection");
+    drop(client);
+    drop(fake); // listener thread ends with its accept budget
+}
+
+#[test]
+fn connection_killed_mid_stream_reconnects_and_resends() {
+    use cbir_server::protocol::{encode_response, read_frame, write_frame, Response};
+    // First connection: answer the connect ping, then hang up without
+    // replying to the search — the client has a request on the wire
+    // when the stream dies (a crashing replica, mid-conversation).
+    // Second connection: serve the canned reply.
+    let canned = Response::Hits {
+        hits: vec![Hit {
+            id: 1,
+            name: "img-1".into(),
+            label: None,
+            distance: 0.5,
+        }],
+        coarse_candidates: 0,
+        rerank_evaluations: 0,
+    };
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = {
+        let canned = canned.clone();
+        std::thread::spawn(move || {
+            // Connection 1: ping answered, then abrupt close on the
+            // first search frame.
+            let (s, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(s.try_clone().unwrap());
+            let mut writer = s;
+            let _ = read_frame(&mut reader); // ping
+            let _ = write_frame(
+                &mut writer,
+                &encode_response(&Response::Pong { db_len: 1, dim: 16 }),
+            );
+            let _ = std::io::Write::flush(&mut writer);
+            let _ = read_frame(&mut reader); // the search request...
+            drop(reader); // ...dies unanswered: close BOTH halves so the
+            drop(writer); // client sees EOF, not a stalled stream
+
+            // Connection 2: the resend gets a real reply.
+            let (s, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(s.try_clone().unwrap());
+            let mut writer = s;
+            let _ = read_frame(&mut reader);
+            let _ = write_frame(&mut writer, &encode_response(&canned));
+            let _ = std::io::Write::flush(&mut writer);
+        })
+    };
+
+    let mut client = RetryingClient::connect(
+        addr.to_string(),
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            ..RetryPolicy::default()
+        },
+    )
+    .expect("connect ping");
+    let got = client
+        .knn(&[0.0; 16], 1, 0, 1.0)
+        .expect("mid-stream loss must be survived by reconnect + resend");
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].id, 1);
+    let rstats = client.retry_stats();
+    assert!(rstats.retries >= 1, "{rstats:?}");
+    assert!(
+        rstats.reconnects >= 1,
+        "a lost stream must be replaced, not resynchronized: {rstats:?}"
+    );
+    fake.join().unwrap();
+}

@@ -35,4 +35,6 @@ pub use corpus::{Corpus, CorpusSpec};
 pub use rng::Pcg32;
 pub use shapes::Shape;
 pub use texture::Texture;
-pub use vectors::{clustered, clustered_smooth, histograms, queries, query_streams, uniform};
+pub use vectors::{
+    clustered, clustered_smooth, duplicated_histograms, histograms, queries, query_streams, uniform,
+};

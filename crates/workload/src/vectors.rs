@@ -108,6 +108,27 @@ pub fn histograms(n: usize, dim: usize, concentration: f32, seed: u64) -> Vec<Ve
         .collect()
 }
 
+/// [`histograms`] with deliberate bit-exact duplicate rows: every
+/// `dup_every`-th vector (after the first) repeats an earlier vector
+/// byte for byte. Near-duplicate corpora are common in image archives
+/// (re-encodes, crops re-indexed under new names), and exact duplicates
+/// force *distance ties*, the case ordering contracts — a k-NN
+/// tie-break, a sharded merge — must get right to stay deterministic.
+pub fn duplicated_histograms(
+    n: usize,
+    dim: usize,
+    concentration: f32,
+    dup_every: usize,
+    seed: u64,
+) -> Vec<Vec<f32>> {
+    assert!(dup_every >= 2, "dup_every < 2 would duplicate every row");
+    let mut base = histograms(n, dim, concentration, seed);
+    for i in (dup_every..n).step_by(dup_every) {
+        base[i] = base[i / dup_every].clone();
+    }
+    base
+}
+
 /// Query points: a mix of perturbed dataset members (realistic query-by-
 /// example) and fresh uniform points (out-of-set queries).
 pub fn queries(data: &[Vec<f32>], n_queries: usize, perturbation: f32, seed: u64) -> Vec<Vec<f32>> {
@@ -219,6 +240,25 @@ mod tests {
                 / hs.len() as f32
         };
         assert!(mean_max(&spiky) > mean_max(&flat) + 0.05);
+    }
+
+    #[test]
+    fn duplicated_histograms_tie_exactly() {
+        let v = duplicated_histograms(30, 8, 1.0, 3, 17);
+        // Row 6 repeats row 2, row 9 repeats row 3, ... bit for bit.
+        for i in (3..30).step_by(3) {
+            let (dup, orig) = (&v[i], &v[i / 3]);
+            assert!(
+                dup.iter()
+                    .zip(orig)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "row {i} is not a bit-exact duplicate"
+            );
+        }
+        // Non-duplicated rows still match the plain generator.
+        let plain = histograms(30, 8, 1.0, 17);
+        assert_eq!(v[1], plain[1]);
+        assert_ne!(v[6], plain[6]);
     }
 
     #[test]

@@ -35,6 +35,7 @@ if [ "${SKIP_QUICK_BENCH:-0}" != 1 ]; then
     cargo run --release -q -p cbir-bench --bin exp_obs_overhead -- --quick
     cargo run --release -q -p cbir-bench --bin exp_mmap_ingest -- --quick
     cargo run --release -q -p cbir-bench --bin exp_approx_search -- --quick
+    cargo run --release -q -p cbir-bench --bin exp_router_scaling -- --quick
 fi
 
 echo "==> server smoke test (generate -> index -> serve -> rpc-query -> shutdown)"
@@ -175,5 +176,72 @@ FRESH_HITS=$("$CBIR" query "$SMOKE_DIR/photos-all.cbir" "$QUERY_IMG" -k 3 \
 }
 "$CBIR" rpc-ctl "$LADDR" shutdown >/dev/null
 wait "$LIVE_PID"
+
+echo "==> router smoke (shard-plan -> 2x2 tier -> bit-identity, replica kill, stats)"
+# Reference: one backend serving the union corpus.
+"$CBIR" serve "$SMOKE_DIR/photos.cbir" --port 0 --addr-file "$SMOKE_DIR/addr-union" \
+    --index linear --measure l1 >/dev/null &
+UNION_PID=$!
+# Split the same corpus into 2 shards and serve each shard twice (2
+# replicas), then front the four backends with a router.
+"$CBIR" shard-plan "$SMOKE_DIR/photos.cbir" --shards 2 --scheme mod \
+    --out-dir "$SMOKE_DIR/shards" >/dev/null
+BACKEND_PIDS=""
+for S in 0 1; do
+    for R in 0 1; do
+        "$CBIR" serve "$SMOKE_DIR/shards/shard-$S.db" --port 0 \
+            --addr-file "$SMOKE_DIR/addr-s$S-r$R" \
+            --index linear --measure l1 >/dev/null &
+        BACKEND_PIDS="$BACKEND_PIDS $!"
+        [ "$S$R" = "00" ] && KILL_PID=$!
+    done
+done
+for F in addr-union addr-s0-r0 addr-s0-r1 addr-s1-r0 addr-s1-r1; do
+    for _ in $(seq 1 100); do
+        [ -s "$SMOKE_DIR/$F" ] && break
+        sleep 0.1
+    done
+    [ -s "$SMOKE_DIR/$F" ] || { echo "backend $F never wrote its address"; exit 1; }
+done
+UADDR=$(cat "$SMOKE_DIR/addr-union")
+"$CBIR" route "$SMOKE_DIR/shards/PLAN.txt" \
+    "$(cat "$SMOKE_DIR/addr-s0-r0"),$(cat "$SMOKE_DIR/addr-s0-r1")" \
+    "$(cat "$SMOKE_DIR/addr-s1-r0"),$(cat "$SMOKE_DIR/addr-s1-r1")" \
+    --port 0 --addr-file "$SMOKE_DIR/addr-router" --cooldown-ms 200 >/dev/null &
+ROUTER_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/addr-router" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/addr-router" ] || { echo "router never wrote its address"; exit 1; }
+RADDR=$(cat "$SMOKE_DIR/addr-router")
+# Routed replies must match the single union node byte for byte.
+"$CBIR" rpc-query "$RADDR" --id 0 -k 4 > "$SMOKE_DIR/router-knn.out"
+"$CBIR" rpc-query "$UADDR" --id 0 -k 4 > "$SMOKE_DIR/union-knn.out"
+grep -q "class-" "$SMOKE_DIR/router-knn.out" \
+    || { echo "routed rpc-query returned no hits"; exit 1; }
+cmp -s "$SMOKE_DIR/router-knn.out" "$SMOKE_DIR/union-knn.out" \
+    || { echo "routed reply diverges from single-node reply"; exit 1; }
+# Kill shard 0's primary without ceremony: the router must fail over to
+# the surviving replica with the answer still byte-identical.
+kill -9 "$KILL_PID"
+wait "$KILL_PID" 2>/dev/null || true
+"$CBIR" rpc-query "$RADDR" --id 0 -k 4 > "$SMOKE_DIR/router-knn2.out"
+cmp -s "$SMOKE_DIR/router-knn2.out" "$SMOKE_DIR/union-knn.out" \
+    || { echo "reply after replica kill diverges from single-node reply"; exit 1; }
+# Stats aggregate across backends; prometheus export carries the
+# router's per-replica series.
+"$CBIR" rpc-ctl "$RADDR" stats | grep -q "requests [1-9]" \
+    || { echo "routed stats show no aggregated backend requests"; exit 1; }
+"$CBIR" stats "$RADDR" --format prometheus | grep -q '^cbir_router_replica_' \
+    || { echo "router prometheus export missing cbir_router_replica_ series"; exit 1; }
+"$CBIR" rpc-ctl "$RADDR" shutdown >/dev/null
+wait "$ROUTER_PID"
+for PID in $BACKEND_PIDS; do
+    kill "$PID" 2>/dev/null || true
+    wait "$PID" 2>/dev/null || true
+done
+"$CBIR" rpc-ctl "$UADDR" shutdown >/dev/null
+wait "$UNION_PID"
 
 echo "verify: all checks passed"

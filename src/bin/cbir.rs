@@ -19,13 +19,15 @@
 use cbir::core::persist;
 use cbir::image::codec::{decode, encode_ppm, PnmEncoding};
 use cbir::image::RgbImage;
+use cbir::router::{Router, RouterConfig};
 use cbir::server::{
     Client, Hit, RetryPolicy, RetryingClient, SchedulerConfig, Server, StatsSnapshot,
 };
 use cbir::workload::{Corpus, CorpusSpec};
 use cbir::{
-    evaluate_engine, BatchItem, BatchStats, CorpusStore, FeatureSpec, ImageDatabase, ImageMeta,
-    IndexKind, Measure, Pipeline, QueryEngine, SearchStats, ServedCorpus, StoreOptions,
+    evaluate_engine, merge_shards, split_database, BatchItem, BatchStats, CorpusStore, FeatureSpec,
+    ImageDatabase, ImageMeta, IndexKind, Measure, Pipeline, QueryEngine, SearchStats, ServedCorpus,
+    ShardPlan, ShardScheme, StoreOptions,
 };
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -95,6 +97,22 @@ fn usage() -> ! {
       Nth query into the trace ring (see rpc-ctl explain);
       --recall-target R forces every k-NN request to recall target R,
       overriding what clients ask for
+
+  cbir shard-plan <db> [--shards N] [--scheme mod|range] [--out-dir DIR]
+      split a database file into N per-shard databases plus a PLAN.txt
+      under --out-dir (default <db>.shards/), verifying that merging the
+      shards back reproduces the input bit-for-bit; each shard file is
+      served by an ordinary `cbir serve`, the plan feeds `cbir route`
+
+  cbir route <plan> <shard0-replicas> <shard1-replicas>... [--port P] [--addr-file F]
+                    [--cooldown-ms N] [--read-timeout-ms N]
+      serve the union corpus over TCP (CBIRRPC1) by scatter-gathering
+      across backend servers: one positional argument per shard, each a
+      comma-separated replica address list (primary first); replies on
+      the exact path are frame-level bit-identical to a single node
+      serving the union corpus, and a replica failing with a transient
+      error fails over to a sibling (cooldown --cooldown-ms, default
+      1000); any cbir client/tool works against the router unchanged
 
   cbir rpc-query <addr> [<image>...] --db <file-or-segdir> [-k N] [--radius R] [--deadline-us D]
   cbir rpc-query <addr> --id N [-k N] [--deadline-us D] [--retries N] [--recall-target R]
@@ -684,6 +702,111 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_shard_plan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let db_path = args.positional.first().unwrap_or_else(|| usage());
+    let shards: usize = args.flag_parse("shards", 2);
+    let scheme = match args.flag("scheme").unwrap_or("mod") {
+        "mod" => ShardScheme::Mod,
+        "range" => ShardScheme::Range,
+        other => {
+            eprintln!("error: unknown scheme {other:?} (mod|range)");
+            std::process::exit(2);
+        }
+    };
+    let out_dir = args
+        .flag("out-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("{db_path}.shards")));
+
+    let db = persist::load_file(db_path)?;
+    let plan = ShardPlan::new(scheme, db.dim(), db.len() as u64, shards)?;
+    let parts = split_database(&db, &plan)?;
+
+    // A plan is only worth deploying if it reassembles the corpus
+    // exactly — check before writing anything.
+    let rebuilt = merge_shards(&parts, &plan)?;
+    if rebuilt.len() != db.len() {
+        return Err("shard round-trip changed the row count".into());
+    }
+    for g in 0..db.len() {
+        let (a, b) = (rebuilt.descriptor(g)?, db.descriptor(g)?);
+        if a.len() != b.len() || !a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()) {
+            return Err(format!("shard round-trip diverged at row {g}").into());
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir)?;
+    plan.save(out_dir.join("PLAN.txt"))?;
+    println!(
+        "plan: {} scheme, {} rows x {} dim -> {} shard(s), saved {}",
+        match scheme {
+            ShardScheme::Mod => "mod",
+            ShardScheme::Range => "range",
+        },
+        plan.total_rows(),
+        plan.dim(),
+        plan.shards(),
+        out_dir.join("PLAN.txt").display()
+    );
+    for (s, part) in parts.iter().enumerate() {
+        let path = out_dir.join(format!("shard-{s}.db"));
+        persist::save_file(part, &path)?;
+        println!(
+            "  shard {s}: {} row(s) -> {}",
+            plan.rows_of(s),
+            path.display()
+        );
+    }
+    println!(
+        "serve each shard with `cbir serve`, then `cbir route {}`",
+        out_dir.join("PLAN.txt").display()
+    );
+    Ok(())
+}
+
+fn cmd_route(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    if args.positional.len() < 2 {
+        usage();
+    }
+    let plan = ShardPlan::load(&args.positional[0])?;
+    let groups: Vec<Vec<String>> = args.positional[1..]
+        .iter()
+        .map(|g| g.split(',').map(|a| a.trim().to_string()).collect())
+        .collect();
+    if groups.len() != plan.shards() {
+        return Err(format!(
+            "plan has {} shard(s) but {} replica group(s) were given",
+            plan.shards(),
+            groups.len()
+        )
+        .into());
+    }
+    let port: u16 = args.flag_parse("port", 7979);
+    let config = RouterConfig {
+        cooldown: Duration::from_millis(args.flag_parse("cooldown-ms", 1000)),
+        read_timeout: match args.flag_parse("read-timeout-ms", 0u64) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+        ..RouterConfig::default()
+    };
+    let replicas: usize = groups.iter().map(Vec::len).sum();
+    let handle = Router::spawn(plan.clone(), groups, ("127.0.0.1", port), config)?;
+    let addr = handle.local_addr();
+    println!(
+        "routing on {addr} ({} rows, {} shard(s), {replicas} replica(s))",
+        plan.total_rows(),
+        plan.shards()
+    );
+    if let Some(addr_file) = args.flag("addr-file") {
+        std::fs::write(addr_file, addr.to_string())?;
+    }
+    // Blocks until a client sends the shutdown op; backends keep running.
+    handle.join();
+    println!("router stopped (backends left running)");
+    Ok(())
+}
+
 /// Open a live segment store for serving: a directory opens directly; a
 /// database file is migrated (once) into a `<file>.seg/` sibling store,
 /// which is opened on every subsequent serve.
@@ -1114,6 +1237,8 @@ fn main() -> ExitCode {
         "ingest" => cmd_ingest(&args),
         "compact" => cmd_compact(&args),
         "serve" => cmd_serve(&args),
+        "shard-plan" => cmd_shard_plan(&args),
+        "route" => cmd_route(&args),
         "rpc-query" => cmd_rpc_query(&args),
         "rpc-insert" => cmd_rpc_insert(&args),
         "rpc-ctl" => cmd_rpc_ctl(&args),

@@ -25,6 +25,10 @@
 //! - [`server`] — the network serving layer: a TCP query server with
 //!   dynamic micro-batching and admission control, plus the matching
 //!   blocking [`server::Client`] (`cbir serve` / `cbir rpc-query`);
+//! - [`router`] — the sharded, replicated scatter-gather tier: a
+//!   `CBIRRPC1` front-end that splits a corpus across replica groups of
+//!   backend servers and merges per-shard results bit-identically
+//!   (`cbir shard-plan` / `cbir route`);
 //! - [`obs`] — observability: process-wide pruning/stage counters,
 //!   latency histograms, sampled per-query traces, and JSON/Prometheus
 //!   export (`cbir stats` / `cbir trace`).
@@ -56,13 +60,15 @@ pub use cbir_features as features;
 pub use cbir_image as image;
 pub use cbir_index as index;
 pub use cbir_obs as obs;
+pub use cbir_router as router;
 pub use cbir_server as server;
 pub use cbir_workload as workload;
 
 pub use cbir_core::{
-    build_index, evaluate_engine, BatchItem, CompactionStats, CoreError, CorpusSnapshot,
-    CorpusStore, EvalReport, ImageDatabase, ImageMeta, IndexKind, PinnedView, QueryEngine, Ranked,
-    RocchioParams, ServedCorpus, StoreOptions,
+    build_index, evaluate_engine, merge_shards, split_database, BatchItem, CompactionStats,
+    CoreError, CorpusSnapshot, CorpusStore, EvalReport, ImageDatabase, ImageMeta, IndexKind,
+    PinnedView, QueryEngine, Ranked, RocchioParams, ServedCorpus, ShardPlan, ShardScheme,
+    StoreOptions,
 };
 pub use cbir_distance::{DistanceKernel, Measure};
 pub use cbir_features::{FeatureSpec, Pipeline, Quantizer};
