@@ -35,7 +35,8 @@ fn latency_json(l: &LatencySummary) -> String {
 /// one object per [`crate::Stage`]), `latency` (object with `knn` and
 /// `range` summaries), `store`, `router` (array, one object per
 /// registered router backend replica; empty outside a router process),
-/// `trace_count`.
+/// `router_tier` (hedging/degradation counters; all-zero outside a
+/// router), `trace_count`.
 pub fn to_json(snap: &ObsSnapshot) -> String {
     let indexes: Vec<String> = snap
         .indexes
@@ -77,7 +78,7 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
             format!(
                 "    {{\"shard\": {}, \"replica\": \"{}\", \"requests\": {}, \
                  \"failures\": {}, \"failovers\": {}, \"shed\": {}, \"healthy\": {}, \
-                 \"latency\": {}}}",
+                 \"breaker_open\": {}, \"probe_rejoins\": {}, \"latency\": {}}}",
                 r.shard,
                 json_escape(&r.role),
                 r.requests,
@@ -85,6 +86,8 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
                 r.failovers,
                 r.shed,
                 r.healthy,
+                r.breaker_open,
+                r.probe_rejoins,
                 latency_json(&r.latency)
             )
         })
@@ -94,6 +97,19 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
     } else {
         format!("[\n{}\n  ]", router.join(",\n"))
     };
+    let tier = &snap.router_tier;
+    let router_tier = format!(
+        "{{\"hedges_fired\": {}, \"hedges_won\": {}, \"degraded_replies\": {}, \
+         \"breaker_opens\": {}, \"retry_budget_exhausted\": {}, \"probe_failures\": {}, \
+         \"probe_latency\": {}}}",
+        tier.hedges_fired,
+        tier.hedges_won,
+        tier.degraded_replies,
+        tier.breaker_opens,
+        tier.retry_budget_exhausted,
+        tier.probe_failures,
+        latency_json(&tier.probe_latency)
+    );
     let store = format!(
         "{{\"inserts\": {}, \"deletes\": {}, \"compactions\": {}, \"segments\": {}, \
          \"memtable_rows\": {}, \"tombstones\": {}, \"epoch\": {}}}",
@@ -108,7 +124,8 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
     format!(
         "{{\n  \"enabled\": {},\n  \"trace_sample_n\": {},\n  \"queue_depth\": {},\n  \
          \"indexes\": [\n{}\n  ],\n  \"stages\": [\n{}\n  ],\n  \"latency\": {{\"knn\": {}, \
-         \"range\": {}}},\n  \"store\": {},\n  \"router\": {},\n  \"trace_count\": {}\n}}\n",
+         \"range\": {}}},\n  \"store\": {},\n  \"router\": {},\n  \"router_tier\": {},\n  \
+         \"trace_count\": {}\n}}\n",
         snap.enabled,
         snap.trace_sample_n,
         snap.queue_depth,
@@ -118,6 +135,7 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
         latency_json(&snap.range_latency),
         store,
         router,
+        router_tier,
         snap.trace_count
     )
 }
@@ -247,12 +265,24 @@ pub fn to_prometheus(snap: &ObsSnapshot) -> String {
             "Overloaded sheds observed per router backend replica.",
             &replica_rows(&|r| r.shed),
         );
+        counter(
+            "cbir_router_replica_probe_rejoins_total",
+            "Probe-driven rejoins per router backend replica.",
+            &replica_rows(&|r| r.probe_rejoins),
+        );
         out.push_str(
             "# HELP cbir_router_replica_healthy Whether the router currently considers the \
              replica healthy.\n# TYPE cbir_router_replica_healthy gauge\n",
         );
         for (labels, v) in replica_rows(&|r| r.healthy as u64) {
             out.push_str(&format!("cbir_router_replica_healthy{labels} {v}\n"));
+        }
+        out.push_str(
+            "# HELP cbir_router_replica_breaker_open Whether the replica's circuit breaker \
+             is currently open.\n# TYPE cbir_router_replica_breaker_open gauge\n",
+        );
+        for (labels, v) in replica_rows(&|r| r.breaker_open as u64) {
+            out.push_str(&format!("cbir_router_replica_breaker_open{labels} {v}\n"));
         }
         out.push_str(
             "# HELP cbir_router_replica_latency_microseconds Per-replica request latency \
@@ -276,6 +306,62 @@ pub fn to_prometheus(snap: &ObsSnapshot) -> String {
                 l.count
             ));
         }
+
+        let tier = &snap.router_tier;
+        for (name, help, value) in [
+            (
+                "cbir_router_hedges_fired_total",
+                "Hedged requests fired (second replica raced after the hedge delay).",
+                tier.hedges_fired,
+            ),
+            (
+                "cbir_router_hedges_won_total",
+                "Hedged requests won by the hedge (second attempt answered first).",
+                tier.hedges_won,
+            ),
+            (
+                "cbir_router_degraded_replies_total",
+                "Degraded (partial shard coverage) replies sent to front clients.",
+                tier.degraded_replies,
+            ),
+            (
+                "cbir_router_breaker_opens_total",
+                "Circuit-breaker open transitions across all replicas.",
+                tier.breaker_opens,
+            ),
+            (
+                "cbir_router_retry_budget_exhausted_total",
+                "Failover attempts suppressed by an exhausted global retry budget.",
+                tier.retry_budget_exhausted,
+            ),
+            (
+                "cbir_router_probe_failures_total",
+                "Health probes that timed out or errored.",
+                tier.probe_failures,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        out.push_str(
+            "# HELP cbir_router_probe_latency_microseconds Successful health-probe round-trip \
+             latency (log2-bucket estimate).\n\
+             # TYPE cbir_router_probe_latency_microseconds summary\n",
+        );
+        let l = &tier.probe_latency;
+        for (q, v) in [("0.5", l.p50_us), ("0.95", l.p95_us), ("0.99", l.p99_us)] {
+            out.push_str(&format!(
+                "cbir_router_probe_latency_microseconds{{quantile=\"{q}\"}} {v}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "cbir_router_probe_latency_microseconds_sum {}\n",
+            l.sum_us
+        ));
+        out.push_str(&format!(
+            "cbir_router_probe_latency_microseconds_count {}\n",
+            l.count
+        ));
     }
 
     out.push_str(
@@ -503,6 +589,8 @@ mod tests {
                     failovers: 1,
                     shed: 2,
                     healthy: true,
+                    breaker_open: false,
+                    probe_rejoins: 0,
                     latency: LatencySummary {
                         count: 42,
                         sum_us: 8400,
@@ -519,9 +607,26 @@ mod tests {
                     failovers: 0,
                     shed: 0,
                     healthy: false,
+                    breaker_open: true,
+                    probe_rejoins: 3,
                     latency: LatencySummary::default(),
                 },
             ],
+            router_tier: crate::RouterTierCounters {
+                hedges_fired: 6,
+                hedges_won: 4,
+                degraded_replies: 2,
+                breaker_opens: 1,
+                retry_budget_exhausted: 5,
+                probe_failures: 7,
+                probe_latency: LatencySummary {
+                    count: 9,
+                    sum_us: 1800,
+                    p50_us: 127,
+                    p95_us: 255,
+                    p99_us: 255,
+                },
+            },
             trace_count: 1,
         }
     }
@@ -547,10 +652,24 @@ mod tests {
             "\"replica\"",
             "\"failovers\"",
             "\"healthy\"",
+            "\"breaker_open\"",
+            "\"probe_rejoins\"",
+            "\"router_tier\"",
+            "\"hedges_fired\"",
+            "\"hedges_won\"",
+            "\"degraded_replies\"",
+            "\"retry_budget_exhausted\"",
+            "\"probe_latency\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
         assert!(j.contains("\"replica\": \"backup-1\""));
+        assert!(j.contains("\"hedges_fired\": 6"));
+        assert!(j.contains("\"degraded_replies\": 2"));
+        // router_tier is always present, even with no registered replicas.
+        let mut bare = snap();
+        bare.router.clear();
+        assert!(to_json(&bare).contains("\"router_tier\""));
         // Balanced braces/brackets — cheap structural sanity.
         assert_eq!(
             j.matches('{').count(),
@@ -608,7 +727,9 @@ mod tests {
             "cbir_router_failures_total",
             "cbir_router_failovers_total",
             "cbir_router_shed_total",
+            "cbir_router_replica_probe_rejoins_total",
             "cbir_router_replica_healthy",
+            "cbir_router_replica_breaker_open",
         ] {
             assert!(
                 p.contains(&format!("{name}{{shard=\"0\",replica=\"primary\"}}")),
@@ -627,6 +748,20 @@ mod tests {
         assert!(p.contains(
             "cbir_router_replica_latency_microseconds_count{shard=\"0\",replica=\"primary\"} 42"
         ));
+        assert!(p.contains("cbir_router_replica_breaker_open{shard=\"1\",replica=\"backup-1\"} 1"));
+        assert!(p.contains(
+            "cbir_router_replica_probe_rejoins_total{shard=\"1\",replica=\"backup-1\"} 3"
+        ));
+        // Tier-level hedging/degradation counters ride in the same
+        // router-gated family.
+        assert!(p.contains("cbir_router_hedges_fired_total 6"));
+        assert!(p.contains("cbir_router_hedges_won_total 4"));
+        assert!(p.contains("cbir_router_degraded_replies_total 2"));
+        assert!(p.contains("cbir_router_breaker_opens_total 1"));
+        assert!(p.contains("cbir_router_retry_budget_exhausted_total 5"));
+        assert!(p.contains("cbir_router_probe_failures_total 7"));
+        assert!(p.contains("cbir_router_probe_latency_microseconds{quantile=\"0.99\"} 255"));
+        assert!(p.contains("cbir_router_probe_latency_microseconds_count 9"));
         // A snapshot with no registered replicas emits no router family
         // at all (no empty HELP/TYPE stubs).
         let mut bare = snap();

@@ -239,7 +239,106 @@ struct RouterSlot {
     failovers: AtomicU64,
     shed: AtomicU64,
     healthy: AtomicU64,
+    breaker_open: AtomicU64,
+    probe_rejoins: AtomicU64,
     latency: LogHistogram,
+}
+
+/// Router-tier counters that are not attributable to a single replica:
+/// hedged requests race two replicas, a degraded reply is the property
+/// of a whole scatter, and the retry budget is shared across shards.
+/// One static slot per process — a process hosts at most one routing
+/// tier, and benchmarks that spawn several routers in sequence reset
+/// between scenarios.
+struct RouterTierSlot {
+    hedges_fired: AtomicU64,
+    hedges_won: AtomicU64,
+    degraded_replies: AtomicU64,
+    breaker_opens: AtomicU64,
+    retry_budget_exhausted: AtomicU64,
+    probe_failures: AtomicU64,
+    probe_latency: LogHistogram,
+}
+
+static ROUTER_TIER: RouterTierSlot = RouterTierSlot {
+    hedges_fired: AtomicU64::new(0),
+    hedges_won: AtomicU64::new(0),
+    degraded_replies: AtomicU64::new(0),
+    breaker_opens: AtomicU64::new(0),
+    retry_budget_exhausted: AtomicU64::new(0),
+    probe_failures: AtomicU64::new(0),
+    probe_latency: LogHistogram::new(),
+};
+
+/// Record one hedge fired: the primary attempt outlived the hedge delay
+/// and a second replica was raced against it. No-op when disabled.
+#[inline]
+pub fn router_hedge_fired() {
+    if !enabled() {
+        return;
+    }
+    ROUTER_TIER.hedges_fired.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record one hedge won: the *hedged* (second) attempt answered first.
+/// No-op when disabled.
+#[inline]
+pub fn router_hedge_won() {
+    if !enabled() {
+        return;
+    }
+    ROUTER_TIER.hedges_won.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record one degraded (partial-coverage) reply sent to a front client.
+/// No-op when disabled.
+#[inline]
+pub fn router_degraded_reply() {
+    if !enabled() {
+        return;
+    }
+    ROUTER_TIER.degraded_replies.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record one circuit-breaker open transition (any replica). No-op when
+/// disabled.
+#[inline]
+pub fn router_breaker_opened() {
+    if !enabled() {
+        return;
+    }
+    ROUTER_TIER.breaker_opens.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record one failover attempt suppressed because the global retry
+/// budget was exhausted. No-op when disabled.
+#[inline]
+pub fn router_retry_budget_exhausted() {
+    if !enabled() {
+        return;
+    }
+    ROUTER_TIER
+        .retry_budget_exhausted
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record one successful health probe with its round-trip latency.
+/// No-op when disabled.
+#[inline]
+pub fn router_probe_ok(latency_us: u64) {
+    if !enabled() {
+        return;
+    }
+    ROUTER_TIER.probe_latency.record(latency_us);
+}
+
+/// Record one failed health probe. No-op when disabled.
+#[inline]
+pub fn router_probe_failed() {
+    if !enabled() {
+        return;
+    }
+    ROUTER_TIER.probe_failures.fetch_add(1, Ordering::Relaxed);
 }
 
 struct Registry {
@@ -538,6 +637,25 @@ impl RouterReplicaHandle {
     pub fn set_healthy(&self, healthy: bool) {
         self.slot.healthy.store(healthy as u64, Ordering::Relaxed);
     }
+
+    /// Update the circuit-breaker gauge (`true` = breaker open, replica
+    /// excluded from routing). Recorded even when disabled: breaker
+    /// position is routing state, not a sample.
+    #[inline]
+    pub fn set_breaker_open(&self, open: bool) {
+        self.slot.breaker_open.store(open as u64, Ordering::Relaxed);
+    }
+
+    /// Record one probe-driven rejoin: a background health probe found
+    /// this previously-down replica answering and returned it to the
+    /// rotation. No-op when disabled.
+    #[inline]
+    pub fn probe_rejoin(&self) {
+        if !enabled() {
+            return;
+        }
+        self.slot.probe_rejoins.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Register (or look up) the counter slot for router backend replica
@@ -560,6 +678,8 @@ pub fn router_replica(shard: u32, role: &str) -> RouterReplicaHandle {
         failovers: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         healthy: AtomicU64::new(1),
+        breaker_open: AtomicU64::new(0),
+        probe_rejoins: AtomicU64::new(0),
         latency: LogHistogram::new(),
     });
     slots.push(Arc::clone(&slot));
@@ -676,8 +796,33 @@ pub struct RouterReplicaCounters {
     pub shed: u64,
     /// Gauge: whether the router currently considers the replica healthy.
     pub healthy: bool,
+    /// Gauge: whether this replica's circuit breaker is currently open.
+    pub breaker_open: bool,
+    /// Probe-driven rejoins: times a background health probe returned
+    /// this replica to the rotation.
+    pub probe_rejoins: u64,
     /// Per-replica request latency summary.
     pub latency: LatencySummary,
+}
+
+/// Router-tier (cross-replica) counters at snapshot time. All-zero in
+/// processes that never routed anything.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouterTierCounters {
+    /// Hedged requests fired (second replica raced after the hedge delay).
+    pub hedges_fired: u64,
+    /// Hedged requests won by the hedge (second attempt answered first).
+    pub hedges_won: u64,
+    /// Degraded (partial shard coverage) replies sent to front clients.
+    pub degraded_replies: u64,
+    /// Circuit-breaker open transitions across all replicas.
+    pub breaker_opens: u64,
+    /// Failover attempts suppressed by an exhausted global retry budget.
+    pub retry_budget_exhausted: u64,
+    /// Health probes that failed (timed out or errored).
+    pub probe_failures: u64,
+    /// Latency summary of successful health probes.
+    pub probe_latency: LatencySummary,
 }
 
 /// A point-in-time copy of every registry counter.
@@ -702,6 +847,9 @@ pub struct ObsSnapshot {
     /// Per-replica router counters (empty in processes that never
     /// registered any, i.e. everything but a router).
     pub router: Vec<RouterReplicaCounters>,
+    /// Router-tier hedging/degradation counters (all-zero outside a
+    /// router).
+    pub router_tier: RouterTierCounters,
     /// Traces currently held in the ring.
     pub trace_count: u64,
 }
@@ -745,9 +893,20 @@ pub fn snapshot() -> ObsSnapshot {
             failovers: s.failovers.load(Ordering::Relaxed),
             shed: s.shed.load(Ordering::Relaxed),
             healthy: s.healthy.load(Ordering::Relaxed) != 0,
+            breaker_open: s.breaker_open.load(Ordering::Relaxed) != 0,
+            probe_rejoins: s.probe_rejoins.load(Ordering::Relaxed),
             latency: LatencySummary::from_hist(&s.latency.snapshot()),
         })
         .collect();
+    let router_tier = RouterTierCounters {
+        hedges_fired: ROUTER_TIER.hedges_fired.load(Ordering::Relaxed),
+        hedges_won: ROUTER_TIER.hedges_won.load(Ordering::Relaxed),
+        degraded_replies: ROUTER_TIER.degraded_replies.load(Ordering::Relaxed),
+        breaker_opens: ROUTER_TIER.breaker_opens.load(Ordering::Relaxed),
+        retry_budget_exhausted: ROUTER_TIER.retry_budget_exhausted.load(Ordering::Relaxed),
+        probe_failures: ROUTER_TIER.probe_failures.load(Ordering::Relaxed),
+        probe_latency: LatencySummary::from_hist(&ROUTER_TIER.probe_latency.snapshot()),
+    };
     ObsSnapshot {
         enabled: enabled(),
         trace_sample_n: trace_sample_n(),
@@ -755,6 +914,7 @@ pub fn snapshot() -> ObsSnapshot {
         indexes,
         stages,
         router,
+        router_tier,
         knn_latency: LatencySummary::from_hist(&REGISTRY.knn_latency.snapshot()),
         range_latency: LatencySummary::from_hist(&REGISTRY.range_latency.snapshot()),
         store: StoreCounters {
@@ -803,6 +963,15 @@ pub fn reset() {
     // per-router-spawn state, and a fresh harness run should not inherit
     // slots from a previous topology.
     ROUTER_SLOTS.lock().unwrap().clear();
+    ROUTER_TIER.hedges_fired.store(0, Ordering::Relaxed);
+    ROUTER_TIER.hedges_won.store(0, Ordering::Relaxed);
+    ROUTER_TIER.degraded_replies.store(0, Ordering::Relaxed);
+    ROUTER_TIER.breaker_opens.store(0, Ordering::Relaxed);
+    ROUTER_TIER
+        .retry_budget_exhausted
+        .store(0, Ordering::Relaxed);
+    ROUTER_TIER.probe_failures.store(0, Ordering::Relaxed);
+    ROUTER_TIER.probe_latency.reset();
     REGISTRY.traces.reset();
 }
 
@@ -933,6 +1102,59 @@ mod tests {
         assert!(!after.healthy);
         assert!(after.latency.count >= before.latency.count + 2);
         h.set_healthy(true);
+    }
+
+    #[test]
+    fn router_tier_counters_accumulate_and_reset() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        let before = snapshot().router_tier;
+        router_hedge_fired();
+        router_hedge_fired();
+        router_hedge_won();
+        router_degraded_reply();
+        router_breaker_opened();
+        router_retry_budget_exhausted();
+        router_probe_ok(250);
+        router_probe_failed();
+        let after = snapshot().router_tier;
+        assert_eq!(after.hedges_fired - before.hedges_fired, 2);
+        assert_eq!(after.hedges_won - before.hedges_won, 1);
+        assert_eq!(after.degraded_replies - before.degraded_replies, 1);
+        assert_eq!(after.breaker_opens - before.breaker_opens, 1);
+        assert_eq!(
+            after.retry_budget_exhausted - before.retry_budget_exhausted,
+            1
+        );
+        assert_eq!(after.probe_failures - before.probe_failures, 1);
+        assert_eq!(after.probe_latency.count - before.probe_latency.count, 1);
+        reset();
+        assert_eq!(snapshot().router_tier, RouterTierCounters::default());
+    }
+
+    #[test]
+    fn breaker_gauge_and_probe_rejoins_record_per_replica() {
+        let _g = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        let h = router_replica(9, "backup-1");
+        let find = |snap: ObsSnapshot| {
+            snap.router
+                .into_iter()
+                .find(|r| r.shard == 9 && r.role == "backup-1")
+                .unwrap()
+        };
+        let before = find(snapshot());
+        assert!(!before.breaker_open);
+        h.set_breaker_open(true);
+        h.probe_rejoin();
+        let after = find(snapshot());
+        assert!(after.breaker_open);
+        assert_eq!(after.probe_rejoins - before.probe_rejoins, 1);
+        // Breaker position is routing state: recorded even when disabled.
+        set_enabled(false);
+        h.set_breaker_open(false);
+        assert!(!find(snapshot()).breaker_open);
+        set_enabled(true);
     }
 
     #[test]

@@ -12,10 +12,21 @@
 //! answers queries identically, failover is invisible in the reply
 //! bytes: only latency and the per-replica observability counters show
 //! it happened.
+//!
+//! Three mechanisms bound how much a failing replica can hurt:
+//! a per-replica **circuit breaker** (consecutive failover-worthy
+//! failures past a threshold demote the replica to last resort until a
+//! success — normally a health probe — closes it), a router-wide
+//! [`RetryBudget`] (failover attempts spend tokens, successes earn
+//! tenths back, so a persistent outage cannot amplify into a retry
+//! storm), and active **health probing**
+//! ([`ShardClient::probe_replicas`]) that replaces the passive cooldown
+//! with probe-driven leave/rejoin decisions.
 
-use cbir_obs::{router_replica, RouterReplicaHandle};
+use cbir_obs::{router_replica, LogHistogram, RouterReplicaHandle};
 use cbir_server::{Client, ClientError, ClientPool, ClientResult, Rejection};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Whether an error on one replica justifies retrying the request on a
@@ -28,6 +39,54 @@ pub fn should_failover(err: &ClientError) -> bool {
     err.is_transient() || matches!(err, ClientError::Rejected(Rejection::ShuttingDown(_)))
 }
 
+/// A global token bucket bounding *extra* work the router spends on
+/// failover: every non-first-choice attempt costs one token,
+/// every success earns a tenth back. Under a persistent outage the
+/// bucket drains and failover attempts stop — the router answers from
+/// what it has (or errors) instead of amplifying load against backends
+/// that are already in trouble. Shared across every shard of a router,
+/// because the failure mode it guards against (retry storms) is a
+/// whole-tier phenomenon.
+pub struct RetryBudget {
+    /// Tenths of a token, so successes can earn fractional credit with
+    /// integer atomics.
+    tenths: AtomicU64,
+    max_tenths: u64,
+}
+
+impl RetryBudget {
+    /// A bucket holding at most `max_tokens` failover attempts, starting
+    /// full. `u32::MAX` is effectively unlimited.
+    pub fn new(max_tokens: u32) -> RetryBudget {
+        let max_tenths = u64::from(max_tokens).saturating_mul(10);
+        RetryBudget {
+            tenths: AtomicU64::new(max_tenths),
+            max_tenths,
+        }
+    }
+
+    /// Try to pay for one failover attempt.
+    pub fn try_spend(&self) -> bool {
+        self.tenths
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| t.checked_sub(10))
+            .is_ok()
+    }
+
+    /// Credit a tenth of a token for a success, up to the cap.
+    pub fn earn(&self) {
+        let _ = self
+            .tenths
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+                (t < self.max_tenths).then(|| (t + 1).min(self.max_tenths))
+            });
+    }
+
+    /// Tokens currently available (rounded down).
+    pub fn available(&self) -> u64 {
+        self.tenths.load(Ordering::Relaxed) / 10
+    }
+}
+
 /// One backend process serving a shard: its address, pooled
 /// connections, health state, and observability handle.
 pub struct Replica {
@@ -37,6 +96,13 @@ pub struct Replica {
     /// Monotonic-clock deadline (microseconds since router start) until
     /// which this replica is considered unhealthy; 0 = healthy.
     unhealthy_until_us: AtomicU64,
+    /// Failover-worthy failures since the last success; crossing the
+    /// shard's threshold opens the circuit breaker.
+    consecutive_failures: AtomicU32,
+    /// Open = this replica is tried only when every alternative is
+    /// worse; closed again by the first success (typically a health
+    /// probe, which acts as the breaker's half-open trial).
+    breaker_open: AtomicBool,
     obs: RouterReplicaHandle,
 }
 
@@ -53,6 +119,8 @@ impl Replica {
             addr,
             role,
             unhealthy_until_us: AtomicU64::new(0),
+            consecutive_failures: AtomicU32::new(0),
+            breaker_open: AtomicBool::new(false),
             obs,
         }
     }
@@ -74,6 +142,17 @@ pub struct ShardClient {
     replicas: Vec<Replica>,
     next: AtomicUsize,
     cooldown: Duration,
+    /// Consecutive failover-worthy failures that open a replica's
+    /// circuit breaker; `0` disables breakers.
+    breaker_threshold: u32,
+    /// Router-wide failover token bucket (shared across shards).
+    budget: Arc<RetryBudget>,
+    /// Observed request latency for this shard as the *requester* saw it
+    /// (first reply wins under hedging), feeding the p99-derived hedge
+    /// delay. Deliberately not the per-attempt replica latency: a
+    /// persistently slow replica whose requests are rescued by hedging
+    /// must not inflate the delay that rescues them.
+    latency: LogHistogram,
     /// Shared monotonic epoch for the cooldown timestamps.
     epoch: Instant,
 }
@@ -84,11 +163,16 @@ impl ShardClient {
     /// sits out before being preferred again; `pool_size` caps the warm
     /// connections kept per replica (size it to the expected front-side
     /// concurrency, since every in-flight request checks one out).
+    /// `breaker_threshold` consecutive failover-worthy failures open a
+    /// replica's circuit breaker (`0` disables); `budget` is the
+    /// router-wide failover token bucket.
     pub fn new(
         shard: u32,
         addrs: Vec<String>,
         cooldown: Duration,
         pool_size: usize,
+        breaker_threshold: u32,
+        budget: Arc<RetryBudget>,
     ) -> ShardClient {
         assert!(!addrs.is_empty(), "shard {shard} has no replicas");
         let replicas = addrs
@@ -101,6 +185,9 @@ impl ShardClient {
             replicas,
             next: AtomicUsize::new(0),
             cooldown,
+            breaker_threshold,
+            budget,
+            latency: LogHistogram::new(),
             epoch: Instant::now(),
         }
     }
@@ -133,8 +220,74 @@ impl ShardClient {
     }
 
     fn mark_healthy(&self, r: &Replica) {
+        r.consecutive_failures.store(0, Ordering::Relaxed);
+        if r.breaker_open.swap(false, Ordering::Relaxed) {
+            r.obs.set_breaker_open(false);
+        }
         if r.unhealthy_until_us.swap(0, Ordering::Relaxed) != 0 {
             r.obs.set_healthy(true);
+        }
+    }
+
+    /// Count one failover-worthy failure toward the replica's circuit
+    /// breaker, opening it at the threshold.
+    fn record_breaker_failure(&self, r: &Replica) {
+        if self.breaker_threshold == 0 {
+            return;
+        }
+        let failures = r.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if failures >= self.breaker_threshold && !r.breaker_open.swap(true, Ordering::Relaxed) {
+            r.obs.set_breaker_open(true);
+            cbir_obs::router_breaker_opened();
+        }
+    }
+
+    /// Record the latency of one shard request's winning attempt,
+    /// clocked from that attempt's own start (see `hedged_shard_call`
+    /// for why the requester-observed total must not be fed here).
+    pub fn record_latency(&self, us: u64) {
+        self.latency.record(us);
+    }
+
+    /// The hedge delay for this shard: the observed p99 request latency,
+    /// floored at `floor`. Until enough samples exist (16) the floor
+    /// alone is used — hedging too eagerly on a cold histogram would
+    /// double every request's backend load.
+    pub fn hedge_delay(&self, floor: Duration) -> Duration {
+        let snap = self.latency.snapshot();
+        if snap.count < 16 {
+            return floor;
+        }
+        floor.max(Duration::from_micros(snap.quantile(99)))
+    }
+
+    /// Probe every replica of this shard once: dial with `timeout`,
+    /// ping, and fold the outcome into the health state. A probe
+    /// success on a down or breaker-open replica is a **rejoin** — the
+    /// replica returns to the preferred rotation immediately instead of
+    /// waiting out a cooldown; a probe failure (re)marks the replica
+    /// unhealthy so queries keep avoiding it. This is what turns the
+    /// passive cooldown into an active state machine: while the prober
+    /// runs, membership follows probe results, and the cooldown is only
+    /// the fallback granularity between probe rounds.
+    pub fn probe_replicas(&self, timeout: Duration) {
+        for r in &self.replicas {
+            let started = Instant::now();
+            let ok = Client::connect_timeout(r.addr.as_str(), timeout)
+                .ok()
+                .and_then(|mut c| c.ping().ok())
+                .is_some();
+            if ok {
+                cbir_obs::router_probe_ok(started.elapsed().as_micros() as u64);
+                let was_down = !self.is_healthy(r) || r.breaker_open.load(Ordering::Relaxed);
+                self.mark_healthy(r);
+                if was_down {
+                    r.obs.probe_rejoin();
+                }
+            } else {
+                cbir_obs::router_probe_failed();
+                self.mark_unhealthy(r);
+            }
         }
     }
 
@@ -156,18 +309,31 @@ impl ShardClient {
         let n = self.replicas.len();
         let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
         let mut order: Vec<usize> = (0..n).map(|i| (start + i) % n).collect();
-        // Healthy candidates first, cooled-down ones as a last resort.
-        order.sort_by_key(|&i| !self.is_healthy(&self.replicas[i]));
+        // Healthy candidates first, cooled-down ones after, breaker-open
+        // ones as the very last resort (the sort is stable, so the
+        // round-robin rotation is preserved within each class).
+        order.sort_by_key(|&i| {
+            let r = &self.replicas[i];
+            (r.breaker_open.load(Ordering::Relaxed), !self.is_healthy(r))
+        });
 
         let mut last_err: Option<ClientError> = None;
         for (rank, &i) in order.iter().enumerate() {
             let replica = &self.replicas[i];
             if rank > 0 {
+                // Failover attempts are extra backend load; they come
+                // out of the router-wide budget so a persistent outage
+                // cannot turn into a retry storm.
+                if !self.budget.try_spend() {
+                    cbir_obs::router_retry_budget_exhausted();
+                    break;
+                }
                 replica.obs.failover();
             }
             match self.try_replica(replica, &mut op) {
                 Ok(v) => {
                     self.mark_healthy(replica);
+                    self.budget.earn();
                     return Ok(v);
                 }
                 Err(e) if should_failover(&e) => {
@@ -176,6 +342,7 @@ impl ShardClient {
                     }
                     replica.obs.failure();
                     self.mark_unhealthy(replica);
+                    self.record_breaker_failure(replica);
                     last_err = Some(e);
                 }
                 Err(e) => {
@@ -281,9 +448,20 @@ mod tests {
         assert!(!should_failover(&ClientError::Protocol("junk".into())));
     }
 
+    fn shard_client(shard: u32, addrs: Vec<String>, cooldown: Duration) -> ShardClient {
+        ShardClient::new(
+            shard,
+            addrs,
+            cooldown,
+            4,
+            5,
+            Arc::new(RetryBudget::new(100)),
+        )
+    }
+
     #[test]
     fn roles_are_primary_then_numbered_backups() {
-        let sc = ShardClient::new(
+        let sc = shard_client(
             7,
             vec![
                 "127.0.0.1:1".into(),
@@ -291,7 +469,6 @@ mod tests {
                 "127.0.0.1:3".into(),
             ],
             Duration::from_millis(100),
-            4,
         );
         let roles: Vec<&str> = sc.replicas().iter().map(Replica::role).collect();
         assert_eq!(roles, ["primary", "backup-1", "backup-2"]);
@@ -300,11 +477,10 @@ mod tests {
 
     #[test]
     fn cooldown_marks_and_recovers() {
-        let sc = ShardClient::new(
+        let sc = shard_client(
             0,
             vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
             Duration::from_millis(20),
-            4,
         );
         let r = &sc.replicas()[0];
         assert!(sc.is_healthy(r));
@@ -314,5 +490,140 @@ mod tests {
         assert!(sc.is_healthy(r), "cooldown must expire");
         sc.mark_healthy(r);
         assert!(sc.is_healthy(r));
+    }
+
+    #[test]
+    fn breaker_opens_at_threshold_and_success_closes_it() {
+        let sc = shard_client(1, vec!["127.0.0.1:1".into()], Duration::from_millis(100));
+        let r = &sc.replicas()[0];
+        for _ in 0..4 {
+            sc.record_breaker_failure(r);
+        }
+        assert!(!r.breaker_open.load(Ordering::Relaxed));
+        sc.record_breaker_failure(r);
+        assert!(r.breaker_open.load(Ordering::Relaxed), "opens at threshold");
+        // A success (a probe's half-open trial in production) closes it
+        // and zeroes the streak.
+        sc.mark_healthy(r);
+        assert!(!r.breaker_open.load(Ordering::Relaxed));
+        assert_eq!(r.consecutive_failures.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn breaker_open_replicas_sort_last() {
+        let sc = shard_client(
+            2,
+            vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+            Duration::from_millis(100),
+        );
+        for _ in 0..5 {
+            sc.record_breaker_failure(&sc.replicas()[0]);
+        }
+        // With replica 0's breaker open, every round-robin rotation must
+        // still put replica 1 first.
+        for _ in 0..4 {
+            let n = sc.replicas.len();
+            let start = sc.next.fetch_add(1, Ordering::Relaxed) % n;
+            let mut order: Vec<usize> = (0..n).map(|i| (start + i) % n).collect();
+            order.sort_by_key(|&i| {
+                let r = &sc.replicas[i];
+                (r.breaker_open.load(Ordering::Relaxed), !sc.is_healthy(r))
+            });
+            assert_eq!(order[0], 1, "breaker-open replica must sort last");
+        }
+    }
+
+    #[test]
+    fn retry_budget_spends_whole_tokens_and_earns_tenths() {
+        let b = RetryBudget::new(2);
+        assert_eq!(b.available(), 2);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "empty bucket refuses");
+        // Ten successes earn one whole token back.
+        for _ in 0..10 {
+            b.earn();
+        }
+        assert_eq!(b.available(), 1);
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+        // Credit never exceeds the cap.
+        for _ in 0..1000 {
+            b.earn();
+        }
+        assert_eq!(b.available(), 2);
+    }
+
+    #[test]
+    fn exhausted_budget_stops_failover_but_first_choice_still_runs() {
+        let budget = Arc::new(RetryBudget::new(0));
+        // Nothing listens on these addresses: every attempt fails with a
+        // failover-worthy connect error.
+        let sc = ShardClient::new(
+            3,
+            vec!["127.0.0.1:9".into(), "127.0.0.1:10".into()],
+            Duration::from_millis(100),
+            1,
+            0,
+            budget,
+        );
+        let err = sc.call(|c| c.ping()).unwrap_err();
+        // The first-choice attempt ran (we got its connect error), but
+        // the zero budget forbade trying the sibling.
+        assert!(should_failover(&err));
+    }
+
+    #[test]
+    fn probe_rejoin_beats_cooldown() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Answer pings forever until the socket closes.
+            use cbir_server::protocol::{
+                decode_request, encode_response, read_frame, write_frame, Request, Response,
+            };
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+            let mut writer = std::io::BufWriter::new(stream);
+            while let Ok(Some(payload)) = read_frame(&mut reader) {
+                if !matches!(decode_request(&payload), Ok(Request::Ping)) {
+                    break;
+                }
+                let resp = Response::Pong { db_len: 1, dim: 4 };
+                if write_frame(&mut writer, &encode_response(&resp)).is_err() {
+                    break;
+                }
+                if std::io::Write::flush(&mut writer).is_err() {
+                    break;
+                }
+            }
+        });
+        let sc = shard_client(4, vec![addr.to_string()], Duration::from_secs(3600));
+        let r = &sc.replicas()[0];
+        // An hour-long cooldown would park the replica; one probe
+        // success rejoins it immediately.
+        sc.mark_unhealthy(r);
+        assert!(!sc.is_healthy(r));
+        sc.probe_replicas(Duration::from_millis(500));
+        assert!(sc.is_healthy(r), "probe success must rejoin immediately");
+        drop(sc);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn probe_failure_marks_a_healthy_replica_down() {
+        // Grab a port and release it so nothing answers there.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let sc = shard_client(5, vec![addr], Duration::from_millis(50));
+        let r = &sc.replicas()[0];
+        assert!(sc.is_healthy(r));
+        sc.probe_replicas(Duration::from_millis(200));
+        assert!(
+            !sc.is_healthy(r),
+            "probe failure must mark the replica down"
+        );
     }
 }

@@ -25,7 +25,7 @@
 //! own row count — which is why every bit-identity assertion in the
 //! tests and benchmarks pins `recall_target = 1.0`.
 
-use crate::backend::ShardClient;
+use crate::backend::{should_failover, RetryBudget, ShardClient};
 use crate::jsonmerge::{self, Json};
 use crate::merge::kway_merge;
 use cbir_core::ShardPlan;
@@ -36,7 +36,7 @@ use cbir_server::{Client, ClientError, ClientResult, HitsReply, Rejection};
 use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter, ErrorKind};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -55,6 +55,33 @@ pub struct RouterConfig {
     /// checkout beyond the warm set pays a fresh TCP dial (plus a
     /// connection-thread spawn on the backend) on *every* request.
     pub pool_per_replica: usize,
+    /// Interval between background health-probe rounds; `None` (the
+    /// default) disables active probing and leaves the passive cooldown
+    /// in charge. With probing on, a down replica rejoins the rotation
+    /// the moment a probe succeeds instead of waiting out its cooldown.
+    pub probe_interval: Option<Duration>,
+    /// Hedge-delay floor for scatter queries; `None` (the default)
+    /// disables hedging. When set, a shard request still unanswered
+    /// after `max(floor, shard p99)` fires a second attempt on a
+    /// sibling replica and the first reply wins. Requires at least two
+    /// replicas per shard to be useful.
+    pub hedge: Option<Duration>,
+    /// Serve partial results when some shards are down: a query whose
+    /// scatter loses shards to *availability* errors (connect failures,
+    /// timeouts, drains — never semantic errors) answers from the live
+    /// shards with an explicit degraded marker instead of failing.
+    /// Off by default: exact-path replies stay byte-identical to a
+    /// single union node, and with every shard answering they stay so
+    /// even when this is on.
+    pub allow_partial: bool,
+    /// Consecutive failover-worthy failures that open a replica's
+    /// circuit breaker (demoting it to last resort until a success —
+    /// normally a probe — closes it). `0` disables breakers.
+    pub breaker_threshold: u32,
+    /// Size of the router-wide failover token bucket: every
+    /// non-first-choice attempt spends a token, every success earns a
+    /// tenth back. `u32::MAX` is effectively unlimited.
+    pub retry_budget: u32,
 }
 
 impl Default for RouterConfig {
@@ -63,6 +90,11 @@ impl Default for RouterConfig {
             cooldown: Duration::from_secs(1),
             read_timeout: None,
             pool_per_replica: 32,
+            probe_interval: None,
+            hedge: None,
+            allow_partial: false,
+            breaker_threshold: 5,
+            retry_budget: 100,
         }
     }
 }
@@ -73,19 +105,48 @@ struct RouterCore {
     shards: Vec<ShardClient>,
     stopping: AtomicBool,
     local_addr: SocketAddr,
+    /// Hedge-delay floor; `None` disables hedging.
+    hedge: Option<Duration>,
+    /// Whether scatter queries may answer from a subset of shards.
+    allow_partial: bool,
     /// Read-half clones of live connections, closed at shutdown so
-    /// blocked readers wake up.
-    conns: Mutex<Vec<TcpStream>>,
+    /// blocked readers wake up. Token-keyed so a finished connection can
+    /// drop its clone — otherwise the registry would hold every socket's
+    /// fd open for the router's whole lifetime, and peers waiting for the
+    /// router's FIN (or the OS for the fd) would see a leaked slot.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    next_conn_token: AtomicU64,
 }
 
 impl RouterCore {
+    /// Record a live connection for shutdown severing; returns the token
+    /// to pass to [`RouterCore::deregister`] when the connection ends.
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let token = self.next_conn_token.fetch_add(1, Ordering::Relaxed);
+        self.conns
+            .lock()
+            .expect("conn registry")
+            .push((token, clone));
+        Some(token)
+    }
+
+    /// Drop the registry's clone of a finished connection so its socket
+    /// actually closes when `serve_connection` returns.
+    fn deregister(&self, token: u64) {
+        self.conns
+            .lock()
+            .expect("conn registry")
+            .retain(|(t, _)| *t != token);
+    }
+
     /// Idempotently stop the router: close every connection's read
     /// half and unblock the accept loop. Backends are untouched.
     fn trigger(&self) {
         if self.stopping.swap(true, Ordering::SeqCst) {
             return;
         }
-        for s in self.conns.lock().expect("conn registry").iter() {
+        for (_, s) in self.conns.lock().expect("conn registry").iter() {
             let _ = s.shutdown(Shutdown::Read);
         }
         let _ = TcpStream::connect(self.local_addr);
@@ -99,6 +160,7 @@ pub struct RouterHandle {
     local_addr: SocketAddr,
     core: Arc<RouterCore>,
     acceptor: JoinHandle<()>,
+    prober: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -120,6 +182,9 @@ impl RouterHandle {
     /// [`RouterHandle::shutdown`]).
     pub fn join(self) {
         let _ = self.acceptor.join();
+        if let Some(p) = self.prober {
+            let _ = p.join();
+        }
         let handles = std::mem::take(&mut *self.conn_threads.lock().expect("conn threads"));
         for h in handles {
             let _ = h.join();
@@ -159,11 +224,19 @@ impl Router {
         }
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let budget = Arc::new(RetryBudget::new(config.retry_budget));
         let shards = shard_addrs
             .into_iter()
             .enumerate()
             .map(|(s, addrs)| {
-                ShardClient::new(s as u32, addrs, config.cooldown, config.pool_per_replica)
+                ShardClient::new(
+                    s as u32,
+                    addrs,
+                    config.cooldown,
+                    config.pool_per_replica,
+                    config.breaker_threshold,
+                    Arc::clone(&budget),
+                )
             })
             .collect();
         let core = Arc::new(RouterCore {
@@ -171,7 +244,10 @@ impl Router {
             shards,
             stopping: AtomicBool::new(false),
             local_addr,
+            hedge: config.hedge,
+            allow_partial: config.allow_partial,
             conns: Mutex::new(Vec::new()),
+            next_conn_token: AtomicU64::new(0),
         });
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -189,13 +265,13 @@ impl Router {
                             }
                             let _ = stream.set_nodelay(true);
                             let _ = stream.set_read_timeout(read_timeout);
-                            if let Ok(clone) = stream.try_clone() {
-                                core.conns.lock().expect("conn registry").push(clone);
-                            }
+                            let Some(token) = core.register(&stream) else {
+                                continue;
+                            };
                             let core = Arc::clone(&core);
                             let spawned = std::thread::Builder::new()
                                 .name("cbir-route-conn".into())
-                                .spawn(move || serve_connection(stream, core));
+                                .spawn(move || serve_connection(stream, core, token));
                             if let Ok(h) = spawned {
                                 conn_threads.lock().expect("conn threads").push(h);
                             }
@@ -211,10 +287,41 @@ impl Router {
                 })?
         };
 
+        let prober = match config.probe_interval {
+            None => None,
+            Some(interval) => {
+                let core = Arc::clone(&core);
+                // A probe that hangs longer than the interval would make
+                // rounds pile up; bound it at the interval (capped so a
+                // very long interval doesn't grant probes minutes).
+                let timeout = interval.min(Duration::from_millis(250));
+                Some(
+                    std::thread::Builder::new()
+                        .name("cbir-route-probe".into())
+                        .spawn(move || {
+                            while !core.stopping.load(Ordering::SeqCst) {
+                                for shard in &core.shards {
+                                    shard.probe_replicas(timeout);
+                                }
+                                // Sleep in short slices so shutdown is
+                                // never stuck behind a long interval.
+                                let mut left = interval;
+                                while !left.is_zero() && !core.stopping.load(Ordering::SeqCst) {
+                                    let slice = left.min(Duration::from_millis(25));
+                                    std::thread::sleep(slice);
+                                    left -= slice;
+                                }
+                            }
+                        })?,
+                )
+            }
+        };
+
         Ok(RouterHandle {
             local_addr,
             core,
             acceptor,
+            prober,
             conn_threads,
         })
     }
@@ -224,7 +331,14 @@ impl Router {
 /// repeat. Requests on one connection are handled sequentially (the
 /// parallelism is per-request across shards), which keeps replies in
 /// request order by construction.
-fn serve_connection(stream: TcpStream, core: Arc<RouterCore>) {
+fn serve_connection(stream: TcpStream, core: Arc<RouterCore>, token: u64) {
+    serve_connection_inner(stream, &core);
+    // Whatever way the connection ended — clean EOF, malformed frame,
+    // write failure — drop the registry's clone so the socket closes.
+    core.deregister(token);
+}
+
+fn serve_connection_inner(stream: TcpStream, core: &Arc<RouterCore>) {
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -261,7 +375,7 @@ fn serve_connection(stream: TcpStream, core: Arc<RouterCore>) {
         };
         let received = Instant::now();
         let stop = matches!(request, Request::Shutdown);
-        let response = handle(&core, &pool, request, received);
+        let response = handle(core, &pool, request, received);
         let sent = respond(&response);
         if stop {
             // Stop the router only — a drained routing tier must not
@@ -483,9 +597,100 @@ fn shard_error(shard: usize, e: ClientError) -> Response {
     }
 }
 
+/// A shard sub-request: borrows a pooled backend connection, returns
+/// the typed reply. Shared between the direct and hedged attempt paths.
+type ShardOp<T> = Arc<dyn Fn(&mut Client) -> ClientResult<T> + Send + Sync>;
+
+/// One shard request, hedged when the router is configured for it: the
+/// first attempt gets `max(floor, shard p99)` to answer; past that a
+/// second attempt fires on the shard (round-robin puts it on a sibling
+/// replica) and the first reply wins. The losing attempt is not
+/// cancelled — it completes against its backend and its send into the
+/// closed channel is discarded — which is the standard hedging
+/// trade-off: bounded duplicate work for a bounded tail.
+///
+/// The hedge-delay histogram is fed the **winning attempt's own**
+/// latency, clocked from that attempt's start — not the requester-
+/// observed total, which includes the hedge wait itself. Recording the
+/// total is a feedback loop: when every request hedges (a persistently
+/// slow first-choice replica), every sample is `delay + epsilon`, the
+/// p99 tracks the delay, and the delay ratchets itself up until it
+/// exceeds the stall and hedging silently stops. The winner's own
+/// latency is exactly the quantity the delay estimates — how long a
+/// healthy replica needs — so the delay stays pinned to the healthy
+/// floor no matter how slow the rescued replica is.
+fn hedged_shard_call<T: Send + 'static>(
+    core: &Arc<RouterCore>,
+    s: usize,
+    op: ShardOp<T>,
+) -> ClientResult<T> {
+    let Some(floor) = core.hedge else {
+        return core.shards[s].call(|c| op(c));
+    };
+    let delay = core.shards[s].hedge_delay(floor);
+    let (tx, rx) = mpsc::channel::<(usize, u64, ClientResult<T>)>();
+    let spawn_attempt = |rank: usize| {
+        let (core, op, tx) = (Arc::clone(core), Arc::clone(&op), tx.clone());
+        std::thread::Builder::new()
+            .name(format!("cbir-route-hedge-{s}-{rank}"))
+            .spawn(move || {
+                let started = Instant::now();
+                let r = core.shards[s].call(|c| op(c));
+                let _ = tx.send((rank, started.elapsed().as_micros() as u64, r));
+            })
+            .is_ok()
+    };
+    let accept = |rank: usize, own_us: u64, v| {
+        core.shards[s].record_latency(own_us);
+        if rank == 1 {
+            cbir_obs::router_hedge_won();
+        }
+        Ok(v)
+    };
+    if !spawn_attempt(0) {
+        // Out of threads: degrade to the plain inline call.
+        return core.shards[s].call(|c| op(c));
+    }
+    match rx.recv_timeout(delay) {
+        Ok((rank, own_us, Ok(v))) => accept(rank, own_us, v),
+        Ok((_, _, Err(e))) => Err(e),
+        Err(mpsc::RecvTimeoutError::Disconnected) => ClientResult::Err(ClientError::Protocol(
+            format!("hedge attempt for shard {s} lost"),
+        )),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            cbir_obs::router_hedge_fired();
+            let hedged = spawn_attempt(1);
+            drop(tx);
+            let attempts = if hedged { 2 } else { 1 };
+            let mut last_err = None;
+            for _ in 0..attempts {
+                match rx.recv() {
+                    Ok((rank, own_us, Ok(v))) => return accept(rank, own_us, v),
+                    Ok((_, _, Err(e))) => last_err = Some(e),
+                    Err(_) => break,
+                }
+            }
+            Err(last_err.unwrap_or_else(|| {
+                ClientError::Protocol(format!("hedge attempts for shard {s} lost"))
+            }))
+        }
+    }
+}
+
 /// Scatter a search to every shard, translate ids to global, merge.
 /// `limit` is `Some(k)` for knn and `None` for range (whose union keeps
 /// every hit).
+///
+/// With `allow_partial` set, shards lost to availability errors (the
+/// [`should_failover`] class — every replica unreachable, drained, or
+/// timing out) are skipped instead of failing the query: the reply
+/// becomes [`Response::HitsPartial`], a byte-superset of the `Hits`
+/// encoding carrying `shards_answered / shards_total`, and only when
+/// coverage actually dropped — full-coverage replies stay the plain
+/// `Hits` frame, byte-identical to a single union node on the exact
+/// path. Semantic errors (a shard answering with out-of-plan ids, an
+/// explicit backend error) always fail the query: absence of data is
+/// degradable, wrong data is not.
 fn gather_query(
     core: &Arc<RouterCore>,
     pool: &ScatterPool,
@@ -498,9 +703,15 @@ fn gather_query(
         Ok(r) => r,
         Err(resp) => return *resp,
     };
-    let results = scatter(core, pool, move |_, shard| shard.call(|c| op(c, remaining)));
+    let op: ShardOp<HitsReply> = Arc::new(move |c| op(c, remaining));
+    let hedging_core = Arc::clone(core);
+    let results = scatter(core, pool, move |s, _shard| {
+        hedged_shard_call(&hedging_core, s, Arc::clone(&op))
+    });
+    let shards_total = results.len() as u32;
     let mut lists = Vec::with_capacity(results.len());
     let (mut coarse, mut rerank) = (0u64, 0u64);
+    let mut first_unavailable: Option<(usize, ClientError)> = None;
     for (s, r) in results.into_iter().enumerate() {
         match r {
             Ok(mut reply) => {
@@ -519,8 +730,30 @@ fn gather_query(
                 rerank += reply.rerank_evaluations;
                 lists.push(reply.hits);
             }
+            Err(e) if core.allow_partial && should_failover(&e) => {
+                if first_unavailable.is_none() {
+                    first_unavailable = Some((s, e));
+                }
+            }
             Err(e) => return shard_error(s, e),
         }
+    }
+    let shards_answered = lists.len() as u32;
+    if shards_answered == 0 {
+        // Partial mode still needs at least one shard; report the first
+        // loss rather than an empty result that looks like real data.
+        let (s, e) = first_unavailable.expect("no shards answered, none failed");
+        return shard_error(s, e);
+    }
+    if shards_answered < shards_total {
+        cbir_obs::router_degraded_reply();
+        return Response::HitsPartial {
+            hits: kway_merge(&lists, limit),
+            coarse_candidates: coarse,
+            rerank_evaluations: rerank,
+            shards_answered,
+            shards_total,
+        };
     }
     Response::Hits {
         hits: kway_merge(&lists, limit),
@@ -571,6 +804,26 @@ fn knn_by_id(
                 hits,
                 coarse_candidates,
                 rerank_evaluations,
+            }
+        }
+        // A degraded gather keeps its coverage accounting through the
+        // same exclusion step. (The descriptor fetch above stays strict:
+        // without the query row there is nothing to search for.)
+        Response::HitsPartial {
+            mut hits,
+            coarse_candidates,
+            rerank_evaluations,
+            shards_answered,
+            shards_total,
+        } => {
+            hits.retain(|h| h.id != id);
+            hits.truncate(k);
+            Response::HitsPartial {
+                hits,
+                coarse_candidates,
+                rerank_evaluations,
+                shards_answered,
+                shards_total,
             }
         }
         other => other,

@@ -9,8 +9,8 @@ use cbir_core::{
 use cbir_distance::Measure;
 use cbir_features::Pipeline;
 use cbir_router::{Router, RouterConfig};
-use cbir_server::protocol::{encode_request, read_frame, write_frame, Request};
-use cbir_server::{Client, SchedulerConfig, Server, ServerHandle};
+use cbir_server::protocol::{encode_request, read_frame, write_frame, Hit, Request};
+use cbir_server::{ChaosProxy, Client, SchedulerConfig, Server, ServerHandle, WireMode};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -332,4 +332,277 @@ fn router_rejects_inserts_and_routes_point_ops() {
     for b in backends {
         b.shutdown();
     }
+}
+
+/// A union corpus built from [`cbir_workload::duplicated_histograms`],
+/// so cross-shard distance ties (the `(distance, id)` tie-break's whole
+/// reason to exist) are guaranteed, not incidental.
+fn tied_union_db(n: usize) -> ImageDatabase {
+    let pipeline = Pipeline::color_histogram_default();
+    let dim = pipeline.dim();
+    let rows = cbir_workload::duplicated_histograms(n, dim, 1.0, 3, 0xD15EA5E);
+    let mut descriptors = Vec::with_capacity(n * dim);
+    let mut metas = Vec::with_capacity(n);
+    for (g, v) in rows.iter().enumerate() {
+        descriptors.extend_from_slice(v);
+        metas.push(ImageMeta {
+            name: format!("img-{g}"),
+            label: None,
+        });
+    }
+    ImageDatabase::from_parts(pipeline, false, descriptors, metas).unwrap()
+}
+
+/// The reply a degraded merge over exactly `live` shards must produce:
+/// query each live backend directly, translate ids to global, merge
+/// under the documented `(distance, id)` order, truncate to `k`.
+fn expected_partial_hits(
+    plan: &ShardPlan,
+    live: &[(usize, SocketAddr)],
+    query: &[f32],
+    k: usize,
+) -> Vec<Hit> {
+    let mut all: Vec<Hit> = Vec::new();
+    for &(s, addr) in live {
+        let mut c = Client::connect(addr).unwrap();
+        for mut h in c.knn(query, k, 0, 1.0).unwrap() {
+            h.id = plan.to_global(s, h.id).unwrap();
+            all.push(h);
+        }
+    }
+    all.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    all.truncate(k);
+    all
+}
+
+fn assert_hits_bit_identical(got: &[Hit], want: &[Hit], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: hit count");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.id, w.id, "{ctx}: id order");
+        assert_eq!(
+            g.distance.to_bits(),
+            w.distance.to_bits(),
+            "{ctx}: distance bits for id {}",
+            g.id
+        );
+    }
+}
+
+#[test]
+fn partial_results_degrade_through_shard_loss_with_exact_accounting() {
+    let union = tied_union_db(60);
+    let k = 9;
+    let query = union.descriptor(3).unwrap().to_vec(); // a duplicated row: ties guaranteed
+    let plan = ShardPlan::new(ShardScheme::Mod, union.dim(), union.len() as u64, 3).unwrap();
+    let parts = split_database(&union, &plan).unwrap();
+    let backends: Vec<ServerHandle> = parts.into_iter().map(spawn_backend).collect();
+    let addrs: Vec<Vec<String>> = backends
+        .iter()
+        .map(|b| vec![b.local_addr().to_string()])
+        .collect();
+    let backend_addrs: Vec<SocketAddr> = backends.iter().map(ServerHandle::local_addr).collect();
+    let router = Router::spawn(
+        plan.clone(),
+        addrs,
+        "127.0.0.1:0",
+        RouterConfig {
+            allow_partial: true,
+            cooldown: Duration::from_millis(100),
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Full coverage with allow_partial ON: the reply is still the plain
+    // Hits frame, byte-identical to a single node serving the union.
+    let single = spawn_backend(union.clone());
+    let req = Request::Knn {
+        k: k as u32,
+        deadline_us: 0,
+        recall_target: 1.0,
+        descriptor: query.clone(),
+    };
+    assert_eq!(
+        raw_call(router.local_addr(), &req),
+        raw_call(single.local_addr(), &req),
+        "healthy partial-mode replies must stay bit-identical"
+    );
+    single.shutdown();
+
+    let degraded_before = cbir_obs::snapshot().router_tier.degraded_replies;
+    let mut backends = backends;
+
+    // All-but-one shards answering: kill shard 1.
+    backends.remove(1).shutdown();
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let reply = client.knn_detailed(&query, k, 0, 1.0).unwrap();
+    assert!(reply.degraded);
+    assert_eq!((reply.shards_answered, reply.shards_total), (2, 3));
+    let live = [(0usize, backend_addrs[0]), (2usize, backend_addrs[2])];
+    let want = expected_partial_hits(&plan, &live, &query, k);
+    assert_hits_bit_identical(&reply.hits, &want, "2/3 shards");
+    // On the wire the reply is the HitsPartial frame, not Hits.
+    let payload = raw_call(router.local_addr(), &req);
+    assert_eq!(payload[0], 13, "degraded replies carry the partial tag");
+
+    // knn-by-id whose owner shard is alive degrades the same way; one
+    // whose owner is gone cannot even fetch the query row.
+    let owned_by_live = (0..union.len())
+        .find(|&g| plan.to_local(g as u64).unwrap().0 == 0)
+        .unwrap();
+    let by_id = client.knn_by_id_detailed(owned_by_live, k, 0, 1.0).unwrap();
+    assert!(by_id.degraded);
+    assert_eq!((by_id.shards_answered, by_id.shards_total), (2, 3));
+    let owned_by_dead = (0..union.len())
+        .find(|&g| plan.to_local(g as u64).unwrap().0 == 1)
+        .unwrap();
+    assert!(client.knn_by_id(owned_by_dead, k, 0, 1.0).is_err());
+
+    // One shard answering.
+    backends.pop().unwrap().shutdown(); // shard 2
+    let reply = client.knn_detailed(&query, k, 0, 1.0).unwrap();
+    assert_eq!((reply.shards_answered, reply.shards_total), (1, 3));
+    let want = expected_partial_hits(&plan, &[(0, backend_addrs[0])], &query, k);
+    assert_hits_bit_identical(&reply.hits, &want, "1/3 shards");
+
+    // Zero shards answering: partial mode refuses to fake an empty
+    // result; the query errors.
+    backends.pop().unwrap().shutdown(); // shard 0
+    assert!(client.knn(&query, k, 0, 1.0).is_err());
+
+    let degraded_after = cbir_obs::snapshot().router_tier.degraded_replies;
+    assert!(
+        degraded_after >= degraded_before + 4,
+        "each partial reply counts: {degraded_before} -> {degraded_after}"
+    );
+    router.shutdown();
+}
+
+#[test]
+fn hedged_requests_rescue_a_slow_replica() {
+    let union = union_db(40);
+    let plan = ShardPlan::new(ShardScheme::Mod, union.dim(), union.len() as u64, 1).unwrap();
+    let fast = spawn_backend(union.clone());
+    let slow_backend = spawn_backend(union.clone());
+    // The primary answers through a proxy that delays every reply chunk
+    // well past the hedge floor.
+    let slow = ChaosProxy::spawn(
+        slow_backend.local_addr().to_string(),
+        WireMode::Delay(Duration::from_millis(120)),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let router = Router::spawn(
+        plan,
+        vec![vec![
+            slow.local_addr().to_string(),
+            fast.local_addr().to_string(),
+        ]],
+        "127.0.0.1:0",
+        RouterConfig {
+            hedge: Some(Duration::from_millis(10)),
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+
+    let tier_before = cbir_obs::snapshot().router_tier;
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let query = union.descriptor(0).unwrap().to_vec();
+    let mut direct = Client::connect(fast.local_addr()).unwrap();
+    let want = direct.knn(&query, 5, 0, 1.0).unwrap();
+    for _ in 0..12 {
+        let hits = client.knn(&query, 5, 0, 1.0).unwrap();
+        assert_hits_bit_identical(&hits, &want, "hedged");
+    }
+    let tier_after = cbir_obs::snapshot().router_tier;
+    assert!(
+        tier_after.hedges_fired > tier_before.hedges_fired,
+        "round-robin must land on the slow replica and outlive the floor"
+    );
+    assert!(
+        tier_after.hedges_won > tier_before.hedges_won,
+        "the fast sibling must win at least one race"
+    );
+
+    router.shutdown();
+    slow.shutdown();
+    slow_backend.shutdown();
+    fast.shutdown();
+}
+
+#[test]
+fn probe_driven_rejoin_brings_a_flapped_replica_back() {
+    let union = union_db(30);
+    let plan = ShardPlan::new(ShardScheme::Mod, union.dim(), union.len() as u64, 1).unwrap();
+    let primary_backend = spawn_backend(union.clone());
+    let backup = spawn_backend(union.clone());
+    let proxy = ChaosProxy::spawn(
+        primary_backend.local_addr().to_string(),
+        WireMode::Pass,
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    // Hour-long cooldown: if the replica comes back, it can only be the
+    // prober's doing.
+    let router = Router::spawn(
+        plan,
+        vec![vec![
+            proxy.local_addr().to_string(),
+            backup.local_addr().to_string(),
+        ]],
+        "127.0.0.1:0",
+        RouterConfig {
+            probe_interval: Some(Duration::from_millis(50)),
+            cooldown: Duration::from_secs(3600),
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+
+    let rejoins = |snap: &cbir_obs::ObsSnapshot| {
+        snap.router
+            .iter()
+            .filter(|r| r.shard == 0)
+            .map(|r| r.probe_rejoins)
+            .sum::<u64>()
+    };
+    let before = rejoins(&cbir_obs::snapshot());
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let query = union.descriptor(0).unwrap().to_vec();
+    assert_eq!(client.knn(&query, 3, 0, 1.0).unwrap().len(), 3);
+
+    // Take the primary's wire down. Every query must keep answering via
+    // the backup — zero failures surface to the client.
+    proxy.set_mode(WireMode::Drop);
+    std::thread::sleep(Duration::from_millis(150)); // let a probe fail
+    for _ in 0..6 {
+        assert_eq!(client.knn(&query, 3, 0, 1.0).unwrap().len(), 3);
+    }
+
+    // Wire back up: a probe success must rejoin the replica despite the
+    // hour-long cooldown.
+    proxy.set_mode(WireMode::Pass);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if rejoins(&cbir_obs::snapshot()) > before {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no probe-driven rejoin within 5s"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(client.knn(&query, 3, 0, 1.0).unwrap().len(), 3);
+
+    router.shutdown();
+    proxy.shutdown();
+    primary_backend.shutdown();
+    backup.shutdown();
 }

@@ -1,0 +1,580 @@
+//! Wire-level fault injection: an in-process TCP proxy that sits
+//! between a client and a `CBIRRPC1` peer and breaks the byte stream on
+//! purpose.
+//!
+//! `core::faults` injects failures at the file/stream *API* boundary
+//! inside one process. This module extends the same idea to the wire:
+//! a [`ChaosProxy`] listens on its own port, forwards every accepted
+//! connection to a fixed upstream address, and applies a per-connection
+//! [`WireMode`] — added latency, bandwidth throttling, immediate
+//! connection drops, torn mid-frame writes, single-bit corruption, or a
+//! black-hole that accepts and then never answers.
+//!
+//! Determinism is the point: the modes that make per-connection random
+//! choices ([`WireMode::TornReply`], [`WireMode::FlipBit`]) derive them
+//! from `(seed, connection index)` with a fixed mixer, so a chaos sweep
+//! replays byte-for-byte — the wire analog of the seeded
+//! `cbir_core::faults::FaultPolicy` scripts used for storage faults.
+//! Connections are indexed in accept order starting at 0.
+//!
+//! The proxy is zero-dependency and runs entirely in-process, so tests
+//! and benchmarks can put one in front of any replica without external
+//! tooling. [`ChaosHandle::set_mode`] switches the fault live (severing
+//! existing connections so the new behavior applies immediately), which
+//! is how a "flapping replica" is scripted: `Drop` for a while, then
+//! back to `Pass`.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The fault a connection through the proxy experiences. Modes carrying
+/// a `seed` make their per-connection choices deterministically from
+/// `(seed, connection index)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireMode {
+    /// Forward bytes untouched (the healthy baseline).
+    Pass,
+    /// Sleep this long before forwarding each upstream-to-client chunk:
+    /// a slow replica whose replies are intact but late.
+    Delay(Duration),
+    /// Cap forwarded bandwidth in both directions.
+    Throttle {
+        /// Maximum sustained bytes per second per direction.
+        bytes_per_sec: u64,
+    },
+    /// Accept, then close immediately: the replica's process is gone
+    /// but the listener backlog still answers the TCP handshake.
+    Drop,
+    /// Accept and read forever without ever answering: the pathological
+    /// peer that only a client-side timeout can escape.
+    BlackHole,
+    /// Forward only a seeded per-connection prefix of the
+    /// upstream-to-client bytes, then sever the connection — a reply
+    /// torn mid-frame.
+    TornReply {
+        /// Sweep seed; same seed and accept order replay the same tears.
+        seed: u64,
+        /// Tear after `1 + mix(seed, conn) % max_prefix` reply bytes.
+        max_prefix: u64,
+    },
+    /// Flip one bit at a seeded per-connection offset in the
+    /// upstream-to-client byte stream: silent corruption in flight.
+    FlipBit {
+        /// Sweep seed; same seed and accept order flip the same bits.
+        seed: u64,
+        /// The flipped byte offset is `mix(seed, conn) % window`.
+        window: u64,
+    },
+}
+
+/// Counters the proxy keeps about the faults it actually injected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections closed immediately by [`WireMode::Drop`].
+    pub dropped: u64,
+    /// Connections held open unanswered by [`WireMode::BlackHole`].
+    pub black_holed: u64,
+    /// Replies torn mid-stream by [`WireMode::TornReply`].
+    pub torn: u64,
+    /// Bits flipped by [`WireMode::FlipBit`].
+    pub bits_flipped: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    dropped: AtomicU64,
+    black_holed: AtomicU64,
+    torn: AtomicU64,
+    bits_flipped: AtomicU64,
+}
+
+struct Inner {
+    upstream: String,
+    mode: Mutex<WireMode>,
+    stopping: AtomicBool,
+    counters: Counters,
+    /// Clones of every live proxied stream (client and upstream sides),
+    /// severed on mode changes and at shutdown so blocked pumps wake up.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Inner {
+    fn sever(&self) {
+        let mut conns = self.conns.lock().expect("chaos conn registry");
+        for s in conns.iter() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        conns.clear();
+    }
+
+    fn register(&self, s: &TcpStream) {
+        if let Ok(clone) = s.try_clone() {
+            self.conns.lock().expect("chaos conn registry").push(clone);
+        }
+    }
+}
+
+/// SplitMix64 over `(seed, connection index)`: the deterministic source
+/// for every per-connection choice a seeded [`WireMode`] makes.
+fn mix(seed: u64, conn: u64) -> u64 {
+    let mut x = seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// The chaos proxy entry point.
+pub struct ChaosProxy;
+
+/// A running [`ChaosProxy`]. Dropping the handle without
+/// [`ChaosHandle::shutdown`] detaches the proxy threads.
+pub struct ChaosHandle {
+    local_addr: SocketAddr,
+    inner: Arc<Inner>,
+    acceptor: JoinHandle<()>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ChaosProxy {
+    /// Listen on `addr` (use port 0 for an ephemeral port) and forward
+    /// every accepted connection to `upstream` under `mode`.
+    pub fn spawn(
+        upstream: impl Into<String>,
+        mode: WireMode,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<ChaosHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            upstream: upstream.into(),
+            mode: Mutex::new(mode),
+            stopping: AtomicBool::new(false),
+            counters: Counters::default(),
+            conns: Mutex::new(Vec::new()),
+        });
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::Builder::new()
+                .name("cbir-chaos-accept".into())
+                .spawn(move || {
+                    let mut conn_index = 0u64;
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if inner.stopping.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                let index = conn_index;
+                                conn_index += 1;
+                                inner.counters.connections.fetch_add(1, Ordering::Relaxed);
+                                let inner = Arc::clone(&inner);
+                                let spawned = std::thread::Builder::new()
+                                    .name("cbir-chaos-conn".into())
+                                    .spawn(move || proxy_connection(stream, index, inner));
+                                if let Ok(h) = spawned {
+                                    conn_threads.lock().expect("chaos threads").push(h);
+                                }
+                            }
+                            Err(_) => {
+                                if inner.stopping.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                        }
+                    }
+                })?
+        };
+        Ok(ChaosHandle {
+            local_addr,
+            inner,
+            acceptor,
+            conn_threads,
+        })
+    }
+}
+
+impl ChaosHandle {
+    /// The address the proxy is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// What the proxy has injected so far.
+    pub fn stats(&self) -> ChaosStats {
+        let c = &self.inner.counters;
+        ChaosStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            dropped: c.dropped.load(Ordering::Relaxed),
+            black_holed: c.black_holed.load(Ordering::Relaxed),
+            torn: c.torn.load(Ordering::Relaxed),
+            bits_flipped: c.bits_flipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Switch the fault mode live. Existing proxied connections are
+    /// severed so the new behavior takes effect immediately — exactly
+    /// what a scripted replica flap (`Drop`, later back to `Pass`)
+    /// needs; connection indices keep counting up across the switch.
+    pub fn set_mode(&self, mode: WireMode) {
+        *self.inner.mode.lock().expect("chaos mode") = mode;
+        self.inner.sever();
+    }
+
+    /// Stop accepting, sever every proxied connection, and join the
+    /// proxy threads. The upstream peer is untouched.
+    pub fn shutdown(self) {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        self.inner.sever();
+        let _ = self.acceptor.join();
+        let handles = std::mem::take(&mut *self.conn_threads.lock().expect("chaos threads"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Handle one accepted client connection under the mode snapshotted at
+/// accept time.
+fn proxy_connection(client: TcpStream, index: u64, inner: Arc<Inner>) {
+    let mode = inner.mode.lock().expect("chaos mode").clone();
+    match mode {
+        WireMode::Drop => {
+            inner.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            // Falling out of scope closes the socket: accept-then-RST
+            // from the client's point of view.
+        }
+        WireMode::BlackHole => {
+            inner.counters.black_holed.fetch_add(1, Ordering::Relaxed);
+            inner.register(&client);
+            // Read and discard so the client's writes succeed; never
+            // answer. Only the client timing out (or a sever) ends this.
+            let mut client = client;
+            let mut buf = [0u8; 4096];
+            loop {
+                match client.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+        }
+        mode => {
+            let upstream = match TcpStream::connect(inner.upstream.as_str()) {
+                Ok(s) => s,
+                Err(_) => return, // closing the client socket says it all
+            };
+            let _ = upstream.set_nodelay(true);
+            let _ = client.set_nodelay(true);
+            inner.register(&client);
+            inner.register(&upstream);
+            let (c2u_client, c2u_upstream) = match (client.try_clone(), upstream.try_clone()) {
+                (Ok(c), Ok(u)) => (c, u),
+                _ => return,
+            };
+            // Client→upstream: requests are only throttled, never
+            // corrupted — every fault this proxy studies is about what
+            // the *replica's answer* looks like on a bad wire.
+            let throttle = match mode {
+                WireMode::Throttle { bytes_per_sec } => Some(bytes_per_sec),
+                _ => None,
+            };
+            let request_pump = std::thread::Builder::new()
+                .name("cbir-chaos-pump-req".into())
+                .spawn(move || pump_plain(c2u_client, c2u_upstream, throttle));
+            pump_reply(upstream, client, &mode, index, &inner);
+            if let Ok(h) = request_pump {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Throttle helper: sleep long enough that `n` bytes took at least
+/// `n / bytes_per_sec` seconds.
+fn throttle_sleep(n: usize, bytes_per_sec: u64) {
+    if bytes_per_sec == 0 {
+        return;
+    }
+    let nanos = (n as u64).saturating_mul(1_000_000_000) / bytes_per_sec;
+    std::thread::sleep(Duration::from_nanos(nanos));
+}
+
+/// Forward bytes verbatim (optionally throttled) until EOF or error,
+/// then propagate the half-close.
+fn pump_plain(mut from: TcpStream, mut to: TcpStream, throttle: Option<u64>) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if let Some(bps) = throttle {
+            throttle_sleep(n, bps);
+        }
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+    let _ = from.shutdown(Shutdown::Read);
+}
+
+/// Forward the upstream→client direction with the connection's fault
+/// applied.
+fn pump_reply(mut from: TcpStream, mut to: TcpStream, mode: &WireMode, index: u64, inner: &Inner) {
+    let mut buf = [0u8; 16 * 1024];
+    // TornReply: bytes still allowed through before the tear.
+    let mut tear_budget: Option<u64> = match mode {
+        WireMode::TornReply { seed, max_prefix } => {
+            Some(1 + mix(*seed, index) % (*max_prefix).max(1))
+        }
+        _ => None,
+    };
+    // FlipBit: (absolute byte offset, bit) still ahead of the cursor.
+    let mut flip: Option<(u64, u32)> = match mode {
+        WireMode::FlipBit { seed, window } => {
+            let m = mix(*seed, index);
+            Some((m % (*window).max(1), (m >> 32) as u32 % 8))
+        }
+        _ => None,
+    };
+    let mut offset = 0u64;
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = &mut buf[..n];
+        match mode {
+            WireMode::Delay(d) => std::thread::sleep(*d),
+            WireMode::Throttle { bytes_per_sec } => throttle_sleep(n, *bytes_per_sec),
+            _ => {}
+        }
+        if let Some((at, bit)) = flip {
+            if at >= offset && at < offset + n as u64 {
+                chunk[(at - offset) as usize] ^= 1u8 << bit;
+                inner.counters.bits_flipped.fetch_add(1, Ordering::Relaxed);
+                flip = None;
+            }
+        }
+        if let Some(budget) = tear_budget.as_mut() {
+            if (n as u64) >= *budget {
+                // Forward the allowed prefix, then tear the connection
+                // mid-frame in both directions.
+                let keep = *budget as usize;
+                let _ = to.write_all(&chunk[..keep]);
+                let _ = to.flush();
+                inner.counters.torn.fetch_add(1, Ordering::Relaxed);
+                let _ = to.shutdown(Shutdown::Both);
+                let _ = from.shutdown(Shutdown::Both);
+                return;
+            }
+            *budget -= n as u64;
+        }
+        if to.write_all(chunk).is_err() {
+            break;
+        }
+        if to.flush().is_err() {
+            break;
+        }
+        offset += n as u64;
+    }
+    let _ = to.shutdown(Shutdown::Write);
+    let _ = from.shutdown(Shutdown::Read);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An upstream that echoes everything it reads, one connection at a
+    /// time per thread.
+    fn spawn_echo() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            while let Ok((mut s, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 4096];
+                    loop {
+                        match s.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                if s.write_all(&buf[..n]).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        (addr, h)
+    }
+
+    fn roundtrip(addr: SocketAddr, payload: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut s = TcpStream::connect(addr)?;
+        s.set_read_timeout(Some(Duration::from_secs(5)))?;
+        s.write_all(payload)?;
+        s.shutdown(Shutdown::Write)?;
+        let mut out = Vec::new();
+        s.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn pass_mode_forwards_bytes_verbatim() {
+        let (up, _h) = spawn_echo();
+        let proxy = ChaosProxy::spawn(up.to_string(), WireMode::Pass, "127.0.0.1:0").unwrap();
+        let msg = b"hello through the chaos proxy".to_vec();
+        assert_eq!(roundtrip(proxy.local_addr(), &msg).unwrap(), msg);
+        assert_eq!(proxy.stats().connections, 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn drop_mode_closes_immediately() {
+        let (up, _h) = spawn_echo();
+        let proxy = ChaosProxy::spawn(up.to_string(), WireMode::Drop, "127.0.0.1:0").unwrap();
+        let got = roundtrip(proxy.local_addr(), b"anyone there?");
+        // Either a clean EOF (empty reply) or a reset: never an answer.
+        assert!(got.map(|v| v.is_empty()).unwrap_or(true));
+        assert_eq!(proxy.stats().dropped, 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn black_hole_accepts_and_never_answers() {
+        let (up, _h) = spawn_echo();
+        let proxy = ChaosProxy::spawn(up.to_string(), WireMode::BlackHole, "127.0.0.1:0").unwrap();
+        let mut s = TcpStream::connect(proxy.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        s.write_all(b"ping?").unwrap();
+        let mut buf = [0u8; 16];
+        let err = s.read(&mut buf).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "black hole must time the reader out, got {err}"
+        );
+        assert_eq!(proxy.stats().black_holed, 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn torn_reply_truncates_deterministically() {
+        let payload = vec![0xABu8; 4096];
+        let run = || {
+            let (up, _h) = spawn_echo();
+            let proxy = ChaosProxy::spawn(
+                up.to_string(),
+                WireMode::TornReply {
+                    seed: 0xF16,
+                    max_prefix: 512,
+                },
+                "127.0.0.1:0",
+            )
+            .unwrap();
+            let mut lens = Vec::new();
+            for _ in 0..4 {
+                let got = roundtrip(proxy.local_addr(), &payload).unwrap_or_default();
+                assert!(got.len() < payload.len(), "reply must be torn");
+                assert!(got.iter().all(|&b| b == 0xAB), "prefix stays intact");
+                lens.push(got.len());
+            }
+            assert!(proxy.stats().torn >= 1);
+            proxy.shutdown();
+            lens
+        };
+        // Same seed, same accept order → byte-identical tear points.
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn flip_bit_corrupts_exactly_one_bit() {
+        let (up, _h) = spawn_echo();
+        let proxy = ChaosProxy::spawn(
+            up.to_string(),
+            WireMode::FlipBit {
+                seed: 7,
+                window: 64,
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let payload = vec![0u8; 64];
+        let got = roundtrip(proxy.local_addr(), &payload).unwrap();
+        assert_eq!(got.len(), payload.len());
+        let flipped: u32 = got.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit must differ");
+        assert_eq!(proxy.stats().bits_flipped, 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn delay_mode_adds_latency() {
+        let (up, _h) = spawn_echo();
+        let proxy = ChaosProxy::spawn(
+            up.to_string(),
+            WireMode::Delay(Duration::from_millis(40)),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let started = std::time::Instant::now();
+        let got = roundtrip(proxy.local_addr(), b"slow down").unwrap();
+        assert_eq!(got, b"slow down");
+        assert!(
+            started.elapsed() >= Duration::from_millis(40),
+            "reply must be delayed"
+        );
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn set_mode_severs_existing_connections() {
+        let (up, _h) = spawn_echo();
+        let proxy = ChaosProxy::spawn(up.to_string(), WireMode::Pass, "127.0.0.1:0").unwrap();
+        let mut s = TcpStream::connect(proxy.local_addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"warm").unwrap();
+        let mut buf = [0u8; 4];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"warm");
+
+        proxy.set_mode(WireMode::Drop);
+        // The established connection dies...
+        let mut rest = Vec::new();
+        let dead = match s.read_to_end(&mut rest) {
+            Ok(_) => rest.is_empty(),
+            Err(_) => true,
+        };
+        assert!(dead, "existing connection must be severed");
+        // ...and new ones are dropped.
+        let got = roundtrip(proxy.local_addr(), b"hello?");
+        assert!(got.map(|v| v.is_empty()).unwrap_or(true));
+
+        proxy.set_mode(WireMode::Pass);
+        assert_eq!(
+            roundtrip(proxy.local_addr(), b"back").unwrap(),
+            b"back".to_vec()
+        );
+        proxy.shutdown();
+    }
+}

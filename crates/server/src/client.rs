@@ -12,6 +12,7 @@ use crate::protocol::{
 };
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Why a request did not return hits.
 #[derive(Debug)]
@@ -92,6 +93,12 @@ impl std::error::Error for ClientError {
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
+        // A reply torn by mid-frame EOF is the connection dying, not the
+        // server speaking a different protocol — classify it with the
+        // other peer-vanished shapes so failover and retry cover it.
+        if crate::protocol::is_torn_frame(&e) {
+            return ClientError::ConnectionLost(format!("{} ({})", e, e.kind()));
+        }
         match e.kind() {
             // The peer vanished under us — typed so retry logic can
             // tell "reconnect and resend" apart from a fatal failure.
@@ -129,6 +136,30 @@ pub struct HitsReply {
     /// Exact rerank evaluations the query performed (zero on the exact
     /// path).
     pub rerank_evaluations: u64,
+    /// `true` when this reply came back as `HitsPartial`: a router
+    /// running in partial-results mode merged only the shards that were
+    /// reachable. Always `false` from a single backend.
+    pub degraded: bool,
+    /// Shards that contributed to a degraded reply; `0` when
+    /// [`HitsReply::degraded`] is `false` (full coverage is implied).
+    pub shards_answered: u32,
+    /// Shards the router's plan declares; `0` from a single backend.
+    pub shards_total: u32,
+}
+
+impl HitsReply {
+    /// A full-coverage reply body (the non-degraded constructor every
+    /// single-backend path uses).
+    pub fn full(hits: Vec<Hit>, coarse_candidates: u64, rerank_evaluations: u64) -> HitsReply {
+        HitsReply {
+            hits,
+            coarse_candidates,
+            rerank_evaluations,
+            degraded: false,
+            shards_answered: 0,
+            shards_total: 0,
+        }
+    }
 }
 
 /// A blocking connection to a `cbir` query server.
@@ -147,6 +178,36 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// [`Client::connect`] with a bound on every blocking step: the dial,
+    /// each read, and each write all time out after `timeout`. This is
+    /// the connect a health prober wants — a black-holed peer (accepts,
+    /// then never answers) must cost at most `timeout`, not hang the
+    /// probe loop forever.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
+        let mut last_err = None;
+        for sock in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sock, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(timeout))?;
+                    stream.set_write_timeout(Some(timeout))?;
+                    let writer = BufWriter::new(stream.try_clone()?);
+                    return Ok(Client {
+                        reader: BufReader::new(stream),
+                        writer,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        }))
     }
 
     fn send(&mut self, req: &Request) -> std::io::Result<()> {
@@ -171,10 +232,20 @@ impl Client {
                 hits,
                 coarse_candidates,
                 rerank_evaluations,
+            } => Ok(HitsReply::full(hits, coarse_candidates, rerank_evaluations)),
+            Response::HitsPartial {
+                hits,
+                coarse_candidates,
+                rerank_evaluations,
+                shards_answered,
+                shards_total,
             } => Ok(HitsReply {
                 hits,
                 coarse_candidates,
                 rerank_evaluations,
+                degraded: true,
+                shards_answered,
+                shards_total,
             }),
             Response::Error(m) => Err(ClientError::Rejected(Rejection::Error(m))),
             Response::Overloaded(m) => Err(ClientError::Rejected(Rejection::Overloaded(m))),

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaosnet;
 pub mod client;
 pub mod metrics;
 pub mod pool;
@@ -50,6 +51,7 @@ pub mod retry;
 pub mod scheduler;
 pub mod server;
 
+pub use chaosnet::{ChaosHandle, ChaosProxy, ChaosStats, WireMode};
 pub use client::{Client, ClientError, ClientResult, HitsReply, Rejection};
 pub use metrics::Metrics;
 pub use pool::ClientPool;

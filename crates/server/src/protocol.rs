@@ -279,6 +279,28 @@ pub enum Response {
         /// The stored descriptor, bit-for-bit as the server holds it.
         descriptor: Vec<f32>,
     },
+    /// Ranked hits from a **degraded** scatter-gather reply: one or more
+    /// shards were unreachable (every replica down or circuit-open) and
+    /// the router, running with partial results enabled, merged what the
+    /// live shards returned instead of failing the query.
+    ///
+    /// Body: the full [`Response::Hits`] body, then `u32 shards_answered`,
+    /// `u32 shards_total`. A router only ever emits this status when
+    /// `shards_answered < shards_total`; full-coverage replies keep the
+    /// plain `Hits` status so the healthy exact path stays frame-level
+    /// byte-identical to a single union node.
+    HitsPartial {
+        /// The ranked hits merged over the shards that answered.
+        hits: Vec<Hit>,
+        /// Coarse-stage candidates summed over answering shards.
+        coarse_candidates: u64,
+        /// Exact rerank evaluations summed over answering shards.
+        rerank_evaluations: u64,
+        /// Shards that contributed hits to this reply.
+        shards_answered: u32,
+        /// Shards the plan declares; `shards_answered < shards_total`.
+        shards_total: u32,
+    },
 }
 
 const ST_HITS: u8 = 0;
@@ -294,6 +316,7 @@ const ST_INSERT_ACK: u8 = 9;
 const ST_DELETE_ACK: u8 = 10;
 const ST_COMPACT_ACK: u8 = 11;
 const ST_DESCRIPTOR: u8 = 12;
+const ST_HITS_PARTIAL: u8 = 13;
 
 // ---------------------------------------------------------------------------
 // Payload writer/reader (little-endian, length-prefixed strings).
@@ -399,6 +422,52 @@ fn write_descriptor(w: &mut PayloadWriter, d: &[f32]) {
     for &v in d {
         w.f32(v);
     }
+}
+
+/// The shared body of [`Response::Hits`] and [`Response::HitsPartial`]:
+/// `u32 n`, `n` hit bodies, `u64 coarse_candidates`,
+/// `u64 rerank_evaluations`. Factored so the two statuses can never
+/// drift apart byte-wise.
+fn write_hits_body(w: &mut PayloadWriter, hits: &[Hit], coarse: u64, rerank: u64) {
+    w.u32(hits.len() as u32);
+    for h in hits {
+        w.u64(h.id);
+        w.str(&h.name);
+        match h.label {
+            Some(l) => {
+                w.u8(1);
+                w.u32(l);
+            }
+            None => w.u8(0),
+        }
+        w.f32(h.distance);
+    }
+    w.u64(coarse);
+    w.u64(rerank);
+}
+
+/// Inverse of [`write_hits_body`].
+fn read_hits_body(r: &mut PayloadReader<'_>) -> Result<(Vec<Hit>, u64, u64), WireError> {
+    let n = r.u32()? as usize;
+    if n > MAX_FRAME_LEN / 17 {
+        return Err(wire_err(format!("hit count {n} implausible")));
+    }
+    let mut hits = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = r.u64()?;
+        let name = r.str()?;
+        let label = if r.u8()? != 0 { Some(r.u32()?) } else { None };
+        let distance = r.f32()?;
+        hits.push(Hit {
+            id,
+            name,
+            label,
+            distance,
+        });
+    }
+    let coarse = r.u64()?;
+    let rerank = r.u64()?;
+    Ok((hits, coarse, rerank))
 }
 
 // ---------------------------------------------------------------------------
@@ -542,21 +611,19 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             rerank_evaluations,
         } => {
             w.u8(ST_HITS);
-            w.u32(hits.len() as u32);
-            for h in hits {
-                w.u64(h.id);
-                w.str(&h.name);
-                match h.label {
-                    Some(l) => {
-                        w.u8(1);
-                        w.u32(l);
-                    }
-                    None => w.u8(0),
-                }
-                w.f32(h.distance);
-            }
-            w.u64(*coarse_candidates);
-            w.u64(*rerank_evaluations);
+            write_hits_body(&mut w, hits, *coarse_candidates, *rerank_evaluations);
+        }
+        Response::HitsPartial {
+            hits,
+            coarse_candidates,
+            rerank_evaluations,
+            shards_answered,
+            shards_total,
+        } => {
+            w.u8(ST_HITS_PARTIAL);
+            write_hits_body(&mut w, hits, *coarse_candidates, *rerank_evaluations);
+            w.u32(*shards_answered);
+            w.u32(*shards_total);
         }
         Response::Pong { db_len, dim } => {
             w.u8(ST_PONG);
@@ -638,27 +705,21 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
     let mut r = PayloadReader::new(payload);
     let resp = match r.u8()? {
         ST_HITS => {
-            let n = r.u32()? as usize;
-            if n > MAX_FRAME_LEN / 17 {
-                return Err(wire_err(format!("hit count {n} implausible")));
-            }
-            let mut hits = Vec::with_capacity(n);
-            for _ in 0..n {
-                let id = r.u64()?;
-                let name = r.str()?;
-                let label = if r.u8()? != 0 { Some(r.u32()?) } else { None };
-                let distance = r.f32()?;
-                hits.push(Hit {
-                    id,
-                    name,
-                    label,
-                    distance,
-                });
-            }
+            let (hits, coarse_candidates, rerank_evaluations) = read_hits_body(&mut r)?;
             Response::Hits {
                 hits,
-                coarse_candidates: r.u64()?,
-                rerank_evaluations: r.u64()?,
+                coarse_candidates,
+                rerank_evaluations,
+            }
+        }
+        ST_HITS_PARTIAL => {
+            let (hits, coarse_candidates, rerank_evaluations) = read_hits_body(&mut r)?;
+            Response::HitsPartial {
+                hits,
+                coarse_candidates,
+                rerank_evaluations,
+                shards_answered: r.u32()?,
+                shards_total: r.u32()?,
             }
         }
         ST_PONG => Response::Pong {
@@ -783,6 +844,21 @@ fn eof_as_invalid_data(e: std::io::Error, msg: &str) -> std::io::Error {
 
 fn invalid_data(msg: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, WireError(msg.into()))
+}
+
+/// Whether a transport error is a frame torn by mid-frame EOF: the peer
+/// (or something on the wire) severed the stream partway through a
+/// frame. Both ends of the protocol care about the distinction. A torn
+/// frame means the conversation died and can be retried on a fresh
+/// connection — the in-flight exchange never completed — whereas the
+/// other [`WireError`] shapes (bad magic, oversized length) are
+/// evidence the peer does not speak `CBIRRPC1` at all, which no
+/// reconnect will fix.
+pub fn is_torn_frame(e: &std::io::Error) -> bool {
+    e.kind() == std::io::ErrorKind::InvalidData
+        && e.get_ref()
+            .and_then(|inner| inner.downcast_ref::<WireError>())
+            .is_some_and(|w| w.0.starts_with("EOF inside frame"))
 }
 
 #[cfg(test)]
@@ -912,6 +988,62 @@ mod tests {
             panics_isolated: 1,
             batch_hist: vec![(1, 4), (2, 3), (u64::MAX, 5)],
         }));
+    }
+
+    #[test]
+    fn hits_partial_roundtrips_and_extends_hits_bytes() {
+        let hits = vec![
+            Hit {
+                id: 5,
+                name: "class-2-0005.ppm".into(),
+                label: Some(2),
+                distance: 0.5,
+            },
+            Hit {
+                id: 11,
+                name: "unlabeled".into(),
+                label: None,
+                distance: 1.25,
+            },
+        ];
+        let partial = Response::HitsPartial {
+            hits: hits.clone(),
+            coarse_candidates: 7,
+            rerank_evaluations: 6,
+            shards_answered: 1,
+            shards_total: 3,
+        };
+        roundtrip_response(partial.clone());
+        roundtrip_response(Response::HitsPartial {
+            hits: Vec::new(),
+            coarse_candidates: 0,
+            rerank_evaluations: 0,
+            shards_answered: 0,
+            shards_total: 2,
+        });
+
+        // The degraded status is the Hits body plus a coverage suffix:
+        // byte 0 differs (status tag) and the last 8 bytes are the two
+        // u32 counters; everything between is the exact Hits encoding.
+        // This pins the healthy path's bytes against drift.
+        let full = encode_response(&Response::Hits {
+            hits,
+            coarse_candidates: 7,
+            rerank_evaluations: 6,
+        });
+        let degraded = encode_response(&partial);
+        assert_eq!(degraded[0], 13, "degraded status tag");
+        assert_eq!(full[0], 0, "hits status tag");
+        assert_eq!(&degraded[1..degraded.len() - 8], &full[1..]);
+        assert_eq!(
+            &degraded[degraded.len() - 8..],
+            &[1u8, 0, 0, 0, 3, 0, 0, 0][..]
+        );
+
+        // Truncating the coverage suffix must fail decode.
+        let mut torn = encode_response(&partial);
+        torn.truncate(torn.len() - 4);
+        assert!(decode_response(&torn).is_err());
     }
 
     #[test]

@@ -46,6 +46,19 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// The default bounds with a caller-chosen jitter seed. Fault sweeps
+    /// construct every client through this so two runs of the same sweep
+    /// replay the exact same backoff schedule — the retry-timing analog
+    /// of `core::faults`' seeded fault scripts.
+    pub fn seeded(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            jitter_seed: seed,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
 /// What the retry loop did, observable for tests and operators.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RetryStats {
@@ -199,6 +212,12 @@ impl RetryingClient {
         let start = Instant::now();
         let budget = (deadline_us > 0).then(|| Duration::from_micros(deadline_us));
         let mut attempt: u32 = 0;
+        // The most recent transient failure. When the budget runs out the
+        // caller gets *this* back, not a generic timeout: "every retry hit
+        // an overloaded server" and "the replica is gone" demand different
+        // operator responses, and only the underlying error tells them
+        // apart.
+        let mut last_err: Option<ClientError> = None;
         loop {
             let result = match self.ensure_connected() {
                 Ok(client) => {
@@ -208,11 +227,13 @@ impl RetryingClient {
                             Some(rem) if !rem.is_zero() => rem.as_micros() as u64,
                             // Budget already gone before the attempt.
                             _ => {
-                                return Err(ClientError::Rejected(
-                                    crate::client::Rejection::DeadlineExpired(
-                                        "deadline exhausted before attempt".into(),
-                                    ),
-                                ));
+                                return Err(last_err.take().unwrap_or_else(|| {
+                                    ClientError::Rejected(
+                                        crate::client::Rejection::DeadlineExpired(
+                                            "deadline exhausted before attempt".into(),
+                                        ),
+                                    )
+                                }));
                             }
                         },
                     };
@@ -243,6 +264,7 @@ impl RetryingClient {
             std::thread::sleep(backoff);
             attempt += 1;
             self.stats.retries += 1;
+            last_err = Some(err);
         }
     }
 
@@ -323,6 +345,57 @@ mod tests {
         for attempt in 0..8 {
             assert_eq!(a.backoff_for(attempt), b.backoff_for(attempt));
         }
+    }
+
+    #[test]
+    fn seeded_policies_replay_identical_backoff_schedules() {
+        let mk = |seed| RetryingClient::new_disconnected("unused", RetryPolicy::seeded(seed));
+        let (mut a, mut b) = (mk(17), mk(17));
+        let schedule_a: Vec<_> = (0..8).map(|i| a.backoff_for(i)).collect();
+        let schedule_b: Vec<_> = (0..8).map(|i| b.backoff_for(i)).collect();
+        assert_eq!(schedule_a, schedule_b, "same seed, same schedule");
+        let mut c = mk(18);
+        let schedule_c: Vec<_> = (0..8).map(|i| c.backoff_for(i)).collect();
+        assert_ne!(schedule_a, schedule_c, "different seed, different jitter");
+    }
+
+    #[test]
+    fn deadline_exhaustion_surfaces_last_underlying_error() {
+        use crate::client::Rejection;
+        // A listener that accepts (so ensure_connected succeeds) without
+        // ever speaking — the op below never touches the socket.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let accept = std::thread::spawn(move || while listener.accept().is_ok() {});
+
+        let mut c = RetryingClient::new_disconnected(
+            addr,
+            RetryPolicy {
+                max_retries: 100,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+        );
+        // Every attempt burns past the remaining budget and fails with a
+        // *specific* transient rejection. When the 20ms budget is gone,
+        // that rejection — not a synthesized DeadlineExpired — must come
+        // back: "all retries were shed by an overloaded server" and
+        // "deadline too tight" call for different fixes.
+        let err = c
+            .run(20_000, |_, remaining_us| -> ClientResult<()> {
+                std::thread::sleep(Duration::from_micros(remaining_us) + Duration::from_millis(1));
+                Err(ClientError::Rejected(Rejection::Overloaded(
+                    "queue full".into(),
+                )))
+            })
+            .expect_err("budget must run out");
+        match err {
+            ClientError::Rejected(Rejection::Overloaded(m)) => assert_eq!(m, "queue full"),
+            other => panic!("expected the last Overloaded rejection, got: {other}"),
+        }
+        drop(c);
+        drop(accept);
     }
 
     #[test]

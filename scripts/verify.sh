@@ -36,6 +36,7 @@ if [ "${SKIP_QUICK_BENCH:-0}" != 1 ]; then
     cargo run --release -q -p cbir-bench --bin exp_mmap_ingest -- --quick
     cargo run --release -q -p cbir-bench --bin exp_approx_search -- --quick
     cargo run --release -q -p cbir-bench --bin exp_router_scaling -- --quick
+    cargo run --release -q -p cbir-bench --bin exp_chaos_serving -- --quick
 fi
 
 echo "==> server smoke test (generate -> index -> serve -> rpc-query -> shutdown)"
@@ -243,5 +244,68 @@ for PID in $BACKEND_PIDS; do
 done
 "$CBIR" rpc-ctl "$UADDR" shutdown >/dev/null
 wait "$UNION_PID"
+
+echo "==> chaos smoke (pass-through proxy bit-identity, partial-results serving)"
+# A pass-through chaos proxy must be wire-invisible: replies routed
+# through it are byte-identical to replies from the backend itself.
+"$CBIR" serve "$SMOKE_DIR/photos.cbir" --port 0 --addr-file "$SMOKE_DIR/addr-chaos-up" \
+    --index linear --measure l1 >/dev/null &
+CHAOS_UP_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/addr-chaos-up" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/addr-chaos-up" ] || { echo "chaos upstream never wrote its address"; exit 1; }
+CUADDR=$(cat "$SMOKE_DIR/addr-chaos-up")
+"$CBIR" chaos-proxy "$CUADDR" --port 0 --addr-file "$SMOKE_DIR/addr-chaos" \
+    --mode pass >/dev/null &
+CHAOS_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/addr-chaos" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/addr-chaos" ] || { echo "chaos proxy never wrote its address"; exit 1; }
+CADDR=$(cat "$SMOKE_DIR/addr-chaos")
+"$CBIR" rpc-query "$CADDR" --id 0 -k 3 > "$SMOKE_DIR/via-proxy.out"
+"$CBIR" rpc-query "$CUADDR" --id 0 -k 3 > "$SMOKE_DIR/via-direct.out"
+cmp -s "$SMOKE_DIR/via-proxy.out" "$SMOKE_DIR/via-direct.out" \
+    || { echo "pass-through chaos proxy altered the reply"; exit 1; }
+kill "$CHAOS_PID" 2>/dev/null || true
+wait "$CHAOS_PID" 2>/dev/null || true
+"$CBIR" rpc-ctl "$CUADDR" shutdown >/dev/null
+wait "$CHAOS_UP_PID"
+# Partial-results serving: front the 2-shard plan with shard 1 pointing
+# at a dead address. With --allow-partial the router must answer from
+# the surviving shard and flag the reply as degraded 1/2.
+"$CBIR" serve "$SMOKE_DIR/shards/shard-0.db" --port 0 \
+    --addr-file "$SMOKE_DIR/addr-part-s0" --index linear --measure l1 >/dev/null &
+PART_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/addr-part-s0" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/addr-part-s0" ] || { echo "partial-smoke backend never wrote its address"; exit 1; }
+"$CBIR" route "$SMOKE_DIR/shards/PLAN.txt" \
+    "$(cat "$SMOKE_DIR/addr-part-s0")" "127.0.0.1:1" \
+    --port 0 --addr-file "$SMOKE_DIR/addr-part-router" \
+    --cooldown-ms 200 --allow-partial >/dev/null &
+PART_ROUTER_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/addr-part-router" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/addr-part-router" ] || { echo "partial-smoke router never wrote its address"; exit 1; }
+PRADDR=$(cat "$SMOKE_DIR/addr-part-router")
+PART_OUT=$("$CBIR" rpc-query "$PRADDR" --id 0 -k 3)
+echo "$PART_OUT" | grep -q "class-" \
+    || { echo "degraded rpc-query returned no hits"; exit 1; }
+echo "$PART_OUT" | grep -q "degraded: answered by 1/2 shards" \
+    || { echo "degraded reply not flagged with shard coverage"; exit 1; }
+"$CBIR" stats "$PRADDR" | grep -q '"degraded_replies": [1-9]' \
+    || { echo "router stats show no degraded replies after partial answer"; exit 1; }
+"$CBIR" rpc-ctl "$PRADDR" shutdown >/dev/null
+wait "$PART_ROUTER_PID"
+"$CBIR" rpc-ctl "$(cat "$SMOKE_DIR/addr-part-s0")" shutdown >/dev/null
+wait "$PART_PID"
 
 echo "verify: all checks passed"

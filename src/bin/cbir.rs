@@ -21,7 +21,8 @@ use cbir::image::codec::{decode, encode_ppm, PnmEncoding};
 use cbir::image::RgbImage;
 use cbir::router::{Router, RouterConfig};
 use cbir::server::{
-    Client, Hit, RetryPolicy, RetryingClient, SchedulerConfig, Server, StatsSnapshot,
+    ChaosProxy, Client, Hit, RetryPolicy, RetryingClient, SchedulerConfig, Server, StatsSnapshot,
+    WireMode,
 };
 use cbir::workload::{Corpus, CorpusSpec};
 use cbir::{
@@ -105,14 +106,32 @@ fn usage() -> ! {
       served by an ordinary `cbir serve`, the plan feeds `cbir route`
 
   cbir route <plan> <shard0-replicas> <shard1-replicas>... [--port P] [--addr-file F]
-                    [--cooldown-ms N] [--read-timeout-ms N]
+                    [--cooldown-ms N] [--read-timeout-ms N] [--hedge-ms N] [--probe-ms N]
+                    [--allow-partial] [--breaker-threshold N] [--retry-budget N]
       serve the union corpus over TCP (CBIRRPC1) by scatter-gathering
       across backend servers: one positional argument per shard, each a
       comma-separated replica address list (primary first); replies on
       the exact path are frame-level bit-identical to a single node
       serving the union corpus, and a replica failing with a transient
       error fails over to a sibling (cooldown --cooldown-ms, default
-      1000); any cbir client/tool works against the router unchanged
+      1000); any cbir client/tool works against the router unchanged.
+      Degraded-mode knobs: --hedge-ms N sends a hedged duplicate to a
+      sibling replica when a shard reply is slower than max(N, observed
+      p99); --probe-ms N health-probes every replica each N ms and
+      rejoins recovered ones; --allow-partial answers scatter queries
+      from the shards that are up (replies carry answered/total shard
+      coverage) instead of failing; --breaker-threshold N opens a
+      replica's circuit breaker after N consecutive failures (0 = off,
+      default 5); --retry-budget N caps concurrent failover retries
+      (token bucket, default 100)
+
+  cbir chaos-proxy <upstream> [--port P] [--addr-file F] [--mode M]
+      wire-level fault-injection proxy for chaos drills: forwards every
+      connection to <upstream> under --mode, one of pass, drop,
+      blackhole, delay-ms:N, throttle:BYTES_PER_SEC, torn:SEED:MAXPREFIX
+      (tear replies after a seeded prefix), flip:SEED:WINDOW (flip one
+      seeded bit in flight); mode choices are deterministic per seed and
+      accept order, so drills replay
 
   cbir rpc-query <addr> [<image>...] --db <file-or-segdir> [-k N] [--radius R] [--deadline-us D]
   cbir rpc-query <addr> --id N [-k N] [--deadline-us D] [--retries N] [--recall-target R]
@@ -145,7 +164,7 @@ struct Args {
 }
 
 /// Flags that are pure switches: present or absent, never taking a value.
-const BOOL_FLAGS: &[&str] = &["mmap"];
+const BOOL_FLAGS: &[&str] = &["mmap", "allow-partial"];
 
 impl Args {
     fn parse(args: &[String]) -> Self {
@@ -782,14 +801,31 @@ fn cmd_route(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         .into());
     }
     let port: u16 = args.flag_parse("port", 7979);
+    let opt_ms = |name: &str| match args.flag_parse(name, 0u64) {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
     let config = RouterConfig {
         cooldown: Duration::from_millis(args.flag_parse("cooldown-ms", 1000)),
-        read_timeout: match args.flag_parse("read-timeout-ms", 0u64) {
-            0 => None,
-            ms => Some(Duration::from_millis(ms)),
-        },
+        read_timeout: opt_ms("read-timeout-ms"),
+        hedge: opt_ms("hedge-ms"),
+        probe_interval: opt_ms("probe-ms"),
+        allow_partial: args.has("allow-partial"),
+        breaker_threshold: args.flag_parse("breaker-threshold", 5),
+        retry_budget: args.flag_parse("retry-budget", 100),
         ..RouterConfig::default()
     };
+    let degraded_knobs = [
+        config.hedge.map(|d| format!("hedge {}ms", d.as_millis())),
+        config
+            .probe_interval
+            .map(|d| format!("probe {}ms", d.as_millis())),
+        config.allow_partial.then(|| "partial results".to_string()),
+    ]
+    .into_iter()
+    .flatten()
+    .collect::<Vec<_>>()
+    .join(", ");
     let replicas: usize = groups.iter().map(Vec::len).sum();
     let handle = Router::spawn(plan.clone(), groups, ("127.0.0.1", port), config)?;
     let addr = handle.local_addr();
@@ -798,6 +834,9 @@ fn cmd_route(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         plan.total_rows(),
         plan.shards()
     );
+    if !degraded_knobs.is_empty() {
+        println!("degraded-mode serving on: {degraded_knobs}");
+    }
     if let Some(addr_file) = args.flag("addr-file") {
         std::fs::write(addr_file, addr.to_string())?;
     }
@@ -805,6 +844,60 @@ fn cmd_route(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     handle.join();
     println!("router stopped (backends left running)");
     Ok(())
+}
+
+/// Parse a `--mode` string for `cbir chaos-proxy`.
+fn parse_wire_mode(s: &str) -> Result<WireMode, Box<dyn std::error::Error>> {
+    let bad =
+        |what: &str| -> Box<dyn std::error::Error> { format!("invalid --mode {s}: {what}").into() };
+    let mut parts = s.split(':');
+    let head = parts.next().unwrap_or("");
+    let mut num = |what: &'static str| -> Result<u64, Box<dyn std::error::Error>> {
+        parts
+            .next()
+            .ok_or_else(|| bad(what))?
+            .parse()
+            .map_err(|_| bad(what))
+    };
+    let mode = match head {
+        "pass" => WireMode::Pass,
+        "drop" => WireMode::Drop,
+        "blackhole" => WireMode::BlackHole,
+        "delay-ms" => WireMode::Delay(Duration::from_millis(num("expected delay-ms:N")?)),
+        "throttle" => WireMode::Throttle {
+            bytes_per_sec: num("expected throttle:BYTES_PER_SEC")?.max(1),
+        },
+        "torn" => WireMode::TornReply {
+            seed: num("expected torn:SEED:MAXPREFIX")?,
+            max_prefix: num("expected torn:SEED:MAXPREFIX")?.max(1),
+        },
+        "flip" => WireMode::FlipBit {
+            seed: num("expected flip:SEED:WINDOW")?,
+            window: num("expected flip:SEED:WINDOW")?.max(1),
+        },
+        _ => return Err(bad("unknown mode")),
+    };
+    if parts.next().is_some() {
+        return Err(bad("trailing fields"));
+    }
+    Ok(mode)
+}
+
+fn cmd_chaos_proxy(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let upstream = args.positional.first().unwrap_or_else(|| usage()).clone();
+    let mode = parse_wire_mode(args.flag("mode").unwrap_or("pass"))?;
+    let port: u16 = args.flag_parse("port", 0);
+    let handle = ChaosProxy::spawn(upstream.clone(), mode.clone(), ("127.0.0.1", port))?;
+    let addr = handle.local_addr();
+    println!("chaos proxy on {addr} -> {upstream} (mode: {mode:?})");
+    if let Some(addr_file) = args.flag("addr-file") {
+        std::fs::write(addr_file, addr.to_string())?;
+    }
+    // The proxy has no in-band shutdown op (it is transparent by
+    // design); it runs until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
 }
 
 /// Open a live segment store for serving: a directory opens directly; a
@@ -1011,7 +1104,9 @@ fn print_hits(hits: &[Hit]) {
 
 /// Hits plus the optional `(coarse_candidates, rerank_evaluations)`
 /// counts an approximate query reports (absent on the retrying client).
-type HitsWithCounts = (Vec<Hit>, Option<(u64, u64)>);
+/// Hits plus optional approximate-search counts plus optional degraded
+/// shard coverage (`Some((answered, total))` only on a partial reply).
+type HitsWithCounts = (Vec<Hit>, Option<(u64, u64)>, Option<(u32, u32)>);
 
 /// Plain or retrying RPC connection, so `rpc-query` shares one code path.
 enum RpcClient {
@@ -1044,12 +1139,18 @@ impl RpcClient {
         match self {
             RpcClient::Plain(c) => {
                 let reply = c.knn_by_id_detailed(id, k, deadline_us, recall_target)?;
+                let coverage = reply
+                    .degraded
+                    .then_some((reply.shards_answered, reply.shards_total));
                 Ok((
                     reply.hits,
                     Some((reply.coarse_candidates, reply.rerank_evaluations)),
+                    coverage,
                 ))
             }
-            RpcClient::Retrying(c) => Ok((c.knn_by_id(id, k, deadline_us, recall_target)?, None)),
+            RpcClient::Retrying(c) => {
+                Ok((c.knn_by_id(id, k, deadline_us, recall_target)?, None, None))
+            }
         }
     }
 
@@ -1065,12 +1166,20 @@ impl RpcClient {
         match self {
             RpcClient::Plain(c) => {
                 let reply = c.knn_detailed(descriptor, k, deadline_us, recall_target)?;
+                let coverage = reply
+                    .degraded
+                    .then_some((reply.shards_answered, reply.shards_total));
                 Ok((
                     reply.hits,
                     Some((reply.coarse_candidates, reply.rerank_evaluations)),
+                    coverage,
                 ))
             }
-            RpcClient::Retrying(c) => Ok((c.knn(descriptor, k, deadline_us, recall_target)?, None)),
+            RpcClient::Retrying(c) => Ok((
+                c.knn(descriptor, k, deadline_us, recall_target)?,
+                None,
+                None,
+            )),
         }
     }
 
@@ -1107,6 +1216,14 @@ fn print_approx_counts(counts: Option<(u64, u64)>) {
     }
 }
 
+/// Printed only when a routed reply was degraded — exact (full-coverage)
+/// replies stay byte-for-byte what a single node would print.
+fn print_degraded(coverage: Option<(u32, u32)>) {
+    if let Some((answered, total)) = coverage {
+        println!("(degraded: answered by {answered}/{total} shards)");
+    }
+}
+
 fn cmd_rpc_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let addr = args.positional.first().unwrap_or_else(|| usage());
     let k: usize = args.flag_parse("k", 10);
@@ -1117,9 +1234,10 @@ fn cmd_rpc_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(id) = args.flag("id") {
         let id: usize = id.parse().map_err(|_| format!("invalid --id: {id}"))?;
-        let (hits, counts) = client.knn_by_id(id, k, deadline_us, recall_target)?;
+        let (hits, counts, coverage) = client.knn_by_id(id, k, deadline_us, recall_target)?;
         print_hits(&hits);
         print_approx_counts(counts);
+        print_degraded(coverage);
         client.report_retries();
         return Ok(());
     }
@@ -1145,15 +1263,16 @@ fn cmd_rpc_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         if img_paths.len() > 1 {
             println!("query: {img_path}");
         }
-        let (hits, counts) = match radius {
+        let (hits, counts, coverage) = match radius {
             Some(r) => {
                 let r: f32 = r.parse().map_err(|_| format!("invalid --radius: {r}"))?;
-                (client.range(query, r, deadline_us)?, None)
+                (client.range(query, r, deadline_us)?, None, None)
             }
             None => client.knn(query, k, deadline_us, recall_target)?,
         };
         print_hits(&hits);
         print_approx_counts(counts);
+        print_degraded(coverage);
     }
     client.report_retries();
     Ok(())
@@ -1239,6 +1358,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "shard-plan" => cmd_shard_plan(&args),
         "route" => cmd_route(&args),
+        "chaos-proxy" => cmd_chaos_proxy(&args),
         "rpc-query" => cmd_rpc_query(&args),
         "rpc-insert" => cmd_rpc_insert(&args),
         "rpc-ctl" => cmd_rpc_ctl(&args),

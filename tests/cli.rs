@@ -625,3 +625,170 @@ fn stats_and_explain_rpcs_emit_documented_schemas() {
     server.wait().expect("server exit");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Spawn a `cbir` subcommand that serves until shutdown, wait for its
+/// `--addr-file`, and return (child, bound address).
+fn spawn_serving(args: &[&str], addr_file: &PathBuf) -> (std::process::Child, String) {
+    let child = Command::new(bin())
+        .args(args)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn cbir");
+    let mut addr = String::new();
+    for _ in 0..100 {
+        if let Ok(s) = std::fs::read_to_string(addr_file) {
+            if !s.is_empty() {
+                addr = s;
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(!addr.is_empty(), "process never wrote {addr_file:?}");
+    (child, addr)
+}
+
+/// The routing tier's degraded-mode metrics are part of the documented
+/// stats schema: the JSON export always carries a `router_tier` section
+/// plus per-replica health/breaker rows, and the Prometheus exposition
+/// from a router process carries the matching families.
+#[test]
+fn router_stats_emit_degraded_mode_schema() {
+    let (dir, db, _img) = obs_fixture("routerstats");
+    let shards_dir = dir.join("shards");
+    let (ok, _, stderr) = run(&[
+        "shard-plan",
+        db.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--out-dir",
+        shards_dir.to_str().unwrap(),
+    ]);
+    assert!(ok, "shard-plan failed: {stderr}");
+
+    let mut backends = Vec::new();
+    let mut backend_addrs = Vec::new();
+    for s in 0..2 {
+        let shard_db = shards_dir.join(format!("shard-{s}.db"));
+        let addr_file = dir.join(format!("shard-{s}.addr"));
+        let (child, addr) = spawn_serving(
+            &[
+                "serve",
+                shard_db.to_str().unwrap(),
+                "--port",
+                "0",
+                "--addr-file",
+                addr_file.to_str().unwrap(),
+            ],
+            &addr_file,
+        );
+        backends.push(child);
+        backend_addrs.push(addr);
+    }
+
+    let route_addr_file = dir.join("route.addr");
+    let (mut router, route_addr) = spawn_serving(
+        &[
+            "route",
+            shards_dir.join("PLAN.txt").to_str().unwrap(),
+            &backend_addrs[0],
+            &backend_addrs[1],
+            "--port",
+            "0",
+            "--addr-file",
+            route_addr_file.to_str().unwrap(),
+            "--hedge-ms",
+            "50",
+            "--probe-ms",
+            "25",
+            "--allow-partial",
+        ],
+        &route_addr_file,
+    );
+
+    // Route one query so the per-replica counters move.
+    let (ok, _, stderr) = run(&["rpc-query", &route_addr, "--id", "0", "-k", "3"]);
+    assert!(ok, "routed rpc-query failed: {stderr}");
+
+    // JSON: per-replica rows carry health/breaker/probe fields, and the
+    // tier-wide degraded-mode section is always present.
+    let (ok, stdout, stderr) = run(&["stats", &route_addr]);
+    assert!(ok, "stats via router failed: {stderr}");
+    let snap = Json::parse(&stdout).unwrap_or_else(|e| panic!("bad stats JSON: {e}\n{stdout}"));
+    let replicas = snap.expect("router").as_arr();
+    assert_eq!(replicas.len(), 2, "one row per backend replica: {stdout}");
+    for row in replicas {
+        for key in [
+            "shard",
+            "replica",
+            "requests",
+            "failures",
+            "failovers",
+            "shed",
+            "healthy",
+            "breaker_open",
+            "probe_rejoins",
+            "latency",
+        ] {
+            row.expect(key);
+        }
+        assert!(
+            row.expect("healthy").as_bool(),
+            "replica unhealthy: {stdout}"
+        );
+        assert!(
+            !row.expect("breaker_open").as_bool(),
+            "breaker open: {stdout}"
+        );
+    }
+    let tier = snap.expect("router_tier");
+    for key in [
+        "hedges_fired",
+        "hedges_won",
+        "degraded_replies",
+        "breaker_opens",
+        "retry_budget_exhausted",
+        "probe_failures",
+        "probe_latency",
+    ] {
+        tier.expect(key);
+    }
+    // Healthy topology: nothing degraded, no breaker opened, no budget
+    // exhausted, no probe failed.
+    assert_eq!(tier.expect("degraded_replies").as_num(), 0.0, "{stdout}");
+    assert_eq!(tier.expect("breaker_opens").as_num(), 0.0, "{stdout}");
+    assert_eq!(tier.expect("probe_failures").as_num(), 0.0, "{stdout}");
+    // The 25ms prober has had time to run at least once.
+    let probe_count = tier.expect("probe_latency").expect("count").as_num();
+    assert!(probe_count >= 1.0, "prober never ran: {stdout}");
+
+    // Prometheus from the router process carries the new families.
+    let (ok, prom, stderr) = run(&["stats", &route_addr, "--format", "prometheus"]);
+    assert!(ok, "stats --format prometheus via router failed: {stderr}");
+    for metric in [
+        "cbir_router_requests_total",
+        "cbir_router_replica_healthy",
+        "cbir_router_replica_breaker_open",
+        "cbir_router_replica_probe_rejoins_total",
+        "cbir_router_hedges_fired_total",
+        "cbir_router_hedges_won_total",
+        "cbir_router_degraded_replies_total",
+        "cbir_router_breaker_opens_total",
+        "cbir_router_retry_budget_exhausted_total",
+        "cbir_router_probe_failures_total",
+        "cbir_router_probe_latency_microseconds",
+    ] {
+        assert!(prom.contains(metric), "missing metric {metric}:\n{prom}");
+    }
+
+    let (ok, _, stderr) = run(&["rpc-ctl", &route_addr, "shutdown"]);
+    assert!(ok, "router shutdown failed: {stderr}");
+    router.wait().expect("router exit");
+    for (addr, mut child) in backend_addrs.iter().zip(backends) {
+        let (ok, _, stderr) = run(&["rpc-ctl", addr, "shutdown"]);
+        assert!(ok, "backend shutdown failed: {stderr}");
+        child.wait().expect("backend exit");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
