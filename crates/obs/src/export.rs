@@ -33,7 +33,8 @@ fn latency_json(l: &LatencySummary) -> String {
 /// Top-level keys: `enabled`, `trace_sample_n`, `queue_depth`, `indexes`
 /// (array, one object per [`crate::INDEX_NAMES`] slot), `stages` (array,
 /// one object per [`crate::Stage`]), `latency` (object with `knn` and
-/// `range` summaries), `store`, `router` (array, one object per
+/// `range` summaries), `store`, `event_loop` (epoll serving counters;
+/// all-zero on the blocking path), `router` (array, one object per
 /// registered router backend replica; empty outside a router process),
 /// `router_tier` (hedging/degradation counters; all-zero outside a
 /// router), `trace_count`.
@@ -121,11 +122,17 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
         snap.store.tombstones,
         snap.store.epoch
     );
+    let event_loop = format!(
+        "{{\"epoll_wakeups\": {}, \"open_conns\": {}, \"max_pipeline_depth\": {}}}",
+        snap.event_loop.epoll_wakeups,
+        snap.event_loop.open_conns,
+        snap.event_loop.max_pipeline_depth
+    );
     format!(
         "{{\n  \"enabled\": {},\n  \"trace_sample_n\": {},\n  \"queue_depth\": {},\n  \
          \"indexes\": [\n{}\n  ],\n  \"stages\": [\n{}\n  ],\n  \"latency\": {{\"knn\": {}, \
-         \"range\": {}}},\n  \"store\": {},\n  \"router\": {},\n  \"router_tier\": {},\n  \
-         \"trace_count\": {}\n}}\n",
+         \"range\": {}}},\n  \"store\": {},\n  \"event_loop\": {},\n  \"router\": {},\n  \
+         \"router_tier\": {},\n  \"trace_count\": {}\n}}\n",
         snap.enabled,
         snap.trace_sample_n,
         snap.queue_depth,
@@ -134,6 +141,7 @@ pub fn to_json(snap: &ObsSnapshot) -> String {
         latency_json(&snap.knn_latency),
         latency_json(&snap.range_latency),
         store,
+        event_loop,
         router,
         router_tier,
         snap.trace_count
@@ -436,6 +444,31 @@ pub fn to_prometheus(snap: &ObsSnapshot) -> String {
     );
     out.push_str(&format!("cbir_queue_depth {}\n", snap.queue_depth));
     out.push_str(
+        "# HELP cbir_epoll_wakeups_total epoll_wait returns in the event loop.\n\
+         # TYPE cbir_epoll_wakeups_total counter\n",
+    );
+    out.push_str(&format!(
+        "cbir_epoll_wakeups_total {}\n",
+        snap.event_loop.epoll_wakeups
+    ));
+    out.push_str(
+        "# HELP cbir_event_loop_conns Connections currently held by the event loop.\n\
+         # TYPE cbir_event_loop_conns gauge\n",
+    );
+    out.push_str(&format!(
+        "cbir_event_loop_conns {}\n",
+        snap.event_loop.open_conns
+    ));
+    out.push_str(
+        "# HELP cbir_pipeline_depth_max High-water mark of requests in flight on one \
+         connection.\n\
+         # TYPE cbir_pipeline_depth_max gauge\n",
+    );
+    out.push_str(&format!(
+        "cbir_pipeline_depth_max {}\n",
+        snap.event_loop.max_pipeline_depth
+    ));
+    out.push_str(
         "# HELP cbir_traces_held Traces currently in the sampling ring.\n\
          # TYPE cbir_traces_held gauge\n",
     );
@@ -579,6 +612,11 @@ mod tests {
                 memtable_rows: 7,
                 tombstones: 1,
                 epoch: 14,
+            },
+            event_loop: crate::EventLoopCounters {
+                epoll_wakeups: 17,
+                open_conns: 4,
+                max_pipeline_depth: 3,
             },
             router: vec![
                 crate::RouterReplicaCounters {

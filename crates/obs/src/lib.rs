@@ -341,6 +341,25 @@ pub fn router_probe_failed() {
     ROUTER_TIER.probe_failures.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Event-loop serving counters: how often the loop woke, how many
+/// connections it is holding, and the deepest per-connection pipeline
+/// it has observed. All zero on the blocking serving path.
+struct EventLoopSlot {
+    epoll_wakeups: AtomicU64,
+    open_conns: AtomicU64,
+    max_pipeline_depth: AtomicU64,
+}
+
+impl EventLoopSlot {
+    const fn new() -> Self {
+        EventLoopSlot {
+            epoll_wakeups: AtomicU64::new(0),
+            open_conns: AtomicU64::new(0),
+            max_pipeline_depth: AtomicU64::new(0),
+        }
+    }
+}
+
 struct Registry {
     enabled: AtomicBool,
     indexes: [IndexSlot; INDEX_NAMES.len()],
@@ -349,6 +368,7 @@ struct Registry {
     range_latency: LogHistogram,
     queue_depth: AtomicU64,
     store: StoreSlot,
+    event_loop: EventLoopSlot,
     traces: TraceRing,
 }
 
@@ -381,6 +401,7 @@ static REGISTRY: Registry = Registry {
     range_latency: LogHistogram::new(),
     queue_depth: AtomicU64::new(0),
     store: StoreSlot::new(),
+    event_loop: EventLoopSlot::new(),
     traces: TraceRing::new(),
 };
 
@@ -502,6 +523,37 @@ pub fn set_queue_depth(depth: u64) {
         return;
     }
     REGISTRY.queue_depth.store(depth, Ordering::Relaxed);
+}
+
+/// Record `n` `epoll_wait` returns in the event loop. No-op when
+/// disabled.
+#[inline]
+pub fn epoll_wakeups_add(n: u64) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY
+        .event_loop
+        .epoll_wakeups
+        .fetch_add(n, Ordering::Relaxed);
+}
+
+/// Update the event-loop connection gauge and fold `pipeline_depth`
+/// (requests concurrently in flight on one connection) into the
+/// high-water mark. No-op when disabled.
+#[inline]
+pub fn set_event_loop_state(open_conns: u64, pipeline_depth: u64) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY
+        .event_loop
+        .open_conns
+        .store(open_conns, Ordering::Relaxed);
+    REGISTRY
+        .event_loop
+        .max_pipeline_depth
+        .fetch_max(pipeline_depth, Ordering::Relaxed);
 }
 
 /// Record `n` rows inserted into the live segment store. No-op when
@@ -759,6 +811,19 @@ impl LatencySummary {
     }
 }
 
+/// Event-loop serving counters at snapshot time (all zero on the
+/// blocking path).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EventLoopCounters {
+    /// `epoll_wait` returns in the event loop.
+    pub epoll_wakeups: u64,
+    /// Gauge: connections the loop currently holds.
+    pub open_conns: u64,
+    /// High-water mark of requests concurrently in flight on one
+    /// connection (pipeline depth).
+    pub max_pipeline_depth: u64,
+}
+
 /// Segment-store counters and shape gauges at snapshot time.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StoreCounters {
@@ -844,6 +909,8 @@ pub struct ObsSnapshot {
     pub range_latency: LatencySummary,
     /// Segment-store counters and gauges.
     pub store: StoreCounters,
+    /// Event-loop serving counters (all zero on the blocking path).
+    pub event_loop: EventLoopCounters,
     /// Per-replica router counters (empty in processes that never
     /// registered any, i.e. everything but a router).
     pub router: Vec<RouterReplicaCounters>,
@@ -926,6 +993,14 @@ pub fn snapshot() -> ObsSnapshot {
             tombstones: REGISTRY.store.tombstones.load(Ordering::Relaxed),
             epoch: REGISTRY.store.epoch.load(Ordering::Relaxed),
         },
+        event_loop: EventLoopCounters {
+            epoll_wakeups: REGISTRY.event_loop.epoll_wakeups.load(Ordering::Relaxed),
+            open_conns: REGISTRY.event_loop.open_conns.load(Ordering::Relaxed),
+            max_pipeline_depth: REGISTRY
+                .event_loop
+                .max_pipeline_depth
+                .load(Ordering::Relaxed),
+        },
         trace_count: REGISTRY.traces.all().len() as u64,
     }
 }
@@ -959,6 +1034,15 @@ pub fn reset() {
     REGISTRY.store.memtable_rows.store(0, Ordering::Relaxed);
     REGISTRY.store.tombstones.store(0, Ordering::Relaxed);
     REGISTRY.store.epoch.store(0, Ordering::Relaxed);
+    REGISTRY
+        .event_loop
+        .epoll_wakeups
+        .store(0, Ordering::Relaxed);
+    REGISTRY.event_loop.open_conns.store(0, Ordering::Relaxed);
+    REGISTRY
+        .event_loop
+        .max_pipeline_depth
+        .store(0, Ordering::Relaxed);
     // Drop router replica registrations entirely: shard topology is
     // per-router-spawn state, and a fresh harness run should not inherit
     // slots from a previous topology.

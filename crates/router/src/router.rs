@@ -887,6 +887,8 @@ fn stats(core: &RouterCore) -> Response {
             agg.distance_computations += s.distance_computations;
             agg.io_timeouts += s.io_timeouts;
             agg.panics_isolated += s.panics_isolated;
+            agg.epoll_wakeups += s.epoll_wakeups;
+            agg.max_pipeline_depth = agg.max_pipeline_depth.max(s.max_pipeline_depth);
             for (bound, count) in s.batch_hist {
                 *hist.entry(bound).or_insert(0) += count;
             }

@@ -1,0 +1,617 @@
+//! Transport-agnostic connection state for the event-driven server.
+//!
+//! The epoll loop ([`crate::event_loop`]) and the deterministic test
+//! harness both drive the same [`Connection`] state machine: incremental
+//! frame reassembly in, an in-order queue of single-use reply cells out,
+//! partial writes tracked by a cursor. Nothing here touches a socket —
+//! the transport is any `Read`/`Write` pair — which is what lets the
+//! harness replay arbitrary byte-boundary splits, partial writes, and
+//! completion interleavings without real I/O.
+//!
+//! ## Reply ordering
+//!
+//! Every request — including rejections and control ops — claims exactly
+//! one [`ReplyCell`] in arrival order *before* the next frame is
+//! dispatched. Compute may finish cells in any order (that is the point
+//! of pipelining), but [`Connection::pump`] only encodes the head of the
+//! queue once it is done, so responses leave in request order: the same
+//! contract the blocking path enforces with its slot queue.
+
+use crate::protocol::{
+    decode_request, encode_response, write_frame, FrameDecoder, Request, Response,
+};
+use crate::scheduler::{Pending, QueryWork, ReplySink, Scheduler};
+use cbir_core::ImageMeta;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Completion mailbox shared by every connection on one event loop.
+///
+/// Compute threads (the dispatcher, mutation workers) finish a
+/// [`ReplyCell`] and post its connection token here; the loop drains the
+/// mailbox on its next wakeup and pumps exactly those connections. The
+/// one-byte waker write is collapsed by the `signaled` flag so a burst
+/// of completions costs one syscall, not one per reply.
+#[derive(Debug, Default)]
+pub struct Completions {
+    ready: Mutex<Vec<u64>>,
+    signaled: AtomicBool,
+    waker: Mutex<Option<UnixStream>>,
+}
+
+impl Completions {
+    /// A mailbox with no waker (the deterministic harness polls).
+    pub fn new() -> Completions {
+        Completions::default()
+    }
+
+    /// Attach the write end of the loop's waker pipe.
+    pub fn set_waker(&self, w: UnixStream) {
+        *self.waker.lock().expect("waker lock") = Some(w);
+    }
+
+    /// Post a completion for connection `token` and wake the loop if it
+    /// has not already been signaled since its last drain.
+    pub fn notify(&self, token: u64) {
+        self.ready.lock().expect("completions lock").push(token);
+        if !self.signaled.swap(true, Ordering::AcqRel) {
+            if let Some(w) = self.waker.lock().expect("waker lock").as_mut() {
+                // A full pipe means a wakeup is already pending: fine.
+                let _ = w.write(&[1u8]);
+            }
+        }
+    }
+
+    /// Take every posted token. Clearing `signaled` *before* taking the
+    /// vector means a completion racing this drain either lands in the
+    /// taken batch or re-signals — never gets lost.
+    pub fn drain(&self) -> Vec<u64> {
+        self.signaled.store(false, Ordering::Release);
+        std::mem::take(&mut *self.ready.lock().expect("completions lock"))
+    }
+}
+
+/// A single-use reply slot owned by one connection, completed by one
+/// compute thread. The event-loop analogue of the blocking path's
+/// rendezvous channel: filling it never blocks and never fails.
+#[derive(Debug)]
+pub struct ReplyCell {
+    token: u64,
+    slot: Mutex<Option<Response>>,
+    done: AtomicBool,
+    completions: Option<Arc<Completions>>,
+}
+
+impl ReplyCell {
+    /// Store the response and (if attached) wake the owning loop.
+    pub fn fill(&self, resp: Response) {
+        *self.slot.lock().expect("reply slot lock") = Some(resp);
+        self.done.store(true, Ordering::Release);
+        if let Some(c) = &self.completions {
+            c.notify(self.token);
+        }
+    }
+
+    /// Whether the response has been stored.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    fn take(&self) -> Option<Response> {
+        if !self.is_done() {
+            return None;
+        }
+        self.slot.lock().expect("reply slot lock").take()
+    }
+}
+
+/// What a readiness-driven read pass concluded about the stream.
+#[derive(Debug)]
+pub enum ReadStatus {
+    /// Socket drained (would block); the connection stays open.
+    Open,
+    /// Peer closed cleanly at a frame boundary.
+    Eof,
+    /// The stream is corrupt (bad magic, oversized frame, or EOF inside
+    /// a frame): answer with this error — phrased exactly as the
+    /// blocking reader phrases it — then stop reading.
+    Corrupt(std::io::Error),
+    /// Transport failure (reset, aborted): close silently.
+    Gone,
+}
+
+/// How far a flush pass got.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WriteStatus {
+    /// Everything buffered so far is on the wire (or the socket would
+    /// block; check [`Connection::wants_write`]).
+    Open,
+    /// Transport failure: close the connection.
+    Gone,
+}
+
+/// Per-connection state machine: frame reassembly in, ordered replies
+/// out. Transport-agnostic; see the module docs.
+#[derive(Debug)]
+pub struct Connection {
+    token: u64,
+    decoder: FrameDecoder,
+    frames: VecDeque<Vec<u8>>,
+    inflight: VecDeque<Arc<ReplyCell>>,
+    /// A dispatched-but-unfinished mutation; no later frame on this
+    /// connection may dispatch past it (the blocking path serializes
+    /// ops per connection, so the event path must too).
+    barrier: Option<Arc<ReplyCell>>,
+    /// Error text of a corrupt-stream reply still owed to the peer. It
+    /// queues *after* every frame reassembled before the corruption —
+    /// the blocking reader answers those frames first too, and reply
+    /// bytes must stay identical between the engines.
+    corrupt: Option<String>,
+    outbuf: Vec<u8>,
+    out_at: usize,
+    read_closed: bool,
+    last_activity: Instant,
+    last_progress: Instant,
+    max_inflight: usize,
+}
+
+impl Connection {
+    /// Fresh connection state; `token` identifies it in the loop's table
+    /// and in completion notifications.
+    pub fn new(token: u64, now: Instant) -> Connection {
+        Connection {
+            token,
+            decoder: FrameDecoder::new(),
+            frames: VecDeque::new(),
+            inflight: VecDeque::new(),
+            barrier: None,
+            corrupt: None,
+            outbuf: Vec::new(),
+            out_at: 0,
+            read_closed: false,
+            last_activity: now,
+            last_progress: now,
+            max_inflight: 0,
+        }
+    }
+
+    /// This connection's loop token.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Read until the transport would block (or ends), feeding every
+    /// chunk through the frame decoder. Completed frames queue up for
+    /// [`Connection::next_frame`].
+    pub fn read_from<T: Read>(
+        &mut self,
+        io: &mut T,
+        scratch: &mut [u8],
+        now: Instant,
+    ) -> ReadStatus {
+        loop {
+            match io.read(scratch) {
+                Ok(0) => {
+                    return if self.decoder.at_boundary() {
+                        ReadStatus::Eof
+                    } else {
+                        ReadStatus::Corrupt(self.decoder.eof_error())
+                    };
+                }
+                Ok(n) => {
+                    self.last_activity = now;
+                    let mut at = 0;
+                    while at < n {
+                        match self.decoder.feed(&scratch[at..n]) {
+                            Ok((used, frame)) => {
+                                at += used;
+                                if let Some(f) = frame {
+                                    self.frames.push_back(f);
+                                }
+                            }
+                            Err(e) => return ReadStatus::Corrupt(e),
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return ReadStatus::Open,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return ReadStatus::Gone,
+            }
+        }
+    }
+
+    /// Pop the next completely reassembled, not-yet-dispatched frame.
+    pub fn next_frame(&mut self) -> Option<Vec<u8>> {
+        self.frames.pop_front()
+    }
+
+    /// Drop frames that were reassembled but will never dispatch (the
+    /// connection is closing).
+    pub fn discard_frames(&mut self) {
+        self.frames.clear();
+    }
+
+    /// Claim the next in-order reply cell. Pass the loop's completion
+    /// mailbox when a compute thread fills the cell later; `None` for a
+    /// cell the caller fills immediately.
+    pub fn push_cell(&mut self, completions: Option<Arc<Completions>>) -> Arc<ReplyCell> {
+        let cell = Arc::new(ReplyCell {
+            token: self.token,
+            slot: Mutex::new(None),
+            done: AtomicBool::new(false),
+            completions,
+        });
+        self.inflight.push_back(Arc::clone(&cell));
+        self.max_inflight = self.max_inflight.max(self.inflight.len());
+        cell
+    }
+
+    /// Claim a cell and fill it in one step (inline control replies).
+    pub fn push_ready(&mut self, resp: Response) {
+        let cell = self.push_cell(None);
+        cell.fill(resp);
+    }
+
+    /// Encode every completed head-of-line reply into the output buffer,
+    /// preserving request order. Returns how many replies were encoded.
+    pub fn pump(&mut self) -> usize {
+        let mut encoded = 0;
+        while let Some(head) = self.inflight.front() {
+            let Some(resp) = head.take() else { break };
+            self.inflight.pop_front();
+            write_frame(&mut self.outbuf, &encode_response(&resp))
+                .expect("Vec<u8> writes are infallible");
+            encoded += 1;
+        }
+        encoded
+    }
+
+    /// Flush the output buffer as far as the transport allows, tracking
+    /// the partial-write cursor across calls.
+    pub fn write_to<T: Write>(&mut self, io: &mut T, now: Instant) -> WriteStatus {
+        while self.out_at < self.outbuf.len() {
+            match io.write(&self.outbuf[self.out_at..]) {
+                Ok(0) => return WriteStatus::Gone,
+                Ok(n) => {
+                    self.out_at += n;
+                    self.last_progress = now;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return WriteStatus::Open,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return WriteStatus::Gone,
+            }
+        }
+        self.outbuf.clear();
+        self.out_at = 0;
+        self.last_progress = now;
+        WriteStatus::Open
+    }
+
+    /// Whether flushed-but-unwritten bytes remain (EPOLLOUT interest).
+    pub fn wants_write(&self) -> bool {
+        self.out_at < self.outbuf.len()
+    }
+
+    /// Requests dispatched but not yet encoded onto the wire.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// High-water mark of concurrently in-flight requests (pipeline
+    /// depth) over the connection's lifetime.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Stop reading from this connection (EOF, idle reap, or server
+    /// drain). Frames already reassembled still dispatch — the blocking
+    /// reader answers every complete frame it read before noticing EOF —
+    /// and in-flight replies still complete and flush. Callers that must
+    /// also abandon undispatched frames (drain, reap) follow up with
+    /// [`Connection::discard_frames`].
+    pub fn close_read(&mut self) {
+        self.read_closed = true;
+    }
+
+    /// Record a torn/garbled stream: reading stops now, and the error
+    /// reply — phrased exactly like the blocking reader's — is owed to
+    /// the peer *after* the frames reassembled ahead of the corruption
+    /// (queued by the next [`dispatch_ready`] pass).
+    pub fn set_corrupt(&mut self, e: std::io::Error) {
+        self.corrupt = Some(format!("malformed frame: {e}"));
+        self.read_closed = true;
+    }
+
+    /// Whether reading has stopped.
+    pub fn read_closed(&self) -> bool {
+        self.read_closed
+    }
+
+    /// Fully drained: reading stopped, every claimed reply delivered,
+    /// no error reply still owed, nothing left to flush. The loop closes
+    /// the socket at this point.
+    pub fn finished(&self) -> bool {
+        self.read_closed
+            && self.inflight.is_empty()
+            && self.frames.is_empty()
+            && self.corrupt.is_none()
+            && !self.wants_write()
+    }
+
+    /// How long since the peer last delivered bytes (idle-reap clock).
+    pub fn idle_for(&self, now: Instant) -> Duration {
+        now.saturating_duration_since(self.last_activity)
+    }
+
+    /// How long since a flush last made progress while output is
+    /// pending; `None` when nothing is waiting to flush
+    /// (write-stall clock).
+    pub fn stalled_for(&self, now: Instant) -> Option<Duration> {
+        self.wants_write()
+            .then(|| now.saturating_duration_since(self.last_progress))
+    }
+}
+
+/// What dispatching one frame asked of the caller, beyond the reply
+/// cells already claimed.
+#[derive(Debug)]
+pub enum Dispatched {
+    /// Nothing: the request was answered inline or queued.
+    Done,
+    /// A mutation op: run [`control_response`] for it off the loop
+    /// thread and fill the cell (a dispatch barrier is already set, so
+    /// no later frame on this connection runs ahead of it).
+    Mutation(Box<Request>, Arc<ReplyCell>),
+    /// Client-initiated shutdown: the ack is queued; the caller drains
+    /// the whole server.
+    Shutdown,
+    /// Malformed request: the error reply is queued and the connection
+    /// must stop reading — same isolation as the blocking path.
+    Malformed,
+}
+
+/// Dispatch every reassembled frame that is allowed to run, in arrival
+/// order, stopping at a mutation barrier, a malformed frame, or a
+/// shutdown op. Both the epoll loop and the deterministic harness call
+/// this; it is the event-path equivalent of the blocking
+/// `serve_connection` request match.
+pub fn dispatch_ready(
+    conn: &mut Connection,
+    scheduler: &Scheduler,
+    completions: &Arc<Completions>,
+    mutate: &mut dyn FnMut(Box<Request>, Arc<ReplyCell>),
+) -> Dispatched {
+    loop {
+        if let Some(b) = &conn.barrier {
+            if b.is_done() {
+                conn.barrier = None;
+            } else {
+                return Dispatched::Done;
+            }
+        }
+        let Some(payload) = conn.next_frame() else {
+            // Every frame ahead of a stream corruption has been
+            // answered; now the owed error reply takes its in-order
+            // place, exactly where the blocking reader would emit it.
+            if let Some(msg) = conn.corrupt.take() {
+                conn.push_ready(Response::Error(msg));
+            }
+            return Dispatched::Done;
+        };
+        match dispatch_frame(conn, &payload, scheduler, completions) {
+            Dispatched::Done => {}
+            Dispatched::Mutation(req, cell) => {
+                conn.barrier = Some(Arc::clone(&cell));
+                mutate(req, cell);
+            }
+            Dispatched::Shutdown => {
+                conn.close_read();
+                conn.discard_frames();
+                conn.corrupt = None;
+                return Dispatched::Shutdown;
+            }
+            Dispatched::Malformed => {
+                // The blocking reader stops at a malformed request and
+                // never sees later bytes; drop them (and any corruption
+                // they contained) the same way.
+                conn.close_read();
+                conn.discard_frames();
+                conn.corrupt = None;
+                return Dispatched::Malformed;
+            }
+        }
+    }
+}
+
+/// Dispatch a single reassembled frame: decode, then answer inline,
+/// admit to the scheduler, or hand back a mutation for offload.
+fn dispatch_frame(
+    conn: &mut Connection,
+    payload: &[u8],
+    scheduler: &Scheduler,
+    completions: &Arc<Completions>,
+) -> Dispatched {
+    let request = match decode_request(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            conn.push_ready(Response::Error(format!("malformed request: {e}")));
+            return Dispatched::Malformed;
+        }
+    };
+    if is_mutation(&request) {
+        let cell = conn.push_cell(Some(Arc::clone(completions)));
+        return Dispatched::Mutation(Box::new(request), cell);
+    }
+    match query_work(request) {
+        Ok((work, deadline_us)) => {
+            let now = Instant::now();
+            let cell = conn.push_cell(Some(Arc::clone(completions)));
+            scheduler.submit(Pending {
+                work,
+                deadline: (deadline_us > 0).then(|| now + Duration::from_micros(deadline_us)),
+                enqueued: now,
+                reply: ReplySink::Cell(cell),
+            });
+            Dispatched::Done
+        }
+        Err(Request::Shutdown) => {
+            conn.push_ready(Response::ShutdownAck);
+            Dispatched::Shutdown
+        }
+        Err(req) => {
+            conn.push_ready(control_response(scheduler, req));
+            Dispatched::Done
+        }
+    }
+}
+
+/// Whether an op mutates the store. The blocking path runs these inline
+/// on the connection thread; the event loop offloads them to a worker
+/// behind a per-connection dispatch barrier.
+pub fn is_mutation(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Insert { .. } | Request::Delete { .. } | Request::Compact
+    )
+}
+
+/// Split a request into schedulable query work plus its deadline, or
+/// hand the request back for inline handling.
+pub fn query_work(req: Request) -> Result<(QueryWork, u64), Request> {
+    match req {
+        Request::Knn {
+            k,
+            deadline_us,
+            recall_target,
+            descriptor,
+        } => Ok((
+            QueryWork::Knn {
+                descriptor,
+                k: k as usize,
+                recall_target,
+            },
+            deadline_us,
+        )),
+        Request::Range {
+            radius,
+            deadline_us,
+            descriptor,
+        } => Ok((QueryWork::Range { descriptor, radius }, deadline_us)),
+        Request::KnnById {
+            k,
+            deadline_us,
+            recall_target,
+            id,
+        } => Ok((
+            QueryWork::KnnById {
+                id: id as usize,
+                k: k as usize,
+                recall_target,
+            },
+            deadline_us,
+        )),
+        other => Err(other),
+    }
+}
+
+/// Answer a control or mutation op against the scheduler's corpus.
+/// Shared verbatim between the blocking connection thread and the event
+/// path (loop thread for reads, worker pool for mutations), so the two
+/// engines cannot drift in what they reply.
+pub fn control_response(scheduler: &Scheduler, req: Request) -> Response {
+    let metrics = scheduler.metrics();
+    match req {
+        Request::Ping => {
+            let view = scheduler.corpus().pin();
+            Response::Pong {
+                db_len: view.len() as u64,
+                dim: view.dim() as u32,
+            }
+        }
+        Request::Stats => Response::Stats(metrics.snapshot(scheduler.queue_depth())),
+        Request::ObsStats { prometheus } => {
+            // Refresh the queue-depth gauge so a snapshot taken from an
+            // otherwise idle server still reads the live value.
+            cbir_obs::set_queue_depth(scheduler.queue_depth() as u64);
+            let snap = cbir_obs::snapshot();
+            Response::ObsText(if prometheus {
+                cbir_obs::to_prometheus(&snap)
+            } else {
+                cbir_obs::to_json(&snap)
+            })
+        }
+        Request::Explain => Response::ObsText(cbir_obs::traces_to_json(&cbir_obs::traces())),
+        Request::Shutdown => Response::ShutdownAck,
+        // Mutations take the store's writer lock, publish a new
+        // snapshot, and ack. Queries already admitted keep executing
+        // against their pinned (pre-mutation) snapshots.
+        Request::Insert {
+            name,
+            label,
+            descriptor,
+        } => match scheduler.corpus().store() {
+            None => static_corpus_error(),
+            Some(store) => match store.insert(ImageMeta { name, label }, descriptor) {
+                Ok(id) => Response::InsertAck {
+                    id,
+                    epoch: store.snapshot().epoch(),
+                },
+                Err(e) => {
+                    metrics.on_error();
+                    Response::Error(e.to_string())
+                }
+            },
+        },
+        Request::Delete { id } => match scheduler.corpus().store() {
+            None => static_corpus_error(),
+            Some(store) => match store.delete(id) {
+                Ok(()) => Response::DeleteAck {
+                    epoch: store.snapshot().epoch(),
+                },
+                Err(e) => {
+                    metrics.on_error();
+                    Response::Error(e.to_string())
+                }
+            },
+        },
+        Request::Compact => match scheduler.corpus().store() {
+            None => static_corpus_error(),
+            Some(store) => match store.compact() {
+                Ok(stats) => Response::CompactAck {
+                    epoch: stats.epoch,
+                    segments: stats.segments as u32,
+                    rows: stats.rows,
+                },
+                Err(e) => {
+                    metrics.on_error();
+                    Response::Error(e.to_string())
+                }
+            },
+        },
+        // Row fetch runs inline: a point read against a pinned view.
+        Request::GetDescriptor { id } => match scheduler.corpus().pin().descriptor(id) {
+            Ok(descriptor) => Response::Descriptor { descriptor },
+            Err(e) => {
+                metrics.on_error();
+                Response::Error(e.to_string())
+            }
+        },
+        query @ (Request::Knn { .. } | Request::Range { .. } | Request::KnnById { .. }) => {
+            unreachable!("queries go through the scheduler, got {query:?}")
+        }
+    }
+}
+
+/// The refusal every mutation op gets when the server fronts an
+/// immutable offline-built engine instead of a live segment store.
+pub(crate) fn static_corpus_error() -> Response {
+    Response::Error(
+        "server is serving a static database; mutations require serving a segment store \
+         (serve --mmap)"
+            .into(),
+    )
+}

@@ -1,0 +1,501 @@
+//! The nonblocking epoll serving engine.
+//!
+//! One loop thread owns every socket: it accepts, reassembles frames
+//! incrementally ([`crate::protocol::FrameDecoder`]), dispatches decoded
+//! requests (inline control ops on the loop thread, queries into the
+//! existing micro-batch [`Scheduler`], mutations onto a small worker
+//! pool), and flushes each connection's in-order reply queue as sockets
+//! become writable. Compute threads never touch a socket: they fill
+//! [`crate::conn::ReplyCell`]s, which post the connection token to a
+//! [`Completions`] mailbox and wake the loop through a pipe.
+//!
+//! Every contract of the blocking engine is preserved — admission
+//! control, deadlines, overload shedding, idle reaping, write-stall
+//! bounds, panic isolation, graceful drain — and the wire bytes of
+//! query replies are asserted identical between the two engines (the
+//! `exp_epoll_serving` gate). What changes is capacity: a connection
+//! costs one registered fd and a [`crate::conn::Connection`] struct
+//! instead of two parked threads, so thousands of concurrent,
+//! pipelined connections fit in one process.
+
+use crate::conn::{control_response, ReplyCell};
+use crate::conn::{dispatch_ready, Completions, Connection, Dispatched, ReadStatus, WriteStatus};
+use crate::metrics::Metrics;
+use crate::protocol::Request;
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use crate::server::EventLoopConfig;
+use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use cbir_core::ServedCorpus;
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Loop token of the listener socket.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Loop token of the waker pipe's read end.
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+/// Completion token used by [`EventControl::trigger`] (not a connection).
+const CONTROL_TOKEN: u64 = u64::MAX - 2;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: u64 = 0;
+
+/// External shutdown switch for a running event loop.
+pub(crate) struct EventControl {
+    stop: AtomicBool,
+    completions: Arc<Completions>,
+}
+
+impl EventControl {
+    /// Ask the loop to drain and exit. Idempotent; safe from any thread.
+    pub(crate) fn trigger(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.completions.notify(CONTROL_TOKEN);
+    }
+}
+
+/// Everything `Server::spawn_event_corpus` hands back to the
+/// [`crate::ServerHandle`].
+pub(crate) struct EventParts {
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) scheduler: Arc<Scheduler>,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) control: Arc<EventControl>,
+    pub(crate) threads: Vec<JoinHandle<()>>,
+}
+
+/// Bind, build the shared scheduler, and start the loop thread, the
+/// dispatcher, and the mutation worker pool.
+pub(crate) fn spawn(
+    corpus: ServedCorpus,
+    addr: impl ToSocketAddrs,
+    config: SchedulerConfig,
+    event_config: EventLoopConfig,
+) -> std::io::Result<EventParts> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let metrics = Arc::new(Metrics::new());
+    let scheduler = Arc::new(Scheduler::new(corpus, config, Arc::clone(&metrics)));
+
+    let completions = Arc::new(Completions::new());
+    let (waker_rx, waker_tx) = std::os::unix::net::UnixStream::pair()?;
+    waker_rx.set_nonblocking(true)?;
+    waker_tx.set_nonblocking(true)?;
+    completions.set_waker(waker_tx);
+
+    let control = Arc::new(EventControl {
+        stop: AtomicBool::new(false),
+        completions: Arc::clone(&completions),
+    });
+
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)?;
+    epoll.add(waker_rx.as_raw_fd(), EPOLLIN, WAKER_TOKEN)?;
+
+    let mut threads = Vec::new();
+    threads.push({
+        let scheduler = Arc::clone(&scheduler);
+        std::thread::Builder::new()
+            .name("cbir-dispatch".into())
+            .spawn(move || scheduler.run())?
+    });
+
+    // Mutation workers share one receiver behind a mutex: mutations are
+    // rare relative to queries, and the per-connection dispatch barrier
+    // already serializes them per connection.
+    let (mutate_tx, mutate_rx) = channel::<(Box<Request>, Arc<ReplyCell>)>();
+    let mutate_rx = Arc::new(Mutex::new(mutate_rx));
+    for i in 0..event_config.mutation_workers.max(1) {
+        let rx = Arc::clone(&mutate_rx);
+        let scheduler = Arc::clone(&scheduler);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("cbir-mutate-{i}"))
+                .spawn(move || loop {
+                    let job = rx.lock().expect("mutation queue lock").recv();
+                    let Ok((req, cell)) = job else { return };
+                    cell.fill(control_response(&scheduler, *req));
+                })?,
+        );
+    }
+
+    threads.push({
+        let scheduler = Arc::clone(&scheduler);
+        let metrics = Arc::clone(&metrics);
+        let completions = Arc::clone(&completions);
+        let control = Arc::clone(&control);
+        std::thread::Builder::new()
+            .name("cbir-eloop".into())
+            .spawn(move || {
+                let mut lp = Loop {
+                    epoll,
+                    listener,
+                    waker_rx,
+                    conns: HashMap::new(),
+                    next_token: FIRST_CONN_TOKEN,
+                    scheduler,
+                    metrics,
+                    completions,
+                    control,
+                    mutate_tx,
+                    max_conns: event_config.max_conns.max(1),
+                    draining: false,
+                };
+                lp.run();
+            })?
+    });
+
+    Ok(EventParts {
+        local_addr,
+        scheduler,
+        metrics,
+        control,
+        threads,
+    })
+}
+
+/// One registered connection: its socket, state machine, and the
+/// interest mask currently programmed into epoll.
+struct Entry {
+    stream: TcpStream,
+    conn: Connection,
+    interest: u32,
+}
+
+struct Loop {
+    epoll: Epoll,
+    listener: TcpListener,
+    waker_rx: std::os::unix::net::UnixStream,
+    conns: HashMap<u64, Entry>,
+    next_token: u64,
+    scheduler: Arc<Scheduler>,
+    metrics: Arc<Metrics>,
+    completions: Arc<Completions>,
+    control: Arc<EventControl>,
+    mutate_tx: Sender<(Box<Request>, Arc<ReplyCell>)>,
+    max_conns: usize,
+    draining: bool,
+}
+
+impl Loop {
+    fn run(&mut self) {
+        let sweep_every = self.sweep_interval();
+        let mut last_sweep = Instant::now();
+        let mut events = vec![EpollEvent::default(); 512];
+        let mut scratch = vec![0u8; 64 << 10];
+        loop {
+            let timeout_ms = if self.draining {
+                10
+            } else {
+                sweep_every.as_millis() as i32
+            };
+            let n = match self.epoll.wait(&mut events, timeout_ms) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("cbir-server: epoll_wait failed, stopping loop: {e}");
+                    return;
+                }
+            };
+            self.metrics.on_epoll_wakeup();
+            cbir_obs::epoll_wakeups_add(1);
+            let now = Instant::now();
+
+            let fired: Vec<(u64, u32)> = events[..n].iter().map(|e| (e.data, e.events)).collect();
+            for (token, bits) in fired {
+                match token {
+                    LISTENER_TOKEN => self.accept_ready(now),
+                    WAKER_TOKEN => self.drain_waker(),
+                    t => self.conn_event(t, bits, now, &mut scratch),
+                }
+            }
+
+            // Completions posted by compute threads since the last pass:
+            // pump exactly those connections (and dispatch frames a
+            // cleared mutation barrier was holding back).
+            for token in self.completions.drain() {
+                if token == CONTROL_TOKEN {
+                    continue; // handled via the stop flag below
+                }
+                self.progress(token, now);
+            }
+
+            if self.control.stop.load(Ordering::SeqCst) {
+                self.begin_drain();
+            }
+
+            if now.saturating_duration_since(last_sweep) >= sweep_every {
+                last_sweep = now;
+                self.sweep(now);
+            }
+
+            cbir_obs::set_event_loop_state(self.conns.len() as u64, 0);
+            if self.draining && self.conns.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Reap-granularity: a quarter of the tightest configured timeout,
+    /// clamped to [25ms, 1s].
+    fn sweep_interval(&self) -> Duration {
+        let cfg = self.scheduler.config();
+        let tightest = [cfg.idle_timeout, cfg.write_timeout]
+            .into_iter()
+            .flatten()
+            .min()
+            .unwrap_or(Duration::from_secs(4));
+        (tightest / 4).clamp(Duration::from_millis(25), Duration::from_secs(1))
+    }
+
+    fn accept_ready(&mut self, now: Instant) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.draining {
+                        continue; // refused: dropped immediately
+                    }
+                    if self.conns.len() >= self.max_conns {
+                        // At capacity: close immediately rather than
+                        // queue unbounded connection state.
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let interest = EPOLLIN | EPOLLRDHUP;
+                    if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Entry {
+                            stream,
+                            conn: Connection::new(token, now),
+                            interest,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) => {
+                    // Transient accept failures (EMFILE under fd
+                    // pressure, aborted handshakes) must not kill the
+                    // loop; pause briefly so an exhausted-fd condition
+                    // does not hot-spin (level-triggered epoll will
+                    // re-report the listener).
+                    eprintln!("cbir-server: accept error (continuing): {e}");
+                    std::thread::sleep(Duration::from_millis(10));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut buf = [0u8; 64];
+        while matches!(self.waker_rx.read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    /// Handle readiness on one connection, then settle it.
+    fn conn_event(&mut self, token: u64, bits: u32, now: Instant, scratch: &mut [u8]) {
+        let Some(entry) = self.conns.get_mut(&token) else {
+            return; // already closed; stale event
+        };
+        if bits & (EPOLLERR | EPOLLHUP) != 0 {
+            // Socket error or full hangup: nothing we read or write goes
+            // anywhere, and both conditions are level-triggered — keeping
+            // the fd registered would spin the loop. Drop it.
+            self.remove(token);
+            return;
+        }
+        let mut shutdown_requested = false;
+        let mut dead = false;
+
+        if bits & EPOLLOUT != 0 && entry.conn.wants_write() {
+            dead = entry.conn.write_to(&mut &entry.stream, now) == WriteStatus::Gone;
+        }
+        if !dead {
+            if !entry.conn.read_closed() {
+                match entry.conn.read_from(&mut &entry.stream, scratch, now) {
+                    ReadStatus::Open => {}
+                    ReadStatus::Eof => entry.conn.close_read(),
+                    // Corrupt stream: frames ahead of the corruption are
+                    // answered by the dispatch below, then the error
+                    // reply — byte-for-byte the blocking reader's —
+                    // closes only this connection.
+                    ReadStatus::Corrupt(e) => entry.conn.set_corrupt(e),
+                    ReadStatus::Gone => dead = true,
+                }
+            }
+            if !dead {
+                match dispatch_ready(
+                    &mut entry.conn,
+                    &self.scheduler,
+                    &self.completions,
+                    &mut |req, cell| {
+                        let _ = self.mutate_tx.send((req, cell));
+                    },
+                ) {
+                    Dispatched::Shutdown => shutdown_requested = true,
+                    Dispatched::Done | Dispatched::Malformed | Dispatched::Mutation(..) => {}
+                }
+                let depth = entry.conn.inflight_len() as u64;
+                self.metrics.on_pipeline_depth(depth);
+                cbir_obs::set_event_loop_state(self.conns.len() as u64, depth);
+            }
+        }
+
+        if dead {
+            self.remove(token);
+        } else {
+            self.settle(token, now);
+        }
+        if shutdown_requested {
+            self.control.stop.store(true, Ordering::SeqCst);
+            self.begin_drain();
+        }
+    }
+
+    /// A compute thread finished something for `token`: flush completed
+    /// replies and dispatch anything a mutation barrier was holding.
+    fn progress(&mut self, token: u64, now: Instant) {
+        let Some(entry) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let mut shutdown_requested = false;
+        // Even after reading stopped, a cleared mutation barrier may be
+        // holding reassembled frames (or an owed corrupt-stream error)
+        // that still need to dispatch.
+        match dispatch_ready(
+            &mut entry.conn,
+            &self.scheduler,
+            &self.completions,
+            &mut |req, cell| {
+                let _ = self.mutate_tx.send((req, cell));
+            },
+        ) {
+            Dispatched::Shutdown => shutdown_requested = true,
+            Dispatched::Done | Dispatched::Malformed | Dispatched::Mutation(..) => {}
+        }
+        self.settle(token, now);
+        if shutdown_requested {
+            self.control.stop.store(true, Ordering::SeqCst);
+            self.begin_drain();
+        }
+    }
+
+    /// Pump completed replies into the buffer, flush opportunistically,
+    /// reconcile epoll interest, and close the connection once finished.
+    fn settle(&mut self, token: u64, now: Instant) {
+        let Some(entry) = self.conns.get_mut(&token) else {
+            return;
+        };
+        entry.conn.pump();
+        if entry.conn.wants_write()
+            && entry.conn.write_to(&mut &entry.stream, now) == WriteStatus::Gone
+        {
+            self.remove(token);
+            return;
+        }
+        let entry = self.conns.get_mut(&token).expect("entry still present");
+        if entry.conn.finished() {
+            self.remove(token);
+            return;
+        }
+        let want = if entry.conn.read_closed() {
+            0
+        } else {
+            EPOLLIN | EPOLLRDHUP
+        } | if entry.conn.wants_write() {
+            EPOLLOUT
+        } else {
+            0
+        };
+        if want != entry.interest {
+            if self
+                .epoll
+                .modify(entry.stream.as_raw_fd(), want, token)
+                .is_err()
+            {
+                self.remove(token);
+                return;
+            }
+            entry.interest = want;
+        }
+    }
+
+    fn remove(&mut self, token: u64) {
+        if let Some(entry) = self.conns.remove(&token) {
+            let _ = self.epoll.del(entry.stream.as_raw_fd());
+            // Dropping the stream closes the fd.
+        }
+    }
+
+    /// Start the graceful drain: stop admitting and accepting, stop
+    /// reading on every connection, and let in-flight replies flush.
+    /// Mirrors the blocking engine's `Controller::trigger`.
+    fn begin_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        self.scheduler.begin_shutdown();
+        let _ = self.epoll.del(self.listener.as_raw_fd());
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        let now = Instant::now();
+        for token in tokens {
+            if let Some(entry) = self.conns.get_mut(&token) {
+                entry.conn.close_read();
+                entry.conn.discard_frames();
+                // Read half only: the peer sees EOF; queued replies
+                // still flush through the write half.
+                let _ = entry.stream.shutdown(Shutdown::Read);
+            }
+            self.settle(token, now);
+        }
+    }
+
+    /// Periodic pass: reap idle peers, bound write stalls, and collect
+    /// connections that finished while no event was pending.
+    fn sweep(&mut self, now: Instant) {
+        let cfg = self.scheduler.config().clone();
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let Some(entry) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            if let Some(limit) = cfg.idle_timeout {
+                if !entry.conn.read_closed() && entry.conn.idle_for(now) >= limit {
+                    // Idle peer: reap silently — no courtesy error
+                    // frame — exactly like the blocking read timeout.
+                    // In-flight replies (if any) still flush before the
+                    // socket closes.
+                    self.metrics.on_io_timeout();
+                    entry.conn.close_read();
+                    entry.conn.discard_frames();
+                    let _ = entry.stream.shutdown(Shutdown::Read);
+                }
+            }
+            if let Some(limit) = cfg.write_timeout {
+                if entry.conn.stalled_for(now).is_some_and(|d| d >= limit) {
+                    // A peer that stopped draining responses: counted
+                    // and closed both ways, like the blocking writer's
+                    // timeout abort.
+                    self.metrics.on_io_timeout();
+                    let _ = entry.stream.shutdown(Shutdown::Both);
+                    self.remove(token);
+                    continue;
+                }
+            }
+            self.settle(token, now);
+        }
+    }
+}

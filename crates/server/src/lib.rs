@@ -44,18 +44,24 @@
 
 pub mod chaosnet;
 pub mod client;
+pub mod conn;
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub mod event_loop;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod retry;
 pub mod scheduler;
 pub mod server;
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys;
 
 pub use chaosnet::{ChaosHandle, ChaosProxy, ChaosStats, WireMode};
 pub use client::{Client, ClientError, ClientResult, HitsReply, Rejection};
+pub use conn::{Completions, Connection, ReplyCell};
 pub use metrics::Metrics;
 pub use pool::ClientPool;
-pub use protocol::{Hit, Request, Response, StatsSnapshot, WireError};
+pub use protocol::{FrameDecoder, Hit, Request, Response, StatsSnapshot, WireError};
 pub use retry::{RetryPolicy, RetryStats, RetryingClient};
-pub use scheduler::{Pending, QueryWork, Scheduler, SchedulerConfig};
-pub use server::{Server, ServerHandle};
+pub use scheduler::{Pending, QueryWork, ReplySink, Scheduler, SchedulerConfig};
+pub use server::{EventLoopConfig, Server, ServerHandle};

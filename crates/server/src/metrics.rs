@@ -41,6 +41,8 @@ pub struct Metrics {
     batches: AtomicU64,
     io_timeouts: AtomicU64,
     panics_isolated: AtomicU64,
+    epoll_wakeups: AtomicU64,
+    max_pipeline_depth: AtomicU64,
     sampled: Mutex<Sampled>,
 }
 
@@ -87,6 +89,18 @@ impl Metrics {
         self.panics_isolated.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The event loop returned from one `epoll_wait` (zero on the
+    /// blocking path).
+    pub fn on_epoll_wakeup(&self) {
+        self.epoll_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was observed with `depth` requests concurrently in
+    /// flight; the snapshot keeps the high-water mark.
+    pub fn on_pipeline_depth(&self, depth: u64) {
+        self.max_pipeline_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// Record one dispatched micro-batch: its size, how many of its
     /// members had already expired, each executed member's
     /// enqueue-to-reply latency, and the engine's per-batch search stats.
@@ -126,6 +140,8 @@ impl Metrics {
             distance_computations: s.search.total().distance_computations,
             io_timeouts: self.io_timeouts.load(Ordering::Relaxed),
             panics_isolated: self.panics_isolated.load(Ordering::Relaxed),
+            epoll_wakeups: self.epoll_wakeups.load(Ordering::Relaxed),
+            max_pipeline_depth: self.max_pipeline_depth.load(Ordering::Relaxed),
             batch_hist: BATCH_HIST_BOUNDS
                 .iter()
                 .zip(s.batch_hist.iter())
@@ -153,6 +169,10 @@ mod tests {
         m.on_rejected_shutdown();
         m.on_io_timeout();
         m.on_panic_isolated();
+        m.on_epoll_wakeup();
+        m.on_epoll_wakeup();
+        m.on_pipeline_depth(4);
+        m.on_pipeline_depth(2);
 
         let mut search = BatchStats::new();
         search.record(&SearchStats {
@@ -175,6 +195,8 @@ mod tests {
         assert_eq!(snap.distance_computations, 40);
         assert_eq!(snap.io_timeouts, 1);
         assert_eq!(snap.panics_isolated, 1);
+        assert_eq!(snap.epoll_wakeups, 2);
+        assert_eq!(snap.max_pipeline_depth, 4, "high-water mark, not last");
         assert_eq!(snap.latency_p50_us, 200);
         assert_eq!(snap.latency_p95_us, 400);
         // Size 5 lands in the `<= 8` bucket, size 1 in `<= 1`.

@@ -205,6 +205,12 @@ pub struct StatsSnapshot {
     pub io_timeouts: u64,
     /// Batch-execution panics caught and converted to error replies.
     pub panics_isolated: u64,
+    /// `epoll_wait` returns in the event loop (zero on the blocking path).
+    pub epoll_wakeups: u64,
+    /// High-water mark of requests concurrently in flight on one
+    /// connection (pipeline depth; zero on the blocking path, which does
+    /// not track it).
+    pub max_pipeline_depth: u64,
     /// Batch-size histogram as `(inclusive upper bound, count)` pairs.
     pub batch_hist: Vec<(u64, u64)>,
 }
@@ -646,6 +652,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u64(s.distance_computations);
             w.u64(s.io_timeouts);
             w.u64(s.panics_isolated);
+            w.u64(s.epoll_wakeups);
+            w.u64(s.max_pipeline_depth);
             w.u32(s.batch_hist.len() as u32);
             for &(bound, count) in &s.batch_hist {
                 w.u64(bound);
@@ -742,6 +750,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 distance_computations: r.u64()?,
                 io_timeouts: r.u64()?,
                 panics_isolated: r.u64()?,
+                epoll_wakeups: r.u64()?,
+                max_pipeline_depth: r.u64()?,
                 batch_hist: Vec::new(),
             };
             let n = r.u32()? as usize;
@@ -842,8 +852,104 @@ fn eof_as_invalid_data(e: std::io::Error, msg: &str) -> std::io::Error {
     }
 }
 
-fn invalid_data(msg: impl Into<String>) -> std::io::Error {
+pub(crate) fn invalid_data(msg: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, WireError(msg.into()))
+}
+
+// ---------------------------------------------------------------------------
+// Incremental (nonblocking) frame reassembly.
+// ---------------------------------------------------------------------------
+
+/// Incremental frame-reassembly state machine: the nonblocking
+/// counterpart of [`read_frame`].
+///
+/// A readiness-driven reader cannot block until a frame is complete;
+/// bytes arrive in arbitrary chunks at arbitrary boundaries. The decoder
+/// accepts whatever the socket produced, remembers how far into the
+/// current frame it is, and emits each payload exactly once — with the
+/// *same* validation outcomes as the blocking reader (bad magic and
+/// oversized length prefixes are corrupt streams; EOF is clean only at a
+/// frame boundary), so the two paths can be asserted byte-equivalent.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// Magic + length prefix under assembly (`header_filled < 12`).
+    header: [u8; 12],
+    header_filled: usize,
+    /// Payload under assembly once the header validated; `None` while
+    /// still inside the header.
+    payload: Option<Vec<u8>>,
+    payload_filled: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder at a frame boundary.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Whether the decoder sits exactly at a frame boundary (EOF here is
+    /// a clean close; anywhere else the frame was torn).
+    pub fn at_boundary(&self) -> bool {
+        self.header_filled == 0 && self.payload.is_none()
+    }
+
+    /// The error an EOF at the current position amounts to, phrased
+    /// exactly as the blocking [`read_frame`] would phrase it.
+    pub fn eof_error(&self) -> std::io::Error {
+        if self.payload.is_some() {
+            invalid_data("EOF inside frame payload")
+        } else if self.header_filled >= 8 {
+            invalid_data("EOF inside frame length")
+        } else {
+            invalid_data("EOF inside frame magic")
+        }
+    }
+
+    /// Consume bytes from `chunk`, returning how many were consumed and
+    /// the completed frame payload, if this call finished one. Call in a
+    /// loop until it consumes the whole chunk; a return of
+    /// `(consumed, Some(payload))` with `consumed < chunk.len()` means
+    /// more frames (or a partial one) follow in the same chunk.
+    ///
+    /// Errors carry the same messages as [`read_frame`] (bad magic,
+    /// implausible length); after an error the stream is corrupt and the
+    /// decoder must not be fed again.
+    pub fn feed(&mut self, chunk: &[u8]) -> std::io::Result<(usize, Option<Vec<u8>>)> {
+        let mut at = 0;
+        // Header phase: assemble 8 bytes of magic + 4 of length.
+        if self.payload.is_none() {
+            let want = self.header.len() - self.header_filled;
+            let take = want.min(chunk.len());
+            self.header[self.header_filled..self.header_filled + take]
+                .copy_from_slice(&chunk[..take]);
+            self.header_filled += take;
+            at += take;
+            if self.header_filled < self.header.len() {
+                return Ok((at, None));
+            }
+            if &self.header[..8] != MAGIC {
+                return Err(invalid_data("bad frame magic (not a CBIRRPC1 stream)"));
+            }
+            let len = u32::from_le_bytes(self.header[8..12].try_into().expect("4 bytes")) as usize;
+            if len > MAX_FRAME_LEN {
+                return Err(invalid_data(format!("frame length {len} exceeds limit")));
+            }
+            self.header_filled = 0;
+            self.payload = Some(Vec::with_capacity(len.min(64 << 10)));
+            self.payload_filled = len;
+        }
+        // Payload phase: `payload_filled` holds the bytes still owed.
+        let buf = self.payload.as_mut().expect("payload phase");
+        let take = self.payload_filled.min(chunk.len() - at);
+        buf.extend_from_slice(&chunk[at..at + take]);
+        self.payload_filled -= take;
+        at += take;
+        if self.payload_filled == 0 {
+            let frame = self.payload.take().expect("complete payload");
+            return Ok((at, Some(frame)));
+        }
+        Ok((at, None))
+    }
 }
 
 /// Whether a transport error is a frame torn by mid-frame EOF: the peer
@@ -986,6 +1092,8 @@ mod tests {
             distance_computations: 123_456,
             io_timeouts: 2,
             panics_isolated: 1,
+            epoll_wakeups: 7_000,
+            max_pipeline_depth: 32,
             batch_hist: vec![(1, 4), (2, 3), (u64::MAX, 5)],
         }));
     }
@@ -1180,5 +1288,125 @@ mod tests {
         huge.extend_from_slice(&(u32::MAX).to_le_bytes());
         let mut cursor = std::io::Cursor::new(huge);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// Feed `stream` to a fresh decoder in chunks of `sizes` (cycled),
+    /// returning the decoded payloads.
+    fn decode_chunked(stream: &[u8], sizes: &[usize]) -> Vec<Vec<u8>> {
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut at = 0;
+        let mut step = 0;
+        while at < stream.len() {
+            let take = sizes[step % sizes.len()].max(1).min(stream.len() - at);
+            step += 1;
+            let chunk = &stream[at..at + take];
+            let mut used_total = 0;
+            while used_total < chunk.len() {
+                let (used, frame) = dec.feed(&chunk[used_total..]).unwrap();
+                used_total += used;
+                if let Some(f) = frame {
+                    out.push(f);
+                }
+            }
+            at += take;
+        }
+        assert!(dec.at_boundary(), "stream ends at a frame boundary");
+        out
+    }
+
+    #[test]
+    fn frame_decoder_matches_blocking_reader_at_every_split() {
+        // Two back-to-back frames; the blocking reader is the oracle.
+        let payloads = [
+            encode_request(&Request::Knn {
+                k: 3,
+                deadline_us: 9,
+                recall_target: 0.9,
+                descriptor: vec![0.125; 8],
+            }),
+            encode_request(&Request::Ping),
+        ];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(stream.clone());
+        let oracle = [
+            read_frame(&mut cursor).unwrap().unwrap(),
+            read_frame(&mut cursor).unwrap().unwrap(),
+        ];
+        assert_eq!(oracle[0], payloads[0]);
+        assert_eq!(oracle[1], payloads[1]);
+
+        // Every split point of the whole two-frame stream, plus a
+        // one-byte drip and whole-stream coalescing.
+        for split in 0..=stream.len() {
+            let got = decode_chunked(&stream, &[split.max(1), stream.len()]);
+            assert_eq!(got.len(), 2, "split at {split}");
+            assert_eq!(got[0], oracle[0], "split at {split}");
+            assert_eq!(got[1], oracle[1], "split at {split}");
+        }
+        assert_eq!(decode_chunked(&stream, &[1]), oracle.to_vec());
+        assert_eq!(decode_chunked(&stream, &[stream.len()]), oracle.to_vec());
+    }
+
+    #[test]
+    fn frame_decoder_reports_eof_position_like_the_blocking_reader() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &encode_request(&Request::Ping)).unwrap();
+        // Truncate at every point inside the frame; the decoder must
+        // name the same region the blocking reader names.
+        for cut in 0..stream.len() {
+            let mut dec = FrameDecoder::new();
+            let mut fed = 0;
+            while fed < cut {
+                let (used, _) = dec.feed(&stream[fed..cut]).unwrap();
+                fed += used;
+            }
+            let mut cursor = std::io::Cursor::new(stream[..cut].to_vec());
+            let oracle = read_frame(&mut cursor);
+            if cut == 0 {
+                assert!(dec.at_boundary());
+                assert!(oracle.unwrap().is_none(), "EOF at boundary is clean");
+                continue;
+            }
+            assert!(!dec.at_boundary(), "cut at {cut}");
+            let want = oracle.unwrap_err().to_string();
+            assert_eq!(dec.eof_error().to_string(), want, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn frame_decoder_rejects_garbage_like_the_blocking_reader() {
+        // Bad magic, delivered one byte at a time.
+        let mut dec = FrameDecoder::new();
+        let bad = b"NOTMAGIC\x00\x00\x00\x00";
+        let mut err = None;
+        for b in bad.iter() {
+            match dec.feed(&[*b]) {
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        let mut cursor = std::io::Cursor::new(bad.to_vec());
+        assert_eq!(
+            err.expect("bad magic detected").to_string(),
+            read_frame(&mut cursor).unwrap_err().to_string()
+        );
+
+        // Implausible length.
+        let mut huge = MAGIC.to_vec();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        let got = dec.feed(&huge).unwrap_err();
+        let mut cursor = std::io::Cursor::new(huge);
+        assert_eq!(
+            got.to_string(),
+            read_frame(&mut cursor).unwrap_err().to_string()
+        );
     }
 }

@@ -121,6 +121,33 @@ pub enum QueryWork {
     },
 }
 
+/// Where a scheduled request's single reply goes.
+///
+/// The blocking connection path parks a writer thread on a rendezvous
+/// channel per request; the event loop cannot park, so it hands the
+/// scheduler a completion cell that stores the response and wakes the
+/// loop. Both are single-use and infallible from the scheduler's side:
+/// a vanished receiver just means the connection died first.
+pub enum ReplySink {
+    /// Rendezvous channel a blocking connection's writer is parked on.
+    Channel(SyncSender<Response>),
+    /// Completion cell owned by an event-loop connection.
+    Cell(Arc<crate::conn::ReplyCell>),
+}
+
+impl ReplySink {
+    /// Deliver the reply. Delivery to a dead connection is silently
+    /// dropped, matching the blocking path's fire-and-forget `try_send`.
+    pub fn send(&self, resp: Response) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.try_send(resp);
+            }
+            ReplySink::Cell(cell) => cell.fill(resp),
+        }
+    }
+}
+
 /// A queued request: the work, its deadline, and the reply slot the
 /// connection is blocked on. Every `Pending` receives exactly one
 /// [`Response`].
@@ -133,7 +160,7 @@ pub struct Pending {
     /// When the request was handed to the scheduler (latency origin).
     pub enqueued: Instant,
     /// Single-use reply slot.
-    pub reply: SyncSender<Response>,
+    pub reply: ReplySink,
 }
 
 struct QueueState {
@@ -223,22 +250,22 @@ impl Scheduler {
         }
         if let Some(msg) = self.validate(&pending.work) {
             self.metrics.on_error();
-            let _ = pending.reply.try_send(Response::Error(msg));
+            pending.reply.send(Response::Error(msg));
             return;
         }
         let mut q = self.queue.lock().expect("queue lock");
         if q.shutting_down {
             drop(q);
             self.metrics.on_rejected_shutdown();
-            let _ = pending
+            pending
                 .reply
-                .try_send(Response::ShuttingDown("server is draining".into()));
+                .send(Response::ShuttingDown("server is draining".into()));
             return;
         }
         if q.items.len() >= self.config.queue_cap {
             drop(q);
             self.metrics.on_shed();
-            let _ = pending.reply.try_send(Response::Overloaded(format!(
+            pending.reply.send(Response::Overloaded(format!(
                 "request queue full ({} pending)",
                 self.config.queue_cap
             )));
@@ -331,6 +358,25 @@ impl Scheduler {
         }
     }
 
+    /// Synchronously execute everything currently queued, without
+    /// waiting for arrivals. Deterministic-test hook: the event-loop
+    /// harness submits through the real admission path, then drains on
+    /// the test thread instead of racing a dispatcher thread.
+    #[doc(hidden)]
+    pub fn drain_queued(&self) {
+        loop {
+            let batch: Vec<Pending> = {
+                let mut guard = self.queue.lock().expect("queue lock");
+                let take = guard.items.len().min(self.config.max_batch);
+                guard.items.drain(..take).collect()
+            };
+            if batch.is_empty() {
+                return;
+            }
+            self.execute_batch(batch);
+        }
+    }
+
     /// Block until work or shutdown; returns `None` only when shutting
     /// down with an empty queue (nothing left to drain).
     fn collect_batch(&self) -> Option<Vec<Pending>> {
@@ -403,7 +449,7 @@ impl Scheduler {
         for (i, p) in batch.into_iter().enumerate() {
             if p.deadline.is_some_and(|d| dispatch_time > d) {
                 expired += 1;
-                let _ = p.reply.try_send(Response::DeadlineExpired(
+                p.reply.send(Response::DeadlineExpired(
                     "deadline expired while queued".into(),
                 ));
                 slots.push(None);
@@ -412,7 +458,7 @@ impl Scheduler {
             if let QueryWork::KnnById { id, .. } = &p.work {
                 if !view.contains(*id as u64) {
                     self.metrics.on_error();
-                    let _ = p.reply.try_send(Response::Error(format!(
+                    p.reply.send(Response::Error(format!(
                         "image id {id} no longer in database (epoch {})",
                         view.epoch()
                     )));
@@ -514,7 +560,7 @@ impl Scheduler {
                     for &i in &members {
                         let p = slots[i].take().expect("live slot");
                         self.metrics.on_error();
-                        let _ = p.reply.try_send(Response::Error(format!(
+                        p.reply.send(Response::Error(format!(
                             "internal: execution panicked (isolated): {msg}"
                         )));
                     }
@@ -535,7 +581,7 @@ impl Scheduler {
                     for (ranked, &i) in result_lists.into_iter().zip(&members) {
                         let p = slots[i].take().expect("live slot");
                         latencies.push(p.enqueued.elapsed().as_micros() as u64);
-                        let _ = p.reply.try_send(Response::Hits {
+                        p.reply.send(Response::Hits {
                             hits: ranked_to_hits(ranked),
                             coarse_candidates,
                             rerank_evaluations,
@@ -550,7 +596,7 @@ impl Scheduler {
                     for &i in &members {
                         let p = slots[i].take().expect("live slot");
                         self.metrics.on_error();
-                        let _ = p.reply.try_send(Response::Error(msg.clone()));
+                        p.reply.send(Response::Error(msg.clone()));
                     }
                 }
             }
@@ -623,7 +669,7 @@ mod tests {
                 work,
                 deadline: None,
                 enqueued: Instant::now(),
-                reply: tx,
+                reply: ReplySink::Channel(tx),
             },
             rx,
         )

@@ -1,12 +1,25 @@
 //! The TCP server: accept loop, per-connection framing, and lifecycle.
 //!
-//! Each connection gets a reader thread (decode frames, admit work) and a
-//! writer thread (encode replies in request order). The reader never
-//! blocks on execution: every request — including admission rejections
-//! and control ops — produces exactly one reply slot pushed onto the
-//! connection's in-order reply queue, so a connection may keep many
-//! requests in flight (pipelining) and responses still arrive in the
-//! order the requests were sent.
+//! Two interchangeable connection engines sit behind one
+//! [`ServerHandle`]:
+//!
+//! * **Blocking** ([`Server::spawn`]): each connection gets a reader
+//!   thread (decode frames, admit work) and a writer thread (encode
+//!   replies in request order).
+//! * **Event-driven** ([`Server::spawn_event`]): a single epoll loop
+//!   thread owns every socket and reassembles frames incrementally; see
+//!   [`crate::event_loop`]. Linux/x86-64 only.
+//!
+//! Both engines speak the same wire protocol, share the same scheduler,
+//! and produce bit-identical query replies — the event engine is a
+//! capacity upgrade, not a behavior change.
+//!
+//! In either engine the connection layer never blocks on execution:
+//! every request — including admission rejections and control ops —
+//! produces exactly one reply slot pushed onto the connection's in-order
+//! reply queue, so a connection may keep many requests in flight
+//! (pipelining) and responses still arrive in the order the requests
+//! were sent.
 //!
 //! Failures are isolated per connection: a malformed frame is answered
 //! with an error reply and closes only that connection; a per-request
@@ -17,12 +30,13 @@
 //! connection, drains everything already admitted through the dispatcher,
 //! flushes every queued reply, then joins all threads.
 
+use crate::conn::{control_response, query_work};
 use crate::metrics::Metrics;
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, Request, Response, StatsSnapshot,
 };
-use crate::scheduler::{Pending, QueryWork, Scheduler, SchedulerConfig};
-use cbir_core::{ImageMeta, QueryEngine, ServedCorpus};
+use crate::scheduler::{Pending, QueryWork, ReplySink, Scheduler, SchedulerConfig};
+use cbir_core::{QueryEngine, ServedCorpus};
 use std::io::{BufReader, BufWriter, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -96,16 +110,53 @@ impl Controller {
     }
 }
 
+/// Tuning knobs for the event-driven engine ([`Server::spawn_event`]).
+#[derive(Clone, Debug)]
+pub struct EventLoopConfig {
+    /// Hard cap on simultaneously open connections; new sockets beyond
+    /// the cap are accepted and immediately closed so the kernel backlog
+    /// cannot grow unbounded.
+    pub max_conns: usize,
+    /// Threads servicing mutation ops (`insert`/`delete`/`compact`).
+    /// Mutations serialize on the store's writer lock anyway, so one is
+    /// usually right; the point is keeping them off the loop thread.
+    pub mutation_workers: usize,
+}
+
+impl Default for EventLoopConfig {
+    fn default() -> Self {
+        EventLoopConfig {
+            max_conns: 8192,
+            mutation_workers: 1,
+        }
+    }
+}
+
+/// Which connection engine is running behind a [`ServerHandle`].
+enum Engine {
+    /// Thread-per-connection reader/writer pairs.
+    Blocking {
+        controller: Arc<Controller>,
+        acceptor: JoinHandle<()>,
+        dispatcher: JoinHandle<()>,
+        conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    },
+    /// Single epoll loop plus a compute worker pool.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Event {
+        control: Arc<crate::event_loop::EventControl>,
+        threads: Vec<JoinHandle<()>>,
+    },
+}
+
 /// A running server. Dropping the handle without calling
 /// [`ServerHandle::shutdown`] or [`ServerHandle::join`] detaches the
 /// worker threads (they keep serving until the process exits).
 pub struct ServerHandle {
     local_addr: SocketAddr,
-    controller: Arc<Controller>,
+    scheduler: Arc<Scheduler>,
     metrics: Arc<Metrics>,
-    acceptor: JoinHandle<()>,
-    dispatcher: JoinHandle<()>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    engine: Engine,
 }
 
 impl ServerHandle {
@@ -116,36 +167,60 @@ impl ServerHandle {
 
     /// Live counter snapshot.
     pub fn metrics(&self) -> StatsSnapshot {
-        self.metrics
-            .snapshot(self.controller.scheduler.queue_depth())
+        self.metrics.snapshot(self.scheduler.queue_depth())
     }
 
     /// Make the next executed batch group panic mid-execution. Test
     /// hook for exercising panic isolation over a real connection.
     #[doc(hidden)]
     pub fn trip_panic_trap(&self) {
-        self.controller.scheduler.trip_panic_trap();
+        self.scheduler.trip_panic_trap();
     }
 
     /// Initiate graceful shutdown and wait for it to complete; returns
     /// the final counter snapshot.
     pub fn shutdown(self) -> StatsSnapshot {
-        self.controller.trigger();
+        match &self.engine {
+            Engine::Blocking { controller, .. } => controller.trigger(),
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Engine::Event { control, .. } => control.trigger(),
+        }
         self.join()
     }
 
     /// Wait for the server to finish (a client `shutdown` op, or a prior
     /// [`ServerHandle::shutdown`] call); returns the final counters.
     pub fn join(self) -> StatsSnapshot {
-        let _ = self.acceptor.join();
-        let _ = self.dispatcher.join();
-        // Connection readers exit on EOF/read-shutdown; each joins its
-        // own writer after the reply queue drains.
-        let handles = std::mem::take(&mut *self.conn_threads.lock().expect("conn threads lock"));
-        for h in handles {
-            let _ = h.join();
+        let ServerHandle {
+            metrics, engine, ..
+        } = self;
+        match engine {
+            Engine::Blocking {
+                acceptor,
+                dispatcher,
+                conn_threads,
+                ..
+            } => {
+                let _ = acceptor.join();
+                let _ = dispatcher.join();
+                // Connection readers exit on EOF/read-shutdown; each
+                // joins its own writer after the reply queue drains.
+                let handles = std::mem::take(&mut *conn_threads.lock().expect("conn threads lock"));
+                for h in handles {
+                    let _ = h.join();
+                }
+            }
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Engine::Event { threads, .. } => {
+                // The loop thread exits once drained; dropping its side
+                // of the mutation queue then releases the workers, and
+                // `begin_shutdown` releases the dispatcher.
+                for t in threads {
+                    let _ = t.join();
+                }
+            }
         }
-        self.metrics.snapshot(0)
+        metrics.snapshot(0)
     }
 }
 
@@ -247,12 +322,73 @@ impl Server {
 
         Ok(ServerHandle {
             local_addr,
-            controller,
+            scheduler,
             metrics,
-            acceptor,
-            dispatcher,
-            conn_threads,
+            engine: Engine::Blocking {
+                controller,
+                acceptor,
+                dispatcher,
+                conn_threads,
+            },
         })
+    }
+
+    /// [`Server::spawn`], but on the event-driven epoll engine: one loop
+    /// thread owns every socket instead of two threads per connection.
+    /// Linux/x86-64 only; other targets get `ErrorKind::Unsupported`.
+    pub fn spawn_event(
+        engine: QueryEngine,
+        addr: impl ToSocketAddrs,
+        config: SchedulerConfig,
+        event_config: EventLoopConfig,
+    ) -> std::io::Result<ServerHandle> {
+        Self::spawn_event_shared(Arc::new(engine), addr, config, event_config)
+    }
+
+    /// [`Server::spawn_event`] over an engine the caller keeps a handle
+    /// to (tests compare server responses against direct engine calls).
+    pub fn spawn_event_shared(
+        engine: Arc<QueryEngine>,
+        addr: impl ToSocketAddrs,
+        config: SchedulerConfig,
+        event_config: EventLoopConfig,
+    ) -> std::io::Result<ServerHandle> {
+        Self::spawn_event_corpus(ServedCorpus::Static(engine), addr, config, event_config)
+    }
+
+    /// [`Server::spawn_corpus`] on the event-driven epoll engine.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    pub fn spawn_event_corpus(
+        corpus: ServedCorpus,
+        addr: impl ToSocketAddrs,
+        config: SchedulerConfig,
+        event_config: EventLoopConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let parts = crate::event_loop::spawn(corpus, addr, config, event_config)?;
+        Ok(ServerHandle {
+            local_addr: parts.local_addr,
+            scheduler: parts.scheduler,
+            metrics: parts.metrics,
+            engine: Engine::Event {
+                control: parts.control,
+                threads: parts.threads,
+            },
+        })
+    }
+
+    /// Stub on targets without the raw-epoll backend.
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    pub fn spawn_event_corpus(
+        corpus: ServedCorpus,
+        addr: impl ToSocketAddrs,
+        config: SchedulerConfig,
+        event_config: EventLoopConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let _ = (corpus, addr, config, event_config);
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "the event-loop engine requires linux/x86-64; use the blocking engine",
+        ))
     }
 }
 
@@ -319,139 +455,20 @@ fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) 
             }
         };
         match request {
-            Request::Ping => {
-                let view = scheduler.corpus().pin();
-                respond_now(Response::Pong {
-                    db_len: view.len() as u64,
-                    dim: view.dim() as u32,
-                });
-            }
-            Request::Stats => {
-                respond_now(Response::Stats(
-                    controller
-                        .scheduler
-                        .metrics()
-                        .snapshot(scheduler.queue_depth()),
-                ));
-            }
-            Request::ObsStats { prometheus } => {
-                // Refresh the queue-depth gauge so a snapshot taken from an
-                // otherwise idle server still reads the live value.
-                cbir_obs::set_queue_depth(scheduler.queue_depth() as u64);
-                let snap = cbir_obs::snapshot();
-                let text = if prometheus {
-                    cbir_obs::to_prometheus(&snap)
-                } else {
-                    cbir_obs::to_json(&snap)
-                };
-                respond_now(Response::ObsText(text));
-            }
-            Request::Explain => {
-                respond_now(Response::ObsText(cbir_obs::traces_to_json(
-                    &cbir_obs::traces(),
-                )));
-            }
             Request::Shutdown => {
                 respond_now(Response::ShutdownAck);
                 controller.trigger();
                 break;
             }
-            Request::Knn {
-                k,
-                deadline_us,
-                recall_target,
-                descriptor,
-            } => submit_query(
-                scheduler,
-                &slots_tx,
-                QueryWork::Knn {
-                    descriptor,
-                    k: k as usize,
-                    recall_target,
-                },
-                deadline_us,
-            ),
-            Request::Range {
-                radius,
-                deadline_us,
-                descriptor,
-            } => submit_query(
-                scheduler,
-                &slots_tx,
-                QueryWork::Range { descriptor, radius },
-                deadline_us,
-            ),
-            Request::KnnById {
-                k,
-                deadline_us,
-                recall_target,
-                id,
-            } => submit_query(
-                scheduler,
-                &slots_tx,
-                QueryWork::KnnById {
-                    id: id as usize,
-                    k: k as usize,
-                    recall_target,
-                },
-                deadline_us,
-            ),
-            // Mutations run inline on the connection thread: they take
-            // the store's writer lock, publish a new snapshot, and ack.
-            // Queries already admitted keep executing against their
-            // pinned (pre-mutation) snapshots.
-            Request::Insert {
-                name,
-                label,
-                descriptor,
-            } => match scheduler.corpus().store() {
-                None => respond_now(static_corpus_error()),
-                Some(store) => match store.insert(ImageMeta { name, label }, descriptor) {
-                    Ok(id) => respond_now(Response::InsertAck {
-                        id,
-                        epoch: store.snapshot().epoch(),
-                    }),
-                    Err(e) => {
-                        metrics.on_error();
-                        respond_now(Response::Error(e.to_string()));
-                    }
-                },
-            },
-            Request::Delete { id } => match scheduler.corpus().store() {
-                None => respond_now(static_corpus_error()),
-                Some(store) => match store.delete(id) {
-                    Ok(()) => respond_now(Response::DeleteAck {
-                        epoch: store.snapshot().epoch(),
-                    }),
-                    Err(e) => {
-                        metrics.on_error();
-                        respond_now(Response::Error(e.to_string()));
-                    }
-                },
-            },
-            Request::Compact => match scheduler.corpus().store() {
-                None => respond_now(static_corpus_error()),
-                Some(store) => match store.compact() {
-                    Ok(stats) => respond_now(Response::CompactAck {
-                        epoch: stats.epoch,
-                        segments: stats.segments as u32,
-                        rows: stats.rows,
-                    }),
-                    Err(e) => {
-                        metrics.on_error();
-                        respond_now(Response::Error(e.to_string()));
-                    }
-                },
-            },
-            // Row fetch runs inline: it is a point read against a pinned
-            // view, with none of the batching/admission machinery a
-            // search needs.
-            Request::GetDescriptor { id } => match scheduler.corpus().pin().descriptor(id) {
-                Ok(descriptor) => respond_now(Response::Descriptor { descriptor }),
-                Err(e) => {
-                    metrics.on_error();
-                    respond_now(Response::Error(e.to_string()));
-                }
+            req => match query_work(req) {
+                Ok((work, deadline_us)) => submit_query(scheduler, &slots_tx, work, deadline_us),
+                // Control ops and mutations are answered inline on the
+                // connection thread: mutations take the store's writer
+                // lock and publish a new snapshot, while queries already
+                // admitted keep executing against their pinned
+                // (pre-mutation) snapshots. Shared with the event
+                // engine so both paths reply byte-for-byte alike.
+                Err(req) => respond_now(control_response(scheduler, req)),
             },
         }
     }
@@ -461,16 +478,6 @@ fn serve_connection(stream: TcpStream, controller: Arc<Controller>, token: u64) 
         let _ = w.join();
     }
     controller.deregister(token);
-}
-
-/// The refusal every mutation op gets when the server fronts an
-/// immutable offline-built engine instead of a live segment store.
-fn static_corpus_error() -> Response {
-    Response::Error(
-        "server is serving a static database; mutations require serving a segment store \
-         (serve --mmap)"
-            .into(),
-    )
 }
 
 fn submit_query(
@@ -486,7 +493,7 @@ fn submit_query(
         work,
         deadline: (deadline_us > 0).then(|| now + Duration::from_micros(deadline_us)),
         enqueued: now,
-        reply: tx,
+        reply: ReplySink::Channel(tx),
     });
 }
 

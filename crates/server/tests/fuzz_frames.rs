@@ -18,7 +18,7 @@ use std::time::Duration;
 
 const MAGIC: &[u8; 8] = b"CBIRRPC1";
 
-fn spawn_server(n: usize) -> ServerHandle {
+fn build_engine(n: usize) -> QueryEngine {
     let pipeline = Pipeline::new(
         16,
         vec![FeatureSpec::ColorHistogram(Quantizer::Gray { bins: 16 })],
@@ -38,8 +38,11 @@ fn spawn_server(n: usize) -> ServerHandle {
         )
         .unwrap();
     }
-    let engine = QueryEngine::build(db, IndexKind::Linear, Measure::L1).unwrap();
-    Server::spawn(engine, "127.0.0.1:0", SchedulerConfig::default()).unwrap()
+    QueryEngine::build(db, IndexKind::Linear, Measure::L1).unwrap()
+}
+
+fn spawn_server(n: usize) -> ServerHandle {
+    Server::spawn(build_engine(n), "127.0.0.1:0", SchedulerConfig::default()).unwrap()
 }
 
 /// xorshift64* — tiny, seeded, good enough to sweep attack shapes
@@ -166,9 +169,9 @@ fn deliver(addr: SocketAddr, a: &Attack) {
     }
 }
 
-#[test]
-fn malformed_frame_sweep_never_kills_the_server() {
-    let handle = spawn_server(32);
+/// The full adversarial sweep against a running server, whichever
+/// connection engine it is using.
+fn sweep_against(handle: ServerHandle) {
     let addr = handle.local_addr();
     // A long-lived well-formed connection, open across the whole sweep:
     // poisoned siblings must not disturb it.
@@ -208,4 +211,71 @@ fn malformed_frame_sweep_never_kills_the_server() {
         .collect();
     assert!(fresh.iter().all(|h| h.len() == 2));
     handle.shutdown();
+}
+
+#[test]
+fn malformed_frame_sweep_never_kills_the_server() {
+    sweep_against(spawn_server(32));
+}
+
+/// The identical sweep against the epoll engine: one loop thread owns
+/// every poisoned socket, so a single wedged or leaked connection state
+/// would show up as the bystander stalling or fresh connections failing.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[test]
+fn malformed_frame_sweep_never_kills_the_event_loop_server() {
+    use cbir_server::EventLoopConfig;
+    let handle = Server::spawn_event(
+        build_engine(32),
+        "127.0.0.1:0",
+        SchedulerConfig::default(),
+        EventLoopConfig::default(),
+    )
+    .unwrap();
+    sweep_against(handle);
+}
+
+/// Seeded valid frames, replayed through the incremental decoder at
+/// every split boundary (and fully coalesced): the reassembled frames
+/// must be byte-identical to what the blocking `read_frame` reader
+/// produces from the same stream.
+#[test]
+fn frame_decoder_split_sweep_matches_blocking_reader() {
+    use cbir_server::protocol::{read_frame, write_frame};
+    use cbir_server::FrameDecoder;
+
+    let mut rng = Rng(0xDEC0_DE01);
+    for trial in 0..12 {
+        // A coalesced pair of random frames (empty payloads included).
+        let n1 = (rng.next() % 96) as usize;
+        let p1 = rng.bytes(n1);
+        let n2 = (rng.next() % 96) as usize;
+        let p2 = rng.bytes(n2);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &p1).unwrap();
+        write_frame(&mut stream, &p2).unwrap();
+
+        let mut oracle = std::io::Cursor::new(stream.clone());
+        let o1 = read_frame(&mut oracle).unwrap().unwrap();
+        let o2 = read_frame(&mut oracle).unwrap().unwrap();
+
+        for split in 0..=stream.len() {
+            let mut dec = FrameDecoder::new();
+            let mut frames = Vec::new();
+            for chunk in [&stream[..split], &stream[split..]] {
+                let mut at = 0;
+                while at < chunk.len() {
+                    let (used, frame) = dec.feed(&chunk[at..]).unwrap();
+                    at += used;
+                    if let Some(f) = frame {
+                        frames.push(f);
+                    }
+                }
+            }
+            assert!(dec.at_boundary(), "trial {trial} split {split}: mid-frame");
+            assert_eq!(frames.len(), 2, "trial {trial} split {split}");
+            assert_eq!(frames[0], o1, "trial {trial} split {split}: frame 0");
+            assert_eq!(frames[1], o2, "trial {trial} split {split}: frame 1");
+        }
+    }
 }

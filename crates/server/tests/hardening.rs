@@ -467,3 +467,91 @@ fn connection_killed_mid_stream_reconnects_and_resends() {
     );
     fake.join().unwrap();
 }
+
+/// Wire-fault classification parity between the connection engines: a
+/// client living behind a chaos proxy must classify each failure shape
+/// (late replies, torn replies, black holes) the same way whether the
+/// upstream serves with blocking threads or the epoll loop — the retry
+/// and failover layers key off that classification, so an engine that
+/// shifted a torn reply from `ConnectionLost` to `Protocol` would break
+/// failover only under the event path.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[test]
+fn chaos_faults_classify_identically_across_connection_engines() {
+    use cbir_server::{ChaosProxy, EventLoopConfig, WireMode};
+
+    fn classify(r: &Result<Vec<Hit>, ClientError>) -> &'static str {
+        match r {
+            Ok(_) => "answered",
+            Err(ClientError::ConnectionLost(_)) => "connection-lost",
+            Err(ClientError::Io(_)) => "io",
+            Err(ClientError::Protocol(_)) => "protocol",
+            Err(ClientError::Rejected(_)) => "rejected",
+        }
+    }
+
+    let engine = engine(32, IndexKind::VpTree);
+    let blocking = spawn(&engine, SchedulerConfig::default());
+    let event = Server::spawn_event_shared(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        SchedulerConfig::default(),
+        EventLoopConfig::default(),
+    )
+    .expect("spawn event server");
+    let query = engine.database().descriptor(0).unwrap().to_vec();
+
+    let modes: [(WireMode, &str); 3] = [
+        // Late but intact: answered, and answered identically.
+        (WireMode::Delay(Duration::from_millis(30)), "answered"),
+        // Reply torn mid-frame: the peer vanished, a transient loss.
+        (
+            WireMode::TornReply {
+                seed: 11,
+                max_prefix: 6,
+            },
+            "connection-lost",
+        ),
+        // Accepted, read, never answered: the client's read times out.
+        (WireMode::BlackHole, "io"),
+    ];
+
+    for (mode, want) in modes {
+        let mut replies = Vec::new();
+        for backend in [blocking.local_addr(), event.local_addr()] {
+            let proxy = ChaosProxy::spawn(backend.to_string(), mode.clone(), "127.0.0.1:0")
+                .expect("spawn chaos proxy");
+            let mut client =
+                Client::connect_timeout(proxy.local_addr(), Duration::from_millis(750))
+                    .expect("connect through proxy");
+            let got = client.knn(&query, 3, 0, 1.0);
+            assert_eq!(
+                classify(&got),
+                want,
+                "{mode:?} against {backend} misclassified: {got:?}"
+            );
+            if let Err(e) = &got {
+                assert!(e.is_transient(), "{mode:?}: {e} must stay retryable");
+            }
+            replies.push(got);
+            drop(client);
+            proxy.shutdown();
+        }
+        // Same classification — and for the healthy case, the same hits
+        // bit-for-bit — from both engines.
+        match (&replies[0], &replies[1]) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.id, y.id);
+                    assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+                }
+            }
+            (Err(_), Err(_)) => {}
+            other => panic!("{mode:?}: engines disagreed: {other:?}"),
+        }
+    }
+
+    blocking.shutdown();
+    event.shutdown();
+}

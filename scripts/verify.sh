@@ -37,6 +37,7 @@ if [ "${SKIP_QUICK_BENCH:-0}" != 1 ]; then
     cargo run --release -q -p cbir-bench --bin exp_approx_search -- --quick
     cargo run --release -q -p cbir-bench --bin exp_router_scaling -- --quick
     cargo run --release -q -p cbir-bench --bin exp_chaos_serving -- --quick
+    cargo run --release -q -p cbir-bench --bin exp_epoll_serving -- --quick
 fi
 
 echo "==> server smoke test (generate -> index -> serve -> rpc-query -> shutdown)"
@@ -61,6 +62,31 @@ echo "$KNN_OUT" | grep -q "class-" || { echo "rpc-query knn returned no hits"; e
 BYID_OUT=$("$CBIR" rpc-query "$ADDR" --id 0 -k 2)
 echo "$BYID_OUT" | grep -q "class-" || { echo "rpc-query --id returned no hits"; exit 1; }
 "$CBIR" rpc-ctl "$ADDR" stats >/dev/null
+
+echo "==> epoll smoke (serve --event-loop -> 64-conn pipelined storm -> digest parity)"
+# The same pipelined storm against the epoll engine and the blocking
+# engine (already serving above) must produce identical reply bytes:
+# rpc-storm digests every reply frame in (connection, request) order.
+"$CBIR" serve "$SMOKE_DIR/photos.cbir" --port 0 --addr-file "$SMOKE_DIR/addr-epoll" \
+    --index linear --measure l1 --event-loop >/dev/null &
+EPOLL_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/addr-epoll" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/addr-epoll" ] || { echo "epoll server never wrote its address"; exit 1; }
+EADDR=$(cat "$SMOKE_DIR/addr-epoll")
+BLOCKING_DIGEST=$("$CBIR" rpc-storm "$ADDR" --conns 64 --requests 16 | awk '/^digest/ {print $2}')
+EPOLL_DIGEST=$("$CBIR" rpc-storm "$EADDR" --conns 64 --requests 16 | awk '/^digest/ {print $2}')
+[ -n "$BLOCKING_DIGEST" ] || { echo "rpc-storm printed no digest"; exit 1; }
+[ "$BLOCKING_DIGEST" = "$EPOLL_DIGEST" ] || {
+    echo "epoll storm digest diverges from blocking: $EPOLL_DIGEST vs $BLOCKING_DIGEST"
+    exit 1
+}
+"$CBIR" rpc-ctl "$EADDR" stats | grep -q "epoll wakeups" \
+    || { echo "epoll server stats missing epoll wakeups"; exit 1; }
+"$CBIR" rpc-ctl "$EADDR" shutdown >/dev/null
+wait "$EPOLL_PID"
 
 echo "==> approximate-search smoke (rpc-query --recall-target -> counters in stats)"
 # A sub-1.0 recall target must route through the two-stage path: the

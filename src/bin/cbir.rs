@@ -20,9 +20,10 @@ use cbir::core::persist;
 use cbir::image::codec::{decode, encode_ppm, PnmEncoding};
 use cbir::image::RgbImage;
 use cbir::router::{Router, RouterConfig};
+use cbir::server::protocol::{decode_response, encode_request, read_frame, write_frame};
 use cbir::server::{
-    ChaosProxy, Client, Hit, RetryPolicy, RetryingClient, SchedulerConfig, Server, StatsSnapshot,
-    WireMode,
+    ChaosProxy, Client, EventLoopConfig, Hit, Request, Response, RetryPolicy, RetryingClient,
+    SchedulerConfig, Server, StatsSnapshot, WireMode,
 };
 use cbir::workload::{Corpus, CorpusSpec};
 use cbir::{
@@ -88,7 +89,7 @@ fn usage() -> ! {
   cbir serve <db-or-segdir> [--mmap] [--port P] [--addr-file F] [--measure M] [--index I]
                   [--max-batch N] [--max-delay-us N] [--queue-cap N] [--threads N]
                   [--idle-timeout-ms N] [--write-timeout-ms N] [--trace-sample-n N]
-                  [--recall-target R]
+                  [--recall-target R] [--event-loop] [--max-conns N] [--mutation-workers N]
       serve the database over TCP (CBIRRPC1) with dynamic micro-batching;
       a segment directory (or --mmap, which migrates a database file to
       <db>.seg/ on first use) serves mmap-backed segments with live
@@ -97,7 +98,10 @@ fn usage() -> ! {
       idle reaping / write timeouts; --trace-sample-n N samples every
       Nth query into the trace ring (see rpc-ctl explain);
       --recall-target R forces every k-NN request to recall target R,
-      overriding what clients ask for
+      overriding what clients ask for; --event-loop serves all
+      connections from one nonblocking epoll thread (linux/x86-64) with
+      replies bit-identical to the default thread-per-connection engine,
+      capped at --max-conns simultaneous sockets (default 8192)
 
   cbir shard-plan <db> [--shards N] [--scheme mod|range] [--out-dir DIR]
       split a database file into N per-shard databases plus a PLAN.txt
@@ -142,6 +146,14 @@ fn usage() -> ! {
       in (0,1] requests two-stage approximate search (replies report
       per-query coarse/rerank candidate counts)
 
+  cbir rpc-storm <addr> [--conns N] [--requests N] [-k N] [--seed S]
+      open N connections (default 64), pipeline --requests knn-by-id
+      queries on each (write every frame, then read every reply), and
+      print a digest over all reply frame bytes in (connection, request)
+      order; the digest is engine-independent, so running the same storm
+      against a blocking serve and an --event-loop serve of the same
+      corpus must print the same digest
+
   cbir rpc-insert <addr> <image>... --db <file-or-segdir>
       insert example images into a live server, extracted locally with
       the pipeline in --db; class labels inferred from file names
@@ -164,7 +176,7 @@ struct Args {
 }
 
 /// Flags that are pure switches: present or absent, never taking a value.
-const BOOL_FLAGS: &[&str] = &["mmap", "allow-partial"];
+const BOOL_FLAGS: &[&str] = &["mmap", "allow-partial", "event-loop"];
 
 impl Args {
     fn parse(args: &[String]) -> Self {
@@ -630,8 +642,8 @@ fn print_server_stats(snap: &StatsSnapshot) {
         snap.latency_p50_us, snap.latency_p95_us, snap.distance_computations, snap.queue_depth,
     );
     println!(
-        "io timeouts {}, panics isolated {}",
-        snap.io_timeouts, snap.panics_isolated,
+        "io timeouts {}, panics isolated {}, epoll wakeups {}, max pipeline depth {}",
+        snap.io_timeouts, snap.panics_isolated, snap.epoll_wakeups, snap.max_pipeline_depth,
     );
     let hist: Vec<String> = snap
         .batch_hist
@@ -705,10 +717,25 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         let engine = QueryEngine::build(db, kind, measure)?;
         (ServedCorpus::Static(Arc::new(engine)), n, mode)
     };
-    let handle = Server::spawn_corpus(corpus, ("127.0.0.1", port), config)?;
+    let (handle, engine_name) = if args.has("event-loop") {
+        let event_defaults = EventLoopConfig::default();
+        let event_config = EventLoopConfig {
+            max_conns: args.flag_parse("max-conns", event_defaults.max_conns),
+            mutation_workers: args.flag_parse("mutation-workers", event_defaults.mutation_workers),
+        };
+        (
+            Server::spawn_event_corpus(corpus, ("127.0.0.1", port), config, event_config)?,
+            "event-loop engine",
+        )
+    } else {
+        (
+            Server::spawn_corpus(corpus, ("127.0.0.1", port), config)?,
+            "blocking engine",
+        )
+    };
     let addr = handle.local_addr();
     println!(
-        "listening on {addr} ({n} images, {mode}, opened in {:.1}ms)",
+        "listening on {addr} ({n} images, {mode}, {engine_name}, opened in {:.1}ms)",
         open_start.elapsed().as_secs_f64() * 1e3
     );
     if let Some(addr_file) = args.flag("addr-file") {
@@ -1296,6 +1323,92 @@ fn rpc_abort(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Pipelined load storm: N connections each write a burst of knn-by-id
+/// request frames, then read every reply back. The FNV-1a digest over
+/// all reply frame bytes (folded in connection/request order) is
+/// deterministic for a given corpus and storm shape, so the same storm
+/// against the blocking and event-loop engines must print the same
+/// digest — that equality is the wire-level bit-identity check
+/// `verify.sh` runs.
+fn cmd_rpc_storm(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = args.positional.first().unwrap_or_else(|| usage()).clone();
+    let conns: usize = args.flag_parse("conns", 64);
+    let per_conn: usize = args.flag_parse("requests", 32);
+    let k: u32 = args.flag_parse("k", 8);
+    let seed: u64 = args.flag_parse("seed", 1);
+
+    let mut probe = Client::connect(&addr)?;
+    let (db_len, _dim) = probe.ping()?;
+    drop(probe);
+    if db_len == 0 {
+        return Err("rpc-storm needs a non-empty corpus".into());
+    }
+
+    let start = std::time::Instant::now();
+    let mut workers = Vec::new();
+    for c in 0..conns {
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(
+            move || -> Result<(u64, usize), String> {
+                let mut stream = std::net::TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+                let _ = stream.set_nodelay(true);
+                for i in 0..per_conn {
+                    let id = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(((c as u64) << 32) | i as u64)
+                        % db_len;
+                    let req = Request::KnnById {
+                        k,
+                        deadline_us: 0,
+                        recall_target: 1.0,
+                        id,
+                    };
+                    write_frame(&mut stream, &encode_request(&req)).map_err(|e| e.to_string())?;
+                }
+                let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+                let mut hits = 0usize;
+                let mut reader = std::io::BufReader::new(stream);
+                for i in 0..per_conn {
+                    let payload = read_frame(&mut reader)
+                        .map_err(|e| e.to_string())?
+                        .ok_or_else(|| format!("server closed after {i} of {per_conn} replies"))?;
+                    for &b in &payload {
+                        digest ^= b as u64;
+                        digest = digest.wrapping_mul(0x0100_0000_01b3);
+                    }
+                    match decode_response(&payload).map_err(|e| e.to_string())? {
+                        Response::Hits { hits: h, .. } => hits += h.len(),
+                        other => return Err(format!("unexpected reply: {other:?}")),
+                    }
+                }
+                Ok((digest, hits))
+            },
+        ));
+    }
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hits = 0usize;
+    for (c, w) in workers.into_iter().enumerate() {
+        let (d, h) = w
+            .join()
+            .map_err(|_| format!("storm connection {c} panicked"))?
+            .map_err(|e| format!("storm connection {c}: {e}"))?;
+        for &b in &d.to_le_bytes() {
+            digest ^= b as u64;
+            digest = digest.wrapping_mul(0x0100_0000_01b3);
+        }
+        hits += h;
+    }
+    let elapsed = start.elapsed();
+    let total = conns * per_conn;
+    println!("digest {digest:016x}");
+    println!(
+        "{total} replies ({hits} hits) over {conns} connections in {:.1}ms ({:.0} req/s)",
+        elapsed.as_secs_f64() * 1e3,
+        total as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    Ok(())
+}
+
 fn cmd_rpc_ctl(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let addr = args.positional.first().unwrap_or_else(|| usage());
     let op = args
@@ -1360,6 +1473,7 @@ fn main() -> ExitCode {
         "route" => cmd_route(&args),
         "chaos-proxy" => cmd_chaos_proxy(&args),
         "rpc-query" => cmd_rpc_query(&args),
+        "rpc-storm" => cmd_rpc_storm(&args),
         "rpc-insert" => cmd_rpc_insert(&args),
         "rpc-ctl" => cmd_rpc_ctl(&args),
         _ => usage(),
